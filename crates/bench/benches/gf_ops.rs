@@ -1,0 +1,39 @@
+//! Criterion micro-benchmarks of the GF(2^8) kernels that dominate encode
+//! and decode time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pbrs_gf::{slice_ops, Matrix};
+use std::hint::black_box;
+
+fn bench_slice_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gf_slice_kernels");
+    for size in [4 * 1024usize, 64 * 1024, 1024 * 1024] {
+        let src: Vec<u8> = (0..size).map(|i| (i * 31 + 7) as u8).collect();
+        let mut dst = vec![0u8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("mul_add_slice", size), &size, |b, _| {
+            b.iter(|| slice_ops::mul_add_slice(black_box(0x1D), black_box(&src), black_box(&mut dst)));
+        });
+        group.bench_with_input(BenchmarkId::new("mul_slice", size), &size, |b, _| {
+            b.iter(|| slice_ops::mul_slice(black_box(0x1D), black_box(&src), black_box(&mut dst)));
+        });
+        group.bench_with_input(BenchmarkId::new("xor_slice", size), &size, |b, _| {
+            b.iter(|| slice_ops::xor_slice(black_box(&mut dst), black_box(&src)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_matrix_inversion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gf_matrix");
+    for n in [10usize, 14, 32] {
+        let m = Matrix::vandermonde(n, n);
+        group.bench_with_input(BenchmarkId::new("invert", n), &n, |b, _| {
+            b.iter(|| black_box(&m).inverted().unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_slice_kernels, bench_matrix_inversion);
+criterion_main!(benches);

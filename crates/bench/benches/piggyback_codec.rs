@@ -1,0 +1,85 @@
+//! Criterion benchmarks of the Piggybacked-RS codec: encode throughput and
+//! full reconstruction, side by side with the RS baseline at the production
+//! (10, 4) parameters.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pbrs_core::PiggybackedRs;
+use pbrs_erasure::{ErasureCode, ReedSolomon};
+use std::hint::black_box;
+
+fn data_shards(k: usize, len: usize) -> Vec<Vec<u8>> {
+    (0..k)
+        .map(|i| (0..len).map(|j| ((i * 37 + j * 11 + 1) % 256) as u8).collect())
+        .collect()
+}
+
+fn bench_encode_comparison(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encode_10_4");
+    let shard_len = 256 * 1024;
+    let data = data_shards(10, shard_len);
+    group.throughput(Throughput::Bytes((shard_len * 10) as u64));
+
+    let rs = ReedSolomon::new(10, 4).unwrap();
+    group.bench_function("rs", |b| b.iter(|| rs.encode(black_box(&data)).unwrap()));
+
+    let pb = PiggybackedRs::new(10, 4).unwrap();
+    group.bench_function("piggybacked_rs", |b| {
+        b.iter(|| pb.encode(black_box(&data)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_reconstruct_comparison(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reconstruct_two_failures_10_4");
+    let shard_len = 256 * 1024;
+    let data = data_shards(10, shard_len);
+
+    let rs = ReedSolomon::new(10, 4).unwrap();
+    let rs_full: Vec<Vec<u8>> = data.iter().cloned().chain(rs.encode(&data).unwrap()).collect();
+    group.bench_function("rs", |b| {
+        b.iter(|| {
+            let mut shards: Vec<Option<Vec<u8>>> = rs_full.iter().cloned().map(Some).collect();
+            shards[0] = None;
+            shards[11] = None;
+            rs.reconstruct(black_box(&mut shards)).unwrap();
+            shards
+        })
+    });
+
+    let pb = PiggybackedRs::new(10, 4).unwrap();
+    let pb_full: Vec<Vec<u8>> = data.iter().cloned().chain(pb.encode(&data).unwrap()).collect();
+    group.bench_function("piggybacked_rs", |b| {
+        b.iter(|| {
+            let mut shards: Vec<Option<Vec<u8>>> = pb_full.iter().cloned().map(Some).collect();
+            shards[0] = None;
+            shards[11] = None;
+            pb.reconstruct(black_box(&mut shards)).unwrap();
+            shards
+        })
+    });
+    group.finish();
+}
+
+fn bench_encode_parameter_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("piggybacked_encode_sweep");
+    let shard_len = 64 * 1024;
+    for (k, r) in [(6usize, 3usize), (10, 4), (12, 6)] {
+        let code = PiggybackedRs::new(k, r).unwrap();
+        let data = data_shards(k, shard_len);
+        group.throughput(Throughput::Bytes((shard_len * k) as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("k{k}_r{r}")),
+            &(k, r),
+            |b, _| b.iter(|| code.encode(black_box(&data)).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_encode_comparison,
+    bench_reconstruct_comparison,
+    bench_encode_parameter_sweep
+);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Criterion benchmarks of the single-block repair path — the operation the
+//! paper's measurement study is about. Compares RS, Piggybacked-RS and LRC
+//! at the production stripe geometry, reporting both wall time and the
+//! helper bytes each scheme moves.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pbrs_core::PiggybackedRs;
+use pbrs_erasure::{ErasureCode, Lrc, LrcParams, ReedSolomon};
+use std::hint::black_box;
+
+fn data_shards(k: usize, len: usize) -> Vec<Vec<u8>> {
+    (0..k)
+        .map(|i| (0..len).map(|j| ((i * 53 + j * 17 + 9) % 256) as u8).collect())
+        .collect()
+}
+
+fn bench_single_block_repair(c: &mut Criterion) {
+    let mut group = c.benchmark_group("single_block_repair");
+    let shard_len = 256 * 1024;
+    let data = data_shards(10, shard_len);
+    group.throughput(Throughput::Bytes(shard_len as u64));
+
+    let rs = ReedSolomon::new(10, 4).unwrap();
+    let rs_shards: Vec<Option<Vec<u8>>> = {
+        let mut s: Vec<Option<Vec<u8>>> = data
+            .iter()
+            .cloned()
+            .chain(rs.encode(&data).unwrap())
+            .map(Some)
+            .collect();
+        s[5] = None;
+        s
+    };
+    group.bench_function("rs_10_4", |b| {
+        b.iter(|| rs.repair(5, black_box(&rs_shards)).unwrap())
+    });
+
+    let pb = PiggybackedRs::new(10, 4).unwrap();
+    let pb_shards: Vec<Option<Vec<u8>>> = {
+        let mut s: Vec<Option<Vec<u8>>> = data
+            .iter()
+            .cloned()
+            .chain(pb.encode(&data).unwrap())
+            .map(Some)
+            .collect();
+        s[5] = None;
+        s
+    };
+    group.bench_function("piggybacked_rs_10_4", |b| {
+        b.iter(|| pb.repair(5, black_box(&pb_shards)).unwrap())
+    });
+
+    let lrc = Lrc::new(LrcParams::XORBAS).unwrap();
+    let lrc_shards: Vec<Option<Vec<u8>>> = {
+        let mut s: Vec<Option<Vec<u8>>> = data
+            .iter()
+            .cloned()
+            .chain(lrc.encode(&data).unwrap())
+            .map(Some)
+            .collect();
+        s[5] = None;
+        s
+    };
+    group.bench_function("lrc_10_2_4", |b| {
+        b.iter(|| lrc.repair(5, black_box(&lrc_shards)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_repair_planning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("repair_plan_only");
+    let pb = PiggybackedRs::new(10, 4).unwrap();
+    let mut available = vec![true; 14];
+    available[5] = false;
+    group.bench_function("piggybacked_rs_plan", |b| {
+        b.iter(|| pb.repair_plan(5, black_box(&available)).unwrap())
+    });
+    let rs = ReedSolomon::new(10, 4).unwrap();
+    group.bench_function("rs_plan", |b| {
+        b.iter(|| rs.repair_plan(5, black_box(&available)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_block_repair, bench_repair_planning);
+criterion_main!(benches);

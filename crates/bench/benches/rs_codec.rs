@@ -1,0 +1,51 @@
+//! Criterion benchmarks of the Reed–Solomon codec used as the production
+//! baseline: encode throughput and full reconstruction of up to r erasures.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pbrs_erasure::{ErasureCode, ReedSolomon};
+use std::hint::black_box;
+
+fn data_shards(k: usize, len: usize) -> Vec<Vec<u8>> {
+    (0..k)
+        .map(|i| (0..len).map(|j| ((i * 31 + j * 7 + 3) % 256) as u8).collect())
+        .collect()
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rs_encode_10_4");
+    for shard_len in [16 * 1024usize, 256 * 1024, 1024 * 1024] {
+        let rs = ReedSolomon::new(10, 4).unwrap();
+        let data = data_shards(10, shard_len);
+        group.throughput(Throughput::Bytes((shard_len * 10) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(shard_len), &shard_len, |b, _| {
+            b.iter(|| rs.encode(black_box(&data)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_reconstruct(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rs_reconstruct_10_4");
+    let shard_len = 256 * 1024;
+    let rs = ReedSolomon::new(10, 4).unwrap();
+    let data = data_shards(10, shard_len);
+    let parity = rs.encode(&data).unwrap();
+    let full: Vec<Vec<u8>> = data.iter().chain(parity.iter()).cloned().collect();
+    for missing in [1usize, 2, 4] {
+        group.throughput(Throughput::Bytes((shard_len * missing) as u64));
+        group.bench_with_input(BenchmarkId::new("erasures", missing), &missing, |b, &missing| {
+            b.iter(|| {
+                let mut shards: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
+                for i in 0..missing {
+                    shards[i * 3] = None;
+                }
+                rs.reconstruct(black_box(&mut shards)).unwrap();
+                shards
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_reconstruct);
+criterion_main!(benches);

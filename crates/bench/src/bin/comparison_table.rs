@@ -1,0 +1,81 @@
+//! Experiment E7 — storage/repair/reliability comparison across schemes:
+//! 3-way replication (the cluster's default for hot data), the production
+//! RS(10, 4) code, the proposed Piggybacked-RS(10, 4), and an LRC baseline
+//! (related work). Quantifies §1's 1.4x-vs-3x storage argument, §3.2's
+//! repair-traffic and MTTDL claims, and the related-work claim that LRCs
+//! trade storage optimality for repair traffic.
+
+use pbrs_bench::{f2, section};
+use pbrs_cluster::reliability::model_for_code;
+use pbrs_core::{CodeComparison, PiggybackedRs};
+use pbrs_erasure::{ErasureCode, Lrc, LrcParams, ReedSolomon, Replication};
+use pbrs_trace::report::to_markdown_table;
+
+fn main() {
+    let replication = Replication::triple();
+    let rs = ReedSolomon::facebook();
+    let pb = PiggybackedRs::facebook();
+    let lrc = Lrc::new(LrcParams::XORBAS).unwrap();
+
+    let comparisons: Vec<(CodeComparison, &dyn ErasureCode)> = vec![
+        (CodeComparison::of(&replication), &replication),
+        (CodeComparison::of(&rs), &rs),
+        (CodeComparison::of(&pb), &pb),
+        (CodeComparison::of(&lrc), &lrc),
+    ];
+
+    // Reliability: bandwidth-bound repair times at 40 MB/s per repair, 256 MB
+    // blocks, one permanent block loss per 4 years of block-hours.
+    let block = 256.0 * 1024.0 * 1024.0;
+    let bandwidth = 40.0 * 1024.0 * 1024.0;
+    let mtbf_hours = 4.0 * 365.25 * 24.0;
+
+    section("Storage, repair and reliability comparison (E7)");
+    let rows: Vec<Vec<String>> = comparisons
+        .iter()
+        .map(|(c, code)| {
+            let k = code.params().data_shards() as f64;
+            let single_bytes = c.average_blocks_per_repair * block;
+            let mttdl = model_for_code(
+                code.params().total_shards(),
+                code.fault_tolerance(),
+                single_bytes,
+                k * block,
+                bandwidth,
+                mtbf_hours,
+            );
+            vec![
+                c.name.clone(),
+                format!("{}x", f2(c.storage_overhead)),
+                c.fault_tolerance.to_string(),
+                if c.is_mds { "yes (storage optimal)" } else { "no" }.to_string(),
+                f2(c.average_blocks_per_repair),
+                format!("{:.1}%", c.saving_vs_rs() * 100.0),
+                format!("{:.1e}", mttdl.stripe_mttdl_years()),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        to_markdown_table(
+            &[
+                "scheme",
+                "storage overhead",
+                "failures tolerated",
+                "MDS",
+                "blocks downloaded per repair",
+                "repair saving vs stripe size",
+                "per-stripe MTTDL (years)"
+            ],
+            &rows
+        )
+    );
+
+    println!();
+    println!("claims checked against the paper:");
+    println!("  * §1: RS(10,4) needs 1.4x storage vs 3x for replication, for similar reliability.");
+    println!("  * §3: Piggybacked-RS keeps the 1.4x MDS storage and the 4-failure tolerance");
+    println!("        while cutting repair download by ~30% for data blocks.");
+    println!("  * §5: LRC also cuts repair download but is not MDS (1.6x storage here).");
+    println!("  * §3.2: faster (smaller) repairs raise the MTTDL of the piggybacked system.");
+}

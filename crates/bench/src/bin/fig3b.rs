@@ -1,0 +1,85 @@
+//! Experiment E2 — Fig. 3b: RS-coded HDFS blocks reconstructed per day and
+//! cross-rack bytes transferred for recovery per day, over 24 simulated days
+//! of the Facebook-calibrated warehouse cluster running the production
+//! RS(10, 4) code.
+
+use pbrs_bench::{f1, print_comparison, row, run_simulation, section};
+use pbrs_cluster::SimConfig;
+use pbrs_trace::report::{human_count, to_markdown_table};
+
+fn main() {
+    let paper = pbrs_bench::paper();
+    let config = SimConfig::facebook();
+    let report = run_simulation("warehouse cluster, RS(10,4)", config);
+
+    section("Fig. 3b — per-day recovery activity (RS(10, 4))");
+    let rows: Vec<Vec<String>> = report
+        .days
+        .iter()
+        .map(|d| {
+            vec![
+                d.day.to_string(),
+                d.machines_flagged.to_string(),
+                human_count(d.blocks_reconstructed),
+                format!("{:.1}", d.cross_rack_tb()),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        to_markdown_table(
+            &["day", "machines flagged", "blocks reconstructed", "cross-rack TB"],
+            &rows
+        )
+    );
+
+    let blocks = report.blocks_summary();
+    let tb = report.cross_rack_tb_summary();
+    let flagged = report.flagged_summary();
+
+    section("Paper vs. measured");
+    print_comparison(&[
+        row(
+            "median RS blocks reconstructed / day",
+            human_count(paper.median_blocks_reconstructed_per_day as u64),
+            human_count(blocks.median as u64),
+        ),
+        row(
+            "median cross-rack recovery traffic / day",
+            format!("> {} TB", paper.median_cross_rack_recovery_tb_per_day),
+            format!("{} TB", f1(tb.median)),
+        ),
+        row(
+            "median machines flagged / day",
+            format!("> {}", paper.median_unavailability_events_per_day),
+            f1(flagged.median),
+        ),
+        row(
+            "range of daily blocks (p10 - p90)",
+            "~60K - 120K",
+            format!(
+                "{} - {}",
+                human_count(blocks.p10 as u64),
+                human_count(blocks.p90 as u64)
+            ),
+        ),
+        row(
+            "range of daily cross-rack TB (p10 - p90)",
+            "~50 - 250 TB",
+            format!("{} - {} TB", f1(tb.p10), f1(tb.p90)),
+        ),
+        row(
+            "helper blocks downloaded per repaired block",
+            "10 (whole logical stripe)",
+            f1(report.average_blocks_per_repair),
+        ),
+    ]);
+
+    println!();
+    println!(
+        "totals over {} days: {} blocks reconstructed, {:.1} TB cross-rack",
+        report.days.len(),
+        human_count(report.total_blocks_reconstructed()),
+        report.cross_rack_tb_summary().mean * report.days.len() as f64,
+    );
+}

@@ -1,0 +1,56 @@
+//! Experiment E8 — §3.2 "Time taken for recovery": at multi-megabyte block
+//! sizes recovery time is governed by the total bytes read and transferred,
+//! not by the number of helper nodes contacted, so Piggybacked-RS (more
+//! helpers, fewer bytes) recovers a block *faster* than RS.
+
+use pbrs_bench::{f2, section};
+use pbrs_cluster::network::TransferModel;
+use pbrs_core::SavingsReport;
+use pbrs_trace::calibration::MB;
+use pbrs_trace::report::to_markdown_table;
+
+fn main() {
+    let model = TransferModel::cluster_default(40.0 * MB as f64);
+    let report = SavingsReport::for_params(10, 4).unwrap();
+    // A data block in a group of 3: 6.5 blocks of helper data from 11 nodes.
+    let pb_blocks = report.per_shard[5].shards_downloaded;
+    let pb_helpers = report.per_shard[5].helpers;
+
+    section("Recovery time vs. block size (RS(10,4) vs Piggybacked-RS(10,4))");
+    let mut rows = Vec::new();
+    for block_mb in [1u64, 4, 16, 64, 128, 256] {
+        let block = block_mb * MB;
+        let rs_secs = model.recovery_seconds(10 * block, 10);
+        let pb_secs = model.recovery_seconds((pb_blocks * block as f64) as u64, pb_helpers);
+        rows.push(vec![
+            format!("{block_mb} MB"),
+            f2(rs_secs),
+            f2(pb_secs),
+            f2(rs_secs / pb_secs),
+            format!("{:.2}%", 100.0 * pb_helpers as f64 * model.per_helper_setup_secs / pb_secs),
+        ]);
+    }
+    print!(
+        "{}",
+        to_markdown_table(
+            &[
+                "block size",
+                "RS recovery (s)",
+                "Piggybacked recovery (s)",
+                "speedup",
+                "helper-setup share of Piggybacked time"
+            ],
+            &rows
+        )
+    );
+
+    println!();
+    println!(
+        "At the 256 MB production block size the per-helper connection cost is well under \
+         1% of the recovery time, so contacting 11 helpers instead of 10 is irrelevant — \
+         exactly the paper's observation that \"the system is limited by the network and \
+         disk bandwidths, making the recovery time dependent only on the total amount of \
+         data read and transferred\". The ~35% fewer bytes therefore translate directly \
+         into ~1.5x faster single-block recovery and a higher MTTDL."
+    );
+}

@@ -1,0 +1,74 @@
+//! Experiment E5 — §3.1/§3.2: the (10, 4) Piggybacked-RS code saves about
+//! 30 % of the data read and downloaded for single-block recovery, while
+//! remaining MDS and supporting arbitrary parameters. Also sweeps other
+//! (k, r) choices to show the flexibility claim.
+
+use pbrs_bench::{f2, pct, print_comparison, row, section};
+use pbrs_core::{PiggybackedRs, SavingsReport};
+use pbrs_erasure::ErasureCode;
+use pbrs_trace::report::to_markdown_table;
+
+fn main() {
+    let paper = pbrs_bench::paper();
+    let report = SavingsReport::for_params(10, 4).unwrap();
+
+    section("Per-block repair cost of Piggybacked-RS(10, 4)");
+    print!("{}", report.to_table());
+
+    section("Paper vs. measured");
+    print_comparison(&[
+        row(
+            "single-failure read/download saving (average)",
+            format!("~{}%", (paper.piggyback_recovery_saving * 100.0) as u64),
+            format!(
+                "{} over data blocks, {} over all 14 blocks",
+                pct(report.average_data_saving * 100.0),
+                pct(report.average_all_saving * 100.0)
+            ),
+        ),
+        row(
+            "storage overhead",
+            format!("{}x (storage optimal)", paper.rs_storage_overhead),
+            format!("{}x (MDS preserved)", f2(PiggybackedRs::facebook().storage_overhead())),
+        ),
+        row("failures tolerated per stripe", 4, PiggybackedRs::facebook().fault_tolerance()),
+        row(
+            "blocks of helper data per data-block repair",
+            "~7 of 10",
+            f2(report.average_data_shards_downloaded()),
+        ),
+    ]);
+
+    section("Parameter sweep — the construction works for any (k, r)");
+    let mut rows = Vec::new();
+    for (k, r) in [(6usize, 3usize), (10, 4), (12, 4), (14, 10), (10, 2), (20, 5)] {
+        let sweep = SavingsReport::for_params(k, r).unwrap();
+        let code = PiggybackedRs::new(k, r).unwrap();
+        rows.push(vec![
+            format!("({k}, {r})"),
+            f2(code.storage_overhead()),
+            f2(sweep.average_data_shards_downloaded()),
+            pct(sweep.average_data_saving * 100.0),
+            pct(sweep.average_all_saving * 100.0),
+        ]);
+    }
+    print!(
+        "{}",
+        to_markdown_table(
+            &[
+                "(k, r)",
+                "storage overhead",
+                "blocks downloaded per data-block repair",
+                "saving vs RS (data blocks)",
+                "saving vs RS (all blocks)"
+            ],
+            &rows
+        )
+    );
+    println!();
+    println!(
+        "note: the paper's ~30% figure refers to single *block* recoveries, which are \
+         98% of all recoveries (§2.2); data-block repairs save 30-35% each, parity-block \
+         repairs are unchanged under this design."
+    );
+}

@@ -1,0 +1,79 @@
+//! Experiment E6 — §3.2 "Amount of download": replacing the production
+//! RS(10, 4) code with the Piggybacked-RS(10, 4) code would remove more than
+//! 50 TB of cross-rack recovery traffic per day. Reproduced by running the
+//! warehouse-cluster simulation twice on the identical failure trace (same
+//! seed), once per code, and differencing the daily cross-rack traffic.
+
+use pbrs_bench::{f1, print_comparison, row, section};
+use pbrs_cluster::sim::paired_rs_vs_piggybacked;
+use pbrs_cluster::SimConfig;
+use pbrs_trace::report::to_markdown_table;
+use pbrs_trace::stats::Summary;
+
+fn main() {
+    let paper = pbrs_bench::paper();
+    let config = SimConfig::facebook();
+    eprintln!("[pbrs-bench] running the paired RS vs Piggybacked-RS simulation (same failure trace)...");
+    let (rs, pb) = paired_rs_vs_piggybacked(config);
+
+    section("Per-day cross-rack recovery traffic: RS(10,4) vs Piggybacked-RS(10,4)");
+    let mut savings = Vec::new();
+    let mut rows = Vec::new();
+    for (a, b) in rs.days.iter().zip(pb.days.iter()) {
+        let delta = a.cross_rack_tb() - b.cross_rack_tb();
+        savings.push(delta);
+        rows.push(vec![
+            a.day.to_string(),
+            f1(a.cross_rack_tb()),
+            f1(b.cross_rack_tb()),
+            f1(delta),
+        ]);
+    }
+    print!(
+        "{}",
+        to_markdown_table(
+            &["day", "RS cross-rack TB", "Piggybacked cross-rack TB", "saved TB"],
+            &rows
+        )
+    );
+
+    let rs_tb = rs.cross_rack_tb_summary();
+    let pb_tb = pb.cross_rack_tb_summary();
+    let saved = Summary::of(&savings);
+    let relative = if rs_tb.mean > 0.0 {
+        (1.0 - pb_tb.mean / rs_tb.mean) * 100.0
+    } else {
+        0.0
+    };
+
+    section("Paper vs. measured");
+    print_comparison(&[
+        row(
+            "cross-rack recovery traffic removed per day",
+            format!("> {} TB (estimate)", paper.estimated_traffic_reduction_tb_per_day),
+            format!("{} TB median, {} TB mean", f1(saved.median), f1(saved.mean)),
+        ),
+        row(
+            "relative reduction in recovery traffic",
+            "~30% (single-block recoveries)",
+            format!("{:.1}% (all recoveries, incl. parity blocks)", relative),
+        ),
+        row(
+            "median RS cross-rack TB / day",
+            format!("> {}", paper.median_cross_rack_recovery_tb_per_day),
+            f1(rs_tb.median),
+        ),
+        row("median Piggybacked cross-rack TB / day", "-", f1(pb_tb.median)),
+    ]);
+
+    println!();
+    println!(
+        "note: the paper's >50 TB/day estimate applies the 30% data-block saving to the \
+         whole 180 TB/day; in the simulation parity-block recoveries (4 of every 14) see \
+         no saving under this design, so the measured reduction is slightly smaller but \
+         of the same order. Blocks reconstructed: RS {} vs Piggybacked {} (the piggybacked \
+         run finishes more blocks per outage because each one is cheaper).",
+        rs.total_blocks_reconstructed(),
+        pb.total_blocks_reconstructed()
+    );
+}

@@ -1,0 +1,60 @@
+//! A discrete-event simulator of the warehouse cluster studied in the paper.
+//!
+//! The paper's measurement study (its Figs. 3a/3b and §2.2 statistics) comes
+//! from Facebook's production warehouse cluster: a few thousand machines in
+//! racks behind oversubscribed top-of-rack (TOR) switches, storing >10 PB of
+//! (10, 4) RS-coded HDFS blocks whose recovery traffic the authors measured.
+//! Production traces are not available, so this crate rebuilds the machinery
+//! those measurements came from:
+//!
+//! * [`topology`] — racks, machines, TOR/aggregation switches;
+//! * [`config`] — cluster and workload parameters, with a
+//!   [`config::SimConfig::facebook`] profile calibrated to the paper;
+//! * [`failure`] — the machine-unavailability process (delegating to
+//!   `pbrs-trace`);
+//! * [`placement`] + [`stripes`] — rack-disjoint block placement and the
+//!   sampled stripe census used for the §2.2 degradation statistics;
+//! * [`recovery`] — the HDFS-RAID-style recovery pipeline: 15-minute
+//!   detection, a bounded pool of recovery slots, cancellation when machines
+//!   return, and per-block repair plans taken from the configured erasure
+//!   code;
+//! * [`network`] — cross-rack traffic accounting and the bandwidth-bound
+//!   recovery-time model of §3.2;
+//! * [`event`] — the discrete-event engine;
+//! * [`metrics`] — per-day metrics and report types;
+//! * [`reliability`] — the Markov MTTDL model backing the paper's
+//!   reliability argument;
+//! * [`sim`] — the [`sim::Simulator`] that ties everything together.
+//!
+//! # Example
+//!
+//! ```
+//! use pbrs_cluster::config::{CodeChoice, SimConfig};
+//! use pbrs_cluster::sim::Simulator;
+//!
+//! // A small cluster, one simulated week, RS(10,4) recovery.
+//! let mut config = SimConfig::small_test();
+//! config.days = 7;
+//! config.code = CodeChoice::ReedSolomon { k: 10, r: 4 };
+//! let report = Simulator::new(config).run();
+//! assert_eq!(report.days.len(), 7);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod event;
+pub mod failure;
+pub mod metrics;
+pub mod network;
+pub mod placement;
+pub mod recovery;
+pub mod reliability;
+pub mod sim;
+pub mod stripes;
+pub mod topology;
+
+pub use config::{CodeChoice, SimConfig};
+pub use metrics::{ClusterReport, DayMetrics};
+pub use sim::Simulator;

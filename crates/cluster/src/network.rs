@@ -1,0 +1,161 @@
+//! Network traffic accounting and the bandwidth-bound recovery-time model.
+//!
+//! Two observations from the paper shape this module:
+//!
+//! * §2.1/§2.2 — because every block of a stripe lives on a different rack,
+//!   every helper byte of a recovery crosses the TOR switches. The
+//!   [`TrafficAccountant`] therefore attributes all recovery reads to the
+//!   cross-rack counter of the day they complete in.
+//! * §3.2 ("Time taken for recovery") — "At the scale of multiple megabytes,
+//!   the system is limited by the network and disk bandwidths, making the
+//!   recovery time dependent only on the total amount of data read and
+//!   transferred." The [`TransferModel`] encodes exactly that: recovery time
+//!   is `bytes / bandwidth` plus a small per-helper connection setup cost,
+//!   so contacting more helpers (as Piggybacked-RS does) barely matters
+//!   while moving fewer bytes does.
+
+/// Per-day traffic counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DayTraffic {
+    /// Bytes that crossed the TOR/aggregation switches.
+    pub cross_rack_bytes: u64,
+    /// Bytes served within a rack (zero under rack-disjoint placement, kept
+    /// for completeness and for replication experiments with rack-local
+    /// copies).
+    pub intra_rack_bytes: u64,
+    /// Bytes read from helper disks.
+    pub disk_bytes_read: u64,
+}
+
+/// Accumulates traffic per simulated day.
+#[derive(Debug, Clone, Default)]
+pub struct TrafficAccountant {
+    days: Vec<DayTraffic>,
+}
+
+impl TrafficAccountant {
+    /// Creates an accountant covering `days` days.
+    pub fn new(days: usize) -> Self {
+        TrafficAccountant {
+            days: vec![DayTraffic::default(); days],
+        }
+    }
+
+    /// Records a cross-rack transfer of `bytes` on `day` (clamped to the last
+    /// tracked day so late-finishing recoveries are not lost).
+    pub fn record_cross_rack(&mut self, day: usize, bytes: u64) {
+        let idx = day.min(self.days.len().saturating_sub(1));
+        if let Some(d) = self.days.get_mut(idx) {
+            d.cross_rack_bytes += bytes;
+            d.disk_bytes_read += bytes;
+        }
+    }
+
+    /// Records an intra-rack transfer of `bytes` on `day`.
+    pub fn record_intra_rack(&mut self, day: usize, bytes: u64) {
+        let idx = day.min(self.days.len().saturating_sub(1));
+        if let Some(d) = self.days.get_mut(idx) {
+            d.intra_rack_bytes += bytes;
+            d.disk_bytes_read += bytes;
+        }
+    }
+
+    /// The per-day counters.
+    pub fn days(&self) -> &[DayTraffic] {
+        &self.days
+    }
+
+    /// Total cross-rack bytes over the whole run.
+    pub fn total_cross_rack_bytes(&self) -> u64 {
+        self.days.iter().map(|d| d.cross_rack_bytes).sum()
+    }
+}
+
+/// The bandwidth-bound transfer/recovery-time model of §3.2.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransferModel {
+    /// Sustained read+transfer bandwidth available to one recovery task, in
+    /// bytes per second (disk and network are the joint bottleneck).
+    pub bandwidth_bytes_per_sec: f64,
+    /// Fixed cost of opening a connection to one helper, in seconds.
+    pub per_helper_setup_secs: f64,
+}
+
+impl TransferModel {
+    /// The defaults used by the simulator: 40 MB/s per recovery task and
+    /// 20 ms per helper connection.
+    pub fn cluster_default(bandwidth_bytes_per_sec: f64) -> Self {
+        TransferModel {
+            bandwidth_bytes_per_sec,
+            per_helper_setup_secs: 0.02,
+        }
+    }
+
+    /// Time (seconds) to recover one block given the helper bytes to read
+    /// and the number of helpers contacted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bandwidth is not positive.
+    pub fn recovery_seconds(&self, bytes: u64, helpers: usize) -> f64 {
+        assert!(self.bandwidth_bytes_per_sec > 0.0, "bandwidth must be positive");
+        bytes as f64 / self.bandwidth_bytes_per_sec + helpers as f64 * self.per_helper_setup_secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accountant_attributes_bytes_to_days() {
+        let mut t = TrafficAccountant::new(3);
+        t.record_cross_rack(0, 100);
+        t.record_cross_rack(1, 200);
+        t.record_intra_rack(1, 50);
+        // Day beyond the horizon is clamped to the last day.
+        t.record_cross_rack(9, 7);
+        assert_eq!(t.days()[0].cross_rack_bytes, 100);
+        assert_eq!(t.days()[1].cross_rack_bytes, 200);
+        assert_eq!(t.days()[1].intra_rack_bytes, 50);
+        assert_eq!(t.days()[1].disk_bytes_read, 250);
+        assert_eq!(t.days()[2].cross_rack_bytes, 7);
+        assert_eq!(t.total_cross_rack_bytes(), 307);
+    }
+
+    #[test]
+    fn empty_accountant_is_harmless() {
+        let mut t = TrafficAccountant::new(0);
+        t.record_cross_rack(0, 10);
+        assert_eq!(t.total_cross_rack_bytes(), 0);
+    }
+
+    #[test]
+    fn recovery_time_is_dominated_by_bytes_not_helpers() {
+        // The §3.2 argument: at multi-MB scale, contacting 13 helpers instead
+        // of 10 is negligible next to moving 30% fewer bytes.
+        let model = TransferModel::cluster_default(40.0 * 1024.0 * 1024.0);
+        let block = 256u64 * 1024 * 1024;
+        let rs_time = model.recovery_seconds(10 * block, 10);
+        let pb_time = model.recovery_seconds((6.5 * block as f64) as u64, 11);
+        assert!(pb_time < rs_time);
+        assert!((rs_time / pb_time) > 1.4, "rs {rs_time} pb {pb_time}");
+        // Helper setup is a tiny fraction of the total.
+        let setup = 11.0 * model.per_helper_setup_secs;
+        assert!(setup / pb_time < 0.01);
+    }
+
+    #[test]
+    fn recovery_time_scales_linearly_with_bytes() {
+        let model = TransferModel::cluster_default(100.0);
+        let t1 = model.recovery_seconds(1000, 0);
+        let t2 = model.recovery_seconds(2000, 0);
+        assert!((t2 - 2.0 * t1).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_panics() {
+        TransferModel::cluster_default(0.0).recovery_seconds(1, 1);
+    }
+}

@@ -1,0 +1,139 @@
+//! The paper's toy example (Fig. 4 / Example 1).
+//!
+//! Two data units `{a1, a2}` and `{b1, b2}` are encoded with a `(k = 2,
+//! r = 2)` RS code, and `a1` is added onto the second parity of the second
+//! substripe. Node 1 can then be recovered by downloading `b2`, `(b1 + b2)`
+//! and `(b1 + 2·b2 + a1)` — three bytes instead of the four an RS code would
+//! need — while the code still tolerates any two node failures and uses no
+//! extra storage.
+
+use pbrs_erasure::{CodeError, CodeParams};
+
+use crate::code::PiggybackedRs;
+use crate::design::PiggybackDesign;
+
+/// Builds the `(2, 2)` piggybacked code of the paper's Example 1: only the
+/// first data shard is piggybacked, onto the second parity.
+///
+/// # Panics
+///
+/// Never panics; the construction is statically valid.
+pub fn toy_example() -> PiggybackedRs {
+    try_toy_example().expect("the paper's toy example parameters are always valid")
+}
+
+/// Fallible variant of [`toy_example`] for callers that prefer a `Result`.
+///
+/// # Errors
+///
+/// Never fails in practice; present for API symmetry.
+pub fn try_toy_example() -> Result<PiggybackedRs, CodeError> {
+    let params = CodeParams::new(2, 2)?;
+    let design = PiggybackDesign::from_groups(params, vec![vec![0]])?;
+    PiggybackedRs::with_design(design)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbrs_erasure::{ErasureCode, Fraction};
+
+    /// Encode exactly the stripe drawn in Fig. 4 of the paper, with one byte
+    /// per substripe symbol, and check the stored symbols and the 3-byte
+    /// recovery of node 1.
+    #[test]
+    fn figure_4_recovery_downloads_three_bytes_instead_of_four() {
+        let code = toy_example();
+        // One byte per substripe symbol -> each shard is [a_i, b_i].
+        let a = [17u8, 203u8];
+        let b = [99u8, 45u8];
+        let data = vec![vec![a[0], b[0]], vec![a[1], b[1]]];
+        let parity = code.encode(&data).unwrap();
+        assert_eq!(parity.len(), 2);
+
+        // The inner RS code is systematic with some parity coefficients
+        // f_1, f_2; what matters for the example is the structure:
+        // parity 0 = (f_1(a), f_1(b)) untouched, parity 1 = (f_2(a), f_2(b)+a1).
+        let rs = code.inner_rs();
+        let f = |row: &[u8], x: &[u8; 2]| -> u8 {
+            pbrs_gf::tables::mul(row[0], x[0]) ^ pbrs_gf::tables::mul(row[1], x[1])
+        };
+        let p1 = rs.parity_row(0).to_vec();
+        let p2 = rs.parity_row(1).to_vec();
+        assert_eq!(parity[0], vec![f(&p1, &a), f(&p1, &b)]);
+        assert_eq!(parity[1], vec![f(&p2, &a), f(&p2, &b) ^ a[0]]);
+
+        // Recover node 1 (shard 0): the repair plan downloads 3 bytes —
+        // b2 from node 2, the clean parity's b-half, and the piggybacked
+        // parity's b-half.
+        let mut shards: Vec<Option<Vec<u8>>> = data
+            .iter()
+            .chain(parity.iter())
+            .cloned()
+            .map(Some)
+            .collect();
+        shards[0] = None;
+        let plan = code.repair_plan(0, &[false, true, true, true]).unwrap();
+        assert_eq!(plan.helper_count(), 3);
+        assert!(plan.fetches.iter().all(|f| f.fraction == Fraction::HALF));
+        assert_eq!(plan.bytes_read(2), 3, "3 bytes instead of 4");
+
+        let outcome = code.repair(0, &shards).unwrap();
+        assert_eq!(outcome.shard, data[0]);
+        assert_eq!(outcome.metrics.bytes_transferred, 3);
+
+        // The second data node is not piggybacked, so its recovery costs the
+        // full 4 bytes, exactly as under RS.
+        let mut shards2: Vec<Option<Vec<u8>>> = data
+            .iter()
+            .chain(parity.iter())
+            .cloned()
+            .map(Some)
+            .collect();
+        shards2[1] = None;
+        let outcome2 = code.repair(1, &shards2).unwrap();
+        assert_eq!(outcome2.shard, data[1]);
+        assert_eq!(outcome2.metrics.bytes_transferred, 4);
+    }
+
+    /// "One can easily verify that this code can tolerate the failure of any
+    /// 2 of the 4 nodes" — verify it exhaustively.
+    #[test]
+    fn tolerates_any_two_of_four_failures() {
+        let code = toy_example();
+        let data = vec![vec![1u8, 2], vec![3u8, 4]];
+        let parity = code.encode(&data).unwrap();
+        let all: Vec<Vec<u8>> = data.iter().chain(parity.iter()).cloned().collect();
+        for i in 0..4 {
+            for j in 0..4 {
+                let mut shards: Vec<Option<Vec<u8>>> = all.iter().cloned().map(Some).collect();
+                shards[i] = None;
+                shards[j] = None;
+                code.reconstruct(&mut shards).unwrap();
+                for (idx, s) in shards.iter().enumerate() {
+                    assert_eq!(s.as_ref().unwrap(), &all[idx], "failures ({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn no_additional_storage_is_used() {
+        let code = toy_example();
+        let rs = pbrs_erasure::ReedSolomon::new(2, 2).unwrap();
+        assert_eq!(code.storage_overhead(), rs.storage_overhead());
+        let data = vec![vec![5u8, 6], vec![7u8, 8]];
+        let pb_parity = code.encode(&data).unwrap();
+        // Same number of parity shards, same shard sizes.
+        assert_eq!(pb_parity.len(), 2);
+        assert!(pb_parity.iter().all(|p| p.len() == 2));
+    }
+
+    #[test]
+    fn fallible_constructor_matches() {
+        let a = toy_example();
+        let b = try_toy_example().unwrap();
+        assert_eq!(a.design(), b.design());
+        assert_eq!(a.params(), b.params());
+    }
+}

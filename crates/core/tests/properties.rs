@@ -1,0 +1,209 @@
+//! Property-based tests for the Piggybacked-RS code: the MDS property, the
+//! equivalence of efficient repair and full decode, and the cost model.
+
+use pbrs_core::{PiggybackDesign, PiggybackedRs, SavingsReport};
+use pbrs_erasure::{CodeParams, ErasureCode, ReedSolomon, Stripe};
+use proptest::prelude::*;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+fn random_data(rng: &mut StdRng, k: usize, len: usize) -> Vec<Vec<u8>> {
+    (0..k)
+        .map(|_| (0..len).map(|_| rng.random()).collect())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// MDS: any pattern of up to r erasures is recoverable bit-exactly.
+    #[test]
+    fn piggybacked_rs_is_mds(
+        k in 2usize..12,
+        r in 1usize..6,
+        len in 1usize..32,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let code = PiggybackedRs::new(k, r).unwrap();
+        let data = random_data(&mut rng, k, len * 2);
+        let mut stripe = Stripe::from_encoding(&code, &data).unwrap();
+        let original = stripe.clone().into_shards().unwrap();
+        let erase = rng.random_range(0..=r);
+        let mut indices: Vec<usize> = (0..k + r).collect();
+        indices.shuffle(&mut rng);
+        for &i in indices.iter().take(erase) {
+            stripe.erase(i);
+        }
+        stripe.reconstruct(&code).unwrap();
+        prop_assert_eq!(stripe.into_shards().unwrap(), original);
+    }
+
+    /// More than r erasures must be rejected.
+    #[test]
+    fn piggybacked_rs_rejects_excess_erasures(
+        k in 2usize..10,
+        r in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let code = PiggybackedRs::new(k, r).unwrap();
+        let data = random_data(&mut rng, k, 8);
+        let mut stripe = Stripe::from_encoding(&code, &data).unwrap();
+        let mut indices: Vec<usize> = (0..k + r).collect();
+        indices.shuffle(&mut rng);
+        for &i in indices.iter().take(r + 1) {
+            stripe.erase(i);
+        }
+        prop_assert!(stripe.reconstruct(&code).is_err());
+    }
+
+    /// Single-shard repair (efficient or fallback) always reproduces the
+    /// exact shard and never costs more than the RS baseline.
+    #[test]
+    fn single_repair_is_exact_and_never_worse_than_rs(
+        k in 2usize..12,
+        r in 1usize..6,
+        len in 1usize..32,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let code = PiggybackedRs::new(k, r).unwrap();
+        let data = random_data(&mut rng, k, len * 2);
+        let stripe = Stripe::from_encoding(&code, &data).unwrap();
+        let all = stripe.clone().into_shards().unwrap();
+        let target = rng.random_range(0..k + r);
+        let mut degraded = stripe;
+        degraded.erase(target);
+        let outcome = code.repair(target, degraded.as_slice()).unwrap();
+        prop_assert_eq!(&outcome.shard, &all[target]);
+        prop_assert!(outcome.metrics.bytes_transferred <= (k * len * 2) as u64);
+        // And the plan's accounting matches the executed metrics.
+        let plan = code.repair_plan(target, &degraded.availability()).unwrap();
+        prop_assert_eq!(outcome.metrics.bytes_transferred, plan.bytes_read(len * 2));
+        prop_assert_eq!(outcome.metrics.helpers, plan.helper_count());
+    }
+
+    /// The efficient repair path and a full-stripe decode agree on the
+    /// rebuilt shard for every piggybacked data shard.
+    #[test]
+    fn efficient_repair_agrees_with_full_decode(
+        k in 2usize..12,
+        r in 2usize..6,
+        len in 1usize..24,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let code = PiggybackedRs::new(k, r).unwrap();
+        let data = random_data(&mut rng, k, len * 2);
+        let stripe = Stripe::from_encoding(&code, &data).unwrap();
+        let target = rng.random_range(0..k);
+        let mut degraded = stripe.clone();
+        degraded.erase(target);
+        prop_assume!(code.efficient_repair_available(target, &degraded.availability()));
+        let outcome = code.repair(target, degraded.as_slice()).unwrap();
+
+        let mut full = degraded.clone();
+        full.reconstruct(&code).unwrap();
+        prop_assert_eq!(full.shard(target).unwrap(), &outcome.shard[..]);
+    }
+
+    /// Parity shard 0 of the piggybacked code always equals the plain RS
+    /// parity over the two substripes (it must stay clean for repairs).
+    #[test]
+    fn clean_parity_matches_plain_rs(
+        k in 2usize..10,
+        r in 1usize..5,
+        len in 1usize..16,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let code = PiggybackedRs::new(k, r).unwrap();
+        let rs = ReedSolomon::new(k, r).unwrap();
+        let data = random_data(&mut rng, k, len * 2);
+        let pb_parity = code.encode(&data).unwrap();
+        let a: Vec<Vec<u8>> = data.iter().map(|d| d[..len].to_vec()).collect();
+        let b: Vec<Vec<u8>> = data.iter().map(|d| d[len..].to_vec()).collect();
+        let pa = rs.encode(&a).unwrap();
+        let pb = rs.encode(&b).unwrap();
+        prop_assert_eq!(&pb_parity[0][..len], &pa[0][..]);
+        prop_assert_eq!(&pb_parity[0][len..], &pb[0][..]);
+        // Every parity's a-half is the plain RS parity (piggybacks only touch
+        // the b-half).
+        for j in 0..r {
+            prop_assert_eq!(&pb_parity[j][..len], &pa[j][..]);
+        }
+    }
+
+    /// The analytical savings report agrees with the executed repair cost for
+    /// every shard of a random (k, r).
+    #[test]
+    fn savings_report_matches_executed_repairs(
+        k in 2usize..10,
+        r in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let code = PiggybackedRs::new(k, r).unwrap();
+        let report = SavingsReport::for_params(k, r).unwrap();
+        let len = 16usize;
+        let data = random_data(&mut rng, k, len);
+        let stripe = Stripe::from_encoding(&code, &data).unwrap();
+        for target in 0..k + r {
+            let mut degraded = stripe.clone();
+            degraded.erase(target);
+            let outcome = code.repair(target, degraded.as_slice()).unwrap();
+            let expected_bytes = (report.per_shard[target].shards_downloaded * len as f64).round() as u64;
+            prop_assert_eq!(outcome.metrics.bytes_transferred, expected_bytes);
+        }
+        // Savings are monotone in the sense that no shard does worse than RS.
+        for c in &report.per_shard {
+            prop_assert!(c.saving_vs_rs >= 0.0);
+            prop_assert!(c.shards_downloaded <= k as f64 + 1e-12);
+        }
+    }
+
+    /// Custom designs that cover only part of the data still give an MDS code
+    /// whose covered shards repair cheaply and uncovered shards cost k.
+    #[test]
+    fn partial_designs_are_valid_codes(
+        k in 3usize..9,
+        r in 2usize..5,
+        covered in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let params = CodeParams::new(k, r).unwrap();
+        let covered = covered.min(k);
+        // Put `covered` shards in the first group, leave the rest uncovered.
+        let mut groups = vec![Vec::new(); r - 1];
+        groups[0] = (0..covered).collect();
+        let design = PiggybackDesign::from_groups(params, groups).unwrap();
+        let code = PiggybackedRs::with_design(design).unwrap();
+
+        let data = random_data(&mut rng, k, 12);
+        let mut stripe = Stripe::from_encoding(&code, &data).unwrap();
+        let original = stripe.clone().into_shards().unwrap();
+        // MDS check on a random r-erasure pattern.
+        let mut indices: Vec<usize> = (0..k + r).collect();
+        indices.shuffle(&mut rng);
+        for &i in indices.iter().take(r) {
+            stripe.erase(i);
+        }
+        stripe.reconstruct(&code).unwrap();
+        prop_assert_eq!(stripe.into_shards().unwrap(), original);
+
+        // Cost structure.
+        for target in 0..k {
+            let mut available = vec![true; k + r];
+            available[target] = false;
+            let plan = code.repair_plan(target, &available).unwrap();
+            if target < covered {
+                let expect = (k as f64 + covered as f64) / 2.0;
+                prop_assert!((plan.total_fraction() - expect).abs() < 1e-12);
+            } else {
+                prop_assert!((plan.total_fraction() - k as f64).abs() < 1e-12);
+            }
+        }
+    }
+}

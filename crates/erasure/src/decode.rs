@@ -1,0 +1,424 @@
+//! Generic decoding of linear codes from their generator matrix.
+//!
+//! Every code in this workspace (Reed–Solomon, LRC, and each substripe of the
+//! Piggybacked-RS code) is a linear code over GF(2^8): shard `i` equals
+//! `G[i] · d`, where `d` is the vector of data symbols and `G` is an
+//! `n × k` generator matrix whose top `k × k` block is the identity.
+//!
+//! Decoding therefore reduces to: pick `k` surviving shards whose generator
+//! rows are linearly independent, invert that submatrix, recover the data,
+//! and re-encode whatever is missing. This module implements that once so
+//! that every code shares the same, well-tested path.
+
+use pbrs_gf::slice_ops;
+use pbrs_gf::Matrix;
+
+use crate::CodeError;
+
+/// Selects `k` row indices from `candidates` whose rows in `generator` are
+/// linearly independent, preferring earlier candidates.
+///
+/// Returns `None` when the candidate rows do not span the full data space
+/// (possible for non-MDS codes such as LRC under unlucky failure patterns).
+pub fn select_independent_rows(generator: &Matrix, candidates: &[usize]) -> Option<Vec<usize>> {
+    let k = generator.cols();
+    let mut selected: Vec<usize> = Vec::with_capacity(k);
+    // Maintain a row-echelon basis of the selected rows.
+    let mut basis: Vec<Vec<u8>> = Vec::with_capacity(k);
+    for &idx in candidates {
+        if selected.len() == k {
+            break;
+        }
+        let mut row = generator.row(idx).to_vec();
+        // Reduce against the existing basis.
+        for b in &basis {
+            let lead = b.iter().position(|&x| x != 0).expect("basis rows are non-zero");
+            if row[lead] != 0 {
+                let factor = pbrs_gf::tables::div(row[lead], b[lead]);
+                for (r, bv) in row.iter_mut().zip(b.iter()) {
+                    *r ^= pbrs_gf::tables::mul(factor, *bv);
+                }
+            }
+        }
+        if row.iter().any(|&x| x != 0) {
+            basis.push(row);
+            selected.push(idx);
+        }
+    }
+    if selected.len() == k {
+        Some(selected)
+    } else {
+        None
+    }
+}
+
+/// Reconstructs all missing shards of a stripe described by `generator`.
+///
+/// `shards[i]`, when present, must equal `generator.row(i) · data` applied
+/// column-wise over the shard bytes. Present shards are left untouched;
+/// missing shards are filled in.
+///
+/// # Errors
+///
+/// * [`CodeError::NotEnoughShards`] if fewer than `k` shards survive.
+/// * [`CodeError::ReconstructionFailed`] if the surviving rows do not span
+///   the data space (only possible for non-MDS generators).
+/// * [`CodeError::Matrix`] if inversion fails unexpectedly.
+pub fn reconstruct_linear(
+    generator: &Matrix,
+    shards: &mut [Option<Vec<u8>>],
+    shard_len: usize,
+) -> Result<(), CodeError> {
+    let n = generator.rows();
+    let k = generator.cols();
+    debug_assert_eq!(shards.len(), n, "caller validates shard count");
+
+    let present: Vec<usize> = (0..n).filter(|&i| shards[i].is_some()).collect();
+    if present.len() == n {
+        return Ok(());
+    }
+    if present.len() < k {
+        return Err(CodeError::NotEnoughShards {
+            needed: k,
+            available: present.len(),
+        });
+    }
+
+    // Fast path: if all k data shards survive, missing shards are parities and
+    // can be recomputed directly without a matrix inversion.
+    let all_data_present = (0..k).all(|i| shards[i].is_some());
+
+    let data_shards: Vec<Vec<u8>> = if all_data_present {
+        (0..k)
+            .map(|i| shards[i].as_ref().expect("checked present").clone())
+            .collect()
+    } else {
+        let rows = select_independent_rows(generator, &present).ok_or(
+            CodeError::ReconstructionFailed {
+                context: "surviving shards do not span the data",
+            },
+        )?;
+        let sub = generator.submatrix_rows(&rows)?;
+        let inv = sub.inverted()?;
+        // data[j] = Σ_i inv[j][i] * shards[rows[i]]
+        let selected: Vec<&[u8]> = rows
+            .iter()
+            .map(|&i| shards[i].as_deref().expect("selected rows are present"))
+            .collect();
+        (0..k)
+            .map(|j| {
+                let mut out = vec![0u8; shard_len];
+                slice_ops::linear_combination(inv.row(j), &selected, &mut out);
+                out
+            })
+            .collect()
+    };
+
+    // Re-encode every missing shard from the recovered data.
+    let data_refs: Vec<&[u8]> = data_shards.iter().map(|s| s.as_slice()).collect();
+    for i in 0..n {
+        if shards[i].is_none() {
+            let mut out = vec![0u8; shard_len];
+            slice_ops::linear_combination(generator.row(i), &data_refs, &mut out);
+            shards[i] = Some(out);
+        }
+    }
+    Ok(())
+}
+
+/// Finds coefficients `c` such that `Σ_i c[i] * rows[i] == target_row`, i.e.
+/// expresses the target shard's generator row as a linear combination of the
+/// helper shards' generator rows.
+///
+/// Returns `None` when `target_row` is not in the span of `rows`. Free
+/// variables are set to zero, so helpers that are not needed receive a zero
+/// coefficient.
+pub fn solve_combination(rows: &[&[u8]], target_row: &[u8]) -> Option<Vec<u8>> {
+    let m = rows.len();
+    let k = target_row.len();
+    if m == 0 {
+        return if target_row.iter().all(|&x| x == 0) {
+            Some(Vec::new())
+        } else {
+            None
+        };
+    }
+    debug_assert!(rows.iter().all(|r| r.len() == k));
+    // Solve A^T c = t where A^T is k×m: one equation per data symbol.
+    // Build the augmented matrix [A^T | t] and run Gauss-Jordan.
+    let mut aug = Matrix::zero(k, m + 1);
+    for (j, row) in rows.iter().enumerate() {
+        for (i, &v) in row.iter().enumerate() {
+            aug.set(i, j, v);
+        }
+    }
+    for (i, &v) in target_row.iter().enumerate() {
+        aug.set(i, m, v);
+    }
+    let mut pivot_col_of_row: Vec<Option<usize>> = vec![None; k];
+    let mut pivot_row = 0usize;
+    for col in 0..m {
+        let Some(p) = (pivot_row..k).find(|&r| aug.get(r, col) != 0) else {
+            continue;
+        };
+        aug.swap_rows(pivot_row, p);
+        let inv = pbrs_gf::tables::inverse(aug.get(pivot_row, col)).expect("pivot non-zero");
+        for c in col..=m {
+            aug.set(pivot_row, c, pbrs_gf::tables::mul(aug.get(pivot_row, c), inv));
+        }
+        for r in 0..k {
+            if r != pivot_row && aug.get(r, col) != 0 {
+                let factor = aug.get(r, col);
+                for c in col..=m {
+                    let v = aug.get(r, c) ^ pbrs_gf::tables::mul(factor, aug.get(pivot_row, c));
+                    aug.set(r, c, v);
+                }
+            }
+        }
+        pivot_col_of_row[pivot_row] = Some(col);
+        pivot_row += 1;
+        if pivot_row == k {
+            break;
+        }
+    }
+    // Consistency: any zero row with a non-zero rhs means no solution.
+    for r in 0..k {
+        let lhs_zero = (0..m).all(|c| aug.get(r, c) == 0);
+        if lhs_zero && aug.get(r, m) != 0 {
+            return None;
+        }
+    }
+    let mut coeffs = vec![0u8; m];
+    for r in 0..k {
+        if let Some(col) = pivot_col_of_row[r] {
+            coeffs[col] = aug.get(r, m);
+        }
+    }
+    // With free variables fixed at zero the pivot assignment above is only a
+    // candidate; verify it (cheap) to guard against inconsistent systems that
+    // slipped through structurally.
+    for (i, &t) in target_row.iter().enumerate() {
+        let mut acc = 0u8;
+        for (j, row) in rows.iter().enumerate() {
+            acc ^= pbrs_gf::tables::mul(coeffs[j], row[i]);
+        }
+        if acc != t {
+            return None;
+        }
+    }
+    Some(coeffs)
+}
+
+/// Rebuilds a single target shard as a linear combination of helper shards,
+/// given the code's generator matrix and the helper indices.
+///
+/// # Errors
+///
+/// Returns [`CodeError::ReconstructionFailed`] if the helpers do not span the
+/// target shard's row.
+pub fn repair_by_combination(
+    generator: &Matrix,
+    target: usize,
+    helpers: &[usize],
+    shards: &[Option<Vec<u8>>],
+    shard_len: usize,
+) -> Result<Vec<u8>, CodeError> {
+    let rows: Vec<&[u8]> = helpers.iter().map(|&i| generator.row(i)).collect();
+    let coeffs = solve_combination(&rows, generator.row(target)).ok_or(
+        CodeError::ReconstructionFailed {
+            context: "helper shards do not span the target shard",
+        },
+    )?;
+    let helper_shards: Vec<&[u8]> = helpers
+        .iter()
+        .map(|&i| {
+            shards[i]
+                .as_deref()
+                .ok_or(CodeError::ReconstructionFailed {
+                    context: "a helper shard named by the plan is missing",
+                })
+        })
+        .collect::<Result<_, _>>()?;
+    let mut out = vec![0u8; shard_len];
+    slice_ops::linear_combination(&coeffs, &helper_shards, &mut out);
+    Ok(out)
+}
+
+/// Recovers only the `k` data shards (without re-encoding parity) and returns
+/// them, leaving `shards` untouched.
+///
+/// # Errors
+///
+/// Same failure modes as [`reconstruct_linear`].
+pub fn decode_data_linear(
+    generator: &Matrix,
+    shards: &[Option<Vec<u8>>],
+    shard_len: usize,
+) -> Result<Vec<Vec<u8>>, CodeError> {
+    let mut working: Vec<Option<Vec<u8>>> = shards.to_vec();
+    reconstruct_linear(generator, &mut working, shard_len)?;
+    Ok(working
+        .into_iter()
+        .take(generator.cols())
+        .map(|s| s.expect("reconstruct fills all shards"))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbrs_gf::Matrix;
+
+    /// Builds the systematic generator used by the RS code for testing the
+    /// generic machinery in isolation.
+    fn systematic_generator(k: usize, r: usize) -> Matrix {
+        let v = Matrix::vandermonde(k + r, k);
+        let top = v.submatrix(0, 0, k, k).unwrap();
+        let inv = top.inverted().unwrap();
+        v.multiply(&inv).unwrap()
+    }
+
+    fn encode_with(generator: &Matrix, data: &[Vec<u8>]) -> Vec<Vec<u8>> {
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        (0..generator.rows())
+            .map(|i| {
+                let mut out = vec![0u8; data[0].len()];
+                pbrs_gf::slice_ops::linear_combination(generator.row(i), &refs, &mut out);
+                out
+            })
+            .collect()
+    }
+
+    #[test]
+    fn select_rows_prefers_earlier_candidates() {
+        let g = systematic_generator(4, 2);
+        let rows = select_independent_rows(&g, &[0, 1, 2, 3, 4, 5]).unwrap();
+        assert_eq!(rows, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn select_rows_skips_dependent_rows() {
+        // Duplicate a row in a custom generator: the duplicate must be skipped.
+        let mut g = systematic_generator(3, 2);
+        let dup = g.row(3).to_vec();
+        for (c, v) in dup.iter().enumerate() {
+            g.set(4, c, *v);
+        }
+        let rows = select_independent_rows(&g, &[3, 4, 0, 1, 2]).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert!(rows.contains(&3));
+        assert!(!rows.contains(&4), "the duplicated row must be skipped");
+    }
+
+    #[test]
+    fn select_rows_fails_when_span_insufficient() {
+        let g = systematic_generator(4, 2);
+        assert!(select_independent_rows(&g, &[0, 1, 2]).is_none());
+    }
+
+    #[test]
+    fn reconstruct_round_trip_all_patterns() {
+        let k = 4;
+        let r = 3;
+        let g = systematic_generator(k, r);
+        let data: Vec<Vec<u8>> = (0..k).map(|i| vec![(i * 17 + 1) as u8; 32]).collect();
+        let all = encode_with(&g, &data);
+
+        // Erase every possible subset of up to r shards (exhaustive for n=7).
+        let n = k + r;
+        for mask in 0u32..(1 << n) {
+            if mask.count_ones() as usize > r {
+                continue;
+            }
+            let mut shards: Vec<Option<Vec<u8>>> = all.iter().cloned().map(Some).collect();
+            for i in 0..n {
+                if mask & (1 << i) != 0 {
+                    shards[i] = None;
+                }
+            }
+            reconstruct_linear(&g, &mut shards, 32).unwrap();
+            for i in 0..n {
+                assert_eq!(shards[i].as_ref().unwrap(), &all[i], "mask {mask:#b}, shard {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn reconstruct_too_many_missing() {
+        let g = systematic_generator(4, 2);
+        let data: Vec<Vec<u8>> = (0..4).map(|i| vec![i as u8; 8]).collect();
+        let all = encode_with(&g, &data);
+        let mut shards: Vec<Option<Vec<u8>>> = all.into_iter().map(Some).collect();
+        shards[0] = None;
+        shards[1] = None;
+        shards[2] = None;
+        assert!(matches!(
+            reconstruct_linear(&g, &mut shards, 8),
+            Err(CodeError::NotEnoughShards { needed: 4, available: 3 })
+        ));
+    }
+
+    #[test]
+    fn solve_combination_expresses_parity_from_data() {
+        let g = systematic_generator(4, 2);
+        // Parity row 4 is a combination of the four identity rows with its own
+        // coefficients.
+        let rows: Vec<&[u8]> = (0..4).map(|i| g.row(i)).collect();
+        let coeffs = solve_combination(&rows, g.row(4)).unwrap();
+        assert_eq!(coeffs, g.row(4).to_vec());
+    }
+
+    #[test]
+    fn solve_combination_detects_unreachable_target() {
+        let g = systematic_generator(4, 2);
+        // Rows 0..3 cannot produce row 3 alone from rows 0..2.
+        let rows: Vec<&[u8]> = (0..3).map(|i| g.row(i)).collect();
+        assert!(solve_combination(&rows, g.row(3)).is_none());
+        // Empty helper set can only produce the zero row.
+        assert!(solve_combination(&[], g.row(0)).is_none());
+        assert_eq!(solve_combination(&[], &[0, 0, 0, 0]), Some(Vec::new()));
+    }
+
+    #[test]
+    fn repair_by_combination_rebuilds_any_single_shard() {
+        let k = 5;
+        let r = 3;
+        let g = systematic_generator(k, r);
+        let data: Vec<Vec<u8>> = (0..k).map(|i| vec![(i * 11 + 3) as u8; 24]).collect();
+        let all = encode_with(&g, &data);
+        for target in 0..k + r {
+            let mut shards: Vec<Option<Vec<u8>>> = all.iter().cloned().map(Some).collect();
+            shards[target] = None;
+            let helpers: Vec<usize> = (0..k + r).filter(|&i| i != target).take(k).collect();
+            let rebuilt = repair_by_combination(&g, target, &helpers, &shards, 24).unwrap();
+            assert_eq!(rebuilt, all[target]);
+        }
+    }
+
+    #[test]
+    fn repair_by_combination_rejects_missing_helper() {
+        let g = systematic_generator(3, 2);
+        let data: Vec<Vec<u8>> = (0..3).map(|i| vec![i as u8; 8]).collect();
+        let all = encode_with(&g, &data);
+        let mut shards: Vec<Option<Vec<u8>>> = all.iter().cloned().map(Some).collect();
+        shards[0] = None;
+        shards[1] = None;
+        assert!(matches!(
+            repair_by_combination(&g, 0, &[1, 2, 3], &shards, 8),
+            Err(CodeError::ReconstructionFailed { .. })
+        ));
+    }
+
+    #[test]
+    fn decode_data_does_not_mutate_input() {
+        let g = systematic_generator(3, 2);
+        let data: Vec<Vec<u8>> = (0..3).map(|i| vec![i as u8 + 9; 16]).collect();
+        let all = encode_with(&g, &data);
+        let mut shards: Vec<Option<Vec<u8>>> = all.into_iter().map(Some).collect();
+        shards[1] = None;
+        let before = shards.clone();
+        let decoded = decode_data_linear(&g, &shards, 16).unwrap();
+        assert_eq!(decoded, data);
+        assert_eq!(shards, before);
+    }
+}

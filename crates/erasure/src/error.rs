@@ -1,0 +1,176 @@
+//! Error types shared by all erasure codes in this workspace.
+
+use core::fmt;
+
+use pbrs_gf::matrix::MatrixError;
+
+/// Errors returned by erasure-code construction, encoding, decoding and
+/// repair-plan computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodeError {
+    /// The requested `(k, r)` (or LRC) parameters are unsupported.
+    InvalidParams {
+        /// Explanation of the constraint that was violated.
+        reason: String,
+    },
+    /// The caller supplied the wrong number of shards.
+    ShardCountMismatch {
+        /// Shards the operation expected.
+        expected: usize,
+        /// Shards the caller supplied.
+        actual: usize,
+    },
+    /// Shards within one stripe have differing lengths.
+    ShardSizeMismatch {
+        /// Length of the first shard seen.
+        expected: usize,
+        /// Length of the offending shard.
+        actual: usize,
+    },
+    /// A shard length is not a multiple of the code's granularity.
+    UnalignedShard {
+        /// The offending length.
+        len: usize,
+        /// The required granularity in bytes.
+        granularity: usize,
+    },
+    /// Not enough shards survive to decode or repair.
+    NotEnoughShards {
+        /// Minimum shards needed.
+        needed: usize,
+        /// Shards actually available.
+        available: usize,
+    },
+    /// A shard index is out of range for this code.
+    InvalidShardIndex {
+        /// The offending index.
+        index: usize,
+        /// Number of shards in a stripe.
+        total: usize,
+    },
+    /// A repair was requested for a shard that is still available.
+    TargetNotMissing {
+        /// The shard index that is not actually missing.
+        index: usize,
+    },
+    /// The surviving shards do not span the data (only possible for non-MDS
+    /// codes such as LRC, or corrupted inputs).
+    ReconstructionFailed {
+        /// Explanation of what could not be recovered.
+        context: &'static str,
+    },
+    /// An underlying matrix operation failed.
+    Matrix(MatrixError),
+}
+
+impl fmt::Display for CodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodeError::InvalidParams { reason } => write!(f, "invalid code parameters: {reason}"),
+            CodeError::ShardCountMismatch { expected, actual } => {
+                write!(f, "expected {expected} shards, got {actual}")
+            }
+            CodeError::ShardSizeMismatch { expected, actual } => {
+                write!(f, "shard length {actual} differs from expected {expected}")
+            }
+            CodeError::UnalignedShard { len, granularity } => {
+                write!(f, "shard length {len} is not a multiple of {granularity}")
+            }
+            CodeError::NotEnoughShards { needed, available } => {
+                write!(f, "need at least {needed} shards, only {available} available")
+            }
+            CodeError::InvalidShardIndex { index, total } => {
+                write!(f, "shard index {index} out of range for {total} shards")
+            }
+            CodeError::TargetNotMissing { index } => {
+                write!(f, "shard {index} is not missing; nothing to repair")
+            }
+            CodeError::ReconstructionFailed { context } => {
+                write!(f, "reconstruction failed: {context}")
+            }
+            CodeError::Matrix(e) => write!(f, "matrix error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CodeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CodeError::Matrix(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MatrixError> for CodeError {
+    fn from(e: MatrixError) -> Self {
+        CodeError::Matrix(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let cases: Vec<(CodeError, &str)> = vec![
+            (
+                CodeError::InvalidParams {
+                    reason: "k must be positive".into(),
+                },
+                "invalid code parameters",
+            ),
+            (
+                CodeError::ShardCountMismatch {
+                    expected: 14,
+                    actual: 3,
+                },
+                "expected 14 shards",
+            ),
+            (
+                CodeError::ShardSizeMismatch {
+                    expected: 8,
+                    actual: 9,
+                },
+                "differs from expected 8",
+            ),
+            (
+                CodeError::UnalignedShard {
+                    len: 7,
+                    granularity: 2,
+                },
+                "not a multiple of 2",
+            ),
+            (
+                CodeError::NotEnoughShards {
+                    needed: 10,
+                    available: 9,
+                },
+                "need at least 10",
+            ),
+            (
+                CodeError::InvalidShardIndex { index: 20, total: 14 },
+                "out of range",
+            ),
+            (CodeError::TargetNotMissing { index: 1 }, "not missing"),
+            (
+                CodeError::ReconstructionFailed { context: "rank too low" },
+                "rank too low",
+            ),
+        ];
+        for (err, fragment) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(fragment), "{msg:?} should contain {fragment:?}");
+            assert!(msg.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn matrix_error_is_wrapped_with_source() {
+        let err: CodeError = MatrixError::Singular.into();
+        assert!(err.to_string().contains("singular"));
+        assert!(err.source().is_some());
+    }
+}

@@ -1,0 +1,280 @@
+//! Erasure-code abstractions and baseline codes.
+//!
+//! This crate defines the [`ErasureCode`] trait used throughout the
+//! Piggybacked-RS reproduction, together with the three baseline codes the
+//! paper compares against or builds upon:
+//!
+//! * [`ReedSolomon`] — the systematic, MDS `(k, r)` Reed–Solomon code used by
+//!   the Facebook warehouse cluster (`k = 10, r = 4` in production);
+//! * [`Replication`] — n-way replication (the cluster's default `3×` scheme);
+//! * [`Lrc`] — an Azure-style Local Reconstruction Code, discussed in the
+//!   paper's related-work section as the non-MDS alternative.
+//!
+//! The Piggybacked-RS code itself lives in the `pbrs-core` crate and is
+//! implemented on top of the [`ReedSolomon`] encoder defined here.
+//!
+//! # Recovery cost model
+//!
+//! The paper's measurements are about *how many bytes cross the racks* when a
+//! block is recovered, so every code exposes not only byte-level
+//! encode / decode / repair but also a [`RepairPlan`]: the exact set of helper
+//! shards and the fraction of each shard that must be read and transferred to
+//! rebuild a target shard. The warehouse-cluster simulator in `pbrs-cluster`
+//! turns those plans into cross-rack traffic without moving real bytes.
+//!
+//! # Example
+//!
+//! ```
+//! use pbrs_erasure::{ErasureCode, ReedSolomon};
+//!
+//! # fn main() -> Result<(), pbrs_erasure::CodeError> {
+//! let rs = ReedSolomon::new(10, 4)?;
+//! let data: Vec<Vec<u8>> = (0..10).map(|i| vec![i as u8; 64]).collect();
+//! let parity = rs.encode(&data)?;
+//!
+//! // Lose three shards and reconstruct them.
+//! let mut shards: Vec<Option<Vec<u8>>> =
+//!     data.iter().chain(parity.iter()).cloned().map(Some).collect();
+//! shards[0] = None;
+//! shards[5] = None;
+//! shards[12] = None;
+//! rs.reconstruct(&mut shards)?;
+//! assert_eq!(shards[0].as_deref(), Some(&data[0][..]));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod decode;
+pub mod error;
+pub mod lrc;
+pub mod params;
+pub mod reed_solomon;
+pub mod repair;
+pub mod replication;
+pub mod stripe;
+
+pub use error::CodeError;
+pub use lrc::{Lrc, LrcParams};
+pub use params::CodeParams;
+pub use reed_solomon::ReedSolomon;
+pub use repair::{FetchRequest, Fraction, RepairMetrics, RepairOutcome, RepairPlan};
+pub use replication::Replication;
+pub use stripe::{join_shards, split_into_shards, Stripe};
+
+/// A `(k, r)` erasure code over byte shards.
+///
+/// Implementations encode `k` equally sized data shards into `r` parity
+/// shards and can rebuild missing shards from any sufficiently large subset
+/// of the survivors. All shards of a stripe have the same length, which must
+/// be a multiple of [`ErasureCode::granularity`].
+pub trait ErasureCode {
+    /// The `(k, r)` parameters of the code.
+    fn params(&self) -> CodeParams;
+
+    /// A human-readable name used in reports and benchmark output.
+    fn name(&self) -> String;
+
+    /// Shard lengths must be a multiple of this many bytes.
+    ///
+    /// Plain Reed–Solomon operates byte-by-byte (granularity 1); the
+    /// Piggybacked-RS code couples two byte-level stripes and therefore
+    /// requires even shard lengths (granularity 2).
+    fn granularity(&self) -> usize {
+        1
+    }
+
+    /// Encodes `k` data shards into `r` parity shards.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the number of data shards is not `k`, if the
+    /// shards have differing lengths, or if the length is not a multiple of
+    /// [`ErasureCode::granularity`].
+    fn encode(&self, data: &[Vec<u8>]) -> Result<Vec<Vec<u8>>, CodeError>;
+
+    /// Rebuilds every missing shard in `shards` in place.
+    ///
+    /// `shards` must have exactly `k + r` entries ordered data-first. Present
+    /// shards are never modified.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if too many shards are missing for this code, or if
+    /// present shards have inconsistent lengths.
+    fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), CodeError>;
+
+    /// Computes the cheapest supported plan for rebuilding shard `target`
+    /// given the availability mask `available` (length `k + r`).
+    ///
+    /// The default plan downloads `k` whole surviving shards, which is the
+    /// Reed–Solomon behaviour the paper measures in production.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `target` is out of range, if `target` is marked
+    /// available, or if too few shards survive.
+    fn repair_plan(&self, target: usize, available: &[bool]) -> Result<RepairPlan, CodeError> {
+        default_repair_plan(self.params(), target, available)
+    }
+
+    /// Rebuilds a single shard, returning the rebuilt bytes together with the
+    /// read/transfer accounting of the plan that was executed.
+    ///
+    /// The default implementation executes [`ErasureCode::repair_plan`] by
+    /// falling back to full reconstruction, which matches the default plan's
+    /// cost accounting.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`ErasureCode::reconstruct`] plus an invalid
+    /// `target` index.
+    fn repair(&self, target: usize, shards: &[Option<Vec<u8>>]) -> Result<RepairOutcome, CodeError> {
+        let params = self.params();
+        if target >= params.total_shards() {
+            return Err(CodeError::InvalidShardIndex {
+                index: target,
+                total: params.total_shards(),
+            });
+        }
+        let available: Vec<bool> = shards.iter().map(|s| s.is_some()).collect();
+        let plan = self.repair_plan(target, &available)?;
+        let shard_len = shards
+            .iter()
+            .flatten()
+            .map(|s| s.len())
+            .next()
+            .ok_or(CodeError::NotEnoughShards {
+                needed: params.data_shards(),
+                available: 0,
+            })?;
+        // Execute the plan by masking out everything the plan does not read,
+        // so the default path costs exactly what the plan claims.
+        let mut working: Vec<Option<Vec<u8>>> = vec![None; shards.len()];
+        for fetch in &plan.fetches {
+            working[fetch.shard] = shards[fetch.shard].clone();
+        }
+        self.reconstruct(&mut working)?;
+        let shard = working[target]
+            .take()
+            .ok_or(CodeError::ReconstructionFailed {
+                context: "target shard missing after reconstruction",
+            })?;
+        let metrics = plan.metrics(shard_len);
+        Ok(RepairOutcome {
+            target,
+            shard,
+            metrics,
+        })
+    }
+
+    /// Checks that the parity shards are consistent with the data shards.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the number of shards or their lengths are invalid.
+    fn verify(&self, shards: &[Vec<u8>]) -> Result<bool, CodeError> {
+        let params = self.params();
+        if shards.len() != params.total_shards() {
+            return Err(CodeError::ShardCountMismatch {
+                expected: params.total_shards(),
+                actual: shards.len(),
+            });
+        }
+        let data: Vec<Vec<u8>> = shards[..params.data_shards()].to_vec();
+        let parity = self.encode(&data)?;
+        Ok(parity
+            .iter()
+            .zip(&shards[params.data_shards()..])
+            .all(|(a, b)| a == b))
+    }
+
+    /// Storage overhead of the code: total shards divided by data shards
+    /// (1.4 for the warehouse cluster's (10, 4) RS code, 3.0 for 3-way
+    /// replication).
+    fn storage_overhead(&self) -> f64 {
+        self.params().storage_overhead()
+    }
+
+    /// Number of shard failures the code is guaranteed to tolerate.
+    fn fault_tolerance(&self) -> usize {
+        self.params().parity_shards()
+    }
+
+    /// Whether the code is Maximum Distance Separable, i.e. storage optimal
+    /// for its fault tolerance. RS and Piggybacked-RS are; LRC is not.
+    fn is_mds(&self) -> bool;
+
+    /// Average fraction of the stripe's logical data that must be read and
+    /// transferred to repair a single shard, averaged over all `k + r`
+    /// shards with equal weight.
+    ///
+    /// For a `(k, r)` RS code this is exactly 1.0 (the whole logical stripe);
+    /// the Piggybacked-RS code pushes it down by roughly 30 % for (10, 4).
+    fn average_repair_fraction(&self) -> f64 {
+        let params = self.params();
+        let n = params.total_shards();
+        let mut total = 0.0;
+        for target in 0..n {
+            let mut available = vec![true; n];
+            available[target] = false;
+            let plan = self
+                .repair_plan(target, &available)
+                .expect("single-failure repair plan must exist");
+            total += plan.total_fraction();
+        }
+        // Normalise by k so the figure is "stripe logical size" units.
+        total / (n as f64 * params.data_shards() as f64)
+    }
+}
+
+/// The classic Reed–Solomon repair plan: read `k` whole surviving shards.
+///
+/// Exposed so that other codes (and the simulator) can reference the baseline
+/// cost without instantiating a codec.
+///
+/// # Errors
+///
+/// Returns an error if `target` is out of range or marked available, if the
+/// availability mask has the wrong length, or if fewer than `k` helpers
+/// survive.
+pub fn default_repair_plan(
+    params: CodeParams,
+    target: usize,
+    available: &[bool],
+) -> Result<RepairPlan, CodeError> {
+    let n = params.total_shards();
+    if available.len() != n {
+        return Err(CodeError::ShardCountMismatch {
+            expected: n,
+            actual: available.len(),
+        });
+    }
+    if target >= n {
+        return Err(CodeError::InvalidShardIndex {
+            index: target,
+            total: n,
+        });
+    }
+    if available[target] {
+        return Err(CodeError::TargetNotMissing { index: target });
+    }
+    let helpers: Vec<usize> = (0..n).filter(|&i| available[i] && i != target).collect();
+    if helpers.len() < params.data_shards() {
+        return Err(CodeError::NotEnoughShards {
+            needed: params.data_shards(),
+            available: helpers.len(),
+        });
+    }
+    let fetches = helpers
+        .into_iter()
+        .take(params.data_shards())
+        .map(|shard| FetchRequest {
+            shard,
+            fraction: Fraction::ONE,
+        })
+        .collect();
+    Ok(RepairPlan { target, fetches })
+}

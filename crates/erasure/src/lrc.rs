@@ -1,0 +1,570 @@
+//! An Azure/Xorbas-style Local Reconstruction Code (LRC).
+//!
+//! The paper's related-work section contrasts Piggybacked-RS with LRCs
+//! (Huang et al., USENIX ATC'12; Sathiamoorthy et al., VLDB'13): LRCs also
+//! reduce recovery download, but they do so by storing *extra* local parity
+//! blocks, so they are not storage optimal (not MDS). This implementation
+//! exists so the comparison table (experiment E7) can quantify that
+//! trade-off with the same [`ErasureCode`] interface.
+//!
+//! # Construction
+//!
+//! `k` data shards are split into `l` contiguous, nearly equal local groups.
+//! Each group gets one XOR local parity; `g` global parities are the parity
+//! shards of a systematic `(k, g)` Reed–Solomon code over all the data.
+//! Shard layout: `[data 0..k | local parities k..k+l | global parities
+//! k+l..k+l+g]`.
+//!
+//! A single failed data shard is rebuilt from its local group only
+//! (`k/l` downloads instead of `k`), which is how LRC trades storage for
+//! recovery bandwidth.
+
+use pbrs_gf::slice_ops;
+use pbrs_gf::Matrix;
+
+use crate::decode;
+use crate::params::{validate_data_shards, validate_present_shards};
+use crate::repair::{FetchRequest, Fraction, RepairPlan};
+use crate::{CodeError, CodeParams, ErasureCode, ReedSolomon};
+
+/// Parameters of a local reconstruction code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LrcParams {
+    /// Number of data shards.
+    pub k: usize,
+    /// Number of local groups (each contributes one XOR parity).
+    pub local_groups: usize,
+    /// Number of global Reed–Solomon parities.
+    pub global_parities: usize,
+}
+
+impl LrcParams {
+    /// The Xorbas-HDFS configuration used as the comparison point against the
+    /// warehouse cluster's (10, 4) RS code: 10 data, 2 local, 4 global
+    /// (1.6× storage overhead).
+    pub const XORBAS: LrcParams = LrcParams {
+        k: 10,
+        local_groups: 2,
+        global_parities: 4,
+    };
+
+    /// Total shards per stripe.
+    pub const fn total_shards(&self) -> usize {
+        self.k + self.local_groups + self.global_parities
+    }
+}
+
+/// A local reconstruction code.
+///
+/// # Example
+///
+/// ```
+/// use pbrs_erasure::{ErasureCode, Lrc, LrcParams};
+///
+/// # fn main() -> Result<(), pbrs_erasure::CodeError> {
+/// let lrc = Lrc::new(LrcParams::XORBAS)?;
+/// assert!(!lrc.is_mds());
+/// assert!((lrc.storage_overhead() - 1.6).abs() < 1e-9);
+///
+/// // A single data failure is repaired inside its local group of 5:
+/// let mut available = vec![true; 16];
+/// available[2] = false;
+/// let plan = lrc.repair_plan(2, &available)?;
+/// assert_eq!(plan.helper_count(), 5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lrc {
+    lrc_params: LrcParams,
+    params: CodeParams,
+    /// Group index for every data shard.
+    group_of: Vec<usize>,
+    /// Data shard indices per group.
+    groups: Vec<Vec<usize>>,
+    /// Reed–Solomon code supplying the global parities.
+    global: ReedSolomon,
+    /// Full `n × k` generator matrix (identity, local XOR rows, global rows).
+    generator: Matrix,
+}
+
+impl Lrc {
+    /// Creates a local reconstruction code.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::InvalidParams`] if any dimension is zero, if
+    /// there are more groups than data shards, or the stripe exceeds 256
+    /// shards.
+    pub fn new(lrc_params: LrcParams) -> Result<Self, CodeError> {
+        let LrcParams {
+            k,
+            local_groups: l,
+            global_parities: g,
+        } = lrc_params;
+        if k == 0 || l == 0 || g == 0 {
+            return Err(CodeError::InvalidParams {
+                reason: "k, local_groups and global_parities must all be positive".into(),
+            });
+        }
+        if l > k {
+            return Err(CodeError::InvalidParams {
+                reason: "cannot have more local groups than data shards".into(),
+            });
+        }
+        let params = CodeParams::new(k, l + g)?;
+        let global = ReedSolomon::new(k, g)?;
+
+        // Contiguous, nearly equal groups; the first (k mod l) groups get one
+        // extra member.
+        let mut groups = Vec::with_capacity(l);
+        let base = k / l;
+        let extra = k % l;
+        let mut next = 0;
+        for gi in 0..l {
+            let size = base + usize::from(gi < extra);
+            groups.push((next..next + size).collect::<Vec<_>>());
+            next += size;
+        }
+        let mut group_of = vec![0usize; k];
+        for (gi, members) in groups.iter().enumerate() {
+            for &m in members {
+                group_of[m] = gi;
+            }
+        }
+
+        // Build the full generator matrix.
+        let n = lrc_params.total_shards();
+        let mut generator = Matrix::zero(n, k);
+        for i in 0..k {
+            generator.set(i, i, 1);
+        }
+        for (gi, members) in groups.iter().enumerate() {
+            for &m in members {
+                generator.set(k + gi, m, 1);
+            }
+        }
+        for j in 0..g {
+            let row = global.parity_row(j);
+            for c in 0..k {
+                generator.set(k + l + j, c, row[c]);
+            }
+        }
+
+        Ok(Lrc {
+            lrc_params,
+            params,
+            group_of,
+            groups,
+            global,
+            generator,
+        })
+    }
+
+    /// The LRC-specific parameters.
+    pub fn lrc_params(&self) -> LrcParams {
+        self.lrc_params
+    }
+
+    /// The data shard indices of local group `group`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group >= local_groups`.
+    pub fn group_members(&self, group: usize) -> &[usize] {
+        &self.groups[group]
+    }
+
+    /// The local group that data shard `shard` belongs to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= k`.
+    pub fn group_of(&self, shard: usize) -> usize {
+        self.group_of[shard]
+    }
+
+    /// Index of the local parity shard of `group`.
+    pub fn local_parity_index(&self, group: usize) -> usize {
+        self.lrc_params.k + group
+    }
+
+    /// Index of global parity `j` within the stripe.
+    pub fn global_parity_index(&self, j: usize) -> usize {
+        self.lrc_params.k + self.lrc_params.local_groups + j
+    }
+
+    /// The full `n × k` generator matrix.
+    pub fn generator(&self) -> &Matrix {
+        &self.generator
+    }
+
+    fn shard_len_of(&self, shards: &[Option<Vec<u8>>]) -> Result<usize, CodeError> {
+        validate_present_shards(shards, self.params.total_shards(), self.granularity())
+    }
+
+    /// Attempts purely local recoveries (within a single group) until no
+    /// further progress is possible. Returns the number of shards recovered.
+    fn recover_locally(&self, shards: &mut [Option<Vec<u8>>], shard_len: usize) -> usize {
+        let mut recovered = 0;
+        loop {
+            let mut progress = false;
+            for group in 0..self.lrc_params.local_groups {
+                let lp = self.local_parity_index(group);
+                let mut members: Vec<usize> = self.groups[group].clone();
+                members.push(lp);
+                let missing: Vec<usize> =
+                    members.iter().copied().filter(|&i| shards[i].is_none()).collect();
+                if missing.len() != 1 {
+                    continue;
+                }
+                let target = missing[0];
+                let mut out = vec![0u8; shard_len];
+                for &i in &members {
+                    if i != target {
+                        slice_ops::xor_slice(
+                            &mut out,
+                            shards[i].as_deref().expect("only target is missing"),
+                        );
+                    }
+                }
+                shards[target] = Some(out);
+                recovered += 1;
+                progress = true;
+            }
+            if !progress {
+                return recovered;
+            }
+        }
+    }
+}
+
+impl ErasureCode for Lrc {
+    fn params(&self) -> CodeParams {
+        self.params
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "LRC({}, {}, {})",
+            self.lrc_params.k, self.lrc_params.local_groups, self.lrc_params.global_parities
+        )
+    }
+
+    fn encode(&self, data: &[Vec<u8>]) -> Result<Vec<Vec<u8>>, CodeError> {
+        let k = self.lrc_params.k;
+        let shard_len = validate_data_shards(data, k, self.granularity())?;
+        let mut parity = Vec::with_capacity(self.params.parity_shards());
+        for group in &self.groups {
+            let mut out = vec![0u8; shard_len];
+            for &m in group {
+                slice_ops::xor_slice(&mut out, &data[m]);
+            }
+            parity.push(out);
+        }
+        parity.extend(self.global.encode(data)?);
+        Ok(parity)
+    }
+
+    fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), CodeError> {
+        let shard_len = self.shard_len_of(shards)?;
+        // Phase 1: cheap local repairs.
+        self.recover_locally(shards, shard_len);
+        if shards.iter().all(|s| s.is_some()) {
+            return Ok(());
+        }
+        // Phase 2: global decode over the full generator.
+        decode::reconstruct_linear(&self.generator, shards, shard_len)?;
+        Ok(())
+    }
+
+    fn repair_plan(&self, target: usize, available: &[bool]) -> Result<RepairPlan, CodeError> {
+        let n = self.params.total_shards();
+        if available.len() != n {
+            return Err(CodeError::ShardCountMismatch {
+                expected: n,
+                actual: available.len(),
+            });
+        }
+        if target >= n {
+            return Err(CodeError::InvalidShardIndex {
+                index: target,
+                total: n,
+            });
+        }
+        if available[target] {
+            return Err(CodeError::TargetNotMissing { index: target });
+        }
+        let k = self.lrc_params.k;
+        let l = self.lrc_params.local_groups;
+
+        // Preferred: local repair for data shards and local parities.
+        let local_group = if target < k {
+            Some(self.group_of[target])
+        } else if target < k + l {
+            Some(target - k)
+        } else {
+            None
+        };
+        if let Some(group) = local_group {
+            let mut helpers: Vec<usize> = self.groups[group]
+                .iter()
+                .copied()
+                .chain(std::iter::once(self.local_parity_index(group)))
+                .filter(|&i| i != target)
+                .collect();
+            helpers.sort_unstable();
+            if helpers.iter().all(|&i| available[i]) {
+                return Ok(RepairPlan {
+                    target,
+                    fetches: helpers
+                        .into_iter()
+                        .map(|shard| FetchRequest {
+                            shard,
+                            fraction: Fraction::ONE,
+                        })
+                        .collect(),
+                });
+            }
+        }
+
+        // Fallback: global decode from any k independent surviving rows.
+        let candidates: Vec<usize> = (0..n).filter(|&i| available[i] && i != target).collect();
+        if candidates.len() < k {
+            return Err(CodeError::NotEnoughShards {
+                needed: k,
+                available: candidates.len(),
+            });
+        }
+        let rows = decode::select_independent_rows(&self.generator, &candidates).ok_or(
+            CodeError::ReconstructionFailed {
+                context: "surviving shards do not span the data",
+            },
+        )?;
+        Ok(RepairPlan {
+            target,
+            fetches: rows
+                .into_iter()
+                .map(|shard| FetchRequest {
+                    shard,
+                    fraction: Fraction::ONE,
+                })
+                .collect(),
+        })
+    }
+
+    fn repair(
+        &self,
+        target: usize,
+        shards: &[Option<Vec<u8>>],
+    ) -> Result<crate::RepairOutcome, CodeError> {
+        let shard_len = self.shard_len_of(shards)?;
+        let available: Vec<bool> = shards.iter().map(|s| s.is_some()).collect();
+        let plan = self.repair_plan(target, &available)?;
+        let helpers = plan.helper_indices();
+        let shard =
+            decode::repair_by_combination(&self.generator, target, &helpers, shards, shard_len)?;
+        Ok(crate::RepairOutcome {
+            target,
+            shard,
+            metrics: plan.metrics(shard_len),
+        })
+    }
+
+    fn is_mds(&self) -> bool {
+        false
+    }
+
+    fn fault_tolerance(&self) -> usize {
+        // Any pattern of up to `global_parities` failures is recoverable:
+        // failed local parities are recomputed from data, and the remaining
+        // failures are covered by the (k, g) MDS global code. Many larger
+        // patterns are also recoverable, but not all.
+        self.lrc_params.global_parities
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_data(k: usize, len: usize) -> Vec<Vec<u8>> {
+        (0..k)
+            .map(|i| (0..len).map(|j| ((i * 37 + j * 11 + 5) % 256) as u8).collect())
+            .collect()
+    }
+
+    fn full_stripe(lrc: &Lrc, data: &[Vec<u8>]) -> Vec<Vec<u8>> {
+        let parity = lrc.encode(data).unwrap();
+        data.iter().chain(parity.iter()).cloned().collect()
+    }
+
+    #[test]
+    fn xorbas_parameters() {
+        let lrc = Lrc::new(LrcParams::XORBAS).unwrap();
+        assert_eq!(lrc.name(), "LRC(10, 2, 4)");
+        assert_eq!(lrc.params().total_shards(), 16);
+        assert!((lrc.storage_overhead() - 1.6).abs() < 1e-12);
+        assert_eq!(lrc.fault_tolerance(), 4);
+        assert!(!lrc.is_mds());
+        assert_eq!(lrc.group_members(0), &[0, 1, 2, 3, 4]);
+        assert_eq!(lrc.group_members(1), &[5, 6, 7, 8, 9]);
+        assert_eq!(lrc.local_parity_index(1), 11);
+        assert_eq!(lrc.global_parity_index(0), 12);
+        assert_eq!(lrc.group_of(7), 1);
+    }
+
+    #[test]
+    fn invalid_parameters() {
+        assert!(Lrc::new(LrcParams { k: 0, local_groups: 1, global_parities: 1 }).is_err());
+        assert!(Lrc::new(LrcParams { k: 4, local_groups: 5, global_parities: 1 }).is_err());
+        assert!(Lrc::new(LrcParams { k: 4, local_groups: 2, global_parities: 0 }).is_err());
+    }
+
+    #[test]
+    fn uneven_groups() {
+        let lrc = Lrc::new(LrcParams { k: 7, local_groups: 3, global_parities: 2 }).unwrap();
+        assert_eq!(lrc.group_members(0), &[0, 1, 2]);
+        assert_eq!(lrc.group_members(1), &[3, 4]);
+        assert_eq!(lrc.group_members(2), &[5, 6]);
+    }
+
+    #[test]
+    fn encode_and_verify() {
+        let lrc = Lrc::new(LrcParams::XORBAS).unwrap();
+        let data = sample_data(10, 64);
+        let all = full_stripe(&lrc, &data);
+        assert_eq!(all.len(), 16);
+        assert!(lrc.verify(&all).unwrap());
+        // Local parity 0 really is the XOR of group 0.
+        for i in 0..64 {
+            let expect = data[0][i] ^ data[1][i] ^ data[2][i] ^ data[3][i] ^ data[4][i];
+            assert_eq!(all[10][i], expect);
+        }
+    }
+
+    #[test]
+    fn single_failure_repairs_locally() {
+        let lrc = Lrc::new(LrcParams::XORBAS).unwrap();
+        let data = sample_data(10, 48);
+        let all = full_stripe(&lrc, &data);
+        for target in 0..12 {
+            // data shards and local parities repair within the group of 5 + 1
+            let mut available = vec![true; 16];
+            available[target] = false;
+            let plan = lrc.repair_plan(target, &available).unwrap();
+            assert_eq!(plan.helper_count(), 5, "target {target}");
+            // Execute the repair and check the bytes.
+            let mut shards: Vec<Option<Vec<u8>>> = all.iter().cloned().map(Some).collect();
+            shards[target] = None;
+            let outcome = lrc.repair(target, &shards).unwrap();
+            assert_eq!(outcome.shard, all[target]);
+            assert_eq!(outcome.metrics.helpers, 5);
+        }
+    }
+
+    #[test]
+    fn global_parity_repair_reads_k_shards() {
+        let lrc = Lrc::new(LrcParams::XORBAS).unwrap();
+        let mut available = vec![true; 16];
+        available[13] = false;
+        let plan = lrc.repair_plan(13, &available).unwrap();
+        assert_eq!(plan.helper_count(), 10);
+    }
+
+    #[test]
+    fn local_repair_falls_back_when_group_is_damaged() {
+        let lrc = Lrc::new(LrcParams::XORBAS).unwrap();
+        let mut available = vec![true; 16];
+        available[0] = false;
+        available[1] = false; // same group -> local plan impossible for 0
+        let plan = lrc.repair_plan(0, &available).unwrap();
+        assert_eq!(plan.helper_count(), 10, "global fallback downloads k shards");
+    }
+
+    #[test]
+    fn reconstruct_up_to_global_parity_failures() {
+        let lrc = Lrc::new(LrcParams::XORBAS).unwrap();
+        let data = sample_data(10, 32);
+        let all = full_stripe(&lrc, &data);
+        // Any 4 failures must be recoverable (fault_tolerance = 4). Spot-check
+        // a set of patterns including data, local and global shards.
+        let patterns: Vec<Vec<usize>> = vec![
+            vec![0, 1, 2, 3],
+            vec![0, 5, 10, 12],
+            vec![10, 11, 12, 13],
+            vec![12, 13, 14, 15],
+            vec![4, 9, 11, 14],
+            vec![0, 1, 5, 6],
+        ];
+        for pattern in patterns {
+            let mut shards: Vec<Option<Vec<u8>>> = all.iter().cloned().map(Some).collect();
+            for &i in &pattern {
+                shards[i] = None;
+            }
+            lrc.reconstruct(&mut shards).unwrap();
+            for (idx, s) in shards.iter().enumerate() {
+                assert_eq!(s.as_ref().unwrap(), &all[idx], "pattern {pattern:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn reconstruct_can_exceed_guarantee_when_failures_are_spread() {
+        let lrc = Lrc::new(LrcParams::XORBAS).unwrap();
+        let data = sample_data(10, 32);
+        let all = full_stripe(&lrc, &data);
+        // 5 failures: one data in group 0 (locally repairable), plus 4 spread
+        // over the globally-protected shards.
+        let mut shards: Vec<Option<Vec<u8>>> = all.iter().cloned().map(Some).collect();
+        for &i in &[0usize, 5, 12, 13, 14] {
+            shards[i] = None;
+        }
+        lrc.reconstruct(&mut shards).unwrap();
+        for (idx, s) in shards.iter().enumerate() {
+            assert_eq!(s.as_ref().unwrap(), &all[idx]);
+        }
+    }
+
+    #[test]
+    fn some_patterns_beyond_guarantee_fail() {
+        let lrc = Lrc::new(LrcParams::XORBAS).unwrap();
+        let data = sample_data(10, 32);
+        let all = full_stripe(&lrc, &data);
+        // 6 failures concentrated on group 0 data + its local parity cannot be
+        // decoded: only 9 independent equations remain for 10 unknowns.
+        let mut shards: Vec<Option<Vec<u8>>> = all.iter().cloned().map(Some).collect();
+        for &i in &[0usize, 1, 2, 3, 4, 10] {
+            shards[i] = None;
+        }
+        assert!(lrc.reconstruct(&mut shards).is_err());
+    }
+
+    #[test]
+    fn average_repair_fraction_beats_rs_but_storage_is_worse() {
+        let lrc = Lrc::new(LrcParams::XORBAS).unwrap();
+        let rs = crate::ReedSolomon::new(10, 4).unwrap();
+        assert!(lrc.average_repair_fraction() < rs.average_repair_fraction());
+        assert!(lrc.storage_overhead() > rs.storage_overhead());
+    }
+
+    #[test]
+    fn small_lrc_full_erasure_sweep_within_guarantee() {
+        // k=4, l=2, g=2 (n=8): exhaustively test all failure patterns of size
+        // <= 2 = fault tolerance.
+        let lrc = Lrc::new(LrcParams { k: 4, local_groups: 2, global_parities: 2 }).unwrap();
+        let data = sample_data(4, 16);
+        let all = full_stripe(&lrc, &data);
+        for a in 0..8 {
+            for b in a..8 {
+                let mut shards: Vec<Option<Vec<u8>>> = all.iter().cloned().map(Some).collect();
+                shards[a] = None;
+                shards[b] = None;
+                lrc.reconstruct(&mut shards).unwrap();
+                for (idx, s) in shards.iter().enumerate() {
+                    assert_eq!(s.as_ref().unwrap(), &all[idx], "failures ({a},{b})");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! Code parameter types and validation.
+
+use core::fmt;
+
+use crate::CodeError;
+
+/// The `(k, r)` parameters of an erasure code: `k` data shards encoded into
+/// `r` parity shards, `n = k + r` shards per stripe.
+///
+/// The Facebook warehouse cluster studied in the paper uses `(10, 4)`, giving
+/// a 1.4× storage overhead compared to 3× for replication.
+///
+/// # Example
+///
+/// ```
+/// use pbrs_erasure::CodeParams;
+///
+/// let p = CodeParams::new(10, 4)?;
+/// assert_eq!(p.total_shards(), 14);
+/// assert!((p.storage_overhead() - 1.4).abs() < 1e-9);
+/// # Ok::<(), pbrs_erasure::CodeError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CodeParams {
+    k: usize,
+    r: usize,
+}
+
+impl CodeParams {
+    /// The parameters used in production by the warehouse cluster: `(10, 4)`.
+    pub const FACEBOOK: CodeParams = CodeParams { k: 10, r: 4 };
+
+    /// Creates and validates code parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::InvalidParams`] if `k == 0`, `r == 0`, or
+    /// `k + r > 256` (the GF(2^8) constructions used here support at most 256
+    /// shards per stripe).
+    pub fn new(k: usize, r: usize) -> Result<Self, CodeError> {
+        if k == 0 {
+            return Err(CodeError::InvalidParams {
+                reason: "k (data shards) must be at least 1".into(),
+            });
+        }
+        if r == 0 {
+            return Err(CodeError::InvalidParams {
+                reason: "r (parity shards) must be at least 1".into(),
+            });
+        }
+        if k + r > 256 {
+            return Err(CodeError::InvalidParams {
+                reason: format!("k + r = {} exceeds the GF(2^8) limit of 256", k + r),
+            });
+        }
+        Ok(CodeParams { k, r })
+    }
+
+    /// Number of data shards `k`.
+    pub const fn data_shards(&self) -> usize {
+        self.k
+    }
+
+    /// Number of parity shards `r`.
+    pub const fn parity_shards(&self) -> usize {
+        self.r
+    }
+
+    /// Total shards per stripe `n = k + r`.
+    pub const fn total_shards(&self) -> usize {
+        self.k + self.r
+    }
+
+    /// Storage overhead `n / k` (1.4 for the production (10, 4) code).
+    pub fn storage_overhead(&self) -> f64 {
+        self.total_shards() as f64 / self.k as f64
+    }
+
+    /// Code rate `k / n`.
+    pub fn rate(&self) -> f64 {
+        self.k as f64 / self.total_shards() as f64
+    }
+
+    /// `true` if `index` refers to a data shard (indices `0..k`).
+    pub const fn is_data_shard(&self, index: usize) -> bool {
+        index < self.k
+    }
+
+    /// `true` if `index` refers to a parity shard (indices `k..k+r`).
+    pub const fn is_parity_shard(&self, index: usize) -> bool {
+        index >= self.k && index < self.k + self.r
+    }
+
+    /// Iterator over the data shard indices `0..k`.
+    pub fn data_indices(&self) -> impl Iterator<Item = usize> {
+        0..self.k
+    }
+
+    /// Iterator over the parity shard indices `k..k+r`.
+    pub fn parity_indices(&self) -> impl Iterator<Item = usize> {
+        self.k..self.k + self.r
+    }
+}
+
+impl fmt::Display for CodeParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.k, self.r)
+    }
+}
+
+/// Validates a set of data shards against the expected count, length
+/// alignment and mutual consistency. Returns the common shard length.
+///
+/// # Errors
+///
+/// Returns the appropriate [`CodeError`] variant for count, size or alignment
+/// violations. Empty shards are rejected.
+pub fn validate_data_shards(
+    data: &[Vec<u8>],
+    k: usize,
+    granularity: usize,
+) -> Result<usize, CodeError> {
+    if data.len() != k {
+        return Err(CodeError::ShardCountMismatch {
+            expected: k,
+            actual: data.len(),
+        });
+    }
+    let len = data[0].len();
+    if len == 0 {
+        return Err(CodeError::InvalidParams {
+            reason: "shards must not be empty".into(),
+        });
+    }
+    if len % granularity != 0 {
+        return Err(CodeError::UnalignedShard { len, granularity });
+    }
+    for shard in data {
+        if shard.len() != len {
+            return Err(CodeError::ShardSizeMismatch {
+                expected: len,
+                actual: shard.len(),
+            });
+        }
+    }
+    Ok(len)
+}
+
+/// Validates an optional-shard stripe (as used by `reconstruct`): checks the
+/// count and that all present shards share one aligned length, returning that
+/// length. At least one shard must be present.
+///
+/// # Errors
+///
+/// Returns the appropriate [`CodeError`] variant for count, size or alignment
+/// violations, and [`CodeError::NotEnoughShards`] if no shard is present.
+pub fn validate_present_shards(
+    shards: &[Option<Vec<u8>>],
+    n: usize,
+    granularity: usize,
+) -> Result<usize, CodeError> {
+    if shards.len() != n {
+        return Err(CodeError::ShardCountMismatch {
+            expected: n,
+            actual: shards.len(),
+        });
+    }
+    let mut len: Option<usize> = None;
+    for shard in shards.iter().flatten() {
+        match len {
+            None => {
+                if shard.is_empty() {
+                    return Err(CodeError::InvalidParams {
+                        reason: "shards must not be empty".into(),
+                    });
+                }
+                if shard.len() % granularity != 0 {
+                    return Err(CodeError::UnalignedShard {
+                        len: shard.len(),
+                        granularity,
+                    });
+                }
+                len = Some(shard.len());
+            }
+            Some(l) => {
+                if shard.len() != l {
+                    return Err(CodeError::ShardSizeMismatch {
+                        expected: l,
+                        actual: shard.len(),
+                    });
+                }
+            }
+        }
+    }
+    len.ok_or(CodeError::NotEnoughShards {
+        needed: 1,
+        available: 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_params() {
+        let p = CodeParams::new(10, 4).unwrap();
+        assert_eq!(p.data_shards(), 10);
+        assert_eq!(p.parity_shards(), 4);
+        assert_eq!(p.total_shards(), 14);
+        assert!((p.storage_overhead() - 1.4).abs() < 1e-12);
+        assert!((p.rate() - 10.0 / 14.0).abs() < 1e-12);
+        assert_eq!(p, CodeParams::FACEBOOK);
+        assert_eq!(p.to_string(), "(10, 4)");
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(matches!(
+            CodeParams::new(0, 4),
+            Err(CodeError::InvalidParams { .. })
+        ));
+        assert!(matches!(
+            CodeParams::new(4, 0),
+            Err(CodeError::InvalidParams { .. })
+        ));
+        assert!(matches!(
+            CodeParams::new(200, 100),
+            Err(CodeError::InvalidParams { .. })
+        ));
+        // Exactly 256 total is allowed.
+        assert!(CodeParams::new(200, 56).is_ok());
+    }
+
+    #[test]
+    fn shard_classification() {
+        let p = CodeParams::new(3, 2).unwrap();
+        assert!(p.is_data_shard(0));
+        assert!(p.is_data_shard(2));
+        assert!(!p.is_data_shard(3));
+        assert!(p.is_parity_shard(3));
+        assert!(p.is_parity_shard(4));
+        assert!(!p.is_parity_shard(5));
+        assert_eq!(p.data_indices().collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(p.parity_indices().collect::<Vec<_>>(), vec![3, 4]);
+    }
+
+    #[test]
+    fn data_validation() {
+        let ok = vec![vec![1u8; 4], vec![2u8; 4]];
+        assert_eq!(validate_data_shards(&ok, 2, 1).unwrap(), 4);
+        assert_eq!(validate_data_shards(&ok, 2, 2).unwrap(), 4);
+
+        assert!(matches!(
+            validate_data_shards(&ok, 3, 1),
+            Err(CodeError::ShardCountMismatch { .. })
+        ));
+        let unaligned = vec![vec![1u8; 3], vec![2u8; 3]];
+        assert!(matches!(
+            validate_data_shards(&unaligned, 2, 2),
+            Err(CodeError::UnalignedShard { .. })
+        ));
+        let ragged = vec![vec![1u8; 4], vec![2u8; 5]];
+        assert!(matches!(
+            validate_data_shards(&ragged, 2, 1),
+            Err(CodeError::ShardSizeMismatch { .. })
+        ));
+        let empty = vec![vec![], vec![]];
+        assert!(matches!(
+            validate_data_shards(&empty, 2, 1),
+            Err(CodeError::InvalidParams { .. })
+        ));
+    }
+
+    #[test]
+    fn present_validation() {
+        let shards = vec![Some(vec![1u8; 6]), None, Some(vec![2u8; 6])];
+        assert_eq!(validate_present_shards(&shards, 3, 2).unwrap(), 6);
+
+        let none: Vec<Option<Vec<u8>>> = vec![None, None, None];
+        assert!(matches!(
+            validate_present_shards(&none, 3, 1),
+            Err(CodeError::NotEnoughShards { .. })
+        ));
+        let ragged = vec![Some(vec![1u8; 6]), Some(vec![2u8; 4])];
+        assert!(matches!(
+            validate_present_shards(&ragged, 2, 1),
+            Err(CodeError::ShardSizeMismatch { .. })
+        ));
+        let wrong_count = vec![Some(vec![1u8; 6])];
+        assert!(matches!(
+            validate_present_shards(&wrong_count, 3, 1),
+            Err(CodeError::ShardCountMismatch { .. })
+        ));
+    }
+}

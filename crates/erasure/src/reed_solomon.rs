@@ -1,0 +1,413 @@
+//! The systematic `(k, r)` Reed–Solomon code.
+//!
+//! This is the code deployed on the Facebook warehouse cluster studied in the
+//! paper (with `k = 10, r = 4`): storage optimal (MDS), constructible for any
+//! parameters, but expensive to repair — recovering a single shard reads and
+//! downloads `k` whole shards, i.e. the entire logical size of the stripe.
+//!
+//! # Construction
+//!
+//! The generator matrix is `G = V · (V_top)⁻¹` where `V` is a
+//! `(k + r) × k` Vandermonde matrix over distinct evaluation points. Every
+//! `k × k` submatrix of `V` is invertible, and multiplying on the right by a
+//! fixed invertible matrix preserves that property, so every `k`-subset of
+//! rows of `G` is invertible: the code is MDS and the top `k` rows are the
+//! identity (systematic).
+
+use pbrs_gf::slice_ops;
+use pbrs_gf::Matrix;
+
+use crate::decode;
+use crate::params::{validate_data_shards, validate_present_shards};
+use crate::{CodeError, CodeParams, ErasureCode};
+
+/// A systematic, MDS Reed–Solomon erasure code.
+///
+/// # Example
+///
+/// ```
+/// use pbrs_erasure::{ErasureCode, ReedSolomon};
+///
+/// # fn main() -> Result<(), pbrs_erasure::CodeError> {
+/// // The warehouse cluster's production parameters.
+/// let rs = ReedSolomon::new(10, 4)?;
+/// assert!(rs.is_mds());
+/// assert!((rs.storage_overhead() - 1.4).abs() < 1e-9);
+///
+/// // Repairing any single shard requires downloading the full logical
+/// // stripe: k shards out of k data shards worth of information.
+/// let mut available = vec![true; 14];
+/// available[0] = false;
+/// let plan = rs.repair_plan(0, &available)?;
+/// assert_eq!(plan.helper_count(), 10);
+/// assert_eq!(plan.total_fraction(), 10.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReedSolomon {
+    params: CodeParams,
+    /// Full `(k + r) × k` systematic generator matrix.
+    generator: Matrix,
+}
+
+impl ReedSolomon {
+    /// Creates a `(k, r)` Reed–Solomon code.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::InvalidParams`] for unsupported `(k, r)` (zero
+    /// values or `k + r > 256`).
+    pub fn new(k: usize, r: usize) -> Result<Self, CodeError> {
+        let params = CodeParams::new(k, r)?;
+        Ok(Self::from_params(params))
+    }
+
+    /// Creates the code from already validated parameters.
+    pub fn from_params(params: CodeParams) -> Self {
+        let k = params.data_shards();
+        let n = params.total_shards();
+        let v = Matrix::vandermonde(n, k);
+        let top = v.submatrix(0, 0, k, k).expect("top block exists");
+        let inv = top
+            .inverted()
+            .expect("Vandermonde top block is always invertible");
+        let generator = v.multiply(&inv).expect("dimensions agree");
+        ReedSolomon { params, generator }
+    }
+
+    /// The code used by the Facebook warehouse cluster: `(10, 4)`.
+    pub fn facebook() -> Self {
+        Self::from_params(CodeParams::FACEBOOK)
+    }
+
+    /// The full `(k + r) × k` systematic generator matrix.
+    pub fn generator(&self) -> &Matrix {
+        &self.generator
+    }
+
+    /// The `r × k` parity block of the generator matrix (rows `k..k+r`).
+    pub fn parity_matrix(&self) -> Matrix {
+        let k = self.params.data_shards();
+        let n = self.params.total_shards();
+        self.generator
+            .submatrix(k, 0, n, k)
+            .expect("parity block exists")
+    }
+
+    /// The coefficients used to produce parity shard `j` (0-based within the
+    /// parity shards) as a linear combination of the `k` data shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= r`.
+    pub fn parity_row(&self, j: usize) -> &[u8] {
+        assert!(j < self.params.parity_shards(), "parity index out of range");
+        self.generator.row(self.params.data_shards() + j)
+    }
+
+    /// Decodes (only) the `k` data shards from any `k` available shards,
+    /// without re-encoding missing parity.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`ErasureCode::reconstruct`].
+    pub fn decode_data(&self, shards: &[Option<Vec<u8>>]) -> Result<Vec<Vec<u8>>, CodeError> {
+        let shard_len =
+            validate_present_shards(shards, self.params.total_shards(), self.granularity())?;
+        decode::decode_data_linear(&self.generator, shards, shard_len)
+    }
+}
+
+impl ErasureCode for ReedSolomon {
+    fn params(&self) -> CodeParams {
+        self.params
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "RS({}, {})",
+            self.params.data_shards(),
+            self.params.parity_shards()
+        )
+    }
+
+    fn encode(&self, data: &[Vec<u8>]) -> Result<Vec<Vec<u8>>, CodeError> {
+        let k = self.params.data_shards();
+        let shard_len = validate_data_shards(data, k, self.granularity())?;
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity = (0..self.params.parity_shards())
+            .map(|j| {
+                let mut out = vec![0u8; shard_len];
+                slice_ops::linear_combination(self.parity_row(j), &refs, &mut out);
+                out
+            })
+            .collect();
+        Ok(parity)
+    }
+
+    fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), CodeError> {
+        let shard_len =
+            validate_present_shards(shards, self.params.total_shards(), self.granularity())?;
+        decode::reconstruct_linear(&self.generator, shards, shard_len)
+    }
+
+    fn is_mds(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::repair::Fraction;
+
+    fn sample_data(k: usize, len: usize) -> Vec<Vec<u8>> {
+        (0..k)
+            .map(|i| {
+                (0..len)
+                    .map(|j| ((i * 31 + j * 7 + 13) % 251) as u8)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn construction_is_systematic() {
+        let rs = ReedSolomon::new(6, 3).unwrap();
+        let g = rs.generator();
+        for r in 0..6 {
+            for c in 0..6 {
+                assert_eq!(g.get(r, c), u8::from(r == c));
+            }
+        }
+        assert_eq!(rs.parity_matrix().rows(), 3);
+        assert_eq!(rs.parity_matrix().cols(), 6);
+    }
+
+    #[test]
+    fn facebook_parameters() {
+        let rs = ReedSolomon::facebook();
+        assert_eq!(rs.params(), CodeParams::FACEBOOK);
+        assert_eq!(rs.name(), "RS(10, 4)");
+        assert!((rs.storage_overhead() - 1.4).abs() < 1e-12);
+        assert_eq!(rs.fault_tolerance(), 4);
+        assert!(rs.is_mds());
+        assert_eq!(rs.granularity(), 1);
+    }
+
+    #[test]
+    fn encode_then_verify() {
+        let rs = ReedSolomon::new(10, 4).unwrap();
+        let data = sample_data(10, 128);
+        let parity = rs.encode(&data).unwrap();
+        assert_eq!(parity.len(), 4);
+        let mut all = data.clone();
+        all.extend(parity);
+        assert!(rs.verify(&all).unwrap());
+        // Corrupt one parity byte and verification must fail.
+        all[12][5] ^= 0x40;
+        assert!(!rs.verify(&all).unwrap());
+    }
+
+    #[test]
+    fn encoding_is_linear() {
+        let rs = ReedSolomon::new(4, 2).unwrap();
+        let a = sample_data(4, 64);
+        let b: Vec<Vec<u8>> = sample_data(4, 64)
+            .into_iter()
+            .map(|s| s.into_iter().map(|x| x.wrapping_add(91)).collect())
+            .collect();
+        let pa = rs.encode(&a).unwrap();
+        let pb = rs.encode(&b).unwrap();
+        let xor: Vec<Vec<u8>> = a
+            .iter()
+            .zip(&b)
+            .map(|(x, y)| x.iter().zip(y).map(|(p, q)| p ^ q).collect())
+            .collect();
+        let pxor = rs.encode(&xor).unwrap();
+        for j in 0..2 {
+            for i in 0..64 {
+                assert_eq!(pxor[j][i], pa[j][i] ^ pb[j][i]);
+            }
+        }
+    }
+
+    #[test]
+    fn reconstruct_all_single_and_double_failures() {
+        let rs = ReedSolomon::new(5, 3).unwrap();
+        let data = sample_data(5, 40);
+        let parity = rs.encode(&data).unwrap();
+        let all: Vec<Vec<u8>> = data.iter().chain(parity.iter()).cloned().collect();
+        let n = 8;
+        for i in 0..n {
+            for j in 0..n {
+                let mut shards: Vec<Option<Vec<u8>>> = all.iter().cloned().map(Some).collect();
+                shards[i] = None;
+                shards[j] = None;
+                rs.reconstruct(&mut shards).unwrap();
+                for (idx, shard) in shards.iter().enumerate() {
+                    assert_eq!(shard.as_ref().unwrap(), &all[idx]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reconstruct_exactly_r_failures() {
+        let rs = ReedSolomon::new(10, 4).unwrap();
+        let data = sample_data(10, 64);
+        let parity = rs.encode(&data).unwrap();
+        let all: Vec<Vec<u8>> = data.iter().chain(parity.iter()).cloned().collect();
+        // Erase 4 shards spanning data and parity.
+        let mut shards: Vec<Option<Vec<u8>>> = all.iter().cloned().map(Some).collect();
+        for i in [0, 3, 9, 11] {
+            shards[i] = None;
+        }
+        rs.reconstruct(&mut shards).unwrap();
+        for (idx, shard) in shards.iter().enumerate() {
+            assert_eq!(shard.as_ref().unwrap(), &all[idx]);
+        }
+    }
+
+    #[test]
+    fn reconstruct_rejects_more_than_r_failures() {
+        let rs = ReedSolomon::new(4, 2).unwrap();
+        let data = sample_data(4, 16);
+        let parity = rs.encode(&data).unwrap();
+        let mut shards: Vec<Option<Vec<u8>>> = data
+            .iter()
+            .chain(parity.iter())
+            .cloned()
+            .map(Some)
+            .collect();
+        shards[0] = None;
+        shards[1] = None;
+        shards[4] = None;
+        assert!(matches!(
+            rs.reconstruct(&mut shards),
+            Err(CodeError::NotEnoughShards { .. })
+        ));
+    }
+
+    #[test]
+    fn decode_data_only() {
+        let rs = ReedSolomon::new(6, 3).unwrap();
+        let data = sample_data(6, 48);
+        let parity = rs.encode(&data).unwrap();
+        let mut shards: Vec<Option<Vec<u8>>> = data
+            .iter()
+            .chain(parity.iter())
+            .cloned()
+            .map(Some)
+            .collect();
+        // Lose three data shards; decode using parity.
+        shards[1] = None;
+        shards[2] = None;
+        shards[5] = None;
+        let decoded = rs.decode_data(&shards).unwrap();
+        assert_eq!(decoded, data);
+    }
+
+    #[test]
+    fn repair_plan_downloads_k_whole_shards() {
+        let rs = ReedSolomon::facebook();
+        let mut available = vec![true; 14];
+        available[3] = false;
+        let plan = rs.repair_plan(3, &available).unwrap();
+        assert_eq!(plan.target, 3);
+        assert_eq!(plan.helper_count(), 10);
+        assert!(plan.fetches.iter().all(|f| f.fraction == Fraction::ONE));
+        // 256 MB blocks: repairing one block moves 2.5 GB, as in the paper.
+        let block = 256 * 1024 * 1024;
+        assert_eq!(plan.bytes_read(block), 10 * block as u64);
+    }
+
+    #[test]
+    fn repair_executes_plan_and_returns_shard() {
+        let rs = ReedSolomon::new(10, 4).unwrap();
+        let data = sample_data(10, 96);
+        let parity = rs.encode(&data).unwrap();
+        let mut shards: Vec<Option<Vec<u8>>> = data
+            .iter()
+            .chain(parity.iter())
+            .cloned()
+            .map(Some)
+            .collect();
+        shards[7] = None;
+        let outcome = rs.repair(7, &shards).unwrap();
+        assert_eq!(outcome.target, 7);
+        assert_eq!(outcome.shard, data[7]);
+        assert_eq!(outcome.metrics.helpers, 10);
+        assert_eq!(outcome.metrics.bytes_read, 10 * 96);
+        assert_eq!(outcome.metrics.bytes_transferred, 10 * 96);
+    }
+
+    #[test]
+    fn repair_of_available_shard_is_rejected() {
+        let rs = ReedSolomon::new(4, 2).unwrap();
+        let available = vec![true; 6];
+        assert!(matches!(
+            rs.repair_plan(0, &available),
+            Err(CodeError::TargetNotMissing { index: 0 })
+        ));
+    }
+
+    #[test]
+    fn average_repair_fraction_is_one() {
+        // RS reads the whole logical stripe no matter which shard fails.
+        let rs = ReedSolomon::new(10, 4).unwrap();
+        assert!((rs.average_repair_fraction() - 1.0).abs() < 1e-12);
+        let rs2 = ReedSolomon::new(6, 3).unwrap();
+        assert!((rs2.average_repair_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mds_property_random_spot_checks_for_larger_codes() {
+        // (12, 6): erase 6 random shards repeatedly and reconstruct.
+        let rs = ReedSolomon::new(12, 6).unwrap();
+        let data = sample_data(12, 32);
+        let parity = rs.encode(&data).unwrap();
+        let all: Vec<Vec<u8>> = data.iter().chain(parity.iter()).cloned().collect();
+        let mut state = 0x12345678u64;
+        for _ in 0..50 {
+            let mut shards: Vec<Option<Vec<u8>>> = all.iter().cloned().map(Some).collect();
+            let mut erased = 0;
+            while erased < 6 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let idx = (state >> 33) as usize % 18;
+                if shards[idx].is_some() {
+                    shards[idx] = None;
+                    erased += 1;
+                }
+            }
+            rs.reconstruct(&mut shards).unwrap();
+            for (idx, shard) in shards.iter().enumerate() {
+                assert_eq!(shard.as_ref().unwrap(), &all[idx]);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let rs = ReedSolomon::new(3, 2).unwrap();
+        // Wrong shard count.
+        assert!(matches!(
+            rs.encode(&sample_data(2, 8)),
+            Err(CodeError::ShardCountMismatch { .. })
+        ));
+        // Ragged shards.
+        let mut ragged = sample_data(3, 8);
+        ragged[2].push(0);
+        assert!(matches!(
+            rs.encode(&ragged),
+            Err(CodeError::ShardSizeMismatch { .. })
+        ));
+        // Wrong stripe width on reconstruct.
+        let mut too_few: Vec<Option<Vec<u8>>> = vec![Some(vec![0u8; 8]); 4];
+        assert!(matches!(
+            rs.reconstruct(&mut too_few),
+            Err(CodeError::ShardCountMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,216 @@
+//! N-way replication expressed as an erasure code.
+//!
+//! The warehouse cluster stores frequently accessed data as 3 replicas; the
+//! paper uses 3× replication as the storage-overhead baseline (3× versus
+//! 1.4× for the (10, 4) RS code). Modelling it through the same
+//! [`ErasureCode`] trait lets the simulator and the comparison tables treat
+//! all schemes uniformly: replication has `k = 1`, `r = replicas − 1`, and a
+//! single-shard repair copies exactly one replica.
+
+use crate::params::{validate_data_shards, validate_present_shards};
+use crate::repair::{FetchRequest, Fraction, RepairPlan};
+use crate::{CodeError, CodeParams, ErasureCode};
+
+/// N-way replication (`k = 1`, `r = replicas − 1`).
+///
+/// # Example
+///
+/// ```
+/// use pbrs_erasure::{ErasureCode, Replication};
+///
+/// # fn main() -> Result<(), pbrs_erasure::CodeError> {
+/// let rep = Replication::new(3)?;
+/// assert_eq!(rep.storage_overhead(), 3.0);
+///
+/// // Recovery copies exactly one replica — this is why replication is cheap
+/// // on the network and expensive on disk capacity.
+/// let plan = rep.repair_plan(0, &[false, true, true])?;
+/// assert_eq!(plan.helper_count(), 1);
+/// assert_eq!(plan.total_fraction(), 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Replication {
+    params: CodeParams,
+}
+
+impl Replication {
+    /// Creates an n-way replication scheme storing `replicas` total copies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::InvalidParams`] if `replicas < 2` or
+    /// `replicas > 256`.
+    pub fn new(replicas: usize) -> Result<Self, CodeError> {
+        if replicas < 2 {
+            return Err(CodeError::InvalidParams {
+                reason: "replication needs at least 2 copies".into(),
+            });
+        }
+        Ok(Replication {
+            params: CodeParams::new(1, replicas - 1)?,
+        })
+    }
+
+    /// The cluster's default scheme: 3 replicas.
+    pub fn triple() -> Self {
+        Self::new(3).expect("3 replicas are always valid")
+    }
+
+    /// Total number of copies stored.
+    pub fn replicas(&self) -> usize {
+        self.params.total_shards()
+    }
+}
+
+impl ErasureCode for Replication {
+    fn params(&self) -> CodeParams {
+        self.params
+    }
+
+    fn name(&self) -> String {
+        format!("{}-replication", self.replicas())
+    }
+
+    fn encode(&self, data: &[Vec<u8>]) -> Result<Vec<Vec<u8>>, CodeError> {
+        validate_data_shards(data, 1, 1)?;
+        Ok(vec![data[0].clone(); self.params.parity_shards()])
+    }
+
+    fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), CodeError> {
+        validate_present_shards(shards, self.params.total_shards(), 1)?;
+        let source = shards
+            .iter()
+            .flatten()
+            .next()
+            .cloned()
+            .expect("validate_present_shards guarantees one present shard");
+        for shard in shards.iter_mut() {
+            if shard.is_none() {
+                *shard = Some(source.clone());
+            }
+        }
+        Ok(())
+    }
+
+    fn repair_plan(&self, target: usize, available: &[bool]) -> Result<RepairPlan, CodeError> {
+        let n = self.params.total_shards();
+        if available.len() != n {
+            return Err(CodeError::ShardCountMismatch {
+                expected: n,
+                actual: available.len(),
+            });
+        }
+        if target >= n {
+            return Err(CodeError::InvalidShardIndex {
+                index: target,
+                total: n,
+            });
+        }
+        if available[target] {
+            return Err(CodeError::TargetNotMissing { index: target });
+        }
+        let helper = (0..n)
+            .find(|&i| available[i])
+            .ok_or(CodeError::NotEnoughShards {
+                needed: 1,
+                available: 0,
+            })?;
+        Ok(RepairPlan {
+            target,
+            fetches: vec![FetchRequest {
+                shard: helper,
+                fraction: Fraction::ONE,
+            }],
+        })
+    }
+
+    fn is_mds(&self) -> bool {
+        // A (1, r) repetition code is trivially MDS.
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameters_and_overhead() {
+        let rep = Replication::triple();
+        assert_eq!(rep.replicas(), 3);
+        assert_eq!(rep.name(), "3-replication");
+        assert_eq!(rep.storage_overhead(), 3.0);
+        assert_eq!(rep.fault_tolerance(), 2);
+        assert!(rep.is_mds());
+        assert!(Replication::new(1).is_err());
+        assert!(Replication::new(2).is_ok());
+    }
+
+    #[test]
+    fn encode_copies() {
+        let rep = Replication::triple();
+        let data = vec![vec![7u8, 8, 9]];
+        let copies = rep.encode(&data).unwrap();
+        assert_eq!(copies, vec![vec![7u8, 8, 9], vec![7u8, 8, 9]]);
+        let mut all = data.clone();
+        all.extend(copies);
+        assert!(rep.verify(&all).unwrap());
+    }
+
+    #[test]
+    fn reconstruct_from_any_copy() {
+        let rep = Replication::triple();
+        let mut shards = vec![None, None, Some(vec![42u8; 10])];
+        rep.reconstruct(&mut shards).unwrap();
+        for s in &shards {
+            assert_eq!(s.as_deref(), Some(&[42u8; 10][..]));
+        }
+        let mut empty: Vec<Option<Vec<u8>>> = vec![None, None, None];
+        assert!(rep.reconstruct(&mut empty).is_err());
+    }
+
+    #[test]
+    fn repair_downloads_one_copy() {
+        let rep = Replication::triple();
+        let plan = rep.repair_plan(1, &[true, false, true]).unwrap();
+        assert_eq!(plan.helper_count(), 1);
+        assert_eq!(plan.helper_indices(), vec![0]);
+        assert_eq!(plan.bytes_read(256), 256);
+
+        let shards = vec![Some(vec![5u8; 64]), None, Some(vec![5u8; 64])];
+        let outcome = rep.repair(1, &shards).unwrap();
+        assert_eq!(outcome.shard, vec![5u8; 64]);
+        assert_eq!(outcome.metrics.helpers, 1);
+        assert_eq!(outcome.metrics.bytes_transferred, 64);
+    }
+
+    #[test]
+    fn average_repair_fraction_is_whole_block() {
+        // k = 1, so repairing one shard reads exactly one "logical stripe".
+        let rep = Replication::triple();
+        assert!((rep.average_repair_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repair_plan_error_paths() {
+        let rep = Replication::triple();
+        assert!(matches!(
+            rep.repair_plan(0, &[false, true]),
+            Err(CodeError::ShardCountMismatch { .. })
+        ));
+        assert!(matches!(
+            rep.repair_plan(5, &[false, true, true]),
+            Err(CodeError::InvalidShardIndex { .. })
+        ));
+        assert!(matches!(
+            rep.repair_plan(0, &[true, true, true]),
+            Err(CodeError::TargetNotMissing { .. })
+        ));
+        assert!(matches!(
+            rep.repair_plan(0, &[false, false, false]),
+            Err(CodeError::NotEnoughShards { .. })
+        ));
+    }
+}

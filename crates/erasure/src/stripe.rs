@@ -1,0 +1,324 @@
+//! Stripe containers and block↔shard helpers.
+//!
+//! The warehouse cluster encodes files by first splitting them into 256 MB
+//! blocks, grouping 10 blocks into a block-level stripe and generating 4
+//! parity blocks (paper Fig. 2). These helpers provide the byte-level side of
+//! that pipeline: splitting a contiguous byte block into `k` equal shards
+//! (with zero padding) and joining shards back into the original bytes.
+
+use crate::{CodeError, ErasureCode};
+
+/// A stripe of optional shards, as used during degraded operation.
+///
+/// # Example
+///
+/// ```
+/// use pbrs_erasure::{ErasureCode, ReedSolomon, Stripe};
+///
+/// # fn main() -> Result<(), pbrs_erasure::CodeError> {
+/// let rs = ReedSolomon::new(4, 2)?;
+/// let data: Vec<Vec<u8>> = (0..4).map(|i| vec![i as u8; 8]).collect();
+/// let mut stripe = Stripe::from_encoding(&rs, &data)?;
+/// stripe.erase(1);
+/// stripe.erase(5);
+/// assert_eq!(stripe.missing(), vec![1, 5]);
+/// stripe.reconstruct(&rs)?;
+/// assert!(stripe.is_complete());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stripe {
+    shards: Vec<Option<Vec<u8>>>,
+}
+
+impl Stripe {
+    /// Creates a stripe from complete shards.
+    pub fn new(shards: Vec<Vec<u8>>) -> Self {
+        Stripe {
+            shards: shards.into_iter().map(Some).collect(),
+        }
+    }
+
+    /// Creates a stripe holding `n` missing shards.
+    pub fn empty(n: usize) -> Self {
+        Stripe {
+            shards: vec![None; n],
+        }
+    }
+
+    /// Encodes `data` with `code` and returns the full stripe
+    /// (data shards followed by parity shards).
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding errors from the code.
+    pub fn from_encoding<C: ErasureCode + ?Sized>(
+        code: &C,
+        data: &[Vec<u8>],
+    ) -> Result<Self, CodeError> {
+        let parity = code.encode(data)?;
+        let mut shards: Vec<Option<Vec<u8>>> = data.iter().cloned().map(Some).collect();
+        shards.extend(parity.into_iter().map(Some));
+        Ok(Stripe { shards })
+    }
+
+    /// Number of shard slots.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// `true` if the stripe has no shard slots.
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// Marks shard `index` as missing, returning the previous contents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn erase(&mut self, index: usize) -> Option<Vec<u8>> {
+        self.shards[index].take()
+    }
+
+    /// Stores `shard` at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn insert(&mut self, index: usize, shard: Vec<u8>) {
+        self.shards[index] = Some(shard);
+    }
+
+    /// Returns shard `index` if present.
+    pub fn shard(&self, index: usize) -> Option<&[u8]> {
+        self.shards.get(index).and_then(|s| s.as_deref())
+    }
+
+    /// Indices of missing shards.
+    pub fn missing(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.is_none().then_some(i))
+            .collect()
+    }
+
+    /// Availability mask (`true` = present), as consumed by
+    /// [`ErasureCode::repair_plan`].
+    pub fn availability(&self) -> Vec<bool> {
+        self.shards.iter().map(|s| s.is_some()).collect()
+    }
+
+    /// `true` when every shard is present.
+    pub fn is_complete(&self) -> bool {
+        self.shards.iter().all(|s| s.is_some())
+    }
+
+    /// Number of missing shards.
+    pub fn missing_count(&self) -> usize {
+        self.shards.iter().filter(|s| s.is_none()).count()
+    }
+
+    /// Reconstructs all missing shards in place using `code`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decoding errors from the code.
+    pub fn reconstruct<C: ErasureCode + ?Sized>(&mut self, code: &C) -> Result<(), CodeError> {
+        code.reconstruct(&mut self.shards)
+    }
+
+    /// Immutable access to the underlying optional shards.
+    pub fn as_slice(&self) -> &[Option<Vec<u8>>] {
+        &self.shards
+    }
+
+    /// Mutable access to the underlying optional shards.
+    pub fn as_mut_slice(&mut self) -> &mut [Option<Vec<u8>>] {
+        &mut self.shards
+    }
+
+    /// Consumes the stripe and returns the shards, which must all be present.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::NotEnoughShards`] if any shard is missing.
+    pub fn into_shards(self) -> Result<Vec<Vec<u8>>, CodeError> {
+        let total = self.shards.len();
+        let present = self.shards.iter().filter(|s| s.is_some()).count();
+        if present != total {
+            return Err(CodeError::NotEnoughShards {
+                needed: total,
+                available: present,
+            });
+        }
+        Ok(self.shards.into_iter().map(|s| s.expect("checked")).collect())
+    }
+}
+
+impl From<Vec<Option<Vec<u8>>>> for Stripe {
+    fn from(shards: Vec<Option<Vec<u8>>>) -> Self {
+        Stripe { shards }
+    }
+}
+
+/// Splits a contiguous byte block into `k` equal shards, padding the last
+/// shard with zeros so that every shard length is a multiple of
+/// `granularity`.
+///
+/// Returns the shards together with the original length (needed by
+/// [`join_shards`] to strip the padding).
+///
+/// # Errors
+///
+/// Returns [`CodeError::InvalidParams`] if `k == 0`, `granularity == 0`, or
+/// `data` is empty.
+pub fn split_into_shards(
+    data: &[u8],
+    k: usize,
+    granularity: usize,
+) -> Result<(Vec<Vec<u8>>, usize), CodeError> {
+    if k == 0 || granularity == 0 {
+        return Err(CodeError::InvalidParams {
+            reason: "k and granularity must be positive".into(),
+        });
+    }
+    if data.is_empty() {
+        return Err(CodeError::InvalidParams {
+            reason: "cannot split an empty block".into(),
+        });
+    }
+    let raw = data.len().div_ceil(k);
+    let shard_len = raw.div_ceil(granularity) * granularity;
+    let mut shards = Vec::with_capacity(k);
+    for i in 0..k {
+        let start = (i * shard_len).min(data.len());
+        let end = ((i + 1) * shard_len).min(data.len());
+        let mut shard = data[start..end].to_vec();
+        shard.resize(shard_len, 0);
+        shards.push(shard);
+    }
+    Ok((shards, data.len()))
+}
+
+/// Joins data shards produced by [`split_into_shards`] back into the original
+/// byte block of length `original_len`.
+///
+/// # Errors
+///
+/// Returns [`CodeError::InvalidParams`] if the shards cannot contain
+/// `original_len` bytes.
+pub fn join_shards(shards: &[Vec<u8>], original_len: usize) -> Result<Vec<u8>, CodeError> {
+    let capacity: usize = shards.iter().map(|s| s.len()).sum();
+    if capacity < original_len {
+        return Err(CodeError::InvalidParams {
+            reason: format!("shards hold {capacity} bytes, need {original_len}"),
+        });
+    }
+    let mut out = Vec::with_capacity(original_len);
+    for shard in shards {
+        if out.len() >= original_len {
+            break;
+        }
+        let take = (original_len - out.len()).min(shard.len());
+        out.extend_from_slice(&shard[..take]);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ReedSolomon;
+
+    #[test]
+    fn split_and_join_round_trip() {
+        let data: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        for k in [1usize, 3, 7, 10] {
+            for granularity in [1usize, 2, 4] {
+                let (shards, len) = split_into_shards(&data, k, granularity).unwrap();
+                assert_eq!(shards.len(), k);
+                assert_eq!(len, data.len());
+                let shard_len = shards[0].len();
+                assert_eq!(shard_len % granularity, 0);
+                assert!(shards.iter().all(|s| s.len() == shard_len));
+                let joined = join_shards(&shards, len).unwrap();
+                assert_eq!(joined, data);
+            }
+        }
+    }
+
+    #[test]
+    fn split_rejects_bad_inputs() {
+        assert!(split_into_shards(&[], 4, 1).is_err());
+        assert!(split_into_shards(&[1, 2, 3], 0, 1).is_err());
+        assert!(split_into_shards(&[1, 2, 3], 2, 0).is_err());
+    }
+
+    #[test]
+    fn join_rejects_short_shards() {
+        let shards = vec![vec![1u8, 2], vec![3u8, 4]];
+        assert!(join_shards(&shards, 10).is_err());
+        assert_eq!(join_shards(&shards, 3).unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn split_tiny_block_across_many_shards() {
+        // A 3-byte block split 10 ways: later shards are pure padding.
+        let (shards, len) = split_into_shards(&[9, 8, 7], 10, 2).unwrap();
+        assert_eq!(len, 3);
+        assert_eq!(shards.len(), 10);
+        assert!(shards.iter().all(|s| s.len() == 2));
+        assert_eq!(join_shards(&shards, len).unwrap(), vec![9, 8, 7]);
+    }
+
+    #[test]
+    fn stripe_lifecycle() {
+        let rs = ReedSolomon::new(4, 2).unwrap();
+        let data: Vec<Vec<u8>> = (0..4).map(|i| vec![i as u8 * 3 + 1; 12]).collect();
+        let mut stripe = Stripe::from_encoding(&rs, &data).unwrap();
+        assert_eq!(stripe.len(), 6);
+        assert!(!stripe.is_empty());
+        assert!(stripe.is_complete());
+        assert!(stripe.missing().is_empty());
+
+        let erased = stripe.erase(2).unwrap();
+        assert_eq!(erased, data[2]);
+        stripe.erase(4);
+        assert_eq!(stripe.missing(), vec![2, 4]);
+        assert_eq!(stripe.missing_count(), 2);
+        assert_eq!(
+            stripe.availability(),
+            vec![true, true, false, true, false, true]
+        );
+        assert!(stripe.shard(2).is_none());
+        assert_eq!(stripe.shard(0), Some(&data[0][..]));
+
+        stripe.reconstruct(&rs).unwrap();
+        assert!(stripe.is_complete());
+        assert_eq!(stripe.shard(2), Some(&data[2][..]));
+
+        let shards = stripe.clone().into_shards().unwrap();
+        assert_eq!(shards.len(), 6);
+        assert!(rs.verify(&shards).unwrap());
+
+        stripe.erase(0);
+        assert!(stripe.into_shards().is_err());
+    }
+
+    #[test]
+    fn stripe_insert_and_empty() {
+        let mut stripe = Stripe::empty(3);
+        assert_eq!(stripe.len(), 3);
+        assert_eq!(stripe.missing_count(), 3);
+        stripe.insert(1, vec![1, 2, 3]);
+        assert_eq!(stripe.shard(1), Some(&[1u8, 2, 3][..]));
+        assert_eq!(stripe.missing(), vec![0, 2]);
+
+        let from_vec: Stripe = vec![Some(vec![1u8]), None].into();
+        assert_eq!(from_vec.missing(), vec![1]);
+        assert!(Stripe::empty(0).is_empty());
+    }
+}

@@ -1,0 +1,208 @@
+//! Property-based tests for the baseline codes: MDS round-trips, repair
+//! correctness, and cost-model invariants under random parameters and
+//! erasure patterns.
+
+use pbrs_erasure::{ErasureCode, Lrc, LrcParams, ReedSolomon, Replication, Stripe};
+use proptest::prelude::*;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+fn random_data(rng: &mut StdRng, k: usize, len: usize) -> Vec<Vec<u8>> {
+    (0..k)
+        .map(|_| (0..len).map(|_| rng.random()).collect())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any <= r erasures of an RS stripe are recoverable and recover the
+    /// original bytes exactly.
+    #[test]
+    fn rs_round_trip_any_erasure_pattern(
+        k in 2usize..12,
+        r in 1usize..6,
+        len in 1usize..64,
+        erasures in 0usize..6,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rs = ReedSolomon::new(k, r).unwrap();
+        let data = random_data(&mut rng, k, len);
+        let mut stripe = Stripe::from_encoding(&rs, &data).unwrap();
+        let original: Vec<Vec<u8>> = stripe.clone().into_shards().unwrap();
+
+        let mut indices: Vec<usize> = (0..k + r).collect();
+        indices.shuffle(&mut rng);
+        let erase_count = erasures.min(r);
+        for &i in indices.iter().take(erase_count) {
+            stripe.erase(i);
+        }
+        stripe.reconstruct(&rs).unwrap();
+        let recovered = stripe.into_shards().unwrap();
+        prop_assert_eq!(recovered, original);
+    }
+
+    /// Erasing more than r shards must be rejected, never silently mis-decoded.
+    #[test]
+    fn rs_rejects_excess_erasures(
+        k in 2usize..10,
+        r in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rs = ReedSolomon::new(k, r).unwrap();
+        let data = random_data(&mut rng, k, 16);
+        let mut stripe = Stripe::from_encoding(&rs, &data).unwrap();
+        let mut indices: Vec<usize> = (0..k + r).collect();
+        indices.shuffle(&mut rng);
+        for &i in indices.iter().take(r + 1) {
+            stripe.erase(i);
+        }
+        prop_assert!(stripe.reconstruct(&rs).is_err());
+    }
+
+    /// Single-shard repair returns exactly the lost shard, for every shard
+    /// position, and its metrics match the plan (k whole shards).
+    #[test]
+    fn rs_single_repair_matches_plan(
+        k in 2usize..12,
+        r in 1usize..5,
+        len in 1usize..48,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rs = ReedSolomon::new(k, r).unwrap();
+        let data = random_data(&mut rng, k, len);
+        let stripe = Stripe::from_encoding(&rs, &data).unwrap();
+        let all = stripe.clone().into_shards().unwrap();
+        let target = rng.random_range(0..k + r);
+        let mut degraded = stripe;
+        degraded.erase(target);
+        let outcome = rs.repair(target, degraded.as_slice()).unwrap();
+        prop_assert_eq!(&outcome.shard, &all[target]);
+        prop_assert_eq!(outcome.metrics.helpers, k);
+        prop_assert_eq!(outcome.metrics.bytes_transferred, (k * len) as u64);
+    }
+
+    /// The verify() check accepts valid stripes and rejects any single-bit
+    /// corruption of any shard.
+    #[test]
+    fn rs_verify_detects_corruption(
+        k in 2usize..8,
+        r in 1usize..4,
+        len in 1usize..32,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rs = ReedSolomon::new(k, r).unwrap();
+        let data = random_data(&mut rng, k, len);
+        let mut shards = Stripe::from_encoding(&rs, &data).unwrap().into_shards().unwrap();
+        prop_assert!(rs.verify(&shards).unwrap());
+        let victim = rng.random_range(0..k + r);
+        let byte = rng.random_range(0..len);
+        let bit = 1u8 << rng.random_range(0..8);
+        shards[victim][byte] ^= bit;
+        prop_assert!(!rs.verify(&shards).unwrap());
+    }
+
+    /// LRC recovers from any pattern of up to `global_parities` erasures.
+    #[test]
+    fn lrc_round_trip_within_guarantee(
+        k in 4usize..12,
+        l in 2usize..4,
+        g in 1usize..4,
+        len in 1usize..32,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(l <= k);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let lrc = Lrc::new(LrcParams { k, local_groups: l, global_parities: g }).unwrap();
+        let data = random_data(&mut rng, k, len);
+        let mut stripe = Stripe::from_encoding(&lrc, &data).unwrap();
+        let original = stripe.clone().into_shards().unwrap();
+        let n = lrc.params().total_shards();
+        let mut indices: Vec<usize> = (0..n).collect();
+        indices.shuffle(&mut rng);
+        let erase_count = rng.random_range(0..=g);
+        for &i in indices.iter().take(erase_count) {
+            stripe.erase(i);
+        }
+        stripe.reconstruct(&lrc).unwrap();
+        prop_assert_eq!(stripe.into_shards().unwrap(), original);
+    }
+
+    /// A single LRC data-shard failure is repaired strictly more cheaply than
+    /// under RS with the same k whenever the group is smaller than k.
+    #[test]
+    fn lrc_single_repair_cheaper_than_rs(
+        k in 4usize..12,
+        l in 2usize..4,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(l <= k && k / l + 1 < k);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let lrc = Lrc::new(LrcParams { k, local_groups: l, global_parities: 2 }).unwrap();
+        let n = lrc.params().total_shards();
+        let target = rng.random_range(0..k);
+        let mut available = vec![true; n];
+        available[target] = false;
+        let plan = lrc.repair_plan(target, &available).unwrap();
+        prop_assert!(plan.total_fraction() < k as f64);
+        // And the repair actually yields the right bytes.
+        let data = random_data(&mut rng, k, 24);
+        let stripe = Stripe::from_encoding(&lrc, &data).unwrap();
+        let all = stripe.clone().into_shards().unwrap();
+        let mut degraded = stripe;
+        degraded.erase(target);
+        let outcome = lrc.repair(target, degraded.as_slice()).unwrap();
+        prop_assert_eq!(&outcome.shard, &all[target]);
+    }
+
+    /// Replication round-trips and repairs from a single surviving copy.
+    #[test]
+    fn replication_round_trip(
+        replicas in 2usize..6,
+        len in 1usize..64,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rep = Replication::new(replicas).unwrap();
+        let data = random_data(&mut rng, 1, len);
+        let mut stripe = Stripe::from_encoding(&rep, &data).unwrap();
+        let original = stripe.clone().into_shards().unwrap();
+        // Erase all but one random copy.
+        let survivor = rng.random_range(0..replicas);
+        for i in 0..replicas {
+            if i != survivor {
+                stripe.erase(i);
+            }
+        }
+        stripe.reconstruct(&rep).unwrap();
+        prop_assert_eq!(stripe.into_shards().unwrap(), original);
+    }
+
+    /// The repair-plan byte accounting is consistent with executing the plan
+    /// on real shards, for all three baseline codes.
+    #[test]
+    fn plan_bytes_match_execution(
+        len in 2usize..64,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rs = ReedSolomon::new(10, 4).unwrap();
+        let lrc = Lrc::new(LrcParams::XORBAS).unwrap();
+        let codes: Vec<(&dyn ErasureCode, usize)> = vec![(&rs, 14), (&lrc, 16)];
+        for (code, n) in codes {
+            let data = random_data(&mut rng, 10, len);
+            let stripe = Stripe::from_encoding(code, &data).unwrap();
+            let target = rng.random_range(0..n);
+            let mut degraded = stripe;
+            degraded.erase(target);
+            let plan = code.repair_plan(target, &degraded.availability()).unwrap();
+            let outcome = code.repair(target, degraded.as_slice()).unwrap();
+            prop_assert_eq!(outcome.metrics.bytes_transferred, plan.bytes_read(len));
+            prop_assert_eq!(outcome.metrics.helpers, plan.helper_count());
+        }
+    }
+}

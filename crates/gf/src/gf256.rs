@@ -1,0 +1,366 @@
+//! The [`Gf256`] field-element newtype.
+
+use core::fmt;
+use core::iter::{Product, Sum};
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+use crate::tables;
+
+/// An element of GF(2^8).
+///
+/// Addition and subtraction are both XOR; multiplication and division use the
+/// exp/log tables in [`crate::tables`]. The type is a transparent wrapper over
+/// `u8`, so it can be freely converted to and from raw bytes.
+///
+/// # Example
+///
+/// ```
+/// use pbrs_gf::Gf256;
+///
+/// let a = Gf256::new(7);
+/// let b = Gf256::new(200);
+/// assert_eq!(a - b, a + b); // characteristic 2
+/// assert_eq!((a / b) * b, a);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+#[repr(transparent)]
+pub struct Gf256(pub u8);
+
+impl Gf256 {
+    /// The additive identity.
+    pub const ZERO: Gf256 = Gf256(0);
+    /// The multiplicative identity.
+    pub const ONE: Gf256 = Gf256(1);
+    /// The canonical multiplicative generator (`0x02`).
+    pub const GENERATOR: Gf256 = Gf256(tables::GENERATOR);
+
+    /// Wraps a raw byte as a field element.
+    #[inline]
+    pub const fn new(value: u8) -> Self {
+        Gf256(value)
+    }
+
+    /// Returns the raw byte value.
+    #[inline]
+    pub const fn value(self) -> u8 {
+        self.0
+    }
+
+    /// Returns `true` if this is the additive identity.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// `generator^i`, the i-th power of the canonical generator.
+    ///
+    /// Useful for constructing Vandermonde evaluation points.
+    #[inline]
+    pub const fn alpha(i: usize) -> Self {
+        Gf256(tables::EXP[i % 255])
+    }
+
+    /// The multiplicative inverse, or `None` for zero.
+    #[inline]
+    pub const fn inverse(self) -> Option<Self> {
+        match tables::inverse(self.0) {
+            Some(v) => Some(Gf256(v)),
+            None => None,
+        }
+    }
+
+    /// Raises the element to the power `n` (with `x^0 == 1` for all `x`).
+    #[inline]
+    pub const fn pow(self, n: u32) -> Self {
+        Gf256(tables::pow(self.0, n))
+    }
+
+    /// Discrete logarithm with respect to the canonical generator.
+    ///
+    /// Returns `None` for zero.
+    #[inline]
+    pub const fn log(self) -> Option<u8> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(tables::LOG[self.0 as usize])
+        }
+    }
+}
+
+impl fmt::Debug for Gf256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Gf256({:#04x})", self.0)
+    }
+}
+
+impl fmt::Display for Gf256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#04x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Gf256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for Gf256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::Binary for Gf256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+impl fmt::Octal for Gf256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Octal::fmt(&self.0, f)
+    }
+}
+
+impl From<u8> for Gf256 {
+    #[inline]
+    fn from(value: u8) -> Self {
+        Gf256(value)
+    }
+}
+
+impl From<Gf256> for u8 {
+    #[inline]
+    fn from(value: Gf256) -> Self {
+        value.0
+    }
+}
+
+impl Add for Gf256 {
+    type Output = Gf256;
+    #[inline]
+    fn add(self, rhs: Gf256) -> Gf256 {
+        Gf256(self.0 ^ rhs.0)
+    }
+}
+
+impl AddAssign for Gf256 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Gf256) {
+        self.0 ^= rhs.0;
+    }
+}
+
+impl Sub for Gf256 {
+    type Output = Gf256;
+    #[inline]
+    fn sub(self, rhs: Gf256) -> Gf256 {
+        Gf256(self.0 ^ rhs.0)
+    }
+}
+
+impl SubAssign for Gf256 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Gf256) {
+        self.0 ^= rhs.0;
+    }
+}
+
+impl Neg for Gf256 {
+    type Output = Gf256;
+    #[inline]
+    fn neg(self) -> Gf256 {
+        // In characteristic 2 every element is its own additive inverse.
+        self
+    }
+}
+
+impl Mul for Gf256 {
+    type Output = Gf256;
+    #[inline]
+    fn mul(self, rhs: Gf256) -> Gf256 {
+        Gf256(tables::mul(self.0, rhs.0))
+    }
+}
+
+impl MulAssign for Gf256 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Gf256) {
+        self.0 = tables::mul(self.0, rhs.0);
+    }
+}
+
+impl Div for Gf256 {
+    type Output = Gf256;
+    /// # Panics
+    ///
+    /// Panics when dividing by zero.
+    #[inline]
+    fn div(self, rhs: Gf256) -> Gf256 {
+        Gf256(tables::div(self.0, rhs.0))
+    }
+}
+
+impl DivAssign for Gf256 {
+    #[inline]
+    fn div_assign(&mut self, rhs: Gf256) {
+        self.0 = tables::div(self.0, rhs.0);
+    }
+}
+
+impl Sum for Gf256 {
+    fn sum<I: Iterator<Item = Gf256>>(iter: I) -> Gf256 {
+        iter.fold(Gf256::ZERO, |acc, x| acc + x)
+    }
+}
+
+impl<'a> Sum<&'a Gf256> for Gf256 {
+    fn sum<I: Iterator<Item = &'a Gf256>>(iter: I) -> Gf256 {
+        iter.copied().sum()
+    }
+}
+
+impl Product for Gf256 {
+    fn product<I: Iterator<Item = Gf256>>(iter: I) -> Gf256 {
+        iter.fold(Gf256::ONE, |acc, x| acc * x)
+    }
+}
+
+impl<'a> Product<&'a Gf256> for Gf256 {
+    fn product<I: Iterator<Item = &'a Gf256>>(iter: I) -> Gf256 {
+        iter.copied().product()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants() {
+        assert_eq!(Gf256::ZERO.value(), 0);
+        assert_eq!(Gf256::ONE.value(), 1);
+        assert!(Gf256::ZERO.is_zero());
+        assert!(!Gf256::ONE.is_zero());
+        assert_eq!(Gf256::default(), Gf256::ZERO);
+    }
+
+    #[test]
+    fn addition_is_xor() {
+        assert_eq!(Gf256::new(0b1010) + Gf256::new(0b0110), Gf256::new(0b1100));
+        let mut x = Gf256::new(0xAB);
+        x += Gf256::new(0xAB);
+        assert_eq!(x, Gf256::ZERO);
+    }
+
+    #[test]
+    fn subtraction_equals_addition() {
+        for a in 0..=255u8 {
+            for b in [0u8, 1, 17, 0xFE, 0xFF] {
+                assert_eq!(Gf256::new(a) - Gf256::new(b), Gf256::new(a) + Gf256::new(b));
+            }
+        }
+    }
+
+    #[test]
+    fn negation_is_identity() {
+        for a in 0..=255u8 {
+            assert_eq!(-Gf256::new(a), Gf256::new(a));
+        }
+    }
+
+    #[test]
+    fn field_axioms_exhaustive_sample() {
+        let sample = [0u8, 1, 2, 3, 5, 7, 0x10, 0x53, 0x8E, 0xCA, 0xFE, 0xFF];
+        for &a in &sample {
+            for &b in &sample {
+                for &c in &sample {
+                    let (a, b, c) = (Gf256::new(a), Gf256::new(b), Gf256::new(c));
+                    assert_eq!(a + b, b + a);
+                    assert_eq!(a * b, b * a);
+                    assert_eq!((a + b) + c, a + (b + c));
+                    assert_eq!((a * b) * c, a * (b * c));
+                    assert_eq!(a * (b + c), a * b + a * c);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        for a in 0..=255u8 {
+            for b in 1..=255u8 {
+                let (a, b) = (Gf256::new(a), Gf256::new(b));
+                assert_eq!((a * b) / b, a);
+                let mut x = a;
+                x *= b;
+                x /= b;
+                assert_eq!(x, a);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn division_by_zero_panics() {
+        let _ = Gf256::ONE / Gf256::ZERO;
+    }
+
+    #[test]
+    fn inverse_and_pow() {
+        assert_eq!(Gf256::ZERO.inverse(), None);
+        for a in 1..=255u8 {
+            let a = Gf256::new(a);
+            assert_eq!(a * a.inverse().unwrap(), Gf256::ONE);
+            assert_eq!(a.pow(255), Gf256::ONE, "Fermat's little theorem analogue");
+            assert_eq!(a.pow(0), Gf256::ONE);
+            assert_eq!(a.pow(1), a);
+        }
+    }
+
+    #[test]
+    fn alpha_powers_are_exp_table() {
+        assert_eq!(Gf256::alpha(0), Gf256::ONE);
+        assert_eq!(Gf256::alpha(1), Gf256::GENERATOR);
+        for i in 0..512 {
+            assert_eq!(Gf256::alpha(i), Gf256::GENERATOR.pow(i as u32));
+        }
+    }
+
+    #[test]
+    fn log_round_trips() {
+        assert_eq!(Gf256::ZERO.log(), None);
+        for a in 1..=255u8 {
+            let a = Gf256::new(a);
+            let l = a.log().unwrap();
+            assert_eq!(Gf256::alpha(l as usize), a);
+        }
+    }
+
+    #[test]
+    fn sum_and_product_iterators() {
+        let xs = [Gf256::new(1), Gf256::new(2), Gf256::new(3)];
+        let s: Gf256 = xs.iter().sum();
+        assert_eq!(s, Gf256::new(1 ^ 2 ^ 3));
+        let p: Gf256 = xs.iter().product();
+        assert_eq!(p, Gf256::new(1) * Gf256::new(2) * Gf256::new(3));
+        let empty: [Gf256; 0] = [];
+        assert_eq!(empty.iter().sum::<Gf256>(), Gf256::ZERO);
+        assert_eq!(empty.iter().product::<Gf256>(), Gf256::ONE);
+    }
+
+    #[test]
+    fn conversions_and_formatting() {
+        let a: Gf256 = 0xAB_u8.into();
+        let b: u8 = a.into();
+        assert_eq!(b, 0xAB);
+        assert_eq!(format!("{a}"), "0xab");
+        assert_eq!(format!("{a:?}"), "Gf256(0xab)");
+        assert_eq!(format!("{a:x}"), "ab");
+        assert_eq!(format!("{a:X}"), "AB");
+        assert_eq!(format!("{:b}", Gf256::new(5)), "101");
+        assert_eq!(format!("{:o}", Gf256::new(9)), "11");
+    }
+}

@@ -1,0 +1,45 @@
+//! Arithmetic over the finite field GF(2^8) and the dense linear algebra
+//! needed by erasure codes.
+//!
+//! This crate is the lowest-level substrate of the Piggybacked-RS
+//! reproduction: every byte of every parity in the higher-level crates is
+//! produced by the kernels defined here.
+//!
+//! # Contents
+//!
+//! * [`Gf256`] — a field element with the usual operator overloads.
+//! * [`tables`] — exp/log tables for the `x^8 + x^4 + x^3 + x^2 + 1`
+//!   (`0x11D`) polynomial, built at compile time.
+//! * [`slice_ops`] — bulk kernels (`mul_slice`, `mul_add_slice`,
+//!   `xor_slice`) used by the encoders on whole shards.
+//! * [`matrix`] — dense matrices over GF(2^8): multiplication,
+//!   Gauss–Jordan inversion, rank, Vandermonde and Cauchy constructors.
+//! * [`poly`] — polynomials over GF(2^8) (evaluation, Lagrange
+//!   interpolation) used to cross-check the Reed–Solomon construction.
+//!
+//! # Example
+//!
+//! ```
+//! use pbrs_gf::Gf256;
+//!
+//! let a = Gf256::new(0x53);
+//! let b = Gf256::new(0xCA);
+//! // Multiplication distributes over XOR-addition.
+//! let c = Gf256::new(7);
+//! assert_eq!((a + b) * c, a * c + b * c);
+//! // Every non-zero element has an inverse.
+//! assert_eq!(a * a.inverse().unwrap(), Gf256::ONE);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gf256;
+pub mod matrix;
+pub mod poly;
+pub mod slice_ops;
+pub mod tables;
+
+pub use gf256::Gf256;
+pub use matrix::Matrix;
+pub use poly::Polynomial;

@@ -1,0 +1,256 @@
+//! Polynomials over GF(2^8).
+//!
+//! Used to cross-check the matrix-based Reed–Solomon construction: encoding k
+//! data symbols with an RS code is equivalent to evaluating the degree-(k−1)
+//! polynomial interpolating them, and decoding is Lagrange interpolation.
+
+use crate::Gf256;
+
+/// A polynomial with coefficients in GF(2^8), stored lowest degree first.
+///
+/// # Example
+///
+/// ```
+/// use pbrs_gf::{Gf256, Polynomial};
+///
+/// // p(x) = 3 + 2x
+/// let p = Polynomial::new(vec![Gf256::new(3), Gf256::new(2)]);
+/// assert_eq!(p.evaluate(Gf256::ZERO), Gf256::new(3));
+/// assert_eq!(p.degree(), Some(1));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Polynomial {
+    coeffs: Vec<Gf256>,
+}
+
+impl Polynomial {
+    /// Creates a polynomial from coefficients (lowest degree first).
+    /// Trailing zero coefficients are trimmed.
+    pub fn new(coeffs: Vec<Gf256>) -> Self {
+        let mut p = Polynomial { coeffs };
+        p.trim();
+        p
+    }
+
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        Polynomial { coeffs: Vec::new() }
+    }
+
+    /// The constant polynomial `c`.
+    pub fn constant(c: Gf256) -> Self {
+        Polynomial::new(vec![c])
+    }
+
+    /// The monomial `c * x^degree`.
+    pub fn monomial(c: Gf256, degree: usize) -> Self {
+        if c.is_zero() {
+            return Polynomial::zero();
+        }
+        let mut coeffs = vec![Gf256::ZERO; degree + 1];
+        coeffs[degree] = c;
+        Polynomial { coeffs }
+    }
+
+    fn trim(&mut self) {
+        while self.coeffs.last().is_some_and(|c| c.is_zero()) {
+            self.coeffs.pop();
+        }
+    }
+
+    /// The coefficients, lowest degree first (no trailing zeros).
+    pub fn coefficients(&self) -> &[Gf256] {
+        &self.coeffs
+    }
+
+    /// The degree, or `None` for the zero polynomial.
+    pub fn degree(&self) -> Option<usize> {
+        if self.coeffs.is_empty() {
+            None
+        } else {
+            Some(self.coeffs.len() - 1)
+        }
+    }
+
+    /// Returns `true` for the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Evaluates the polynomial at `x` using Horner's method.
+    pub fn evaluate(&self, x: Gf256) -> Gf256 {
+        let mut acc = Gf256::ZERO;
+        for &c in self.coeffs.iter().rev() {
+            acc = acc * x + c;
+        }
+        acc
+    }
+
+    /// Adds two polynomials.
+    pub fn add(&self, other: &Polynomial) -> Polynomial {
+        let n = self.coeffs.len().max(other.coeffs.len());
+        let mut coeffs = vec![Gf256::ZERO; n];
+        for (i, c) in coeffs.iter_mut().enumerate() {
+            let a = self.coeffs.get(i).copied().unwrap_or(Gf256::ZERO);
+            let b = other.coeffs.get(i).copied().unwrap_or(Gf256::ZERO);
+            *c = a + b;
+        }
+        Polynomial::new(coeffs)
+    }
+
+    /// Multiplies two polynomials.
+    pub fn mul(&self, other: &Polynomial) -> Polynomial {
+        if self.is_zero() || other.is_zero() {
+            return Polynomial::zero();
+        }
+        let mut coeffs = vec![Gf256::ZERO; self.coeffs.len() + other.coeffs.len() - 1];
+        for (i, &a) in self.coeffs.iter().enumerate() {
+            if a.is_zero() {
+                continue;
+            }
+            for (j, &b) in other.coeffs.iter().enumerate() {
+                coeffs[i + j] += a * b;
+            }
+        }
+        Polynomial::new(coeffs)
+    }
+
+    /// Multiplies by a scalar.
+    pub fn scale(&self, c: Gf256) -> Polynomial {
+        Polynomial::new(self.coeffs.iter().map(|&a| a * c).collect())
+    }
+
+    /// Lagrange interpolation: the unique polynomial of degree `< points.len()`
+    /// passing through all `(x, y)` points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two points share an x-coordinate.
+    pub fn interpolate(points: &[(Gf256, Gf256)]) -> Polynomial {
+        let mut result = Polynomial::zero();
+        for (i, &(xi, yi)) in points.iter().enumerate() {
+            if yi.is_zero() {
+                continue;
+            }
+            // Build the Lagrange basis polynomial for point i.
+            let mut basis = Polynomial::constant(Gf256::ONE);
+            let mut denom = Gf256::ONE;
+            for (j, &(xj, _)) in points.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                assert_ne!(xi, xj, "interpolation points must have distinct x values");
+                // (x - xj) == (x + xj) in characteristic 2.
+                basis = basis.mul(&Polynomial::new(vec![xj, Gf256::ONE]));
+                denom *= xi + xj;
+            }
+            let scale = yi * denom.inverse().expect("denominator is non-zero");
+            result = result.add(&basis.scale(scale));
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(v: u8) -> Gf256 {
+        Gf256::new(v)
+    }
+
+    #[test]
+    fn zero_and_constant() {
+        let z = Polynomial::zero();
+        assert!(z.is_zero());
+        assert_eq!(z.degree(), None);
+        assert_eq!(z.evaluate(g(7)), Gf256::ZERO);
+
+        let c = Polynomial::constant(g(9));
+        assert_eq!(c.degree(), Some(0));
+        assert_eq!(c.evaluate(g(200)), g(9));
+
+        // Constant zero collapses to the zero polynomial.
+        assert!(Polynomial::constant(Gf256::ZERO).is_zero());
+    }
+
+    #[test]
+    fn trailing_zeros_trimmed() {
+        let p = Polynomial::new(vec![g(1), g(2), Gf256::ZERO, Gf256::ZERO]);
+        assert_eq!(p.degree(), Some(1));
+        assert_eq!(p.coefficients().len(), 2);
+    }
+
+    #[test]
+    fn monomial_evaluation() {
+        let m = Polynomial::monomial(g(3), 4);
+        assert_eq!(m.degree(), Some(4));
+        let x = g(5);
+        assert_eq!(m.evaluate(x), g(3) * x.pow(4));
+        assert!(Polynomial::monomial(Gf256::ZERO, 10).is_zero());
+    }
+
+    #[test]
+    fn addition_and_multiplication_consistency() {
+        // (p + q)(x) == p(x) + q(x), (p * q)(x) == p(x) * q(x)
+        let p = Polynomial::new(vec![g(1), g(7), g(3)]);
+        let q = Polynomial::new(vec![g(9), g(0), g(0xAB), g(4)]);
+        for xv in [0u8, 1, 2, 50, 100, 200, 255] {
+            let x = g(xv);
+            assert_eq!(p.add(&q).evaluate(x), p.evaluate(x) + q.evaluate(x));
+            assert_eq!(p.mul(&q).evaluate(x), p.evaluate(x) * q.evaluate(x));
+        }
+    }
+
+    #[test]
+    fn addition_is_self_inverse() {
+        let p = Polynomial::new(vec![g(1), g(7), g(3)]);
+        assert!(p.add(&p).is_zero());
+    }
+
+    #[test]
+    fn scaling() {
+        let p = Polynomial::new(vec![g(2), g(4)]);
+        let s = p.scale(g(3));
+        for xv in [0u8, 1, 9, 77] {
+            assert_eq!(s.evaluate(g(xv)), p.evaluate(g(xv)) * g(3));
+        }
+        assert!(p.scale(Gf256::ZERO).is_zero());
+    }
+
+    #[test]
+    fn interpolation_recovers_polynomial() {
+        let p = Polynomial::new(vec![g(5), g(9), g(0x1D), g(200)]);
+        let points: Vec<(Gf256, Gf256)> = (0..4)
+            .map(|i| {
+                let x = Gf256::alpha(i);
+                (x, p.evaluate(x))
+            })
+            .collect();
+        let q = Polynomial::interpolate(&points);
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn interpolation_through_arbitrary_points() {
+        let points = vec![(g(1), g(10)), (g(2), g(20)), (g(3), g(30)), (g(4), g(1))];
+        let p = Polynomial::interpolate(&points);
+        assert!(p.degree().unwrap() <= 3);
+        for (x, y) in points {
+            assert_eq!(p.evaluate(x), y);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct x values")]
+    fn interpolation_rejects_duplicate_x() {
+        let _ = Polynomial::interpolate(&[(g(1), g(1)), (g(1), g(2))]);
+    }
+
+    #[test]
+    fn interpolation_with_zero_values() {
+        let points = vec![(g(1), Gf256::ZERO), (g(2), Gf256::ZERO)];
+        let p = Polynomial::interpolate(&points);
+        assert!(p.is_zero());
+    }
+}

@@ -1,0 +1,216 @@
+//! Bulk kernels over byte slices.
+//!
+//! Erasure-code encode/decode is dominated by operations of the form
+//! `dst ^= c * src` applied to whole shards. These kernels use a per-scalar
+//! 256-entry lookup row so the inner loop is a single table lookup and XOR
+//! per byte, which is the classic software approach used by HDFS-RAID and
+//! Jerasure.
+
+use crate::tables;
+
+/// `dst[i] ^= src[i]` for all `i`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn xor_slice(dst: &mut [u8], src: &[u8]) {
+    assert_eq!(dst.len(), src.len(), "xor_slice length mismatch");
+    for (d, s) in dst.iter_mut().zip(src.iter()) {
+        *d ^= *s;
+    }
+}
+
+/// `dst[i] = c * src[i]` for all `i`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn mul_slice(c: u8, src: &[u8], dst: &mut [u8]) {
+    assert_eq!(dst.len(), src.len(), "mul_slice length mismatch");
+    if c == 0 {
+        dst.fill(0);
+        return;
+    }
+    if c == 1 {
+        dst.copy_from_slice(src);
+        return;
+    }
+    let row = tables::mul_row(c);
+    for (d, s) in dst.iter_mut().zip(src.iter()) {
+        *d = row[*s as usize];
+    }
+}
+
+/// `dst[i] ^= c * src[i]` for all `i` — the fused multiply-accumulate used by
+/// matrix-vector products over shards.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn mul_add_slice(c: u8, src: &[u8], dst: &mut [u8]) {
+    assert_eq!(dst.len(), src.len(), "mul_add_slice length mismatch");
+    if c == 0 {
+        return;
+    }
+    if c == 1 {
+        xor_slice(dst, src);
+        return;
+    }
+    let row = tables::mul_row(c);
+    for (d, s) in dst.iter_mut().zip(src.iter()) {
+        *d ^= row[*s as usize];
+    }
+}
+
+/// Multiply a slice by `c` in place.
+#[inline]
+pub fn mul_slice_in_place(c: u8, data: &mut [u8]) {
+    if c == 0 {
+        data.fill(0);
+        return;
+    }
+    if c == 1 {
+        return;
+    }
+    let row = tables::mul_row(c);
+    for d in data.iter_mut() {
+        *d = row[*d as usize];
+    }
+}
+
+/// Computes `out[i] = Σ_j coeffs[j] * srcs[j][i]`, i.e. one output shard as a
+/// linear combination of input shards.
+///
+/// # Panics
+///
+/// Panics if `coeffs.len() != srcs.len()` or if any source length differs
+/// from `out.len()`.
+pub fn linear_combination(coeffs: &[u8], srcs: &[&[u8]], out: &mut [u8]) {
+    assert_eq!(
+        coeffs.len(),
+        srcs.len(),
+        "one coefficient is required per source shard"
+    );
+    out.fill(0);
+    for (&c, src) in coeffs.iter().zip(srcs.iter()) {
+        mul_add_slice(c, src, out);
+    }
+}
+
+/// Dot product of two equal-length byte vectors interpreted as GF(2^8)
+/// vectors: `Σ_i a[i] * b[i]`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn dot(a: &[u8], b: &[u8]) -> u8 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    let mut acc = 0u8;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        acc ^= tables::mul(x, y);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn buf(n: usize, seed: u8) -> Vec<u8> {
+        (0..n).map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed)).collect()
+    }
+
+    #[test]
+    fn xor_slice_basic() {
+        let mut a = vec![0xFF, 0x00, 0xAA];
+        xor_slice(&mut a, &[0x0F, 0xF0, 0xAA]);
+        assert_eq!(a, vec![0xF0, 0xF0, 0x00]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn xor_slice_length_mismatch_panics() {
+        let mut a = vec![0u8; 3];
+        xor_slice(&mut a, &[0u8; 4]);
+    }
+
+    #[test]
+    fn mul_slice_matches_scalar() {
+        let src = buf(257, 3);
+        for c in [0u8, 1, 2, 0x1D, 0x8E, 0xFF] {
+            let mut dst = vec![0u8; src.len()];
+            mul_slice(c, &src, &mut dst);
+            for (s, d) in src.iter().zip(dst.iter()) {
+                assert_eq!(*d, tables::mul(c, *s));
+            }
+        }
+    }
+
+    #[test]
+    fn mul_add_slice_matches_scalar() {
+        let src = buf(300, 7);
+        for c in [0u8, 1, 2, 0x1D, 0x8E, 0xFF] {
+            let mut dst = buf(300, 99);
+            let before = dst.clone();
+            mul_add_slice(c, &src, &mut dst);
+            for i in 0..src.len() {
+                assert_eq!(dst[i], before[i] ^ tables::mul(c, src[i]));
+            }
+        }
+    }
+
+    #[test]
+    fn mul_slice_in_place_matches() {
+        for c in [0u8, 1, 5, 0xFF] {
+            let mut a = buf(64, 11);
+            let expect: Vec<u8> = a.iter().map(|&x| tables::mul(c, x)).collect();
+            mul_slice_in_place(c, &mut a);
+            assert_eq!(a, expect);
+        }
+    }
+
+    #[test]
+    fn linear_combination_matches_manual() {
+        let s1 = buf(128, 1);
+        let s2 = buf(128, 2);
+        let s3 = buf(128, 3);
+        let coeffs = [3u8, 0, 0x1D];
+        let mut out = vec![0u8; 128];
+        linear_combination(&coeffs, &[&s1, &s2, &s3], &mut out);
+        for i in 0..128 {
+            let expect = tables::mul(3, s1[i]) ^ tables::mul(0, s2[i]) ^ tables::mul(0x1D, s3[i]);
+            assert_eq!(out[i], expect);
+        }
+    }
+
+    #[test]
+    fn linear_combination_with_no_sources_is_zero() {
+        let mut out = vec![0xAAu8; 16];
+        linear_combination(&[], &[], &mut out);
+        assert!(out.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn dot_product() {
+        assert_eq!(dot(&[], &[]), 0);
+        assert_eq!(dot(&[1, 2, 3], &[1, 1, 1]), 1 ^ 2 ^ 3);
+        assert_eq!(dot(&[5], &[0]), 0);
+        assert_eq!(dot(&[7], &[9]), tables::mul(7, 9));
+    }
+
+    #[test]
+    fn mul_add_is_linear_in_accumulation() {
+        // Applying c1 then c2 over the same src equals applying (c1 ^ c2)
+        // because accumulation is XOR and multiplication distributes.
+        let src = buf(200, 5);
+        let mut d1 = vec![0u8; 200];
+        mul_add_slice(0x31, &src, &mut d1);
+        mul_add_slice(0x47, &src, &mut d1);
+        let mut d2 = vec![0u8; 200];
+        mul_add_slice(0x31 ^ 0x47, &src, &mut d2);
+        assert_eq!(d1, d2);
+    }
+}

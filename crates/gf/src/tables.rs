@@ -1,0 +1,254 @@
+//! Precomputed exponent/logarithm tables for GF(2^8).
+//!
+//! The field is defined by the primitive polynomial
+//! `x^8 + x^4 + x^3 + x^2 + 1` (`0x11D`), the same polynomial used by most
+//! storage erasure-code implementations (ISA-L, Jerasure, HDFS-RAID). The
+//! generator element is `0x02`.
+//!
+//! All tables are computed in `const` context so there is no runtime
+//! initialisation and no synchronisation.
+
+/// The reduction polynomial (with the leading `x^8` term), `0x11D`.
+pub const POLYNOMIAL: u16 = 0x11D;
+
+/// The multiplicative generator used to build the exp/log tables.
+pub const GENERATOR: u8 = 0x02;
+
+/// Order of the multiplicative group (number of non-zero elements).
+pub const GROUP_ORDER: usize = 255;
+
+/// Number of elements in the field.
+pub const FIELD_SIZE: usize = 256;
+
+const fn build_exp_log() -> ([u8; 512], [u8; 256]) {
+    let mut exp = [0u8; 512];
+    let mut log = [0u8; 256];
+    let mut x: u16 = 1;
+    let mut i = 0;
+    while i < 255 {
+        exp[i] = x as u8;
+        log[x as usize] = i as u8;
+        x <<= 1;
+        if x & 0x100 != 0 {
+            x ^= POLYNOMIAL;
+        }
+        i += 1;
+    }
+    // Duplicate the cycle so `exp[log(a) + log(b)]` never needs a modulo.
+    let mut j = 255;
+    while j < 512 {
+        exp[j] = exp[j - 255];
+        j += 1;
+    }
+    (exp, log)
+}
+
+const TABLES: ([u8; 512], [u8; 256]) = build_exp_log();
+
+/// `EXP[i] = generator^i` for `i in 0..255`, duplicated once so that indices
+/// up to 509 (the largest possible `log(a) + log(b)`) stay in range.
+pub const EXP: [u8; 512] = TABLES.0;
+
+/// `LOG[a] = log_generator(a)` for non-zero `a`. `LOG[0]` is 0 and must never
+/// be used; callers are responsible for special-casing zero.
+pub const LOG: [u8; 256] = TABLES.1;
+
+/// Multiply two field elements using the exp/log tables.
+///
+/// This is the scalar kernel used everywhere; the slice kernels in
+/// [`crate::slice_ops`] build per-scalar lookup rows on top of it.
+#[inline]
+pub const fn mul(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    EXP[LOG[a as usize] as usize + LOG[b as usize] as usize]
+}
+
+/// Divide `a` by `b` in the field.
+///
+/// # Panics
+///
+/// Panics if `b == 0`.
+#[inline]
+pub const fn div(a: u8, b: u8) -> u8 {
+    if b == 0 {
+        panic!("division by zero in GF(2^8)");
+    }
+    if a == 0 {
+        return 0;
+    }
+    EXP[LOG[a as usize] as usize + 255 - LOG[b as usize] as usize]
+}
+
+/// Multiplicative inverse of `a`, or `None` for zero.
+#[inline]
+pub const fn inverse(a: u8) -> Option<u8> {
+    if a == 0 {
+        None
+    } else {
+        Some(EXP[255 - LOG[a as usize] as usize])
+    }
+}
+
+/// Raise `a` to the power `n` (with `0^0 == 1`).
+#[inline]
+pub const fn pow(a: u8, n: u32) -> u8 {
+    if n == 0 {
+        return 1;
+    }
+    if a == 0 {
+        return 0;
+    }
+    let l = LOG[a as usize] as u32;
+    let e = (l * n) % 255;
+    EXP[e as usize]
+}
+
+/// A full 256-entry multiplication row for a fixed scalar `c`:
+/// `row[x] = c * x`. Used to speed up slice kernels.
+#[inline]
+pub fn mul_row(c: u8) -> [u8; 256] {
+    let mut row = [0u8; 256];
+    if c == 0 {
+        return row;
+    }
+    let lc = LOG[c as usize] as usize;
+    for (x, slot) in row.iter_mut().enumerate().skip(1) {
+        *slot = EXP[lc + LOG[x] as usize];
+    }
+    row
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference multiplication by carry-less shift-and-add with reduction.
+    fn slow_mul(mut a: u8, mut b: u8) -> u8 {
+        let mut result = 0u8;
+        while b != 0 {
+            if b & 1 != 0 {
+                result ^= a;
+            }
+            let high = a & 0x80 != 0;
+            a <<= 1;
+            if high {
+                a ^= (POLYNOMIAL & 0xFF) as u8;
+            }
+            b >>= 1;
+        }
+        result
+    }
+
+    #[test]
+    fn exp_log_are_inverse_maps() {
+        for i in 0..255usize {
+            let e = EXP[i];
+            assert_ne!(e, 0, "generator powers are never zero");
+            assert_eq!(LOG[e as usize] as usize, i);
+        }
+    }
+
+    #[test]
+    fn exp_table_wraps() {
+        for i in 0..255usize {
+            assert_eq!(EXP[i], EXP[i + 255]);
+        }
+    }
+
+    #[test]
+    fn exp_values_are_distinct() {
+        let mut seen = [false; 256];
+        for i in 0..255usize {
+            assert!(!seen[EXP[i] as usize], "duplicate exp value at {i}");
+            seen[EXP[i] as usize] = true;
+        }
+        assert!(!seen[0], "zero never appears in the exp table");
+    }
+
+    #[test]
+    fn table_mul_matches_reference() {
+        for a in 0..=255u8 {
+            for b in 0..=255u8 {
+                assert_eq!(mul(a, b), slow_mul(a, b), "mismatch at {a} * {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn mul_identity_and_zero() {
+        for a in 0..=255u8 {
+            assert_eq!(mul(a, 1), a);
+            assert_eq!(mul(1, a), a);
+            assert_eq!(mul(a, 0), 0);
+            assert_eq!(mul(0, a), 0);
+        }
+    }
+
+    #[test]
+    fn div_inverts_mul() {
+        for a in 0..=255u8 {
+            for b in 1..=255u8 {
+                assert_eq!(div(mul(a, b), b), a);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = div(3, 0);
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        assert_eq!(inverse(0), None);
+        for a in 1..=255u8 {
+            let inv = inverse(a).unwrap();
+            assert_eq!(mul(a, inv), 1, "a={a}");
+        }
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        for a in 0..=255u8 {
+            let mut acc = 1u8;
+            for n in 0..600u32 {
+                assert_eq!(pow(a, n), acc, "a={a} n={n}");
+                acc = mul(acc, a);
+            }
+        }
+    }
+
+    #[test]
+    fn pow_zero_exponent_is_one() {
+        assert_eq!(pow(0, 0), 1);
+        assert_eq!(pow(17, 0), 1);
+    }
+
+    #[test]
+    fn mul_row_matches_scalar_mul() {
+        for c in [0u8, 1, 2, 5, 0x1D, 0x80, 0xFF] {
+            let row = mul_row(c);
+            for x in 0..=255u8 {
+                assert_eq!(row[x as usize], mul(c, x));
+            }
+        }
+    }
+
+    #[test]
+    fn generator_has_full_order() {
+        // 0x02 must generate all 255 non-zero elements.
+        let mut x = 1u8;
+        let mut count = 0;
+        loop {
+            x = mul(x, GENERATOR);
+            count += 1;
+            if x == 1 {
+                break;
+            }
+        }
+        assert_eq!(count, 255);
+    }
+}

@@ -1,0 +1,39 @@
+//! Synthetic traces, statistics and calibration constants for the
+//! warehouse-cluster recovery study.
+//!
+//! The paper's first half is a measurement study of Facebook's warehouse
+//! cluster. Those production traces are not available, so this crate provides
+//! the closest synthetic equivalents, calibrated to every statistic the paper
+//! reports:
+//!
+//! * [`calibration`] — the paper's reported constants (medians, percentages,
+//!   block and cluster sizes) in one place, with the sentence of the paper
+//!   each value comes from;
+//! * [`distributions`] — the samplers (Poisson, log-normal, Pareto,
+//!   exponential) used by the failure and workload models, implemented here
+//!   so the workspace needs no extra dependencies;
+//! * [`unavailability`] — the machine-unavailability process behind Fig. 3a;
+//! * [`recovery_trace`] — per-day recovery/traffic series types and an
+//!   analytic generator for Fig. 3b-shaped data (the discrete-event
+//!   simulator in `pbrs-cluster` produces the same types);
+//! * [`stripe_failures`] — the stripe-degradation distribution of §2.2;
+//! * [`stats`] — medians, percentiles, histograms;
+//! * [`report`] — CSV and markdown writers plus ASCII charts used by the
+//!   experiment binaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calibration;
+pub mod distributions;
+pub mod recovery_trace;
+pub mod report;
+pub mod stats;
+pub mod stripe_failures;
+pub mod unavailability;
+
+pub use calibration::PaperConstants;
+pub use recovery_trace::{DailyRecovery, RecoveryTrace};
+pub use stats::Summary;
+pub use stripe_failures::StripeDegradation;
+pub use unavailability::{UnavailabilityEvent, UnavailabilityModel};

@@ -1,0 +1,242 @@
+//! Summary statistics and histograms used by the experiment reports.
+
+/// Summary statistics of a numeric series (medians and percentiles are
+/// computed by linear interpolation between order statistics).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean (0 for an empty series).
+    pub mean: f64,
+    /// Minimum (0 for an empty series).
+    pub min: f64,
+    /// Maximum (0 for an empty series).
+    pub max: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// 10th percentile.
+    pub p10: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics of a series.
+    pub fn of(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return Summary::default();
+        }
+        let count = values.len();
+        let mean = values.iter().sum::<f64>() / count as f64;
+        let variance = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / count as f64;
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in summaries"));
+        Summary {
+            count,
+            mean,
+            min: sorted[0],
+            max: sorted[count - 1],
+            median: percentile_sorted(&sorted, 50.0),
+            p10: percentile_sorted(&sorted, 10.0),
+            p90: percentile_sorted(&sorted, 90.0),
+            std_dev: variance.sqrt(),
+        }
+    }
+
+    /// Convenience constructor from integer counts.
+    pub fn of_counts(values: &[u64]) -> Self {
+        let as_f64: Vec<f64> = values.iter().map(|&v| v as f64).collect();
+        Self::of(&as_f64)
+    }
+}
+
+/// Percentile (0–100) of an unsorted series, by linear interpolation.
+///
+/// Returns 0.0 for an empty series.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 100]` or the data contains NaN.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in percentile input"));
+    percentile_sorted(&sorted, p)
+}
+
+fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Median of a series (0.0 if empty).
+pub fn median(values: &[f64]) -> f64 {
+    percentile(values, 50.0)
+}
+
+/// A fixed-width histogram over `[min, max)` with `bins` buckets; values
+/// outside the range are clamped into the first/last bucket.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    min: f64,
+    max: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `max <= min`.
+    pub fn new(min: f64, max: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(max > min, "histogram range must be non-empty");
+        Histogram {
+            min,
+            max,
+            counts: vec![0; bins],
+            total: 0,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn record(&mut self, value: f64) {
+        let bins = self.counts.len();
+        let width = (self.max - self.min) / bins as f64;
+        let idx = if value <= self.min {
+            0
+        } else if value >= self.max {
+            bins - 1
+        } else {
+            (((value - self.min) / width) as usize).min(bins - 1)
+        };
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Adds many observations.
+    pub fn record_all<I: IntoIterator<Item = f64>>(&mut self, values: I) {
+        for v in values {
+            self.record(v);
+        }
+    }
+
+    /// Bucket counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// `(bucket_low, bucket_high, count)` triples.
+    pub fn buckets(&self) -> Vec<(f64, f64, u64)> {
+        let bins = self.counts.len();
+        let width = (self.max - self.min) / bins as f64;
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.min + i as f64 * width, self.min + (i + 1) as f64 * width, c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_empty_and_single() {
+        assert_eq!(Summary::of(&[]), Summary::default());
+        let s = Summary::of(&[42.0]);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean, 42.0);
+        assert_eq!(s.median, 42.0);
+        assert_eq!(s.min, 42.0);
+        assert_eq!(s.max, 42.0);
+        assert_eq!(s.std_dev, 0.0);
+    }
+
+    #[test]
+    fn summary_of_known_series() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.count, 5);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert!((s.std_dev - 1.4142135623730951).abs() < 1e-12);
+        // Order must not matter.
+        let shuffled = Summary::of(&[5.0, 3.0, 1.0, 4.0, 2.0]);
+        assert_eq!(s, shuffled);
+    }
+
+    #[test]
+    fn median_even_length_interpolates() {
+        assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]), 2.5);
+        assert_eq!(median(&[10.0, 20.0]), 15.0);
+        assert_eq!(median(&[]), 0.0);
+    }
+
+    #[test]
+    fn percentiles() {
+        let v: Vec<f64> = (0..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v, 0.0), 0.0);
+        assert_eq!(percentile(&v, 100.0), 100.0);
+        assert_eq!(percentile(&v, 50.0), 50.0);
+        assert_eq!(percentile(&v, 90.0), 90.0);
+        assert_eq!(percentile(&v, 25.0), 25.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be in")]
+    fn percentile_out_of_range_panics() {
+        percentile(&[1.0], 101.0);
+    }
+
+    #[test]
+    fn counts_helper() {
+        let s = Summary::of_counts(&[10, 20, 30]);
+        assert_eq!(s.mean, 20.0);
+        assert_eq!(s.median, 20.0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_clamping() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.record_all([0.5, 1.5, 2.5, 9.9, 15.0, -3.0]);
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.counts(), &[3, 1, 0, 0, 2]);
+        let buckets = h.buckets();
+        assert_eq!(buckets.len(), 5);
+        assert_eq!(buckets[0], (0.0, 2.0, 3));
+        assert_eq!(buckets[4], (8.0, 10.0, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn histogram_zero_bins_panics() {
+        Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "range must be non-empty")]
+    fn histogram_bad_range_panics() {
+        Histogram::new(1.0, 1.0, 4);
+    }
+}

@@ -1,0 +1,224 @@
+//! The stripe-degradation distribution of §2.2.
+//!
+//! The paper reports that, among stripes with at least one missing block,
+//! 98.08 % have exactly one block missing, 1.87 % have two, and 0.05 % have
+//! three or more — which is why optimising the single-failure recovery path
+//! (what Piggybacked-RS does) captures essentially all of the recovery
+//! traffic.
+
+use rand::{Rng, RngExt};
+
+/// Distribution of the number of missing blocks among degraded stripes.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StripeDegradation {
+    /// Stripes with exactly one block missing.
+    pub one_missing: u64,
+    /// Stripes with exactly two blocks missing.
+    pub two_missing: u64,
+    /// Stripes with three or more blocks missing.
+    pub three_plus_missing: u64,
+}
+
+impl StripeDegradation {
+    /// Total number of degraded stripes observed.
+    pub fn total(&self) -> u64 {
+        self.one_missing + self.two_missing + self.three_plus_missing
+    }
+
+    /// Percentage of degraded stripes with exactly one missing block.
+    pub fn one_missing_pct(&self) -> f64 {
+        self.pct(self.one_missing)
+    }
+
+    /// Percentage of degraded stripes with exactly two missing blocks.
+    pub fn two_missing_pct(&self) -> f64 {
+        self.pct(self.two_missing)
+    }
+
+    /// Percentage of degraded stripes with three or more missing blocks.
+    pub fn three_plus_missing_pct(&self) -> f64 {
+        self.pct(self.three_plus_missing)
+    }
+
+    fn pct(&self, count: u64) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            count as f64 / total as f64 * 100.0
+        }
+    }
+
+    /// Records one degraded-stripe observation with the given number of
+    /// missing blocks (ignores zero).
+    pub fn record(&mut self, missing_blocks: usize) {
+        match missing_blocks {
+            0 => {}
+            1 => self.one_missing += 1,
+            2 => self.two_missing += 1,
+            _ => self.three_plus_missing += 1,
+        }
+    }
+
+    /// Merges another distribution into this one.
+    pub fn merge(&mut self, other: &StripeDegradation) {
+        self.one_missing += other.one_missing;
+        self.two_missing += other.two_missing;
+        self.three_plus_missing += other.three_plus_missing;
+    }
+}
+
+/// An analytic estimate of the degradation distribution.
+///
+/// With `m` machines, of which a fraction `p_down` is concurrently
+/// unavailable (machine failures are approximately independent at any
+/// instant), each of the `width` blocks of a stripe — placed on distinct
+/// machines — is missing independently with probability `p_down`. The number
+/// of missing blocks per stripe is therefore Binomial(width, p_down), and
+/// the distribution *conditioned on at least one missing block* is what the
+/// paper reports.
+pub fn binomial_degradation_estimate(width: usize, p_down: f64) -> (f64, f64, f64) {
+    assert!((0.0..1.0).contains(&p_down), "p_down must be in [0, 1)");
+    let n = width as f64;
+    let q = 1.0 - p_down;
+    let p0 = q.powf(n);
+    let p1 = n * p_down * q.powf(n - 1.0);
+    let p2 = n * (n - 1.0) / 2.0 * p_down.powi(2) * q.powf(n - 2.0);
+    let degraded = 1.0 - p0;
+    if degraded <= 0.0 {
+        return (0.0, 0.0, 0.0);
+    }
+    let one = p1 / degraded * 100.0;
+    let two = p2 / degraded * 100.0;
+    let three_plus = 100.0 - one - two;
+    (one, two, three_plus.max(0.0))
+}
+
+/// Monte-Carlo sampling of the degradation distribution: `stripes` stripes
+/// of `width` blocks each, every block independently missing with
+/// probability `p_down`. Only degraded stripes are recorded, matching the
+/// paper's denominator.
+pub fn sample_degradation<R: Rng + ?Sized>(
+    rng: &mut R,
+    stripes: usize,
+    width: usize,
+    p_down: f64,
+) -> StripeDegradation {
+    let mut dist = StripeDegradation::default();
+    for _ in 0..stripes {
+        let missing = (0..width)
+            .filter(|_| rng.random_range(0.0..1.0) < p_down)
+            .count();
+        dist.record(missing);
+    }
+    dist
+}
+
+/// The concurrent-unavailability probability implied by the paper's own
+/// numbers: solving the binomial model so that ~1.87 % of degraded (10+4)
+/// stripes have two missing blocks gives a per-machine concurrent
+/// unavailability around 0.3 % — consistent with ~50 outages/day of ~1 hour
+/// on a few thousand machines.
+pub fn implied_concurrent_unavailability(width: usize, target_two_missing_pct: f64) -> f64 {
+    // Bisection on p_down in (0, 0.2).
+    let mut lo = 1e-6;
+    let mut hi = 0.2;
+    for _ in 0..80 {
+        let mid = (lo + hi) / 2.0;
+        let (_, two, _) = binomial_degradation_estimate(width, mid);
+        if two < target_two_missing_pct {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    (lo + hi) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn record_and_percentages() {
+        let mut d = StripeDegradation::default();
+        assert_eq!(d.total(), 0);
+        assert_eq!(d.one_missing_pct(), 0.0);
+        for _ in 0..9808 {
+            d.record(1);
+        }
+        for _ in 0..187 {
+            d.record(2);
+        }
+        for _ in 0..5 {
+            d.record(3);
+        }
+        d.record(0); // ignored
+        assert_eq!(d.total(), 10_000);
+        assert!((d.one_missing_pct() - 98.08).abs() < 1e-9);
+        assert!((d.two_missing_pct() - 1.87).abs() < 1e-9);
+        assert!((d.three_plus_missing_pct() - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = StripeDegradation {
+            one_missing: 1,
+            two_missing: 2,
+            three_plus_missing: 3,
+        };
+        let b = StripeDegradation {
+            one_missing: 10,
+            two_missing: 20,
+            three_plus_missing: 30,
+        };
+        a.merge(&b);
+        assert_eq!(a.one_missing, 11);
+        assert_eq!(a.two_missing, 22);
+        assert_eq!(a.three_plus_missing, 33);
+    }
+
+    #[test]
+    fn record_four_or_more_counts_as_three_plus() {
+        let mut d = StripeDegradation::default();
+        d.record(4);
+        d.record(14);
+        assert_eq!(d.three_plus_missing, 2);
+    }
+
+    #[test]
+    fn binomial_estimate_matches_paper_at_implied_probability() {
+        let p = implied_concurrent_unavailability(14, 1.87);
+        // The implied concurrent unavailability is a fraction of a percent.
+        assert!(p > 0.001 && p < 0.01, "{p}");
+        let (one, two, three) = binomial_degradation_estimate(14, p);
+        assert!((two - 1.87).abs() < 0.05, "{two}");
+        assert!((one - 98.08).abs() < 0.2, "{one}");
+        assert!(three < 0.15, "{three}");
+    }
+
+    #[test]
+    fn monte_carlo_agrees_with_binomial_model() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let p = 0.003;
+        let sampled = sample_degradation(&mut rng, 2_000_000, 14, p);
+        let (one, two, _three) = binomial_degradation_estimate(14, p);
+        assert!((sampled.one_missing_pct() - one).abs() < 0.3);
+        assert!((sampled.two_missing_pct() - two).abs() < 0.3);
+        assert!(sampled.total() > 0);
+    }
+
+    #[test]
+    fn degenerate_probabilities() {
+        let (one, two, three) = binomial_degradation_estimate(14, 0.0);
+        assert_eq!((one, two, three), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "p_down")]
+    fn invalid_probability_panics() {
+        binomial_degradation_estimate(14, 1.5);
+    }
+}

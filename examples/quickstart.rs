@@ -1,0 +1,58 @@
+//! Quickstart: encode a stripe with the paper's proposed Piggybacked-RS
+//! code, lose a block, and repair it with ~30% less network traffic than the
+//! production Reed–Solomon code would need.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use pbrs::prelude::*;
+
+fn main() -> Result<(), CodeError> {
+    // The warehouse cluster's production parameters: 10 data blocks + 4
+    // parity blocks per stripe (1.4x storage overhead).
+    let rs = ReedSolomon::new(10, 4)?;
+    let piggybacked = PiggybackedRs::new(10, 4)?;
+
+    // Ten "blocks" of application data (tiny here; 256 MB in production).
+    let data: Vec<Vec<u8>> = (0..10u8).map(|i| vec![i; 1024]).collect();
+
+    // Encode with both codes. Both produce 4 parity blocks of the same size:
+    // the piggybacked code uses no extra storage.
+    let mut rs_stripe = Stripe::from_encoding(&rs, &data)?;
+    let mut pb_stripe = Stripe::from_encoding(&piggybacked, &data)?;
+    assert_eq!(rs_stripe.len(), pb_stripe.len());
+
+    // A machine holding block 6 becomes unavailable.
+    rs_stripe.erase(6);
+    pb_stripe.erase(6);
+
+    // Repair it under both codes and compare the bytes moved.
+    let rs_repair = rs.repair(6, rs_stripe.as_slice())?;
+    let pb_repair = piggybacked.repair(6, pb_stripe.as_slice())?;
+    assert_eq!(rs_repair.shard, data[6]);
+    assert_eq!(pb_repair.shard, data[6]);
+
+    println!("Repairing block 6 of a (10, 4) stripe of 1 KiB blocks:");
+    println!(
+        "  Reed-Solomon   : {} helpers, {} bytes read and transferred",
+        rs_repair.metrics.helpers, rs_repair.metrics.bytes_transferred
+    );
+    println!(
+        "  Piggybacked-RS : {} helpers, {} bytes read and transferred",
+        pb_repair.metrics.helpers, pb_repair.metrics.bytes_transferred
+    );
+    let saving = 1.0
+        - pb_repair.metrics.bytes_transferred as f64 / rs_repair.metrics.bytes_transferred as f64;
+    println!("  saving         : {:.1}% less recovery traffic", saving * 100.0);
+
+    // Both codes tolerate any 4 block losses (they are MDS).
+    for stripe in [&mut rs_stripe, &mut pb_stripe] {
+        stripe.erase(0);
+        stripe.erase(3);
+        stripe.erase(12);
+    }
+    rs_stripe.reconstruct(&rs)?;
+    pb_stripe.reconstruct(&piggybacked)?;
+    assert!(rs_stripe.is_complete() && pb_stripe.is_complete());
+    println!("Both codes reconstructed a stripe with 4 missing blocks exactly.");
+    Ok(())
+}

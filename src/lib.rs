@@ -1,0 +1,54 @@
+//! `pbrs` — Piggybacked-RS erasure codes and the Facebook warehouse-cluster
+//! recovery-traffic study, reproduced in Rust.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`gf`] — GF(2^8) arithmetic and matrices ([`pbrs_gf`]);
+//! * [`erasure`] — the [`erasure::ErasureCode`] trait, Reed–Solomon,
+//!   replication and LRC baselines ([`pbrs_erasure`]);
+//! * [`code`] — the Piggybacked-RS code, the paper's contribution
+//!   ([`pbrs_core`]);
+//! * [`cluster`] — the warehouse-cluster simulator ([`pbrs_cluster`]);
+//! * [`trace`] — calibrated synthetic traces, statistics and report writers
+//!   ([`pbrs_trace`]).
+//!
+//! See the `examples/` directory for runnable end-to-end scenarios and
+//! `EXPERIMENTS.md` for the paper-vs-measured comparison of every figure.
+//!
+//! # Quick start
+//!
+//! ```
+//! use pbrs::prelude::*;
+//!
+//! # fn main() -> Result<(), pbrs::erasure::CodeError> {
+//! // Encode a stripe with the paper's proposed (10, 4) Piggybacked-RS code.
+//! let code = PiggybackedRs::new(10, 4)?;
+//! let data: Vec<Vec<u8>> = (0..10).map(|i| vec![i as u8; 64]).collect();
+//! let mut stripe = Stripe::from_encoding(&code, &data)?;
+//!
+//! // Lose a block, repair it, and observe the reduced download.
+//! stripe.erase(7);
+//! let outcome = code.repair(7, stripe.as_slice())?;
+//! assert_eq!(outcome.shard, data[7]);
+//! assert!(outcome.metrics.bytes_transferred < 10 * 64);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use pbrs_cluster as cluster;
+pub use pbrs_core as code;
+pub use pbrs_erasure as erasure;
+pub use pbrs_gf as gf;
+pub use pbrs_trace as trace;
+
+/// Convenient single-import prelude with the most frequently used items.
+pub mod prelude {
+    pub use pbrs_core::{PiggybackDesign, PiggybackedRs, SavingsReport};
+    pub use pbrs_erasure::{
+        CodeError, CodeParams, ErasureCode, Lrc, LrcParams, ReedSolomon, RepairMetrics,
+        RepairPlan, Replication, Stripe,
+    };
+    pub use pbrs_gf::Gf256;
+}
