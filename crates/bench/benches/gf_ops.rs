@@ -12,7 +12,9 @@ fn bench_slice_kernels(c: &mut Criterion) {
         let mut dst = vec![0u8; size];
         group.throughput(Throughput::Bytes(size as u64));
         group.bench_with_input(BenchmarkId::new("mul_add_slice", size), &size, |b, _| {
-            b.iter(|| slice_ops::mul_add_slice(black_box(0x1D), black_box(&src), black_box(&mut dst)));
+            b.iter(|| {
+                slice_ops::mul_add_slice(black_box(0x1D), black_box(&src), black_box(&mut dst))
+            });
         });
         group.bench_with_input(BenchmarkId::new("mul_slice", size), &size, |b, _| {
             b.iter(|| slice_ops::mul_slice(black_box(0x1D), black_box(&src), black_box(&mut dst)));

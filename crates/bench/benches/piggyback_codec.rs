@@ -1,15 +1,20 @@
 //! Criterion benchmarks of the Piggybacked-RS codec: encode throughput and
 //! full reconstruction, side by side with the RS baseline at the production
-//! (10, 4) parameters.
+//! (10, 4) parameters, plus paired legacy-vs-zero-copy cases so the
+//! allocation win of the view API is visible in the output.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pbrs_core::PiggybackedRs;
-use pbrs_erasure::{ErasureCode, ReedSolomon};
+use pbrs_erasure::{ErasureCode, ReedSolomon, ShardBuffer};
 use std::hint::black_box;
 
 fn data_shards(k: usize, len: usize) -> Vec<Vec<u8>> {
     (0..k)
-        .map(|i| (0..len).map(|j| ((i * 37 + j * 11 + 1) % 256) as u8).collect())
+        .map(|i| {
+            (0..len)
+                .map(|j| ((i * 37 + j * 11 + 1) % 256) as u8)
+                .collect()
+        })
         .collect()
 }
 
@@ -26,6 +31,59 @@ fn bench_encode_comparison(c: &mut Criterion) {
     group.bench_function("piggybacked_rs", |b| {
         b.iter(|| pb.encode(black_box(&data)).unwrap())
     });
+
+    // The same encodes through the zero-copy API: no per-shard allocation,
+    // parity written straight into a pre-allocated stripe buffer.
+    let mut stripe = ShardBuffer::zeroed(14, shard_len);
+    for (i, shard) in data.iter().enumerate() {
+        stripe.shard_mut(i).copy_from_slice(shard);
+    }
+    group.bench_function("rs_encode_into", |b| {
+        b.iter(|| {
+            let (data_view, mut parity_view) = stripe.split_mut(10);
+            rs.encode_into(black_box(&data_view), &mut parity_view)
+                .unwrap();
+        });
+    });
+    group.bench_function("piggybacked_rs_encode_into", |b| {
+        b.iter(|| {
+            let (data_view, mut parity_view) = stripe.split_mut(10);
+            pb.encode_into(black_box(&data_view), &mut parity_view)
+                .unwrap();
+        });
+    });
+    group.finish();
+}
+
+fn bench_repair_comparison(c: &mut Criterion) {
+    // The operation the paper is about: rebuilding one lost data block. The
+    // legacy path allocates owned shards along the way; repair_into reads
+    // borrowed views and writes one caller-provided buffer.
+    let mut group = c.benchmark_group("single_repair_10_4");
+    let shard_len = 256 * 1024;
+    let data = data_shards(10, shard_len);
+    group.throughput(Throughput::Bytes(shard_len as u64));
+
+    let pb = PiggybackedRs::new(10, 4).unwrap();
+    let pb_full: Vec<Vec<u8>> = data
+        .iter()
+        .cloned()
+        .chain(pb.encode(&data).unwrap())
+        .collect();
+    let mut degraded: Vec<Option<Vec<u8>>> = pb_full.iter().cloned().map(Some).collect();
+    degraded[5] = None;
+    group.bench_function("legacy", |b| {
+        b.iter(|| pb.repair(5, black_box(&degraded)).unwrap())
+    });
+
+    let stripe = ShardBuffer::from_shards(&pb_full).unwrap();
+    let mut out = vec![0u8; shard_len];
+    group.bench_function("repair_into", |b| {
+        b.iter(|| {
+            pb.repair_into(5, black_box(&stripe.as_set()), black_box(&mut out))
+                .unwrap();
+        });
+    });
     group.finish();
 }
 
@@ -35,7 +93,11 @@ fn bench_reconstruct_comparison(c: &mut Criterion) {
     let data = data_shards(10, shard_len);
 
     let rs = ReedSolomon::new(10, 4).unwrap();
-    let rs_full: Vec<Vec<u8>> = data.iter().cloned().chain(rs.encode(&data).unwrap()).collect();
+    let rs_full: Vec<Vec<u8>> = data
+        .iter()
+        .cloned()
+        .chain(rs.encode(&data).unwrap())
+        .collect();
     group.bench_function("rs", |b| {
         b.iter(|| {
             let mut shards: Vec<Option<Vec<u8>>> = rs_full.iter().cloned().map(Some).collect();
@@ -47,7 +109,11 @@ fn bench_reconstruct_comparison(c: &mut Criterion) {
     });
 
     let pb = PiggybackedRs::new(10, 4).unwrap();
-    let pb_full: Vec<Vec<u8>> = data.iter().cloned().chain(pb.encode(&data).unwrap()).collect();
+    let pb_full: Vec<Vec<u8>> = data
+        .iter()
+        .cloned()
+        .chain(pb.encode(&data).unwrap())
+        .collect();
     group.bench_function("piggybacked_rs", |b| {
         b.iter(|| {
             let mut shards: Vec<Option<Vec<u8>>> = pb_full.iter().cloned().map(Some).collect();
@@ -79,6 +145,7 @@ fn bench_encode_parameter_sweep(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_encode_comparison,
+    bench_repair_comparison,
     bench_reconstruct_comparison,
     bench_encode_parameter_sweep
 );

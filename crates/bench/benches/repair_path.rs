@@ -10,7 +10,11 @@ use std::hint::black_box;
 
 fn data_shards(k: usize, len: usize) -> Vec<Vec<u8>> {
     (0..k)
-        .map(|i| (0..len).map(|j| ((i * 53 + j * 17 + 9) % 256) as u8).collect())
+        .map(|i| {
+            (0..len)
+                .map(|j| ((i * 53 + j * 17 + 9) % 256) as u8)
+                .collect()
+        })
         .collect()
 }
 

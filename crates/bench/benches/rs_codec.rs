@@ -1,13 +1,19 @@
 //! Criterion benchmarks of the Reed–Solomon codec used as the production
-//! baseline: encode throughput and full reconstruction of up to r erasures.
+//! baseline: encode throughput and full reconstruction of up to r erasures,
+//! with the legacy owned-`Vec` API and the zero-copy view API side by side
+//! so the allocation win is visible in the output.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use pbrs_erasure::{ErasureCode, ReedSolomon};
+use pbrs_erasure::{ErasureCode, ReedSolomon, ShardBuffer};
 use std::hint::black_box;
 
 fn data_shards(k: usize, len: usize) -> Vec<Vec<u8>> {
     (0..k)
-        .map(|i| (0..len).map(|j| ((i * 31 + j * 7 + 3) % 256) as u8).collect())
+        .map(|i| {
+            (0..len)
+                .map(|j| ((i * 31 + j * 7 + 3) % 256) as u8)
+                .collect()
+        })
         .collect()
 }
 
@@ -17,9 +23,26 @@ fn bench_encode(c: &mut Criterion) {
         let rs = ReedSolomon::new(10, 4).unwrap();
         let data = data_shards(10, shard_len);
         group.throughput(Throughput::Bytes((shard_len * 10) as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(shard_len), &shard_len, |b, _| {
+        // Legacy path: allocates 4 owned parity shards per call.
+        group.bench_with_input(BenchmarkId::new("legacy", shard_len), &shard_len, |b, _| {
             b.iter(|| rs.encode(black_box(&data)).unwrap());
         });
+        // Zero-copy path: parity written into a pre-allocated stripe buffer.
+        let mut stripe = ShardBuffer::zeroed(14, shard_len);
+        for (i, shard) in data.iter().enumerate() {
+            stripe.shard_mut(i).copy_from_slice(shard);
+        }
+        group.bench_with_input(
+            BenchmarkId::new("encode_into", shard_len),
+            &shard_len,
+            |b, _| {
+                b.iter(|| {
+                    let (data_view, mut parity_view) = stripe.split_mut(10);
+                    rs.encode_into(black_box(&data_view), &mut parity_view)
+                        .unwrap();
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -33,19 +56,66 @@ fn bench_reconstruct(c: &mut Criterion) {
     let full: Vec<Vec<u8>> = data.iter().chain(parity.iter()).cloned().collect();
     for missing in [1usize, 2, 4] {
         group.throughput(Throughput::Bytes((shard_len * missing) as u64));
-        group.bench_with_input(BenchmarkId::new("erasures", missing), &missing, |b, &missing| {
+        group.bench_with_input(
+            BenchmarkId::new("legacy", missing),
+            &missing,
+            |b, &missing| {
+                b.iter(|| {
+                    let mut shards: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
+                    for i in 0..missing {
+                        shards[i * 3] = None;
+                    }
+                    rs.reconstruct(black_box(&mut shards)).unwrap();
+                    shards
+                });
+            },
+        );
+        // Zero-copy path: rebuild directly inside the stripe buffer.
+        let mut stripe = ShardBuffer::from_shards(&full).unwrap();
+        let mut present = vec![true; 14];
+        for i in 0..missing {
+            present[i * 3] = false;
+        }
+        group.bench_with_input(BenchmarkId::new("in_place", missing), &missing, |b, _| {
             b.iter(|| {
-                let mut shards: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
-                for i in 0..missing {
-                    shards[i * 3] = None;
-                }
-                rs.reconstruct(black_box(&mut shards)).unwrap();
-                shards
+                rs.reconstruct_in_place(black_box(&mut stripe.as_set_mut()), black_box(&present))
+                    .unwrap();
             });
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_encode, bench_reconstruct);
+fn bench_single_repair(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rs_single_repair_10_4");
+    let shard_len = 256 * 1024;
+    let rs = ReedSolomon::new(10, 4).unwrap();
+    let data = data_shards(10, shard_len);
+    let parity = rs.encode(&data).unwrap();
+    let full: Vec<Vec<u8>> = data.iter().chain(parity.iter()).cloned().collect();
+    group.throughput(Throughput::Bytes(shard_len as u64));
+
+    let mut degraded: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
+    degraded[5] = None;
+    group.bench_function("legacy", |b| {
+        b.iter(|| rs.repair(5, black_box(&degraded)).unwrap())
+    });
+
+    let stripe = ShardBuffer::from_shards(&full).unwrap();
+    let mut out = vec![0u8; shard_len];
+    group.bench_function("repair_into", |b| {
+        b.iter(|| {
+            rs.repair_into(5, black_box(&stripe.as_set()), black_box(&mut out))
+                .unwrap();
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_encode,
+    bench_reconstruct,
+    bench_single_repair
+);
 criterion_main!(benches);

@@ -7,22 +7,21 @@
 
 use pbrs_bench::{f2, section};
 use pbrs_cluster::reliability::model_for_code;
-use pbrs_core::{CodeComparison, PiggybackedRs};
-use pbrs_erasure::{ErasureCode, Lrc, LrcParams, ReedSolomon, Replication};
+use pbrs_core::{registry, CodeComparison};
+use pbrs_erasure::ErasureCode;
 use pbrs_trace::report::to_markdown_table;
 
 fn main() {
-    let replication = Replication::triple();
-    let rs = ReedSolomon::facebook();
-    let pb = PiggybackedRs::facebook();
-    let lrc = Lrc::new(LrcParams::XORBAS).unwrap();
+    // Every scheme under comparison, selected uniformly through the registry.
+    let codes: Vec<Box<dyn ErasureCode>> = ["rep-3", "rs-10-4", "piggyback-10-4", "lrc-10-2-4"]
+        .iter()
+        .map(|spec| registry::build_str(spec).expect("comparison specs are valid"))
+        .collect();
 
-    let comparisons: Vec<(CodeComparison, &dyn ErasureCode)> = vec![
-        (CodeComparison::of(&replication), &replication),
-        (CodeComparison::of(&rs), &rs),
-        (CodeComparison::of(&pb), &pb),
-        (CodeComparison::of(&lrc), &lrc),
-    ];
+    let comparisons: Vec<(CodeComparison, &dyn ErasureCode)> = codes
+        .iter()
+        .map(|code| (CodeComparison::of(code.as_ref()), code.as_ref()))
+        .collect();
 
     // Reliability: bandwidth-bound repair times at 40 MB/s per repair, 256 MB
     // blocks, one permanent block loss per 4 years of block-hours.
@@ -48,7 +47,12 @@ fn main() {
                 c.name.clone(),
                 format!("{}x", f2(c.storage_overhead)),
                 c.fault_tolerance.to_string(),
-                if c.is_mds { "yes (storage optimal)" } else { "no" }.to_string(),
+                if c.is_mds {
+                    "yes (storage optimal)"
+                } else {
+                    "no"
+                }
+                .to_string(),
                 f2(c.average_blocks_per_repair),
                 format!("{:.1}%", c.saving_vs_rs() * 100.0),
                 format!("{:.1e}", mttdl.stripe_mttdl_years()),

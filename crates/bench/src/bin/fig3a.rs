@@ -15,8 +15,11 @@ fn main() {
     let model = UnavailabilityModel::facebook(paper.approx_machines);
     let mut rng = StdRng::seed_from_u64(0x2013_0122);
     let events = model.generate(&mut rng, days);
-    let counts =
-        UnavailabilityModel::daily_qualifying_counts(&events, days, paper.detection_timeout_minutes);
+    let counts = UnavailabilityModel::daily_qualifying_counts(
+        &events,
+        days,
+        paper.detection_timeout_minutes,
+    );
     let summary = Summary::of_counts(&counts);
 
     section("Fig. 3a — machines unavailable for > 15 minutes per day");
@@ -24,7 +27,12 @@ fn main() {
     let values: Vec<f64> = counts.iter().map(|&c| c as f64).collect();
     print!(
         "{}",
-        ascii_series("machine-unavailability events per day", &labels, &values, 60)
+        ascii_series(
+            "machine-unavailability events per day",
+            &labels,
+            &values,
+            60
+        )
     );
 
     section("Paper vs. measured");

@@ -28,7 +28,12 @@ fn main() {
     print!(
         "{}",
         to_markdown_table(
-            &["day", "machines flagged", "blocks reconstructed", "cross-rack TB"],
+            &[
+                "day",
+                "machines flagged",
+                "blocks reconstructed",
+                "cross-rack TB"
+            ],
             &rows
         )
     );

@@ -27,7 +27,10 @@ fn main() {
             f2(rs_secs),
             f2(pb_secs),
             f2(rs_secs / pb_secs),
-            format!("{:.2}%", 100.0 * pb_helpers as f64 * model.per_helper_setup_secs / pb_secs),
+            format!(
+                "{:.2}%",
+                100.0 * pb_helpers as f64 * model.per_helper_setup_secs / pb_secs
+            ),
         ]);
     }
     print!(

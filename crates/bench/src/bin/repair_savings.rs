@@ -4,13 +4,14 @@
 //! (k, r) choices to show the flexibility claim.
 
 use pbrs_bench::{f2, pct, print_comparison, row, section};
-use pbrs_core::{PiggybackedRs, SavingsReport};
-use pbrs_erasure::ErasureCode;
+use pbrs_core::{registry, SavingsReport};
+use pbrs_erasure::CodeSpec;
 use pbrs_trace::report::to_markdown_table;
 
 fn main() {
     let paper = pbrs_bench::paper();
     let report = SavingsReport::for_params(10, 4).unwrap();
+    let facebook = registry::build(&CodeSpec::FACEBOOK_PIGGYBACK).unwrap();
 
     section("Per-block repair cost of Piggybacked-RS(10, 4)");
     print!("{}", report.to_table());
@@ -29,9 +30,13 @@ fn main() {
         row(
             "storage overhead",
             format!("{}x (storage optimal)", paper.rs_storage_overhead),
-            format!("{}x (MDS preserved)", f2(PiggybackedRs::facebook().storage_overhead())),
+            format!("{}x (MDS preserved)", f2(facebook.storage_overhead())),
         ),
-        row("failures tolerated per stripe", 4, PiggybackedRs::facebook().fault_tolerance()),
+        row(
+            "failures tolerated per stripe",
+            4,
+            facebook.fault_tolerance(),
+        ),
         row(
             "blocks of helper data per data-block repair",
             "~7 of 10",
@@ -41,9 +46,16 @@ fn main() {
 
     section("Parameter sweep — the construction works for any (k, r)");
     let mut rows = Vec::new();
-    for (k, r) in [(6usize, 3usize), (10, 4), (12, 4), (14, 10), (10, 2), (20, 5)] {
+    for (k, r) in [
+        (6usize, 3usize),
+        (10, 4),
+        (12, 4),
+        (14, 10),
+        (10, 2),
+        (20, 5),
+    ] {
         let sweep = SavingsReport::for_params(k, r).unwrap();
-        let code = PiggybackedRs::new(k, r).unwrap();
+        let code = registry::build(&CodeSpec::PiggybackedRs { k, r }).unwrap();
         rows.push(vec![
             format!("({k}, {r})"),
             f2(code.storage_overhead()),

@@ -7,7 +7,9 @@
 
 use pbrs_bench::{pct, print_comparison, row, run_simulation, section};
 use pbrs_cluster::SimConfig;
-use pbrs_trace::stripe_failures::{binomial_degradation_estimate, implied_concurrent_unavailability};
+use pbrs_trace::stripe_failures::{
+    binomial_degradation_estimate, implied_concurrent_unavailability,
+};
 
 fn main() {
     let paper = pbrs_bench::paper();
@@ -50,16 +52,29 @@ fn main() {
     ]);
 
     section("Analytic cross-check (binomial model)");
-    let p = implied_concurrent_unavailability(paper.stripe_width(), paper.stripes_with_two_missing_pct);
+    let p =
+        implied_concurrent_unavailability(paper.stripe_width(), paper.stripes_with_two_missing_pct);
     let (one, two, three) = binomial_degradation_estimate(paper.stripe_width(), p);
     println!(
         "concurrent per-machine unavailability implied by the paper's 1.87%: {:.3}%",
         p * 100.0
     );
     print_comparison(&[
-        row("1 missing (binomial at implied p)", pct(paper.stripes_with_one_missing_pct), pct(one)),
-        row("2 missing (binomial at implied p)", pct(paper.stripes_with_two_missing_pct), pct(two)),
-        row("3+ missing (binomial at implied p)", pct(paper.stripes_with_three_plus_missing_pct), pct(three)),
+        row(
+            "1 missing (binomial at implied p)",
+            pct(paper.stripes_with_one_missing_pct),
+            pct(one),
+        ),
+        row(
+            "2 missing (binomial at implied p)",
+            pct(paper.stripes_with_two_missing_pct),
+            pct(two),
+        ),
+        row(
+            "3+ missing (binomial at implied p)",
+            pct(paper.stripes_with_three_plus_missing_pct),
+            pct(three),
+        ),
     ]);
     println!();
     println!(

@@ -29,14 +29,23 @@ fn main() {
     );
 
     // Repair node 1 under both codes.
-    let mut shards: Vec<Option<Vec<u8>>> = data.iter().chain(parity.iter()).cloned().map(Some).collect();
+    let mut shards: Vec<Option<Vec<u8>>> = data
+        .iter()
+        .chain(parity.iter())
+        .cloned()
+        .map(Some)
+        .collect();
     shards[0] = None;
     let pb_outcome = code.repair(0, &shards).unwrap();
 
     let rs_data = vec![vec![a1, b1], vec![a2, b2]];
     let rs_parity = rs.encode(&rs_data).unwrap();
-    let mut rs_shards: Vec<Option<Vec<u8>>> =
-        rs_data.iter().chain(rs_parity.iter()).cloned().map(Some).collect();
+    let mut rs_shards: Vec<Option<Vec<u8>>> = rs_data
+        .iter()
+        .chain(rs_parity.iter())
+        .cloned()
+        .map(Some)
+        .collect();
     rs_shards[0] = None;
     let rs_outcome = rs.repair(0, &rs_shards).unwrap();
 
@@ -54,9 +63,25 @@ fn main() {
 
     section("Paper vs. measured");
     print_comparison(&[
-        row("bytes downloaded to recover node 1 (piggybacked)", 3, pb_outcome.metrics.bytes_transferred),
-        row("bytes downloaded to recover node 1 (RS)", 4, rs_outcome.metrics.bytes_transferred),
-        row("fault tolerance (any failures of 4 nodes)", 2, code.fault_tolerance()),
-        row("extra storage used by the piggyback", "none", "none (same 4 x 2 bytes)"),
+        row(
+            "bytes downloaded to recover node 1 (piggybacked)",
+            3,
+            pb_outcome.metrics.bytes_transferred,
+        ),
+        row(
+            "bytes downloaded to recover node 1 (RS)",
+            4,
+            rs_outcome.metrics.bytes_transferred,
+        ),
+        row(
+            "fault tolerance (any failures of 4 nodes)",
+            2,
+            code.fault_tolerance(),
+        ),
+        row(
+            "extra storage used by the piggyback",
+            "none",
+            "none (same 4 x 2 bytes)",
+        ),
     ]);
 }

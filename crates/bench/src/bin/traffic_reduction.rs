@@ -13,7 +13,9 @@ use pbrs_trace::stats::Summary;
 fn main() {
     let paper = pbrs_bench::paper();
     let config = SimConfig::facebook();
-    eprintln!("[pbrs-bench] running the paired RS vs Piggybacked-RS simulation (same failure trace)...");
+    eprintln!(
+        "[pbrs-bench] running the paired RS vs Piggybacked-RS simulation (same failure trace)..."
+    );
     let (rs, pb) = paired_rs_vs_piggybacked(config);
 
     section("Per-day cross-rack recovery traffic: RS(10,4) vs Piggybacked-RS(10,4)");
@@ -32,7 +34,12 @@ fn main() {
     print!(
         "{}",
         to_markdown_table(
-            &["day", "RS cross-rack TB", "Piggybacked cross-rack TB", "saved TB"],
+            &[
+                "day",
+                "RS cross-rack TB",
+                "Piggybacked cross-rack TB",
+                "saved TB"
+            ],
             &rows
         )
     );
@@ -50,7 +57,10 @@ fn main() {
     print_comparison(&[
         row(
             "cross-rack recovery traffic removed per day",
-            format!("> {} TB (estimate)", paper.estimated_traffic_reduction_tb_per_day),
+            format!(
+                "> {} TB (estimate)",
+                paper.estimated_traffic_reduction_tb_per_day
+            ),
             format!("{} TB median, {} TB mean", f1(saved.median), f1(saved.mean)),
         ),
         row(
@@ -63,7 +73,11 @@ fn main() {
             format!("> {}", paper.median_cross_rack_recovery_tb_per_day),
             f1(rs_tb.median),
         ),
-        row("median Piggybacked cross-rack TB / day", "-", f1(pb_tb.median)),
+        row(
+            "median Piggybacked cross-rack TB / day",
+            "-",
+            f1(pb_tb.median),
+        ),
     ]);
 
     println!();

@@ -36,8 +36,12 @@ pub fn row(metric: &str, paper: impl ToString, measured: impl ToString) -> Compa
 /// Runs the full warehouse-cluster simulation for a configuration, printing
 /// a one-line progress note (the Facebook-scale run takes a few seconds).
 pub fn run_simulation(label: &str, config: SimConfig) -> ClusterReport {
-    eprintln!("[pbrs-bench] simulating: {label} ({} days, {} machines, {:?})",
-        config.days, config.machines(), config.code);
+    eprintln!(
+        "[pbrs-bench] simulating: {label} ({} days, {} machines, {:?})",
+        config.days,
+        config.machines(),
+        config.code
+    );
     Simulator::new(config).run()
 }
 

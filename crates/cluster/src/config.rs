@@ -1,8 +1,10 @@
 //! Simulation configuration and the erasure-code choice.
 
-use pbrs_core::PiggybackedRs;
-use pbrs_erasure::{CodeError, ErasureCode, Lrc, LrcParams, ReedSolomon, Replication};
-use pbrs_trace::calibration::{MB, PaperConstants};
+use core::str::FromStr;
+
+use pbrs_core::registry;
+use pbrs_erasure::{CodeError, CodeSpec, ErasureCode};
+use pbrs_trace::calibration::{PaperConstants, MB};
 use pbrs_trace::unavailability::UnavailabilityModel;
 
 /// Which storage scheme the simulated cluster uses for its cold data.
@@ -40,32 +42,71 @@ pub enum CodeChoice {
 }
 
 impl CodeChoice {
-    /// Builds the erasure code this choice describes.
+    /// The [`CodeSpec`] naming this choice in the unified registry.
+    pub fn spec(&self) -> CodeSpec {
+        match *self {
+            CodeChoice::ReedSolomon { k, r } => CodeSpec::ReedSolomon { k, r },
+            CodeChoice::PiggybackedRs { k, r } => CodeSpec::PiggybackedRs { k, r },
+            CodeChoice::Lrc { k, l, g } => CodeSpec::Lrc {
+                k,
+                local_groups: l,
+                global_parities: g,
+            },
+            CodeChoice::Replication { copies } => CodeSpec::Replication { copies },
+        }
+    }
+
+    /// Builds the erasure code this choice describes, through the unified
+    /// registry (`pbrs_core::registry`).
     ///
     /// # Errors
     ///
     /// Propagates parameter-validation errors from the code constructors.
     pub fn build(&self) -> Result<Box<dyn ErasureCode>, CodeError> {
-        Ok(match *self {
-            CodeChoice::ReedSolomon { k, r } => Box::new(ReedSolomon::new(k, r)?),
-            CodeChoice::PiggybackedRs { k, r } => Box::new(PiggybackedRs::new(k, r)?),
-            CodeChoice::Lrc { k, l, g } => Box::new(Lrc::new(LrcParams {
-                k,
-                local_groups: l,
-                global_parities: g,
-            })?),
-            CodeChoice::Replication { copies } => Box::new(Replication::new(copies)?),
-        })
+        registry::build(&self.spec())
     }
 
     /// The production configuration: RS(10, 4).
     pub fn production_rs() -> Self {
-        CodeChoice::ReedSolomon { k: 10, r: 4 }
+        CodeSpec::FACEBOOK_RS.into()
     }
 
     /// The paper's proposal: Piggybacked-RS(10, 4).
     pub fn proposed_piggybacked() -> Self {
-        CodeChoice::PiggybackedRs { k: 10, r: 4 }
+        CodeSpec::FACEBOOK_PIGGYBACK.into()
+    }
+}
+
+impl From<CodeSpec> for CodeChoice {
+    fn from(spec: CodeSpec) -> Self {
+        match spec {
+            CodeSpec::ReedSolomon { k, r } => CodeChoice::ReedSolomon { k, r },
+            CodeSpec::PiggybackedRs { k, r } => CodeChoice::PiggybackedRs { k, r },
+            CodeSpec::Lrc {
+                k,
+                local_groups,
+                global_parities,
+            } => CodeChoice::Lrc {
+                k,
+                l: local_groups,
+                g: global_parities,
+            },
+            CodeSpec::Replication { copies } => CodeChoice::Replication { copies },
+        }
+    }
+}
+
+impl From<CodeChoice> for CodeSpec {
+    fn from(choice: CodeChoice) -> Self {
+        choice.spec()
+    }
+}
+
+impl FromStr for CodeChoice {
+    type Err = CodeError;
+
+    fn from_str(s: &str) -> Result<Self, CodeError> {
+        Ok(CodeSpec::from_str(s)?.into())
     }
 }
 
@@ -125,8 +166,8 @@ impl SimConfig {
     /// qualifying outage, 256 MiB blocks with a tail-block mix, 15-minute
     /// detection, and a recovery pipeline sized so the RS(10,4)
     /// configuration lands on the published medians (~95,500 blocks and
-    /// >180 TB cross-rack per day) while remaining demand-limited on a
-    /// typical day (the assumption behind the paper's >50 TB/day saving
+    /// more than 180 TB cross-rack per day) while remaining demand-limited
+    /// on a typical day (the assumption behind the paper's 50 TB/day saving
     /// estimate).
     pub fn facebook() -> Self {
         let constants = PaperConstants::published();
@@ -281,14 +322,40 @@ mod tests {
             "Piggybacked-RS(10, 4)"
         );
         assert_eq!(
-            CodeChoice::Lrc { k: 10, l: 2, g: 4 }.build().unwrap().name(),
+            CodeChoice::Lrc { k: 10, l: 2, g: 4 }
+                .build()
+                .unwrap()
+                .name(),
             "LRC(10, 2, 4)"
         );
         assert_eq!(
-            CodeChoice::Replication { copies: 3 }.build().unwrap().name(),
+            CodeChoice::Replication { copies: 3 }
+                .build()
+                .unwrap()
+                .name(),
             "3-replication"
         );
         assert!(CodeChoice::ReedSolomon { k: 0, r: 1 }.build().is_err());
+    }
+
+    #[test]
+    fn code_choice_round_trips_through_spec_strings() {
+        let choices = [
+            CodeChoice::production_rs(),
+            CodeChoice::proposed_piggybacked(),
+            CodeChoice::Lrc { k: 10, l: 2, g: 4 },
+            CodeChoice::Replication { copies: 3 },
+        ];
+        for choice in choices {
+            let text = choice.spec().to_string();
+            let parsed: CodeChoice = text.parse().unwrap();
+            assert_eq!(parsed, choice, "{text}");
+        }
+        assert_eq!(
+            "piggyback-10-4".parse::<CodeChoice>().unwrap(),
+            CodeChoice::proposed_piggybacked()
+        );
+        assert!("rs-10".parse::<CodeChoice>().is_err());
     }
 
     #[test]

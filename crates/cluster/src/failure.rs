@@ -172,7 +172,7 @@ mod tests {
         assert!(f.is_down_with(m, 1));
         assert!(!f.is_down_with(m, 0));
         assert_eq!(f.down_count(), 1);
-        assert_eq!(f.down_mask()[2], true);
+        assert!(f.down_mask()[2]);
 
         // Overlapping down event is ignored.
         assert_eq!(f.mark_down(m, 120.0), None);

@@ -57,17 +57,35 @@ pub struct ClusterReport {
 impl ClusterReport {
     /// Summary of the machines-flagged-per-day series (Fig. 3a).
     pub fn flagged_summary(&self) -> Summary {
-        Summary::of_counts(&self.days.iter().map(|d| d.machines_flagged).collect::<Vec<_>>())
+        Summary::of_counts(
+            &self
+                .days
+                .iter()
+                .map(|d| d.machines_flagged)
+                .collect::<Vec<_>>(),
+        )
     }
 
     /// Summary of the blocks-reconstructed-per-day series (Fig. 3b).
     pub fn blocks_summary(&self) -> Summary {
-        Summary::of_counts(&self.days.iter().map(|d| d.blocks_reconstructed).collect::<Vec<_>>())
+        Summary::of_counts(
+            &self
+                .days
+                .iter()
+                .map(|d| d.blocks_reconstructed)
+                .collect::<Vec<_>>(),
+        )
     }
 
     /// Summary of the cross-rack-terabytes-per-day series (Fig. 3b).
     pub fn cross_rack_tb_summary(&self) -> Summary {
-        Summary::of(&self.days.iter().map(|d| d.cross_rack_tb()).collect::<Vec<_>>())
+        Summary::of(
+            &self
+                .days
+                .iter()
+                .map(|d| d.cross_rack_tb())
+                .collect::<Vec<_>>(),
+        )
     }
 
     /// Total cross-rack bytes over the run.

@@ -98,7 +98,10 @@ impl TransferModel {
     ///
     /// Panics if the bandwidth is not positive.
     pub fn recovery_seconds(&self, bytes: u64, helpers: usize) -> f64 {
-        assert!(self.bandwidth_bytes_per_sec > 0.0, "bandwidth must be positive");
+        assert!(
+            self.bandwidth_bytes_per_sec > 0.0,
+            "bandwidth must be positive"
+        );
         bytes as f64 / self.bandwidth_bytes_per_sec + helpers as f64 * self.per_helper_setup_secs
     }
 }

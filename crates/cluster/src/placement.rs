@@ -11,7 +11,7 @@
 //! recovery traffic crosses the TOR switches.
 
 use rand::seq::SliceRandom;
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 use crate::topology::{MachineId, Topology};
 
@@ -97,13 +97,16 @@ mod tests {
     fn placement_uses_many_racks_over_time() {
         let policy = PlacementPolicy::new(Topology::new(30, 5));
         let mut rng = StdRng::seed_from_u64(2);
-        let mut seen = vec![false; 30];
+        let mut seen = [false; 30];
         for _ in 0..100 {
             for m in policy.place_stripe(&mut rng, 14) {
                 seen[policy.topology().rack_of(m).0] = true;
             }
         }
-        assert!(seen.iter().filter(|&&s| s).count() >= 29, "placement should spread across racks");
+        assert!(
+            seen.iter().filter(|&&s| s).count() >= 29,
+            "placement should spread across racks"
+        );
     }
 
     #[test]

@@ -13,9 +13,10 @@
 
 use std::collections::VecDeque;
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 
-use pbrs_erasure::ErasureCode;
+use pbrs_core::registry;
+use pbrs_erasure::{CodeError, CodeSpec, ErasureCode};
 use pbrs_trace::distributions;
 
 use crate::network::TransferModel;
@@ -64,6 +65,17 @@ impl RepairCostTable {
             blocks_downloaded,
             helpers,
         }
+    }
+
+    /// Builds the table for the code a [`CodeSpec`] names, through the
+    /// unified registry — the uniform entry point the simulator and the
+    /// experiment binaries share.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors for invalid specs.
+    pub fn for_spec(spec: &CodeSpec) -> Result<Self, CodeError> {
+        Ok(Self::for_code(registry::build(spec)?.as_ref()))
     }
 
     /// Average helper blocks downloaded per repaired block, over all stripe
@@ -248,8 +260,7 @@ impl RecoveryManager {
             // (every block of a stripe is equally likely to be the one on the
             // failed machine).
             let position = rng.random_range(0..self.cost_table.stripe_width);
-            let helper_bytes =
-                (self.cost_table.blocks_downloaded[position] * size as f64) as u64;
+            let helper_bytes = (self.cost_table.blocks_downloaded[position] * size as f64) as u64;
             bytes += helper_bytes;
             seconds += self
                 .transfer
@@ -319,6 +330,16 @@ mod tests {
         assert_eq!(pb_table.helpers[0], 11);
         assert_eq!(pb_table.helpers[13], 10);
         assert_eq!(pb_table.code_name, "Piggybacked-RS(10, 4)");
+    }
+
+    #[test]
+    fn cost_table_from_spec_matches_direct_construction() {
+        let direct = RepairCostTable::for_code(&PiggybackedRs::new(10, 4).unwrap());
+        let via_spec = RepairCostTable::for_spec(&"piggyback-10-4".parse().unwrap()).unwrap();
+        assert_eq!(via_spec.code_name, direct.code_name);
+        assert_eq!(via_spec.blocks_downloaded, direct.blocks_downloaded);
+        assert_eq!(via_spec.helpers, direct.helpers);
+        assert!(RepairCostTable::for_spec(&CodeSpec::ReedSolomon { k: 0, r: 1 }).is_err());
     }
 
     #[test]

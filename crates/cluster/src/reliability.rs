@@ -41,8 +41,14 @@ impl MttdlModel {
     pub fn stripe_mttdl_hours(&self) -> f64 {
         let n = self.stripe_width as f64;
         let r = self.fault_tolerance;
-        assert!(self.stripe_width > self.fault_tolerance, "width must exceed tolerance");
-        assert!(self.block_failure_rate_per_hour > 0.0, "failure rate must be positive");
+        assert!(
+            self.stripe_width > self.fault_tolerance,
+            "width must exceed tolerance"
+        );
+        assert!(
+            self.block_failure_rate_per_hour > 0.0,
+            "failure rate must be positive"
+        );
         assert!(
             self.single_repair_hours > 0.0 && self.degraded_repair_hours > 0.0,
             "repair times must be positive"

@@ -67,7 +67,11 @@ impl Simulator {
 
         // Static cluster state.
         let topology = Topology::new(config.racks, config.machines_per_rack);
-        let mut fleet = MachineFleet::new(&mut rng, topology.machines(), config.mean_rs_blocks_per_machine);
+        let mut fleet = MachineFleet::new(
+            &mut rng,
+            topology.machines(),
+            config.mean_rs_blocks_per_machine,
+        );
         let policy = PlacementPolicy::new(topology);
         let code = config.code.build().expect("configuration was validated");
         let cost_table = RepairCostTable::for_code(code.as_ref());
@@ -88,7 +92,10 @@ impl Simulator {
 
         // Metrics.
         let mut days: Vec<DayMetrics> = (0..config.days)
-            .map(|day| DayMetrics { day, ..DayMetrics::default() })
+            .map(|day| DayMetrics {
+                day,
+                ..DayMetrics::default()
+            })
             .collect();
         let mut cancelled_seen = 0u64;
 
@@ -108,7 +115,10 @@ impl Simulator {
             queue.schedule(census_interval, Event::StripeCensus);
         }
         for day in 0..config.days {
-            queue.schedule((day + 1) as f64 * MINUTES_PER_DAY - 1e-6, Event::DayEnd { day });
+            queue.schedule(
+                (day + 1) as f64 * MINUTES_PER_DAY - 1e-6,
+                Event::DayEnd { day },
+            );
         }
 
         // Main loop.
@@ -122,20 +132,35 @@ impl Simulator {
                     if let Some(incarnation) = fleet.mark_down(machine, now) {
                         queue.schedule_in(
                             config.detection_timeout_minutes,
-                            Event::DetectFailure { machine, incarnation },
+                            Event::DetectFailure {
+                                machine,
+                                incarnation,
+                            },
                         );
                         if until.is_finite() {
-                            queue.schedule(until.max(now), Event::MachineUp { machine, incarnation });
+                            queue.schedule(
+                                until.max(now),
+                                Event::MachineUp {
+                                    machine,
+                                    incarnation,
+                                },
+                            );
                         }
                     }
                 }
-                Event::MachineUp { machine, incarnation } => {
+                Event::MachineUp {
+                    machine,
+                    incarnation,
+                } => {
                     if fleet.mark_up(machine, incarnation) {
                         recovery.cancel_machine(machine, incarnation);
                         Self::sync_cancelled(&recovery, &mut cancelled_seen, &mut days[day]);
                     }
                 }
-                Event::DetectFailure { machine, incarnation } => {
+                Event::DetectFailure {
+                    machine,
+                    incarnation,
+                } => {
                     if fleet.is_down_with(machine, incarnation) {
                         days[day].machines_flagged += 1;
                         recovery.enqueue(machine, incarnation, fleet.rs_blocks(machine));
@@ -143,7 +168,11 @@ impl Simulator {
                         Self::sync_cancelled(&recovery, &mut cancelled_seen, &mut days[day]);
                     }
                 }
-                Event::RecoveryTaskDone { blocks, cross_rack_bytes, .. } => {
+                Event::RecoveryTaskDone {
+                    blocks,
+                    cross_rack_bytes,
+                    ..
+                } => {
                     recovery.task_finished();
                     days[day].blocks_reconstructed += blocks;
                     days[day].cross_rack_bytes += cross_rack_bytes;
@@ -273,10 +302,10 @@ mod tests {
         let pb_flagged: u64 = pb.days.iter().map(|d| d.machines_flagged).sum();
         assert_eq!(rs_flagged, pb_flagged);
         // The piggybacked run moves meaningfully fewer bytes per block.
-        let rs_per_block = rs.total_cross_rack_bytes() as f64
-            / rs.total_blocks_reconstructed().max(1) as f64;
-        let pb_per_block = pb.total_cross_rack_bytes() as f64
-            / pb.total_blocks_reconstructed().max(1) as f64;
+        let rs_per_block =
+            rs.total_cross_rack_bytes() as f64 / rs.total_blocks_reconstructed().max(1) as f64;
+        let pb_per_block =
+            pb.total_cross_rack_bytes() as f64 / pb.total_blocks_reconstructed().max(1) as f64;
         assert!(
             pb_per_block < rs_per_block * 0.85,
             "rs {rs_per_block} pb {pb_per_block}"
@@ -291,8 +320,8 @@ mod tests {
         let report = Simulator::new(config).run();
         assert!((report.average_blocks_per_repair - 1.0).abs() < 1e-12);
         if report.total_blocks_reconstructed() > 0 {
-            let per_block = report.total_cross_rack_bytes() as f64
-                / report.total_blocks_reconstructed() as f64;
+            let per_block =
+                report.total_cross_rack_bytes() as f64 / report.total_blocks_reconstructed() as f64;
             // One helper block (possibly a tail block) per recovery.
             assert!(per_block <= 64.0 * 1024.0 * 1024.0 + 1.0);
         }

@@ -66,11 +66,7 @@ impl StripeSample {
     /// stripes into the running distribution.
     pub fn census(&mut self, machine_down: &[bool]) {
         for stripe in &self.stripes {
-            let missing = stripe
-                .machines
-                .iter()
-                .filter(|m| machine_down[m.0])
-                .count();
+            let missing = stripe.machines.iter().filter(|m| machine_down[m.0]).count();
             self.degradation.record(missing);
         }
         self.censuses += 1;

@@ -229,8 +229,16 @@ mod tests {
         // Paper §3.1-3.2: "saves around 30% on average ... for recovery of
         // single block failures". The data-shard average is 33%, the
         // all-shard average ~24%; both bracket the paper's rounded claim.
-        assert!((report.average_data_saving - 0.33).abs() < 0.005, "{}", report.average_data_saving);
-        assert!((report.average_all_saving - 0.2357).abs() < 0.005, "{}", report.average_all_saving);
+        assert!(
+            (report.average_data_saving - 0.33).abs() < 0.005,
+            "{}",
+            report.average_data_saving
+        );
+        assert!(
+            (report.average_all_saving - 0.2357).abs() < 0.005,
+            "{}",
+            report.average_all_saving
+        );
         assert!(report.average_data_saving >= 0.30);
         let avg_data_dl = report.average_data_shards_downloaded();
         assert!((avg_data_dl - 6.7).abs() < 1e-9);

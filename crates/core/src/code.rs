@@ -3,10 +3,12 @@
 
 use pbrs_gf::slice_ops;
 
-use pbrs_erasure::params::{validate_data_shards, validate_present_shards};
+use pbrs_erasure::decode;
+use pbrs_erasure::params::{validate_encode_views, validate_repair_views, validate_stripe_view};
+use pbrs_erasure::views::{ShardSet, ShardSetMut};
 use pbrs_erasure::{
     default_repair_plan, CodeError, CodeParams, ErasureCode, FetchRequest, Fraction, ReedSolomon,
-    RepairOutcome, RepairPlan,
+    RepairPlan,
 };
 
 use crate::design::PiggybackDesign;
@@ -117,82 +119,29 @@ impl PiggybackedRs {
         data_ok && available[clean_parity] && available[carrier]
     }
 
-    /// Splits a shard into its `(a, b)` substripe halves.
-    fn halves(shard: &[u8]) -> (&[u8], &[u8]) {
-        let half = shard.len() / 2;
-        (&shard[..half], &shard[half..])
-    }
-
-    /// XOR of the first-substripe (`a`) halves of the given data shards.
-    fn piggyback_of_group(group: &[usize], a_shards: &[Vec<u8>], half: usize) -> Vec<u8> {
-        let mut out = vec![0u8; half];
-        for &i in group {
-            slice_ops::xor_slice(&mut out, &a_shards[i]);
-        }
-        out
-    }
-
-    /// Executes the download-efficient repair of a piggybacked data shard.
-    fn repair_efficient(
+    /// XORs each piggyback group's substripe-a symbols into (or out of —
+    /// the operation is an involution) the b-half of its carrier parity, for
+    /// every carrier parity accepted by `include`.
+    ///
+    /// All data shards' a-halves must hold valid bytes when this runs.
+    fn toggle_piggybacks(
         &self,
-        target: usize,
-        shards: &[Option<Vec<u8>>],
-        plan: &RepairPlan,
-        shard_len: usize,
-    ) -> Result<RepairOutcome, CodeError> {
+        shards: &mut ShardSetMut<'_>,
+        half: usize,
+        mut include: impl FnMut(usize) -> bool,
+    ) {
         let k = self.params.data_shards();
-        let n = self.params.total_shards();
-        let clean_parity = k;
-        let carrier = self
-            .design
-            .carrier_parity(target)
-            .expect("efficient repair requires a carrier parity");
-        let peers = self
-            .design
-            .group_peers(target)
-            .expect("efficient repair requires a piggyback group");
-
-        // Step 1: decode substripe b from the k-1 surviving data shards'
-        // b-halves plus the clean parity's b-half (which carries no
-        // piggyback).
-        let mut b_opt: Vec<Option<Vec<u8>>> = vec![None; n];
-        for i in 0..k {
-            if i != target {
-                let shard = shards[i].as_deref().expect("plan checked availability");
-                b_opt[i] = Some(Self::halves(shard).1.to_vec());
+        for j in 1..self.params.parity_shards() {
+            let carrier = k + j;
+            if !include(carrier) {
+                continue;
+            }
+            let (parity_shard, rest) = shards.split_one_mut(carrier);
+            let b_out = &mut parity_shard[half..];
+            for &m in &self.design.groups()[j - 1] {
+                slice_ops::xor_slice(b_out, &rest.shard(m)[..half]);
             }
         }
-        {
-            let shard = shards[clean_parity]
-                .as_deref()
-                .expect("plan checked availability");
-            b_opt[clean_parity] = Some(Self::halves(shard).1.to_vec());
-        }
-        self.rs.reconstruct(&mut b_opt)?;
-        let b_target = b_opt[target].clone().expect("reconstruct fills all shards");
-        let f_carrier_b = b_opt[carrier]
-            .as_deref()
-            .expect("reconstruct fills all shards");
-
-        // Step 2: strip the carrier parity's piggyback to obtain the group
-        // sum of substripe-a symbols, then subtract the peers' a-halves.
-        let carrier_shard = shards[carrier]
-            .as_deref()
-            .expect("plan checked availability");
-        let mut a_target = Self::halves(carrier_shard).1.to_vec();
-        slice_ops::xor_slice(&mut a_target, f_carrier_b);
-        for &p in &peers {
-            let peer_shard = shards[p].as_deref().expect("plan checked availability");
-            slice_ops::xor_slice(&mut a_target, Self::halves(peer_shard).0);
-        }
-
-        let mut shard = a_target;
-        shard.extend_from_slice(&b_target);
-        Ok(RepairOutcome {
-            target,
-            shard,
-            metrics: plan.metrics(shard_len),
-        })
     }
 }
 
@@ -213,89 +162,145 @@ impl ErasureCode for PiggybackedRs {
         2
     }
 
-    fn encode(&self, data: &[Vec<u8>]) -> Result<Vec<Vec<u8>>, CodeError> {
-        let k = self.params.data_shards();
-        let shard_len = validate_data_shards(data, k, self.granularity())?;
+    fn encode_into(
+        &self,
+        data: &ShardSet<'_>,
+        parity: &mut ShardSetMut<'_>,
+    ) -> Result<(), CodeError> {
+        let shard_len = validate_encode_views(data, parity, self.params, self.granularity())?;
         let half = shard_len / 2;
-
-        let a_shards: Vec<Vec<u8>> = data.iter().map(|d| Self::halves(d).0.to_vec()).collect();
-        let b_shards: Vec<Vec<u8>> = data.iter().map(|d| Self::halves(d).1.to_vec()).collect();
-        let pa = self.rs.encode(&a_shards)?;
-        let pb = self.rs.encode(&b_shards)?;
-
-        let mut parity = Vec::with_capacity(self.params.parity_shards());
         for j in 0..self.params.parity_shards() {
-            let mut shard = pa[j].clone();
-            let mut second = pb[j].clone();
+            let row = self.rs.parity_row(j);
+            let (a_out, b_out) = parity.shard_mut(j).split_at_mut(half);
+            slice_ops::linear_combination_into(row, data.iter().map(|s| &s[..half]), a_out);
+            slice_ops::linear_combination_into(row, data.iter().map(|s| &s[half..]), b_out);
             if j >= 1 {
-                let group = &self.design.groups()[j - 1];
-                let piggyback = Self::piggyback_of_group(group, &a_shards, half);
-                slice_ops::xor_slice(&mut second, &piggyback);
+                for &m in &self.design.groups()[j - 1] {
+                    slice_ops::xor_slice(b_out, &data.shard(m)[..half]);
+                }
             }
-            shard.extend_from_slice(&second);
-            parity.push(shard);
         }
-        Ok(parity)
+        Ok(())
     }
 
-    fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), CodeError> {
-        let n = self.params.total_shards();
-        let k = self.params.data_shards();
-        let shard_len = validate_present_shards(shards, n, self.granularity())?;
+    fn reconstruct_in_place(
+        &self,
+        shards: &mut ShardSetMut<'_>,
+        present: &[bool],
+    ) -> Result<(), CodeError> {
+        let shard_len = validate_stripe_view(shards, present, self.params, self.granularity())?;
+        if present.iter().all(|&p| p) {
+            return Ok(());
+        }
         let half = shard_len / 2;
-        if shards.iter().all(|s| s.is_some()) {
+        let generator = self.rs.generator();
+
+        // Substripe a is a plain RS codeword (parity a-halves carry no
+        // piggyback): decode it first, in place.
+        {
+            let mut a_view = shards.narrow_mut(0, half);
+            decode::reconstruct_linear_in_place(generator, &mut a_view, present)?;
+        }
+        // With every a-half now valid, strip the piggybacks off the
+        // *surviving* parity shards, turning the b-halves into a plain RS
+        // codeword too. The toggle is an involution, so the same pass
+        // restores (and installs) the piggybacks afterwards.
+        self.toggle_piggybacks(shards, half, |i| present[i]);
+        let decoded_b = {
+            let mut b_view = shards.narrow_mut(half, half);
+            decode::reconstruct_linear_in_place(generator, &mut b_view, present)
+        };
+        match decoded_b {
+            Ok(()) => {
+                // Re-apply to every parity: survivors get their original
+                // bytes back, rebuilt parities receive their piggyback.
+                self.toggle_piggybacks(shards, half, |_| true);
+                Ok(())
+            }
+            Err(e) => {
+                // Leave surviving shards exactly as they were handed in.
+                self.toggle_piggybacks(shards, half, |i| present[i]);
+                Err(e)
+            }
+        }
+    }
+
+    fn repair_into(
+        &self,
+        target: usize,
+        helpers: &ShardSet<'_>,
+        out: &mut [u8],
+    ) -> Result<(), CodeError> {
+        let shard_len =
+            validate_repair_views(target, helpers, out, self.params, self.granularity())?;
+        let half = shard_len / 2;
+        let k = self.params.data_shards();
+        let generator = self.rs.generator();
+
+        if target >= k {
+            // Parity repair: with all data shards at hand, re-encode the one
+            // parity directly (the classic plan's cost: k data shards read).
+            let j = target - k;
+            let row = self.rs.parity_row(j);
+            let (a_out, b_out) = out.split_at_mut(half);
+            slice_ops::linear_combination_into(
+                row,
+                (0..k).map(|i| &helpers.shard(i)[..half]),
+                a_out,
+            );
+            slice_ops::linear_combination_into(
+                row,
+                (0..k).map(|i| &helpers.shard(i)[half..]),
+                b_out,
+            );
+            if j >= 1 {
+                for &m in &self.design.groups()[j - 1] {
+                    slice_ops::xor_slice(b_out, &helpers.shard(m)[..half]);
+                }
+            }
             return Ok(());
         }
 
-        // Substripe a is a plain RS codeword: parity first-halves carry no
-        // piggyback.
-        let mut a_opt: Vec<Option<Vec<u8>>> = shards
-            .iter()
-            .map(|s| s.as_deref().map(|shard| Self::halves(shard).0.to_vec()))
-            .collect();
-        self.rs.reconstruct(&mut a_opt)?;
-        let a_all: Vec<Vec<u8>> = a_opt
-            .into_iter()
-            .map(|s| s.expect("reconstruct fills all shards"))
-            .collect();
-
-        // Substripe b: strip piggybacks from the surviving parity shards
-        // using the now-known substripe-a data symbols.
-        let piggybacks: Vec<Vec<u8>> = (0..self.params.parity_shards())
-            .map(|j| {
-                if j >= 1 {
-                    Self::piggyback_of_group(&self.design.groups()[j - 1], &a_all[..k], half)
-                } else {
-                    vec![0u8; half]
+        // Data-shard repair. Substripe b decodes from the other k-1 data
+        // shards plus the clean parity (whose b-half carries no piggyback).
+        let selected: Vec<usize> = (0..k).filter(|&i| i != target).chain([k]).collect();
+        let coeff_target = decode::combination_coefficients(generator, target, &selected)?;
+        let (a_out, b_out) = out.split_at_mut(half);
+        slice_ops::linear_combination_into(
+            &coeff_target,
+            selected.iter().map(|&i| &helpers.shard(i)[half..]),
+            b_out,
+        );
+        match self.design.carrier_parity(target) {
+            Some(carrier) => {
+                // The download-efficient path: the carrier parity stores
+                // f_c(b) + Σ_{i ∈ group} a_i, so
+                //   a_target = carrier.b ⊕ f_c(b) ⊕ Σ_{peers} a_p
+                // — only half-shards beyond what the b-decode already read.
+                let peers = self
+                    .design
+                    .group_peers(target)
+                    .expect("a carrier parity implies a piggyback group");
+                let coeff_carrier =
+                    decode::combination_coefficients(generator, carrier, &selected)?;
+                a_out.copy_from_slice(&helpers.shard(carrier)[half..]);
+                slice_ops::accumulate_combination(
+                    &coeff_carrier,
+                    selected.iter().map(|&i| &helpers.shard(i)[half..]),
+                    a_out,
+                );
+                for &p in &peers {
+                    slice_ops::xor_slice(a_out, &helpers.shard(p)[..half]);
                 }
-            })
-            .collect();
-        let mut b_opt: Vec<Option<Vec<u8>>> = Vec::with_capacity(n);
-        for (i, s) in shards.iter().enumerate() {
-            b_opt.push(s.as_deref().map(|shard| {
-                let mut b = Self::halves(shard).1.to_vec();
-                if i >= k {
-                    slice_ops::xor_slice(&mut b, &piggybacks[i - k]);
-                }
-                b
-            }));
-        }
-        self.rs.reconstruct(&mut b_opt)?;
-        let b_all: Vec<Vec<u8>> = b_opt
-            .into_iter()
-            .map(|s| s.expect("reconstruct fills all shards"))
-            .collect();
-
-        // Reassemble the missing shards (re-applying piggybacks to parities).
-        for i in 0..n {
-            if shards[i].is_none() {
-                let mut shard = a_all[i].clone();
-                let mut second = b_all[i].clone();
-                if i >= k {
-                    slice_ops::xor_slice(&mut second, &piggybacks[i - k]);
-                }
-                shard.extend_from_slice(&second);
-                shards[i] = Some(shard);
+            }
+            None => {
+                // Uncovered data shard: plain RS decode of substripe a from
+                // the same helper set.
+                slice_ops::linear_combination_into(
+                    &coeff_target,
+                    selected.iter().map(|&i| &helpers.shard(i)[..half]),
+                    a_out,
+                );
             }
         }
         Ok(())
@@ -351,41 +356,6 @@ impl ErasureCode for PiggybackedRs {
         default_repair_plan(self.params, target, available)
     }
 
-    fn repair(&self, target: usize, shards: &[Option<Vec<u8>>]) -> Result<RepairOutcome, CodeError> {
-        let n = self.params.total_shards();
-        let shard_len = validate_present_shards(shards, n, self.granularity())?;
-        let available: Vec<bool> = shards.iter().map(|s| s.is_some()).collect();
-        if target >= n {
-            return Err(CodeError::InvalidShardIndex {
-                index: target,
-                total: n,
-            });
-        }
-        if available[target] {
-            return Err(CodeError::TargetNotMissing { index: target });
-        }
-        let plan = self.repair_plan(target, &available)?;
-        if self.efficient_repair_available(target, &available) {
-            return self.repair_efficient(target, shards, &plan, shard_len);
-        }
-        // Fallback: full-stripe decode restricted to the shards the plan reads.
-        let mut working: Vec<Option<Vec<u8>>> = vec![None; n];
-        for fetch in &plan.fetches {
-            working[fetch.shard] = shards[fetch.shard].clone();
-        }
-        self.reconstruct(&mut working)?;
-        let shard = working[target]
-            .take()
-            .ok_or(CodeError::ReconstructionFailed {
-                context: "target shard missing after reconstruction",
-            })?;
-        Ok(RepairOutcome {
-            target,
-            shard,
-            metrics: plan.metrics(shard_len),
-        })
-    }
-
     fn is_mds(&self) -> bool {
         true
     }
@@ -398,7 +368,11 @@ mod tests {
 
     fn sample_data(k: usize, len: usize) -> Vec<Vec<u8>> {
         (0..k)
-            .map(|i| (0..len).map(|j| ((i * 41 + j * 13 + 7) % 256) as u8).collect())
+            .map(|i| {
+                (0..len)
+                    .map(|j| ((i * 41 + j * 13 + 7) % 256) as u8)
+                    .collect()
+            })
             .collect()
     }
 
@@ -458,7 +432,10 @@ mod tests {
         let data = sample_data(4, 15);
         assert!(matches!(
             code.encode(&data),
-            Err(CodeError::UnalignedShard { len: 15, granularity: 2 })
+            Err(CodeError::UnalignedShard {
+                len: 15,
+                granularity: 2
+            })
         ));
     }
 
@@ -544,7 +521,10 @@ mod tests {
             let plan = code.repair_plan(target, &available).unwrap();
             let group_len = code.design().groups()[code.design().group_of(target).unwrap()].len();
             let expect = (10.0 + group_len as f64) / 2.0;
-            assert!((plan.total_fraction() - expect).abs() < 1e-12, "target {target}");
+            assert!(
+                (plan.total_fraction() - expect).abs() < 1e-12,
+                "target {target}"
+            );
             // Helpers: k-1 data + clean parity + carrier parity.
             assert_eq!(plan.helper_count(), 11);
         }
@@ -570,9 +550,8 @@ mod tests {
             if target < 10 {
                 let group_len =
                     code.design().groups()[code.design().group_of(target).unwrap()].len();
-                let expect_bytes = ((10 - group_len) as u64 * 32) + (group_len as u64 - 1) * 64
-                    + 32
-                    + 32;
+                let expect_bytes =
+                    ((10 - group_len) as u64 * 32) + (group_len as u64 - 1) * 64 + 32 + 32;
                 assert_eq!(outcome.metrics.bytes_transferred, expect_bytes);
                 assert_eq!(outcome.metrics.helpers, 11);
             } else {

@@ -53,9 +53,8 @@ impl PiggybackDesign {
         let r = params.parity_shards();
         let group_count = r.saturating_sub(1);
         let mut groups = Vec::with_capacity(group_count);
-        if group_count > 0 {
-            let base = k / group_count;
-            let extra = k % group_count;
+        if let (Some(base), Some(extra)) = (k.checked_div(group_count), k.checked_rem(group_count))
+        {
             let mut next = 0usize;
             for gi in 0..group_count {
                 let size = base + usize::from(gi < extra);
@@ -92,7 +91,9 @@ impl PiggybackDesign {
             for &shard in group {
                 if shard >= k {
                     return Err(CodeError::InvalidParams {
-                        reason: format!("piggyback group references data shard {shard} but k = {k}"),
+                        reason: format!(
+                            "piggyback group references data shard {shard} but k = {k}"
+                        ),
                     });
                 }
                 if group_of[shard].is_some() {
@@ -238,9 +239,7 @@ mod tests {
         // Out-of-range member.
         assert!(PiggybackDesign::from_groups(params(4, 2), vec![vec![7]]).is_err());
         // Overlapping groups.
-        assert!(
-            PiggybackDesign::from_groups(params(4, 3), vec![vec![0, 1], vec![1, 2]]).is_err()
-        );
+        assert!(PiggybackDesign::from_groups(params(4, 3), vec![vec![0, 1], vec![1, 2]]).is_err());
         // Empty groups are allowed.
         let d = PiggybackDesign::from_groups(params(4, 3), vec![vec![], vec![0, 1, 2, 3]]).unwrap();
         assert_eq!(d.covered_shards(), 4);

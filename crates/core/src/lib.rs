@@ -60,6 +60,7 @@
 pub mod analysis;
 pub mod code;
 pub mod design;
+pub mod registry;
 pub mod toy;
 
 pub use analysis::{CodeComparison, NodeRepairCost, SavingsReport};

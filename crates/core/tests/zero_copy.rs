@@ -1,0 +1,205 @@
+//! Equivalence of the Piggybacked-RS zero-copy API and the legacy
+//! owned-`Vec` API, byte-for-byte, across a `(k, r)` grid and odd
+//! (even-aligned) shard lengths — including the substripe-narrowing decode
+//! and the download-efficient repair path.
+
+use proptest::prelude::*;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use pbrs_core::{registry, PiggybackedRs};
+use pbrs_erasure::{ErasureCode, ShardBuffer, ShardSetMut};
+
+fn random_data(rng: &mut StdRng, k: usize, len: usize) -> Vec<Vec<u8>> {
+    (0..k)
+        .map(|_| (0..len).map(|_| rng.random()).collect())
+        .collect()
+}
+
+fn full_stripe(code: &PiggybackedRs, data: &[Vec<u8>]) -> Vec<Vec<u8>> {
+    let parity = code.encode(data).unwrap();
+    data.iter().cloned().chain(parity).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// encode_into writes exactly the bytes encode returns, over stale
+    /// parity buffers.
+    #[test]
+    fn encode_into_agrees_with_legacy(
+        k in 2usize..12,
+        r in 1usize..6,
+        half in 1usize..24,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let code = PiggybackedRs::new(k, r).unwrap();
+        let data = random_data(&mut rng, k, half * 2);
+        let legacy = code.encode(&data).unwrap();
+
+        let packed = ShardBuffer::from_shards(&data).unwrap();
+        let shard_len = half * 2;
+        let mut parity_buf = vec![0xEEu8; r * shard_len];
+        let mut parity = ShardSetMut::new(&mut parity_buf, r, shard_len).unwrap();
+        code.encode_into(&packed.as_set(), &mut parity).unwrap();
+        for (j, expect) in legacy.iter().enumerate() {
+            prop_assert_eq!(
+                &parity_buf[j * shard_len..(j + 1) * shard_len],
+                &expect[..],
+                "parity {}",
+                j
+            );
+        }
+    }
+
+    /// reconstruct_in_place agrees with reconstruct for any erasure pattern
+    /// up to r, with garbage in the missing slots, and never touches
+    /// surviving shards.
+    #[test]
+    fn reconstruct_in_place_agrees_with_legacy(
+        k in 2usize..12,
+        r in 1usize..6,
+        half in 1usize..16,
+        erasures in 0usize..7,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let code = PiggybackedRs::new(k, r).unwrap();
+        let data = random_data(&mut rng, k, half * 2);
+        let full = full_stripe(&code, &data);
+        let n = k + r;
+
+        let mut indices: Vec<usize> = (0..n).collect();
+        indices.shuffle(&mut rng);
+        let missing: Vec<usize> = indices.into_iter().take(erasures.min(r)).collect();
+
+        let mut legacy: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
+        for &i in &missing {
+            legacy[i] = None;
+        }
+        code.reconstruct(&mut legacy).unwrap();
+
+        let mut packed = ShardBuffer::from_shards(&full).unwrap();
+        let mut present = vec![true; n];
+        for &i in &missing {
+            present[i] = false;
+            packed.shard_mut(i).fill(0xDD);
+        }
+        code.reconstruct_in_place(&mut packed.as_set_mut(), &present).unwrap();
+        for (i, expect) in full.iter().enumerate() {
+            prop_assert_eq!(packed.shard(i), &expect[..], "shard {}", i);
+        }
+    }
+
+    /// Over-erased stripes fail in place exactly like the legacy path, and
+    /// surviving shards (including piggybacked parities, which the decode
+    /// temporarily toggles) are left bit-identical.
+    #[test]
+    fn in_place_failure_restores_survivors(
+        k in 2usize..10,
+        r in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let code = PiggybackedRs::new(k, r).unwrap();
+        let data = random_data(&mut rng, k, 8);
+        let full = full_stripe(&code, &data);
+        let n = k + r;
+
+        let mut indices: Vec<usize> = (0..n).collect();
+        indices.shuffle(&mut rng);
+        let missing: Vec<usize> = indices.into_iter().take(r + 1).collect();
+        let mut packed = ShardBuffer::from_shards(&full).unwrap();
+        let mut present = vec![true; n];
+        for &i in &missing {
+            present[i] = false;
+        }
+        prop_assert!(code
+            .reconstruct_in_place(&mut packed.as_set_mut(), &present)
+            .is_err());
+        for i in 0..n {
+            if present[i] {
+                prop_assert_eq!(packed.shard(i), &full[i][..], "survivor {}", i);
+            }
+        }
+    }
+
+    /// repair_into agrees with repair for every shard position — covered
+    /// data shards (the efficient path), uncovered data shards, and
+    /// parities.
+    #[test]
+    fn repair_into_agrees_with_legacy(
+        k in 2usize..12,
+        r in 1usize..6,
+        half in 1usize..16,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let code = PiggybackedRs::new(k, r).unwrap();
+        let data = random_data(&mut rng, k, half * 2);
+        let full = full_stripe(&code, &data);
+        let packed = ShardBuffer::from_shards(&full).unwrap();
+        for target in 0..k + r {
+            let mut shards: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
+            shards[target] = None;
+            let legacy = code.repair(target, &shards).unwrap();
+
+            let mut out = vec![0xAAu8; half * 2];
+            code.repair_into(target, &packed.as_set(), &mut out).unwrap();
+            prop_assert_eq!(&out, &legacy.shard, "target {}", target);
+            prop_assert_eq!(&out, &full[target], "target {}", target);
+        }
+    }
+}
+
+/// Registry-built boxed codes expose the zero-copy API through the trait
+/// object, end to end.
+#[test]
+fn boxed_code_runs_zero_copy_round_trip() {
+    let code = registry::build_str("piggyback-10-4").unwrap();
+    let mut stripe = ShardBuffer::zeroed(14, 32);
+    for i in 0..10 {
+        for (j, b) in stripe.shard_mut(i).iter_mut().enumerate() {
+            *b = ((i * 13 + j * 7 + 3) % 256) as u8;
+        }
+    }
+    {
+        let (data, mut parity) = stripe.split_mut(10);
+        code.encode_into(&data, &mut parity).unwrap();
+    }
+    let original = stripe.clone();
+
+    // Single-shard repair through the view API.
+    let mut out = vec![0u8; 32];
+    code.repair_into(3, &stripe.as_set(), &mut out).unwrap();
+    assert_eq!(out, original.shard(3));
+
+    // Full in-place reconstruction of r failures.
+    let mut present = vec![true; 14];
+    for lost in [0, 5, 11, 13] {
+        present[lost] = false;
+        stripe.shard_mut(lost).fill(0);
+    }
+    code.reconstruct_in_place(&mut stripe.as_set_mut(), &present)
+        .unwrap();
+    assert_eq!(stripe, original);
+}
+
+/// The unaligned-length rejection applies to the view API exactly as it
+/// does to the legacy API (granularity 2 for the piggybacked code).
+#[test]
+fn view_api_rejects_unaligned_lengths() {
+    let code = PiggybackedRs::new(4, 2).unwrap();
+    let data_buf = vec![0u8; 4 * 7];
+    let data = pbrs_erasure::ShardSet::new(&data_buf, 4, 7).unwrap();
+    let mut parity_buf = vec![0u8; 2 * 7];
+    let mut parity = ShardSetMut::new(&mut parity_buf, 2, 7).unwrap();
+    assert!(matches!(
+        code.encode_into(&data, &mut parity),
+        Err(pbrs_erasure::CodeError::UnalignedShard {
+            len: 7,
+            granularity: 2
+        })
+    ));
+}

@@ -13,6 +13,7 @@
 use pbrs_gf::slice_ops;
 use pbrs_gf::Matrix;
 
+use crate::views::ShardSetMut;
 use crate::CodeError;
 
 /// Selects `k` row indices from `candidates` whose rows in `generator` are
@@ -32,7 +33,10 @@ pub fn select_independent_rows(generator: &Matrix, candidates: &[usize]) -> Opti
         let mut row = generator.row(idx).to_vec();
         // Reduce against the existing basis.
         for b in &basis {
-            let lead = b.iter().position(|&x| x != 0).expect("basis rows are non-zero");
+            let lead = b
+                .iter()
+                .position(|&x| x != 0)
+                .expect("basis rows are non-zero");
             if row[lead] != 0 {
                 let factor = pbrs_gf::tables::div(row[lead], b[lead]);
                 for (r, bv) in row.iter_mut().zip(b.iter()) {
@@ -116,14 +120,114 @@ pub fn reconstruct_linear(
 
     // Re-encode every missing shard from the recovered data.
     let data_refs: Vec<&[u8]> = data_shards.iter().map(|s| s.as_slice()).collect();
-    for i in 0..n {
-        if shards[i].is_none() {
+    for (i, slot) in shards.iter_mut().enumerate() {
+        if slot.is_none() {
             let mut out = vec![0u8; shard_len];
             slice_ops::linear_combination(generator.row(i), &data_refs, &mut out);
-            shards[i] = Some(out);
+            *slot = Some(out);
         }
     }
     Ok(())
+}
+
+/// Reconstructs every missing shard of a linear code *in place*, inside a
+/// borrowed shard view, without allocating any shard-sized buffer.
+///
+/// `shards` holds all `n` shard slots of the stripe; `present[i]` says
+/// whether slot `i` currently holds valid bytes. Present slots are never
+/// modified. Each missing slot is rebuilt directly as a linear combination
+/// of `k` independent surviving shards: the coefficients come from one
+/// `k × k` inversion (`O(k²)` bookkeeping — nothing proportional to the
+/// shard length is allocated).
+///
+/// # Errors
+///
+/// * [`CodeError::NotEnoughShards`] if fewer than `k` shards survive.
+/// * [`CodeError::ReconstructionFailed`] if the surviving rows do not span
+///   the data space (only possible for non-MDS generators).
+/// * [`CodeError::Matrix`] if inversion fails unexpectedly.
+pub fn reconstruct_linear_in_place(
+    generator: &Matrix,
+    shards: &mut ShardSetMut<'_>,
+    present: &[bool],
+) -> Result<(), CodeError> {
+    let n = generator.rows();
+    let k = generator.cols();
+    debug_assert_eq!(shards.shard_count(), n, "caller validates shard count");
+    debug_assert_eq!(present.len(), n, "caller validates mask width");
+
+    let present_idx: Vec<usize> = (0..n).filter(|&i| present[i]).collect();
+    if present_idx.len() == n {
+        return Ok(());
+    }
+    if present_idx.len() < k {
+        return Err(CodeError::NotEnoughShards {
+            needed: k,
+            available: present_idx.len(),
+        });
+    }
+
+    // Fast path: all data shards survive, so every missing shard is a parity
+    // and can be re-encoded straight from the data rows.
+    if (0..k).all(|i| present[i]) {
+        for (i, &ok) in present.iter().enumerate().skip(k) {
+            if ok {
+                continue;
+            }
+            let (target, rest) = shards.split_one_mut(i);
+            slice_ops::linear_combination_into(
+                generator.row(i),
+                (0..k).map(|j| rest.shard(j)),
+                target,
+            );
+        }
+        return Ok(());
+    }
+
+    let rows = select_independent_rows(generator, &present_idx).ok_or(
+        CodeError::ReconstructionFailed {
+            context: "surviving shards do not span the data",
+        },
+    )?;
+    let sub = generator.submatrix_rows(&rows)?;
+    let inv = sub.inverted()?;
+
+    // shard_i = row_i · data and data = inv · selected, so
+    // shard_i = (row_i · inv) · selected — one combination per missing slot.
+    let mut coeffs = vec![0u8; k];
+    for (i, &ok) in present.iter().enumerate() {
+        if ok {
+            continue;
+        }
+        for (t, c) in coeffs.iter_mut().enumerate() {
+            let mut acc = 0u8;
+            for j in 0..k {
+                acc ^= pbrs_gf::tables::mul(generator.get(i, j), inv.get(j, t));
+            }
+            *c = acc;
+        }
+        let (target, rest) = shards.split_one_mut(i);
+        slice_ops::linear_combination_into(&coeffs, rows.iter().map(|&s| rest.shard(s)), target);
+    }
+    Ok(())
+}
+
+/// Coefficients expressing shard `target` as a combination of the given
+/// helper shards, under `generator`.
+///
+/// # Errors
+///
+/// Returns [`CodeError::ReconstructionFailed`] if the helper rows do not
+/// span the target row.
+pub fn combination_coefficients(
+    generator: &Matrix,
+    target: usize,
+    helpers: &[usize],
+) -> Result<Vec<u8>, CodeError> {
+    let rows: Vec<&[u8]> = helpers.iter().map(|&i| generator.row(i)).collect();
+    solve_combination(&rows, generator.row(target)).ok_or(CodeError::ReconstructionFailed {
+        context: "helper shards do not span the target shard",
+    })
 }
 
 /// Finds coefficients `c` such that `Σ_i c[i] * rows[i] == target_row`, i.e.
@@ -164,7 +268,11 @@ pub fn solve_combination(rows: &[&[u8]], target_row: &[u8]) -> Option<Vec<u8>> {
         aug.swap_rows(pivot_row, p);
         let inv = pbrs_gf::tables::inverse(aug.get(pivot_row, col)).expect("pivot non-zero");
         for c in col..=m {
-            aug.set(pivot_row, c, pbrs_gf::tables::mul(aug.get(pivot_row, c), inv));
+            aug.set(
+                pivot_row,
+                c,
+                pbrs_gf::tables::mul(aug.get(pivot_row, c), inv),
+            );
         }
         for r in 0..k {
             if r != pivot_row && aug.get(r, col) != 0 {
@@ -189,8 +297,8 @@ pub fn solve_combination(rows: &[&[u8]], target_row: &[u8]) -> Option<Vec<u8>> {
         }
     }
     let mut coeffs = vec![0u8; m];
-    for r in 0..k {
-        if let Some(col) = pivot_col_of_row[r] {
+    for (r, pivot) in pivot_col_of_row.iter().enumerate() {
+        if let Some(col) = *pivot {
             coeffs[col] = aug.get(r, m);
         }
     }
@@ -224,19 +332,16 @@ pub fn repair_by_combination(
     shard_len: usize,
 ) -> Result<Vec<u8>, CodeError> {
     let rows: Vec<&[u8]> = helpers.iter().map(|&i| generator.row(i)).collect();
-    let coeffs = solve_combination(&rows, generator.row(target)).ok_or(
-        CodeError::ReconstructionFailed {
+    let coeffs =
+        solve_combination(&rows, generator.row(target)).ok_or(CodeError::ReconstructionFailed {
             context: "helper shards do not span the target shard",
-        },
-    )?;
+        })?;
     let helper_shards: Vec<&[u8]> = helpers
         .iter()
         .map(|&i| {
-            shards[i]
-                .as_deref()
-                .ok_or(CodeError::ReconstructionFailed {
-                    context: "a helper shard named by the plan is missing",
-                })
+            shards[i].as_deref().ok_or(CodeError::ReconstructionFailed {
+                context: "a helper shard named by the plan is missing",
+            })
         })
         .collect::<Result<_, _>>()?;
     let mut out = vec![0u8; shard_len];
@@ -331,14 +436,18 @@ mod tests {
                 continue;
             }
             let mut shards: Vec<Option<Vec<u8>>> = all.iter().cloned().map(Some).collect();
-            for i in 0..n {
+            for (i, slot) in shards.iter_mut().enumerate() {
                 if mask & (1 << i) != 0 {
-                    shards[i] = None;
+                    *slot = None;
                 }
             }
             reconstruct_linear(&g, &mut shards, 32).unwrap();
             for i in 0..n {
-                assert_eq!(shards[i].as_ref().unwrap(), &all[i], "mask {mask:#b}, shard {i}");
+                assert_eq!(
+                    shards[i].as_ref().unwrap(),
+                    &all[i],
+                    "mask {mask:#b}, shard {i}"
+                );
             }
         }
     }
@@ -354,7 +463,75 @@ mod tests {
         shards[2] = None;
         assert!(matches!(
             reconstruct_linear(&g, &mut shards, 8),
-            Err(CodeError::NotEnoughShards { needed: 4, available: 3 })
+            Err(CodeError::NotEnoughShards {
+                needed: 4,
+                available: 3
+            })
+        ));
+    }
+
+    #[test]
+    fn in_place_reconstruct_matches_owned_reconstruct() {
+        let k = 4;
+        let r = 3;
+        let n = k + r;
+        let g = systematic_generator(k, r);
+        let data: Vec<Vec<u8>> = (0..k).map(|i| vec![(i * 29 + 5) as u8; 24]).collect();
+        let all = encode_with(&g, &data);
+        for mask in 0u32..(1 << n) {
+            if mask.count_ones() as usize > r || mask == 0 {
+                continue;
+            }
+            let mut buf = vec![0u8; n * 24];
+            let mut present = vec![true; n];
+            for i in 0..n {
+                if mask & (1 << i) != 0 {
+                    present[i] = false;
+                    buf[i * 24..(i + 1) * 24].fill(0xDD); // stale garbage
+                } else {
+                    buf[i * 24..(i + 1) * 24].copy_from_slice(&all[i]);
+                }
+            }
+            let mut view = ShardSetMut::new(&mut buf, n, 24).unwrap();
+            reconstruct_linear_in_place(&g, &mut view, &present).unwrap();
+            for i in 0..n {
+                assert_eq!(&buf[i * 24..(i + 1) * 24], &all[i][..], "mask {mask:#b}");
+            }
+        }
+    }
+
+    #[test]
+    fn in_place_reconstruct_too_many_missing() {
+        let g = systematic_generator(4, 2);
+        let mut buf = vec![0u8; 6 * 8];
+        let mut view = ShardSetMut::new(&mut buf, 6, 8).unwrap();
+        let present = [true, true, true, false, false, false];
+        assert!(matches!(
+            reconstruct_linear_in_place(&g, &mut view, &present),
+            Err(CodeError::NotEnoughShards {
+                needed: 4,
+                available: 3
+            })
+        ));
+    }
+
+    #[test]
+    fn combination_coefficients_rebuild_shards() {
+        let g = systematic_generator(5, 2);
+        let helpers: Vec<usize> = (1..6).collect();
+        let coeffs = combination_coefficients(&g, 0, &helpers).unwrap();
+        // The coefficients must reproduce row 0 from the helper rows.
+        for col in 0..5 {
+            let mut acc = 0u8;
+            for (j, &h) in helpers.iter().enumerate() {
+                acc ^= pbrs_gf::tables::mul(coeffs[j], g.row(h)[col]);
+            }
+            assert_eq!(acc, g.row(0)[col]);
+        }
+        // An insufficient helper set is rejected.
+        assert!(matches!(
+            combination_coefficients(&g, 0, &[1, 2]),
+            Err(CodeError::ReconstructionFailed { .. })
         ));
     }
 

@@ -77,7 +77,10 @@ impl fmt::Display for CodeError {
                 write!(f, "shard length {len} is not a multiple of {granularity}")
             }
             CodeError::NotEnoughShards { needed, available } => {
-                write!(f, "need at least {needed} shards, only {available} available")
+                write!(
+                    f,
+                    "need at least {needed} shards, only {available} available"
+                )
             }
             CodeError::InvalidShardIndex { index, total } => {
                 write!(f, "shard index {index} out of range for {total} shards")
@@ -151,18 +154,26 @@ mod tests {
                 "need at least 10",
             ),
             (
-                CodeError::InvalidShardIndex { index: 20, total: 14 },
+                CodeError::InvalidShardIndex {
+                    index: 20,
+                    total: 14,
+                },
                 "out of range",
             ),
             (CodeError::TargetNotMissing { index: 1 }, "not missing"),
             (
-                CodeError::ReconstructionFailed { context: "rank too low" },
+                CodeError::ReconstructionFailed {
+                    context: "rank too low",
+                },
                 "rank too low",
             ),
         ];
         for (err, fragment) in cases {
             let msg = err.to_string();
-            assert!(msg.contains(fragment), "{msg:?} should contain {fragment:?}");
+            assert!(
+                msg.contains(fragment),
+                "{msg:?} should contain {fragment:?}"
+            );
             assert!(msg.chars().next().unwrap().is_lowercase());
         }
     }

@@ -1,4 +1,4 @@
-//! Erasure-code abstractions and baseline codes.
+//! Erasure-code abstractions, zero-copy shard views and baseline codes.
 //!
 //! This crate defines the [`ErasureCode`] trait used throughout the
 //! Piggybacked-RS reproduction, together with the three baseline codes the
@@ -13,6 +13,38 @@
 //! The Piggybacked-RS code itself lives in the `pbrs-core` crate and is
 //! implemented on top of the [`ReedSolomon`] encoder defined here.
 //!
+//! # The zero-copy core
+//!
+//! The paper's argument is entirely about *bytes moved per repair*, so the
+//! hot paths must not copy shards before the GF(2^8) kernels run. Every code
+//! therefore implements three allocation-free core methods that operate on
+//! borrowed views over contiguous buffers ([`ShardSet`] / [`ShardSetMut`]):
+//!
+//! * [`ErasureCode::encode_into`] — write `r` parity shards into a caller
+//!   provided buffer;
+//! * [`ErasureCode::reconstruct_in_place`] — rebuild missing shard slots
+//!   inside the stripe buffer itself, guided by an availability mask;
+//! * [`ErasureCode::repair_into`] — rebuild one shard into a caller
+//!   provided slice, along the code's cheapest single-failure path.
+//!
+//! None of these allocate shard-sized memory in steady state; the only
+//! bookkeeping allocations are `O(n)` index vectors and one `O(k²)` matrix
+//! inversion where decoding requires it. The classic owned-`Vec` methods
+//! ([`ErasureCode::encode`], [`ErasureCode::reconstruct`],
+//! [`ErasureCode::repair`]) are retained as thin wrappers that pack into a
+//! contiguous buffer, call the zero-copy core, and unpack — so existing
+//! callers and tests keep working unchanged while new callers avoid the
+//! copies entirely (see [`ShardBuffer`] for an owned stripe container that
+//! plugs straight into the views).
+//!
+//! # Choosing a code by name
+//!
+//! [`CodeSpec`] names any code in the workspace as a compact string —
+//! `"rs-10-4"`, `"piggyback-10-4"`, `"lrc-10-2-4"`, `"rep-3"` — and the
+//! `pbrs-core` crate's `registry::build` turns a spec into a boxed
+//! [`ErasureCode`], so the simulator, benches and examples all select codes
+//! uniformly.
+//!
 //! # Recovery cost model
 //!
 //! The paper's measurements are about *how many bytes cross the racks* when a
@@ -25,21 +57,29 @@
 //! # Example
 //!
 //! ```
-//! use pbrs_erasure::{ErasureCode, ReedSolomon};
+//! use pbrs_erasure::{ErasureCode, ReedSolomon, ShardBuffer};
 //!
 //! # fn main() -> Result<(), pbrs_erasure::CodeError> {
 //! let rs = ReedSolomon::new(10, 4)?;
-//! let data: Vec<Vec<u8>> = (0..10).map(|i| vec![i as u8; 64]).collect();
-//! let parity = rs.encode(&data)?;
 //!
-//! // Lose three shards and reconstruct them.
-//! let mut shards: Vec<Option<Vec<u8>>> =
-//!     data.iter().chain(parity.iter()).cloned().map(Some).collect();
-//! shards[0] = None;
-//! shards[5] = None;
-//! shards[12] = None;
-//! rs.reconstruct(&mut shards)?;
-//! assert_eq!(shards[0].as_deref(), Some(&data[0][..]));
+//! // Zero-copy encode: one contiguous stripe buffer, parity written in
+//! // place right behind the data it protects.
+//! let mut stripe = ShardBuffer::zeroed(14, 64);
+//! for i in 0..10 {
+//!     stripe.shard_mut(i).fill(i as u8);
+//! }
+//! let (data, mut parity) = stripe.split_mut(10);
+//! rs.encode_into(&data, &mut parity)?;
+//!
+//! // Lose three shards and rebuild them in place.
+//! let mut present = vec![true; 14];
+//! for lost in [0, 5, 12] {
+//!     present[lost] = false;
+//!     stripe.shard_mut(lost).fill(0);
+//! }
+//! rs.reconstruct_in_place(&mut stripe.as_set_mut(), &present)?;
+//! assert_eq!(stripe.shard(0), &[0u8; 64]);
+//! assert_eq!(stripe.shard(5), &[5u8; 64]);
 //! # Ok(())
 //! # }
 //! ```
@@ -54,7 +94,9 @@ pub mod params;
 pub mod reed_solomon;
 pub mod repair;
 pub mod replication;
+pub mod spec;
 pub mod stripe;
+pub mod views;
 
 pub use error::CodeError;
 pub use lrc::{Lrc, LrcParams};
@@ -62,7 +104,9 @@ pub use params::CodeParams;
 pub use reed_solomon::ReedSolomon;
 pub use repair::{FetchRequest, Fraction, RepairMetrics, RepairOutcome, RepairPlan};
 pub use replication::Replication;
+pub use spec::CodeSpec;
 pub use stripe::{join_shards, split_into_shards, Stripe};
+pub use views::{ShardBuffer, ShardSet, ShardSetMut, SplitShards};
 
 /// A `(k, r)` erasure code over byte shards.
 ///
@@ -70,6 +114,10 @@ pub use stripe::{join_shards, split_into_shards, Stripe};
 /// shards and can rebuild missing shards from any sufficiently large subset
 /// of the survivors. All shards of a stripe have the same length, which must
 /// be a multiple of [`ErasureCode::granularity`].
+///
+/// The three `*_into` / `*_in_place` methods are the zero-copy core every
+/// code implements natively; the owned-`Vec` methods are provided wrappers
+/// over them.
 pub trait ErasureCode {
     /// The `(k, r)` parameters of the code.
     fn params(&self) -> CodeParams;
@@ -86,25 +134,134 @@ pub trait ErasureCode {
         1
     }
 
-    /// Encodes `k` data shards into `r` parity shards.
+    /// Encodes `k` data shards into `r` parity shards, writing the parity
+    /// bytes into a caller-provided view. Performs no shard-sized
+    /// allocation.
+    ///
+    /// `data` must hold exactly `k` shards and `parity` exactly `r` slots of
+    /// the same length; any prior contents of `parity` are overwritten.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either view has the wrong shard count, if the
+    /// lengths differ, or if the length is not a multiple of
+    /// [`ErasureCode::granularity`].
+    fn encode_into(
+        &self,
+        data: &ShardSet<'_>,
+        parity: &mut ShardSetMut<'_>,
+    ) -> Result<(), CodeError>;
+
+    /// Rebuilds every missing shard of a stripe in place. Performs no
+    /// shard-sized allocation.
+    ///
+    /// `shards` holds all `k + r` shard slots (data first); `present[i]`
+    /// says whether slot `i` currently holds valid bytes. Present slots are
+    /// never modified; the contents of missing slots on entry are ignored
+    /// and overwritten with the reconstructed bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the view or mask have the wrong width, if the
+    /// shard length is unaligned, or if too many shards are missing for this
+    /// code.
+    fn reconstruct_in_place(
+        &self,
+        shards: &mut ShardSetMut<'_>,
+        present: &[bool],
+    ) -> Result<(), CodeError>;
+
+    /// Rebuilds the single shard `target` into `out`, reading helpers along
+    /// the code's cheapest single-failure path (the one priced by
+    /// [`ErasureCode::repair_plan`]). Performs no shard-sized allocation.
+    ///
+    /// `helpers` must hold all `k + r` shard slots; every slot other than
+    /// `target` must contain valid bytes (the `target` slot's contents are
+    /// ignored). `out` must be exactly one shard long.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a malformed view, an out-of-range `target`, or
+    /// an `out` slice whose length is not one shard.
+    fn repair_into(
+        &self,
+        target: usize,
+        helpers: &ShardSet<'_>,
+        out: &mut [u8],
+    ) -> Result<(), CodeError>;
+
+    /// Encodes `k` data shards into `r` freshly allocated parity shards.
+    ///
+    /// This is the classic owned-`Vec` API, provided as a wrapper that packs
+    /// the shards into a contiguous buffer and calls
+    /// [`ErasureCode::encode_into`].
     ///
     /// # Errors
     ///
     /// Returns an error if the number of data shards is not `k`, if the
     /// shards have differing lengths, or if the length is not a multiple of
     /// [`ErasureCode::granularity`].
-    fn encode(&self, data: &[Vec<u8>]) -> Result<Vec<Vec<u8>>, CodeError>;
+    fn encode(&self, data: &[Vec<u8>]) -> Result<Vec<Vec<u8>>, CodeError> {
+        let params = self.params();
+        let shard_len =
+            params::validate_data_shards(data, params.data_shards(), self.granularity())?;
+        let mut packed = Vec::with_capacity(params.data_shards() * shard_len);
+        for shard in data {
+            packed.extend_from_slice(shard);
+        }
+        let data_view = ShardSet::new(&packed, params.data_shards(), shard_len)?;
+        let mut parity_buf = vec![0u8; params.parity_shards() * shard_len];
+        {
+            let mut parity_view =
+                ShardSetMut::new(&mut parity_buf, params.parity_shards(), shard_len)?;
+            self.encode_into(&data_view, &mut parity_view)?;
+        }
+        Ok(parity_buf
+            .chunks_exact(shard_len)
+            .map(|c| c.to_vec())
+            .collect())
+    }
 
     /// Rebuilds every missing shard in `shards` in place.
     ///
     /// `shards` must have exactly `k + r` entries ordered data-first. Present
     /// shards are never modified.
     ///
+    /// This is the classic owned-`Vec` API, provided as a wrapper that packs
+    /// the stripe into a contiguous buffer, calls
+    /// [`ErasureCode::reconstruct_in_place`], and copies the rebuilt shards
+    /// back out.
+    ///
     /// # Errors
     ///
     /// Returns an error if too many shards are missing for this code, or if
     /// present shards have inconsistent lengths.
-    fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), CodeError>;
+    fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), CodeError> {
+        let params = self.params();
+        let n = params.total_shards();
+        let shard_len = params::validate_present_shards(shards, n, self.granularity())?;
+        if shards.iter().all(|s| s.is_some()) {
+            return Ok(());
+        }
+        let mut buf = vec![0u8; n * shard_len];
+        let mut present = vec![false; n];
+        for (i, shard) in shards.iter().enumerate() {
+            if let Some(shard) = shard {
+                buf[i * shard_len..(i + 1) * shard_len].copy_from_slice(shard);
+                present[i] = true;
+            }
+        }
+        {
+            let mut view = ShardSetMut::new(&mut buf, n, shard_len)?;
+            self.reconstruct_in_place(&mut view, &present)?;
+        }
+        for (i, shard) in shards.iter_mut().enumerate() {
+            if shard.is_none() {
+                *shard = Some(buf[i * shard_len..(i + 1) * shard_len].to_vec());
+            }
+        }
+        Ok(())
+    }
 
     /// Computes the cheapest supported plan for rebuilding shard `target`
     /// given the availability mask `available` (length `k + r`).
@@ -123,34 +280,40 @@ pub trait ErasureCode {
     /// Rebuilds a single shard, returning the rebuilt bytes together with the
     /// read/transfer accounting of the plan that was executed.
     ///
-    /// The default implementation executes [`ErasureCode::repair_plan`] by
-    /// falling back to full reconstruction, which matches the default plan's
-    /// cost accounting.
+    /// For the common case — exactly one shard missing — this wrapper packs
+    /// the survivors into a contiguous buffer and executes
+    /// [`ErasureCode::repair_into`], so the bytes are produced along the
+    /// code's cheapest path. With additional failures it falls back to
+    /// reconstructing from exactly the shards the plan reads, so the default
+    /// path costs what the plan claims.
     ///
     /// # Errors
     ///
     /// Same failure modes as [`ErasureCode::reconstruct`] plus an invalid
     /// `target` index.
-    fn repair(&self, target: usize, shards: &[Option<Vec<u8>>]) -> Result<RepairOutcome, CodeError> {
+    fn repair(
+        &self,
+        target: usize,
+        shards: &[Option<Vec<u8>>],
+    ) -> Result<RepairOutcome, CodeError> {
         let params = self.params();
-        if target >= params.total_shards() {
+        let n = params.total_shards();
+        if target >= n {
             return Err(CodeError::InvalidShardIndex {
                 index: target,
-                total: params.total_shards(),
+                total: n,
             });
+        }
+        let shard_len = params::validate_present_shards(shards, n, self.granularity())?;
+        if shards[target].is_some() {
+            return Err(CodeError::TargetNotMissing { index: target });
         }
         let available: Vec<bool> = shards.iter().map(|s| s.is_some()).collect();
         let plan = self.repair_plan(target, &available)?;
-        let shard_len = shards
-            .iter()
-            .flatten()
-            .map(|s| s.len())
-            .next()
-            .ok_or(CodeError::NotEnoughShards {
-                needed: params.data_shards(),
-                available: 0,
-            })?;
-        // Execute the plan by masking out everything the plan does not read,
+        if available.iter().enumerate().all(|(i, &a)| a || i == target) {
+            return repair_with_views(self, target, shards, shard_len, plan);
+        }
+        // Degraded fallback: reconstruct from exactly what the plan reads,
         // so the default path costs exactly what the plan claims.
         let mut working: Vec<Option<Vec<u8>>> = vec![None; shards.len()];
         for fetch in &plan.fetches {
@@ -228,6 +391,41 @@ pub trait ErasureCode {
         // Normalise by k so the figure is "stripe logical size" units.
         total / (n as f64 * params.data_shards() as f64)
     }
+}
+
+/// Executes a single-failure repair through the zero-copy path: packs the
+/// survivors into one contiguous buffer, calls
+/// [`ErasureCode::repair_into`], and prices the result with `plan`.
+///
+/// Exposed so codes that override [`ErasureCode::repair`] (for degraded
+/// plans the generic fallback cannot execute) can still share the
+/// single-failure fast path.
+///
+/// # Errors
+///
+/// Propagates [`ErasureCode::repair_into`] failures.
+pub fn repair_with_views<C: ErasureCode + ?Sized>(
+    code: &C,
+    target: usize,
+    shards: &[Option<Vec<u8>>],
+    shard_len: usize,
+    plan: RepairPlan,
+) -> Result<RepairOutcome, CodeError> {
+    let n = code.params().total_shards();
+    let mut buf = vec![0u8; n * shard_len];
+    for (i, shard) in shards.iter().enumerate() {
+        if let Some(shard) = shard {
+            buf[i * shard_len..(i + 1) * shard_len].copy_from_slice(shard);
+        }
+    }
+    let view = ShardSet::new(&buf, n, shard_len)?;
+    let mut out = vec![0u8; shard_len];
+    code.repair_into(target, &view, &mut out)?;
+    Ok(RepairOutcome {
+        target,
+        shard: out,
+        metrics: plan.metrics(shard_len),
+    })
 }
 
 /// The classic Reed–Solomon repair plan: read `k` whole surviving shards.

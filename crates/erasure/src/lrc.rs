@@ -23,9 +23,12 @@ use pbrs_gf::slice_ops;
 use pbrs_gf::Matrix;
 
 use crate::decode;
-use crate::params::{validate_data_shards, validate_present_shards};
+use crate::params::{
+    validate_encode_views, validate_present_shards, validate_repair_views, validate_stripe_view,
+};
 use crate::repair::{FetchRequest, Fraction, RepairPlan};
-use crate::{CodeError, CodeParams, ErasureCode, ReedSolomon};
+use crate::views::{ShardSet, ShardSetMut};
+use crate::{repair_with_views, CodeError, CodeParams, ErasureCode, ReedSolomon};
 
 /// Parameters of a local reconstruction code.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -145,9 +148,8 @@ impl Lrc {
             }
         }
         for j in 0..g {
-            let row = global.parity_row(j);
-            for c in 0..k {
-                generator.set(k + l + j, c, row[c]);
+            for (c, &coeff) in global.parity_row(j).iter().enumerate() {
+                generator.set(k + l + j, c, coeff);
             }
         }
 
@@ -203,37 +205,31 @@ impl Lrc {
         validate_present_shards(shards, self.params.total_shards(), self.granularity())
     }
 
-    /// Attempts purely local recoveries (within a single group) until no
-    /// further progress is possible. Returns the number of shards recovered.
-    fn recover_locally(&self, shards: &mut [Option<Vec<u8>>], shard_len: usize) -> usize {
-        let mut recovered = 0;
+    /// Attempts purely local recoveries (within a single group) in place,
+    /// updating `present` as shards come back, until no further progress is
+    /// possible.
+    fn recover_locally_in_place(&self, shards: &mut ShardSetMut<'_>, present: &mut [bool]) {
         loop {
             let mut progress = false;
             for group in 0..self.lrc_params.local_groups {
                 let lp = self.local_parity_index(group);
-                let mut members: Vec<usize> = self.groups[group].clone();
-                members.push(lp);
-                let missing: Vec<usize> =
-                    members.iter().copied().filter(|&i| shards[i].is_none()).collect();
-                if missing.len() != 1 {
+                let members = || self.groups[group].iter().copied().chain([lp]);
+                let mut missing = members().filter(|&i| !present[i]);
+                let (Some(target), None) = (missing.next(), missing.next()) else {
                     continue;
-                }
-                let target = missing[0];
-                let mut out = vec![0u8; shard_len];
-                for &i in &members {
+                };
+                let (out, rest) = shards.split_one_mut(target);
+                out.fill(0);
+                for i in members() {
                     if i != target {
-                        slice_ops::xor_slice(
-                            &mut out,
-                            shards[i].as_deref().expect("only target is missing"),
-                        );
+                        slice_ops::xor_slice(out, rest.shard(i));
                     }
                 }
-                shards[target] = Some(out);
-                recovered += 1;
+                present[target] = true;
                 progress = true;
             }
             if !progress {
-                return recovered;
+                return;
             }
         }
     }
@@ -251,30 +247,64 @@ impl ErasureCode for Lrc {
         )
     }
 
-    fn encode(&self, data: &[Vec<u8>]) -> Result<Vec<Vec<u8>>, CodeError> {
-        let k = self.lrc_params.k;
-        let shard_len = validate_data_shards(data, k, self.granularity())?;
-        let mut parity = Vec::with_capacity(self.params.parity_shards());
-        for group in &self.groups {
-            let mut out = vec![0u8; shard_len];
+    fn encode_into(
+        &self,
+        data: &ShardSet<'_>,
+        parity: &mut ShardSetMut<'_>,
+    ) -> Result<(), CodeError> {
+        validate_encode_views(data, parity, self.params, self.granularity())?;
+        let l = self.lrc_params.local_groups;
+        for (gi, group) in self.groups.iter().enumerate() {
+            let out = parity.shard_mut(gi);
+            out.fill(0);
             for &m in group {
-                slice_ops::xor_slice(&mut out, &data[m]);
+                slice_ops::xor_slice(out, data.shard(m));
             }
-            parity.push(out);
         }
-        parity.extend(self.global.encode(data)?);
-        Ok(parity)
+        for j in 0..self.lrc_params.global_parities {
+            slice_ops::linear_combination_into(
+                self.global.parity_row(j),
+                data.iter(),
+                parity.shard_mut(l + j),
+            );
+        }
+        Ok(())
     }
 
-    fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), CodeError> {
-        let shard_len = self.shard_len_of(shards)?;
+    fn reconstruct_in_place(
+        &self,
+        shards: &mut ShardSetMut<'_>,
+        present: &[bool],
+    ) -> Result<(), CodeError> {
+        validate_stripe_view(shards, present, self.params, self.granularity())?;
         // Phase 1: cheap local repairs.
-        self.recover_locally(shards, shard_len);
-        if shards.iter().all(|s| s.is_some()) {
+        let mut now_present = present.to_vec();
+        self.recover_locally_in_place(shards, &mut now_present);
+        if now_present.iter().all(|&p| p) {
             return Ok(());
         }
         // Phase 2: global decode over the full generator.
-        decode::reconstruct_linear(&self.generator, shards, shard_len)?;
+        decode::reconstruct_linear_in_place(&self.generator, shards, &now_present)
+    }
+
+    fn repair_into(
+        &self,
+        target: usize,
+        helpers: &ShardSet<'_>,
+        out: &mut [u8],
+    ) -> Result<(), CodeError> {
+        validate_repair_views(target, helpers, out, self.params, self.granularity())?;
+        let n = self.params.total_shards();
+        let mut available = vec![true; n];
+        available[target] = false;
+        let plan = self.repair_plan(target, &available)?;
+        let coeffs =
+            decode::combination_coefficients(&self.generator, target, &plan.helper_indices())?;
+        slice_ops::linear_combination_into(
+            &coeffs,
+            plan.fetches.iter().map(|f| helpers.shard(f.shard)),
+            out,
+        );
         Ok(())
     }
 
@@ -361,6 +391,12 @@ impl ErasureCode for Lrc {
         let shard_len = self.shard_len_of(shards)?;
         let available: Vec<bool> = shards.iter().map(|s| s.is_some()).collect();
         let plan = self.repair_plan(target, &available)?;
+        if available.iter().enumerate().all(|(i, &a)| a || i == target) {
+            return repair_with_views(self, target, shards, shard_len, plan);
+        }
+        // Degraded repairs may use a plan with fewer than k helpers (a local
+        // group), which the generic mask-and-reconstruct fallback cannot
+        // execute — combine directly over the plan's helpers instead.
         let helpers = plan.helper_indices();
         let shard =
             decode::repair_by_combination(&self.generator, target, &helpers, shards, shard_len)?;
@@ -390,7 +426,11 @@ mod tests {
 
     fn sample_data(k: usize, len: usize) -> Vec<Vec<u8>> {
         (0..k)
-            .map(|i| (0..len).map(|j| ((i * 37 + j * 11 + 5) % 256) as u8).collect())
+            .map(|i| {
+                (0..len)
+                    .map(|j| ((i * 37 + j * 11 + 5) % 256) as u8)
+                    .collect()
+            })
             .collect()
     }
 
@@ -416,14 +456,34 @@ mod tests {
 
     #[test]
     fn invalid_parameters() {
-        assert!(Lrc::new(LrcParams { k: 0, local_groups: 1, global_parities: 1 }).is_err());
-        assert!(Lrc::new(LrcParams { k: 4, local_groups: 5, global_parities: 1 }).is_err());
-        assert!(Lrc::new(LrcParams { k: 4, local_groups: 2, global_parities: 0 }).is_err());
+        assert!(Lrc::new(LrcParams {
+            k: 0,
+            local_groups: 1,
+            global_parities: 1
+        })
+        .is_err());
+        assert!(Lrc::new(LrcParams {
+            k: 4,
+            local_groups: 5,
+            global_parities: 1
+        })
+        .is_err());
+        assert!(Lrc::new(LrcParams {
+            k: 4,
+            local_groups: 2,
+            global_parities: 0
+        })
+        .is_err());
     }
 
     #[test]
     fn uneven_groups() {
-        let lrc = Lrc::new(LrcParams { k: 7, local_groups: 3, global_parities: 2 }).unwrap();
+        let lrc = Lrc::new(LrcParams {
+            k: 7,
+            local_groups: 3,
+            global_parities: 2,
+        })
+        .unwrap();
         assert_eq!(lrc.group_members(0), &[0, 1, 2]);
         assert_eq!(lrc.group_members(1), &[3, 4]);
         assert_eq!(lrc.group_members(2), &[5, 6]);
@@ -479,7 +539,11 @@ mod tests {
         available[0] = false;
         available[1] = false; // same group -> local plan impossible for 0
         let plan = lrc.repair_plan(0, &available).unwrap();
-        assert_eq!(plan.helper_count(), 10, "global fallback downloads k shards");
+        assert_eq!(
+            plan.helper_count(),
+            10,
+            "global fallback downloads k shards"
+        );
     }
 
     #[test]
@@ -552,7 +616,12 @@ mod tests {
     fn small_lrc_full_erasure_sweep_within_guarantee() {
         // k=4, l=2, g=2 (n=8): exhaustively test all failure patterns of size
         // <= 2 = fault tolerance.
-        let lrc = Lrc::new(LrcParams { k: 4, local_groups: 2, global_parities: 2 }).unwrap();
+        let lrc = Lrc::new(LrcParams {
+            k: 4,
+            local_groups: 2,
+            global_parities: 2,
+        })
+        .unwrap();
         let data = sample_data(4, 16);
         let all = full_stripe(&lrc, &data);
         for a in 0..8 {

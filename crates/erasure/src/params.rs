@@ -2,6 +2,7 @@
 
 use core::fmt;
 
+use crate::views::{ShardSet, ShardSetMut};
 use crate::CodeError;
 
 /// The `(k, r)` parameters of an erasure code: `k` data shards encoded into
@@ -126,15 +127,7 @@ pub fn validate_data_shards(
             actual: data.len(),
         });
     }
-    let len = data[0].len();
-    if len == 0 {
-        return Err(CodeError::InvalidParams {
-            reason: "shards must not be empty".into(),
-        });
-    }
-    if len % granularity != 0 {
-        return Err(CodeError::UnalignedShard { len, granularity });
-    }
+    let len = validate_shard_len(data[0].len(), granularity)?;
     for shard in data {
         if shard.len() != len {
             return Err(CodeError::ShardSizeMismatch {
@@ -169,18 +162,7 @@ pub fn validate_present_shards(
     for shard in shards.iter().flatten() {
         match len {
             None => {
-                if shard.is_empty() {
-                    return Err(CodeError::InvalidParams {
-                        reason: "shards must not be empty".into(),
-                    });
-                }
-                if shard.len() % granularity != 0 {
-                    return Err(CodeError::UnalignedShard {
-                        len: shard.len(),
-                        granularity,
-                    });
-                }
-                len = Some(shard.len());
+                len = Some(validate_shard_len(shard.len(), granularity)?);
             }
             Some(l) => {
                 if shard.len() != l {
@@ -196,6 +178,131 @@ pub fn validate_present_shards(
         needed: 1,
         available: 0,
     })
+}
+
+/// Checks a shard length against a code's granularity: non-zero and a
+/// multiple of `granularity`.
+///
+/// # Errors
+///
+/// Returns [`CodeError::InvalidParams`] for empty shards and
+/// [`CodeError::UnalignedShard`] for misaligned lengths.
+pub fn validate_shard_len(len: usize, granularity: usize) -> Result<usize, CodeError> {
+    if len == 0 {
+        return Err(CodeError::InvalidParams {
+            reason: "shards must not be empty".into(),
+        });
+    }
+    if !len.is_multiple_of(granularity) {
+        return Err(CodeError::UnalignedShard { len, granularity });
+    }
+    Ok(len)
+}
+
+/// Validates the view pair handed to `encode_into`: `k` data shards, `r`
+/// parity slots, equal shard lengths aligned to `granularity`. Returns the
+/// common shard length.
+///
+/// This is the one shape check shared by every code's zero-copy encode path
+/// (count == k, equal lengths, multiple of the granularity) so the four
+/// implementations cannot drift apart.
+///
+/// # Errors
+///
+/// Returns the appropriate [`CodeError`] variant for count, size or
+/// alignment violations.
+pub fn validate_encode_views(
+    data: &ShardSet<'_>,
+    parity: &ShardSetMut<'_>,
+    params: CodeParams,
+    granularity: usize,
+) -> Result<usize, CodeError> {
+    if data.shard_count() != params.data_shards() {
+        return Err(CodeError::ShardCountMismatch {
+            expected: params.data_shards(),
+            actual: data.shard_count(),
+        });
+    }
+    if parity.shard_count() != params.parity_shards() {
+        return Err(CodeError::ShardCountMismatch {
+            expected: params.parity_shards(),
+            actual: parity.shard_count(),
+        });
+    }
+    if parity.shard_len() != data.shard_len() {
+        return Err(CodeError::ShardSizeMismatch {
+            expected: data.shard_len(),
+            actual: parity.shard_len(),
+        });
+    }
+    validate_shard_len(data.shard_len(), granularity)
+}
+
+/// Validates the view and availability mask handed to
+/// `reconstruct_in_place`: `n` shard slots, a mask of the same width, and an
+/// aligned shard length. Returns the shard length.
+///
+/// # Errors
+///
+/// Returns the appropriate [`CodeError`] variant for count, size or
+/// alignment violations.
+pub fn validate_stripe_view(
+    shards: &ShardSetMut<'_>,
+    present: &[bool],
+    params: CodeParams,
+    granularity: usize,
+) -> Result<usize, CodeError> {
+    let n = params.total_shards();
+    if shards.shard_count() != n {
+        return Err(CodeError::ShardCountMismatch {
+            expected: n,
+            actual: shards.shard_count(),
+        });
+    }
+    if present.len() != n {
+        return Err(CodeError::ShardCountMismatch {
+            expected: n,
+            actual: present.len(),
+        });
+    }
+    validate_shard_len(shards.shard_len(), granularity)
+}
+
+/// Validates the inputs of `repair_into`: a full `n`-shard helper view, an
+/// in-range target, and an output slice of exactly one shard. Returns the
+/// shard length.
+///
+/// # Errors
+///
+/// Returns the appropriate [`CodeError`] variant for count, size, index or
+/// alignment violations.
+pub fn validate_repair_views(
+    target: usize,
+    helpers: &ShardSet<'_>,
+    out: &[u8],
+    params: CodeParams,
+    granularity: usize,
+) -> Result<usize, CodeError> {
+    let n = params.total_shards();
+    if helpers.shard_count() != n {
+        return Err(CodeError::ShardCountMismatch {
+            expected: n,
+            actual: helpers.shard_count(),
+        });
+    }
+    if target >= n {
+        return Err(CodeError::InvalidShardIndex {
+            index: target,
+            total: n,
+        });
+    }
+    if out.len() != helpers.shard_len() {
+        return Err(CodeError::ShardSizeMismatch {
+            expected: helpers.shard_len(),
+            actual: out.len(),
+        });
+    }
+    validate_shard_len(helpers.shard_len(), granularity)
 }
 
 #[cfg(test)]
@@ -269,6 +376,55 @@ mod tests {
         assert!(matches!(
             validate_data_shards(&empty, 2, 1),
             Err(CodeError::InvalidParams { .. })
+        ));
+    }
+
+    #[test]
+    fn view_validation() {
+        let p = CodeParams::new(2, 2).unwrap();
+        let data_buf = vec![1u8; 8];
+        let mut parity_buf = vec![0u8; 8];
+        let data = crate::ShardSet::new(&data_buf, 2, 4).unwrap();
+        let parity = crate::ShardSetMut::new(&mut parity_buf, 2, 4).unwrap();
+        assert_eq!(validate_encode_views(&data, &parity, p, 1).unwrap(), 4);
+        assert_eq!(validate_encode_views(&data, &parity, p, 2).unwrap(), 4);
+        assert!(matches!(
+            validate_encode_views(&data, &parity, p, 3),
+            Err(CodeError::UnalignedShard { .. })
+        ));
+        // Wrong data shard count.
+        let narrow = crate::ShardSet::new(&data_buf, 1, 8).unwrap();
+        assert!(matches!(
+            validate_encode_views(&narrow, &parity, p, 1),
+            Err(CodeError::ShardCountMismatch { .. })
+        ));
+        // Parity length differing from data length.
+        let mut short = vec![0u8; 4];
+        let short_parity = crate::ShardSetMut::new(&mut short, 2, 2).unwrap();
+        assert!(matches!(
+            validate_encode_views(&data, &short_parity, p, 1),
+            Err(CodeError::ShardSizeMismatch { .. })
+        ));
+
+        let mut stripe_buf = vec![0u8; 16];
+        let stripe = crate::ShardSetMut::new(&mut stripe_buf, 4, 4).unwrap();
+        assert_eq!(validate_stripe_view(&stripe, &[true; 4], p, 2).unwrap(), 4);
+        assert!(matches!(
+            validate_stripe_view(&stripe, &[true; 3], p, 1),
+            Err(CodeError::ShardCountMismatch { .. })
+        ));
+
+        let helpers = crate::ShardSet::new(&stripe_buf, 4, 4).unwrap();
+        let mut out = vec![0u8; 4];
+        assert_eq!(validate_repair_views(1, &helpers, &out, p, 2).unwrap(), 4);
+        assert!(matches!(
+            validate_repair_views(4, &helpers, &out, p, 1),
+            Err(CodeError::InvalidShardIndex { .. })
+        ));
+        out.push(0);
+        assert!(matches!(
+            validate_repair_views(1, &helpers, &out, p, 1),
+            Err(CodeError::ShardSizeMismatch { .. })
         ));
     }
 

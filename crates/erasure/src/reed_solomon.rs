@@ -18,7 +18,10 @@ use pbrs_gf::slice_ops;
 use pbrs_gf::Matrix;
 
 use crate::decode;
-use crate::params::{validate_data_shards, validate_present_shards};
+use crate::params::{
+    validate_encode_views, validate_present_shards, validate_repair_views, validate_stripe_view,
+};
+use crate::views::{ShardSet, ShardSetMut};
 use crate::{CodeError, CodeParams, ErasureCode};
 
 /// A systematic, MDS Reed–Solomon erasure code.
@@ -132,24 +135,50 @@ impl ErasureCode for ReedSolomon {
         )
     }
 
-    fn encode(&self, data: &[Vec<u8>]) -> Result<Vec<Vec<u8>>, CodeError> {
-        let k = self.params.data_shards();
-        let shard_len = validate_data_shards(data, k, self.granularity())?;
-        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
-        let parity = (0..self.params.parity_shards())
-            .map(|j| {
-                let mut out = vec![0u8; shard_len];
-                slice_ops::linear_combination(self.parity_row(j), &refs, &mut out);
-                out
-            })
-            .collect();
-        Ok(parity)
+    fn encode_into(
+        &self,
+        data: &ShardSet<'_>,
+        parity: &mut ShardSetMut<'_>,
+    ) -> Result<(), CodeError> {
+        validate_encode_views(data, parity, self.params, self.granularity())?;
+        for j in 0..self.params.parity_shards() {
+            slice_ops::linear_combination_into(
+                self.parity_row(j),
+                data.iter(),
+                parity.shard_mut(j),
+            );
+        }
+        Ok(())
     }
 
-    fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), CodeError> {
-        let shard_len =
-            validate_present_shards(shards, self.params.total_shards(), self.granularity())?;
-        decode::reconstruct_linear(&self.generator, shards, shard_len)
+    fn reconstruct_in_place(
+        &self,
+        shards: &mut ShardSetMut<'_>,
+        present: &[bool],
+    ) -> Result<(), CodeError> {
+        validate_stripe_view(shards, present, self.params, self.granularity())?;
+        decode::reconstruct_linear_in_place(&self.generator, shards, present)
+    }
+
+    fn repair_into(
+        &self,
+        target: usize,
+        helpers: &ShardSet<'_>,
+        out: &mut [u8],
+    ) -> Result<(), CodeError> {
+        validate_repair_views(target, helpers, out, self.params, self.granularity())?;
+        let k = self.params.data_shards();
+        let n = self.params.total_shards();
+        // Any k survivors decode an MDS code; read the first k, matching the
+        // cost accounting of the default repair plan.
+        let selected: Vec<usize> = (0..n).filter(|&i| i != target).take(k).collect();
+        let coeffs = decode::combination_coefficients(&self.generator, target, &selected)?;
+        slice_ops::linear_combination_into(
+            &coeffs,
+            selected.iter().map(|&i| helpers.shard(i)),
+            out,
+        );
+        Ok(())
     }
 
     fn is_mds(&self) -> bool {

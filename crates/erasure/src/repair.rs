@@ -199,9 +199,18 @@ mod tests {
         let plan = RepairPlan {
             target: 0,
             fetches: vec![
-                FetchRequest { shard: 1, fraction: Fraction::ONE },
-                FetchRequest { shard: 2, fraction: Fraction::HALF },
-                FetchRequest { shard: 13, fraction: Fraction::HALF },
+                FetchRequest {
+                    shard: 1,
+                    fraction: Fraction::ONE,
+                },
+                FetchRequest {
+                    shard: 2,
+                    fraction: Fraction::HALF,
+                },
+                FetchRequest {
+                    shard: 13,
+                    fraction: Fraction::HALF,
+                },
             ],
         };
         assert_eq!(plan.helper_count(), 3);
@@ -216,8 +225,16 @@ mod tests {
 
     #[test]
     fn metrics_combine() {
-        let a = RepairMetrics { helpers: 10, bytes_read: 100, bytes_transferred: 100 };
-        let b = RepairMetrics { helpers: 7, bytes_read: 65, bytes_transferred: 65 };
+        let a = RepairMetrics {
+            helpers: 10,
+            bytes_read: 100,
+            bytes_transferred: 100,
+        };
+        let b = RepairMetrics {
+            helpers: 7,
+            bytes_read: 65,
+            bytes_transferred: 65,
+        };
         let c = a.combined(b);
         assert_eq!(c.helpers, 17);
         assert_eq!(c.bytes_read, 165);

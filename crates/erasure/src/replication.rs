@@ -7,8 +7,9 @@
 //! all schemes uniformly: replication has `k = 1`, `r = replicas − 1`, and a
 //! single-shard repair copies exactly one replica.
 
-use crate::params::{validate_data_shards, validate_present_shards};
+use crate::params::{validate_encode_views, validate_repair_views, validate_stripe_view};
 use crate::repair::{FetchRequest, Fraction, RepairPlan};
+use crate::views::{ShardSet, ShardSetMut};
 use crate::{CodeError, CodeParams, ErasureCode};
 
 /// N-way replication (`k = 1`, `r = replicas − 1`).
@@ -73,24 +74,50 @@ impl ErasureCode for Replication {
         format!("{}-replication", self.replicas())
     }
 
-    fn encode(&self, data: &[Vec<u8>]) -> Result<Vec<Vec<u8>>, CodeError> {
-        validate_data_shards(data, 1, 1)?;
-        Ok(vec![data[0].clone(); self.params.parity_shards()])
+    fn encode_into(
+        &self,
+        data: &ShardSet<'_>,
+        parity: &mut ShardSetMut<'_>,
+    ) -> Result<(), CodeError> {
+        validate_encode_views(data, parity, self.params, self.granularity())?;
+        for j in 0..self.params.parity_shards() {
+            parity.shard_mut(j).copy_from_slice(data.shard(0));
+        }
+        Ok(())
     }
 
-    fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), CodeError> {
-        validate_present_shards(shards, self.params.total_shards(), 1)?;
-        let source = shards
+    fn reconstruct_in_place(
+        &self,
+        shards: &mut ShardSetMut<'_>,
+        present: &[bool],
+    ) -> Result<(), CodeError> {
+        validate_stripe_view(shards, present, self.params, self.granularity())?;
+        let source = present
             .iter()
-            .flatten()
-            .next()
-            .cloned()
-            .expect("validate_present_shards guarantees one present shard");
-        for shard in shards.iter_mut() {
-            if shard.is_none() {
-                *shard = Some(source.clone());
+            .position(|&p| p)
+            .ok_or(CodeError::NotEnoughShards {
+                needed: 1,
+                available: 0,
+            })?;
+        for (i, &ok) in present.iter().enumerate() {
+            if ok {
+                continue;
             }
+            let (target, rest) = shards.split_one_mut(i);
+            target.copy_from_slice(rest.shard(source));
         }
+        Ok(())
+    }
+
+    fn repair_into(
+        &self,
+        target: usize,
+        helpers: &ShardSet<'_>,
+        out: &mut [u8],
+    ) -> Result<(), CodeError> {
+        validate_repair_views(target, helpers, out, self.params, self.granularity())?;
+        let source = usize::from(target == 0);
+        out.copy_from_slice(helpers.shard(source));
         Ok(())
     }
 

@@ -154,7 +154,11 @@ impl Stripe {
                 available: present,
             });
         }
-        Ok(self.shards.into_iter().map(|s| s.expect("checked")).collect())
+        Ok(self
+            .shards
+            .into_iter()
+            .map(|s| s.expect("checked"))
+            .collect())
     }
 }
 

@@ -1,0 +1,285 @@
+//! Equivalence of the zero-copy API and the legacy owned-`Vec` API.
+//!
+//! For every baseline code, across a `(k, r)` grid and odd shard lengths,
+//! `encode_into` / `reconstruct_in_place` / `repair_into` must agree
+//! byte-for-byte with `encode` / `reconstruct` / `repair`. The legacy
+//! methods are themselves wrappers over the zero-copy core, so these tests
+//! drive the *native* in-place paths against independently constructed
+//! inputs (garbage-filled missing slots, narrowed views) where the wrappers
+//! cannot reach.
+
+use proptest::prelude::*;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use pbrs_erasure::{
+    CodeSpec, ErasureCode, Lrc, LrcParams, ReedSolomon, Replication, ShardBuffer, ShardSet,
+    ShardSetMut,
+};
+
+fn random_data(rng: &mut StdRng, k: usize, len: usize) -> Vec<Vec<u8>> {
+    (0..k)
+        .map(|_| (0..len).map(|_| rng.random()).collect())
+        .collect()
+}
+
+/// Encodes with both APIs and asserts identical parity bytes.
+fn assert_encode_parity<C: ErasureCode>(code: &C, data: &[Vec<u8>]) {
+    let legacy = code.encode(data).unwrap();
+
+    let packed = ShardBuffer::from_shards(data).unwrap();
+    let r = code.params().parity_shards();
+    let shard_len = data[0].len();
+    // Poison the parity buffer to prove encode_into overwrites every byte.
+    let mut parity_buf = vec![0xEEu8; r * shard_len];
+    let mut parity = ShardSetMut::new(&mut parity_buf, r, shard_len).unwrap();
+    code.encode_into(&packed.as_set(), &mut parity).unwrap();
+
+    for (j, expect) in legacy.iter().enumerate() {
+        assert_eq!(
+            &parity_buf[j * shard_len..(j + 1) * shard_len],
+            &expect[..],
+            "parity {j} of {}",
+            code.name()
+        );
+    }
+}
+
+/// Reconstructs a random erasure pattern with both APIs and asserts
+/// identical stripe bytes.
+fn assert_reconstruct_parity<C: ErasureCode>(
+    code: &C,
+    full: &[Vec<u8>],
+    missing: &[usize],
+) -> Result<(), TestCaseError> {
+    let n = full.len();
+
+    let mut legacy: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
+    for &i in missing {
+        legacy[i] = None;
+    }
+    let legacy_result = code.reconstruct(&mut legacy);
+
+    let mut packed = ShardBuffer::from_shards(full).unwrap();
+    let mut present = vec![true; n];
+    for &i in missing {
+        present[i] = false;
+        packed.shard_mut(i).fill(0xDD); // stale garbage in missing slots
+    }
+    let in_place_result = code.reconstruct_in_place(&mut packed.as_set_mut(), &present);
+
+    prop_assert_eq!(
+        legacy_result.is_ok(),
+        in_place_result.is_ok(),
+        "outcome mismatch for {} missing {:?}",
+        code.name(),
+        missing
+    );
+    if legacy_result.is_ok() {
+        for (i, expect) in legacy.iter().enumerate() {
+            prop_assert_eq!(
+                packed.shard(i),
+                &expect.as_ref().unwrap()[..],
+                "shard {} of {}",
+                i,
+                code.name()
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Repairs every shard position with both APIs and asserts identical bytes.
+fn assert_repair_parity<C: ErasureCode>(code: &C, full: &[Vec<u8>]) {
+    let n = full.len();
+    let shard_len = full[0].len();
+    let packed = ShardBuffer::from_shards(full).unwrap();
+    for target in 0..n {
+        let mut shards: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
+        shards[target] = None;
+        let legacy = code.repair(target, &shards).unwrap();
+
+        let mut out = vec![0xAAu8; shard_len];
+        code.repair_into(target, &packed.as_set(), &mut out)
+            .unwrap();
+        assert_eq!(out, legacy.shard, "target {target} of {}", code.name());
+        assert_eq!(out, full[target], "target {target} of {}", code.name());
+    }
+}
+
+fn full_stripe<C: ErasureCode>(code: &C, data: &[Vec<u8>]) -> Vec<Vec<u8>> {
+    let parity = code.encode(data).unwrap();
+    data.iter().cloned().chain(parity).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Reed–Solomon: all three zero-copy methods agree with the legacy API
+    /// over a (k, r) grid and odd shard lengths.
+    #[test]
+    fn rs_zero_copy_agrees_with_legacy(
+        k in 2usize..12,
+        r in 1usize..6,
+        len in 1usize..48,
+        erasures in 0usize..6,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rs = ReedSolomon::new(k, r).unwrap();
+        let data = random_data(&mut rng, k, len);
+        assert_encode_parity(&rs, &data);
+        let full = full_stripe(&rs, &data);
+        assert_repair_parity(&rs, &full);
+
+        let mut indices: Vec<usize> = (0..k + r).collect();
+        indices.shuffle(&mut rng);
+        let missing: Vec<usize> = indices.into_iter().take(erasures.min(r)).collect();
+        assert_reconstruct_parity(&rs, &full, &missing)?;
+    }
+
+    /// LRC: the zero-copy methods agree with the legacy API, including the
+    /// local-repair phase and the global fallback.
+    #[test]
+    fn lrc_zero_copy_agrees_with_legacy(
+        k in 4usize..12,
+        l in 2usize..4,
+        g in 1usize..4,
+        len in 1usize..32,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(l <= k);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let lrc = Lrc::new(LrcParams { k, local_groups: l, global_parities: g }).unwrap();
+        let data = random_data(&mut rng, k, len);
+        assert_encode_parity(&lrc, &data);
+        let full = full_stripe(&lrc, &data);
+        assert_repair_parity(&lrc, &full);
+
+        let n = lrc.params().total_shards();
+        let mut indices: Vec<usize> = (0..n).collect();
+        indices.shuffle(&mut rng);
+        let erase = rng.random_range(0..=g);
+        let missing: Vec<usize> = indices.into_iter().take(erase).collect();
+        assert_reconstruct_parity(&lrc, &full, &missing)?;
+    }
+
+    /// Replication: the zero-copy methods agree with the legacy API.
+    #[test]
+    fn replication_zero_copy_agrees_with_legacy(
+        replicas in 2usize..6,
+        len in 1usize..64,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rep = Replication::new(replicas).unwrap();
+        let data = random_data(&mut rng, 1, len);
+        assert_encode_parity(&rep, &data);
+        let full = full_stripe(&rep, &data);
+        assert_repair_parity(&rep, &full);
+
+        // Erase all but one random survivor.
+        let survivor = rng.random_range(0..replicas);
+        let missing: Vec<usize> = (0..replicas).filter(|&i| i != survivor).collect();
+        assert_reconstruct_parity(&rep, &full, &missing)?;
+    }
+
+    /// Over-erased stripes fail identically through both APIs.
+    #[test]
+    fn excess_erasures_fail_in_both_apis(
+        k in 2usize..8,
+        r in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rs = ReedSolomon::new(k, r).unwrap();
+        let data = random_data(&mut rng, k, 16);
+        let full = full_stripe(&rs, &data);
+        let mut indices: Vec<usize> = (0..k + r).collect();
+        indices.shuffle(&mut rng);
+        let missing: Vec<usize> = indices.into_iter().take(r + 1).collect();
+        assert_reconstruct_parity(&rs, &full, &missing)?;
+    }
+
+    /// CodeSpec parse/display round-trips for every valid combination the
+    /// grid produces.
+    #[test]
+    fn code_spec_round_trips(
+        k in 1usize..30,
+        r in 1usize..10,
+        l in 1usize..6,
+        copies in 2usize..12,
+    ) {
+        let specs = [
+            CodeSpec::ReedSolomon { k, r },
+            CodeSpec::PiggybackedRs { k, r },
+            CodeSpec::Lrc { k, local_groups: l, global_parities: r },
+            CodeSpec::Replication { copies },
+        ];
+        for spec in specs {
+            let text = spec.to_string();
+            let parsed: CodeSpec = text.parse().unwrap();
+            prop_assert_eq!(parsed, spec, "{}", text);
+        }
+    }
+}
+
+/// The in-place decode must work on narrowed (strided) views too: pack two
+/// independent RS stripes into interleaved halves of one buffer and rebuild
+/// each through a narrowed view.
+#[test]
+fn reconstruct_in_place_on_narrowed_views() {
+    let rs = ReedSolomon::new(4, 2).unwrap();
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    let left = random_data(&mut rng, 4, 8);
+    let right = random_data(&mut rng, 4, 8);
+    let full_left = full_stripe(&rs, &left);
+    let full_right = full_stripe(&rs, &right);
+
+    // One buffer of 6 shards x 16 bytes: first half from stripe L, second
+    // half from stripe R.
+    let mut buf = vec![0u8; 6 * 16];
+    for i in 0..6 {
+        buf[i * 16..i * 16 + 8].copy_from_slice(&full_left[i]);
+        buf[i * 16 + 8..(i + 1) * 16].copy_from_slice(&full_right[i]);
+    }
+    let mut present = vec![true; 6];
+    present[1] = false;
+    present[4] = false;
+    buf[16..32].fill(0); // erase shard 1 in both halves
+    buf[64..80].fill(0); // erase shard 4 in both halves
+
+    let mut view = ShardSetMut::new(&mut buf, 6, 16).unwrap();
+    let mut left_view = view.narrow_mut(0, 8);
+    rs.reconstruct_in_place(&mut left_view, &present).unwrap();
+    let mut right_view = view.narrow_mut(8, 8);
+    rs.reconstruct_in_place(&mut right_view, &present).unwrap();
+
+    for i in 0..6 {
+        assert_eq!(&buf[i * 16..i * 16 + 8], &full_left[i][..], "L{i}");
+        assert_eq!(&buf[i * 16 + 8..(i + 1) * 16], &full_right[i][..], "R{i}");
+    }
+}
+
+/// `repair_into` validates its inputs like the rest of the API.
+#[test]
+fn repair_into_validates_inputs() {
+    let rs = ReedSolomon::new(4, 2).unwrap();
+    let buf = vec![0u8; 6 * 8];
+    let set = ShardSet::new(&buf, 6, 8).unwrap();
+    let mut out = vec![0u8; 8];
+    assert!(
+        rs.repair_into(6, &set, &mut out).is_err(),
+        "target out of range"
+    );
+    let mut short = vec![0u8; 7];
+    assert!(
+        rs.repair_into(0, &set, &mut short).is_err(),
+        "wrong out length"
+    );
+    let narrow = ShardSet::new(&buf[..40], 5, 8).unwrap();
+    assert!(
+        rs.repair_into(0, &narrow, &mut out).is_err(),
+        "wrong shard count"
+    );
+}

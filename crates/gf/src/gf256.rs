@@ -141,6 +141,7 @@ impl From<Gf256> for u8 {
 impl Add for Gf256 {
     type Output = Gf256;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // GF(2^8) addition is XOR
     fn add(self, rhs: Gf256) -> Gf256 {
         Gf256(self.0 ^ rhs.0)
     }
@@ -148,6 +149,7 @@ impl Add for Gf256 {
 
 impl AddAssign for Gf256 {
     #[inline]
+    #[allow(clippy::suspicious_op_assign_impl)] // GF(2^8) addition is XOR
     fn add_assign(&mut self, rhs: Gf256) {
         self.0 ^= rhs.0;
     }
@@ -156,6 +158,7 @@ impl AddAssign for Gf256 {
 impl Sub for Gf256 {
     type Output = Gf256;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // subtraction equals addition in GF(2^8)
     fn sub(self, rhs: Gf256) -> Gf256 {
         Gf256(self.0 ^ rhs.0)
     }
@@ -163,6 +166,7 @@ impl Sub for Gf256 {
 
 impl SubAssign for Gf256 {
     #[inline]
+    #[allow(clippy::suspicious_op_assign_impl)] // subtraction equals addition in GF(2^8)
     fn sub_assign(&mut self, rhs: Gf256) {
         self.0 ^= rhs.0;
     }

@@ -208,7 +208,10 @@ impl Matrix {
     /// Panics if out of bounds.
     #[inline]
     pub fn get(&self, row: usize, col: usize) -> u8 {
-        assert!(row < self.rows && col < self.cols, "matrix index out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "matrix index out of bounds"
+        );
         self.data[row * self.cols + col]
     }
 
@@ -219,7 +222,10 @@ impl Matrix {
     /// Panics if out of bounds.
     #[inline]
     pub fn set(&mut self, row: usize, col: usize, value: u8) {
-        assert!(row < self.rows && col < self.cols, "matrix index out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "matrix index out of bounds"
+        );
         self.data[row * self.cols + col] = value;
     }
 
@@ -283,12 +289,12 @@ impl Matrix {
             });
         }
         let mut out = vec![0u8; self.rows];
-        for r in 0..self.rows {
+        for (r, slot) in out.iter_mut().enumerate() {
             let mut acc = 0u8;
-            for c in 0..self.cols {
-                acc ^= tables::mul(self.get(r, c), v[c]);
+            for (c, &vc) in v.iter().enumerate() {
+                acc ^= tables::mul(self.get(r, c), vc);
             }
-            out[r] = acc;
+            *slot = acc;
         }
         Ok(out)
     }
@@ -626,8 +632,8 @@ mod tests {
         let as_col = Matrix::from_rows(4, 1, v.clone());
         let prod = m.multiply(&as_col).unwrap();
         let vecprod = m.multiply_vec(&v).unwrap();
-        for r in 0..5 {
-            assert_eq!(prod.get(r, 0), vecprod[r]);
+        for (r, &expect) in vecprod.iter().enumerate() {
+            assert_eq!(prod.get(r, 0), expect);
         }
     }
 

@@ -100,6 +100,54 @@ pub fn linear_combination(coeffs: &[u8], srcs: &[&[u8]], out: &mut [u8]) {
     }
 }
 
+/// Computes `out[i] = Σ_j coeffs[j] * srcs_j[i]` over any iterator of source
+/// shards, without materialising a `&[&[u8]]` table first.
+///
+/// This is the zero-copy sibling of [`linear_combination`]: codecs that keep
+/// their shards in one contiguous backing buffer (shard views) can feed the
+/// shard slices straight from the view, so the hot encode/repair path
+/// performs no per-shard allocation at all.
+///
+/// # Panics
+///
+/// Panics if the iterator does not yield exactly `coeffs.len()` sources or
+/// if any source length differs from `out.len()`.
+pub fn linear_combination_into<'a, I>(coeffs: &[u8], srcs: I, out: &mut [u8])
+where
+    I: IntoIterator<Item = &'a [u8]>,
+{
+    out.fill(0);
+    accumulate_combination(coeffs, srcs, out);
+}
+
+/// Computes `out[i] ^= Σ_j coeffs[j] * srcs_j[i]`, accumulating a linear
+/// combination of source shards onto an existing output.
+///
+/// Used when one output shard is assembled from several partial
+/// combinations (e.g. stripping a piggyback after a substripe decode).
+///
+/// # Panics
+///
+/// Panics if the iterator does not yield exactly `coeffs.len()` sources or
+/// if any source length differs from `out.len()`.
+pub fn accumulate_combination<'a, I>(coeffs: &[u8], srcs: I, out: &mut [u8])
+where
+    I: IntoIterator<Item = &'a [u8]>,
+{
+    let mut remaining = coeffs.iter();
+    for src in srcs {
+        let &c = remaining
+            .next()
+            .expect("more source shards than coefficients");
+        mul_add_slice(c, src, out);
+    }
+    assert_eq!(
+        remaining.len(),
+        0,
+        "one source shard is required per coefficient"
+    );
+}
+
 /// Dot product of two equal-length byte vectors interpreted as GF(2^8)
 /// vectors: `Σ_i a[i] * b[i]`.
 ///
@@ -120,7 +168,9 @@ mod tests {
     use super::*;
 
     fn buf(n: usize, seed: u8) -> Vec<u8> {
-        (0..n).map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed)).collect()
+        (0..n)
+            .map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed))
+            .collect()
     }
 
     #[test]
@@ -191,6 +241,50 @@ mod tests {
         let mut out = vec![0xAAu8; 16];
         linear_combination(&[], &[], &mut out);
         assert!(out.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn linear_combination_into_matches_slice_table_variant() {
+        let s1 = buf(96, 4);
+        let s2 = buf(96, 9);
+        let s3 = buf(96, 17);
+        let coeffs = [0x02u8, 0x00, 0x8E];
+        let mut expect = vec![0u8; 96];
+        linear_combination(&coeffs, &[&s1, &s2, &s3], &mut expect);
+        let mut out = vec![0xFFu8; 96]; // stale contents must be overwritten
+        linear_combination_into(&coeffs, [&s1[..], &s2[..], &s3[..]], &mut out);
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn accumulate_combination_xors_onto_existing_output() {
+        let s1 = buf(64, 2);
+        let s2 = buf(64, 3);
+        let coeffs = [0x1Du8, 0x31];
+        let mut out = buf(64, 50);
+        let base = out.clone();
+        accumulate_combination(&coeffs, [&s1[..], &s2[..]], &mut out);
+        for i in 0..64 {
+            let expect = base[i] ^ tables::mul(0x1D, s1[i]) ^ tables::mul(0x31, s2[i]);
+            assert_eq!(out[i], expect);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one source shard is required per coefficient")]
+    fn combination_variants_reject_missing_sources() {
+        let s1 = buf(8, 1);
+        let mut out = vec![0u8; 8];
+        linear_combination_into(&[1u8, 2], [&s1[..]], &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "more source shards than coefficients")]
+    fn combination_variants_reject_excess_sources() {
+        let s1 = buf(8, 1);
+        let s2 = buf(8, 2);
+        let mut out = vec![0u8; 8];
+        linear_combination_into(&[1u8], [&s1[..], &s2[..]], &mut out);
     }
 
     #[test]

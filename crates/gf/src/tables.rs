@@ -143,8 +143,7 @@ mod tests {
 
     #[test]
     fn exp_log_are_inverse_maps() {
-        for i in 0..255usize {
-            let e = EXP[i];
+        for (i, &e) in EXP.iter().enumerate().take(255) {
             assert_ne!(e, 0, "generator powers are never zero");
             assert_eq!(LOG[e as usize] as usize, i);
         }

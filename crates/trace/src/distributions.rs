@@ -7,7 +7,7 @@
 //! the normal behind the log-normal, and Knuth's method (with a normal
 //! approximation for large means) for the Poisson.
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// Samples an exponential with the given `mean` (inverse rate).
 ///
@@ -56,7 +56,10 @@ pub fn log_normal_median<R: Rng + ?Sized>(rng: &mut R, median: f64, sigma: f64) 
 ///
 /// Panics if `scale <= 0` or `shape <= 0`.
 pub fn pareto<R: Rng + ?Sized>(rng: &mut R, scale: f64, shape: f64) -> f64 {
-    assert!(scale > 0.0 && shape > 0.0, "pareto parameters must be positive");
+    assert!(
+        scale > 0.0 && shape > 0.0,
+        "pareto parameters must be positive"
+    );
     let u: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
     scale / u.powf(1.0 / shape)
 }

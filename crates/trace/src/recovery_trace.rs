@@ -62,17 +62,35 @@ impl RecoveryTrace {
 
     /// Summary of the blocks-reconstructed-per-day series.
     pub fn blocks_summary(&self) -> Summary {
-        Summary::of_counts(&self.days.iter().map(|d| d.blocks_reconstructed).collect::<Vec<_>>())
+        Summary::of_counts(
+            &self
+                .days
+                .iter()
+                .map(|d| d.blocks_reconstructed)
+                .collect::<Vec<_>>(),
+        )
     }
 
     /// Summary of the cross-rack-terabytes-per-day series.
     pub fn cross_rack_tb_summary(&self) -> Summary {
-        Summary::of(&self.days.iter().map(|d| d.cross_rack_tb()).collect::<Vec<_>>())
+        Summary::of(
+            &self
+                .days
+                .iter()
+                .map(|d| d.cross_rack_tb())
+                .collect::<Vec<_>>(),
+        )
     }
 
     /// Summary of the machines-flagged-per-day series (Fig. 3a).
     pub fn flagged_summary(&self) -> Summary {
-        Summary::of_counts(&self.days.iter().map(|d| d.machines_flagged).collect::<Vec<_>>())
+        Summary::of_counts(
+            &self
+                .days
+                .iter()
+                .map(|d| d.machines_flagged)
+                .collect::<Vec<_>>(),
+        )
     }
 
     /// Total cross-rack bytes over the whole trace.
@@ -245,7 +263,11 @@ mod tests {
             "blocks median {}",
             blocks.median
         );
-        assert!(tb.median > 120.0 && tb.median < 260.0, "tb median {}", tb.median);
+        assert!(
+            tb.median > 120.0 && tb.median < 260.0,
+            "tb median {}",
+            tb.median
+        );
         // Consistency: bytes scale with blocks at ~10 x ~200MB per block.
         for d in &trace.days {
             if d.blocks_reconstructed > 0 {

@@ -11,7 +11,13 @@ use std::fmt::Write as _;
 /// Fields containing commas, quotes or newlines are quoted and escaped.
 pub fn to_csv(header: &[&str], rows: &[Vec<String>]) -> String {
     let mut out = String::new();
-    out.push_str(&csv_line(header.iter().map(|s| s.to_string()).collect::<Vec<_>>().as_slice()));
+    out.push_str(&csv_line(
+        header
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .as_slice(),
+    ));
     for row in rows {
         out.push_str(&csv_line(row));
     }
@@ -158,12 +164,7 @@ mod tests {
 
     #[test]
     fn ascii_series_scales_to_max() {
-        let chart = ascii_series(
-            "traffic",
-            &["d1".into(), "d2".into()],
-            &[50.0, 100.0],
-            20,
-        );
+        let chart = ascii_series("traffic", &["d1".into(), "d2".into()], &[50.0, 100.0], 20);
         assert!(chart.starts_with("traffic\n"));
         let lines: Vec<&str> = chart.lines().collect();
         assert!(lines[1].contains("##########"));

@@ -151,7 +151,13 @@ impl Histogram {
         self.counts
             .iter()
             .enumerate()
-            .map(|(i, &c)| (self.min + i as f64 * width, self.min + (i + 1) as f64 * width, c))
+            .map(|(i, &c)| {
+                (
+                    self.min + i as f64 * width,
+                    self.min + (i + 1) as f64 * width,
+                    c,
+                )
+            })
             .collect()
     }
 }
@@ -180,7 +186,7 @@ mod tests {
         assert_eq!(s.median, 3.0);
         assert_eq!(s.min, 1.0);
         assert_eq!(s.max, 5.0);
-        assert!((s.std_dev - 1.4142135623730951).abs() < 1e-12);
+        assert!((s.std_dev - core::f64::consts::SQRT_2).abs() < 1e-12);
         // Order must not matter.
         let shuffled = Summary::of(&[5.0, 3.0, 1.0, 4.0, 2.0]);
         assert_eq!(s, shuffled);

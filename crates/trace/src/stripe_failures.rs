@@ -6,7 +6,7 @@
 //! (what Piggybacked-RS does) captures essentially all of the recovery
 //! traffic.
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// Distribution of the number of missing blocks among degraded stripes.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]

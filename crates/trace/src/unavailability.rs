@@ -9,7 +9,7 @@
 //! downtime durations and a small probability that a machine never returns
 //! (a permanent failure requiring full re-replication of its blocks).
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 use crate::distributions;
 
@@ -105,7 +105,12 @@ impl UnavailabilityModel {
         events
     }
 
-    fn one_event<R: Rng + ?Sized>(&self, rng: &mut R, day: usize, blip: bool) -> UnavailabilityEvent {
+    fn one_event<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        day: usize,
+        blip: bool,
+    ) -> UnavailabilityEvent {
         let machine = rng.random_range(0..self.machines);
         let start_minute = day as f64 * MINUTES_PER_DAY + rng.random_range(0.0..MINUTES_PER_DAY);
         let duration_minutes = if blip {
@@ -218,7 +223,9 @@ mod tests {
         let model = UnavailabilityModel::facebook(500);
         let days = 5;
         let events = model.generate(&mut rng, days);
-        assert!(events.windows(2).all(|w| w[0].start_minute <= w[1].start_minute));
+        assert!(events
+            .windows(2)
+            .all(|w| w[0].start_minute <= w[1].start_minute));
         assert!(events
             .iter()
             .all(|e| e.start_minute >= 0.0 && e.start_minute < days as f64 * MINUTES_PER_DAY));

@@ -10,8 +10,10 @@ use pbrs::prelude::*;
 fn main() -> Result<(), CodeError> {
     // "A file or a directory is first partitioned into blocks ... every set
     //  is then encoded with a (10, 4) RS code" (§2.1). Here we use the
-    // Piggybacked-RS replacement the paper proposes and a small file.
-    let code = PiggybackedRs::new(10, 4)?;
+    // Piggybacked-RS replacement the paper proposes and a small file,
+    // selecting the code by spec through the registry.
+    let code = build_code("piggyback-10-4")?;
+    let code = code.as_ref();
     let file: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
 
     // Split the file into 10 equal data blocks (the code works on two
@@ -22,7 +24,7 @@ fn main() -> Result<(), CodeError> {
         original_len,
         blocks[0].len()
     );
-    let mut stripe = Stripe::from_encoding(&code, &blocks)?;
+    let mut stripe = Stripe::from_encoding(code, &blocks)?;
 
     // Two machines in different racks fail: one holding a data block, one
     // holding a parity block.
@@ -33,12 +35,15 @@ fn main() -> Result<(), CodeError> {
     // Degraded read: reconstruct just the data and hand the file back.
     let recovered_blocks = {
         let mut working = stripe.clone();
-        working.reconstruct(&code)?;
+        working.reconstruct(code)?;
         working.into_shards()?
     };
     let recovered_file = join_shards(&recovered_blocks[..10], original_len)?;
     assert_eq!(recovered_file, file);
-    println!("degraded read returned the exact original file ({} bytes)", recovered_file.len());
+    println!(
+        "degraded read returned the exact original file ({} bytes)",
+        recovered_file.len()
+    );
 
     // Background repair of the lost data block, with the reduced download.
     let outcome = code.repair(2, stripe.as_slice())?;

@@ -1,58 +1,92 @@
-//! Quickstart: encode a stripe with the paper's proposed Piggybacked-RS
-//! code, lose a block, and repair it with ~30% less network traffic than the
-//! production Reed–Solomon code would need.
+//! Quickstart: build codes by spec string through the unified registry,
+//! encode a stripe with the paper's proposed Piggybacked-RS code using the
+//! zero-copy API, lose a block, and repair it with ~30% less network
+//! traffic than the production Reed–Solomon code would need.
 //!
 //! Run with: `cargo run --example quickstart`
 
 use pbrs::prelude::*;
 
 fn main() -> Result<(), CodeError> {
-    // The warehouse cluster's production parameters: 10 data blocks + 4
-    // parity blocks per stripe (1.4x storage overhead).
-    let rs = ReedSolomon::new(10, 4)?;
-    let piggybacked = PiggybackedRs::new(10, 4)?;
+    // The warehouse cluster's production scheme and the paper's proposal,
+    // both selected by name: 10 data blocks + 4 parity blocks per stripe
+    // (1.4x storage overhead).
+    let rs = build_code("rs-10-4")?;
+    let piggybacked = build_code("piggyback-10-4")?;
 
-    // Ten "blocks" of application data (tiny here; 256 MB in production).
-    let data: Vec<Vec<u8>> = (0..10u8).map(|i| vec![i; 1024]).collect();
+    // Ten "blocks" of application data (tiny here; 256 MB in production),
+    // laid out in one contiguous stripe buffer per code.
+    let (k, n, block_len) = (10, 14, 1024);
+    let mut rs_stripe = ShardBuffer::zeroed(n, block_len);
+    for i in 0..k {
+        rs_stripe
+            .shard_mut(i)
+            .iter_mut()
+            .enumerate()
+            .for_each(|(j, b)| *b = ((i * 37 + j) % 256) as u8);
+    }
+    let mut pb_stripe = rs_stripe.clone();
 
-    // Encode with both codes. Both produce 4 parity blocks of the same size:
+    // Zero-copy encode: parity is written in place, right behind the data
+    // it protects. Both codes produce 4 parity blocks of the same size —
     // the piggybacked code uses no extra storage.
-    let mut rs_stripe = Stripe::from_encoding(&rs, &data)?;
-    let mut pb_stripe = Stripe::from_encoding(&piggybacked, &data)?;
-    assert_eq!(rs_stripe.len(), pb_stripe.len());
+    {
+        let (data, mut parity) = rs_stripe.split_mut(k);
+        rs.encode_into(&data, &mut parity)?;
+    }
+    {
+        let (data, mut parity) = pb_stripe.split_mut(k);
+        piggybacked.encode_into(&data, &mut parity)?;
+    }
 
-    // A machine holding block 6 becomes unavailable.
-    rs_stripe.erase(6);
-    pb_stripe.erase(6);
+    // A machine holding block 6 becomes unavailable. Rebuild it under both
+    // codes straight into a caller-provided buffer, and compare the bytes
+    // each repair plan moves across the network.
+    let target = 6;
+    let mut rs_rebuilt = vec![0u8; block_len];
+    let mut pb_rebuilt = vec![0u8; block_len];
+    rs.repair_into(target, &rs_stripe.as_set(), &mut rs_rebuilt)?;
+    piggybacked.repair_into(target, &pb_stripe.as_set(), &mut pb_rebuilt)?;
+    assert_eq!(rs_rebuilt, rs_stripe.shard(target));
+    assert_eq!(pb_rebuilt, pb_stripe.shard(target));
 
-    // Repair it under both codes and compare the bytes moved.
-    let rs_repair = rs.repair(6, rs_stripe.as_slice())?;
-    let pb_repair = piggybacked.repair(6, pb_stripe.as_slice())?;
-    assert_eq!(rs_repair.shard, data[6]);
-    assert_eq!(pb_repair.shard, data[6]);
-
+    let mut available = vec![true; n];
+    available[target] = false;
+    let rs_plan = rs.repair_plan(target, &available)?;
+    let pb_plan = piggybacked.repair_plan(target, &available)?;
     println!("Repairing block 6 of a (10, 4) stripe of 1 KiB blocks:");
     println!(
         "  Reed-Solomon   : {} helpers, {} bytes read and transferred",
-        rs_repair.metrics.helpers, rs_repair.metrics.bytes_transferred
+        rs_plan.helper_count(),
+        rs_plan.bytes_read(block_len)
     );
     println!(
         "  Piggybacked-RS : {} helpers, {} bytes read and transferred",
-        pb_repair.metrics.helpers, pb_repair.metrics.bytes_transferred
+        pb_plan.helper_count(),
+        pb_plan.bytes_read(block_len)
     );
-    let saving = 1.0
-        - pb_repair.metrics.bytes_transferred as f64 / rs_repair.metrics.bytes_transferred as f64;
-    println!("  saving         : {:.1}% less recovery traffic", saving * 100.0);
+    let saving = 1.0 - pb_plan.bytes_read(block_len) as f64 / rs_plan.bytes_read(block_len) as f64;
+    println!(
+        "  saving         : {:.1}% less recovery traffic",
+        saving * 100.0
+    );
 
-    // Both codes tolerate any 4 block losses (they are MDS).
-    for stripe in [&mut rs_stripe, &mut pb_stripe] {
-        stripe.erase(0);
-        stripe.erase(3);
-        stripe.erase(12);
+    // Both codes tolerate any 4 block losses (they are MDS): zero the lost
+    // blocks and rebuild them in place inside the stripe buffer.
+    let mut present = vec![true; n];
+    for lost in [0, 3, 6, 12] {
+        present[lost] = false;
     }
-    rs_stripe.reconstruct(&rs)?;
-    pb_stripe.reconstruct(&piggybacked)?;
-    assert!(rs_stripe.is_complete() && pb_stripe.is_complete());
-    println!("Both codes reconstructed a stripe with 4 missing blocks exactly.");
+    let rs_original = rs_stripe.clone();
+    let pb_original = pb_stripe.clone();
+    for lost in [0, 3, 6, 12] {
+        rs_stripe.shard_mut(lost).fill(0);
+        pb_stripe.shard_mut(lost).fill(0);
+    }
+    rs.reconstruct_in_place(&mut rs_stripe.as_set_mut(), &present)?;
+    piggybacked.reconstruct_in_place(&mut pb_stripe.as_set_mut(), &present)?;
+    assert_eq!(rs_stripe, rs_original);
+    assert_eq!(pb_stripe, pb_original);
+    println!("Both codes reconstructed a stripe with 4 missing blocks exactly, in place.");
     Ok(())
 }

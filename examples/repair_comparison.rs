@@ -10,11 +10,12 @@ use pbrs::prelude::*;
 use pbrs::trace::report::to_markdown_table;
 
 fn main() -> Result<(), CodeError> {
-    let replication = Replication::triple();
-    let rs = ReedSolomon::new(10, 4)?;
-    let piggybacked = PiggybackedRs::new(10, 4)?;
-    let lrc = Lrc::new(LrcParams::XORBAS)?;
-    let codes: Vec<&dyn ErasureCode> = vec![&replication, &rs, &piggybacked, &lrc];
+    // Every scheme the paper discusses, selected uniformly by spec string
+    // through the registry.
+    let codes: Vec<Box<dyn ErasureCode>> = ["rep-3", "rs-10-4", "piggyback-10-4", "lrc-10-2-4"]
+        .iter()
+        .map(|spec| build_code(spec))
+        .collect::<Result<_, _>>()?;
 
     // Reliability model: 256 MB blocks, 40 MB/s bandwidth-bound repair, one
     // permanent block loss per four block-years.
@@ -25,7 +26,7 @@ fn main() -> Result<(), CodeError> {
     let rows: Vec<Vec<String>> = codes
         .iter()
         .map(|code| {
-            let c = CodeComparison::of(*code);
+            let c = CodeComparison::of(code.as_ref());
             let mttdl = model_for_code(
                 code.params().total_shards(),
                 code.fault_tolerance(),
@@ -64,7 +65,9 @@ fn main() -> Result<(), CodeError> {
     println!("Reading the table the way the paper does:");
     println!(" * replication is cheap to repair but needs 3x storage (the cost the cluster is escaping);");
     println!(" * RS(10,4) is storage optimal but repairs cost 10 whole blocks of network traffic;");
-    println!(" * Piggybacked-RS keeps the 1.4x/MDS storage story and cuts the repair download by ~30%");
+    println!(
+        " * Piggybacked-RS keeps the 1.4x/MDS storage story and cuts the repair download by ~30%"
+    );
     println!("   for data blocks (~24% averaged over all 14 blocks), which also raises the MTTDL;");
     println!(" * LRC repairs even cheaper but gives up storage optimality (1.6x).");
     Ok(())

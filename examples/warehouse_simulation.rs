@@ -49,7 +49,13 @@ fn main() {
     print!(
         "{}",
         to_markdown_table(
-            &["day", "machines flagged", "blocks rebuilt", "cross-rack traffic", "rebuilds cancelled"],
+            &[
+                "day",
+                "machines flagged",
+                "blocks rebuilt",
+                "cross-rack traffic",
+                "rebuilds cancelled"
+            ],
             &rows
         )
     );

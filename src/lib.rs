@@ -4,36 +4,63 @@
 //! This facade crate re-exports the workspace's public API:
 //!
 //! * [`gf`] — GF(2^8) arithmetic and matrices ([`pbrs_gf`]);
-//! * [`erasure`] — the [`erasure::ErasureCode`] trait, Reed–Solomon,
-//!   replication and LRC baselines ([`pbrs_erasure`]);
-//! * [`code`] — the Piggybacked-RS code, the paper's contribution
-//!   ([`pbrs_core`]);
+//! * [`erasure`] — the [`erasure::ErasureCode`] trait, the zero-copy shard
+//!   views ([`erasure::ShardSet`] / [`erasure::ShardSetMut`] /
+//!   [`erasure::ShardBuffer`]), the [`erasure::CodeSpec`] naming scheme, and
+//!   the Reed–Solomon / replication / LRC baselines ([`pbrs_erasure`]);
+//! * [`code`] — the Piggybacked-RS code and the unified
+//!   [`code::registry`] that builds any code from a spec ([`pbrs_core`]);
 //! * [`cluster`] — the warehouse-cluster simulator ([`pbrs_cluster`]);
 //! * [`trace`] — calibrated synthetic traces, statistics and report writers
 //!   ([`pbrs_trace`]).
 //!
-//! See the `examples/` directory for runnable end-to-end scenarios and
-//! `EXPERIMENTS.md` for the paper-vs-measured comparison of every figure.
+//! See the `examples/` directory for runnable end-to-end scenarios.
 //!
 //! # Quick start
+//!
+//! Codes are selected by spec string through one registry — `"rs-10-4"`,
+//! `"piggyback-10-4"`, `"lrc-10-2-4"`, `"rep-3"` — and every code offers
+//! both the classic owned-`Vec` API and an allocation-free core
+//! (`encode_into` / `reconstruct_in_place` / `repair_into`) over borrowed
+//! shard views:
 //!
 //! ```
 //! use pbrs::prelude::*;
 //!
 //! # fn main() -> Result<(), pbrs::erasure::CodeError> {
-//! // Encode a stripe with the paper's proposed (10, 4) Piggybacked-RS code.
-//! let code = PiggybackedRs::new(10, 4)?;
-//! let data: Vec<Vec<u8>> = (0..10).map(|i| vec![i as u8; 64]).collect();
-//! let mut stripe = Stripe::from_encoding(&code, &data)?;
+//! // The paper's proposed (10, 4) Piggybacked-RS code, built by name.
+//! let code = build_code("piggyback-10-4")?;
 //!
-//! // Lose a block, repair it, and observe the reduced download.
-//! stripe.erase(7);
-//! let outcome = code.repair(7, stripe.as_slice())?;
-//! assert_eq!(outcome.shard, data[7]);
-//! assert!(outcome.metrics.bytes_transferred < 10 * 64);
+//! // Zero-copy encode: the whole stripe lives in one contiguous buffer and
+//! // parity is written in place right behind the data it protects.
+//! let (k, n) = (10, 14);
+//! let mut stripe = ShardBuffer::zeroed(n, 64);
+//! for i in 0..k {
+//!     stripe.shard_mut(i).fill(i as u8);
+//! }
+//! let (data, mut parity) = stripe.split_mut(k);
+//! code.encode_into(&data, &mut parity)?;
+//!
+//! // A machine holding block 7 fails: rebuild just that block, reading
+//! // ~30% fewer bytes than the production RS code would.
+//! let mut rebuilt = vec![0u8; 64];
+//! code.repair_into(7, &stripe.as_set(), &mut rebuilt)?;
+//! assert_eq!(rebuilt, vec![7u8; 64]);
+//!
+//! // The repair plan prices that rebuild for the simulator: 6.5 or 7.0
+//! // shard-equivalents instead of RS's 10.
+//! let mut available = vec![true; n];
+//! available[7] = false;
+//! let plan = code.repair_plan(7, &available)?;
+//! assert!(plan.total_fraction() < 10.0);
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! The owned-`Vec` methods ([`erasure::ErasureCode::encode`],
+//! [`erasure::ErasureCode::reconstruct`], [`erasure::ErasureCode::repair`])
+//! remain available as thin wrappers over the zero-copy core, so existing
+//! call sites keep working.
 
 #![forbid(unsafe_code)]
 
@@ -45,10 +72,11 @@ pub use pbrs_trace as trace;
 
 /// Convenient single-import prelude with the most frequently used items.
 pub mod prelude {
+    pub use pbrs_core::registry::{build as build_spec, build_str as build_code};
     pub use pbrs_core::{PiggybackDesign, PiggybackedRs, SavingsReport};
     pub use pbrs_erasure::{
-        CodeError, CodeParams, ErasureCode, Lrc, LrcParams, ReedSolomon, RepairMetrics,
-        RepairPlan, Replication, Stripe,
+        CodeError, CodeParams, CodeSpec, ErasureCode, Lrc, LrcParams, ReedSolomon, RepairMetrics,
+        RepairPlan, Replication, ShardBuffer, ShardSet, ShardSetMut, Stripe,
     };
     pub use pbrs_gf::Gf256;
 }

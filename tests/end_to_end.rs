@@ -78,14 +78,17 @@ fn repair_costs_match_analysis_across_the_stripe() {
         .collect();
     let stripe = Stripe::from_encoding(&code, &data).unwrap();
     let full = stripe.clone().into_shards().unwrap();
-    for target in 0..14 {
+    for (target, expect_shard) in full.iter().enumerate() {
         let mut degraded = stripe.clone();
         degraded.erase(target);
         let outcome = code.repair(target, degraded.as_slice()).unwrap();
-        assert_eq!(outcome.shard, full[target]);
+        assert_eq!(&outcome.shard, expect_shard);
         let expected =
             (analysis.per_shard[target].shards_downloaded * shard_len as f64).round() as u64;
-        assert_eq!(outcome.metrics.bytes_transferred, expected, "target {target}");
+        assert_eq!(
+            outcome.metrics.bytes_transferred, expected,
+            "target {target}"
+        );
     }
 }
 
@@ -101,12 +104,13 @@ fn simulator_paired_comparison() {
     assert_eq!(pb.days.len(), 5);
     let rs_flagged: u64 = rs.days.iter().map(|d| d.machines_flagged).sum();
     let pb_flagged: u64 = pb.days.iter().map(|d| d.machines_flagged).sum();
-    assert_eq!(rs_flagged, pb_flagged, "paired runs share the failure trace");
+    assert_eq!(
+        rs_flagged, pb_flagged,
+        "paired runs share the failure trace"
+    );
     assert!(rs.total_blocks_reconstructed() > 0);
-    let rs_per_block =
-        rs.total_cross_rack_bytes() as f64 / rs.total_blocks_reconstructed() as f64;
-    let pb_per_block =
-        pb.total_cross_rack_bytes() as f64 / pb.total_blocks_reconstructed() as f64;
+    let rs_per_block = rs.total_cross_rack_bytes() as f64 / rs.total_blocks_reconstructed() as f64;
+    let pb_per_block = pb.total_cross_rack_bytes() as f64 / pb.total_blocks_reconstructed() as f64;
     assert!(pb_per_block < rs_per_block * 0.85);
 }
 
@@ -156,7 +160,10 @@ fn simulator_accounting_invariants() {
         let max_per_block = 10.0 * config.block_size_bytes as f64;
         if day.blocks_reconstructed > 0 {
             let per_block = day.cross_rack_bytes as f64 / day.blocks_reconstructed as f64;
-            assert!(per_block >= min_per_block && per_block <= max_per_block, "{per_block}");
+            assert!(
+                per_block >= min_per_block && per_block <= max_per_block,
+                "{per_block}"
+            );
         } else {
             assert_eq!(day.cross_rack_bytes, 0);
         }

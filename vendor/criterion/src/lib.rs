@@ -1,0 +1,268 @@
+//! Minimal, vendored stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! the subset of the criterion API the workspace's benches use —
+//! `Criterion`, `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `Bencher::iter`, `Throughput`, `BenchmarkId`, and the
+//! `criterion_group!`/`criterion_main!` macros — backed by a simple
+//! wall-clock measurement loop instead of criterion's statistical machinery.
+//!
+//! Each benchmark warms up briefly, picks an iteration count that fills the
+//! measurement window, and prints the mean time per iteration (plus
+//! throughput when configured).
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// How work is expressed for throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: a function name and an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with both a function name and a parameter.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id that is only a parameter (the group name carries the rest).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            name: name.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId {
+            name,
+            parameter: None,
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.name[..], &self.parameter) {
+            ("", Some(p)) => write!(f, "{p}"),
+            (n, Some(p)) => write!(f, "{n}/{p}"),
+            (n, None) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// Runs the closure under measurement and records the result for the group
+/// to report after the user closure returns.
+pub struct Bencher {
+    measurement_window: Duration,
+    last: Option<BenchStats>,
+}
+
+impl Bencher {
+    /// Measures `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and calibration: time a single call.
+        let start = Instant::now();
+        std::hint::black_box(f());
+        let single = start.elapsed().max(Duration::from_nanos(50));
+
+        let target = self.measurement_window;
+        let iters = (target.as_nanos() / single.as_nanos()).clamp(1, 1_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        let total = start.elapsed();
+        self.last = Some(BenchStats {
+            iterations: iters,
+            total,
+        });
+    }
+}
+
+/// The measurement of one benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchStats {
+    /// Timed iterations.
+    pub iterations: u64,
+    /// Total wall-clock time for all iterations.
+    pub total: Duration,
+}
+
+impl BenchStats {
+    fn nanos_per_iter(&self) -> f64 {
+        self.total.as_nanos() as f64 / self.iterations as f64
+    }
+}
+
+fn human_time(nanos: f64) -> String {
+    if nanos < 1_000.0 {
+        format!("{nanos:.1} ns")
+    } else if nanos < 1_000_000.0 {
+        format!("{:.2} µs", nanos / 1_000.0)
+    } else if nanos < 1_000_000_000.0 {
+        format!("{:.2} ms", nanos / 1_000_000.0)
+    } else {
+        format!("{:.3} s", nanos / 1_000_000_000.0)
+    }
+}
+
+fn report(label: &str, stats: BenchStats, throughput: Option<Throughput>) {
+    let per_iter = stats.nanos_per_iter();
+    let mut line = format!(
+        "{label:<50} {:>12}/iter ({} iters)",
+        human_time(per_iter),
+        stats.iterations
+    );
+    if let Some(t) = throughput {
+        let per_sec = match t {
+            Throughput::Bytes(b) => {
+                format!(
+                    "{:.1} MiB/s",
+                    b as f64 / (per_iter / 1e9) / (1024.0 * 1024.0)
+                )
+            }
+            Throughput::Elements(e) => format!("{:.0} elem/s", e as f64 / (per_iter / 1e9)),
+        };
+        line.push_str(&format!("  [{per_sec}]"));
+    }
+    println!("{line}");
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    criterion: &'a Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the work-per-iteration used for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the sample count is fixed here.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the window is fixed here.
+    pub fn measurement_time(&mut self, _window: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into());
+        let mut bencher = Bencher {
+            measurement_window: self.criterion.measurement_window,
+            last: None,
+        };
+        f(&mut bencher);
+        if let Some(stats) = bencher.last {
+            report(&label, stats, self.throughput);
+        }
+        self
+    }
+
+    /// Benchmarks `f` with an input value, criterion-style.
+    pub fn bench_with_input<I: Into<BenchmarkId>, T: ?Sized, F: FnMut(&mut Bencher, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (printing is immediate, so this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    measurement_window: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            // Short enough that `cargo bench` over the whole workspace stays
+            // interactive; long enough for stable means on µs-scale kernels.
+            measurement_window: Duration::from_millis(120),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            name,
+            throughput: None,
+            criterion: self,
+        }
+    }
+
+    /// Benchmarks a standalone function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        self.benchmark_group(name.to_string()).bench_function("", f);
+        self
+    }
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
