@@ -13,14 +13,19 @@ use pbrs_trace::report::to_markdown_table;
 
 fn main() {
     // Every scheme under comparison, selected uniformly through the registry.
-    let codes: Vec<Box<dyn ErasureCode>> = ["rep-3", "rs-10-4", "piggyback-10-4", "lrc-10-2-4"]
+    let codes: Vec<registry::DynCode> = ["rep-3", "rs-10-4", "piggyback-10-4", "lrc-10-2-4"]
         .iter()
         .map(|spec| registry::build_str(spec).expect("comparison specs are valid"))
         .collect();
 
     let comparisons: Vec<(CodeComparison, &dyn ErasureCode)> = codes
         .iter()
-        .map(|code| (CodeComparison::of(code.as_ref()), code.as_ref()))
+        .map(|code| {
+            (
+                CodeComparison::of(code.as_ref()),
+                code.as_ref() as &dyn ErasureCode,
+            )
+        })
         .collect();
 
     // Reliability: bandwidth-bound repair times at 40 MB/s per repair, 256 MB

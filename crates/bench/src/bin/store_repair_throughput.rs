@@ -1,0 +1,132 @@
+//! Store experiment — repair throughput of the file-backed block store:
+//! ingest an object, destroy one disk, and time the repair daemon
+//! rebuilding it, reporting rebuilt MB/s and cross-disk helper traffic for
+//! each code. This is the paper's repair-bandwidth argument measured on
+//! real chunk files rather than the simulator.
+//!
+//! Usage: `store_repair_throughput [object-MiB] [chunk-KiB] [workers]`
+//! (defaults: 64 MiB objects, 256 KiB chunks, 4 workers).
+
+use std::env;
+use std::fs;
+use std::sync::Arc;
+use std::time::Instant;
+
+use pbrs_bench::{f1, section};
+use pbrs_store::testing::TempDir;
+use pbrs_store::{BlockStore, DaemonConfig, RepairDaemon, StoreConfig};
+use pbrs_trace::report::to_markdown_table;
+
+const SPECS: [&str; 2] = ["rs-10-4", "piggyback-10-4"];
+const LOST_DISK: usize = 0;
+
+struct Measurement {
+    code: String,
+    ingest_mb_s: f64,
+    repair_mb_s: f64,
+    rebuilt_mib: f64,
+    helper_mib: f64,
+}
+
+fn arg(n: usize, default: usize) -> usize {
+    env::args()
+        .nth(n)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn mib(bytes: u64) -> f64 {
+    bytes as f64 / (1024.0 * 1024.0)
+}
+
+fn measure(spec: &str, object_len: usize, chunk_len: usize, workers: usize) -> Measurement {
+    let dir = TempDir::new(&format!("bench-store-{spec}"));
+    let store = Arc::new(
+        BlockStore::open(
+            StoreConfig::new(dir.path().join("store"), spec.parse().expect("valid spec"))
+                .chunk_len(chunk_len),
+        )
+        .expect("open store"),
+    );
+
+    let data: Vec<u8> = (0..object_len)
+        .map(|i| ((i * 131 + 17) % 255) as u8)
+        .collect();
+    let started = Instant::now();
+    let info = store.put("bench-object", &data[..]).expect("put");
+    let ingest_secs = started.elapsed().as_secs_f64();
+
+    fs::remove_dir_all(store.disk_path(LOST_DISK)).expect("remove disk");
+
+    let daemon = RepairDaemon::start(
+        Arc::clone(&store),
+        DaemonConfig {
+            workers,
+            scan_interval: None,
+        },
+    );
+    let started = Instant::now();
+    daemon.scan_now().expect("scan");
+    daemon.wait_idle();
+    let repair_secs = started.elapsed().as_secs_f64();
+    let stats = daemon.shutdown();
+    assert_eq!(stats.failures, 0, "{spec}: repairs must succeed");
+    assert_eq!(stats.chunks_repaired, info.stripes, "{spec}");
+    assert!(store.scrub().expect("scrub").is_clean(), "{spec}");
+
+    Measurement {
+        code: store.code().name(),
+        ingest_mb_s: mib(info.len) / ingest_secs,
+        repair_mb_s: mib(stats.bytes_written) / repair_secs,
+        rebuilt_mib: mib(stats.bytes_written),
+        helper_mib: mib(stats.helper_bytes),
+    }
+}
+
+fn main() {
+    let object_mib = arg(1, 64);
+    let chunk_kib = arg(2, 256);
+    let workers = arg(3, 4);
+    let object_len = object_mib * 1024 * 1024;
+    let chunk_len = chunk_kib * 1024;
+
+    section(&format!(
+        "Store repair throughput ({object_mib} MiB object, {chunk_kib} KiB chunks, \
+         {workers} workers, disk {LOST_DISK} lost)"
+    ));
+
+    let measurements: Vec<Measurement> = SPECS
+        .iter()
+        .map(|spec| {
+            eprintln!("[pbrs-bench] store workload: {spec}");
+            measure(spec, object_len, chunk_len, workers)
+        })
+        .collect();
+
+    let header = [
+        "code",
+        "ingest MB/s",
+        "repair MB/s",
+        "rebuilt MiB",
+        "helper MiB",
+    ];
+    let rows: Vec<Vec<String>> = measurements
+        .iter()
+        .map(|m| {
+            vec![
+                m.code.clone(),
+                f1(m.ingest_mb_s),
+                f1(m.repair_mb_s),
+                f1(m.rebuilt_mib),
+                f1(m.helper_mib),
+            ]
+        })
+        .collect();
+    print!("{}", to_markdown_table(&header, &rows));
+
+    let saving = 1.0 - measurements[1].helper_mib / measurements[0].helper_mib;
+    println!(
+        "\nPiggybacked-RS helper traffic: {:.1}% below RS on the identical workload.",
+        saving * 100.0
+    );
+}

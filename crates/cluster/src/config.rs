@@ -3,7 +3,7 @@
 use core::str::FromStr;
 
 use pbrs_core::registry;
-use pbrs_erasure::{CodeError, CodeSpec, ErasureCode};
+use pbrs_erasure::{CodeError, CodeSpec};
 use pbrs_trace::calibration::{PaperConstants, MB};
 use pbrs_trace::unavailability::UnavailabilityModel;
 
@@ -62,7 +62,7 @@ impl CodeChoice {
     /// # Errors
     ///
     /// Propagates parameter-validation errors from the code constructors.
-    pub fn build(&self) -> Result<Box<dyn ErasureCode>, CodeError> {
+    pub fn build(&self) -> Result<registry::DynCode, CodeError> {
         registry::build(&self.spec())
     }
 

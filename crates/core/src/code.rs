@@ -8,7 +8,7 @@ use pbrs_erasure::params::{validate_encode_views, validate_repair_views, validat
 use pbrs_erasure::views::{ShardSet, ShardSetMut};
 use pbrs_erasure::{
     default_repair_plan, CodeError, CodeParams, ErasureCode, FetchRequest, Fraction, ReedSolomon,
-    RepairPlan,
+    RepairPlan, ShardRead,
 };
 
 use crate::design::PiggybackDesign;
@@ -354,6 +354,63 @@ impl ErasureCode for PiggybackedRs {
         }
 
         default_repair_plan(self.params, target, available)
+    }
+
+    fn repair_reads(
+        &self,
+        target: usize,
+        available: &[bool],
+        shard_len: usize,
+    ) -> Result<Vec<ShardRead>, CodeError> {
+        if shard_len == 0 || !shard_len.is_multiple_of(self.granularity()) {
+            return Err(CodeError::UnalignedShard {
+                len: shard_len,
+                granularity: self.granularity(),
+            });
+        }
+        if !self.efficient_repair_available(target, available) {
+            // Parity and uncovered-data targets follow whole-shard plans,
+            // for which the fraction-prefix default is byte-exact.
+            let plan = self.repair_plan(target, available)?;
+            pbrs_erasure::validate_single_failure_mask(target, available)?;
+            return Ok(plan
+                .fetches
+                .iter()
+                .map(|f| ShardRead::whole(f.shard, shard_len))
+                .collect());
+        }
+        pbrs_erasure::validate_single_failure_mask(target, available)?;
+        // The download-efficient path reads the b-half (second half) of the
+        // non-peer data shards, the clean parity and the carrier parity, and
+        // both halves of the target's group peers — exactly the bytes
+        // `repair_into` consumes.
+        let half = shard_len / 2;
+        let k = self.params.data_shards();
+        let carrier = self.design.carrier_parity(target).expect("checked");
+        let peers = self
+            .design
+            .group_peers(target)
+            .expect("a carrier parity implies a piggyback group");
+        let mut reads = Vec::with_capacity(k + 1);
+        for i in (0..k).filter(|&i| i != target) {
+            if peers.contains(&i) {
+                reads.push(ShardRead::whole(i, shard_len));
+            } else {
+                reads.push(ShardRead {
+                    shard: i,
+                    offset: half,
+                    len: half,
+                });
+            }
+        }
+        for shard in [k, carrier] {
+            reads.push(ShardRead {
+                shard,
+                offset: half,
+                len: half,
+            });
+        }
+        Ok(reads)
     }
 
     fn is_mds(&self) -> bool {

@@ -25,12 +25,34 @@ use pbrs_erasure::{CodeError, CodeSpec, ErasureCode, Lrc, LrcParams, ReedSolomon
 
 use crate::code::PiggybackedRs;
 
+/// A boxed code as built by the registry: every implementation is plain data,
+/// so the trait objects are `Send + Sync` and shareable across the threads of
+/// a store or simulator.
+pub type DynCode = Box<dyn ErasureCode + Send + Sync>;
+
+/// The canonical spec of each code family in the registry, at the paper's
+/// parameters: `rs-10-4`, `piggyback-10-4`, `lrc-10-2-4`, `rep-3`.
+///
+/// Tests that must hold "for every code in the registry" iterate this list.
+pub fn known_specs() -> Vec<CodeSpec> {
+    vec![
+        CodeSpec::FACEBOOK_RS,
+        CodeSpec::FACEBOOK_PIGGYBACK,
+        CodeSpec::Lrc {
+            k: 10,
+            local_groups: 2,
+            global_parities: 4,
+        },
+        CodeSpec::Replication { copies: 3 },
+    ]
+}
+
 /// Builds the erasure code a spec describes.
 ///
 /// # Errors
 ///
 /// Propagates parameter-validation errors from the code constructors.
-pub fn build(spec: &CodeSpec) -> Result<Box<dyn ErasureCode>, CodeError> {
+pub fn build(spec: &CodeSpec) -> Result<DynCode, CodeError> {
     Ok(match *spec {
         CodeSpec::ReedSolomon { k, r } => Box::new(ReedSolomon::new(k, r)?),
         CodeSpec::PiggybackedRs { k, r } => Box::new(PiggybackedRs::new(k, r)?),
@@ -53,7 +75,7 @@ pub fn build(spec: &CodeSpec) -> Result<Box<dyn ErasureCode>, CodeError> {
 ///
 /// Returns [`CodeError::InvalidParams`] for an unparsable spec, plus the
 /// same failure modes as [`build`].
-pub fn build_str(spec: &str) -> Result<Box<dyn ErasureCode>, CodeError> {
+pub fn build_str(spec: &str) -> Result<DynCode, CodeError> {
     build(&spec.parse()?)
 }
 

@@ -1,0 +1,133 @@
+//! The `repair_reads` contract: for every code in the registry, with only
+//! the target shard missing, `repair_into` depends on *no byte outside the
+//! declared ranges* — a caller that materialises only those ranges (zeroes
+//! elsewhere) still gets the exact shard back, and the ranges' byte total
+//! matches the repair plan's fraction pricing.
+//!
+//! The `pbrs-store` crate's degraded reads and repair daemon read exactly
+//! these ranges from chunk files, so this test is the safety net under its
+//! partial-read I/O.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use pbrs_core::registry;
+use pbrs_erasure::{total_read_bytes, ErasureCode, ShardBuffer};
+
+fn encoded_stripe(code: &dyn ErasureCode, shard_len: usize, rng: &mut StdRng) -> ShardBuffer {
+    let params = code.params();
+    let mut stripe = ShardBuffer::zeroed(params.total_shards(), shard_len);
+    for i in 0..params.data_shards() {
+        for byte in stripe.shard_mut(i) {
+            *byte = rng.random();
+        }
+    }
+    let (data, mut parity) = stripe.split_mut(params.data_shards());
+    code.encode_into(&data, &mut parity).unwrap();
+    stripe
+}
+
+#[test]
+fn repair_into_reads_only_the_declared_ranges() {
+    let mut rng = StdRng::seed_from_u64(0x5EED_0001);
+    for spec in registry::known_specs() {
+        let code = registry::build(&spec).unwrap();
+        let n = code.params().total_shards();
+        let shard_len = 64 * code.granularity();
+        let stripe = encoded_stripe(code.as_ref(), shard_len, &mut rng);
+
+        for target in 0..n {
+            let mut available = vec![true; n];
+            available[target] = false;
+            let reads = code.repair_reads(target, &available, shard_len).unwrap();
+
+            // The ranges must price exactly like the plan.
+            let plan = code.repair_plan(target, &available).unwrap();
+            assert_eq!(
+                total_read_bytes(&reads),
+                plan.bytes_read(shard_len),
+                "{spec} target {target}: ranges disagree with the plan's bytes"
+            );
+            for read in &reads {
+                assert_ne!(read.shard, target, "{spec}: a plan never reads the target");
+                assert!(read.len > 0 && read.end() <= shard_len, "{spec}: bad range");
+            }
+
+            // Materialise *only* the declared ranges; everything else stays
+            // zero (including the whole shards the plan does not touch).
+            let mut sparse = ShardBuffer::zeroed(n, shard_len);
+            for read in &reads {
+                sparse.shard_mut(read.shard)[read.offset..read.end()]
+                    .copy_from_slice(&stripe.shard(read.shard)[read.offset..read.end()]);
+            }
+            let mut out = vec![0u8; shard_len];
+            code.repair_into(target, &sparse.as_set(), &mut out)
+                .unwrap();
+            assert_eq!(
+                out,
+                stripe.shard(target),
+                "{spec} target {target}: repair from sparse ranges diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn repair_reads_rejects_bad_inputs() {
+    for spec in registry::known_specs() {
+        let code = registry::build(&spec).unwrap();
+        let n = code.params().total_shards();
+        let mut available = vec![true; n];
+        available[0] = false;
+        // Unaligned shard length.
+        assert!(code.repair_reads(0, &available, 0).is_err(), "{spec}");
+        if code.granularity() > 1 {
+            assert!(code.repair_reads(0, &available, 63).is_err(), "{spec}");
+        }
+        // Target not actually missing.
+        assert!(code.repair_reads(1, &available, 64).is_err(), "{spec}");
+        // Out-of-range target.
+        assert!(code.repair_reads(n, &available, 64).is_err(), "{spec}");
+        // Degraded masks are rejected: the ranges describe `repair_into`'s
+        // fixed read set, which assumes every non-target shard is valid.
+        let mut degraded = available.clone();
+        degraded[n - 1] = false;
+        assert!(
+            code.repair_reads(0, &degraded, 64 * code.granularity())
+                .is_err(),
+            "{spec}: a second missing shard must be rejected"
+        );
+    }
+}
+
+#[test]
+fn piggyback_reads_are_half_shards_for_data_targets() {
+    let code = registry::build_str("piggyback-10-4").unwrap();
+    let shard_len = 128;
+    for target in 0..10 {
+        let mut available = vec![true; 14];
+        available[target] = false;
+        let reads = code.repair_reads(target, &available, shard_len).unwrap();
+        // Clean parity and carrier contribute second halves only.
+        assert!(
+            reads
+                .iter()
+                .filter(|r| r.shard >= 10)
+                .all(|r| r.offset == shard_len / 2 && r.len == shard_len / 2),
+            "target {target}"
+        );
+        // Some data helpers are half reads, the group peers whole reads.
+        assert!(reads.iter().any(|r| r.len == shard_len / 2));
+        assert!(reads.iter().any(|r| r.len == shard_len));
+        // Fewer bytes than the RS baseline of k whole shards.
+        assert!(total_read_bytes(&reads) < 10 * shard_len as u64);
+    }
+    // Parity targets fall back to whole-shard reads of the k data shards.
+    for target in 10..14 {
+        let mut available = vec![true; 14];
+        available[target] = false;
+        let reads = code.repair_reads(target, &available, shard_len).unwrap();
+        assert_eq!(total_read_bytes(&reads), 10 * shard_len as u64);
+        assert!(reads.iter().all(|r| r.offset == 0 && r.len == shard_len));
+    }
+}

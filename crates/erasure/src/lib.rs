@@ -102,7 +102,9 @@ pub use error::CodeError;
 pub use lrc::{Lrc, LrcParams};
 pub use params::CodeParams;
 pub use reed_solomon::ReedSolomon;
-pub use repair::{FetchRequest, Fraction, RepairMetrics, RepairOutcome, RepairPlan};
+pub use repair::{
+    total_read_bytes, FetchRequest, Fraction, RepairMetrics, RepairOutcome, RepairPlan, ShardRead,
+};
 pub use replication::Replication;
 pub use spec::CodeSpec;
 pub use stripe::{join_shards, split_into_shards, Stripe};
@@ -277,6 +279,59 @@ pub trait ErasureCode {
         default_repair_plan(self.params(), target, available)
     }
 
+    /// The concrete byte ranges of the helper shards that
+    /// [`ErasureCode::repair_into`] reads when rebuilding shard `target`,
+    /// for shards of `shard_len` bytes.
+    ///
+    /// This is the byte-exact companion of [`ErasureCode::repair_plan`]: the
+    /// plan prices the repair in shard fractions, while these ranges pin the
+    /// fractions to offsets, so a caller executing the repair against real
+    /// storage can read (and account) exactly the bytes the rebuild
+    /// consumes. The contract every implementation upholds: when the helper
+    /// view holds valid bytes *within the returned ranges*,
+    /// [`ErasureCode::repair_into`] produces the correct shard — bytes
+    /// outside the ranges are never read, so callers may leave them zeroed.
+    ///
+    /// `available` must mark every shard except `target` as present — the
+    /// same single-failure precondition as [`ErasureCode::repair_into`],
+    /// whose read set these ranges describe. Degraded masks are rejected;
+    /// use [`ErasureCode::repair_plan`] to price those.
+    ///
+    /// The default derives prefix ranges from the plan's fractions, which is
+    /// exact for every code whose plans read whole shards (RS, replication,
+    /// LRC). Codes with sub-shard reads (Piggybacked-RS reads half-shards)
+    /// override this to name the actual halves.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an unaligned `shard_len`, a mask with more
+    /// shards missing than `target`, plus the same failure modes as
+    /// [`ErasureCode::repair_plan`].
+    fn repair_reads(
+        &self,
+        target: usize,
+        available: &[bool],
+        shard_len: usize,
+    ) -> Result<Vec<ShardRead>, CodeError> {
+        if shard_len == 0 || !shard_len.is_multiple_of(self.granularity()) {
+            return Err(CodeError::UnalignedShard {
+                len: shard_len,
+                granularity: self.granularity(),
+            });
+        }
+        let plan = self.repair_plan(target, available)?;
+        validate_single_failure_mask(target, available)?;
+        Ok(plan
+            .fetches
+            .iter()
+            .map(|f| ShardRead {
+                shard: f.shard,
+                offset: 0,
+                len: usize::try_from(f.fraction.bytes_of(shard_len)).expect("range fits a shard"),
+            })
+            .collect())
+    }
+
     /// Rebuilds a single shard, returning the rebuilt bytes together with the
     /// read/transfer accounting of the plan that was executed.
     ///
@@ -426,6 +481,30 @@ pub fn repair_with_views<C: ErasureCode + ?Sized>(
         shard: out,
         metrics: plan.metrics(shard_len),
     })
+}
+
+/// Rejects availability masks with any shard other than `target` missing —
+/// the precondition of [`ErasureCode::repair_reads`], whose ranges describe
+/// the fixed read set of [`ErasureCode::repair_into`] (which itself assumes
+/// every non-target shard is valid).
+///
+/// # Errors
+///
+/// Returns [`CodeError::NotEnoughShards`] when additional shards are
+/// missing.
+pub fn validate_single_failure_mask(target: usize, available: &[bool]) -> Result<(), CodeError> {
+    let missing_others = available
+        .iter()
+        .enumerate()
+        .filter(|&(i, &a)| !a && i != target)
+        .count();
+    if missing_others > 0 {
+        return Err(CodeError::NotEnoughShards {
+            needed: available.len() - 1,
+            available: available.len() - 1 - missing_others,
+        });
+    }
+    Ok(())
 }
 
 /// The classic Reed–Solomon repair plan: read `k` whole surviving shards.

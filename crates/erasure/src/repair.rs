@@ -126,6 +126,44 @@ impl RepairPlan {
     }
 }
 
+/// One contiguous byte range of a helper shard that a repair actually reads.
+///
+/// A [`RepairPlan`] prices a repair in *fractions* of shards; a `ShardRead`
+/// pins the fraction down to concrete bytes, so callers that execute repairs
+/// against real storage (the `pbrs-store` crate) can read exactly the ranges
+/// the rebuild consumes instead of whole shards. Produced by
+/// [`crate::ErasureCode::repair_reads`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ShardRead {
+    /// Index of the helper shard within the stripe.
+    pub shard: usize,
+    /// Byte offset of the range within the shard.
+    pub offset: usize,
+    /// Length of the range in bytes.
+    pub len: usize,
+}
+
+impl ShardRead {
+    /// A read of the whole shard.
+    pub fn whole(shard: usize, shard_len: usize) -> Self {
+        ShardRead {
+            shard,
+            offset: 0,
+            len: shard_len,
+        }
+    }
+
+    /// One past the last byte of the range.
+    pub fn end(&self) -> usize {
+        self.offset + self.len
+    }
+}
+
+/// Total bytes covered by a set of reads.
+pub fn total_read_bytes(reads: &[ShardRead]) -> u64 {
+    reads.iter().map(|r| r.len as u64).sum()
+}
+
 /// Read/transfer accounting of an executed (or planned) repair.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RepairMetrics {

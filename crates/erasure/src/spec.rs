@@ -146,20 +146,32 @@ impl fmt::Display for CodeSpec {
     }
 }
 
-fn parse_fields<const N: usize>(spec: &str, rest: &str) -> Result<[usize; N], CodeError> {
+fn parse_fields<const N: usize>(
+    spec: &str,
+    rest: &str,
+    names: [&str; N],
+) -> Result<[usize; N], CodeError> {
     let mut out = [0usize; N];
     let mut fields = rest.split('-');
-    for slot in &mut out {
-        let field = fields.next().ok_or_else(|| CodeError::InvalidParams {
-            reason: format!("code spec {spec:?} has too few parameters"),
-        })?;
+    for (slot, name) in out.iter_mut().zip(names) {
+        let field = fields.next().unwrap_or("");
+        if field.is_empty() {
+            return Err(CodeError::InvalidParams {
+                reason: format!("code spec {spec:?} is missing its \"{name}\" parameter"),
+            });
+        }
         *slot = field.parse().map_err(|_| CodeError::InvalidParams {
-            reason: format!("code spec {spec:?} has a non-numeric parameter {field:?}"),
+            reason: format!(
+                "code spec {spec:?}: \"{name}\" parameter {field:?} is not a non-negative integer"
+            ),
         })?;
     }
-    if fields.next().is_some() {
+    if let Some(extra) = fields.next() {
         return Err(CodeError::InvalidParams {
-            reason: format!("code spec {spec:?} has too many parameters"),
+            reason: format!(
+                "code spec {spec:?} has an unexpected trailing token {extra:?} \
+                 after its {N} expected parameter(s)"
+            ),
         });
     }
     Ok(out)
@@ -180,15 +192,16 @@ impl FromStr for CodeSpec {
             })?;
         let spec = match family {
             "rs" => {
-                let [k, r] = parse_fields(s, rest)?;
+                let [k, r] = parse_fields(s, rest, ["k", "r"])?;
                 CodeSpec::ReedSolomon { k, r }
             }
             "piggyback" | "pbrs" => {
-                let [k, r] = parse_fields(s, rest)?;
+                let [k, r] = parse_fields(s, rest, ["k", "r"])?;
                 CodeSpec::PiggybackedRs { k, r }
             }
             "lrc" => {
-                let [k, local_groups, global_parities] = parse_fields(s, rest)?;
+                let [k, local_groups, global_parities] =
+                    parse_fields(s, rest, ["k", "local-groups", "global-parities"])?;
                 CodeSpec::Lrc {
                     k,
                     local_groups,
@@ -196,7 +209,7 @@ impl FromStr for CodeSpec {
                 }
             }
             "rep" | "replication" => {
-                let [copies] = parse_fields(s, rest)?;
+                let [copies] = parse_fields(s, rest, ["copies"])?;
                 CodeSpec::Replication { copies }
             }
             other => {
@@ -269,6 +282,33 @@ mod tests {
                 "{bad:?} should be rejected"
             );
         }
+    }
+
+    #[test]
+    fn parse_errors_name_the_offending_token() {
+        let reason_of = |bad: &str| match bad.parse::<CodeSpec>() {
+            Err(CodeError::InvalidParams { reason }) => reason,
+            other => panic!("{bad:?} should fail with InvalidParams, got {other:?}"),
+        };
+        // Non-numeric parameter: names both the parameter and the token.
+        let reason = reason_of("rs-x-4");
+        assert!(
+            reason.contains("\"k\"") && reason.contains("\"x\""),
+            "{reason}"
+        );
+        // Missing parameter: names the parameter that was expected.
+        let reason = reason_of("rs-10");
+        assert!(reason.contains("\"r\""), "{reason}");
+        let reason = reason_of("rep-");
+        assert!(reason.contains("\"copies\""), "{reason}");
+        let reason = reason_of("lrc-10-2");
+        assert!(reason.contains("\"global-parities\""), "{reason}");
+        // Trailing junk: names the extra token.
+        let reason = reason_of("rs-10-4-9");
+        assert!(reason.contains("\"9\""), "{reason}");
+        // Unknown family: names the family.
+        let reason = reason_of("huffman-3-1");
+        assert!(reason.contains("\"huffman\""), "{reason}");
     }
 
     #[test]

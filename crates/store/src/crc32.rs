@@ -1,0 +1,122 @@
+//! CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`), implemented
+//! in-crate so chunk checksumming needs no external dependency.
+//!
+//! The table is built at compile time; the byte loop is the classic
+//! table-driven form, fast enough to checksum chunks at far above disk
+//! speed.
+
+/// Builds the reflected CRC-32 lookup table at compile time.
+const fn make_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+const TABLE: [u32; 256] = make_table();
+
+/// A streaming CRC-32 hasher.
+///
+/// # Example
+///
+/// ```
+/// use pbrs_store::crc32::{crc32, Crc32};
+///
+/// let mut hasher = Crc32::new();
+/// hasher.update(b"12345");
+/// hasher.update(b"6789");
+/// assert_eq!(hasher.finish(), crc32(b"123456789"));
+/// assert_eq!(hasher.finish(), 0xCBF4_3926);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// A fresh hasher.
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Feeds `data` into the checksum.
+    pub fn update(&mut self, data: &[u8]) {
+        let mut crc = self.state;
+        for &byte in data {
+            crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(byte)) & 0xFF) as usize];
+        }
+        self.state = crc;
+    }
+
+    /// The checksum of everything fed so far (does not consume the hasher;
+    /// further updates continue the stream).
+    pub fn finish(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One-shot CRC-32 of a byte slice.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut hasher = Crc32::new();
+    hasher.update(data);
+    hasher.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The standard check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        for split in [0, 1, 9_999, 5_000, 37] {
+            let mut hasher = Crc32::new();
+            hasher.update(&data[..split]);
+            hasher.update(&data[split..]);
+            assert_eq!(hasher.finish(), crc32(&data), "split {split}");
+        }
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let mut data = vec![0x5Au8; 512];
+        let clean = crc32(&data);
+        for bit in [0usize, 7, 2048, 4095] {
+            data[bit / 8] ^= 1 << (bit % 8);
+            assert_ne!(crc32(&data), clean, "bit {bit}");
+            data[bit / 8] ^= 1 << (bit % 8);
+        }
+        assert_eq!(crc32(&data), clean);
+    }
+}

@@ -1,0 +1,144 @@
+//! Error types for the block store.
+
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+
+use pbrs_erasure::CodeError;
+
+/// Errors returned by [`crate::BlockStore`] and the repair daemon.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An I/O operation failed on `path`.
+    Io {
+        /// The file or directory being accessed.
+        path: PathBuf,
+        /// The underlying error.
+        source: io::Error,
+    },
+    /// The erasure codec rejected an operation.
+    Code(CodeError),
+    /// No object with this name exists in the manifest.
+    ObjectNotFound {
+        /// The requested object name.
+        name: String,
+    },
+    /// An object with this name already exists (objects are immutable).
+    ObjectExists {
+        /// The conflicting object name.
+        name: String,
+    },
+    /// The object name contains characters the chunk layout cannot encode.
+    InvalidObjectName {
+        /// The rejected name.
+        name: String,
+        /// Which constraint it violated.
+        reason: &'static str,
+    },
+    /// The store configuration is unusable.
+    InvalidConfig {
+        /// Which constraint it violated.
+        reason: String,
+    },
+    /// The on-disk manifest could not be parsed.
+    CorruptManifest {
+        /// The manifest file.
+        path: PathBuf,
+        /// 1-based line number of the offending line (0 for file-level
+        /// problems).
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+    /// The manifest on disk disagrees with the opening configuration.
+    ConfigMismatch {
+        /// The field that disagrees (`"code"` or `"chunk_len"`).
+        field: &'static str,
+        /// The value recorded in the manifest.
+        on_disk: String,
+        /// The value the caller configured.
+        configured: String,
+    },
+    /// Too many chunks of one stripe are lost or corrupt to rebuild it.
+    StripeUnrecoverable {
+        /// The owning object.
+        object: String,
+        /// The stripe within the object.
+        stripe: u64,
+        /// Chunks still readable.
+        survivors: usize,
+        /// Chunks the code needs.
+        needed: usize,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { path, source } => {
+                write!(f, "I/O error on {}: {source}", path.display())
+            }
+            StoreError::Code(e) => write!(f, "codec error: {e}"),
+            StoreError::ObjectNotFound { name } => write!(f, "object {name:?} not found"),
+            StoreError::ObjectExists { name } => write!(f, "object {name:?} already exists"),
+            StoreError::InvalidObjectName { name, reason } => {
+                write!(f, "invalid object name {name:?}: {reason}")
+            }
+            StoreError::InvalidConfig { reason } => write!(f, "invalid store config: {reason}"),
+            StoreError::CorruptManifest { path, line, reason } => {
+                write!(
+                    f,
+                    "corrupt manifest {} (line {line}): {reason}",
+                    path.display()
+                )
+            }
+            StoreError::ConfigMismatch {
+                field,
+                on_disk,
+                configured,
+            } => write!(
+                f,
+                "store opened with {field} = {configured}, but the manifest records {on_disk}"
+            ),
+            StoreError::StripeUnrecoverable {
+                object,
+                stripe,
+                survivors,
+                needed,
+            } => write!(
+                f,
+                "stripe {stripe} of object {object:?} is unrecoverable: \
+                 {survivors} chunks survive, {needed} needed"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            StoreError::Code(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CodeError> for StoreError {
+    fn from(e: CodeError) -> Self {
+        StoreError::Code(e)
+    }
+}
+
+impl StoreError {
+    /// Wraps an I/O error with the path it occurred on.
+    pub fn io(path: impl Into<PathBuf>, source: io::Error) -> Self {
+        StoreError::Io {
+            path: path.into(),
+            source,
+        }
+    }
+}
+
+/// Shorthand result type for store operations.
+pub type Result<T> = std::result::Result<T, StoreError>;

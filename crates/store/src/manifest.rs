@@ -1,0 +1,331 @@
+//! The durable stripe manifest.
+//!
+//! One small text file at the store root records the store-wide geometry
+//! (code spec, chunk length) and every object's logical length and stripe
+//! count. The format is line-oriented and versioned:
+//!
+//! ```text
+//! pbrs-store v1
+//! code piggyback-10-4
+//! chunk 65536
+//! object 67108864 26 my-dataset.bin
+//! ```
+//!
+//! Object names are restricted to `[A-Za-z0-9._-]` (and may not be `.` or
+//! `..`), so a name is always a safe directory component and the name can be
+//! the final, whitespace-containing-free token of its line. The manifest is
+//! rewritten atomically (`MANIFEST.tmp` + rename) after every mutation, so
+//! a crash leaves either the old or the new manifest, never a torn one.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use pbrs_erasure::CodeSpec;
+
+use crate::error::{Result, StoreError};
+
+/// File name of the manifest within the store root.
+pub const MANIFEST_FILE: &str = "MANIFEST";
+
+/// The first line of every v1 manifest.
+const VERSION_LINE: &str = "pbrs-store v1";
+
+/// Durable description of one stored object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObjectInfo {
+    /// Logical length in bytes (the exact byte count `get` returns).
+    pub len: u64,
+    /// Number of stripes the object occupies.
+    pub stripes: u64,
+}
+
+/// The in-memory manifest: store geometry plus the object table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// The erasure code every stripe of this store uses.
+    pub spec: CodeSpec,
+    /// Payload bytes per chunk (equal for every chunk in the store).
+    pub chunk_len: usize,
+    /// All objects, keyed by name.
+    pub objects: BTreeMap<String, ObjectInfo>,
+}
+
+/// Validates an object name for use as a path component and manifest token.
+///
+/// # Errors
+///
+/// Returns [`StoreError::InvalidObjectName`] for empty names, names longer
+/// than 255 bytes, path-traversal names (`.`, `..`) and characters outside
+/// `[A-Za-z0-9._-]`.
+pub fn validate_object_name(name: &str) -> Result<()> {
+    let reject = |reason| {
+        Err(StoreError::InvalidObjectName {
+            name: name.to_string(),
+            reason,
+        })
+    };
+    if name.is_empty() {
+        return reject("name is empty");
+    }
+    if name.len() > 255 {
+        return reject("name exceeds 255 bytes");
+    }
+    if name == "." || name == ".." {
+        return reject("name is a path-traversal component");
+    }
+    if !name
+        .bytes()
+        .all(|b| b.is_ascii_alphanumeric() || b == b'.' || b == b'_' || b == b'-')
+    {
+        return reject("allowed characters are A-Z a-z 0-9 . _ -");
+    }
+    Ok(())
+}
+
+impl Manifest {
+    /// A fresh manifest with no objects.
+    pub fn new(spec: CodeSpec, chunk_len: usize) -> Self {
+        Manifest {
+            spec,
+            chunk_len,
+            objects: BTreeMap::new(),
+        }
+    }
+
+    /// Serialises the manifest to its text form.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(VERSION_LINE);
+        out.push('\n');
+        out.push_str(&format!("code {}\n", self.spec));
+        out.push_str(&format!("chunk {}\n", self.chunk_len));
+        for (name, info) in &self.objects {
+            out.push_str(&format!("object {} {} {name}\n", info.len, info.stripes));
+        }
+        out
+    }
+
+    /// Parses a manifest from its text form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::CorruptManifest`] naming the offending line.
+    pub fn parse(path: &Path, text: &str) -> Result<Self> {
+        let corrupt = |line: usize, reason: String| StoreError::CorruptManifest {
+            path: path.to_path_buf(),
+            line,
+            reason,
+        };
+        let mut lines = text.lines().enumerate();
+        let Some((_, version)) = lines.next() else {
+            return Err(corrupt(0, "empty manifest".into()));
+        };
+        if version != VERSION_LINE {
+            return Err(corrupt(
+                1,
+                format!("unknown version line {version:?} (expected {VERSION_LINE:?})"),
+            ));
+        }
+        let mut spec: Option<CodeSpec> = None;
+        let mut chunk_len: Option<usize> = None;
+        let mut objects = BTreeMap::new();
+        for (idx, line) in lines {
+            let lineno = idx + 1;
+            if line.is_empty() {
+                continue;
+            }
+            let (key, rest) = line
+                .split_once(' ')
+                .ok_or_else(|| corrupt(lineno, format!("malformed line {line:?}")))?;
+            match key {
+                "code" => {
+                    let parsed = rest
+                        .parse()
+                        .map_err(|e| corrupt(lineno, format!("bad code spec: {e}")))?;
+                    spec = Some(parsed);
+                }
+                "chunk" => {
+                    let parsed = rest
+                        .parse()
+                        .map_err(|_| corrupt(lineno, format!("bad chunk length {rest:?}")))?;
+                    chunk_len = Some(parsed);
+                }
+                "object" => {
+                    let mut fields = rest.splitn(3, ' ');
+                    let (len, stripes, name) = match (fields.next(), fields.next(), fields.next()) {
+                        (Some(len), Some(stripes), Some(name)) => (len, stripes, name),
+                        _ => {
+                            return Err(corrupt(
+                                lineno,
+                                format!("object line needs <len> <stripes> <name>: {line:?}"),
+                            ))
+                        }
+                    };
+                    let len: u64 = len
+                        .parse()
+                        .map_err(|_| corrupt(lineno, format!("bad object length {len:?}")))?;
+                    let stripes: u64 = stripes
+                        .parse()
+                        .map_err(|_| corrupt(lineno, format!("bad stripe count {stripes:?}")))?;
+                    validate_object_name(name)
+                        .map_err(|e| corrupt(lineno, format!("bad object name: {e}")))?;
+                    if objects
+                        .insert(name.to_string(), ObjectInfo { len, stripes })
+                        .is_some()
+                    {
+                        return Err(corrupt(lineno, format!("duplicate object {name:?}")));
+                    }
+                }
+                other => return Err(corrupt(lineno, format!("unknown key {other:?}"))),
+            }
+        }
+        let spec = spec.ok_or_else(|| corrupt(0, "missing \"code\" line".into()))?;
+        let chunk_len = chunk_len.ok_or_else(|| corrupt(0, "missing \"chunk\" line".into()))?;
+        Ok(Manifest {
+            spec,
+            chunk_len,
+            objects,
+        })
+    }
+
+    /// Loads the manifest from `root/MANIFEST`, or `None` if the file does
+    /// not exist (a fresh store).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] / [`StoreError::CorruptManifest`].
+    pub fn load(root: &Path) -> Result<Option<Self>> {
+        let path = manifest_path(root);
+        let text = match fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(StoreError::io(&path, e)),
+        };
+        Self::parse(&path, &text).map(Some)
+    }
+
+    /// Atomically writes the manifest to `root/MANIFEST`: the text goes to
+    /// a `.tmp` sibling, is fsynced, and is renamed into place, so a crash
+    /// at any point leaves either the old manifest or the new one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] on filesystem failure.
+    pub fn save(&self, root: &Path) -> Result<()> {
+        use std::io::Write;
+
+        let path = manifest_path(root);
+        let tmp = path.with_extension("tmp");
+        let write = |tmp: &Path| -> std::io::Result<()> {
+            let mut file = fs::File::create(tmp)?;
+            file.write_all(self.to_text().as_bytes())?;
+            // Without the sync, the rename below can hit disk before the
+            // data blocks, leaving a torn manifest after power loss.
+            file.sync_data()?;
+            Ok(())
+        };
+        write(&tmp).map_err(|e| StoreError::io(&tmp, e))?;
+        fs::rename(&tmp, &path).map_err(|e| StoreError::io(&path, e))?;
+        Ok(())
+    }
+}
+
+/// Path of the manifest file within a store root.
+pub fn manifest_path(root: &Path) -> PathBuf {
+    root.join(MANIFEST_FILE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::TempDir;
+
+    fn sample() -> Manifest {
+        let mut m = Manifest::new(CodeSpec::FACEBOOK_PIGGYBACK, 65536);
+        m.objects.insert(
+            "a.bin".into(),
+            ObjectInfo {
+                len: 1000,
+                stripes: 1,
+            },
+        );
+        m.objects.insert(
+            "models_v2-final".into(),
+            ObjectInfo {
+                len: 67108864,
+                stripes: 26,
+            },
+        );
+        m
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let m = sample();
+        let parsed = Manifest::parse(Path::new("MANIFEST"), &m.to_text()).unwrap();
+        assert_eq!(parsed, m);
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let dir = TempDir::new("manifest-io");
+        let m = sample();
+        m.save(dir.path()).unwrap();
+        assert_eq!(Manifest::load(dir.path()).unwrap().unwrap(), m);
+        assert!(!manifest_path(dir.path()).with_extension("tmp").exists());
+        // A store root with no manifest loads as None.
+        let empty = TempDir::new("manifest-empty");
+        assert!(Manifest::load(empty.path()).unwrap().is_none());
+    }
+
+    #[test]
+    fn parse_rejects_damage() {
+        let path = Path::new("MANIFEST");
+        let cases = [
+            ("", "empty"),
+            ("pbrs-store v9\n", "version"),
+            ("pbrs-store v1\nchunk 64\n", "missing \"code\""),
+            ("pbrs-store v1\ncode rs-10-4\n", "missing \"chunk\""),
+            ("pbrs-store v1\ncode nonsense-1\nchunk 64\n", "code spec"),
+            ("pbrs-store v1\ncode rs-10-4\nchunk x\n", "chunk length"),
+            (
+                "pbrs-store v1\ncode rs-10-4\nchunk 64\nobject 10 a\n",
+                "object line",
+            ),
+            (
+                "pbrs-store v1\ncode rs-10-4\nchunk 64\nobject 10 1 a\nobject 10 1 a\n",
+                "duplicate",
+            ),
+            (
+                "pbrs-store v1\ncode rs-10-4\nchunk 64\nwhatever 1\n",
+                "unknown key",
+            ),
+        ];
+        for (text, why) in cases {
+            assert!(
+                Manifest::parse(path, text).is_err(),
+                "{why}: {text:?} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn object_name_validation() {
+        for good in ["a", "A-1_b.bin", "x".repeat(255).as_str(), "..a", "a.."] {
+            assert!(validate_object_name(good).is_ok(), "{good:?}");
+        }
+        for bad in [
+            "",
+            ".",
+            "..",
+            "a/b",
+            "a b",
+            "a\nb",
+            "é",
+            "x".repeat(256).as_str(),
+        ] {
+            assert!(validate_object_name(bad).is_err(), "{bad:?}");
+        }
+    }
+}

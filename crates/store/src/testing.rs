@@ -1,0 +1,95 @@
+//! Small test/example utilities (no external dev-dependencies).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// A scoped temporary directory under the system temp dir, removed on drop.
+///
+/// Used by this crate's tests, the workspace examples and the store bench
+/// binaries; the name is prefixed so a crashed run's leftovers are easy to
+/// identify and sweep.
+///
+/// # Example
+///
+/// ```
+/// use pbrs_store::testing::TempDir;
+///
+/// let dir = TempDir::new("doc");
+/// std::fs::write(dir.path().join("x"), b"hello").unwrap();
+/// let kept = dir.path().to_path_buf();
+/// drop(dir);
+/// assert!(!kept.exists());
+/// ```
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+impl TempDir {
+    /// Creates a fresh directory named after `label`, the process id and a
+    /// per-process counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the directory cannot be created.
+    pub fn new(label: &str) -> Self {
+        let nanos = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.subsec_nanos())
+            .unwrap_or(0);
+        let unique = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!(
+            "pbrs-store-{label}-{}-{unique}-{nanos}",
+            std::process::id()
+        ));
+        fs::create_dir_all(&path).expect("create temp dir");
+        TempDir { path }
+    }
+
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Consumes the guard without deleting the directory (for debugging).
+    pub fn keep(mut self) -> PathBuf {
+        std::mem::take(&mut self.path)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        if !self.path.as_os_str().is_empty() {
+            let _ = fs::remove_dir_all(&self.path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_unique_dirs_and_cleans_up() {
+        let a = TempDir::new("t");
+        let b = TempDir::new("t");
+        assert_ne!(a.path(), b.path());
+        assert!(a.path().is_dir());
+        let path = a.path().to_path_buf();
+        drop(a);
+        assert!(!path.exists());
+        assert!(b.path().is_dir());
+    }
+
+    #[test]
+    fn keep_preserves_the_directory() {
+        let dir = TempDir::new("keep");
+        let path = dir.keep();
+        assert!(path.is_dir());
+        fs::remove_dir_all(&path).unwrap();
+    }
+}

@@ -1,0 +1,182 @@
+//! Degraded-read coverage: for every spec in the registry and every single
+//! lost shard, a degraded read returns the original object bytes exactly —
+//! and a corrupted (bad-CRC) chunk is treated the same as a missing one.
+
+use proptest::prelude::*;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::fs;
+
+use pbrs_core::registry;
+use pbrs_store::testing::TempDir;
+use pbrs_store::{BlockStore, StoreConfig};
+
+const CHUNK_LEN: usize = 256;
+
+/// How shard damage is inflicted on disk.
+#[derive(Debug, Clone, Copy)]
+enum DamageKind {
+    /// Delete the chunk file.
+    DeleteChunk,
+    /// Delete the whole disk directory.
+    DeleteDisk,
+    /// Flip one payload byte (bad payload CRC).
+    FlipPayloadByte,
+    /// Flip one header byte (bad header CRC).
+    FlipHeaderByte,
+    /// Truncate the file mid-payload.
+    Truncate,
+}
+
+const KINDS: [DamageKind; 5] = [
+    DamageKind::DeleteChunk,
+    DamageKind::DeleteDisk,
+    DamageKind::FlipPayloadByte,
+    DamageKind::FlipHeaderByte,
+    DamageKind::Truncate,
+];
+
+fn inflict(store: &BlockStore, object: &str, stripe: u64, shard: usize, kind: DamageKind) {
+    let path = store.chunk_path(object, stripe, shard);
+    match kind {
+        DamageKind::DeleteChunk => fs::remove_file(&path).unwrap(),
+        DamageKind::DeleteDisk => fs::remove_dir_all(store.disk_path(shard)).unwrap(),
+        DamageKind::FlipPayloadByte => {
+            let mut bytes = fs::read(&path).unwrap();
+            let at = pbrs_store::chunk::HEADER_LEN + (stripe as usize * 37) % CHUNK_LEN;
+            bytes[at] ^= 0x40;
+            fs::write(&path, bytes).unwrap();
+        }
+        DamageKind::FlipHeaderByte => {
+            let mut bytes = fs::read(&path).unwrap();
+            bytes[10] ^= 0x01;
+            fs::write(&path, bytes).unwrap();
+        }
+        DamageKind::Truncate => {
+            let bytes = fs::read(&path).unwrap();
+            fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        }
+    }
+}
+
+/// Writes an object, damages shard `shard` of every stripe, and asserts the
+/// degraded read is byte-identical. Returns the store for extra checks.
+fn assert_degraded_read(spec: pbrs_erasure::CodeSpec, data: &[u8], shard: usize, kind: DamageKind) {
+    let dir = TempDir::new("degraded-prop");
+    let store =
+        BlockStore::open(StoreConfig::new(dir.path().join("store"), spec).chunk_len(CHUNK_LEN))
+            .unwrap();
+    let info = store.put("obj", data).unwrap();
+    match kind {
+        DamageKind::DeleteDisk => inflict(&store, "obj", 0, shard, kind),
+        _ => {
+            for stripe in 0..info.stripes {
+                inflict(&store, "obj", stripe, shard, kind);
+            }
+        }
+    }
+    let read = store.get("obj").unwrap();
+    assert_eq!(
+        read, data,
+        "degraded read mismatch: spec {spec}, shard {shard}, {kind:?}"
+    );
+    let metrics = store.metrics();
+    let k = spec.params().unwrap().data_shards();
+    if shard < k {
+        // Losing a data shard degrades every stripe's read…
+        assert_eq!(
+            metrics.degraded_stripe_reads, info.stripes,
+            "{spec} {kind:?}"
+        );
+        assert!(metrics.degraded_helper_bytes > 0);
+    } else {
+        // …while a lost parity shard never touches the read path.
+        assert_eq!(metrics.degraded_stripe_reads, 0, "{spec} {kind:?}");
+    }
+
+    // Either way the damage is repairable: scrub, rebuild, scrub clean.
+    let scrub = store.scrub().unwrap();
+    assert!(
+        !scrub.is_clean(),
+        "{spec} {kind:?}: scrub must see the damage"
+    );
+    for stripe in 0..info.stripes {
+        let damaged: Vec<usize> = scrub
+            .damages
+            .iter()
+            .filter(|d| d.stripe == stripe)
+            .map(|d| d.shard)
+            .collect();
+        if !damaged.is_empty() {
+            let repair = store.repair_stripe("obj", stripe, &damaged).unwrap();
+            assert_eq!(repair.rebuilt, damaged, "{spec} {kind:?}");
+        }
+    }
+    assert!(store.scrub().unwrap().is_clean(), "{spec} {kind:?}");
+    assert_eq!(
+        store.get("obj").unwrap(),
+        data,
+        "{spec} {kind:?} post-repair"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// The satellite property: every registry spec × every single lost
+    /// shard × random object sizes (sub-stripe, unaligned, multi-stripe)
+    /// round-trips exactly through a degraded read; corruption and loss are
+    /// interchangeable.
+    #[test]
+    fn every_spec_every_lost_shard_round_trips(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for spec in registry::known_specs() {
+            let n = spec.total_shards();
+            let k = spec.params().unwrap().data_shards();
+            // Between a fraction of a stripe and a few stripes.
+            let len = rng.random_range(1..3 * k * CHUNK_LEN + 1);
+            let data: Vec<u8> = (0..len).map(|_| rng.random()).collect();
+            for shard in 0..n {
+                // Rotate damage kinds so every run covers them all without
+                // multiplying the case count.
+                let kind = KINDS[(shard + seed as usize) % KINDS.len()];
+                assert_degraded_read(spec, &data, shard, kind);
+            }
+        }
+    }
+}
+
+/// Pin the "corrupt equals missing" equivalence deterministically: the same
+/// workload loses a chunk one time and corrupts it the other, and both roads
+/// lead to the same served bytes and the same helper-byte count.
+#[test]
+fn corrupt_chunk_costs_the_same_as_missing_chunk() {
+    for spec in registry::known_specs() {
+        let spec_str = spec.to_string();
+        let k = spec.params().unwrap().data_shards();
+        let data: Vec<u8> = (0..2 * k * CHUNK_LEN + 17)
+            .map(|i| ((i * 29 + 11) % 256) as u8)
+            .collect();
+        let run = |kind: DamageKind| {
+            let dir = TempDir::new("corrupt-vs-missing");
+            let store = BlockStore::open(
+                StoreConfig::new(dir.path().join("store"), spec).chunk_len(CHUNK_LEN),
+            )
+            .unwrap();
+            let info = store.put("obj", &data[..]).unwrap();
+            for stripe in 0..info.stripes {
+                inflict(&store, "obj", stripe, 0, kind);
+            }
+            let read = store.get("obj").unwrap();
+            (read, store.metrics().degraded_helper_bytes)
+        };
+        let (missing_bytes, missing_helpers) = run(DamageKind::DeleteChunk);
+        let (corrupt_bytes, corrupt_helpers) = run(DamageKind::FlipPayloadByte);
+        assert_eq!(missing_bytes, data, "{spec_str}: missing");
+        assert_eq!(corrupt_bytes, data, "{spec_str}: corrupt");
+        assert_eq!(
+            missing_helpers, corrupt_helpers,
+            "{spec_str}: a bad-CRC chunk must cost exactly what a missing one costs"
+        );
+    }
+}

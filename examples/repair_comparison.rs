@@ -12,10 +12,11 @@ use pbrs::trace::report::to_markdown_table;
 fn main() -> Result<(), CodeError> {
     // Every scheme the paper discusses, selected uniformly by spec string
     // through the registry.
-    let codes: Vec<Box<dyn ErasureCode>> = ["rep-3", "rs-10-4", "piggyback-10-4", "lrc-10-2-4"]
-        .iter()
-        .map(|spec| build_code(spec))
-        .collect::<Result<_, _>>()?;
+    let codes: Vec<pbrs::code::registry::DynCode> =
+        ["rep-3", "rs-10-4", "piggyback-10-4", "lrc-10-2-4"]
+            .iter()
+            .map(|spec| build_code(spec))
+            .collect::<Result<_, _>>()?;
 
     // Reliability model: 256 MB blocks, 40 MB/s bandwidth-bound repair, one
     // permanent block loss per four block-years.

@@ -12,7 +12,9 @@
 //!   [`code::registry`] that builds any code from a spec ([`pbrs_core`]);
 //! * [`cluster`] — the warehouse-cluster simulator ([`pbrs_cluster`]);
 //! * [`trace`] — calibrated synthetic traces, statistics and report writers
-//!   ([`pbrs_trace`]).
+//!   ([`pbrs_trace`]);
+//! * [`store`] — a file-backed erasure-coded block store with degraded
+//!   reads and a background repair daemon ([`pbrs_store`]).
 //!
 //! See the `examples/` directory for runnable end-to-end scenarios.
 //!
@@ -61,6 +63,37 @@
 //! [`erasure::ErasureCode::reconstruct`], [`erasure::ErasureCode::repair`])
 //! remain available as thin wrappers over the zero-copy core, so existing
 //! call sites keep working.
+//!
+//! # Storing real bytes
+//!
+//! The [`store`] crate turns the codecs into an embeddable block store: one
+//! directory per "disk", fixed-size stripes of CRC-checksummed chunk files,
+//! transparent degraded reads, and a background repair daemon whose
+//! counters reproduce the paper's repair-traffic savings on real file I/O
+//! (see `examples/local_store.rs` for the full lose-a-disk cycle):
+//!
+//! ```
+//! use pbrs::prelude::*;
+//! use pbrs::store::testing::TempDir;
+//!
+//! # fn main() -> Result<(), pbrs::store::StoreError> {
+//! let dir = TempDir::new("facade-quickstart");
+//! let store = BlockStore::open(
+//!     StoreConfig::new(dir.path().join("store"), "piggyback-10-4".parse().unwrap())
+//!         .chunk_len(4096),
+//! )?;
+//!
+//! let payload: Vec<u8> = (0..50_000u32).map(|i| (i % 251) as u8).collect();
+//! store.put("dataset", &payload[..])?;
+//!
+//! // Lose a disk: reads degrade transparently along the cheapest repair
+//! // path, and the helper bytes that crossed disks are counted.
+//! std::fs::remove_dir_all(store.disk_path(0)).unwrap();
+//! assert_eq!(store.get("dataset")?, payload);
+//! assert!(store.metrics().degraded_helper_bytes > 0);
+//! # Ok(())
+//! # }
+//! ```
 
 #![forbid(unsafe_code)]
 
@@ -68,15 +101,19 @@ pub use pbrs_cluster as cluster;
 pub use pbrs_core as code;
 pub use pbrs_erasure as erasure;
 pub use pbrs_gf as gf;
+pub use pbrs_store as store;
 pub use pbrs_trace as trace;
 
 /// Convenient single-import prelude with the most frequently used items.
 pub mod prelude {
-    pub use pbrs_core::registry::{build as build_spec, build_str as build_code};
+    pub use pbrs_core::registry::{build as build_spec, build_str as build_code, DynCode};
     pub use pbrs_core::{PiggybackDesign, PiggybackedRs, SavingsReport};
     pub use pbrs_erasure::{
         CodeError, CodeParams, CodeSpec, ErasureCode, Lrc, LrcParams, ReedSolomon, RepairMetrics,
-        RepairPlan, Replication, ShardBuffer, ShardSet, ShardSetMut, Stripe,
+        RepairPlan, Replication, ShardBuffer, ShardRead, ShardSet, ShardSetMut, Stripe,
     };
     pub use pbrs_gf::Gf256;
+    pub use pbrs_store::{
+        BlockStore, DaemonConfig, MetricsSnapshot, RepairDaemon, StoreConfig, StoreError,
+    };
 }
