@@ -34,7 +34,12 @@ fn main() {
     let bandwidth = 40.0 * 1024.0 * 1024.0;
     let mtbf_hours = 4.0 * 365.25 * 24.0;
 
-    section("Storage, repair and reliability comparison (E7)");
+    // Name the active GF backend so throughput-adjacent numbers remain
+    // comparable across machines and PBRS_GF_BACKEND overrides.
+    section(&format!(
+        "Storage, repair and reliability comparison (E7) [gf backend: {}]",
+        pbrs_gf::backend::active()
+    ));
     let rows: Vec<Vec<String>> = comparisons
         .iter()
         .map(|(c, code)| {

@@ -92,7 +92,8 @@ fn main() {
 
     section(&format!(
         "Store repair throughput ({object_mib} MiB object, {chunk_kib} KiB chunks, \
-         {workers} workers, disk {LOST_DISK} lost)"
+         {workers} workers, disk {LOST_DISK} lost) [gf backend: {}]",
+        pbrs_gf::backend::active()
     ));
 
     let measurements: Vec<Measurement> = SPECS

@@ -169,14 +169,28 @@ impl ErasureCode for PiggybackedRs {
     ) -> Result<(), CodeError> {
         let shard_len = validate_encode_views(data, parity, self.params, self.granularity())?;
         let half = shard_len / 2;
-        for j in 0..self.params.parity_shards() {
-            let row = self.rs.parity_row(j);
-            let (a_out, b_out) = parity.shard_mut(j).split_at_mut(half);
-            slice_ops::linear_combination_into(row, data.iter().map(|s| &s[..half]), a_out);
-            slice_ops::linear_combination_into(row, data.iter().map(|s| &s[half..]), b_out);
-            if j >= 1 {
-                for &m in &self.design.groups()[j - 1] {
-                    slice_ops::xor_slice(b_out, &data.shard(m)[..half]);
+        let r = self.params.parity_shards();
+        let rows: Vec<&[u8]> = (0..r).map(|j| self.rs.parity_row(j)).collect();
+        let all = vec![true; r];
+        // Each substripe is a plain RS encode of the matching half of every
+        // data shard: run both as multi-output passes (each data half is
+        // read once for all r parities), then fold the piggybacks in.
+        let a_srcs: Vec<&[u8]> = data.iter().map(|s| &s[..half]).collect();
+        {
+            let mut a_view = parity.narrow_mut(0, half);
+            let (mut a_outs, _) = a_view.split_parts_mut(&all);
+            slice_ops::matrix_mul_into(&rows, &a_srcs, &mut a_outs);
+        }
+        {
+            let b_srcs: Vec<&[u8]> = data.iter().map(|s| &s[half..]).collect();
+            let mut b_view = parity.narrow_mut(half, half);
+            let (mut b_outs, _) = b_view.split_parts_mut(&all);
+            slice_ops::matrix_mul_into(&rows, &b_srcs, &mut b_outs);
+            for (j, b_out) in b_outs.iter_mut().enumerate() {
+                if j >= 1 {
+                    for &m in &self.design.groups()[j - 1] {
+                        slice_ops::xor_slice(b_out, &data.shard(m)[..half]);
+                    }
                 }
             }
         }

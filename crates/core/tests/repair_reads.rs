@@ -1,12 +1,17 @@
 //! The `repair_reads` contract: for every code in the registry, with only
 //! the target shard missing, `repair_into` depends on *no byte outside the
-//! declared ranges* — a caller that materialises only those ranges (zeroes
-//! elsewhere) still gets the exact shard back, and the ranges' byte total
-//! matches the repair plan's fraction pricing.
+//! declared ranges* — a caller that materialises only those ranges still
+//! gets the exact shard back, and the ranges' byte total matches the
+//! repair plan's fraction pricing.
 //!
 //! The `pbrs-store` crate's degraded reads and repair daemon read exactly
-//! these ranges from chunk files, so this test is the safety net under its
-//! partial-read I/O.
+//! these ranges from chunk files *into a scratch stripe reused across
+//! stripes*, so this test is the safety net under its partial-read I/O.
+//! Crucially, the bytes outside the declared ranges are filled with
+//! garbage, not zeros: every `repair_into` is XOR-linear, so an undeclared
+//! read of a zeroed range would contribute nothing and escape detection —
+//! garbage is what actually sits there when the store's scratch holds a
+//! previous stripe.
 
 use rand::prelude::*;
 use rand::rngs::StdRng;
@@ -53,9 +58,16 @@ fn repair_into_reads_only_the_declared_ranges() {
                 assert!(read.len > 0 && read.end() <= shard_len, "{spec}: bad range");
             }
 
-            // Materialise *only* the declared ranges; everything else stays
-            // zero (including the whole shards the plan does not touch).
+            // Materialise *only* the declared ranges; everything else is
+            // garbage (including the whole shards the plan does not touch),
+            // as in the store's reused scratch stripe. Zeros would be
+            // XOR-invisible and could not catch an undeclared read.
             let mut sparse = ShardBuffer::zeroed(n, shard_len);
+            for shard in 0..n {
+                for byte in sparse.shard_mut(shard) {
+                    *byte = rng.random();
+                }
+            }
             for read in &reads {
                 sparse.shard_mut(read.shard)[read.offset..read.end()]
                     .copy_from_slice(&stripe.shard(read.shard)[read.offset..read.end()]);

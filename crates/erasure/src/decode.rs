@@ -118,14 +118,18 @@ pub fn reconstruct_linear(
             .collect()
     };
 
-    // Re-encode every missing shard from the recovered data.
+    // Re-encode every missing shard from the recovered data in one
+    // multi-output pass over it.
     let data_refs: Vec<&[u8]> = data_shards.iter().map(|s| s.as_slice()).collect();
-    for (i, slot) in shards.iter_mut().enumerate() {
-        if slot.is_none() {
-            let mut out = vec![0u8; shard_len];
-            slice_ops::linear_combination(generator.row(i), &data_refs, &mut out);
-            *slot = Some(out);
-        }
+    let missing: Vec<usize> = (0..n).filter(|&i| shards[i].is_none()).collect();
+    let rows: Vec<&[u8]> = missing.iter().map(|&i| generator.row(i)).collect();
+    let mut rebuilt: Vec<Vec<u8>> = missing.iter().map(|_| vec![0u8; shard_len]).collect();
+    {
+        let mut outs: Vec<&mut [u8]> = rebuilt.iter_mut().map(|s| s.as_mut_slice()).collect();
+        slice_ops::matrix_mul_into(&rows, &data_refs, &mut outs);
+    }
+    for (i, shard) in missing.into_iter().zip(rebuilt) {
+        shards[i] = Some(shard);
     }
     Ok(())
 }
@@ -167,20 +171,21 @@ pub fn reconstruct_linear_in_place(
         });
     }
 
+    let missing_mask: Vec<bool> = present.iter().map(|&ok| !ok).collect();
+
     // Fast path: all data shards survive, so every missing shard is a parity
-    // and can be re-encoded straight from the data rows.
+    // and can be re-encoded straight from the data rows — all of them in
+    // one multi-output pass over the data.
     if (0..k).all(|i| present[i]) {
-        for (i, &ok) in present.iter().enumerate().skip(k) {
-            if ok {
-                continue;
-            }
-            let (target, rest) = shards.split_one_mut(i);
-            slice_ops::linear_combination_into(
-                generator.row(i),
-                (0..k).map(|j| rest.shard(j)),
-                target,
-            );
-        }
+        let rows: Vec<&[u8]> = (k..n)
+            .filter(|&i| !present[i])
+            .map(|i| generator.row(i))
+            .collect();
+        let (mut outs, survivors) = shards.split_parts_mut(&missing_mask);
+        // Survivors are listed in index order and shards 0..k are all
+        // present, so the data shards are exactly the first k entries.
+        let srcs: Vec<&[u8]> = survivors[..k].to_vec();
+        slice_ops::matrix_mul_into(&rows, &srcs, &mut outs);
         return Ok(());
     }
 
@@ -193,12 +198,14 @@ pub fn reconstruct_linear_in_place(
     let inv = sub.inverted()?;
 
     // shard_i = row_i · data and data = inv · selected, so
-    // shard_i = (row_i · inv) · selected — one combination per missing slot.
-    let mut coeffs = vec![0u8; k];
+    // shard_i = (row_i · inv) · selected — one coefficient row per missing
+    // slot, then a single multi-output pass over the selected survivors.
+    let mut coeff_rows: Vec<Vec<u8>> = Vec::new();
     for (i, &ok) in present.iter().enumerate() {
         if ok {
             continue;
         }
+        let mut coeffs = vec![0u8; k];
         for (t, c) in coeffs.iter_mut().enumerate() {
             let mut acc = 0u8;
             for j in 0..k {
@@ -206,9 +213,22 @@ pub fn reconstruct_linear_in_place(
             }
             *c = acc;
         }
-        let (target, rest) = shards.split_one_mut(i);
-        slice_ops::linear_combination_into(&coeffs, rows.iter().map(|&s| rest.shard(s)), target);
+        coeff_rows.push(coeffs);
     }
+    let (mut outs, survivors) = shards.split_parts_mut(&missing_mask);
+    // `survivors` lists present shards in index order; map each selected
+    // row's shard index to its position in that list.
+    let srcs: Vec<&[u8]> = rows
+        .iter()
+        .map(|&s| {
+            let pos = present_idx
+                .binary_search(&s)
+                .expect("selected rows are present");
+            survivors[pos]
+        })
+        .collect();
+    let row_refs: Vec<&[u8]> = coeff_rows.iter().map(|r| r.as_slice()).collect();
+    slice_ops::matrix_mul_into(&row_refs, &srcs, &mut outs);
     Ok(())
 }
 

@@ -85,8 +85,6 @@ pub struct Lrc {
     group_of: Vec<usize>,
     /// Data shard indices per group.
     groups: Vec<Vec<usize>>,
-    /// Reed–Solomon code supplying the global parities.
-    global: ReedSolomon,
     /// Full `n × k` generator matrix (identity, local XOR rows, global rows).
     generator: Matrix,
 }
@@ -158,7 +156,6 @@ impl Lrc {
             params,
             group_of,
             groups,
-            global,
             generator,
         })
     }
@@ -254,20 +251,15 @@ impl ErasureCode for Lrc {
     ) -> Result<(), CodeError> {
         validate_encode_views(data, parity, self.params, self.granularity())?;
         let l = self.lrc_params.local_groups;
-        for (gi, group) in self.groups.iter().enumerate() {
-            let out = parity.shard_mut(gi);
-            out.fill(0);
-            for &m in group {
-                slice_ops::xor_slice(out, data.shard(m));
-            }
-        }
-        for j in 0..self.lrc_params.global_parities {
-            slice_ops::linear_combination_into(
-                self.global.parity_row(j),
-                data.iter(),
-                parity.shard_mut(l + j),
-            );
-        }
+        let g = self.lrc_params.global_parities;
+        // One multi-output pass produces every parity: the local XOR rows
+        // and the global RS rows are all rows of the generator's parity
+        // block, so each data shard is read once for all l + g outputs.
+        let k = self.lrc_params.k;
+        let rows: Vec<&[u8]> = (0..l + g).map(|j| self.generator.row(k + j)).collect();
+        let srcs: Vec<&[u8]> = data.iter().collect();
+        let (mut outs, _) = parity.split_parts_mut(&vec![true; l + g]);
+        slice_ops::matrix_mul_into(&rows, &srcs, &mut outs);
         Ok(())
     }
 

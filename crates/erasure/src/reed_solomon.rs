@@ -141,13 +141,14 @@ impl ErasureCode for ReedSolomon {
         parity: &mut ShardSetMut<'_>,
     ) -> Result<(), CodeError> {
         validate_encode_views(data, parity, self.params, self.granularity())?;
-        for j in 0..self.params.parity_shards() {
-            slice_ops::linear_combination_into(
-                self.parity_row(j),
-                data.iter(),
-                parity.shard_mut(j),
-            );
-        }
+        // All r parities in one cache-blocked pass: each data shard crosses
+        // the memory bus once instead of once per parity row.
+        let rows: Vec<&[u8]> = (0..self.params.parity_shards())
+            .map(|j| self.parity_row(j))
+            .collect();
+        let srcs: Vec<&[u8]> = data.iter().collect();
+        let (mut outs, _) = parity.split_parts_mut(&vec![true; rows.len()]);
+        slice_ops::matrix_mul_into(&rows, &srcs, &mut outs);
         Ok(())
     }
 

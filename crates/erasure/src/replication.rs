@@ -7,6 +7,8 @@
 //! all schemes uniformly: replication has `k = 1`, `r = replicas − 1`, and a
 //! single-shard repair copies exactly one replica.
 
+use pbrs_gf::slice_ops;
+
 use crate::params::{validate_encode_views, validate_repair_views, validate_stripe_view};
 use crate::repair::{FetchRequest, Fraction, RepairPlan};
 use crate::views::{ShardSet, ShardSetMut};
@@ -80,9 +82,15 @@ impl ErasureCode for Replication {
         parity: &mut ShardSetMut<'_>,
     ) -> Result<(), CodeError> {
         validate_encode_views(data, parity, self.params, self.granularity())?;
-        for j in 0..self.params.parity_shards() {
-            parity.shard_mut(j).copy_from_slice(data.shard(0));
-        }
+        // Replication is the k = 1 identity-coefficient matrix product;
+        // the shared kernel routes all-unit matrices to its copy shortcut
+        // on every backend, so this costs exactly the memcpys it always
+        // did while keeping every code on the one encode path.
+        let rows: Vec<&[u8]> = (0..self.params.parity_shards())
+            .map(|_| &[1u8][..])
+            .collect();
+        let (mut outs, _) = parity.split_parts_mut(&vec![true; rows.len()]);
+        slice_ops::matrix_mul_into(&rows, &[data.shard(0)], &mut outs);
         Ok(())
     }
 

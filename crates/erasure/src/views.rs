@@ -284,6 +284,48 @@ impl<'a> ShardSetMut<'a> {
         )
     }
 
+    /// Splits the view into the shards selected by `take` (mutably, in
+    /// index order) and every other shard (shared, in index order) — the
+    /// shape of a multi-output kernel call: write several shards at once
+    /// while reading the rest.
+    ///
+    /// This generalises [`ShardSetMut::split_one_mut`] to any number of
+    /// targets; a caller rebuilding several missing shards (or encoding all
+    /// parities) hands the mutable side to
+    /// [`pbrs_gf::slice_ops::matrix_mul_into`] and feeds the shared side as
+    /// sources. The borrows are carved out of the backing buffer with
+    /// `split_at_mut`, so no `unsafe` is involved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `take.len() != shard_count()`.
+    pub fn split_parts_mut(&mut self, take: &[bool]) -> (Vec<&mut [u8]>, Vec<&[u8]>) {
+        assert_eq!(
+            take.len(),
+            self.shards,
+            "one take flag is required per shard"
+        );
+        let mut taken = Vec::new();
+        let mut rest = Vec::new();
+        // Walk the buffer carving each shard's viewed range; `consumed`
+        // tracks how much of the original buffer precedes `remaining`.
+        let mut remaining: &mut [u8] = self.buf;
+        let mut consumed = 0usize;
+        for (i, &wanted) in take.iter().enumerate() {
+            let start = i * self.stride + self.offset;
+            let (_, from_start) = std::mem::take(&mut remaining).split_at_mut(start - consumed);
+            let (shard, after) = from_start.split_at_mut(self.shard_len);
+            if wanted {
+                taken.push(shard);
+            } else {
+                rest.push(shard as &[u8]);
+            }
+            remaining = after;
+            consumed = start + self.shard_len;
+        }
+        (taken, rest)
+    }
+
     /// A mutable view of the byte range `offset..offset + len` of every
     /// shard (used to address one substripe of a multi-substripe code).
     ///
@@ -579,6 +621,47 @@ mod tests {
         mid.copy_from_slice(&[7, 7, 7]);
         assert_eq!(&buf[9..12], &[7, 7, 7]);
         assert_eq!(&buf[6..9], &[6, 7, 8], "the left half is untouched");
+    }
+
+    #[test]
+    fn split_parts_mut_separates_targets_from_sources() {
+        let mut buf: Vec<u8> = (0..20u8).collect();
+        let mut set = ShardSetMut::new(&mut buf, 5, 4).unwrap();
+        let (mut taken, rest) = set.split_parts_mut(&[false, true, false, true, false]);
+        assert_eq!(taken.len(), 2);
+        assert_eq!(rest.len(), 3);
+        assert_eq!(&*taken[0], &[4, 5, 6, 7]);
+        assert_eq!(&*taken[1], &[12, 13, 14, 15]);
+        assert_eq!(rest[0], &[0, 1, 2, 3]);
+        assert_eq!(rest[2], &[16, 17, 18, 19]);
+        taken[0].fill(0xAA);
+        taken[1].copy_from_slice(rest[1]);
+        drop(taken);
+        assert_eq!(&buf[4..8], &[0xAA; 4]);
+        assert_eq!(&buf[12..16], &[8, 9, 10, 11]);
+    }
+
+    #[test]
+    fn split_parts_mut_on_narrowed_view() {
+        // 3 shards of 6 bytes, narrowed to the middle 2 bytes of each.
+        let mut buf: Vec<u8> = (0..18u8).collect();
+        let mut set = ShardSetMut::new(&mut buf, 3, 6).unwrap();
+        let mut mid = set.narrow_mut(2, 2);
+        let (taken, rest) = mid.split_parts_mut(&[true, false, true]);
+        assert_eq!(&*taken[0], &[2, 3]);
+        assert_eq!(&*taken[1], &[14, 15]);
+        assert_eq!(rest, vec![&[8u8, 9][..]]);
+        drop(taken);
+        // Bytes outside the narrowed window are untouched and readable.
+        assert_eq!(&buf[..2], &[0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one take flag is required per shard")]
+    fn split_parts_mut_rejects_wrong_mask_width() {
+        let mut buf = vec![0u8; 8];
+        let mut set = ShardSetMut::new(&mut buf, 2, 4).unwrap();
+        let _ = set.split_parts_mut(&[true]);
     }
 
     #[test]

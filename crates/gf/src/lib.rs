@@ -11,11 +11,34 @@
 //! * [`tables`] — exp/log tables for the `x^8 + x^4 + x^3 + x^2 + 1`
 //!   (`0x11D`) polynomial, built at compile time.
 //! * [`slice_ops`] — bulk kernels (`mul_slice`, `mul_add_slice`,
-//!   `xor_slice`) used by the encoders on whole shards.
+//!   `xor_slice`, and the multi-output [`slice_ops::matrix_mul_into`])
+//!   used by the encoders on whole shards.
+//! * [`backend`] — runtime selection of the bulk-kernel implementation
+//!   (scalar lookup / portable SWAR / x86-64 `pshufb` SIMD).
 //! * [`matrix`] — dense matrices over GF(2^8): multiplication,
 //!   Gauss–Jordan inversion, rank, Vandermonde and Cauchy constructors.
 //! * [`poly`] — polynomials over GF(2^8) (evaluation, Lagrange
 //!   interpolation) used to cross-check the Reed–Solomon construction.
+//!
+//! # Kernel backends
+//!
+//! The shard-sized kernels in [`slice_ops`] dispatch at runtime to the
+//! fastest implementation the CPU supports:
+//!
+//! | backend  | technique                                | availability |
+//! |----------|------------------------------------------|--------------|
+//! | `scalar` | 256-entry lookup row per coefficient     | always (oracle) |
+//! | `swar`   | bit-sliced lane-parallel blocks (SWAR)   | always |
+//! | `ssse3`  | `pshufb` split-nibble tables, 16 B/step  | x86-64 with SSSE3 |
+//! | `avx2`   | `vpshufb` split-nibble tables, 32 B/step | x86-64 with AVX2 |
+//!
+//! Selection happens once per process: set `PBRS_GF_BACKEND` to `scalar`,
+//! `swar`, `ssse3`, `avx2` or `auto` to pin a backend (unsupported choices
+//! fall back to auto-detection); otherwise the best supported backend wins.
+//! All backends produce bit-identical results — the scalar path is the
+//! oracle the others are property-tested against. See [`backend`] for the
+//! full policy and [`backend::force`] for programmatic switching in
+//! benchmarks.
 //!
 //! # Example
 //!
@@ -31,15 +54,22 @@
 //! assert_eq!(a * a.inverse().unwrap(), Gf256::ONE);
 //! ```
 
-#![forbid(unsafe_code)]
+// `unsafe` is denied everywhere except the `simd` module, which needs it
+// for `core::arch` intrinsics and carries per-block SAFETY justifications.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod gf256;
 pub mod matrix;
 pub mod poly;
+#[cfg(target_arch = "x86_64")]
+mod simd;
 pub mod slice_ops;
+mod swar;
 pub mod tables;
 
+pub use backend::Backend;
 pub use gf256::Gf256;
 pub use matrix::Matrix;
 pub use poly::Polynomial;

@@ -1,0 +1,216 @@
+//! x86-64 `pshufb` split-nibble GF(2^8) kernels (SSSE3 and AVX2).
+//!
+//! The classic vectorised multiply from Intel ISA-L and Plank et al.'s
+//! "Screaming Fast Galois Field Arithmetic Using Intel SIMD Instructions":
+//! for a fixed scalar `c`, precompute two 16-entry tables
+//!
+//! * `lo[x] = c · x` for the low nibble `x` in `0..16`, and
+//! * `hi[x] = c · (x << 4)` for the high nibble,
+//!
+//! so that `c · byte = lo[byte & 0xF] ⊕ hi[byte >> 4]`. `pshufb` performs
+//! sixteen (SSSE3) or thirty-two (AVX2, two 128-bit lanes) of those table
+//! lookups per instruction, turning the whole multiply-accumulate into a
+//! handful of loads, shuffles and XORs per 16/32-byte block.
+//!
+//! # Safety
+//!
+//! This is the only module in the crate that uses `unsafe`: the intrinsics
+//! need raw-pointer loads/stores and the `#[target_feature]` functions must
+//! only run on CPUs that support the feature. Both obligations are
+//! discharged locally — every pointer is derived from an in-bounds slice
+//! range, and the public wrappers are only reachable through
+//! [`crate::backend`] dispatch, which verifies the feature at runtime with
+//! `is_x86_feature_detected!` (debug-asserted again here).
+
+#![allow(unsafe_code)]
+
+use core::arch::x86_64::{
+    __m128i, __m256i, _mm256_and_si256, _mm256_broadcastsi128_si256, _mm256_loadu_si256,
+    _mm256_set1_epi8, _mm256_shuffle_epi8, _mm256_srli_epi64, _mm256_storeu_si256,
+    _mm256_xor_si256, _mm_and_si128, _mm_loadu_si128, _mm_set1_epi8, _mm_shuffle_epi8,
+    _mm_srli_epi64, _mm_storeu_si128, _mm_xor_si128,
+};
+
+use crate::tables;
+
+/// The two 16-entry half-byte product tables for one scalar.
+struct NibbleTables {
+    lo: [u8; 16],
+    hi: [u8; 16],
+}
+
+#[inline]
+fn nibble_tables(c: u8) -> NibbleTables {
+    let mut lo = [0u8; 16];
+    let mut hi = [0u8; 16];
+    for x in 0..16u8 {
+        lo[x as usize] = tables::mul(c, x);
+        hi[x as usize] = tables::mul(c, x << 4);
+    }
+    NibbleTables { lo, hi }
+}
+
+/// `dst[i] ^= c * src[i]` on SSSE3; `c` must not be 0 or 1.
+pub(crate) fn mul_add_ssse3(c: u8, src: &[u8], dst: &mut [u8]) {
+    debug_assert!(std::arch::is_x86_feature_detected!("ssse3"));
+    // SAFETY: the dispatcher only selects this backend after runtime
+    // detection confirmed SSSE3 (debug-asserted above).
+    unsafe { ssse3_kernel::<true>(&nibble_tables(c), src, dst) }
+    tail_scalar::<true>(c, src, dst, src.len() - src.len() % 16);
+}
+
+/// `dst[i] = c * src[i]` on SSSE3; `c` must not be 0 or 1.
+pub(crate) fn mul_ssse3(c: u8, src: &[u8], dst: &mut [u8]) {
+    debug_assert!(std::arch::is_x86_feature_detected!("ssse3"));
+    // SAFETY: as in `mul_add_ssse3`.
+    unsafe { ssse3_kernel::<false>(&nibble_tables(c), src, dst) }
+    tail_scalar::<false>(c, src, dst, src.len() - src.len() % 16);
+}
+
+/// `dst[i] ^= c * src[i]` on AVX2; `c` must not be 0 or 1.
+pub(crate) fn mul_add_avx2(c: u8, src: &[u8], dst: &mut [u8]) {
+    debug_assert!(std::arch::is_x86_feature_detected!("avx2"));
+    // SAFETY: as in `mul_add_ssse3`, for the AVX2 feature.
+    unsafe { avx2_kernel::<true>(&nibble_tables(c), src, dst) }
+    tail_scalar::<true>(c, src, dst, src.len() - src.len() % 32);
+}
+
+/// `dst[i] = c * src[i]` on AVX2; `c` must not be 0 or 1.
+pub(crate) fn mul_avx2(c: u8, src: &[u8], dst: &mut [u8]) {
+    debug_assert!(std::arch::is_x86_feature_detected!("avx2"));
+    // SAFETY: as in `mul_add_ssse3`, for the AVX2 feature.
+    unsafe { avx2_kernel::<false>(&nibble_tables(c), src, dst) }
+    tail_scalar::<false>(c, src, dst, src.len() - src.len() % 32);
+}
+
+/// Finishes the sub-vector tail starting at `from` with scalar lookups.
+#[inline]
+fn tail_scalar<const ACCUMULATE: bool>(c: u8, src: &[u8], dst: &mut [u8], from: usize) {
+    for (s, d) in src[from..].iter().zip(dst[from..].iter_mut()) {
+        if ACCUMULATE {
+            *d ^= tables::mul(c, *s);
+        } else {
+            *d = tables::mul(c, *s);
+        }
+    }
+}
+
+/// # Safety
+///
+/// Requires SSSE3. `src` and `dst` must have equal lengths.
+#[target_feature(enable = "ssse3")]
+unsafe fn ssse3_kernel<const ACCUMULATE: bool>(t: &NibbleTables, src: &[u8], dst: &mut [u8]) {
+    debug_assert_eq!(src.len(), dst.len());
+    // SAFETY: the table arrays are 16 bytes, exactly one unaligned load.
+    let lo_t = unsafe { _mm_loadu_si128(t.lo.as_ptr().cast::<__m128i>()) };
+    let hi_t = unsafe { _mm_loadu_si128(t.hi.as_ptr().cast::<__m128i>()) };
+    let mask = _mm_set1_epi8(0x0F);
+    let blocks = src.len() / 16;
+    for block in 0..blocks {
+        let at = block * 16;
+        // SAFETY: `at + 16 <= src.len() == dst.len()`, so every 16-byte
+        // unaligned load/store below stays inside the slices.
+        unsafe {
+            let v = _mm_loadu_si128(src.as_ptr().add(at).cast::<__m128i>());
+            let lo = _mm_and_si128(v, mask);
+            let hi = _mm_and_si128(_mm_srli_epi64::<4>(v), mask);
+            let product = _mm_xor_si128(_mm_shuffle_epi8(lo_t, lo), _mm_shuffle_epi8(hi_t, hi));
+            let out = dst.as_mut_ptr().add(at).cast::<__m128i>();
+            let value = if ACCUMULATE {
+                _mm_xor_si128(_mm_loadu_si128(out), product)
+            } else {
+                product
+            };
+            _mm_storeu_si128(out, value);
+        }
+    }
+}
+
+/// # Safety
+///
+/// Requires AVX2. `src` and `dst` must have equal lengths.
+#[target_feature(enable = "avx2")]
+unsafe fn avx2_kernel<const ACCUMULATE: bool>(t: &NibbleTables, src: &[u8], dst: &mut [u8]) {
+    debug_assert_eq!(src.len(), dst.len());
+    // SAFETY: 16-byte table loads, then broadcast into both 128-bit lanes
+    // (vpshufb looks up within each lane independently).
+    let lo_t: __m256i =
+        unsafe { _mm256_broadcastsi128_si256(_mm_loadu_si128(t.lo.as_ptr().cast::<__m128i>())) };
+    let hi_t: __m256i =
+        unsafe { _mm256_broadcastsi128_si256(_mm_loadu_si128(t.hi.as_ptr().cast::<__m128i>())) };
+    let mask = _mm256_set1_epi8(0x0F);
+    let blocks = src.len() / 32;
+    for block in 0..blocks {
+        let at = block * 32;
+        // SAFETY: `at + 32 <= src.len() == dst.len()`, so every 32-byte
+        // unaligned load/store below stays inside the slices.
+        unsafe {
+            let v = _mm256_loadu_si256(src.as_ptr().add(at).cast::<__m256i>());
+            let lo = _mm256_and_si256(v, mask);
+            let hi = _mm256_and_si256(_mm256_srli_epi64::<4>(v), mask);
+            let product =
+                _mm256_xor_si256(_mm256_shuffle_epi8(lo_t, lo), _mm256_shuffle_epi8(hi_t, hi));
+            let out = dst.as_mut_ptr().add(at).cast::<__m256i>();
+            let value = if ACCUMULATE {
+                _mm256_xor_si256(_mm256_loadu_si256(out), product)
+            } else {
+                product
+            };
+            _mm256_storeu_si256(out, value);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn buf(n: usize, seed: u8) -> Vec<u8> {
+        (0..n)
+            .map(|i| (i as u8).wrapping_mul(41).wrapping_add(seed))
+            .collect()
+    }
+
+    #[test]
+    fn nibble_tables_compose_the_full_product() {
+        for c in [2u8, 0x1D, 0x53, 0xFF] {
+            let t = nibble_tables(c);
+            for x in 0..=255u8 {
+                let via_tables = t.lo[(x & 0x0F) as usize] ^ t.hi[(x >> 4) as usize];
+                assert_eq!(via_tables, tables::mul(c, x), "c={c} x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn simd_kernels_match_scalar_on_awkward_lengths() {
+        for len in [1usize, 15, 16, 17, 31, 32, 33, 100, 255] {
+            let src = buf(len, 7);
+            for c in [2u8, 0x1D, 0x8E, 0xFF] {
+                let expect_mul: Vec<u8> = src.iter().map(|&s| tables::mul(c, s)).collect();
+                if std::arch::is_x86_feature_detected!("ssse3") {
+                    let mut dst = buf(len, 31);
+                    let base = dst.clone();
+                    mul_add_ssse3(c, &src, &mut dst);
+                    for i in 0..len {
+                        assert_eq!(dst[i], base[i] ^ expect_mul[i], "ssse3 len={len} c={c}");
+                    }
+                    let mut out = vec![0xAAu8; len];
+                    mul_ssse3(c, &src, &mut out);
+                    assert_eq!(out, expect_mul);
+                }
+                if std::arch::is_x86_feature_detected!("avx2") {
+                    let mut dst = buf(len, 31);
+                    let base = dst.clone();
+                    mul_add_avx2(c, &src, &mut dst);
+                    for i in 0..len {
+                        assert_eq!(dst[i], base[i] ^ expect_mul[i], "avx2 len={len} c={c}");
+                    }
+                    let mut out = vec![0xAAu8; len];
+                    mul_avx2(c, &src, &mut out);
+                    assert_eq!(out, expect_mul);
+                }
+            }
+        }
+    }
+}

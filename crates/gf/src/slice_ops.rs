@@ -1,12 +1,73 @@
 //! Bulk kernels over byte slices.
 //!
 //! Erasure-code encode/decode is dominated by operations of the form
-//! `dst ^= c * src` applied to whole shards. These kernels use a per-scalar
-//! 256-entry lookup row so the inner loop is a single table lookup and XOR
-//! per byte, which is the classic software approach used by HDFS-RAID and
-//! Jerasure.
+//! `dst ^= c * src` applied to whole shards. Each kernel here exists in
+//! several implementations — a per-byte 256-entry lookup oracle, a portable
+//! bit-sliced SWAR path, and x86-64 `pshufb` split-nibble paths — selected at
+//! runtime by [`crate::backend`] (overridable with the `PBRS_GF_BACKEND`
+//! environment variable). The default functions dispatch to the active
+//! backend; each also has a `*_using` twin taking an explicit [`Backend`],
+//! which benchmarks and the cross-backend equivalence tests use to compare
+//! implementations without touching process-global state.
+//!
+//! For encoding, [`matrix_mul_into`] is the preferred entry point: it
+//! produces *all* output shards of a generator-matrix product in one pass
+//! over the sources, walking L1-sized column blocks so each source byte is
+//! read from memory once instead of once per output.
 
+use crate::backend::{self, Backend};
+use crate::swar;
 use crate::tables;
+
+#[cfg(target_arch = "x86_64")]
+use crate::simd;
+
+/// Column-block width of [`matrix_mul_into`], in bytes.
+///
+/// Sized so one source block plus the output blocks of a wide code
+/// (`r = 4` parities and then some) stay resident in a 32 KiB L1d cache
+/// while the kernels stream over them.
+pub const MATRIX_BLOCK: usize = 4096;
+
+#[inline]
+fn mul_add_kernel(backend: Backend, c: u8, src: &[u8], dst: &mut [u8]) {
+    debug_assert!(c > 1, "dispatcher handles 0 and 1");
+    match backend {
+        Backend::Scalar => {
+            let row = tables::mul_row(c);
+            for (d, s) in dst.iter_mut().zip(src.iter()) {
+                *d ^= row[*s as usize];
+            }
+        }
+        Backend::Swar => swar::mul_add_slice(c, src, dst),
+        #[cfg(target_arch = "x86_64")]
+        Backend::Ssse3 => simd::mul_add_ssse3(c, src, dst),
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => simd::mul_add_avx2(c, src, dst),
+        #[cfg(not(target_arch = "x86_64"))]
+        Backend::Ssse3 | Backend::Avx2 => swar::mul_add_slice(c, src, dst),
+    }
+}
+
+#[inline]
+fn mul_kernel(backend: Backend, c: u8, src: &[u8], dst: &mut [u8]) {
+    debug_assert!(c > 1, "dispatcher handles 0 and 1");
+    match backend {
+        Backend::Scalar => {
+            let row = tables::mul_row(c);
+            for (d, s) in dst.iter_mut().zip(src.iter()) {
+                *d = row[*s as usize];
+            }
+        }
+        Backend::Swar => swar::mul_slice(c, src, dst),
+        #[cfg(target_arch = "x86_64")]
+        Backend::Ssse3 => simd::mul_ssse3(c, src, dst),
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => simd::mul_avx2(c, src, dst),
+        #[cfg(not(target_arch = "x86_64"))]
+        Backend::Ssse3 | Backend::Avx2 => swar::mul_slice(c, src, dst),
+    }
+}
 
 /// `dst[i] ^= src[i]` for all `i`.
 ///
@@ -16,18 +77,26 @@ use crate::tables;
 #[inline]
 pub fn xor_slice(dst: &mut [u8], src: &[u8]) {
     assert_eq!(dst.len(), src.len(), "xor_slice length mismatch");
-    for (d, s) in dst.iter_mut().zip(src.iter()) {
-        *d ^= *s;
-    }
+    swar::xor_slice(dst, src);
 }
 
-/// `dst[i] = c * src[i]` for all `i`.
+/// `dst[i] = c * src[i]` for all `i`, on the active backend.
 ///
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
 #[inline]
 pub fn mul_slice(c: u8, src: &[u8], dst: &mut [u8]) {
+    mul_slice_using(backend::active(), c, src, dst);
+}
+
+/// [`mul_slice`] on an explicitly chosen backend.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn mul_slice_using(backend: Backend, c: u8, src: &[u8], dst: &mut [u8]) {
     assert_eq!(dst.len(), src.len(), "mul_slice length mismatch");
     if c == 0 {
         dst.fill(0);
@@ -37,32 +106,36 @@ pub fn mul_slice(c: u8, src: &[u8], dst: &mut [u8]) {
         dst.copy_from_slice(src);
         return;
     }
-    let row = tables::mul_row(c);
-    for (d, s) in dst.iter_mut().zip(src.iter()) {
-        *d = row[*s as usize];
-    }
+    mul_kernel(backend, c, src, dst);
 }
 
 /// `dst[i] ^= c * src[i]` for all `i` — the fused multiply-accumulate used by
-/// matrix-vector products over shards.
+/// matrix-vector products over shards — on the active backend.
 ///
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
 #[inline]
 pub fn mul_add_slice(c: u8, src: &[u8], dst: &mut [u8]) {
+    mul_add_slice_using(backend::active(), c, src, dst);
+}
+
+/// [`mul_add_slice`] on an explicitly chosen backend.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn mul_add_slice_using(backend: Backend, c: u8, src: &[u8], dst: &mut [u8]) {
     assert_eq!(dst.len(), src.len(), "mul_add_slice length mismatch");
     if c == 0 {
         return;
     }
     if c == 1 {
-        xor_slice(dst, src);
+        swar::xor_slice(dst, src);
         return;
     }
-    let row = tables::mul_row(c);
-    for (d, s) in dst.iter_mut().zip(src.iter()) {
-        *d ^= row[*s as usize];
-    }
+    mul_add_kernel(backend, c, src, dst);
 }
 
 /// Multiply a slice by `c` in place.
@@ -75,14 +148,24 @@ pub fn mul_slice_in_place(c: u8, data: &mut [u8]) {
     if c == 1 {
         return;
     }
-    let row = tables::mul_row(c);
-    for d in data.iter_mut() {
-        *d = row[*d as usize];
+    match backend::active() {
+        Backend::Scalar => {
+            let row = tables::mul_row(c);
+            for d in data.iter_mut() {
+                *d = row[*d as usize];
+            }
+        }
+        // The in-place form is only used on matrix-sized rows, never on
+        // shard-sized buffers; the SWAR word loop is plenty there.
+        _ => swar::mul_slice_in_place(c, data),
     }
 }
 
 /// Computes `out[i] = Σ_j coeffs[j] * srcs[j][i]`, i.e. one output shard as a
 /// linear combination of input shards.
+///
+/// For producing *several* outputs from the same sources (an encode), prefer
+/// [`matrix_mul_into`], which reads each source once for all outputs.
 ///
 /// # Panics
 ///
@@ -120,6 +203,23 @@ where
     accumulate_combination(coeffs, srcs, out);
 }
 
+/// [`linear_combination_into`] on an explicitly chosen backend.
+///
+/// # Panics
+///
+/// Same conditions as [`linear_combination_into`].
+pub fn linear_combination_into_using<'a, I>(
+    backend: Backend,
+    coeffs: &[u8],
+    srcs: I,
+    out: &mut [u8],
+) where
+    I: IntoIterator<Item = &'a [u8]>,
+{
+    out.fill(0);
+    accumulate_combination_using(backend, coeffs, srcs, out);
+}
+
 /// Computes `out[i] ^= Σ_j coeffs[j] * srcs_j[i]`, accumulating a linear
 /// combination of source shards onto an existing output.
 ///
@@ -134,18 +234,125 @@ pub fn accumulate_combination<'a, I>(coeffs: &[u8], srcs: I, out: &mut [u8])
 where
     I: IntoIterator<Item = &'a [u8]>,
 {
+    accumulate_combination_using(backend::active(), coeffs, srcs, out);
+}
+
+/// [`accumulate_combination`] on an explicitly chosen backend.
+///
+/// # Panics
+///
+/// Same conditions as [`accumulate_combination`].
+pub fn accumulate_combination_using<'a, I>(backend: Backend, coeffs: &[u8], srcs: I, out: &mut [u8])
+where
+    I: IntoIterator<Item = &'a [u8]>,
+{
     let mut remaining = coeffs.iter();
     for src in srcs {
         let &c = remaining
             .next()
             .expect("more source shards than coefficients");
-        mul_add_slice(c, src, out);
+        mul_add_slice_using(backend, c, src, out);
     }
     assert_eq!(
         remaining.len(),
         0,
         "one source shard is required per coefficient"
     );
+}
+
+/// Computes every output shard of a generator-matrix product in one
+/// cache-blocked pass: `outs[i] = Σ_j rows[i][j] * srcs[j]`.
+///
+/// `rows[i]` holds the coefficient row of output `i` (one coefficient per
+/// source). This is the encode kernel: where a row-at-a-time loop reads the
+/// `k` source shards once *per parity*, this walks the shards in
+/// [`MATRIX_BLOCK`]-sized column blocks and applies every row to each
+/// source block while it is hot in L1 — the sources cross the memory bus
+/// once for all `r` outputs. Prior contents of `outs` are overwritten.
+///
+/// # Panics
+///
+/// Panics if `rows.len() != outs.len()`, if any row's length differs from
+/// `srcs.len()`, or if any source or output length differs.
+pub fn matrix_mul_into(rows: &[&[u8]], srcs: &[&[u8]], outs: &mut [&mut [u8]]) {
+    matrix_mul_into_using(backend::active(), rows, srcs, outs);
+}
+
+/// [`matrix_mul_into`] on an explicitly chosen backend.
+///
+/// # Panics
+///
+/// Same conditions as [`matrix_mul_into`].
+pub fn matrix_mul_into_using(
+    backend: Backend,
+    rows: &[&[u8]],
+    srcs: &[&[u8]],
+    outs: &mut [&mut [u8]],
+) {
+    assert_eq!(
+        rows.len(),
+        outs.len(),
+        "one coefficient row is required per output shard"
+    );
+    for row in rows {
+        assert_eq!(
+            row.len(),
+            srcs.len(),
+            "one coefficient is required per source shard"
+        );
+    }
+    let Some(len) = outs.first().map(|o| o.len()) else {
+        return;
+    };
+    for out in outs.iter() {
+        assert_eq!(out.len(), len, "output shard length mismatch");
+    }
+    for src in srcs {
+        assert_eq!(src.len(), len, "source shard length mismatch");
+    }
+    if srcs.is_empty() {
+        for out in outs.iter_mut() {
+            out.fill(0);
+        }
+        return;
+    }
+    let swar_multi = match backend {
+        Backend::Swar => true,
+        #[cfg(not(target_arch = "x86_64"))]
+        Backend::Ssse3 | Backend::Avx2 => true,
+        _ => false,
+    };
+    // Matrices of only 0/1 coefficients (replication, plain XOR parities)
+    // reduce entirely to the copy/XOR shortcuts of the generic path; the
+    // plane-sharing kernel would only add zeroing and accumulate passes.
+    let swar_multi = swar_multi && rows.iter().any(|row| row.iter().any(|&c| c > 1));
+    if swar_multi {
+        // The bit-sliced backend has a dedicated multi-output kernel that
+        // shares each source block's doubling chain across every output.
+        for out in outs.iter_mut() {
+            out.fill(0);
+        }
+        swar::matrix_mul_add(rows, srcs, outs);
+        return;
+    }
+    let mut start = 0;
+    while start < len {
+        let end = len.min(start + MATRIX_BLOCK);
+        for (j, src) in srcs.iter().enumerate() {
+            let src_block = &src[start..end];
+            for (row, out) in rows.iter().zip(outs.iter_mut()) {
+                let out_block = &mut out[start..end];
+                if j == 0 {
+                    // First source initialises the block (also zeroing it
+                    // when the leading coefficient is 0).
+                    mul_slice_using(backend, row[0], src_block, out_block);
+                } else {
+                    mul_add_slice_using(backend, row[j], src_block, out_block);
+                }
+            }
+        }
+        start = end;
+    }
 }
 
 /// Dot product of two equal-length byte vectors interpreted as GF(2^8)
@@ -208,6 +415,25 @@ mod tests {
             mul_add_slice(c, &src, &mut dst);
             for i in 0..src.len() {
                 assert_eq!(dst[i], before[i] ^ tables::mul(c, src[i]));
+            }
+        }
+    }
+
+    #[test]
+    fn every_supported_backend_agrees_with_the_oracle() {
+        let src = buf(1000, 13);
+        for backend in crate::backend::supported() {
+            for c in [0u8, 1, 2, 0x1D, 0x8E, 0xFF] {
+                let mut expect = buf(1000, 55);
+                let mut got = expect.clone();
+                mul_add_slice_using(Backend::Scalar, c, &src, &mut expect);
+                mul_add_slice_using(backend, c, &src, &mut got);
+                assert_eq!(got, expect, "mul_add backend={backend} c={c}");
+                let mut expect = vec![0u8; 1000];
+                let mut got = vec![0xEEu8; 1000];
+                mul_slice_using(Backend::Scalar, c, &src, &mut expect);
+                mul_slice_using(backend, c, &src, &mut got);
+                assert_eq!(got, expect, "mul backend={backend} c={c}");
             }
         }
     }
@@ -285,6 +511,62 @@ mod tests {
         let s2 = buf(8, 2);
         let mut out = vec![0u8; 8];
         linear_combination_into(&[1u8], [&s1[..], &s2[..]], &mut out);
+    }
+
+    #[test]
+    fn matrix_mul_matches_row_at_a_time() {
+        // Shard length deliberately larger than one block and not a
+        // multiple of it, so the block walk crosses boundaries.
+        let len = MATRIX_BLOCK + 321;
+        let srcs_owned: Vec<Vec<u8>> = (0..5).map(|i| buf(len, i as u8 * 7 + 1)).collect();
+        let srcs: Vec<&[u8]> = srcs_owned.iter().map(|s| s.as_slice()).collect();
+        let rows_owned: Vec<Vec<u8>> = vec![
+            vec![1, 2, 3, 4, 5],
+            vec![0, 0, 0, 0, 0],
+            vec![0x1D, 0, 1, 0xFF, 0x8E],
+        ];
+        let rows: Vec<&[u8]> = rows_owned.iter().map(|r| r.as_slice()).collect();
+
+        let mut expect: Vec<Vec<u8>> = rows.iter().map(|_| vec![0u8; len]).collect();
+        for (row, out) in rows.iter().zip(expect.iter_mut()) {
+            linear_combination(row, &srcs, out);
+        }
+
+        for backend in crate::backend::supported() {
+            let mut outs_owned: Vec<Vec<u8>> = rows.iter().map(|_| vec![0xABu8; len]).collect();
+            {
+                let mut outs: Vec<&mut [u8]> =
+                    outs_owned.iter_mut().map(|o| o.as_mut_slice()).collect();
+                matrix_mul_into_using(backend, &rows, &srcs, &mut outs);
+            }
+            assert_eq!(outs_owned, expect, "backend={backend}");
+        }
+    }
+
+    #[test]
+    fn matrix_mul_edge_shapes() {
+        // No outputs: nothing to do, no shape panic.
+        matrix_mul_into(&[], &[&[1u8, 2][..]], &mut []);
+        // No sources: outputs are zeroed.
+        let mut out = [0x55u8; 9];
+        matrix_mul_into(&[&[][..]], &[], &mut [&mut out[..]]);
+        assert!(out.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "one coefficient row is required per output shard")]
+    fn matrix_mul_rejects_row_output_mismatch() {
+        let src = [1u8, 2];
+        let mut out = [0u8; 2];
+        matrix_mul_into(&[&[1u8][..], &[2u8][..]], &[&src[..]], &mut [&mut out[..]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one coefficient is required per source shard")]
+    fn matrix_mul_rejects_row_width_mismatch() {
+        let src = [1u8, 2];
+        let mut out = [0u8; 2];
+        matrix_mul_into(&[&[1u8, 2][..]], &[&src[..]], &mut [&mut out[..]]);
     }
 
     #[test]

@@ -1,0 +1,257 @@
+//! Portable bit-sliced GF(2^8) kernels — the `swar` backend.
+//!
+//! Multiplication by a fixed scalar `c` is a shift-and-add ("Russian
+//! peasant") product: walk the set bits of `c`, XOR-accumulating a running
+//! copy of the source that is doubled (multiplied by `x`, i.e. shifted and
+//! conditionally reduced by the field polynomial) between bits. The trick
+//! is to hoist that walk *outside* a 128-byte block: every step then becomes
+//! a straight-line pass of byte-wise shifts, masks and XORs over a small
+//! fixed-size buffer — lane-parallel arithmetic with no lookups, no
+//! branches on data, and no cross-lane carries, which the compiler lowers
+//! to whatever wide registers the target guarantees (SSE2 on x86-64, NEON
+//! on aarch64, plain u64 words elsewhere).
+//!
+//! This is the same split-by-bits decomposition the `pshufb` nibble tables
+//! in `crate::simd` exploit, taken to the bit level so it needs no
+//! shuffle instruction — always available, and the second rung of the
+//! dispatch ladder in [`crate::backend`] above the scalar lookup oracle.
+
+use crate::tables;
+
+/// Bytes per bit-sliced block — wide enough to amortise per-block setup,
+/// small enough that the eight doubled planes (`8 × BLOCK` bytes) stay
+/// L1-resident (128 measured fastest of 32/64/128/256 in the
+/// `gf_kernels` bench; the numbers land in `BENCH_gf_kernels.json`).
+const BLOCK: usize = 128;
+
+/// One doubling pass: `cur[i] = x · cur[i]` in GF(2^8) for every lane.
+///
+/// The high bit selects the polynomial reduction: `(b << 1) ^ 0x1D` when
+/// bit 7 was set, `b << 1` otherwise. `(b as i8) >> 7` broadcasts that bit
+/// to a full-byte mask without a branch.
+#[inline(always)]
+fn double_block(cur: &mut [u8; BLOCK]) {
+    for b in cur.iter_mut() {
+        let reduce = ((*b as i8) >> 7) as u8;
+        *b = (*b << 1) ^ (reduce & (tables::POLYNOMIAL as u8));
+    }
+}
+
+/// `dst[i] = x · src[i]` — the out-of-place twin of [`double_block`], used
+/// to build a chain of doubled planes without an intermediate copy.
+#[inline(always)]
+fn double_block_into(src: &[u8; BLOCK], dst: &mut [u8; BLOCK]) {
+    for (d, s) in dst.iter_mut().zip(src.iter()) {
+        let reduce = ((*s as i8) >> 7) as u8;
+        *d = (*s << 1) ^ (reduce & (tables::POLYNOMIAL as u8));
+    }
+}
+
+/// `acc[i] ^= c * src[i]` over one block (`acc` carries the caller's prior
+/// contents, so the accumulate comes for free).
+#[inline(always)]
+fn mul_block(c: u8, src: &[u8; BLOCK], acc: &mut [u8; BLOCK]) {
+    let mut cur = *src;
+    let mut bits = c;
+    loop {
+        if bits & 1 != 0 {
+            for (a, v) in acc.iter_mut().zip(cur.iter()) {
+                *a ^= *v;
+            }
+        }
+        bits >>= 1;
+        if bits == 0 {
+            return;
+        }
+        double_block(&mut cur);
+    }
+}
+
+/// `dst[i] ^= c * src[i]`; `c` must not be 0 or 1 (the dispatcher
+/// short-circuits those).
+pub(crate) fn mul_add_slice(c: u8, src: &[u8], dst: &mut [u8]) {
+    debug_assert_eq!(src.len(), dst.len());
+    let mut src_blocks = src.chunks_exact(BLOCK);
+    let mut dst_blocks = dst.chunks_exact_mut(BLOCK);
+    for (s, d) in (&mut src_blocks).zip(&mut dst_blocks) {
+        let s: &[u8; BLOCK] = s.try_into().expect("exact chunk");
+        let mut acc = [0u8; BLOCK];
+        acc.copy_from_slice(d);
+        mul_block(c, s, &mut acc);
+        d.copy_from_slice(&acc);
+    }
+    for (s, d) in src_blocks
+        .remainder()
+        .iter()
+        .zip(dst_blocks.into_remainder())
+    {
+        *d ^= tables::mul(c, *s);
+    }
+}
+
+/// `dst[i] = c * src[i]`; `c` must not be 0 or 1.
+pub(crate) fn mul_slice(c: u8, src: &[u8], dst: &mut [u8]) {
+    debug_assert_eq!(src.len(), dst.len());
+    let mut src_blocks = src.chunks_exact(BLOCK);
+    let mut dst_blocks = dst.chunks_exact_mut(BLOCK);
+    for (s, d) in (&mut src_blocks).zip(&mut dst_blocks) {
+        let s: &[u8; BLOCK] = s.try_into().expect("exact chunk");
+        let mut acc = [0u8; BLOCK];
+        mul_block(c, s, &mut acc);
+        d.copy_from_slice(&acc);
+    }
+    for (s, d) in src_blocks
+        .remainder()
+        .iter()
+        .zip(dst_blocks.into_remainder())
+    {
+        *d = tables::mul(c, *s);
+    }
+}
+
+/// `data[i] = c * data[i]` in place; `c` must not be 0 or 1.
+pub(crate) fn mul_slice_in_place(c: u8, data: &mut [u8]) {
+    let mut blocks = data.chunks_exact_mut(BLOCK);
+    for d in &mut blocks {
+        let src: [u8; BLOCK] = (&*d).try_into().expect("exact chunk");
+        let mut acc = [0u8; BLOCK];
+        mul_block(c, &src, &mut acc);
+        d.copy_from_slice(&acc);
+    }
+    for d in blocks.into_remainder() {
+        *d = tables::mul(c, *d);
+    }
+}
+
+/// Multi-output matrix product: `outs[i] ^= Σ_j rows[i][j] · srcs[j]`,
+/// accumulating onto the callers' outputs (zero them first for the
+/// overwrite form). All sources and outputs must share one length.
+///
+/// This is where bit-slicing beats even a per-output kernel: for each
+/// source block the doubling chain `src·2^b` is computed *once*
+/// and shared by every output row — each output then only XORs the planes
+/// its coefficient bits select. An `r`-output encode pays one doubling
+/// chain per source block instead of `r`.
+pub(crate) fn matrix_mul_add(rows: &[&[u8]], srcs: &[&[u8]], outs: &mut [&mut [u8]]) {
+    let Some(len) = outs.first().map(|o| o.len()) else {
+        return;
+    };
+    let mut at = 0;
+    while at + BLOCK <= len {
+        for (j, src) in srcs.iter().enumerate() {
+            // The union of the column's coefficient bits says how many
+            // doubled planes this source block needs at all.
+            let used: u8 = rows.iter().fold(0, |u, row| u | row[j]);
+            if used == 0 {
+                continue;
+            }
+            let planes_needed = 8 - used.leading_zeros() as usize;
+            let mut planes = [[0u8; BLOCK]; 8];
+            planes[0].copy_from_slice(&src[at..at + BLOCK]);
+            for b in 1..planes_needed {
+                let (done, rest) = planes.split_at_mut(b);
+                double_block_into(&done[b - 1], &mut rest[0]);
+            }
+            for (row, out) in rows.iter().zip(outs.iter_mut()) {
+                let mut bits = row[j];
+                if bits == 0 {
+                    continue;
+                }
+                let d: &mut [u8; BLOCK] =
+                    (&mut out[at..at + BLOCK]).try_into().expect("exact chunk");
+                let mut acc = *d;
+                for plane in planes[..planes_needed].iter() {
+                    if bits & 1 != 0 {
+                        for (a, v) in acc.iter_mut().zip(plane.iter()) {
+                            *a ^= *v;
+                        }
+                    }
+                    bits >>= 1;
+                    if bits == 0 {
+                        break;
+                    }
+                }
+                *d = acc;
+            }
+        }
+        at += BLOCK;
+    }
+    // Sub-block tail: scalar lookups.
+    for (row, out) in rows.iter().zip(outs.iter_mut()) {
+        for (&c, src) in row.iter().zip(srcs.iter()) {
+            if c == 0 {
+                continue;
+            }
+            for (d, s) in out[at..].iter_mut().zip(src[at..].iter()) {
+                *d ^= tables::mul(c, *s);
+            }
+        }
+    }
+}
+
+/// `dst[i] ^= src[i]`, eight bytes per step.
+pub(crate) fn xor_slice(dst: &mut [u8], src: &[u8]) {
+    debug_assert_eq!(src.len(), dst.len());
+    let mut src_words = src.chunks_exact(8);
+    let mut dst_words = dst.chunks_exact_mut(8);
+    for (s, d) in (&mut src_words).zip(&mut dst_words) {
+        let w = u64::from_le_bytes(s.try_into().expect("8-byte chunk"));
+        let cur = u64::from_le_bytes((&*d).try_into().expect("8-byte chunk"));
+        d.copy_from_slice(&(cur ^ w).to_le_bytes());
+    }
+    for (s, d) in src_words.remainder().iter().zip(dst_words.into_remainder()) {
+        *d ^= *s;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn buf(n: usize, seed: u8) -> Vec<u8> {
+        (0..n)
+            .map(|i| (i as u8).wrapping_mul(97).wrapping_add(seed))
+            .collect()
+    }
+
+    #[test]
+    fn block_multiply_matches_scalar_for_every_coefficient() {
+        let src: [u8; BLOCK] = buf(BLOCK, 5).try_into().unwrap();
+        for c in 2..=255u8 {
+            let mut acc = [0u8; BLOCK];
+            mul_block(c, &src, &mut acc);
+            for (a, s) in acc.iter().zip(src.iter()) {
+                assert_eq!(*a, tables::mul(c, *s), "c={c}");
+            }
+        }
+    }
+
+    #[test]
+    fn kernels_match_scalar_on_odd_lengths() {
+        for len in [1usize, 7, 8, 63, 64, 65, 127, 200] {
+            let src = buf(len, 3);
+            for c in [2u8, 0x1D, 0x8E, 0xFF] {
+                let mut dst = buf(len, 9);
+                let base = dst.clone();
+                mul_add_slice(c, &src, &mut dst);
+                for i in 0..len {
+                    assert_eq!(dst[i], base[i] ^ tables::mul(c, src[i]), "len={len} c={c}");
+                }
+                let mut out = vec![0u8; len];
+                mul_slice(c, &src, &mut out);
+                let mut in_place = src.clone();
+                mul_slice_in_place(c, &mut in_place);
+                for i in 0..len {
+                    assert_eq!(out[i], tables::mul(c, src[i]));
+                    assert_eq!(in_place[i], out[i]);
+                }
+            }
+            let mut x = buf(len, 21);
+            let base = x.clone();
+            xor_slice(&mut x, &src);
+            for i in 0..len {
+                assert_eq!(x[i], base[i] ^ src[i]);
+            }
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Cross-backend equivalence: every accelerated GF(2^8) kernel must be
+//! bit-identical to the scalar lookup oracle, for every coefficient, odd
+//! lengths, and unaligned head/tail splits.
+//!
+//! The SWAR and SIMD kernels all have a "wide" main loop plus a scalar
+//! tail, and the SIMD paths load 16/32-byte vectors at arbitrary
+//! alignment — so the properties here deliberately slice random offsets
+//! off the front of the buffers to move the head/tail boundaries around.
+//! Each property exercises the explicit-backend `*_using` entry points, so
+//! the comparison never depends on (or mutates) the process-global backend
+//! choice.
+
+use pbrs_gf::backend::{self, Backend};
+use pbrs_gf::slice_ops;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Deterministic pseudo-random buffer from a seed (cheaper to shrink than
+/// carrying whole random vectors for the multi-shard properties).
+fn fill(seed: u64, len: usize) -> Vec<u8> {
+    let mut state = seed | 1;
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u8
+        })
+        .collect()
+}
+
+fn accelerated() -> Vec<Backend> {
+    backend::supported()
+        .into_iter()
+        .filter(|&b| b != Backend::Scalar)
+        .collect()
+}
+
+proptest! {
+    /// `mul_slice` and `mul_add_slice`: all coefficients (including the
+    /// 0/1 shortcuts), lengths crossing every block boundary, and an
+    /// unaligned head chopped off the front.
+    #[test]
+    fn mul_kernels_match_oracle(
+        c in any::<u8>(),
+        len in 1usize..700,
+        head in 0usize..64,
+        seed in any::<u64>(),
+    ) {
+        let head = head.min(len - 1);
+        let src_full = fill(seed, len);
+        let dst_full = fill(seed ^ 0xABCD, len);
+        let src = &src_full[head..];
+        for b in accelerated() {
+            // mul_add
+            let mut expect = dst_full[head..].to_vec();
+            let mut got = expect.clone();
+            slice_ops::mul_add_slice_using(Backend::Scalar, c, src, &mut expect);
+            slice_ops::mul_add_slice_using(b, c, src, &mut got);
+            prop_assert_eq!(&got, &expect, "mul_add backend={} c={}", b, c);
+            // mul (overwrite semantics must also kill stale bytes)
+            let mut expect = vec![0x5Au8; src.len()];
+            let mut got = vec![0xA5u8; src.len()];
+            slice_ops::mul_slice_using(Backend::Scalar, c, src, &mut expect);
+            slice_ops::mul_slice_using(b, c, src, &mut got);
+            prop_assert_eq!(&got, &expect, "mul backend={} c={}", b, c);
+        }
+    }
+
+    /// `accumulate_combination` over several shards, sliced at a random
+    /// offset so every source starts unaligned.
+    #[test]
+    fn accumulate_combination_matches_oracle(
+        coeffs in vec(any::<u8>(), 1..8),
+        len in 1usize..300,
+        head in 0usize..32,
+        seed in any::<u64>(),
+    ) {
+        let head = head.min(len - 1);
+        let srcs_full: Vec<Vec<u8>> = (0..coeffs.len())
+            .map(|i| fill(seed.wrapping_add(i as u64 * 77), len))
+            .collect();
+        let srcs: Vec<&[u8]> = srcs_full.iter().map(|s| &s[head..]).collect();
+        let base = fill(seed ^ 0x1234, len - head);
+        for b in accelerated() {
+            let mut expect = base.clone();
+            let mut got = base.clone();
+            slice_ops::accumulate_combination_using(
+                Backend::Scalar, &coeffs, srcs.iter().copied(), &mut expect);
+            slice_ops::accumulate_combination_using(
+                b, &coeffs, srcs.iter().copied(), &mut got);
+            prop_assert_eq!(&got, &expect, "backend={}", b);
+            // The zeroing variant shares the accumulate core; spot-check it
+            // wipes stale output bytes identically.
+            let mut expect2 = vec![0xEEu8; len - head];
+            let mut got2 = vec![0x11u8; len - head];
+            slice_ops::linear_combination_into_using(
+                Backend::Scalar, &coeffs, srcs.iter().copied(), &mut expect2);
+            slice_ops::linear_combination_into_using(
+                b, &coeffs, srcs.iter().copied(), &mut got2);
+            prop_assert_eq!(&got2, &expect2, "into backend={}", b);
+        }
+    }
+
+    /// `matrix_mul_into`: arbitrary coefficient matrices (zero rows, unit
+    /// coefficients and all), lengths straddling the cache-block size, and
+    /// unaligned sources.
+    #[test]
+    fn matrix_mul_matches_oracle(
+        rows in vec(vec(any::<u8>(), 1..6), 1..5),
+        len in 1usize..(slice_ops::MATRIX_BLOCK + 200),
+        head in 0usize..48,
+        seed in any::<u64>(),
+    ) {
+        let head = head.min(len - 1);
+        let sources = rows[0].len();
+        let rows: Vec<Vec<u8>> = rows.into_iter().map(|mut r| { r.resize(sources, 0); r }).collect();
+        let row_refs: Vec<&[u8]> = rows.iter().map(|r| r.as_slice()).collect();
+        let srcs_full: Vec<Vec<u8>> = (0..sources)
+            .map(|i| fill(seed.wrapping_add(i as u64 * 131), len))
+            .collect();
+        let srcs: Vec<&[u8]> = srcs_full.iter().map(|s| &s[head..]).collect();
+        let out_len = len - head;
+        let mut expect: Vec<Vec<u8>> = (0..rows.len()).map(|_| vec![0xCDu8; out_len]).collect();
+        {
+            let mut outs: Vec<&mut [u8]> = expect.iter_mut().map(|o| o.as_mut_slice()).collect();
+            slice_ops::matrix_mul_into_using(Backend::Scalar, &row_refs, &srcs, &mut outs);
+        }
+        for b in accelerated() {
+            let mut got: Vec<Vec<u8>> = (0..rows.len()).map(|_| vec![0x33u8; out_len]).collect();
+            {
+                let mut outs: Vec<&mut [u8]> = got.iter_mut().map(|o| o.as_mut_slice()).collect();
+                slice_ops::matrix_mul_into_using(b, &row_refs, &srcs, &mut outs);
+            }
+            prop_assert_eq!(&got, &expect, "backend={}", b);
+        }
+    }
+
+    /// The scalar oracle itself is pinned to the mathematical definition,
+    /// so the whole tower can't drift together.
+    #[test]
+    fn scalar_oracle_matches_field_definition(
+        c in any::<u8>(),
+        src in vec(any::<u8>(), 1..64),
+    ) {
+        let mut out = vec![0u8; src.len()];
+        slice_ops::mul_slice_using(Backend::Scalar, c, &src, &mut out);
+        for (o, s) in out.iter().zip(src.iter()) {
+            prop_assert_eq!(*o, pbrs_gf::tables::mul(c, *s));
+        }
+    }
+}
+
+#[test]
+fn both_portable_backends_are_always_testable() {
+    // The suite must never silently degrade to testing nothing: scalar and
+    // swar exist everywhere, so `accelerated()` is non-empty on every
+    // target, and CI's `PBRS_GF_BACKEND` matrix rows are always exercised.
+    assert!(accelerated().contains(&Backend::Swar));
+}

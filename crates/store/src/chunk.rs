@@ -209,33 +209,54 @@ fn open_and_check_header(
     }
 }
 
-/// Reads and fully verifies a chunk, returning its payload — or a
-/// [`ChunkStatus`] explaining why the chunk cannot serve reads.
+/// Reads and fully verifies a chunk into a caller-provided buffer whose
+/// length is the expected payload length.
+///
+/// This is the allocation-free primitive behind the store's stripe reads:
+/// a worker reuses one stripe-sized scratch buffer across every stripe it
+/// serves instead of allocating a payload `Vec` per chunk. On a
+/// missing/corrupt inner result the buffer contents are unspecified.
 ///
 /// # Errors
 ///
 /// Returns [`StoreError::Io`] only for failures other than "file missing".
-pub fn read_chunk(path: &Path, expect: ChunkId, expect_len: usize) -> ChunkRead<Vec<u8>> {
+pub fn read_chunk_into(path: &Path, expect: ChunkId, out: &mut [u8]) -> ChunkRead<()> {
+    let expect_len = out.len();
     let (mut file, crcs) = match open_and_check_header(path, expect, expect_len)? {
         Ok(ok) => ok,
         Err(status) => return Ok(Err(status)),
     };
-    let mut payload = vec![0u8; expect_len];
     if let Err(status) = read_exact_or_corrupt(
         &mut file,
         path,
-        &mut payload,
+        out,
         "file shorter than its declared payload",
     )? {
         return Ok(Err(status));
     }
     let half = expect_len / 2;
-    if crc32(&payload[..half]) != crcs.lo || crc32(&payload[half..]) != crcs.hi {
+    if crc32(&out[..half]) != crcs.lo || crc32(&out[half..]) != crcs.hi {
         return Ok(Err(ChunkStatus::Corrupt {
             reason: "payload checksum mismatch".into(),
         }));
     }
-    Ok(Ok(payload))
+    Ok(Ok(()))
+}
+
+/// Reads and fully verifies a chunk, returning its payload — or a
+/// [`ChunkStatus`] explaining why the chunk cannot serve reads.
+///
+/// Allocating wrapper over [`read_chunk_into`].
+///
+/// # Errors
+///
+/// Returns [`StoreError::Io`] only for failures other than "file missing".
+pub fn read_chunk(path: &Path, expect: ChunkId, expect_len: usize) -> ChunkRead<Vec<u8>> {
+    let mut payload = vec![0u8; expect_len];
+    match read_chunk_into(path, expect, &mut payload)? {
+        Ok(()) => Ok(Ok(payload)),
+        Err(status) => Ok(Err(status)),
+    }
 }
 
 /// Reads `out.len()` payload bytes starting at `offset`, checksum-verified.

@@ -21,9 +21,13 @@
 //! `put` streams an object into stripes of `k × chunk_len` bytes, encodes
 //! each stripe with the zero-copy [`ErasureCode::encode_into`] into a single
 //! contiguous [`ShardBuffer`], and writes all `k + r` chunks as checksummed
-//! files (see [`crate::chunk`]). The manifest is committed only after every
-//! chunk of the object is durable, so a crashed `put` leaves orphan chunks,
-//! never a readable-but-wrong object.
+//! files (see [`crate::chunk`]). Stripes are independent, so with
+//! [`StoreConfig::pipeline_workers`] `> 1` the caller's thread only streams
+//! the reader into a bounded pool of recycled stripe buffers while worker
+//! threads encode and write the chunk files — the SIMD GF kernels and the
+//! chunk-file I/O overlap instead of alternating. The manifest is committed
+//! only after every chunk of the object is durable, so a crashed `put`
+//! leaves orphan chunks, never a readable-but-wrong object.
 //!
 //! # Read path and degraded reads
 //!
@@ -36,7 +40,10 @@
 //! [`ErasureCode::reconstruct_in_place`] over every surviving chunk. The
 //! helper bytes crossing disks are counted in [`StoreMetrics`], which is how
 //! the paper's ~30 % repair-traffic saving becomes measurable on real file
-//! I/O.
+//! I/O. Multi-stripe `get`s run through the same worker pipeline as `put`,
+//! each worker decoding its contiguous run of stripes straight into the
+//! output buffer with one reusable stripe-sized scratch — no per-stripe
+//! allocation on the hot path.
 //!
 //! # Repair path
 //!
@@ -49,7 +56,8 @@ use std::collections::HashSet;
 use std::fs;
 use std::io::{self, Read};
 use std::path::{Path, PathBuf};
-use std::sync::{Mutex, RwLock};
+use std::sync::{mpsc, Mutex, RwLock};
+use std::thread;
 
 use pbrs_core::registry::{self, DynCode};
 use pbrs_erasure::{total_read_bytes, CodeError, CodeSpec, ErasureCode, ShardBuffer};
@@ -62,6 +70,10 @@ use crate::metrics::{MetricsSnapshot, StoreMetrics};
 /// Default chunk payload length: 64 KiB.
 pub const DEFAULT_CHUNK_LEN: usize = 64 * 1024;
 
+/// Default width of the `put`/`get` stripe pipeline (matches the repair
+/// daemon's default worker count).
+pub const DEFAULT_PIPELINE_WORKERS: usize = 4;
+
 /// Configuration for opening a [`BlockStore`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StoreConfig {
@@ -72,15 +84,21 @@ pub struct StoreConfig {
     /// Payload bytes per chunk. Must be a positive multiple of the code's
     /// granularity (Piggybacked-RS needs even lengths).
     pub chunk_len: usize,
+    /// Worker threads of the `put`/`get` stripe pipeline. `1` disables the
+    /// pipeline and runs every stripe inline on the calling thread. A
+    /// runtime knob only — not part of the on-disk geometry, so reopening
+    /// with a different width is always valid.
+    pub pipeline_workers: usize,
 }
 
 impl StoreConfig {
-    /// A configuration with the default chunk length.
+    /// A configuration with the default chunk length and pipeline width.
     pub fn new(root: impl Into<PathBuf>, spec: CodeSpec) -> Self {
         StoreConfig {
             root: root.into(),
             spec,
             chunk_len: DEFAULT_CHUNK_LEN,
+            pipeline_workers: DEFAULT_PIPELINE_WORKERS,
         }
     }
 
@@ -88,6 +106,13 @@ impl StoreConfig {
     #[must_use]
     pub fn chunk_len(mut self, chunk_len: usize) -> Self {
         self.chunk_len = chunk_len;
+        self
+    }
+
+    /// Overrides the stripe-pipeline worker count (clamped to at least 1).
+    #[must_use]
+    pub fn pipeline_workers(mut self, workers: usize) -> Self {
+        self.pipeline_workers = workers.max(1);
         self
     }
 }
@@ -146,11 +171,28 @@ pub struct BlockStore {
     spec: CodeSpec,
     code: DynCode,
     chunk_len: usize,
+    pipeline_workers: usize,
     manifest: RwLock<Manifest>,
     /// Names currently being written, to keep concurrent `put`s of the same
     /// name from interleaving.
     in_flight: Mutex<HashSet<String>>,
     metrics: StoreMetrics,
+}
+
+/// Per-worker reusable buffers for stripe reads and repairs: one full
+/// `n × chunk_len` stripe, its validity mask, and one rebuilt-chunk slot.
+///
+/// Reusing one scratch per worker (instead of fresh `Vec`s per stripe)
+/// keeps the degraded-read and repair hot paths allocation-free in steady
+/// state — with the SIMD GF kernels the encode itself is fast enough that
+/// per-stripe allocation churn would otherwise show up in profiles.
+struct StripeScratch {
+    /// Chunk payloads land here, shard `i` in slot `i`.
+    buf: ShardBuffer,
+    /// Which slots of `buf` currently hold verified payloads.
+    present: Vec<bool>,
+    /// Output chunk of a single-failure planned rebuild.
+    rebuilt: Vec<u8>,
 }
 
 impl std::fmt::Debug for BlockStore {
@@ -216,6 +258,7 @@ impl BlockStore {
             spec: config.spec,
             code,
             chunk_len: config.chunk_len,
+            pipeline_workers: config.pipeline_workers.max(1),
             manifest: RwLock::new(manifest),
             in_flight: Mutex::new(HashSet::new()),
             metrics: StoreMetrics::default(),
@@ -338,54 +381,17 @@ impl BlockStore {
     }
 
     fn put_reserved(&self, name: &str, mut reader: impl Read) -> Result<ObjectInfo> {
-        let params = self.code.params();
-        let (k, n) = (params.data_shards(), params.total_shards());
+        let n = self.code.params().total_shards();
         for shard in 0..n {
             let dir = self.disk_path(shard).join(name);
             fs::create_dir_all(&dir).map_err(|e| StoreError::io(&dir, e))?;
         }
 
-        let mut stripe_buf = ShardBuffer::zeroed(n, self.chunk_len);
-        let mut total: u64 = 0;
-        let mut stripe: u64 = 0;
-        loop {
-            // Fill the data shards; zero everything past the stream's end so
-            // stale bytes from the previous stripe never leak into parity.
-            let mut stripe_bytes = 0usize;
-            for i in 0..k {
-                let shard = stripe_buf.shard_mut(i);
-                let got = read_full(&mut reader, shard)
-                    .map_err(|e| StoreError::io(self.root.join("<input>"), e))?;
-                stripe_bytes += got;
-                if got < shard.len() {
-                    shard[got..].fill(0);
-                    for j in i + 1..k {
-                        stripe_buf.shard_mut(j).fill(0);
-                    }
-                    break;
-                }
-            }
-            if stripe_bytes == 0 {
-                break;
-            }
-            total += stripe_bytes as u64;
-
-            let (data, mut parity) = stripe_buf.split_mut(k);
-            self.code.encode_into(&data, &mut parity)?;
-            for shard in 0..n {
-                let path = self.chunk_path(name, stripe, shard);
-                chunk::write_chunk(&path, ChunkId { stripe, shard }, stripe_buf.shard(shard))?;
-            }
-            StoreMetrics::add(&self.metrics.chunks_written, n as u64);
-            StoreMetrics::add(
-                &self.metrics.chunk_bytes_written,
-                (n * self.chunk_len) as u64,
-            );
-            stripe += 1;
-            if stripe_bytes < self.stripe_data_len() {
-                break;
-            }
-        }
+        let (total, stripe) = if self.pipeline_workers > 1 {
+            self.ingest_pipelined(name, &mut reader)?
+        } else {
+            self.ingest_sequential(name, &mut reader)?
+        };
 
         let info = ObjectInfo {
             len: total,
@@ -406,6 +412,167 @@ impl BlockStore {
         Ok(info)
     }
 
+    /// Fills the data shards of `buf` from `reader`, zeroing everything
+    /// past the stream's end so stale bytes from a previous stripe never
+    /// leak into parity. Returns the payload bytes consumed.
+    fn fill_stripe_data(&self, reader: &mut impl Read, buf: &mut ShardBuffer) -> Result<usize> {
+        let k = self.code.params().data_shards();
+        let mut stripe_bytes = 0usize;
+        for i in 0..k {
+            let shard = buf.shard_mut(i);
+            let got = read_full(reader, shard)
+                .map_err(|e| StoreError::io(self.root.join("<input>"), e))?;
+            stripe_bytes += got;
+            if got < shard.len() {
+                shard[got..].fill(0);
+                for j in i + 1..k {
+                    buf.shard_mut(j).fill(0);
+                }
+                break;
+            }
+        }
+        Ok(stripe_bytes)
+    }
+
+    /// Encodes the (already filled) data shards of `buf` and writes all
+    /// `n` chunk files of `stripe`.
+    fn encode_and_write_stripe(
+        &self,
+        name: &str,
+        stripe: u64,
+        buf: &mut ShardBuffer,
+    ) -> Result<()> {
+        let (k, n) = {
+            let params = self.code.params();
+            (params.data_shards(), params.total_shards())
+        };
+        {
+            let (data, mut parity) = buf.split_mut(k);
+            self.code.encode_into(&data, &mut parity)?;
+        }
+        for shard in 0..n {
+            let path = self.chunk_path(name, stripe, shard);
+            chunk::write_chunk(&path, ChunkId { stripe, shard }, buf.shard(shard))?;
+        }
+        StoreMetrics::add(&self.metrics.chunks_written, n as u64);
+        StoreMetrics::add(
+            &self.metrics.chunk_bytes_written,
+            (n * self.chunk_len) as u64,
+        );
+        Ok(())
+    }
+
+    /// The single-threaded ingest loop: fill, encode, write, repeat.
+    fn ingest_sequential(&self, name: &str, reader: &mut impl Read) -> Result<(u64, u64)> {
+        let n = self.code.params().total_shards();
+        let mut buf = ShardBuffer::zeroed(n, self.chunk_len);
+        let mut total = 0u64;
+        let mut stripe = 0u64;
+        loop {
+            let stripe_bytes = self.fill_stripe_data(reader, &mut buf)?;
+            if stripe_bytes == 0 {
+                break;
+            }
+            total += stripe_bytes as u64;
+            self.encode_and_write_stripe(name, stripe, &mut buf)?;
+            stripe += 1;
+            if stripe_bytes < self.stripe_data_len() {
+                break;
+            }
+        }
+        Ok((total, stripe))
+    }
+
+    /// The pipelined ingest loop: the calling thread streams the reader
+    /// into a small pool of recycled stripe buffers while the workers
+    /// encode and write the chunk files, so GF arithmetic and chunk-file
+    /// I/O overlap instead of alternating.
+    ///
+    /// The pool is bounded (`workers + 1` buffers), which back-pressures
+    /// the reader; a worker *always* returns its buffer, even on failure,
+    /// so the reader can never deadlock waiting for one. The first error
+    /// wins, later stripes are skipped, and `put` removes any chunks
+    /// already written.
+    fn ingest_pipelined(&self, name: &str, reader: &mut impl Read) -> Result<(u64, u64)> {
+        let n = self.code.params().total_shards();
+        let workers = self.pipeline_workers;
+        let (work_tx, work_rx) = mpsc::channel::<(u64, ShardBuffer)>();
+        let (free_tx, free_rx) = mpsc::channel::<ShardBuffer>();
+        for _ in 0..workers + 1 {
+            free_tx
+                .send(ShardBuffer::zeroed(n, self.chunk_len))
+                .expect("receiver lives on this thread");
+        }
+        let work_rx = Mutex::new(work_rx);
+        let failure: Mutex<Option<StoreError>> = Mutex::new(None);
+
+        let mut total = 0u64;
+        let mut stripe = 0u64;
+        let mut read_error: Option<StoreError> = None;
+        thread::scope(|scope| {
+            for _ in 0..workers {
+                let work_rx = &work_rx;
+                let failure = &failure;
+                let free_tx = free_tx.clone();
+                scope.spawn(move || loop {
+                    let received = work_rx.lock().expect("lock").recv();
+                    let Ok((stripe, mut buf)) = received else {
+                        return; // ingest finished: work channel closed
+                    };
+                    let result = if failure.lock().expect("lock").is_some() {
+                        Ok(()) // an earlier stripe already failed; drain only
+                    } else {
+                        self.encode_and_write_stripe(name, stripe, &mut buf)
+                    };
+                    // Return the buffer before reporting, so the reader
+                    // thread can always make progress.
+                    let _ = free_tx.send(buf);
+                    if let Err(e) = result {
+                        let mut slot = failure.lock().expect("lock");
+                        if slot.is_none() {
+                            *slot = Some(e);
+                        }
+                    }
+                });
+            }
+
+            loop {
+                if failure.lock().expect("lock").is_some() {
+                    break;
+                }
+                let mut buf = free_rx.recv().expect("workers always return buffers");
+                let stripe_bytes = match self.fill_stripe_data(reader, &mut buf) {
+                    Ok(bytes) => bytes,
+                    Err(e) => {
+                        read_error = Some(e);
+                        break;
+                    }
+                };
+                if stripe_bytes == 0 {
+                    break;
+                }
+                total += stripe_bytes as u64;
+                work_tx
+                    .send((stripe, buf))
+                    .expect("workers outlive the work channel");
+                stripe += 1;
+                if stripe_bytes < self.stripe_data_len() {
+                    break;
+                }
+            }
+            // Closing the work channel drains the workers.
+            drop(work_tx);
+        });
+
+        if let Some(e) = read_error {
+            return Err(e);
+        }
+        if let Some(e) = failure.into_inner().expect("lock") {
+            return Err(e);
+        }
+        Ok((total, stripe))
+    }
+
     /// Best-effort removal of every chunk directory of `name` (cleanup after
     /// a failed `put`).
     fn remove_object_chunks(&self, name: &str) {
@@ -418,8 +585,24 @@ impl BlockStore {
     // Read path
     // ------------------------------------------------------------------
 
+    /// A fresh scratch sized for this store's stripes.
+    fn new_scratch(&self) -> StripeScratch {
+        let n = self.code.params().total_shards();
+        StripeScratch {
+            buf: ShardBuffer::zeroed(n, self.chunk_len),
+            present: vec![false; n],
+            rebuilt: vec![0u8; self.chunk_len],
+        }
+    }
+
     /// Reads object `name` back, transparently falling back to degraded
     /// reads for stripes with missing or corrupt chunks.
+    ///
+    /// Stripes are independent, so multi-stripe objects are served through
+    /// the store's worker pipeline (see [`StoreConfig::pipeline_workers`]):
+    /// each worker owns one reusable stripe-sized scratch and decodes its
+    /// share of stripes straight into the output buffer, overlapping
+    /// chunk-file I/O with GF decoding.
     ///
     /// # Errors
     ///
@@ -432,10 +615,20 @@ impl BlockStore {
             .ok_or_else(|| StoreError::ObjectNotFound {
                 name: name.to_string(),
             })?;
-        let mut out = Vec::with_capacity(usize::try_from(info.len).unwrap_or(0));
-        for stripe in 0..info.stripes {
-            let data = self.read_stripe_data(name, stripe)?;
-            out.extend_from_slice(&data);
+        let stripes = usize::try_from(info.stripes).expect("object fits in memory");
+        let stripe_len = self.stripe_data_len();
+        let padded = stripes
+            .checked_mul(stripe_len)
+            .expect("object fits in memory");
+        let mut out = vec![0u8; padded];
+        let workers = self.pipeline_workers.min(stripes.max(1));
+        if workers <= 1 {
+            let mut scratch = self.new_scratch();
+            for (stripe, dest) in out.chunks_mut(stripe_len).enumerate() {
+                self.read_stripe_into(name, stripe as u64, dest, &mut scratch)?;
+            }
+        } else {
+            self.read_stripes_parallel(name, &mut out, workers)?;
         }
         out.truncate(usize::try_from(info.len).expect("object fits in memory"));
         StoreMetrics::add(&self.metrics.objects_read, 1);
@@ -443,44 +636,98 @@ impl BlockStore {
         Ok(out)
     }
 
-    /// Serves the `k × chunk_len` data bytes of one stripe.
-    fn read_stripe_data(&self, object: &str, stripe: u64) -> Result<Vec<u8>> {
+    /// Decodes the object's stripes into `out` with a static partition:
+    /// worker `w` owns a contiguous run of stripes (and the matching slice
+    /// of `out`), plus one private scratch reused across its run.
+    fn read_stripes_parallel(&self, name: &str, out: &mut [u8], workers: usize) -> Result<()> {
+        let stripe_len = self.stripe_data_len();
+        let stripes = out.len() / stripe_len;
+        let per_worker = stripes.div_ceil(workers);
+        let failure: Mutex<Option<StoreError>> = Mutex::new(None);
+        thread::scope(|scope| {
+            for (w, region) in out.chunks_mut(per_worker * stripe_len).enumerate() {
+                let failure = &failure;
+                scope.spawn(move || {
+                    let mut scratch = self.new_scratch();
+                    let first = (w * per_worker) as u64;
+                    for (i, dest) in region.chunks_mut(stripe_len).enumerate() {
+                        if failure.lock().expect("lock").is_some() {
+                            return; // another stripe already failed
+                        }
+                        if let Err(e) =
+                            self.read_stripe_into(name, first + i as u64, dest, &mut scratch)
+                        {
+                            let mut slot = failure.lock().expect("lock");
+                            if slot.is_none() {
+                                *slot = Some(e);
+                            }
+                            return;
+                        }
+                    }
+                });
+            }
+        });
+        match failure.into_inner().expect("lock") {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Serves the `k × chunk_len` data bytes of one stripe into `dest`,
+    /// reusing the worker's scratch buffers throughout.
+    fn read_stripe_into(
+        &self,
+        object: &str,
+        stripe: u64,
+        dest: &mut [u8],
+        scratch: &mut StripeScratch,
+    ) -> Result<()> {
         let k = self.code.params().data_shards();
-        // Fast path: read and verify the k data chunks.
-        let mut payloads: Vec<Option<Vec<u8>>> = Vec::with_capacity(k);
+        debug_assert_eq!(dest.len(), self.stripe_data_len());
+        // Fast path: read and verify the k data chunks straight into the
+        // caller's destination — the healthy case touches no scratch and
+        // pays no extra copy.
         let mut bad: Vec<usize> = Vec::new();
         for shard in 0..k {
             let path = self.chunk_path(object, stripe, shard);
-            match chunk::read_chunk(&path, ChunkId { stripe, shard }, self.chunk_len)? {
-                Ok(payload) => payloads.push(Some(payload)),
+            let slot = &mut dest[shard * self.chunk_len..(shard + 1) * self.chunk_len];
+            match chunk::read_chunk_into(&path, ChunkId { stripe, shard }, slot)? {
+                Ok(()) => {}
                 Err(status) => {
                     self.note_damage(&status);
                     bad.push(shard);
-                    payloads.push(None);
                 }
             }
         }
         if bad.is_empty() {
-            let mut out = Vec::with_capacity(self.stripe_data_len());
-            for payload in payloads.into_iter().flatten() {
-                out.extend_from_slice(&payload);
-            }
-            return Ok(out);
+            return Ok(());
         }
 
-        // Degraded read.
+        // Degraded read: install the verified data chunks into the scratch
+        // stripe (the rebuild reads its helpers from there).
         StoreMetrics::add(&self.metrics.degraded_stripe_reads, 1);
+        scratch.present.fill(false);
+        for shard in 0..k {
+            if !bad.contains(&shard) {
+                scratch
+                    .buf
+                    .shard_mut(shard)
+                    .copy_from_slice(&dest[shard * self.chunk_len..(shard + 1) * self.chunk_len]);
+                scratch.present[shard] = true;
+            }
+        }
         if bad.len() == 1 {
-            if let Some((rebuilt, helper_bytes)) =
-                self.try_planned_rebuild(object, stripe, bad[0], &payloads)?
-            {
+            if let Some(helper_bytes) = self.try_planned_rebuild(object, stripe, bad[0], scratch)? {
                 StoreMetrics::add(&self.metrics.degraded_helper_bytes, helper_bytes);
-                payloads[bad[0]] = Some(rebuilt);
-                let mut out = Vec::with_capacity(self.stripe_data_len());
-                for payload in payloads.into_iter().flatten() {
-                    out.extend_from_slice(&payload);
+                for shard in 0..k {
+                    let src = if shard == bad[0] {
+                        &scratch.rebuilt[..]
+                    } else {
+                        scratch.buf.shard(shard)
+                    };
+                    dest[shard * self.chunk_len..(shard + 1) * self.chunk_len].copy_from_slice(src);
                 }
-                return Ok(out);
+                return Ok(());
             }
         }
 
@@ -488,45 +735,47 @@ impl BlockStore {
         // extra survivor reads are the degraded cost; the healthy data
         // payloads were already read above and are not read twice.
         let mut damaged = bad;
-        let (stripe_buf, helper_bytes) =
-            self.reconstruct_from_survivors(object, stripe, &payloads, &mut damaged)?;
+        let helper_bytes =
+            self.reconstruct_from_survivors(object, stripe, &mut damaged, scratch)?;
         StoreMetrics::add(&self.metrics.degraded_helper_bytes, helper_bytes);
-        let mut out = Vec::with_capacity(self.stripe_data_len());
         for shard in 0..k {
-            out.extend_from_slice(stripe_buf.shard(shard));
+            dest[shard * self.chunk_len..(shard + 1) * self.chunk_len]
+                .copy_from_slice(scratch.buf.shard(shard));
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Executes the code's cheapest single-failure repair for shard
     /// `target`, materialising exactly the helper byte ranges the rebuild
-    /// consumes. Ranges whose chunk payload is already in `resident`
-    /// (CRC-verified by the caller) are copied from memory; the rest are
-    /// partial-read from disk, and a helper that turns out to be missing or
-    /// header-corrupt makes the whole attempt return `None` so the caller
-    /// falls back to full reconstruction.
+    /// consumes. Ranges whose chunk is already resident in the scratch
+    /// (CRC-verified, flagged in `present`) are used as they sit; the rest
+    /// are partial-read from disk into the scratch stripe, and a helper
+    /// that turns out to be missing or corrupt makes the whole attempt
+    /// return `None` so the caller falls back to full reconstruction.
     ///
-    /// The returned helper-byte count always prices the *full* plan — the
-    /// bytes a rebuilding node fetches across disks in the paper's model —
-    /// regardless of how many ranges happened to be resident here.
+    /// On success the rebuilt chunk is left in `scratch.rebuilt` and the
+    /// returned count prices the *full* plan — the bytes a rebuilding node
+    /// fetches across disks in the paper's model — regardless of how many
+    /// ranges happened to be resident here. Bytes of the scratch stripe
+    /// outside the plan's ranges may be stale from earlier stripes; the
+    /// [`ErasureCode::repair_reads`] contract guarantees `repair_into`
+    /// never reads them.
     fn try_planned_rebuild(
         &self,
         object: &str,
         stripe: u64,
         target: usize,
-        resident: &[Option<Vec<u8>>],
-    ) -> Result<Option<(Vec<u8>, u64)>> {
+        scratch: &mut StripeScratch,
+    ) -> Result<Option<u64>> {
         let n = self.code.params().total_shards();
         let mut available = vec![true; n];
         available[target] = false;
         let reads = self.code.repair_reads(target, &available, self.chunk_len)?;
-        let mut sparse = ShardBuffer::zeroed(n, self.chunk_len);
         for read in &reads {
-            let dest = &mut sparse.shard_mut(read.shard)[read.offset..read.end()];
-            if let Some(Some(payload)) = resident.get(read.shard) {
-                dest.copy_from_slice(&payload[read.offset..read.end()]);
-                continue;
+            if scratch.present[read.shard] {
+                continue; // verified payload already in place
             }
+            let dest = &mut scratch.buf.shard_mut(read.shard)[read.offset..read.end()];
             let path = self.chunk_path(object, stripe, read.shard);
             let id = ChunkId {
                 stripe,
@@ -540,58 +789,50 @@ impl BlockStore {
                 }
             }
         }
-        let mut out = vec![0u8; self.chunk_len];
-        self.code.repair_into(target, &sparse.as_set(), &mut out)?;
-        Ok(Some((out, total_read_bytes(&reads))))
+        self.code
+            .repair_into(target, &scratch.buf.as_set(), &mut scratch.rebuilt)?;
+        Ok(Some(total_read_bytes(&reads)))
     }
 
-    /// Reads surviving chunks into a fresh stripe buffer and rebuilds every
+    /// Reads surviving chunks into the scratch stripe and rebuilds every
     /// missing slot in place — the shared engine of multi-loss degraded
     /// reads and multi-loss repairs.
     ///
-    /// `resident` carries payloads the caller already read and verified
-    /// (the data chunks of a degraded read; empty for repairs): they are
-    /// installed without re-reading or re-counting. `damaged` lists shards
-    /// known lost or corrupt; any further damage discovered while reading
-    /// survivors is appended for the caller to rebuild. MDS codes stop
-    /// reading once `k` survivors are present — any `k` shards decode the
-    /// stripe, so that is all a rebuilding node would fetch — while non-MDS
-    /// codes (LRC) read every survivor, since `k` arbitrary shards may not
-    /// span the data.
+    /// Shards flagged in `scratch.present` were already read and verified
+    /// by the caller (the data chunks of a degraded read; none for
+    /// repairs): they are neither re-read nor re-counted. `damaged` lists
+    /// shards known lost or corrupt; any further damage discovered while
+    /// reading survivors is appended for the caller to rebuild. MDS codes
+    /// stop reading once `k` survivors are present — any `k` shards decode
+    /// the stripe, so that is all a rebuilding node would fetch — while
+    /// non-MDS codes (LRC) read every survivor, since `k` arbitrary shards
+    /// may not span the data.
     ///
-    /// Returns the reconstructed stripe and the helper bytes read here.
+    /// On success the whole stripe (data and parity) is valid in
+    /// `scratch.buf`; returns the helper bytes read here.
     fn reconstruct_from_survivors(
         &self,
         object: &str,
         stripe: u64,
-        resident: &[Option<Vec<u8>>],
         damaged: &mut Vec<usize>,
-    ) -> Result<(ShardBuffer, u64)> {
+        scratch: &mut StripeScratch,
+    ) -> Result<u64> {
         let params = self.code.params();
         let (k, n) = (params.data_shards(), params.total_shards());
-        let mut buf = ShardBuffer::zeroed(n, self.chunk_len);
-        let mut present = vec![false; n];
-        let mut survivors = 0usize;
-        for (shard, payload) in resident.iter().enumerate() {
-            if let Some(payload) = payload {
-                buf.shard_mut(shard).copy_from_slice(payload);
-                present[shard] = true;
-                survivors += 1;
-            }
-        }
+        let mut survivors = scratch.present.iter().filter(|&&p| p).count();
         let mut helper_bytes = 0u64;
-        for (shard, slot) in present.iter_mut().enumerate() {
-            if *slot || damaged.contains(&shard) {
+        for shard in 0..n {
+            if scratch.present[shard] || damaged.contains(&shard) {
                 continue;
             }
             if self.code.is_mds() && survivors >= k {
                 break;
             }
             let path = self.chunk_path(object, stripe, shard);
-            match chunk::read_chunk(&path, ChunkId { stripe, shard }, self.chunk_len)? {
-                Ok(payload) => {
-                    buf.shard_mut(shard).copy_from_slice(&payload);
-                    *slot = true;
+            let slot = scratch.buf.shard_mut(shard);
+            match chunk::read_chunk_into(&path, ChunkId { stripe, shard }, slot)? {
+                Ok(()) => {
+                    scratch.present[shard] = true;
                     survivors += 1;
                     helper_bytes += self.chunk_len as u64;
                 }
@@ -611,12 +852,12 @@ impl BlockStore {
             });
         }
         {
-            let mut view = buf.as_set_mut();
+            let mut view = scratch.buf.as_set_mut();
             self.code
-                .reconstruct_in_place(&mut view, &present)
+                .reconstruct_in_place(&mut view, &scratch.present)
                 .map_err(|e| self.unrecoverable(object, stripe, survivors, e))?;
         }
-        Ok((buf, helper_bytes))
+        Ok(helper_bytes)
     }
 
     fn unrecoverable(
@@ -721,9 +962,10 @@ impl BlockStore {
             fs::create_dir_all(&dir).map_err(|e| StoreError::io(&dir, e))?;
         }
 
+        let mut scratch = self.new_scratch();
         if targets.len() == 1 {
-            if let Some((rebuilt, helper_bytes)) =
-                self.try_planned_rebuild(object, stripe, targets[0], &[])?
+            if let Some(helper_bytes) =
+                self.try_planned_rebuild(object, stripe, targets[0], &mut scratch)?
             {
                 let target = targets[0];
                 let path = self.chunk_path(object, stripe, target);
@@ -733,7 +975,7 @@ impl BlockStore {
                         stripe,
                         shard: target,
                     },
-                    &rebuilt,
+                    &scratch.rebuilt,
                 )?;
                 StoreMetrics::add(&self.metrics.repair_helper_bytes, helper_bytes);
                 StoreMetrics::add(&self.metrics.chunks_repaired, 1);
@@ -748,14 +990,14 @@ impl BlockStore {
         // Multi-loss (or helpers unavailable): decode from survivors, then
         // write every damaged chunk back (including any damage discovered
         // while reading).
-        let (buf, helper_bytes) =
-            self.reconstruct_from_survivors(object, stripe, &[], &mut targets)?;
+        let helper_bytes =
+            self.reconstruct_from_survivors(object, stripe, &mut targets, &mut scratch)?;
         targets.sort_unstable();
         for &shard in &targets {
             let dir = self.disk_path(shard).join(object);
             fs::create_dir_all(&dir).map_err(|e| StoreError::io(&dir, e))?;
             let path = self.chunk_path(object, stripe, shard);
-            chunk::write_chunk(&path, ChunkId { stripe, shard }, buf.shard(shard))?;
+            chunk::write_chunk(&path, ChunkId { stripe, shard }, scratch.buf.shard(shard))?;
             report.rebuilt.push(shard);
             report.bytes_written += self.chunk_len as u64;
         }
@@ -861,6 +1103,80 @@ mod tests {
         let snap = store.metrics();
         assert_eq!(snap.degraded_stripe_reads, 0);
         assert_eq!(snap.bytes_served, snap.bytes_ingested);
+    }
+
+    #[test]
+    fn pipeline_and_sequential_stores_agree_bit_for_bit() {
+        // The same object through a 1-worker (inline) store and a wide
+        // pipeline must produce identical chunk files and reads.
+        let dir = TempDir::new("store-pipeline-parity");
+        let spec: CodeSpec = "piggyback-4-2".parse().unwrap();
+        let data = pattern(4 * 512 * 7 + 311); // 8 stripes, last partial
+        let inline = BlockStore::open(
+            StoreConfig::new(dir.path().join("inline"), spec)
+                .chunk_len(512)
+                .pipeline_workers(1),
+        )
+        .unwrap();
+        let piped = BlockStore::open(
+            StoreConfig::new(dir.path().join("piped"), spec)
+                .chunk_len(512)
+                .pipeline_workers(3),
+        )
+        .unwrap();
+        inline.put("obj", &data[..]).unwrap();
+        piped.put("obj", &data[..]).unwrap();
+        for stripe in 0..8 {
+            for shard in 0..6 {
+                assert_eq!(
+                    fs::read(inline.chunk_path("obj", stripe, shard)).unwrap(),
+                    fs::read(piped.chunk_path("obj", stripe, shard)).unwrap(),
+                    "stripe {stripe} shard {shard}"
+                );
+            }
+        }
+        assert_eq!(inline.get("obj").unwrap(), data);
+        assert_eq!(piped.get("obj").unwrap(), data);
+    }
+
+    #[test]
+    fn parallel_degraded_get_heals_across_workers() {
+        // Many stripes served by several workers, all degraded.
+        let dir = TempDir::new("store-parallel-degraded");
+        let spec: CodeSpec = "piggyback-4-2".parse().unwrap();
+        let store = BlockStore::open(
+            StoreConfig::new(dir.path().join("store"), spec)
+                .chunk_len(512)
+                .pipeline_workers(3),
+        )
+        .unwrap();
+        let data = pattern(4 * 512 * 9 + 45); // 10 stripes
+        store.put("obj", &data[..]).unwrap();
+        fs::remove_dir_all(store.disk_path(2)).unwrap();
+        assert_eq!(store.get("obj").unwrap(), data);
+        let snap = store.metrics();
+        assert_eq!(snap.degraded_stripe_reads, 10);
+        assert!(snap.degraded_helper_bytes > 0);
+    }
+
+    #[test]
+    fn parallel_get_surfaces_unrecoverable_stripes() {
+        let dir = TempDir::new("store-parallel-unrecoverable");
+        let store = BlockStore::open(
+            StoreConfig::new(dir.path().join("store"), "rs-4-2".parse().unwrap())
+                .chunk_len(512)
+                .pipeline_workers(4),
+        )
+        .unwrap();
+        let data = pattern(4 * 512 * 6);
+        store.put("obj", &data[..]).unwrap();
+        for disk in [0, 1, 2] {
+            fs::remove_dir_all(store.disk_path(disk)).unwrap();
+        }
+        assert!(matches!(
+            store.get("obj"),
+            Err(StoreError::StripeUnrecoverable { survivors: 3, .. })
+        ));
     }
 
     #[test]

@@ -64,6 +64,37 @@
 //! remain available as thin wrappers over the zero-copy core, so existing
 //! call sites keep working.
 //!
+//! # Kernel backends: how fast the bytes move
+//!
+//! Every parity byte above was produced by the GF(2^8) bulk kernels in
+//! [`gf::slice_ops`]. They dispatch once per process to the fastest
+//! implementation the CPU supports — `scalar` (256-entry lookup rows, the
+//! reference oracle), `swar` (portable bit-sliced blocks), or the x86-64
+//! `pshufb` split-nibble paths `ssse3`/`avx2` — and encodes run through
+//! the cache-blocked multi-output [`gf::slice_ops::matrix_mul_into`],
+//! which reads each data shard once for *all* parity outputs. All
+//! backends are bit-identical (property-tested against the scalar
+//! oracle); only throughput differs.
+//!
+//! Set the `PBRS_GF_BACKEND` environment variable to `scalar`, `swar`,
+//! `ssse3`, `avx2` or `auto` to pin the choice — overrides naming a
+//! backend this CPU lacks fall back to auto-detection, so a pinned config
+//! is portable. Benchmarks can switch programmatically:
+//!
+//! ```
+//! use pbrs::gf::backend;
+//!
+//! // What is this process encoding with, and what could it use?
+//! println!("active gf backend: {}", backend::active());
+//! for candidate in backend::supported() {
+//!     println!("supported: {candidate}");
+//! }
+//! ```
+//!
+//! `cargo run --release -p pbrs-bench --bin gf_kernels` measures every
+//! supported backend (and multi-output vs row-at-a-time encode) and
+//! writes the machine-readable `BENCH_gf_kernels.json`.
+//!
 //! # Storing real bytes
 //!
 //! The [`store`] crate turns the codecs into an embeddable block store: one
