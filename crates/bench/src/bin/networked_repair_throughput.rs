@@ -1,0 +1,176 @@
+//! Store experiment — repair throughput when every disk is a chunkd TCP
+//! server on loopback: ingest an object through the sockets, wipe one
+//! server's disk, and time the repair daemon rebuilding it over the wire,
+//! reporting rebuilt MB/s and the helper bytes that crossed the sockets
+//! for each code. The networked twin of `store_repair_throughput`: same
+//! workload, but every helper byte pays for a real socket round trip.
+//!
+//! Usage: `networked_repair_throughput [object-MiB] [chunk-KiB] [workers]`
+//! (defaults: 32 MiB objects, 256 KiB chunks, 4 workers).
+
+use std::env;
+use std::fs;
+use std::sync::Arc;
+use std::time::Instant;
+
+use pbrs_bench::{f1, section};
+use pbrs_chunkd::{ChunkServer, RemoteDisk, ServerConfig};
+use pbrs_core::registry;
+use pbrs_store::testing::TempDir;
+use pbrs_store::{BlockStore, ChunkBackend, DaemonConfig, RepairDaemon, StoreConfig};
+use pbrs_trace::report::to_markdown_table;
+
+const SPECS: [&str; 2] = ["rs-10-4", "piggyback-10-4"];
+const LOST_DISK: usize = 0;
+
+struct Measurement {
+    code: String,
+    ingest_mb_s: f64,
+    repair_mb_s: f64,
+    helper_socket_mib: f64,
+    rebuilt_mib: f64,
+}
+
+fn arg(n: usize, default: usize) -> usize {
+    env::args()
+        .nth(n)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn mib(bytes: u64) -> f64 {
+    bytes as f64 / (1024.0 * 1024.0)
+}
+
+fn measure(spec: &str, object_len: usize, chunk_len: usize, workers: usize) -> Measurement {
+    let dir = TempDir::new(&format!("bench-netstore-{spec}"));
+    let code_spec = spec.parse().expect("valid spec");
+    let n = registry::build(&code_spec)
+        .expect("buildable spec")
+        .params()
+        .total_shards();
+    let servers: Vec<ChunkServer> = (0..n)
+        .map(|i| {
+            ChunkServer::bind_with(
+                dir.path().join(format!("srv-{i:02}")),
+                "127.0.0.1:0",
+                ServerConfig { threads: 2 },
+            )
+            .expect("bind chunk server")
+        })
+        .collect();
+    let remotes: Vec<Arc<RemoteDisk>> = servers
+        .iter()
+        .map(|s| Arc::new(RemoteDisk::new(s.local_addr().to_string())))
+        .collect();
+    let disks: Vec<Arc<dyn ChunkBackend>> = remotes
+        .iter()
+        .map(|r| Arc::clone(r) as Arc<dyn ChunkBackend>)
+        .collect();
+    let store = Arc::new(
+        BlockStore::open_with_backends(
+            StoreConfig::new(dir.path().join("root"), code_spec).chunk_len(chunk_len),
+            disks,
+        )
+        .expect("open store"),
+    );
+
+    let data: Vec<u8> = (0..object_len)
+        .map(|i| ((i * 131 + 17) % 255) as u8)
+        .collect();
+    let started = Instant::now();
+    let info = store.put("bench-object", &data[..]).expect("put");
+    let ingest_secs = started.elapsed().as_secs_f64();
+
+    fs::remove_dir_all(servers[LOST_DISK].root()).expect("wipe disk");
+    let helpers_before: u64 = remotes
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != LOST_DISK)
+        .map(|(_, r)| r.counters().bytes_received)
+        .sum();
+
+    let daemon = RepairDaemon::start(
+        Arc::clone(&store),
+        DaemonConfig {
+            workers,
+            scan_interval: None,
+        },
+    );
+    let started = Instant::now();
+    daemon.scan_now().expect("scan");
+    daemon.wait_idle();
+    let repair_secs = started.elapsed().as_secs_f64();
+    let stats = daemon.shutdown();
+    // Measure the repair's socket traffic before the verification scrub
+    // below adds its own (small) verify responses.
+    let helper_socket: u64 = remotes
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != LOST_DISK)
+        .map(|(_, r)| r.counters().bytes_received)
+        .sum::<u64>()
+        - helpers_before;
+    assert_eq!(stats.failures, 0, "{spec}: repairs must succeed");
+    assert_eq!(stats.chunks_repaired, info.stripes, "{spec}");
+    assert!(store.scrub().expect("scrub").is_clean(), "{spec}");
+
+    Measurement {
+        code: store.code().name(),
+        ingest_mb_s: mib(info.len) / ingest_secs,
+        repair_mb_s: mib(stats.bytes_written) / repair_secs,
+        helper_socket_mib: mib(helper_socket),
+        rebuilt_mib: mib(stats.bytes_written),
+    }
+}
+
+fn main() {
+    let object_mib = arg(1, 32);
+    let chunk_kib = arg(2, 256);
+    let workers = arg(3, 4);
+    let object_len = object_mib * 1024 * 1024;
+    let chunk_len = chunk_kib * 1024;
+
+    section(&format!(
+        "Networked repair throughput over loopback chunkd ({object_mib} MiB object, \
+         {chunk_kib} KiB chunks, {workers} workers, disk {LOST_DISK} wiped) \
+         [gf backend: {}]",
+        pbrs_gf::backend::active()
+    ));
+
+    let measurements: Vec<Measurement> = SPECS
+        .iter()
+        .map(|spec| {
+            eprintln!("[pbrs-bench] networked store workload: {spec}");
+            measure(spec, object_len, chunk_len, workers)
+        })
+        .collect();
+
+    let header = [
+        "code",
+        "ingest MB/s",
+        "repair MB/s",
+        "helper MiB (socket rx)",
+        "rebuilt MiB",
+    ];
+    let rows: Vec<Vec<String>> = measurements
+        .iter()
+        .map(|m| {
+            vec![
+                m.code.clone(),
+                f1(m.ingest_mb_s),
+                f1(m.repair_mb_s),
+                f1(m.helper_socket_mib),
+                f1(m.rebuilt_mib),
+            ]
+        })
+        .collect();
+    print!("{}", to_markdown_table(&header, &rows));
+
+    let saving = 1.0 - measurements[1].helper_socket_mib / measurements[0].helper_socket_mib;
+    println!(
+        "\nPiggybacked-RS helper traffic on the sockets: {:.1}% below RS on the \
+         identical workload.",
+        saving * 100.0
+    );
+}

@@ -1,0 +1,369 @@
+//! The chunk client: a [`ChunkBackend`] over one chunkd TCP connection.
+//!
+//! A [`RemoteDisk`] holds (at most) one lazily-established connection to a
+//! chunk server and speaks the [`crate::protocol`] request/response cycle
+//! over it. Every operation in the protocol is idempotent, so when a send
+//! or receive fails the client drops the connection and transparently
+//! retries once over a fresh one — enough to ride out a server restart or
+//! an idle-connection reset without surfacing an error to the store.
+//!
+//! # Failure semantics
+//!
+//! An *unreachable* server is a *lost disk*, not a store-wide error: the
+//! read-side operations (`read_chunk_into`, `read_chunk_range`,
+//! `verify_chunk`) report [`ChunkStatus::Missing`] when the transport
+//! fails after the retry, so degraded reads and repairs route around the
+//! dead machine exactly as they route around a deleted directory — which
+//! is the failure model the paper measures. Write-side operations
+//! (`ensure_object`, `write_chunk`) stay hard errors: there is no safe way
+//! to pretend a write landed. [`ChunkBackend::is_available`] reports the
+//! disk itself (it is how scrub's `lost_disks` learns of the death), and
+//! `sweep_tmp` returns empty for an unreachable disk — nothing can be
+//! swept there.
+//!
+//! The client counts every byte it puts on and takes off the socket
+//! ([`RemoteDisk::counters`], also surfaced through
+//! [`ChunkBackend::counters`] and summed by
+//! `BlockStore::socket_counters`). That is the paper's measurement made
+//! real: a degraded read against a remote helper shows exactly the
+//! half-chunk (for Piggybacked-RS) crossing the wire, frame headers and
+//! all.
+
+use std::io;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use pbrs_store::{BackendCounters, ChunkBackend, ChunkId, ChunkRead, ChunkStatus, StoreError};
+
+use crate::protocol::{
+    decode_ping, decode_sweep, decode_verify, read_frame, write_frame, Request, Response,
+};
+
+/// Default connect / per-request I/O timeout.
+pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// A remote "disk": the client side of one chunk server, implementing
+/// [`ChunkBackend`] so a `BlockStore` can mount it like a directory.
+pub struct RemoteDisk {
+    addr: String,
+    timeout: Duration,
+    conn: Mutex<Option<TcpStream>>,
+    bytes_sent: AtomicU64,
+    bytes_received: AtomicU64,
+}
+
+impl std::fmt::Debug for RemoteDisk {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteDisk")
+            .field("addr", &self.addr)
+            .field("counters", &self.counters())
+            .finish()
+    }
+}
+
+impl RemoteDisk {
+    /// A client for the chunk server at `addr` (`host:port`). No
+    /// connection is made until the first request, and a broken connection
+    /// is re-established on demand.
+    pub fn new(addr: impl Into<String>) -> Self {
+        Self::with_timeout(addr, DEFAULT_TIMEOUT)
+    }
+
+    /// [`RemoteDisk::new`] with an explicit connect/request timeout.
+    pub fn with_timeout(addr: impl Into<String>, timeout: Duration) -> Self {
+        RemoteDisk {
+            addr: addr.into(),
+            timeout,
+            conn: Mutex::new(None),
+            bytes_sent: AtomicU64::new(0),
+            bytes_received: AtomicU64::new(0),
+        }
+    }
+
+    /// The server address this client talks to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Socket byte counters since creation (frame headers included).
+    pub fn counters(&self) -> BackendCounters {
+        BackendCounters {
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            bytes_received: self.bytes_received.load(Ordering::Relaxed),
+        }
+    }
+
+    fn connect(&self) -> io::Result<TcpStream> {
+        let mut last = io::Error::new(io::ErrorKind::AddrNotAvailable, "no address resolved");
+        let addrs: Vec<SocketAddr> = self.addr.to_socket_addrs()?.collect();
+        for addr in addrs {
+            match TcpStream::connect_timeout(&addr, self.timeout) {
+                Ok(stream) => {
+                    stream.set_nodelay(true)?;
+                    stream.set_read_timeout(Some(self.timeout))?;
+                    stream.set_write_timeout(Some(self.timeout))?;
+                    return Ok(stream);
+                }
+                Err(e) => last = e,
+            }
+        }
+        Err(last)
+    }
+
+    /// One request/response cycle, reconnecting and retrying once on a
+    /// transport error (every protocol op is idempotent, so a blind retry
+    /// is safe).
+    fn request(&self, request: &Request) -> io::Result<Response> {
+        let body = request.encode();
+        let mut conn = self.conn.lock().expect("lock");
+        for attempt in 0..2 {
+            if conn.is_none() {
+                *conn = Some(self.connect()?);
+            }
+            let stream = conn.as_mut().expect("just connected");
+            let result = write_frame(stream, &body).and_then(|sent| {
+                self.bytes_sent.fetch_add(sent, Ordering::Relaxed);
+                read_frame(stream)
+            });
+            match result {
+                Ok((response, received)) => {
+                    self.bytes_received.fetch_add(received, Ordering::Relaxed);
+                    return Response::decode(&response);
+                }
+                Err(e) => {
+                    *conn = None; // the connection is in an unknown state
+                    if attempt == 1 {
+                        return Err(e);
+                    }
+                }
+            }
+        }
+        unreachable!("loop returns on success or second failure")
+    }
+
+    /// A path-shaped label for error messages about this remote.
+    fn remote_path(&self, object: &str) -> PathBuf {
+        PathBuf::from(format!("chunkd://{}/{}", self.addr, object))
+    }
+
+    fn io_error(&self, object: &str, e: io::Error) -> StoreError {
+        StoreError::io(self.remote_path(object), e)
+    }
+
+    /// Folds a response into `Ok(op payload)`, treating `Missing`/
+    /// `Corrupt`/`Err` as hard errors (for ops where they are unexpected).
+    fn expect_ok(&self, object: &str, response: Response) -> Result<Vec<u8>, StoreError> {
+        match response {
+            Response::Ok { payload } => Ok(payload),
+            Response::Missing => Err(self.io_error(
+                object,
+                io::Error::new(io::ErrorKind::NotFound, "server reported missing"),
+            )),
+            Response::Corrupt { reason } | Response::Err { message: reason } => {
+                Err(self.io_error(object, io::Error::other(reason)))
+            }
+        }
+    }
+}
+
+fn as_u32(what: &str, value: usize) -> Result<u32, StoreError> {
+    u32::try_from(value).map_err(|_| StoreError::InvalidConfig {
+        reason: format!("{what} of {value} bytes exceeds the wire format's u32"),
+    })
+}
+
+impl ChunkBackend for RemoteDisk {
+    fn describe(&self) -> String {
+        format!("chunkd://{}", self.addr)
+    }
+
+    fn is_available(&self) -> bool {
+        match self.request(&Request::Ping) {
+            Ok(Response::Ok { payload }) => decode_ping(&payload).unwrap_or(false),
+            _ => false,
+        }
+    }
+
+    fn ensure_object(&self, object: &str) -> Result<(), StoreError> {
+        let response = self
+            .request(&Request::EnsureObject {
+                object: object.to_string(),
+            })
+            .map_err(|e| self.io_error(object, e))?;
+        self.expect_ok(object, response).map(drop)
+    }
+
+    fn remove_object(&self, object: &str) -> Result<(), StoreError> {
+        let response = self
+            .request(&Request::RemoveObject {
+                object: object.to_string(),
+            })
+            .map_err(|e| self.io_error(object, e))?;
+        self.expect_ok(object, response).map(drop)
+    }
+
+    fn write_chunk(&self, object: &str, id: ChunkId, payload: &[u8]) -> Result<(), StoreError> {
+        as_u32("chunk payload", payload.len())?;
+        let response = self
+            .request(&Request::WriteChunk {
+                object: object.to_string(),
+                id,
+                payload: payload.to_vec(),
+            })
+            .map_err(|e| self.io_error(object, e))?;
+        self.expect_ok(object, response).map(drop)
+    }
+
+    fn read_chunk_into(&self, object: &str, id: ChunkId, out: &mut [u8]) -> ChunkRead<()> {
+        let response = match self.request(&Request::ReadChunk {
+            object: object.to_string(),
+            id,
+            len: as_u32("chunk read", out.len())?,
+        }) {
+            Ok(response) => response,
+            Err(_) => return Ok(Err(ChunkStatus::Missing)), // disk unreachable = lost
+        };
+        if let Some(status) = response.as_chunk_status() {
+            return Ok(Err(status));
+        }
+        let payload = self.expect_ok(object, response)?;
+        if payload.len() != out.len() {
+            return Ok(Err(ChunkStatus::Corrupt {
+                reason: format!(
+                    "server returned {} bytes for a {}-byte chunk",
+                    payload.len(),
+                    out.len()
+                ),
+            }));
+        }
+        out.copy_from_slice(&payload);
+        Ok(Ok(()))
+    }
+
+    fn read_chunk_range(
+        &self,
+        object: &str,
+        id: ChunkId,
+        chunk_len: usize,
+        offset: usize,
+        out: &mut [u8],
+    ) -> ChunkRead<()> {
+        let response = match self.request(&Request::ReadRange {
+            object: object.to_string(),
+            id,
+            chunk_len: as_u32("chunk length", chunk_len)?,
+            offset: as_u32("range offset", offset)?,
+            len: as_u32("range read", out.len())?,
+        }) {
+            Ok(response) => response,
+            Err(_) => return Ok(Err(ChunkStatus::Missing)), // disk unreachable = lost
+        };
+        if let Some(status) = response.as_chunk_status() {
+            return Ok(Err(status));
+        }
+        let payload = self.expect_ok(object, response)?;
+        if payload.len() != out.len() {
+            return Ok(Err(ChunkStatus::Corrupt {
+                reason: format!(
+                    "server returned {} bytes for a {}-byte range",
+                    payload.len(),
+                    out.len()
+                ),
+            }));
+        }
+        out.copy_from_slice(&payload);
+        Ok(Ok(()))
+    }
+
+    fn verify_chunk(
+        &self,
+        object: &str,
+        id: ChunkId,
+        chunk_len: usize,
+    ) -> Result<(ChunkStatus, u64), StoreError> {
+        let response = match self.request(&Request::Verify {
+            object: object.to_string(),
+            id,
+            chunk_len: as_u32("chunk length", chunk_len)?,
+        }) {
+            Ok(response) => response,
+            Err(_) => return Ok((ChunkStatus::Missing, 0)), // disk unreachable = lost
+        };
+        let payload = self.expect_ok(object, response)?;
+        decode_verify(&payload).map_err(|e| self.io_error(object, e))
+    }
+
+    fn sweep_tmp(&self, min_age: Duration) -> Result<Vec<String>, StoreError> {
+        let response = match self.request(&Request::SweepTmp { min_age }) {
+            Ok(response) => response,
+            Err(_) => return Ok(Vec::new()), // nothing sweepable on a lost disk
+        };
+        let payload = self.expect_ok("<sweep>", response)?;
+        decode_sweep(&payload).map_err(|e| self.io_error("<sweep>", e))
+    }
+
+    fn counters(&self) -> BackendCounters {
+        RemoteDisk::counters(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol;
+    use std::io::Write;
+    use std::net::TcpListener;
+
+    /// A server that closes the connection after every response, forcing
+    /// the client through its reconnect path on each request.
+    fn one_shot_server() -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            // Serve exactly three connections, one request each.
+            for _ in 0..3 {
+                let (mut stream, _) = listener.accept().unwrap();
+                let (body, _) = protocol::read_frame(&mut stream).unwrap();
+                let request = Request::decode(&body).unwrap();
+                assert_eq!(request, Request::Ping);
+                let response = Response::Ok {
+                    payload: protocol::encode_ping(true),
+                };
+                protocol::write_frame(&mut stream, &response.encode()).unwrap();
+                stream.flush().unwrap();
+                // Dropping the stream closes the connection.
+            }
+        });
+        (addr, handle)
+    }
+
+    #[test]
+    fn client_reconnects_after_the_server_drops_the_connection() {
+        let (addr, server) = one_shot_server();
+        let disk = RemoteDisk::with_timeout(addr.to_string(), Duration::from_secs(5));
+        // Three pings over three connections: the second and third only
+        // succeed if the client notices the dropped connection and redials.
+        assert!(disk.is_available());
+        assert!(disk.is_available());
+        assert!(disk.is_available());
+        server.join().unwrap();
+        let counters = disk.counters();
+        assert!(counters.bytes_sent > 0 && counters.bytes_received > 0);
+    }
+
+    #[test]
+    fn unreachable_server_is_a_hard_error_not_a_hang() {
+        // A port that nothing listens on: bind-then-drop reserves one.
+        let addr = {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap()
+        };
+        let disk = RemoteDisk::with_timeout(addr.to_string(), Duration::from_millis(200));
+        assert!(!disk.is_available());
+        let err = disk.ensure_object("obj").unwrap_err();
+        assert!(matches!(err, StoreError::Io { .. }), "{err}");
+    }
+}

@@ -1,0 +1,621 @@
+//! The chunkd wire protocol: length-prefixed binary frames over TCP.
+//!
+//! Every message — request or response — is one *frame*:
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  body length                      (u32 LE, ≤ MAX_FRAME)
+//!      4     …  body
+//! ```
+//!
+//! A request body opens with a one-byte opcode followed by its fields; a
+//! response body opens with a one-byte status ([`Response::Ok`] /
+//! `Missing` / `Corrupt` / `Err`) followed by the op-specific payload.
+//! Integers are little-endian; strings are a `u32` length plus UTF-8
+//! bytes. The protocol is strictly request/response on one connection —
+//! no pipelining — which keeps both ends a simple blocking loop.
+//!
+//! The operation set mirrors [`pbrs_store::ChunkBackend`] one-to-one, and
+//! that is the point: [`ReadRange`](Request::ReadRange) serves exactly the
+//! helper byte ranges `ErasureCode::repair_reads` names (half-chunks for
+//! Piggybacked-RS), so a degraded read or repair against a remote disk
+//! ships only the bytes the rebuild consumes. [`Verify`](Request::Verify)
+//! checks a chunk server-side and ships only the verdict.
+
+use std::io::{self, Read, Write};
+use std::time::Duration;
+
+use pbrs_store::{ChunkId, ChunkStatus};
+
+/// Hard upper bound on a frame body, protecting both ends from a corrupt
+/// or hostile length prefix. Far above any real chunk (the store caps
+/// chunk payloads at `u32::MAX`, but practical chunks are ≤ a few MiB).
+pub const MAX_FRAME: usize = 64 * 1024 * 1024;
+
+const OP_PING: u8 = 0;
+const OP_ENSURE_OBJECT: u8 = 1;
+const OP_REMOVE_OBJECT: u8 = 2;
+const OP_WRITE_CHUNK: u8 = 3;
+const OP_READ_CHUNK: u8 = 4;
+const OP_READ_RANGE: u8 = 5;
+const OP_VERIFY: u8 = 6;
+const OP_SWEEP_TMP: u8 = 7;
+
+const STATUS_OK: u8 = 0;
+const STATUS_MISSING: u8 = 1;
+const STATUS_CORRUPT: u8 = 2;
+const STATUS_ERR: u8 = 3;
+
+/// One request to a chunk server. Operations mirror
+/// [`pbrs_store::ChunkBackend`]; all are idempotent, which is what lets
+/// the client transparently retry once over a fresh connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness + disk-presence probe.
+    Ping,
+    /// Durably create the object's directory.
+    EnsureObject {
+        /// Object name (a validated path component).
+        object: String,
+    },
+    /// Best-effort removal of the object's chunks.
+    RemoveObject {
+        /// Object name.
+        object: String,
+    },
+    /// Write one chunk atomically and durably.
+    WriteChunk {
+        /// Object name.
+        object: String,
+        /// Chunk identity within the object.
+        id: ChunkId,
+        /// The chunk payload.
+        payload: Vec<u8>,
+    },
+    /// Read and fully verify one chunk.
+    ReadChunk {
+        /// Object name.
+        object: String,
+        /// Chunk identity within the object.
+        id: ChunkId,
+        /// Expected payload length.
+        len: u32,
+    },
+    /// Read a checksum-verified byte range of one chunk — the repair-read
+    /// primitive (half-chunks for Piggybacked-RS helpers).
+    ReadRange {
+        /// Object name.
+        object: String,
+        /// Chunk identity within the object.
+        id: ChunkId,
+        /// Expected whole-payload length.
+        chunk_len: u32,
+        /// Byte offset of the range.
+        offset: u32,
+        /// Length of the range.
+        len: u32,
+    },
+    /// Verify a chunk server-side; only the verdict crosses the wire.
+    Verify {
+        /// Object name.
+        object: String,
+        /// Chunk identity within the object.
+        id: ChunkId,
+        /// Expected payload length.
+        chunk_len: u32,
+    },
+    /// Delete stale `*.tmp` crash leftovers older than `min_age`.
+    SweepTmp {
+        /// Minimum age before a tmp file counts as stale.
+        min_age: Duration,
+    },
+}
+
+/// One response from a chunk server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Success; `payload` is op-specific (chunk bytes for reads, encoded
+    /// fields for ping/verify/sweep, empty otherwise).
+    Ok {
+        /// Op-specific payload bytes.
+        payload: Vec<u8>,
+    },
+    /// The chunk (or file) does not exist.
+    Missing,
+    /// The chunk exists but cannot serve reads.
+    Corrupt {
+        /// What was wrong.
+        reason: String,
+    },
+    /// The server failed to execute the request.
+    Err {
+        /// The server-side error text.
+        message: String,
+    },
+}
+
+impl Response {
+    /// A `Missing`/`Corrupt` response as a [`ChunkStatus`], if it is one.
+    pub fn as_chunk_status(&self) -> Option<ChunkStatus> {
+        match self {
+            Response::Missing => Some(ChunkStatus::Missing),
+            Response::Corrupt { reason } => Some(ChunkStatus::Corrupt {
+                reason: reason.clone(),
+            }),
+            _ => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------
+
+/// Writes one frame (length prefix + body). Returns the total bytes put
+/// on the wire, for traffic accounting.
+///
+/// # Errors
+///
+/// Propagates I/O failures; rejects bodies above [`MAX_FRAME`].
+pub fn write_frame(w: &mut impl Write, body: &[u8]) -> io::Result<u64> {
+    if body.len() > MAX_FRAME {
+        return Err(invalid(format!("frame body of {} bytes", body.len())));
+    }
+    w.write_all(&(body.len() as u32).to_le_bytes())?;
+    w.write_all(body)?;
+    w.flush()?;
+    Ok(4 + body.len() as u64)
+}
+
+/// Reads one frame body. Returns the body plus the total bytes taken off
+/// the wire.
+///
+/// # Errors
+///
+/// Propagates I/O failures (including `UnexpectedEof` mid-frame); rejects
+/// length prefixes above [`MAX_FRAME`].
+pub fn read_frame(r: &mut impl Read) -> io::Result<(Vec<u8>, u64)> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME {
+        return Err(invalid(format!("frame length {len} exceeds MAX_FRAME")));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    Ok((body, 4 + len as u64))
+}
+
+fn invalid(message: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message)
+}
+
+// ---------------------------------------------------------------------
+// Body encoding
+// ---------------------------------------------------------------------
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_id(out: &mut Vec<u8>, id: ChunkId) {
+    out.extend_from_slice(&id.stripe.to_le_bytes());
+    out.extend_from_slice(&(id.shard as u32).to_le_bytes());
+}
+
+/// A checked little-endian cursor over one frame body.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn bytes(&mut self, len: usize) -> io::Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(len)
+            .filter(|&end| end <= self.buf.len())
+            .ok_or_else(|| invalid("truncated message body".into()))?;
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> io::Result<u8> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().expect("8")))
+    }
+
+    fn str(&mut self) -> io::Result<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.bytes(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| invalid("non-UTF-8 string".into()))
+    }
+
+    fn id(&mut self) -> io::Result<ChunkId> {
+        Ok(ChunkId {
+            stripe: self.u64()?,
+            shard: self.u32()? as usize,
+        })
+    }
+
+    fn rest(&mut self) -> Vec<u8> {
+        let out = self.buf[self.pos..].to_vec();
+        self.pos = self.buf.len();
+        out
+    }
+
+    fn finish(&self) -> io::Result<()> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(invalid("trailing bytes in message body".into()))
+        }
+    }
+}
+
+impl Request {
+    /// Serialises the request into a frame body.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Request::Ping => out.push(OP_PING),
+            Request::EnsureObject { object } => {
+                out.push(OP_ENSURE_OBJECT);
+                put_str(&mut out, object);
+            }
+            Request::RemoveObject { object } => {
+                out.push(OP_REMOVE_OBJECT);
+                put_str(&mut out, object);
+            }
+            Request::WriteChunk {
+                object,
+                id,
+                payload,
+            } => {
+                out.push(OP_WRITE_CHUNK);
+                put_str(&mut out, object);
+                put_id(&mut out, *id);
+                out.extend_from_slice(payload);
+            }
+            Request::ReadChunk { object, id, len } => {
+                out.push(OP_READ_CHUNK);
+                put_str(&mut out, object);
+                put_id(&mut out, *id);
+                out.extend_from_slice(&len.to_le_bytes());
+            }
+            Request::ReadRange {
+                object,
+                id,
+                chunk_len,
+                offset,
+                len,
+            } => {
+                out.push(OP_READ_RANGE);
+                put_str(&mut out, object);
+                put_id(&mut out, *id);
+                out.extend_from_slice(&chunk_len.to_le_bytes());
+                out.extend_from_slice(&offset.to_le_bytes());
+                out.extend_from_slice(&len.to_le_bytes());
+            }
+            Request::Verify {
+                object,
+                id,
+                chunk_len,
+            } => {
+                out.push(OP_VERIFY);
+                put_str(&mut out, object);
+                put_id(&mut out, *id);
+                out.extend_from_slice(&chunk_len.to_le_bytes());
+            }
+            Request::SweepTmp { min_age } => {
+                out.push(OP_SWEEP_TMP);
+                // Millisecond precision: second truncation would turn a
+                // sub-second min_age into "sweep everything".
+                let millis = u64::try_from(min_age.as_millis()).unwrap_or(u64::MAX);
+                out.extend_from_slice(&millis.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Parses a request from a frame body.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` for unknown opcodes, truncation, or trailing
+    /// bytes.
+    pub fn decode(body: &[u8]) -> io::Result<Request> {
+        let mut c = Cursor::new(body);
+        let req = match c.u8()? {
+            OP_PING => Request::Ping,
+            OP_ENSURE_OBJECT => Request::EnsureObject { object: c.str()? },
+            OP_REMOVE_OBJECT => Request::RemoveObject { object: c.str()? },
+            OP_WRITE_CHUNK => Request::WriteChunk {
+                object: c.str()?,
+                id: c.id()?,
+                payload: c.rest(),
+            },
+            OP_READ_CHUNK => Request::ReadChunk {
+                object: c.str()?,
+                id: c.id()?,
+                len: c.u32()?,
+            },
+            OP_READ_RANGE => Request::ReadRange {
+                object: c.str()?,
+                id: c.id()?,
+                chunk_len: c.u32()?,
+                offset: c.u32()?,
+                len: c.u32()?,
+            },
+            OP_VERIFY => Request::Verify {
+                object: c.str()?,
+                id: c.id()?,
+                chunk_len: c.u32()?,
+            },
+            OP_SWEEP_TMP => Request::SweepTmp {
+                min_age: Duration::from_millis(c.u64()?),
+            },
+            other => return Err(invalid(format!("unknown opcode {other}"))),
+        };
+        c.finish()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Serialises the response into a frame body.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Response::Ok { payload } => {
+                out.push(STATUS_OK);
+                out.extend_from_slice(payload);
+            }
+            Response::Missing => out.push(STATUS_MISSING),
+            Response::Corrupt { reason } => {
+                out.push(STATUS_CORRUPT);
+                put_str(&mut out, reason);
+            }
+            Response::Err { message } => {
+                out.push(STATUS_ERR);
+                put_str(&mut out, message);
+            }
+        }
+        out
+    }
+
+    /// Parses a response from a frame body.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` for unknown status bytes or truncation.
+    pub fn decode(body: &[u8]) -> io::Result<Response> {
+        let mut c = Cursor::new(body);
+        let resp = match c.u8()? {
+            STATUS_OK => Response::Ok { payload: c.rest() },
+            STATUS_MISSING => Response::Missing,
+            STATUS_CORRUPT => Response::Corrupt { reason: c.str()? },
+            STATUS_ERR => Response::Err { message: c.str()? },
+            other => return Err(invalid(format!("unknown status byte {other}"))),
+        };
+        c.finish()?;
+        Ok(resp)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Op-specific Ok payloads (shared by server and client)
+// ---------------------------------------------------------------------
+
+/// Encodes a [`Request::Ping`] success payload.
+pub fn encode_ping(disk_present: bool) -> Vec<u8> {
+    vec![u8::from(disk_present)]
+}
+
+/// Decodes a [`Request::Ping`] success payload.
+///
+/// # Errors
+///
+/// Returns `InvalidData` on a malformed payload.
+pub fn decode_ping(payload: &[u8]) -> io::Result<bool> {
+    let mut c = Cursor::new(payload);
+    let present = c.u8()? != 0;
+    c.finish()?;
+    Ok(present)
+}
+
+/// Encodes a [`Request::Verify`] success payload.
+pub fn encode_verify(status: &ChunkStatus, bytes_read: u64) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&bytes_read.to_le_bytes());
+    match status {
+        ChunkStatus::Healthy => out.push(0),
+        ChunkStatus::Missing => out.push(1),
+        ChunkStatus::Corrupt { reason } => {
+            out.push(2);
+            put_str(&mut out, reason);
+        }
+    }
+    out
+}
+
+/// Decodes a [`Request::Verify`] success payload.
+///
+/// # Errors
+///
+/// Returns `InvalidData` on a malformed payload.
+pub fn decode_verify(payload: &[u8]) -> io::Result<(ChunkStatus, u64)> {
+    let mut c = Cursor::new(payload);
+    let bytes_read = c.u64()?;
+    let status = match c.u8()? {
+        0 => ChunkStatus::Healthy,
+        1 => ChunkStatus::Missing,
+        2 => ChunkStatus::Corrupt { reason: c.str()? },
+        other => return Err(invalid(format!("unknown chunk status {other}"))),
+    };
+    c.finish()?;
+    Ok((status, bytes_read))
+}
+
+/// Encodes a [`Request::SweepTmp`] success payload.
+pub fn encode_sweep(removed: &[String]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(removed.len() as u32).to_le_bytes());
+    for path in removed {
+        put_str(&mut out, path);
+    }
+    out
+}
+
+/// Decodes a [`Request::SweepTmp`] success payload.
+///
+/// # Errors
+///
+/// Returns `InvalidData` on a malformed payload.
+pub fn decode_sweep(payload: &[u8]) -> io::Result<Vec<String>> {
+    let mut c = Cursor::new(payload);
+    let count = c.u32()? as usize;
+    let mut removed = Vec::with_capacity(count.min(1024));
+    for _ in 0..count {
+        removed.push(c.str()?);
+    }
+    c.finish()?;
+    Ok(removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ID: ChunkId = ChunkId {
+        stripe: 42,
+        shard: 7,
+    };
+
+    #[test]
+    fn requests_round_trip() {
+        let cases = [
+            Request::Ping,
+            Request::EnsureObject {
+                object: "obj".into(),
+            },
+            Request::RemoveObject {
+                object: "obj".into(),
+            },
+            Request::WriteChunk {
+                object: "obj".into(),
+                id: ID,
+                payload: (0..=255u8).collect(),
+            },
+            Request::ReadChunk {
+                object: "obj".into(),
+                id: ID,
+                len: 4096,
+            },
+            Request::ReadRange {
+                object: "obj".into(),
+                id: ID,
+                chunk_len: 4096,
+                offset: 2048,
+                len: 2048,
+            },
+            Request::Verify {
+                object: "obj".into(),
+                id: ID,
+                chunk_len: 4096,
+            },
+            Request::SweepTmp {
+                min_age: Duration::from_secs(60),
+            },
+            // Sub-second precision must survive the wire.
+            Request::SweepTmp {
+                min_age: Duration::from_millis(1500),
+            },
+        ];
+        for req in cases {
+            assert_eq!(Request::decode(&req.encode()).unwrap(), req, "{req:?}");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let cases = [
+            Response::Ok {
+                payload: vec![1, 2, 3],
+            },
+            Response::Ok { payload: vec![] },
+            Response::Missing,
+            Response::Corrupt {
+                reason: "payload checksum mismatch".into(),
+            },
+            Response::Err {
+                message: "disk on fire".into(),
+            },
+        ];
+        for resp in cases {
+            assert_eq!(Response::decode(&resp.encode()).unwrap(), resp, "{resp:?}");
+        }
+    }
+
+    #[test]
+    fn ok_payload_helpers_round_trip() {
+        assert!(decode_ping(&encode_ping(true)).unwrap());
+        assert!(!decode_ping(&encode_ping(false)).unwrap());
+        for status in [
+            ChunkStatus::Healthy,
+            ChunkStatus::Missing,
+            ChunkStatus::Corrupt {
+                reason: "why".into(),
+            },
+        ] {
+            let (back, bytes) = decode_verify(&encode_verify(&status, 123)).unwrap();
+            assert_eq!(back, status);
+            assert_eq!(bytes, 123);
+        }
+        let removed = vec!["obj/a.tmp".to_string(), "b.tmp".to_string()];
+        assert_eq!(decode_sweep(&encode_sweep(&removed)).unwrap(), removed);
+        assert_eq!(
+            decode_sweep(&encode_sweep(&[])).unwrap(),
+            Vec::<String>::new()
+        );
+    }
+
+    #[test]
+    fn malformed_bodies_are_rejected() {
+        assert!(Request::decode(&[]).is_err(), "empty body");
+        assert!(Request::decode(&[99]).is_err(), "unknown opcode");
+        assert!(Response::decode(&[99]).is_err(), "unknown status");
+        // Truncated string length.
+        assert!(Request::decode(&[OP_ENSURE_OBJECT, 5, 0, 0, 0, b'a']).is_err());
+        // Trailing garbage.
+        let mut body = Request::Ping.encode();
+        body.push(0);
+        assert!(Request::decode(&body).is_err());
+    }
+
+    #[test]
+    fn frames_round_trip_and_enforce_the_cap() {
+        let mut wire = Vec::new();
+        let sent = write_frame(&mut wire, b"hello").unwrap();
+        assert_eq!(sent, 9);
+        let (body, received) = read_frame(&mut wire.as_slice()).unwrap();
+        assert_eq!(body, b"hello");
+        assert_eq!(received, 9);
+        // A hostile length prefix is rejected before allocation.
+        let huge = (MAX_FRAME as u32 + 1).to_le_bytes();
+        assert!(read_frame(&mut huge.as_slice()).is_err());
+    }
+}

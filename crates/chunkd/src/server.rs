@@ -1,0 +1,404 @@
+//! The chunk server: one TCP endpoint serving one "disk".
+//!
+//! A [`ChunkServer`] owns a [`LocalDisk`] root directory and answers the
+//! [`crate::protocol`] request set over plain blocking TCP — no async
+//! runtime, matching the store's `std::thread` style throughout. A small
+//! pre-threaded pool shares the listener: each worker accepts one
+//! connection at a time and serves it request-by-request, so `threads`
+//! bounds both concurrency and memory. All durability guarantees are the
+//! disk's ([`LocalDisk`] fsyncs files and directories); the server adds no
+//! buffering of its own.
+
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use pbrs_store::manifest::validate_object_name;
+use pbrs_store::{BackendCounters, ChunkBackend, ChunkStatus, LocalDisk, StoreError};
+
+use crate::protocol::{encode_ping, encode_sweep, encode_verify, write_frame, Request, Response};
+
+/// How long a serving thread waits for the next request before checking
+/// the shutdown flag again. Bounds shutdown latency, not request latency.
+const POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+/// Configuration of a [`ChunkServer`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Worker threads accepting and serving connections (also the maximum
+    /// number of concurrently served connections).
+    pub threads: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig { threads: 4 }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Traffic {
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+}
+
+struct Shared {
+    disk: LocalDisk,
+    shutdown: AtomicBool,
+    traffic: Traffic,
+}
+
+/// A running chunk server; dropping it (or calling
+/// [`ChunkServer::shutdown`]) stops the workers.
+pub struct ChunkServer {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ChunkServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChunkServer")
+            .field("addr", &self.local_addr)
+            .field("root", &self.shared.disk.root())
+            .field("threads", &self.workers.len())
+            .finish()
+    }
+}
+
+impl ChunkServer {
+    /// Binds a server for the disk rooted at `root` (created if absent) on
+    /// `addr` (e.g. `"127.0.0.1:0"` for an OS-assigned port), with the
+    /// default thread count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind and root-creation failures.
+    pub fn bind(root: impl Into<PathBuf>, addr: impl ToSocketAddrs) -> io::Result<Self> {
+        Self::bind_with(root, addr, ServerConfig::default())
+    }
+
+    /// [`ChunkServer::bind`] with an explicit [`ServerConfig`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind and root-creation failures.
+    pub fn bind_with(
+        root: impl Into<PathBuf>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> io::Result<Self> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            disk: LocalDisk::new(root),
+            shutdown: AtomicBool::new(false),
+            traffic: Traffic::default(),
+        });
+        let listener = Arc::new(listener);
+        let workers = (0..config.threads.max(1))
+            .map(|i| {
+                let listener = Arc::clone(&listener);
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("chunkd-{local_addr}-{i}"))
+                    .spawn(move || accept_loop(&listener, &shared))
+                    .expect("spawn chunkd worker")
+            })
+            .collect();
+        Ok(ChunkServer {
+            local_addr,
+            shared,
+            workers,
+        })
+    }
+
+    /// The address the server actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The disk root directory this server serves.
+    pub fn root(&self) -> &Path {
+        self.shared.disk.root()
+    }
+
+    /// Server-side traffic totals across all connections so far:
+    /// `bytes_received` is what clients sent us, `bytes_sent` what we
+    /// shipped back.
+    pub fn counters(&self) -> BackendCounters {
+        BackendCounters {
+            bytes_sent: self.shared.traffic.bytes_out.load(Ordering::Relaxed),
+            bytes_received: self.shared.traffic.bytes_in.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops accepting, finishes in-flight requests, and joins the workers.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Wake every blocked accept with a throwaway connection.
+        for _ in &self.workers {
+            let _ = TcpStream::connect_timeout(&self.local_addr, Duration::from_millis(250));
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for ChunkServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return; // the wake-up connection from shutdown()
+                }
+                let _ = serve_connection(stream, shared);
+            }
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Transient accept failure (EMFILE, aborted handshake…):
+                // don't spin at full speed.
+                std::thread::sleep(POLL_INTERVAL);
+            }
+        }
+    }
+}
+
+/// Serves one connection until the client disconnects, an I/O error
+/// occurs, or shutdown begins.
+fn serve_connection(mut stream: TcpStream, shared: &Shared) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(POLL_INTERVAL))?;
+    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    loop {
+        let body = match read_frame_polling(&mut stream, shared) {
+            Ok(Some(body)) => body,
+            Ok(None) => return Ok(()), // clean EOF between frames, or shutdown
+            Err(e) => return Err(e),
+        };
+        shared
+            .traffic
+            .bytes_in
+            .fetch_add(4 + body.len() as u64, Ordering::Relaxed);
+        let response = match Request::decode(&body) {
+            Ok(request) => handle(&shared.disk, request),
+            Err(e) => Response::Err {
+                message: format!("bad request: {e}"),
+            },
+        };
+        let sent = write_frame(&mut stream, &response.encode())?;
+        shared.traffic.bytes_out.fetch_add(sent, Ordering::Relaxed);
+    }
+}
+
+/// Reads one frame, tolerating read timeouts so the shutdown flag is
+/// polled: a slow-but-alive client keeps the connection, but once
+/// shutdown begins even a client stalled mid-frame is dropped (otherwise
+/// joining the workers could hang forever). Returns `None` on clean EOF
+/// at a frame boundary or on shutdown before a frame starts.
+fn read_frame_polling(stream: &mut TcpStream, shared: &Shared) -> io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    let mut filled = 0usize;
+    while filled < len.len() {
+        match stream.read(&mut len[filled..]) {
+            Ok(0) => {
+                return if filled == 0 {
+                    Ok(None) // clean EOF between frames
+                } else {
+                    Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "EOF inside a frame header",
+                    ))
+                };
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return if filled == 0 {
+                        Ok(None)
+                    } else {
+                        // Shutdown must win even over a client stalled
+                        // mid-header, or worker joins would hang forever.
+                        Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            "server shutting down mid-frame",
+                        ))
+                    };
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(len) as usize;
+    if len > crate::protocol::MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds MAX_FRAME"),
+        ));
+    }
+    let mut body = vec![0u8; len];
+    let mut filled = 0usize;
+    while filled < body.len() {
+        match stream.read(&mut body[filled..]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "EOF inside a frame body",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    // As above: a stalled client must not pin the worker
+                    // past shutdown.
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "server shutting down mid-frame",
+                    ));
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(Some(body))
+}
+
+/// Executes one request against the disk.
+fn handle(disk: &LocalDisk, request: Request) -> Response {
+    match request {
+        Request::Ping => Response::Ok {
+            payload: encode_ping(disk.is_available()),
+        },
+        Request::EnsureObject { object } => with_object(&object, || {
+            disk.ensure_object(&object)?;
+            Ok(Response::Ok { payload: vec![] })
+        }),
+        Request::RemoveObject { object } => with_object(&object, || {
+            disk.remove_object(&object)?;
+            Ok(Response::Ok { payload: vec![] })
+        }),
+        Request::WriteChunk {
+            object,
+            id,
+            payload,
+        } => with_object(&object, || {
+            disk.write_chunk(&object, id, &payload)?;
+            Ok(Response::Ok { payload: vec![] })
+        }),
+        Request::ReadChunk { object, id, len } => with_object(&object, || {
+            check_len(len)?;
+            let mut out = vec![0u8; len as usize];
+            match disk.read_chunk_into(&object, id, &mut out)? {
+                Ok(()) => Ok(Response::Ok { payload: out }),
+                Err(status) => Ok(status_response(status)),
+            }
+        }),
+        Request::ReadRange {
+            object,
+            id,
+            chunk_len,
+            offset,
+            len,
+        } => with_object(&object, || {
+            check_len(len)?;
+            if (offset as u64) + (len as u64) > chunk_len as u64 {
+                return Ok(Response::Err {
+                    message: format!("range {offset}+{len} exceeds chunk length {chunk_len}"),
+                });
+            }
+            let mut out = vec![0u8; len as usize];
+            match disk.read_chunk_range(
+                &object,
+                id,
+                chunk_len as usize,
+                offset as usize,
+                &mut out,
+            )? {
+                Ok(()) => Ok(Response::Ok { payload: out }),
+                Err(status) => Ok(status_response(status)),
+            }
+        }),
+        Request::Verify {
+            object,
+            id,
+            chunk_len,
+        } => with_object(&object, || {
+            let (status, bytes_read) = disk.verify_chunk(&object, id, chunk_len as usize)?;
+            Ok(Response::Ok {
+                payload: encode_verify(&status, bytes_read),
+            })
+        }),
+        Request::SweepTmp { min_age } => match disk.sweep_tmp(min_age) {
+            Ok(removed) => Response::Ok {
+                payload: encode_sweep(&removed),
+            },
+            Err(e) => Response::Err {
+                message: e.to_string(),
+            },
+        },
+    }
+}
+
+/// Rejects read lengths a response frame could not carry — the request's
+/// length field must never size an allocation unchecked.
+fn check_len(len: u32) -> Result<(), StoreError> {
+    if len as usize > crate::protocol::MAX_FRAME - 16 {
+        return Err(StoreError::InvalidConfig {
+            reason: format!("read of {len} bytes exceeds the frame cap"),
+        });
+    }
+    Ok(())
+}
+
+/// Validates the object name (the server must never trust a path
+/// component off the wire), then runs the op, folding errors into an
+/// error response.
+fn with_object(object: &str, op: impl FnOnce() -> Result<Response, StoreError>) -> Response {
+    if let Err(e) = validate_object_name(object) {
+        return Response::Err {
+            message: e.to_string(),
+        };
+    }
+    match op() {
+        Ok(response) => response,
+        Err(e) => Response::Err {
+            message: e.to_string(),
+        },
+    }
+}
+
+fn status_response(status: ChunkStatus) -> Response {
+    match status {
+        ChunkStatus::Missing => Response::Missing,
+        ChunkStatus::Corrupt { reason } => Response::Corrupt { reason },
+        ChunkStatus::Healthy => Response::Ok { payload: vec![] },
+    }
+}

@@ -1,0 +1,158 @@
+//! The networked `repair_reads` contract: a remote single-failure repair
+//! issues exactly the declared helper ranges — no byte outside them ever
+//! crosses the socket.
+//!
+//! Proof technique (borrowed from `crates/core/tests/repair_reads.rs`):
+//! after ingesting an object, every helper chunk *on the servers' disks*
+//! is rewritten so the bytes outside the declared ranges are garbage (with
+//! checksums recomputed, so reads of undeclared ranges would verify and
+//! poison the rebuild undetected). If the repair still reproduces the lost
+//! chunk bit-for-bit, it cannot have read any undeclared byte. The per-disk
+//! socket counters then pin down the *quantity*: each helper connection
+//! carried its declared range plus a few framing bytes — for Piggybacked-RS
+//! parity helpers, half a chunk, never a whole one.
+
+use std::fs;
+use std::sync::Arc;
+
+use pbrs_chunkd::{ChunkServer, RemoteDisk};
+use pbrs_core::registry;
+use pbrs_erasure::{reads_for_shard, total_read_bytes, CodeSpec, ShardRead};
+use pbrs_store::testing::TempDir;
+use pbrs_store::{chunk, BlockStore, ChunkBackend, ChunkId, StoreConfig};
+
+const CHUNK_LEN: usize = 2048;
+const STRIPES: u64 = 2;
+const TARGET: usize = 1; // a data shard: piggyback uses half-chunk helpers
+
+/// Per-response wire overhead: 4-byte length prefix + 1 status byte.
+const FRAME_OVERHEAD: u64 = 5;
+
+fn garbage_fill_outside(path: &std::path::Path, id: ChunkId, declared: &[&ShardRead]) -> Vec<u8> {
+    let original = chunk::read_chunk(path, id, CHUNK_LEN).unwrap().unwrap();
+    let mut doctored: Vec<u8> = (0..CHUNK_LEN)
+        .map(|i| ((i * 89 + 31) % 251) as u8)
+        .collect();
+    for read in declared {
+        doctored[read.range()].copy_from_slice(&original[read.range()]);
+    }
+    chunk::write_chunk(path, id, &doctored).unwrap();
+    original
+}
+
+#[test]
+fn remote_repair_reads_only_the_declared_ranges() {
+    let spec: CodeSpec = "piggyback-6-3".parse().unwrap();
+    let code = registry::build(&spec).unwrap();
+    let n = code.params().total_shards();
+
+    let dir = TempDir::new("chunkd-contract");
+    let servers: Vec<ChunkServer> = (0..n)
+        .map(|i| ChunkServer::bind(dir.path().join(format!("srv-{i:02}")), "127.0.0.1:0").unwrap())
+        .collect();
+    let remotes: Vec<Arc<RemoteDisk>> = servers
+        .iter()
+        .map(|s| Arc::new(RemoteDisk::new(s.local_addr().to_string())))
+        .collect();
+    let disks: Vec<Arc<dyn ChunkBackend>> = remotes
+        .iter()
+        .map(|r| Arc::clone(r) as Arc<dyn ChunkBackend>)
+        .collect();
+    let store = BlockStore::open_with_backends(
+        StoreConfig::new(dir.path().join("root"), spec).chunk_len(CHUNK_LEN),
+        disks,
+    )
+    .unwrap();
+
+    let data: Vec<u8> = (0..code.params().data_shards() * CHUNK_LEN * STRIPES as usize)
+        .map(|i| ((i * 31 + 7) % 253) as u8)
+        .collect();
+    store.put("obj", &data[..]).unwrap();
+
+    // The declared helper ranges for losing shard TARGET.
+    let mut available = vec![true; n];
+    available[TARGET] = false;
+    let reads = store
+        .code()
+        .repair_reads(TARGET, &available, CHUNK_LEN)
+        .unwrap();
+    let declared_bytes = total_read_bytes(&reads);
+    assert!(
+        declared_bytes < (code.params().data_shards() * CHUNK_LEN) as u64,
+        "piggyback data repair must beat the RS baseline"
+    );
+
+    // Doctor every helper chunk on the servers' disks: garbage outside the
+    // declared ranges, valid checksums throughout. Remember the target's
+    // original payloads, then delete them.
+    let mut lost_payloads = Vec::new();
+    for stripe in 0..STRIPES {
+        for (shard, server) in servers.iter().enumerate() {
+            let id = ChunkId { stripe, shard };
+            let path = server
+                .root()
+                .join("obj")
+                .join(format!("{stripe:08}-{shard:02}.chunk"));
+            if shard == TARGET {
+                lost_payloads.push(chunk::read_chunk(&path, id, CHUNK_LEN).unwrap().unwrap());
+                fs::remove_file(&path).unwrap();
+            } else {
+                let declared: Vec<&ShardRead> = reads_for_shard(&reads, shard).collect();
+                garbage_fill_outside(&path, id, &declared);
+            }
+        }
+    }
+
+    // Snapshot per-disk socket counters, then repair both stripes.
+    let before: Vec<u64> = remotes
+        .iter()
+        .map(|r| r.counters().bytes_received)
+        .collect();
+    for stripe in 0..STRIPES {
+        let repair = store.repair_stripe("obj", stripe, &[TARGET]).unwrap();
+        assert_eq!(repair.rebuilt, vec![TARGET], "stripe {stripe}");
+        assert_eq!(repair.helper_bytes, declared_bytes, "stripe {stripe}");
+    }
+
+    // The rebuilds consumed garbage-adjacent helpers and still reproduced
+    // the lost chunks exactly: no undeclared byte was read.
+    for stripe in 0..STRIPES {
+        let id = ChunkId {
+            stripe,
+            shard: TARGET,
+        };
+        let path = servers[TARGET]
+            .root()
+            .join("obj")
+            .join(format!("{stripe:08}-{TARGET:02}.chunk"));
+        let rebuilt = chunk::read_chunk(&path, id, CHUNK_LEN).unwrap().unwrap();
+        assert_eq!(
+            rebuilt, lost_payloads[stripe as usize],
+            "stripe {stripe}: rebuild diverged — an undeclared range was read"
+        );
+    }
+
+    // Socket accounting: each helper disk received its declared ranges
+    // plus only framing overhead; Piggybacked-RS parity helpers shipped
+    // half-chunks, never whole ones.
+    for (shard, remote) in remotes.iter().enumerate() {
+        if shard == TARGET {
+            continue;
+        }
+        let declared: Vec<&ShardRead> = reads_for_shard(&reads, shard).collect();
+        let declared_disk: u64 = declared.iter().map(|r| r.len as u64).sum();
+        let got = remote.counters().bytes_received - before[shard];
+        let max = STRIPES * (declared_disk + FRAME_OVERHEAD * declared.len().max(1) as u64);
+        assert!(
+            got >= STRIPES * declared_disk && got <= max,
+            "shard {shard}: {got} socket bytes for {declared_disk} declared \
+             bytes per stripe (max {max})"
+        );
+        if declared.iter().all(|r| r.len == CHUNK_LEN / 2) && !declared.is_empty() {
+            assert!(
+                got < STRIPES * CHUNK_LEN as u64,
+                "shard {shard}: a half-chunk helper shipped a whole chunk"
+            );
+        }
+    }
+}

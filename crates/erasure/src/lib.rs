@@ -103,7 +103,8 @@ pub use lrc::{Lrc, LrcParams};
 pub use params::CodeParams;
 pub use reed_solomon::ReedSolomon;
 pub use repair::{
-    total_read_bytes, FetchRequest, Fraction, RepairMetrics, RepairOutcome, RepairPlan, ShardRead,
+    reads_for_shard, total_read_bytes, FetchRequest, Fraction, RepairMetrics, RepairOutcome,
+    RepairPlan, ShardRead,
 };
 pub use replication::Replication;
 pub use spec::CodeSpec;

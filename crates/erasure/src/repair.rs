@@ -157,11 +157,25 @@ impl ShardRead {
     pub fn end(&self) -> usize {
         self.offset + self.len
     }
+
+    /// The byte range within the helper shard, ready for slice indexing.
+    pub fn range(&self) -> core::ops::Range<usize> {
+        self.offset..self.end()
+    }
 }
 
 /// Total bytes covered by a set of reads.
 pub fn total_read_bytes(reads: &[ShardRead]) -> u64 {
     reads.iter().map(|r| r.len as u64).sum()
+}
+
+/// The reads of a plan that touch helper shard `shard`, in plan order.
+///
+/// Chunk-at-a-time executors (the `pbrs-store` crate's degraded reads, the
+/// `chunkd` wire protocol) serve one helper shard per request, so they need
+/// the per-shard slice of a plan rather than the flat list.
+pub fn reads_for_shard(reads: &[ShardRead], shard: usize) -> impl Iterator<Item = &ShardRead> {
+    reads.iter().filter(move |r| r.shard == shard)
 }
 
 /// Read/transfer accounting of an executed (or planned) repair.

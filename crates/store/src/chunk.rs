@@ -27,7 +27,12 @@
 //! half-aligned are served by reading (and verifying) the covering halves.
 //!
 //! Writes go to a `*.tmp` sibling first and are atomically renamed into
-//! place, so a crashed writer leaves no truncated chunk behind.
+//! place, so a crashed writer leaves no truncated chunk behind. The rename
+//! alone is not durable, though: the new directory entry lives in the
+//! *directory's* data blocks, so after the rename the parent directory is
+//! fsynced too ([`fsync_dir`]) — otherwise a power loss can forget the
+//! rename and resurrect the old file (or no file at all) even though the
+//! chunk's own bytes were synced.
 
 use std::fs::{self, File};
 use std::io::{self, Read, Seek, SeekFrom, Write};
@@ -74,7 +79,26 @@ impl ChunkStatus {
 
 /// The result shape shared by the fallible readers: the outer error is a
 /// hard I/O failure, the inner one a missing/corrupt chunk.
-type ChunkRead<T> = Result<std::result::Result<T, ChunkStatus>>;
+pub type ChunkRead<T> = Result<std::result::Result<T, ChunkStatus>>;
+
+/// Fsyncs a directory, making the entry mutations inside it (renames, file
+/// and subdirectory creations) durable. A no-op on platforms where
+/// directories cannot be opened for syncing.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error.
+pub fn fsync_dir(dir: &Path) -> io::Result<()> {
+    #[cfg(unix)]
+    {
+        File::open(dir)?.sync_all()
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = dir;
+        Ok(())
+    }
+}
 
 fn encode_header(id: ChunkId, payload_len: u32, crc_lo: u32, crc_hi: u32) -> [u8; HEADER_LEN] {
     let mut header = [0u8; HEADER_LEN];
@@ -130,7 +154,9 @@ fn decode_header(
     })
 }
 
-/// Writes a chunk file atomically (`path.tmp` then rename).
+/// Writes a chunk file atomically and durably: the bytes go to a `path.tmp`
+/// sibling, are fsynced, renamed over `path`, and the parent directory is
+/// fsynced so the rename itself survives power loss.
 ///
 /// # Errors
 ///
@@ -155,6 +181,9 @@ pub fn write_chunk(path: &Path, id: ChunkId, payload: &[u8]) -> Result<()> {
     };
     write(&tmp).map_err(|e| StoreError::io(&tmp, e))?;
     fs::rename(&tmp, path).map_err(|e| StoreError::io(path, e))?;
+    if let Some(parent) = path.parent() {
+        fsync_dir(parent).map_err(|e| StoreError::io(parent, e))?;
+    }
     Ok(())
 }
 

@@ -43,13 +43,14 @@
 //! ```
 
 use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
-use crate::error::Result;
-use crate::store::{BlockStore, ScrubReport};
+use crate::error::{Result, StoreError};
+use crate::store::{panic_message, BlockStore, ScrubReport};
 
 /// Configuration of a [`RepairDaemon`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -290,6 +291,31 @@ fn scan_once(shared: &Shared) -> Result<ScanReport> {
     })
 }
 
+/// Undoes one task's queue bookkeeping when dropped: decrements
+/// `queue.active`, removes the `pending` entry (so later scans can
+/// re-enqueue the stripe), and wakes `wait_idle` waiters if the queue just
+/// drained. Running this in a drop guard — not straight-line code — is what
+/// keeps a panicking [`BlockStore::repair_stripe`] from leaking the
+/// counters and hanging [`RepairDaemon::wait_idle`] forever.
+struct TaskGuard<'a> {
+    shared: &'a Shared,
+    object: String,
+    stripe: u64,
+}
+
+impl Drop for TaskGuard<'_> {
+    fn drop(&mut self) {
+        let mut queue = self.shared.queue.lock().expect("lock");
+        queue.active -= 1;
+        queue
+            .pending
+            .remove(&(std::mem::take(&mut self.object), self.stripe));
+        if queue.tasks.is_empty() && queue.active == 0 {
+            self.shared.idle.notify_all();
+        }
+    }
+}
+
 fn worker_loop(shared: &Shared) {
     loop {
         let task = {
@@ -309,9 +335,32 @@ fn worker_loop(shared: &Shared) {
             }
         };
 
-        let result = shared
-            .store
-            .repair_stripe(&task.object, task.stripe, &task.damaged);
+        // From here to the end of the iteration the guard owns the task's
+        // bookkeeping; a panic below unwinds through it instead of leaking
+        // `active`/`pending`.
+        let guard = TaskGuard {
+            shared,
+            object: task.object.clone(),
+            stripe: task.stripe,
+        };
+        // Contain panics at the task boundary: the worker thread survives,
+        // the panic becomes a counted failure, and the stripe stays
+        // repairable by a later scan.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            shared
+                .store
+                .repair_stripe(&task.object, task.stripe, &task.damaged)
+        }))
+        .unwrap_or_else(|payload| {
+            Err(StoreError::WorkerPanic {
+                context: format!(
+                    "repair of {:?} stripe {}: {}",
+                    task.object,
+                    task.stripe,
+                    panic_message(payload.as_ref())
+                ),
+            })
+        });
         match result {
             Ok(repair) => {
                 shared.stripes_repaired.fetch_add(1, Ordering::Relaxed);
@@ -333,13 +382,7 @@ fn worker_loop(shared: &Shared) {
                 ));
             }
         }
-
-        let mut queue = shared.queue.lock().expect("lock");
-        queue.active -= 1;
-        queue.pending.remove(&(task.object, task.stripe));
-        if queue.tasks.is_empty() && queue.active == 0 {
-            shared.idle.notify_all();
-        }
+        drop(guard);
     }
 }
 
@@ -468,6 +511,48 @@ mod tests {
             // (a leak would hang the test binary at exit instead).
         }
         assert!(store.scrub().unwrap().is_clean());
+    }
+
+    #[test]
+    fn panicking_repair_worker_cannot_hang_wait_idle() {
+        let dir = TempDir::new("daemon-panic");
+        let store = store_with_object(&dir, "rs-4-2", 4 * 512 * 3);
+        fs::remove_dir_all(store.disk_path(2)).unwrap();
+
+        // Every repair_stripe call panics: wait_idle must still return,
+        // the panics must be counted as failures, and the pending entries
+        // must be released so a later scan can re-enqueue the stripes.
+        store.inject_repair_panic(true);
+        let daemon = RepairDaemon::start(
+            Arc::clone(&store),
+            DaemonConfig {
+                workers: 2,
+                scan_interval: None,
+            },
+        );
+        let scan = daemon.scan_now().unwrap();
+        assert_eq!(scan.enqueued_stripes, 3);
+        daemon.wait_idle(); // the bug: this used to block forever
+        let stats = daemon.stats();
+        assert_eq!(stats.failures, 3);
+        assert_eq!(stats.chunks_repaired, 0);
+        assert!(
+            daemon.last_error().unwrap().contains("panic"),
+            "last_error must name the panic: {:?}",
+            daemon.last_error()
+        );
+
+        // The workers survived their panics and the stripes were not
+        // poisoned: heal everything on the next scan.
+        store.inject_repair_panic(false);
+        let rescan = daemon.scan_now().unwrap();
+        assert_eq!(rescan.enqueued_stripes, 3, "pending entries were leaked");
+        daemon.wait_idle();
+        let stats = daemon.shutdown();
+        assert_eq!(stats.failures, 3);
+        assert_eq!(stats.chunks_repaired, 3);
+        assert!(store.scrub().unwrap().is_clean());
+        assert_eq!(store.get("obj").unwrap(), pattern(4 * 512 * 3));
     }
 
     #[test]

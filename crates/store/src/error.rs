@@ -59,6 +59,13 @@ pub enum StoreError {
         /// The value the caller configured.
         configured: String,
     },
+    /// A worker thread panicked while executing store work. The panic was
+    /// contained (caught at the worker boundary) and surfaced as this error
+    /// instead of hanging or killing the caller.
+    WorkerPanic {
+        /// What the worker was doing when it panicked.
+        context: String,
+    },
     /// Too many chunks of one stripe are lost or corrupt to rebuild it.
     StripeUnrecoverable {
         /// The owning object.
@@ -100,6 +107,9 @@ impl fmt::Display for StoreError {
                 f,
                 "store opened with {field} = {configured}, but the manifest records {on_disk}"
             ),
+            StoreError::WorkerPanic { context } => {
+                write!(f, "worker thread panicked during {context}")
+            }
             StoreError::StripeUnrecoverable {
                 object,
                 stripe,

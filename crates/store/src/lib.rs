@@ -21,6 +21,40 @@
 //!   detects lost disks and corrupt chunks, rebuilds them along each code's
 //!   repair plan, and exports traffic counters per code
 //!   ([`MetricsSnapshot`], [`DaemonStats`]).
+//! * **Pluggable disks** — every chunk touch goes through one
+//!   [`ChunkBackend`] per shard ([`backend`]): the default is the local
+//!   directory-per-disk layout ([`LocalDisk`]), and the `pbrs-chunkd` crate
+//!   serves the same surface over TCP so helper bytes cross real sockets
+//!   (counted by [`BlockStore::socket_counters`]).
+//!
+//! # Durability
+//!
+//! What survives a power loss, and why:
+//!
+//! * **A committed object is fully durable.** [`BlockStore::put`] writes
+//!   every chunk of every stripe durably *before* committing the manifest
+//!   entry, so a manifest that lists an object implies all of its chunks
+//!   hit stable storage first.
+//! * **Every file lands via tmp → fsync → rename → directory fsync.** The
+//!   file's own `fsync` makes its *bytes* durable, but the rename that
+//!   publishes it lives in the parent directory's data blocks — without
+//!   fsyncing the directory too, a crash can forget the rename and
+//!   resurrect the old file (or no file) despite the data being on disk.
+//!   Chunk writes ([`chunk::write_chunk`]), manifest commits
+//!   ([`Manifest::save`]) and object-directory creation
+//!   ([`ChunkBackend::ensure_object`]) all follow this discipline.
+//! * **A crashed writer leaves only debris, never corruption.** An
+//!   interrupted `put` leaves orphan chunks (its name was never committed)
+//!   and possibly `*.tmp` files; an interrupted repair leaves at worst a
+//!   `*.tmp` next to a still-valid old chunk. [`BlockStore::scrub`] deletes
+//!   tmp files older than [`store::STALE_TMP_MIN_AGE`] and reports them
+//!   ([`ScrubReport::stale_tmp_removed`]), so debris cannot accumulate or
+//!   be mistaken for damage.
+//! * **Worker panics are contained.** A panicking repair worker is counted
+//!   as a failure (the daemon keeps running and
+//!   [`RepairDaemon::wait_idle`] still terminates), and a panicking
+//!   pipeline encode worker fails the `put` with
+//!   [`error::StoreError::WorkerPanic`] instead of deadlocking it.
 //!
 //! # Example
 //!
@@ -50,6 +84,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod chunk;
 pub mod crc32;
 pub mod daemon;
@@ -59,7 +94,8 @@ pub mod metrics;
 pub mod store;
 pub mod testing;
 
-pub use chunk::{ChunkId, ChunkStatus};
+pub use backend::{BackendCounters, ChunkBackend, LocalDisk};
+pub use chunk::{ChunkId, ChunkRead, ChunkStatus};
 pub use daemon::{DaemonConfig, DaemonStats, RepairDaemon, ScanReport};
 pub use error::StoreError;
 pub use manifest::{Manifest, ObjectInfo};

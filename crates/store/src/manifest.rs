@@ -205,9 +205,12 @@ impl Manifest {
         Self::parse(&path, &text).map(Some)
     }
 
-    /// Atomically writes the manifest to `root/MANIFEST`: the text goes to
-    /// a `.tmp` sibling, is fsynced, and is renamed into place, so a crash
-    /// at any point leaves either the old manifest or the new one.
+    /// Atomically and durably writes the manifest to `root/MANIFEST`: the
+    /// text goes to a `.tmp` sibling, is fsynced, is renamed into place,
+    /// and the root directory is fsynced — so a crash at any point leaves
+    /// either the old manifest or the new one, and a completed save cannot
+    /// be undone by power loss (the rename lives in the directory's data
+    /// blocks, which the file's own fsync does not cover).
     ///
     /// # Errors
     ///
@@ -227,6 +230,7 @@ impl Manifest {
         };
         write(&tmp).map_err(|e| StoreError::io(&tmp, e))?;
         fs::rename(&tmp, &path).map_err(|e| StoreError::io(&path, e))?;
+        crate::chunk::fsync_dir(root).map_err(|e| StoreError::io(root, e))?;
         Ok(())
     }
 }

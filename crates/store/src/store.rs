@@ -3,9 +3,10 @@
 //!
 //! # Layout
 //!
-//! A store lives under one root directory with one subdirectory per disk —
-//! exactly one disk per shard of the configured code, so losing a directory
-//! models losing a disk (or the machine behind it):
+//! A store owns one [`ChunkBackend`] per shard of the configured code. By
+//! default ([`BlockStore::open`]) every backend is a [`LocalDisk`] directory
+//! under the store root — so losing a directory models losing a disk (or
+//! the machine behind it):
 //!
 //! ```text
 //! root/
@@ -15,6 +16,13 @@
 //!     my-object/00000001-00.chunk
 //!   disk-01/ …               shard 1 of every stripe
 //! ```
+//!
+//! [`BlockStore::open_with_backends`] mounts any mix of local and remote
+//! disks instead (the `pbrs-chunkd` crate serves a disk over TCP and its
+//! client implements [`ChunkBackend`]), in which case helper bytes for
+//! degraded reads and repairs cross real sockets and are counted by
+//! [`BlockStore::socket_counters`]. The manifest always lives locally at
+//! the store root.
 //!
 //! # Write path
 //!
@@ -55,16 +63,20 @@
 use std::collections::HashSet;
 use std::fs;
 use std::io::{self, Read};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::{mpsc, Mutex, RwLock};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::thread;
+use std::time::Duration;
 
 use pbrs_core::registry::{self, DynCode};
 use pbrs_erasure::{total_read_bytes, CodeError, CodeSpec, ErasureCode, ShardBuffer};
 
+use crate::backend::{BackendCounters, ChunkBackend, LocalDisk};
 use crate::chunk::{self, ChunkId, ChunkStatus};
 use crate::error::{Result, StoreError};
-use crate::manifest::{validate_object_name, Manifest, ObjectInfo};
+use crate::manifest::{manifest_path, validate_object_name, Manifest, ObjectInfo};
 use crate::metrics::{MetricsSnapshot, StoreMetrics};
 
 /// Default chunk payload length: 64 KiB.
@@ -73,6 +85,11 @@ pub const DEFAULT_CHUNK_LEN: usize = 64 * 1024;
 /// Default width of the `put`/`get` stripe pipeline (matches the repair
 /// daemon's default worker count).
 pub const DEFAULT_PIPELINE_WORKERS: usize = 4;
+
+/// How old a `*.tmp` file must be before [`BlockStore::scrub`] deletes it
+/// as a crash leftover. Younger tmp files may belong to a live writer that
+/// is between its tmp write and its rename.
+pub const STALE_TMP_MIN_AGE: Duration = Duration::from_secs(60);
 
 /// Configuration for opening a [`BlockStore`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -135,12 +152,18 @@ pub struct Damage {
 pub struct ScrubReport {
     /// Every chunk that cannot serve reads, in manifest order.
     pub damages: Vec<Damage>,
-    /// Disk indices whose directory is missing entirely (lost disks).
+    /// Disk indices whose backend reports the disk missing/unreachable.
     pub lost_disks: Vec<usize>,
     /// Chunks examined.
     pub chunks_examined: u64,
     /// Payload bytes read and checksummed.
     pub bytes_read: u64,
+    /// Stale `*.tmp` files (crash leftovers older than
+    /// [`STALE_TMP_MIN_AGE`]) deleted by this pass, as
+    /// `disk-NN/<path within disk>` strings (plus `MANIFEST.tmp` for a
+    /// stale manifest temp at the root). Reported so operators can tell
+    /// crash debris from damage — these files never endanger data.
+    pub stale_tmp_removed: Vec<String>,
 }
 
 impl ScrubReport {
@@ -172,11 +195,23 @@ pub struct BlockStore {
     code: DynCode,
     chunk_len: usize,
     pipeline_workers: usize,
+    /// One backend per shard: chunk I/O goes through these, never straight
+    /// to the filesystem, so local and remote disks mix transparently.
+    disks: Vec<Arc<dyn ChunkBackend>>,
     manifest: RwLock<Manifest>,
     /// Names currently being written, to keep concurrent `put`s of the same
     /// name from interleaving.
     in_flight: Mutex<HashSet<String>>,
     metrics: StoreMetrics,
+    fail: FailPoints,
+}
+
+/// Test-only failure injection flags (see [`BlockStore::inject_encode_panic`]
+/// and [`BlockStore::inject_repair_panic`]).
+#[derive(Debug, Default)]
+struct FailPoints {
+    encode_panic: AtomicBool,
+    repair_panic: AtomicBool,
 }
 
 /// Per-worker reusable buffers for stripe reads and repairs: one full
@@ -206,7 +241,9 @@ impl std::fmt::Debug for BlockStore {
 }
 
 impl BlockStore {
-    /// Opens (or creates) the store under `config.root`.
+    /// Opens (or creates) the store under `config.root` with the default
+    /// all-local layout: one [`LocalDisk`] directory per shard of the code,
+    /// created under the root.
     ///
     /// A fresh root gets a new manifest and one directory per shard of the
     /// code. An existing root's manifest must agree with the configured code
@@ -219,12 +256,63 @@ impl BlockStore {
     /// geometry, and I/O or manifest-parse failures.
     pub fn open(config: StoreConfig) -> Result<Self> {
         let code = registry::build(&config.spec)?;
+        let disks: Vec<Arc<dyn ChunkBackend>> = (0..code.params().total_shards())
+            .map(|disk| {
+                Arc::new(LocalDisk::new(config.root.join(format!("disk-{disk:02}"))))
+                    as Arc<dyn ChunkBackend>
+            })
+            .collect();
+        let store = Self::open_inner(config, code, disks)?;
+        // The all-local layout pre-creates its disk directories so a fresh
+        // store scrubs clean (no "lost disks") before the first write.
+        for disk in 0..store.disk_count() {
+            let dir = store.disk_path(disk);
+            fs::create_dir_all(&dir).map_err(|e| StoreError::io(&dir, e))?;
+        }
+        chunk::fsync_dir(&store.root).map_err(|e| StoreError::io(&store.root, e))?;
+        Ok(store)
+    }
+
+    /// Opens (or creates) the store with one caller-provided
+    /// [`ChunkBackend`] per shard — any mix of [`LocalDisk`]s and remote
+    /// disks (e.g. `pbrs-chunkd` clients). The manifest still lives at
+    /// `config.root`; backends own their chunk storage entirely.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`BlockStore::open`] returns, plus
+    /// [`StoreError::InvalidConfig`] when the backend count does not match
+    /// the code's shard count.
+    pub fn open_with_backends(
+        config: StoreConfig,
+        disks: Vec<Arc<dyn ChunkBackend>>,
+    ) -> Result<Self> {
+        let code = registry::build(&config.spec)?;
+        Self::open_inner(config, code, disks)
+    }
+
+    /// The shared open path: validates geometry against the (already
+    /// built) code, loads or creates the manifest, and assembles the store.
+    fn open_inner(
+        config: StoreConfig,
+        code: DynCode,
+        disks: Vec<Arc<dyn ChunkBackend>>,
+    ) -> Result<Self> {
         if config.chunk_len == 0 || !config.chunk_len.is_multiple_of(code.granularity()) {
             return Err(StoreError::InvalidConfig {
                 reason: format!(
                     "chunk_len {} must be a positive multiple of the code's granularity {}",
                     config.chunk_len,
                     code.granularity()
+                ),
+            });
+        }
+        if disks.len() != code.params().total_shards() {
+            return Err(StoreError::InvalidConfig {
+                reason: format!(
+                    "{} backends mounted for a code with {} shards",
+                    disks.len(),
+                    code.params().total_shards()
                 ),
             });
         }
@@ -253,21 +341,18 @@ impl BlockStore {
                 fresh
             }
         };
-        let store = BlockStore {
+        Ok(BlockStore {
             root: config.root,
             spec: config.spec,
             code,
             chunk_len: config.chunk_len,
             pipeline_workers: config.pipeline_workers.max(1),
+            disks,
             manifest: RwLock::new(manifest),
             in_flight: Mutex::new(HashSet::new()),
             metrics: StoreMetrics::default(),
-        };
-        for disk in 0..store.disk_count() {
-            let dir = store.disk_path(disk);
-            fs::create_dir_all(&dir).map_err(|e| StoreError::io(&dir, e))?;
-        }
-        Ok(store)
+            fail: FailPoints::default(),
+        })
     }
 
     /// The spec of the code protecting this store.
@@ -300,16 +385,52 @@ impl BlockStore {
         &self.root
     }
 
-    /// Directory of disk `disk` (shard `disk` of every stripe lives here).
+    /// Directory of disk `disk` in the default all-local layout (shard
+    /// `disk` of every stripe lives here). Stores mounted with
+    /// [`BlockStore::open_with_backends`] may keep that shard elsewhere —
+    /// see [`BlockStore::backend`] for the authoritative location.
     pub fn disk_path(&self, disk: usize) -> PathBuf {
         self.root.join(format!("disk-{disk:02}"))
     }
 
-    /// Path of one chunk file.
+    /// Path of one chunk file in the default all-local layout.
     pub fn chunk_path(&self, object: &str, stripe: u64, shard: usize) -> PathBuf {
         self.disk_path(shard)
             .join(object)
             .join(format!("{stripe:08}-{shard:02}.chunk"))
+    }
+
+    /// The backend serving shard `disk` of every stripe.
+    pub fn backend(&self, disk: usize) -> &Arc<dyn ChunkBackend> {
+        &self.disks[disk]
+    }
+
+    /// Sum of every backend's transport counters. For stores mounting
+    /// remote disks this is the bytes that actually crossed sockets —
+    /// degraded reads and repairs of networked chunks show up here; an
+    /// all-local store reports zeros.
+    pub fn socket_counters(&self) -> BackendCounters {
+        self.disks
+            .iter()
+            .fold(BackendCounters::default(), |acc, disk| {
+                acc.combined(disk.counters())
+            })
+    }
+
+    /// Test-only failure injection: while enabled, every stripe encode
+    /// (the write path's `encode_and_write_stripe` step) panics. Exists so
+    /// crash-safety tests can prove the put pipeline fails fast instead of
+    /// deadlocking when a worker dies; never enable it outside tests.
+    pub fn inject_encode_panic(&self, enabled: bool) {
+        self.fail.encode_panic.store(enabled, Ordering::SeqCst);
+    }
+
+    /// Test-only failure injection: while enabled,
+    /// [`BlockStore::repair_stripe`] panics on entry. Exists so
+    /// crash-safety tests can prove the repair daemon survives a panicking
+    /// worker (and `wait_idle` terminates); never enable it outside tests.
+    pub fn inject_repair_panic(&self, enabled: bool) {
+        self.fail.repair_panic.store(enabled, Ordering::SeqCst);
     }
 
     /// Metadata of one object, if present.
@@ -383,8 +504,7 @@ impl BlockStore {
     fn put_reserved(&self, name: &str, mut reader: impl Read) -> Result<ObjectInfo> {
         let n = self.code.params().total_shards();
         for shard in 0..n {
-            let dir = self.disk_path(shard).join(name);
-            fs::create_dir_all(&dir).map_err(|e| StoreError::io(&dir, e))?;
+            self.disks[shard].ensure_object(name)?;
         }
 
         let (total, stripe) = if self.pipeline_workers > 1 {
@@ -442,6 +562,9 @@ impl BlockStore {
         stripe: u64,
         buf: &mut ShardBuffer,
     ) -> Result<()> {
+        if self.fail.encode_panic.load(Ordering::SeqCst) {
+            panic!("injected encode panic (stripe {stripe})");
+        }
         let (k, n) = {
             let params = self.code.params();
             (params.data_shards(), params.total_shards())
@@ -451,8 +574,7 @@ impl BlockStore {
             self.code.encode_into(&data, &mut parity)?;
         }
         for shard in 0..n {
-            let path = self.chunk_path(name, stripe, shard);
-            chunk::write_chunk(&path, ChunkId { stripe, shard }, buf.shard(shard))?;
+            self.disks[shard].write_chunk(name, ChunkId { stripe, shard }, buf.shard(shard))?;
         }
         StoreMetrics::add(&self.metrics.chunks_written, n as u64);
         StoreMetrics::add(
@@ -489,10 +611,12 @@ impl BlockStore {
     /// I/O overlap instead of alternating.
     ///
     /// The pool is bounded (`workers + 1` buffers), which back-pressures
-    /// the reader; a worker *always* returns its buffer, even on failure,
-    /// so the reader can never deadlock waiting for one. The first error
-    /// wins, later stripes are skipped, and `put` removes any chunks
-    /// already written.
+    /// the reader; a worker *always* returns its buffer — even when the
+    /// encode step panics, via [`ReturnBuffer`] — so the reader can never
+    /// deadlock waiting for one. Panics are caught at the worker boundary
+    /// and surfaced as [`StoreError::WorkerPanic`]; the first error wins,
+    /// later stripes are skipped, and `put` removes any chunks already
+    /// written.
     fn ingest_pipelined(&self, name: &str, reader: &mut impl Read) -> Result<(u64, u64)> {
         let n = self.code.params().total_shards();
         let workers = self.pipeline_workers;
@@ -516,17 +640,35 @@ impl BlockStore {
                 let free_tx = free_tx.clone();
                 scope.spawn(move || loop {
                     let received = work_rx.lock().expect("lock").recv();
-                    let Ok((stripe, mut buf)) = received else {
+                    let Ok((stripe, buf)) = received else {
                         return; // ingest finished: work channel closed
+                    };
+                    // The buffer rides in a drop guard: if anything below
+                    // unwinds, the buffer still goes back to the pool —
+                    // a lost buffer is exactly how the reader deadlocks.
+                    let mut guard = ReturnBuffer {
+                        buf: Some(buf),
+                        free_tx: &free_tx,
                     };
                     let result = if failure.lock().expect("lock").is_some() {
                         Ok(()) // an earlier stripe already failed; drain only
                     } else {
-                        self.encode_and_write_stripe(name, stripe, &mut buf)
+                        let buf = guard.buf.as_mut().expect("held until drop");
+                        catch_unwind(AssertUnwindSafe(|| {
+                            self.encode_and_write_stripe(name, stripe, buf)
+                        }))
+                        .unwrap_or_else(|payload| {
+                            Err(StoreError::WorkerPanic {
+                                context: format!(
+                                    "pipelined encode/write of stripe {stripe}: {}",
+                                    panic_message(payload.as_ref())
+                                ),
+                            })
+                        })
                     };
                     // Return the buffer before reporting, so the reader
                     // thread can always make progress.
-                    let _ = free_tx.send(buf);
+                    drop(guard);
                     if let Err(e) = result {
                         let mut slot = failure.lock().expect("lock");
                         if slot.is_none() {
@@ -573,11 +715,11 @@ impl BlockStore {
         Ok((total, stripe))
     }
 
-    /// Best-effort removal of every chunk directory of `name` (cleanup after
-    /// a failed `put`).
+    /// Best-effort removal of every chunk of `name` on every disk (cleanup
+    /// after a failed `put`).
     fn remove_object_chunks(&self, name: &str) {
-        for shard in 0..self.disk_count() {
-            let _ = fs::remove_dir_all(self.disk_path(shard).join(name));
+        for disk in &self.disks {
+            let _ = disk.remove_object(name);
         }
     }
 
@@ -689,9 +831,8 @@ impl BlockStore {
         // pays no extra copy.
         let mut bad: Vec<usize> = Vec::new();
         for shard in 0..k {
-            let path = self.chunk_path(object, stripe, shard);
             let slot = &mut dest[shard * self.chunk_len..(shard + 1) * self.chunk_len];
-            match chunk::read_chunk_into(&path, ChunkId { stripe, shard }, slot)? {
+            match self.disks[shard].read_chunk_into(object, ChunkId { stripe, shard }, slot)? {
                 Ok(()) => {}
                 Err(status) => {
                     self.note_damage(&status);
@@ -775,13 +916,18 @@ impl BlockStore {
             if scratch.present[read.shard] {
                 continue; // verified payload already in place
             }
-            let dest = &mut scratch.buf.shard_mut(read.shard)[read.offset..read.end()];
-            let path = self.chunk_path(object, stripe, read.shard);
+            let dest = &mut scratch.buf.shard_mut(read.shard)[read.range()];
             let id = ChunkId {
                 stripe,
                 shard: read.shard,
             };
-            match chunk::read_chunk_range(&path, id, self.chunk_len, read.offset, dest)? {
+            match self.disks[read.shard].read_chunk_range(
+                object,
+                id,
+                self.chunk_len,
+                read.offset,
+                dest,
+            )? {
                 Ok(()) => {}
                 Err(status) => {
                     self.note_damage(&status);
@@ -828,9 +974,8 @@ impl BlockStore {
             if self.code.is_mds() && survivors >= k {
                 break;
             }
-            let path = self.chunk_path(object, stripe, shard);
             let slot = scratch.buf.shard_mut(shard);
-            match chunk::read_chunk_into(&path, ChunkId { stripe, shard }, slot)? {
+            match self.disks[shard].read_chunk_into(object, ChunkId { stripe, shard }, slot)? {
                 Ok(()) => {
                     scratch.present[shard] = true;
                     survivors += 1;
@@ -912,6 +1057,9 @@ impl BlockStore {
         stripe: u64,
         damaged: &[usize],
     ) -> Result<StripeRepair> {
+        if self.fail.repair_panic.load(Ordering::SeqCst) {
+            panic!("injected repair panic (object {object:?} stripe {stripe})");
+        }
         let info = self
             .object(object)
             .ok_or_else(|| StoreError::ObjectNotFound {
@@ -940,9 +1088,11 @@ impl BlockStore {
                     total: n,
                 }));
             }
-            let path = self.chunk_path(object, stripe, shard);
-            let (status, bytes) =
-                chunk::verify_chunk(&path, ChunkId { stripe, shard }, self.chunk_len)?;
+            let (status, bytes) = self.disks[shard].verify_chunk(
+                object,
+                ChunkId { stripe, shard },
+                self.chunk_len,
+            )?;
             StoreMetrics::add(&self.metrics.chunks_scrubbed, 1);
             StoreMetrics::add(&self.metrics.scrub_bytes_read, bytes);
             if status.is_healthy() {
@@ -955,11 +1105,10 @@ impl BlockStore {
         if targets.is_empty() {
             return Ok(report);
         }
-        // The damaged disk directory may be gone entirely; recreate the
+        // The damaged disk's storage may be gone entirely; recreate the
         // object's directory before writing rebuilt chunks into it.
         for &shard in &targets {
-            let dir = self.disk_path(shard).join(object);
-            fs::create_dir_all(&dir).map_err(|e| StoreError::io(&dir, e))?;
+            self.disks[shard].ensure_object(object)?;
         }
 
         let mut scratch = self.new_scratch();
@@ -968,9 +1117,8 @@ impl BlockStore {
                 self.try_planned_rebuild(object, stripe, targets[0], &mut scratch)?
             {
                 let target = targets[0];
-                let path = self.chunk_path(object, stripe, target);
-                chunk::write_chunk(
-                    &path,
+                self.disks[target].write_chunk(
+                    object,
                     ChunkId {
                         stripe,
                         shard: target,
@@ -994,10 +1142,12 @@ impl BlockStore {
             self.reconstruct_from_survivors(object, stripe, &mut targets, &mut scratch)?;
         targets.sort_unstable();
         for &shard in &targets {
-            let dir = self.disk_path(shard).join(object);
-            fs::create_dir_all(&dir).map_err(|e| StoreError::io(&dir, e))?;
-            let path = self.chunk_path(object, stripe, shard);
-            chunk::write_chunk(&path, ChunkId { stripe, shard }, scratch.buf.shard(shard))?;
+            self.disks[shard].ensure_object(object)?;
+            self.disks[shard].write_chunk(
+                object,
+                ChunkId { stripe, shard },
+                scratch.buf.shard(shard),
+            )?;
             report.rebuilt.push(shard);
             report.bytes_written += self.chunk_len as u64;
         }
@@ -1016,7 +1166,11 @@ impl BlockStore {
     // ------------------------------------------------------------------
 
     /// Verifies every chunk of every object (full checksum read) and
-    /// reports all damage, plus disks whose directory is missing entirely.
+    /// reports all damage, plus disks whose backend reports the disk
+    /// missing or unreachable. Also sweeps crash leftovers: stale `*.tmp`
+    /// files (older than [`STALE_TMP_MIN_AGE`]) on every disk and a stale
+    /// `MANIFEST.tmp` at the root are deleted and reported, so debris from
+    /// a crashed writer can neither accumulate nor be mistaken for damage.
     ///
     /// # Errors
     ///
@@ -1024,17 +1178,19 @@ impl BlockStore {
     /// not errors.
     pub fn scrub(&self) -> Result<ScrubReport> {
         let mut report = ScrubReport::default();
-        for disk in 0..self.disk_count() {
-            if !self.disk_path(disk).is_dir() {
+        for (disk, backend) in self.disks.iter().enumerate() {
+            if !backend.is_available() {
                 report.lost_disks.push(disk);
             }
         }
         for (name, info) in self.objects() {
             for stripe in 0..info.stripes {
                 for shard in 0..self.disk_count() {
-                    let path = self.chunk_path(&name, stripe, shard);
-                    let (status, bytes) =
-                        chunk::verify_chunk(&path, ChunkId { stripe, shard }, self.chunk_len)?;
+                    let (status, bytes) = self.disks[shard].verify_chunk(
+                        &name,
+                        ChunkId { stripe, shard },
+                        self.chunk_len,
+                    )?;
                     report.chunks_examined += 1;
                     report.bytes_read += bytes;
                     if !status.is_healthy() {
@@ -1049,10 +1205,66 @@ impl BlockStore {
                 }
             }
         }
+        for (disk, backend) in self.disks.iter().enumerate() {
+            for rel in backend.sweep_tmp(STALE_TMP_MIN_AGE)? {
+                report
+                    .stale_tmp_removed
+                    .push(format!("disk-{disk:02}/{rel}"));
+            }
+        }
+        if self.sweep_stale_manifest_tmp()? {
+            report.stale_tmp_removed.push("MANIFEST.tmp".to_string());
+        }
         StoreMetrics::add(&self.metrics.chunks_scrubbed, report.chunks_examined);
         StoreMetrics::add(&self.metrics.scrub_bytes_read, report.bytes_read);
         Ok(report)
     }
+
+    /// Deletes `root/MANIFEST.tmp` if it is a stale crash leftover (a live
+    /// `Manifest::save` is between tmp-write and rename for well under
+    /// [`STALE_TMP_MIN_AGE`]). Returns whether a file was removed.
+    fn sweep_stale_manifest_tmp(&self) -> Result<bool> {
+        let tmp = manifest_path(&self.root).with_extension("tmp");
+        let stale = fs::metadata(&tmp)
+            .and_then(|m| m.modified())
+            .ok()
+            .and_then(|mtime| std::time::SystemTime::now().duration_since(mtime).ok())
+            .is_some_and(|age| age >= STALE_TMP_MIN_AGE);
+        if !stale {
+            return Ok(false);
+        }
+        match fs::remove_file(&tmp) {
+            Ok(()) => Ok(true),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(false),
+            Err(e) => Err(StoreError::io(&tmp, e)),
+        }
+    }
+}
+
+/// Returns a pipeline stripe buffer to the free pool when dropped — even
+/// mid-panic-unwind, so a dying encode worker can never starve the reader
+/// thread of buffers (the deadlock this guard exists to prevent).
+struct ReturnBuffer<'a> {
+    buf: Option<ShardBuffer>,
+    free_tx: &'a mpsc::Sender<ShardBuffer>,
+}
+
+impl Drop for ReturnBuffer<'_> {
+    fn drop(&mut self) {
+        if let Some(buf) = self.buf.take() {
+            let _ = self.free_tx.send(buf);
+        }
+    }
+}
+
+/// Best-effort text of a caught panic payload (`panic!` with a string
+/// literal or a formatted message covers practically all of them).
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("<non-string panic payload>")
 }
 
 /// Reads until `buf` is full or the stream ends; returns the bytes read.
@@ -1357,6 +1569,31 @@ mod tests {
         assert!(repair.rebuilt.is_empty());
         assert_eq!(repair.already_healthy, vec![1, 4]);
         assert_eq!(repair.helper_bytes, 0);
+    }
+
+    #[test]
+    fn panicking_pipeline_worker_fails_put_instead_of_hanging() {
+        let dir = TempDir::new("store-pipeline-panic");
+        let store = BlockStore::open(
+            StoreConfig::new(dir.path().join("store"), "rs-4-2".parse().unwrap())
+                .chunk_len(512)
+                .pipeline_workers(2),
+        )
+        .unwrap();
+        store.inject_encode_panic(true);
+        // 8 stripes: enough work that losing stripe buffers to dead
+        // workers used to starve the reader and hang put() forever.
+        let data = pattern(4 * 512 * 8);
+        let result = store.put("obj", &data[..]);
+        assert!(
+            matches!(result, Err(StoreError::WorkerPanic { .. })),
+            "put must surface the worker panic: {result:?}"
+        );
+        // The failed put cleaned up after itself and the store still works.
+        store.inject_encode_panic(false);
+        assert!(store.objects().is_empty());
+        store.put("obj", &data[..]).unwrap();
+        assert_eq!(store.get("obj").unwrap(), data);
     }
 
     #[test]
