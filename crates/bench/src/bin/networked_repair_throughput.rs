@@ -17,7 +17,9 @@ use pbrs_bench::{f1, section};
 use pbrs_chunkd::{ChunkServer, RemoteDisk, ServerConfig};
 use pbrs_core::registry;
 use pbrs_store::testing::TempDir;
-use pbrs_store::{BlockStore, ChunkBackend, DaemonConfig, RepairDaemon, StoreConfig};
+use pbrs_store::{
+    BlockStore, ChunkBackend, DaemonConfig, PlacementPolicy, RackMap, RepairDaemon, StoreConfig,
+};
 use pbrs_trace::report::to_markdown_table;
 
 const SPECS: [&str; 2] = ["rs-10-4", "piggyback-10-4"];
@@ -71,6 +73,8 @@ fn measure(spec: &str, object_len: usize, chunk_len: usize, workers: usize) -> M
         BlockStore::open_with_backends(
             StoreConfig::new(dir.path().join("root"), code_spec).chunk_len(chunk_len),
             disks,
+            RackMap::per_disk(n),
+            PlacementPolicy::Identity,
         )
         .expect("open store"),
     );

@@ -50,6 +50,10 @@ pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(10);
 pub struct RemoteDisk {
     addr: String,
     timeout: Duration,
+    /// Optional operator label — typically the rack this disk belongs to —
+    /// surfaced in [`ChunkBackend::describe`] so per-socket byte counters
+    /// can be attributed to racks when many disks are mounted.
+    label: Option<String>,
     conn: Mutex<Option<TcpStream>>,
     bytes_sent: AtomicU64,
     bytes_received: AtomicU64,
@@ -59,6 +63,7 @@ impl std::fmt::Debug for RemoteDisk {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RemoteDisk")
             .field("addr", &self.addr)
+            .field("label", &self.label)
             .field("counters", &self.counters())
             .finish()
     }
@@ -77,10 +82,25 @@ impl RemoteDisk {
         RemoteDisk {
             addr: addr.into(),
             timeout,
+            label: None,
             conn: Mutex::new(None),
             bytes_sent: AtomicU64::new(0),
             bytes_received: AtomicU64::new(0),
         }
+    }
+
+    /// Attaches an operator label (e.g. the disk's rack name) that shows up
+    /// in [`ChunkBackend::describe`] and error messages, so socket counters
+    /// read per disk can be attributed to the right rack.
+    #[must_use]
+    pub fn labeled(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(label.into());
+        self
+    }
+
+    /// The attached label, if any.
+    pub fn label(&self) -> Option<&str> {
+        self.label.as_deref()
     }
 
     /// The server address this client talks to.
@@ -177,7 +197,10 @@ fn as_u32(what: &str, value: usize) -> Result<u32, StoreError> {
 
 impl ChunkBackend for RemoteDisk {
     fn describe(&self) -> String {
-        format!("chunkd://{}", self.addr)
+        match &self.label {
+            Some(label) => format!("chunkd://{} [{label}]", self.addr),
+            None => format!("chunkd://{}", self.addr),
+        }
     }
 
     fn is_available(&self) -> bool {

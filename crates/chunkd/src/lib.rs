@@ -23,7 +23,7 @@
 //! use std::sync::Arc;
 //! use pbrs_chunkd::{ChunkServer, RemoteDisk};
 //! use pbrs_store::testing::TempDir;
-//! use pbrs_store::{BlockStore, ChunkBackend, LocalDisk, StoreConfig};
+//! use pbrs_store::{BlockStore, ChunkBackend, LocalDisk, PlacementPolicy, RackMap, StoreConfig};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let dir = TempDir::new("chunkd-doc");
@@ -41,6 +41,8 @@
 //! let store = BlockStore::open_with_backends(
 //!     StoreConfig::new(dir.path().join("root"), "rs-2-2".parse()?).chunk_len(1024),
 //!     disks,
+//!     RackMap::per_disk(4),
+//!     PlacementPolicy::Identity,
 //! )?;
 //! let payload = vec![7u8; 5000];
 //! store.put("demo", &payload[..])?;

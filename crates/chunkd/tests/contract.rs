@@ -19,7 +19,7 @@ use pbrs_chunkd::{ChunkServer, RemoteDisk};
 use pbrs_core::registry;
 use pbrs_erasure::{reads_for_shard, total_read_bytes, CodeSpec, ShardRead};
 use pbrs_store::testing::TempDir;
-use pbrs_store::{chunk, BlockStore, ChunkBackend, ChunkId, StoreConfig};
+use pbrs_store::{chunk, BlockStore, ChunkBackend, ChunkId, PlacementPolicy, RackMap, StoreConfig};
 
 const CHUNK_LEN: usize = 2048;
 const STRIPES: u64 = 2;
@@ -61,6 +61,8 @@ fn remote_repair_reads_only_the_declared_ranges() {
     let store = BlockStore::open_with_backends(
         StoreConfig::new(dir.path().join("root"), spec).chunk_len(CHUNK_LEN),
         disks,
+        RackMap::per_disk(n),
+        PlacementPolicy::Identity,
     )
     .unwrap();
 

@@ -9,7 +9,10 @@ use std::time::{Duration, SystemTime};
 
 use pbrs_chunkd::{ChunkServer, RemoteDisk, ServerConfig};
 use pbrs_store::testing::TempDir;
-use pbrs_store::{BlockStore, ChunkBackend, DaemonConfig, LocalDisk, RepairDaemon, StoreConfig};
+use pbrs_store::{
+    BlockStore, ChunkBackend, DaemonConfig, LocalDisk, PlacementPolicy, RackMap, RepairDaemon,
+    StoreConfig,
+};
 
 const CHUNK_LEN: usize = 512;
 
@@ -47,6 +50,8 @@ fn mixed_local_remote_store_full_lifecycle() {
                 .chunk_len(CHUNK_LEN)
                 .pipeline_workers(3),
             disks,
+            RackMap::per_disk(6),
+            PlacementPolicy::Identity,
         )
         .unwrap(),
     );
@@ -131,11 +136,23 @@ fn reopen_and_server_death_are_handled() {
     };
     let data = pattern(4 * CHUNK_LEN + 99);
     {
-        let store = BlockStore::open_with_backends(config(), make_disks(&addr)).unwrap();
+        let store = BlockStore::open_with_backends(
+            config(),
+            make_disks(&addr),
+            RackMap::per_disk(6),
+            PlacementPolicy::Identity,
+        )
+        .unwrap();
         store.put("obj", &data[..]).unwrap();
     }
     // Reopen over the same mounts: the object is still there.
-    let store = BlockStore::open_with_backends(config(), make_disks(&addr)).unwrap();
+    let store = BlockStore::open_with_backends(
+        config(),
+        make_disks(&addr),
+        RackMap::per_disk(6),
+        PlacementPolicy::Identity,
+    )
+    .unwrap();
     assert_eq!(store.get("obj").unwrap(), data);
 
     // Kill the server: the remote disk reports lost, reads degrade, and

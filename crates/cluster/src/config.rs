@@ -267,12 +267,14 @@ impl SimConfig {
         }
         let code = self.code.build()?;
         let width = code.params().total_shards();
-        if width > self.racks {
+        // The shared placement model owns this constraint: rack-disjoint
+        // stripes need at least one rack per shard. Its typed error is
+        // surfaced here instead of panicking deep in stripe generation.
+        let racks = pbrs_placement::RackMap::uniform(self.racks, self.machines_per_rack);
+        if let Err(e) = pbrs_placement::PlacementPolicy::RackDisjoint.validate_width(&racks, width)
+        {
             return Err(CodeError::InvalidParams {
-                reason: format!(
-                    "stripe width {width} exceeds rack count {}; rack-disjoint placement impossible",
-                    self.racks
-                ),
+                reason: e.to_string(),
             });
         }
         Ok(())

@@ -1,30 +1,35 @@
-//! Rack-disjoint block placement.
+//! Rack-disjoint block placement over the simulated topology.
 //!
 //! "The 14 blocks belonging to a particular stripe are placed on 14
 //! different (randomly chosen) machines. In order to secure the data against
 //! rack-failures, these machines are chosen from different racks." (§2.1)
 //!
-//! The placement policy here reproduces exactly that: every block of a
-//! stripe goes to a distinct, randomly chosen rack, and to a random machine
-//! within that rack. Because of this policy, every helper block read during
-//! a recovery is on a different rack from the rebuilding node, so all
-//! recovery traffic crosses the TOR switches.
+//! The placement *model* lives in the shared `pbrs-placement` crate — the
+//! same [`RackMap`] / policy machinery the block store places real chunks
+//! with — and this module is only the adapter binding it to the simulator's
+//! [`Topology`] and [`MachineId`]s. Because of the rack-disjoint policy,
+//! every helper block read during a recovery is on a different rack from
+//! the rebuilding node, so all recovery traffic crosses the TOR switches.
 
-use rand::seq::SliceRandom;
 use rand::Rng;
+
+use pbrs_placement::{place_stripe, PlacementPolicy as Policy};
+pub use pbrs_placement::{PlacementError, RackMap};
 
 use crate::topology::{MachineId, Topology};
 
-/// The rack-disjoint placement policy.
+/// The rack-disjoint placement policy for a simulated topology.
 #[derive(Debug, Clone)]
 pub struct PlacementPolicy {
     topology: Topology,
+    racks: RackMap,
 }
 
 impl PlacementPolicy {
     /// Creates the policy for a topology.
     pub fn new(topology: Topology) -> Self {
-        PlacementPolicy { topology }
+        let racks = RackMap::uniform(topology.racks(), topology.machines_per_rack());
+        PlacementPolicy { topology, racks }
     }
 
     /// The topology this policy places onto.
@@ -32,41 +37,34 @@ impl PlacementPolicy {
         &self.topology
     }
 
+    /// The shared rack map (machine `i` is "disk" `i` of the placement
+    /// model).
+    pub fn rack_map(&self) -> &RackMap {
+        &self.racks
+    }
+
     /// Places the `width` blocks of one stripe on `width` machines in
     /// `width` distinct racks.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `width` exceeds the number of racks (validated by
+    /// Returns [`PlacementError::WidthExceedsRacks`] when `width` exceeds
+    /// the number of racks (also surfaced up front by
     /// [`crate::config::SimConfig::validate`]).
-    pub fn place_stripe<R: Rng + ?Sized>(&self, rng: &mut R, width: usize) -> Vec<MachineId> {
-        assert!(
-            width <= self.topology.racks(),
-            "stripe width {} exceeds rack count {}",
-            width,
-            self.topology.racks()
-        );
-        let mut racks: Vec<usize> = (0..self.topology.racks()).collect();
-        racks.shuffle(rng);
-        racks
-            .into_iter()
-            .take(width)
-            .map(|rack| {
-                let offset = rng.random_range(0..self.topology.machines_per_rack());
-                MachineId(rack * self.topology.machines_per_rack() + offset)
-            })
-            .collect()
+    pub fn place_stripe<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        width: usize,
+    ) -> Result<Vec<MachineId>, PlacementError> {
+        let machines = place_stripe(&self.racks, Policy::RackDisjoint, width, rng.random(), 0)?;
+        Ok(machines.into_iter().map(MachineId).collect())
     }
 
     /// Checks that a placement is rack-disjoint (used by tests and debug
     /// assertions).
     pub fn is_rack_disjoint(&self, placement: &[MachineId]) -> bool {
-        let mut racks: Vec<usize> = placement
-            .iter()
-            .map(|&m| self.topology.rack_of(m).0)
-            .collect();
-        racks.sort_unstable();
-        racks.windows(2).all(|w| w[0] != w[1])
+        let disks: Vec<usize> = placement.iter().map(|&m| m.0).collect();
+        self.racks.is_rack_disjoint(&disks)
     }
 }
 
@@ -81,7 +79,7 @@ mod tests {
         let policy = PlacementPolicy::new(Topology::new(20, 10));
         let mut rng = StdRng::seed_from_u64(1);
         for _ in 0..200 {
-            let placement = policy.place_stripe(&mut rng, 14);
+            let placement = policy.place_stripe(&mut rng, 14).unwrap();
             assert_eq!(placement.len(), 14);
             assert!(policy.is_rack_disjoint(&placement));
             assert!(placement.iter().all(|m| m.0 < 200));
@@ -99,7 +97,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let mut seen = [false; 30];
         for _ in 0..100 {
-            for m in policy.place_stripe(&mut rng, 14) {
+            for m in policy.place_stripe(&mut rng, 14).unwrap() {
                 seen[policy.topology().rack_of(m).0] = true;
             }
         }
@@ -117,10 +115,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "exceeds rack count")]
-    fn too_wide_stripe_panics() {
+    fn too_wide_stripe_is_a_typed_error_not_a_panic() {
         let policy = PlacementPolicy::new(Topology::new(4, 4));
         let mut rng = StdRng::seed_from_u64(3);
-        policy.place_stripe(&mut rng, 5);
+        assert_eq!(
+            policy.place_stripe(&mut rng, 5),
+            Err(PlacementError::WidthExceedsRacks { width: 5, racks: 4 })
+        );
     }
 }

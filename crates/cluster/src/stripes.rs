@@ -33,6 +33,13 @@ pub struct StripeSample {
 
 impl StripeSample {
     /// Places `count` stripes of `width` blocks each using `policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` stripes cannot be placed rack-disjointly on the
+    /// policy's topology — callers validate this up front through
+    /// [`crate::config::SimConfig::validate`], which surfaces the same
+    /// constraint as a typed error.
     pub fn generate<R: Rng + ?Sized>(
         rng: &mut R,
         policy: &PlacementPolicy,
@@ -41,7 +48,9 @@ impl StripeSample {
     ) -> Self {
         let stripes = (0..count)
             .map(|_| SampledStripe {
-                machines: policy.place_stripe(rng, width),
+                machines: policy
+                    .place_stripe(rng, width)
+                    .expect("stripe width validated against the topology"),
             })
             .collect();
         StripeSample {

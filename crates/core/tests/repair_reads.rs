@@ -84,6 +84,116 @@ fn repair_into_reads_only_the_declared_ranges() {
     }
 }
 
+/// The ranked companion contract: whatever helper choice
+/// `repair_reads_ranked` makes under an adversarial preference,
+/// `repair_from_reads` rebuilds the exact shard from *only* those ranges
+/// (everything else garbage), and the preference can only steer choice, not
+/// inflate cost.
+#[test]
+fn ranked_reads_and_repair_from_reads_agree() {
+    let mut rng = StdRng::seed_from_u64(0x5EED_0002);
+    for spec in registry::known_specs() {
+        let code = registry::build(&spec).unwrap();
+        let n = code.params().total_shards();
+        let shard_len = 64 * code.granularity();
+        let stripe = encoded_stripe(code.as_ref(), shard_len, &mut rng);
+
+        for target in 0..n {
+            let mut available = vec![true; n];
+            available[target] = false;
+            let canonical = code.repair_reads(target, &available, shard_len).unwrap();
+            // Prefer *high* shard indices — the opposite of the canonical
+            // first-k choice, so codes with helper freedom must move.
+            let rank = |shard: usize| (n - shard) as u64;
+            let ranked = code
+                .repair_reads_ranked(target, &available, shard_len, &rank)
+                .unwrap();
+            assert_eq!(
+                total_read_bytes(&ranked),
+                total_read_bytes(&canonical),
+                "{spec} target {target}: preference must not change the cost"
+            );
+
+            let mut sparse = ShardBuffer::zeroed(n, shard_len);
+            for shard in 0..n {
+                for byte in sparse.shard_mut(shard) {
+                    *byte = rng.random();
+                }
+            }
+            for read in &ranked {
+                sparse.shard_mut(read.shard)[read.offset..read.end()]
+                    .copy_from_slice(&stripe.shard(read.shard)[read.offset..read.end()]);
+            }
+            let mut out = vec![0u8; shard_len];
+            code.repair_from_reads(target, &ranked, &sparse.as_set(), &mut out)
+                .unwrap();
+            assert_eq!(
+                out,
+                stripe.shard(target),
+                "{spec} target {target}: ranked repair from sparse ranges diverged"
+            );
+        }
+    }
+}
+
+/// Codes with helper freedom (RS, replication) must actually honour the
+/// preference; structurally-fixed plans may ignore it.
+#[test]
+fn rs_and_replication_honour_helper_preference() {
+    let code = registry::build_str("rs-10-4").unwrap();
+    let mut available = vec![true; 14];
+    available[0] = false;
+    // Rank helpers 4..14 cheap, 1..4 expensive: an MDS code can satisfy the
+    // whole repair from the 10 cheap helpers.
+    let rank = |shard: usize| u64::from(shard < 4);
+    let reads = code.repair_reads_ranked(0, &available, 64, &rank).unwrap();
+    let shards: Vec<usize> = reads.iter().map(|r| r.shard).collect();
+    assert_eq!(shards, (4..14).collect::<Vec<_>>());
+
+    let rep = registry::build_str("rep-3").unwrap();
+    let mut available = vec![true; 3];
+    available[0] = false;
+    let prefer_last = |shard: usize| (3 - shard) as u64;
+    let reads = rep
+        .repair_reads_ranked(0, &available, 64, &prefer_last)
+        .unwrap();
+    assert_eq!(reads.len(), 1);
+    assert_eq!(
+        reads[0].shard, 2,
+        "the preferred replica is the copy source"
+    );
+}
+
+/// A read set naming the target shard itself must be rejected — otherwise
+/// the "rebuild" would copy the stale slot being repaired.
+#[test]
+fn repair_from_reads_rejects_reads_of_the_target() {
+    use pbrs_erasure::ShardRead;
+    for spec in ["rs-10-4", "rep-3"] {
+        let code = registry::build_str(spec).unwrap();
+        let n = code.params().total_shards();
+        let shard_len = 64 * code.granularity();
+        let stripe = ShardBuffer::zeroed(n, shard_len);
+        let mut out = vec![0u8; shard_len];
+        let poisoned: Vec<ShardRead> = (0..code.params().data_shards())
+            .map(|shard| ShardRead::whole(shard, shard_len))
+            .collect();
+        // Target 0 appears in its own read set.
+        assert!(
+            code.repair_from_reads(0, &poisoned, &stripe.as_set(), &mut out)
+                .is_err(),
+            "{spec}: reads naming the target must be rejected"
+        );
+        // Out-of-range helper shards are errors, not panics.
+        let bogus = [ShardRead::whole(n + 3, shard_len)];
+        assert!(
+            code.repair_from_reads(0, &bogus, &stripe.as_set(), &mut out)
+                .is_err(),
+            "{spec}: out-of-range reads must be rejected"
+        );
+    }
+}
+
 #[test]
 fn repair_reads_rejects_bad_inputs() {
     for spec in registry::known_specs() {

@@ -333,6 +333,66 @@ pub trait ErasureCode {
             .collect())
     }
 
+    /// [`ErasureCode::repair_reads`] with a helper-preference hook: when the
+    /// code has freedom in choosing its helpers, shards with a *lower*
+    /// `rank(shard)` are preferred (ties broken by shard index).
+    ///
+    /// This is how placement-aware callers (the store's locality-first
+    /// repair scheduler) steer repairs toward cheap helpers — rank same-rack
+    /// survivors 0 and cross-rack survivors 1 and an MDS code will read as
+    /// many same-rack helpers as its mathematics allows. Codes whose plans
+    /// are structurally fixed (Piggybacked-RS reads specific half-shards,
+    /// LRC reads its local group) ignore the rank and return their canonical
+    /// reads — preference never changes *how many* bytes a code reads, only
+    /// *where* it reads them when equivalent choices exist.
+    ///
+    /// Execute the returned reads with [`ErasureCode::repair_from_reads`],
+    /// which honours whatever helper choice was made here; plain
+    /// [`ErasureCode::repair_into`] assumes the canonical read set.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`ErasureCode::repair_reads`].
+    fn repair_reads_ranked(
+        &self,
+        target: usize,
+        available: &[bool],
+        shard_len: usize,
+        rank: &dyn Fn(usize) -> u64,
+    ) -> Result<Vec<ShardRead>, CodeError> {
+        let _ = rank; // the canonical plan has no helper freedom to exercise
+        self.repair_reads(target, available, shard_len)
+    }
+
+    /// Rebuilds shard `target` from exactly the helper bytes covered by
+    /// `reads` — the execution companion of
+    /// [`ErasureCode::repair_reads_ranked`].
+    ///
+    /// `reads` must be the ranges returned by a
+    /// [`ErasureCode::repair_reads`] / [`ErasureCode::repair_reads_ranked`]
+    /// call on this code for the same `target` and shard length; bytes of
+    /// `helpers` outside those ranges are never touched and may be stale.
+    /// The default delegates to [`ErasureCode::repair_into`], which is
+    /// correct for every code whose read set is canonical; codes that honour
+    /// a ranked helper choice (RS, replication) override it to rebuild from
+    /// the shards the reads actually name.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`ErasureCode::repair_into`], plus
+    /// [`CodeError::ReconstructionFailed`] when `reads` does not describe a
+    /// decodable helper set for `target`.
+    fn repair_from_reads(
+        &self,
+        target: usize,
+        reads: &[ShardRead],
+        helpers: &ShardSet<'_>,
+        out: &mut [u8],
+    ) -> Result<(), CodeError> {
+        let _ = reads; // canonical read set == repair_into's read set
+        self.repair_into(target, helpers, out)
+    }
+
     /// Rebuilds a single shard, returning the rebuilt bytes together with the
     /// read/transfer accounting of the plan that was executed.
     ///

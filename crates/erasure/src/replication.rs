@@ -10,9 +10,9 @@
 use pbrs_gf::slice_ops;
 
 use crate::params::{validate_encode_views, validate_repair_views, validate_stripe_view};
-use crate::repair::{FetchRequest, Fraction, RepairPlan};
+use crate::repair::{FetchRequest, Fraction, RepairPlan, ShardRead};
 use crate::views::{ShardSet, ShardSetMut};
-use crate::{CodeError, CodeParams, ErasureCode};
+use crate::{validate_single_failure_mask, CodeError, CodeParams, ErasureCode};
 
 /// N-way replication (`k = 1`, `r = replicas − 1`).
 ///
@@ -159,6 +159,57 @@ impl ErasureCode for Replication {
                 fraction: Fraction::ONE,
             }],
         })
+    }
+
+    fn repair_reads_ranked(
+        &self,
+        target: usize,
+        available: &[bool],
+        shard_len: usize,
+        rank: &dyn Fn(usize) -> u64,
+    ) -> Result<Vec<ShardRead>, CodeError> {
+        if shard_len == 0 || !shard_len.is_multiple_of(self.granularity()) {
+            return Err(CodeError::UnalignedShard {
+                len: shard_len,
+                granularity: self.granularity(),
+            });
+        }
+        self.repair_plan(target, available)?;
+        validate_single_failure_mask(target, available)?;
+        // Every replica is interchangeable: copy the cheapest-ranked one.
+        let n = self.params.total_shards();
+        let source = (0..n)
+            .filter(|&i| i != target)
+            .min_by_key(|&i| (rank(i), i))
+            .expect("replication has at least two shards");
+        Ok(vec![ShardRead::whole(source, shard_len)])
+    }
+
+    fn repair_from_reads(
+        &self,
+        target: usize,
+        reads: &[ShardRead],
+        helpers: &ShardSet<'_>,
+        out: &mut [u8],
+    ) -> Result<(), CodeError> {
+        validate_repair_views(target, helpers, out, self.params, self.granularity())?;
+        let read = match reads {
+            [read]
+                if read.offset == 0
+                    && read.len == out.len()
+                    && read.shard != target
+                    && read.shard < self.params.total_shards() =>
+            {
+                read
+            }
+            _ => {
+                return Err(CodeError::ReconstructionFailed {
+                    context: "replication repairs copy exactly one whole replica",
+                })
+            }
+        };
+        out.copy_from_slice(helpers.shard(read.shard));
+        Ok(())
     }
 
     fn is_mds(&self) -> bool {

@@ -1,0 +1,112 @@
+//! Property tests: every placement policy yields valid, in-bounds,
+//! policy-conformant disk sets for every feasible geometry and seed.
+
+use proptest::prelude::*;
+
+use pbrs_placement::{PlacementMap, PlacementPolicy, RackMap};
+
+/// Checks the invariants every placement shares: right width, in-bounds
+/// disks, no disk used twice.
+fn assert_well_formed(map: &RackMap, disks: &[usize], width: usize) -> Result<(), TestCaseError> {
+    prop_assert_eq!(disks.len(), width);
+    prop_assert!(disks.iter().all(|&d| d < map.disk_count()));
+    let mut unique = disks.to_vec();
+    unique.sort_unstable();
+    unique.dedup();
+    prop_assert_eq!(unique.len(), width);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn rack_disjoint_placements_conform(
+        racks in 1usize..12,
+        per in 1usize..5,
+        width_pick in any::<u64>(),
+        seed in any::<u64>(),
+        key in any::<u64>(),
+    ) {
+        // Any feasible width: 1..=racks.
+        let width = 1 + (width_pick as usize) % racks;
+        let map = RackMap::uniform(racks, per);
+        let placement =
+            PlacementMap::new(map.clone(), PlacementPolicy::RackDisjoint, width, seed).unwrap();
+        let disks = placement.disks_for(key);
+        assert_well_formed(&map, &disks, width)?;
+        // The policy's defining property: all racks distinct.
+        prop_assert!(map.is_rack_disjoint(&disks));
+    }
+
+    #[test]
+    fn rack_aware_placements_conform(
+        racks in 1usize..12,
+        per in 1usize..5,
+        width_pick in any::<u64>(),
+        seed in any::<u64>(),
+        key in any::<u64>(),
+    ) {
+        // Any feasible width: 1..=pool.
+        let map = RackMap::uniform(racks, per);
+        let width = 1 + (width_pick as usize) % map.disk_count();
+        let placement =
+            PlacementMap::new(map.clone(), PlacementPolicy::RackAware, width, seed).unwrap();
+        let disks = placement.disks_for(key);
+        assert_well_formed(&map, &disks, width)?;
+        // Grouped: uses exactly the minimum rack count a uniform map allows.
+        let mut used: Vec<usize> = disks.iter().map(|&d| map.rack_of(d).unwrap()).collect();
+        used.sort_unstable();
+        used.dedup();
+        prop_assert_eq!(used.len(), width.div_ceil(per));
+    }
+
+    #[test]
+    fn identity_placements_are_fixed(
+        pool in 1usize..40,
+        seed in any::<u64>(),
+        key in any::<u64>(),
+    ) {
+        let map = RackMap::per_disk(pool);
+        let placement = PlacementMap::new(map, PlacementPolicy::Identity, pool, seed).unwrap();
+        prop_assert_eq!(placement.disks_for(key), (0..pool).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn infeasible_widths_are_typed_errors(
+        racks in 1usize..8,
+        per in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let map = RackMap::uniform(racks, per);
+        // One wider than the rack count: rack-disjoint must refuse.
+        prop_assert!(
+            PlacementMap::new(map.clone(), PlacementPolicy::RackDisjoint, racks + 1, seed)
+                .is_err()
+        );
+        // One wider than the pool: everything must refuse.
+        let over = map.disk_count() + 1;
+        prop_assert!(
+            PlacementMap::new(map.clone(), PlacementPolicy::RackAware, over, seed).is_err()
+        );
+        prop_assert!(PlacementMap::new(map, PlacementPolicy::Identity, over, seed).is_err());
+    }
+
+    #[test]
+    fn placement_is_a_pure_function_of_seed_and_key(
+        racks in 1usize..12,
+        per in 1usize..5,
+        width_pick in any::<u64>(),
+        seed in any::<u64>(),
+        key in any::<u64>(),
+    ) {
+        let width = 1 + (width_pick as usize) % racks;
+        let a = PlacementMap::new(
+            RackMap::uniform(racks, per), PlacementPolicy::RackDisjoint, width, seed,
+        ).unwrap();
+        let b = PlacementMap::new(
+            RackMap::uniform(racks, per), PlacementPolicy::RackDisjoint, width, seed,
+        ).unwrap();
+        prop_assert_eq!(a.disks_for(key), b.disks_for(key));
+    }
+}

@@ -101,6 +101,11 @@ pub struct DaemonStats {
     pub chunks_repaired: u64,
     /// Helper bytes read from surviving disks by repairs.
     pub helper_bytes: u64,
+    /// Helper bytes served from within the rebuilt chunk's own rack (the
+    /// locality-first scheduler's yield; zero without a grouping placement).
+    pub intra_rack_bytes: u64,
+    /// Helper bytes that crossed racks — the paper's headline metric.
+    pub cross_rack_bytes: u64,
     /// Rebuilt payload bytes written.
     pub bytes_written: u64,
     /// Repairs that failed (e.g. unrecoverable stripes).
@@ -128,6 +133,8 @@ struct Shared {
     stripes_repaired: AtomicU64,
     chunks_repaired: AtomicU64,
     helper_bytes: AtomicU64,
+    intra_rack_bytes: AtomicU64,
+    cross_rack_bytes: AtomicU64,
     bytes_written: AtomicU64,
     failures: AtomicU64,
     last_error: Mutex<Option<String>>,
@@ -153,6 +160,8 @@ impl RepairDaemon {
             stripes_repaired: AtomicU64::new(0),
             chunks_repaired: AtomicU64::new(0),
             helper_bytes: AtomicU64::new(0),
+            intra_rack_bytes: AtomicU64::new(0),
+            cross_rack_bytes: AtomicU64::new(0),
             bytes_written: AtomicU64::new(0),
             failures: AtomicU64::new(0),
             last_error: Mutex::new(None),
@@ -209,6 +218,8 @@ impl RepairDaemon {
             stripes_repaired: s.stripes_repaired.load(Ordering::Relaxed),
             chunks_repaired: s.chunks_repaired.load(Ordering::Relaxed),
             helper_bytes: s.helper_bytes.load(Ordering::Relaxed),
+            intra_rack_bytes: s.intra_rack_bytes.load(Ordering::Relaxed),
+            cross_rack_bytes: s.cross_rack_bytes.load(Ordering::Relaxed),
             bytes_written: s.bytes_written.load(Ordering::Relaxed),
             failures: s.failures.load(Ordering::Relaxed),
         }
@@ -370,6 +381,12 @@ fn worker_loop(shared: &Shared) {
                 shared
                     .helper_bytes
                     .fetch_add(repair.helper_bytes, Ordering::Relaxed);
+                shared
+                    .intra_rack_bytes
+                    .fetch_add(repair.intra_rack_bytes, Ordering::Relaxed);
+                shared
+                    .cross_rack_bytes
+                    .fetch_add(repair.cross_rack_bytes, Ordering::Relaxed);
                 shared
                     .bytes_written
                     .fetch_add(repair.bytes_written, Ordering::Relaxed);

@@ -5,6 +5,7 @@ use std::io;
 use std::path::PathBuf;
 
 use pbrs_erasure::CodeError;
+use pbrs_placement::PlacementError;
 
 /// Errors returned by [`crate::BlockStore`] and the repair daemon.
 #[derive(Debug)]
@@ -18,6 +19,9 @@ pub enum StoreError {
     },
     /// The erasure codec rejected an operation.
     Code(CodeError),
+    /// The placement subsystem rejected the rack map, policy or stripe
+    /// width combination.
+    Placement(PlacementError),
     /// No object with this name exists in the manifest.
     ObjectNotFound {
         /// The requested object name.
@@ -86,6 +90,7 @@ impl fmt::Display for StoreError {
                 write!(f, "I/O error on {}: {source}", path.display())
             }
             StoreError::Code(e) => write!(f, "codec error: {e}"),
+            StoreError::Placement(e) => write!(f, "placement error: {e}"),
             StoreError::ObjectNotFound { name } => write!(f, "object {name:?} not found"),
             StoreError::ObjectExists { name } => write!(f, "object {name:?} already exists"),
             StoreError::InvalidObjectName { name, reason } => {
@@ -129,6 +134,7 @@ impl std::error::Error for StoreError {
         match self {
             StoreError::Io { source, .. } => Some(source),
             StoreError::Code(e) => Some(e),
+            StoreError::Placement(e) => Some(e),
             _ => None,
         }
     }
@@ -137,6 +143,12 @@ impl std::error::Error for StoreError {
 impl From<CodeError> for StoreError {
     fn from(e: CodeError) -> Self {
         StoreError::Code(e)
+    }
+}
+
+impl From<PlacementError> for StoreError {
+    fn from(e: PlacementError) -> Self {
+        StoreError::Placement(e)
     }
 }
 

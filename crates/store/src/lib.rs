@@ -21,11 +21,51 @@
 //!   detects lost disks and corrupt chunks, rebuilds them along each code's
 //!   repair plan, and exports traffic counters per code
 //!   ([`MetricsSnapshot`], [`DaemonStats`]).
-//! * **Pluggable disks** — every chunk touch goes through one
-//!   [`ChunkBackend`] per shard ([`backend`]): the default is the local
-//!   directory-per-disk layout ([`LocalDisk`]), and the `pbrs-chunkd` crate
-//!   serves the same surface over TCP so helper bytes cross real sockets
-//!   (counted by [`BlockStore::socket_counters`]).
+//! * **Pluggable disks** — every chunk touch goes through a [`ChunkBackend`]
+//!   ([`backend`]): the default is the local directory-per-disk layout
+//!   ([`LocalDisk`]), and the `pbrs-chunkd` crate serves the same surface
+//!   over TCP so helper bytes cross real sockets (counted by
+//!   [`BlockStore::socket_counters`]).
+//!
+//! # Placement & racks
+//!
+//! A store mounts a backend *pool* — possibly larger than the code's shard
+//! count — grouped into named racks by a [`RackMap`] (one chunkd endpoint
+//! group = one rack), and a [`PlacementPolicy`] decides which pool disks
+//! each stripe's chunks land on ([`BlockStore::open_with_backends`]):
+//!
+//! * [`PlacementPolicy::Identity`] — shard `i` on disk `i`, the classic
+//!   fixed layout ([`BlockStore::open`] uses it with one single-disk rack
+//!   per backend, so every helper byte counts as cross-rack, matching the
+//!   paper's §2.1 worst case);
+//! * [`PlacementPolicy::RackDisjoint`] — every shard in a distinct rack,
+//!   the production placement whose recovery traffic the paper measures:
+//!   *all* of it crosses top-of-rack switches;
+//! * [`PlacementPolicy::RackAware`] — grouped placement: stripes occupy as
+//!   few racks as possible, so repairs can find same-rack helpers.
+//!
+//! Placement is deterministic (seeded via
+//! [`store::StoreConfig::placement_seed`]) and every stripe's chosen disk
+//! set is persisted in the manifest, which is the authority on reopen. The
+//! repair paths are *locality-first*: helper choice prefers same-rack
+//! survivors when the code allows it
+//! ([`pbrs_erasure::ErasureCode::repair_reads_ranked`]), and every helper
+//! byte is accounted intra-rack vs cross-rack ([`MetricsSnapshot`],
+//! [`StripeRepair`], [`daemon::DaemonStats`], and per-rack socket sums via
+//! [`BlockStore::rack_counters`]) — the paper's cross-rack recovery-traffic
+//! split measured on real I/O. `examples/rack_aware_repair.rs` runs the
+//! whole experiment against racks of chunkd servers.
+//!
+//! # Object lifecycle
+//!
+//! Objects are immutable; [`BlockStore::delete`] removes one by writing a
+//! durable manifest tombstone (reads fail immediately), and the next
+//! [`BlockStore::scrub`] sweeps the dead chunks from every disk and clears
+//! the tombstone ([`ScrubReport::tombstones_swept`]). A deleted name is
+//! immediately reusable. For large stores, [`BlockStore::scrub_partial`]
+//! verifies N stripes per pass behind a persisted cursor
+//! (`SCRUB.cursor`), so full-checksum sweeps can be spread over time and
+//! survive restarts.
 //!
 //! # Durability
 //!
@@ -100,4 +140,10 @@ pub use daemon::{DaemonConfig, DaemonStats, RepairDaemon, ScanReport};
 pub use error::StoreError;
 pub use manifest::{Manifest, ObjectInfo};
 pub use metrics::MetricsSnapshot;
-pub use store::{BlockStore, Damage, ScrubReport, StoreConfig, StripeRepair, DEFAULT_CHUNK_LEN};
+// The placement types are pbrs-placement's — re-exported so store callers
+// can mount rack-aware pools without a separate import.
+pub use pbrs_placement::{PlacementError, PlacementMap, PlacementPolicy, RackMap};
+pub use store::{
+    BlockStore, Damage, PartialScrubReport, ScrubReport, StoreConfig, StripeRepair,
+    DEFAULT_CHUNK_LEN,
+};

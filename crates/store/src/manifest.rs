@@ -1,15 +1,35 @@
 //! The durable stripe manifest.
 //!
 //! One small text file at the store root records the store-wide geometry
-//! (code spec, chunk length) and every object's logical length and stripe
-//! count. The format is line-oriented and versioned:
+//! (code spec, chunk length, backend pool size, placement policy and seed),
+//! every object's logical length and stripe count, every placed stripe's
+//! disk set, and the tombstones of deleted objects whose chunks are still
+//! awaiting the scrub sweep. The format is line-oriented and versioned:
 //!
 //! ```text
-//! pbrs-store v1
+//! pbrs-store v2
 //! code piggyback-10-4
 //! chunk 65536
+//! pool 28
+//! policy rack-disjoint
+//! pseed 42
 //! object 67108864 26 my-dataset.bin
+//! place my-dataset.bin 0 3,7,12,25,1,9,14,20,5,17,22,11,27,6
+//! tomb old-dataset.bin
 //! ```
+//!
+//! `place` lines exist only for stores with a non-identity placement
+//! policy: they pin each stripe's shard→disk assignment durably, so reads
+//! after a reopen resolve chunks without re-deriving the placement (the
+//! derivation is deterministic, but the manifest is the authority). `tomb`
+//! lines are the delete path's write-ahead record: the named object is gone
+//! from the object table, and its chunks are garbage to be swept by the
+//! next scrub.
+//!
+//! Version 1 manifests (fixed shard-`i`-on-disk-`i` layout, no pool or
+//! placement lines) still load: they imply `pool = total shards`, the
+//! identity policy and no placements, and are upgraded to v2 on the next
+//! save.
 //!
 //! Object names are restricted to `[A-Za-z0-9._-]` (and may not be `.` or
 //! `..`), so a name is always a safe directory component and the name can be
@@ -17,19 +37,23 @@
 //! rewritten atomically (`MANIFEST.tmp` + rename) after every mutation, so
 //! a crash leaves either the old or the new manifest, never a torn one.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
 use std::path::{Path, PathBuf};
 
 use pbrs_erasure::CodeSpec;
+use pbrs_placement::PlacementPolicy;
 
 use crate::error::{Result, StoreError};
 
 /// File name of the manifest within the store root.
 pub const MANIFEST_FILE: &str = "MANIFEST";
 
-/// The first line of every v1 manifest.
-const VERSION_LINE: &str = "pbrs-store v1";
+/// The first line of every v2 manifest.
+const VERSION_LINE_V2: &str = "pbrs-store v2";
+
+/// The first line of legacy v1 manifests (fixed layout, no placement).
+const VERSION_LINE_V1: &str = "pbrs-store v1";
 
 /// Durable description of one stored object.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,15 +64,28 @@ pub struct ObjectInfo {
     pub stripes: u64,
 }
 
-/// The in-memory manifest: store geometry plus the object table.
+/// The in-memory manifest: store geometry plus the object table, stripe
+/// placements and delete tombstones.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Manifest {
     /// The erasure code every stripe of this store uses.
     pub spec: CodeSpec,
     /// Payload bytes per chunk (equal for every chunk in the store).
     pub chunk_len: usize,
+    /// Backends mounted (the disk pool the placements index into).
+    pub pool: usize,
+    /// The placement policy stripes were (and will be) placed under.
+    pub policy: PlacementPolicy,
+    /// The deterministic placement seed.
+    pub seed: u64,
     /// All objects, keyed by name.
     pub objects: BTreeMap<String, ObjectInfo>,
+    /// Per-stripe disk sets of placed objects: `placements[name][stripe]`
+    /// lists the disk holding each shard. Objects without an entry use the
+    /// identity layout (shard `i` on disk `i`).
+    pub placements: BTreeMap<String, Vec<Vec<usize>>>,
+    /// Deleted objects whose chunks have not been swept yet.
+    pub tombstones: BTreeSet<String>,
 }
 
 /// Validates an object name for use as a path component and manifest token.
@@ -85,28 +122,51 @@ pub fn validate_object_name(name: &str) -> Result<()> {
 
 impl Manifest {
     /// A fresh manifest with no objects.
-    pub fn new(spec: CodeSpec, chunk_len: usize) -> Self {
+    pub fn new(
+        spec: CodeSpec,
+        chunk_len: usize,
+        pool: usize,
+        policy: PlacementPolicy,
+        seed: u64,
+    ) -> Self {
         Manifest {
             spec,
             chunk_len,
+            pool,
+            policy,
+            seed,
             objects: BTreeMap::new(),
+            placements: BTreeMap::new(),
+            tombstones: BTreeSet::new(),
         }
     }
 
-    /// Serialises the manifest to its text form.
+    /// Serialises the manifest to its (v2) text form.
     pub fn to_text(&self) -> String {
         let mut out = String::new();
-        out.push_str(VERSION_LINE);
+        out.push_str(VERSION_LINE_V2);
         out.push('\n');
         out.push_str(&format!("code {}\n", self.spec));
         out.push_str(&format!("chunk {}\n", self.chunk_len));
+        out.push_str(&format!("pool {}\n", self.pool));
+        out.push_str(&format!("policy {}\n", self.policy));
+        out.push_str(&format!("pseed {}\n", self.seed));
         for (name, info) in &self.objects {
             out.push_str(&format!("object {} {} {name}\n", info.len, info.stripes));
+        }
+        for (name, stripes) in &self.placements {
+            for (stripe, disks) in stripes.iter().enumerate() {
+                let list: Vec<String> = disks.iter().map(usize::to_string).collect();
+                out.push_str(&format!("place {name} {stripe} {}\n", list.join(",")));
+            }
+        }
+        for name in &self.tombstones {
+            out.push_str(&format!("tomb {name}\n"));
         }
         out
     }
 
-    /// Parses a manifest from its text form.
+    /// Parses a manifest from its text form (v1 or v2).
     ///
     /// # Errors
     ///
@@ -121,15 +181,24 @@ impl Manifest {
         let Some((_, version)) = lines.next() else {
             return Err(corrupt(0, "empty manifest".into()));
         };
-        if version != VERSION_LINE {
-            return Err(corrupt(
-                1,
-                format!("unknown version line {version:?} (expected {VERSION_LINE:?})"),
-            ));
-        }
+        let legacy = match version {
+            VERSION_LINE_V2 => false,
+            VERSION_LINE_V1 => true,
+            other => {
+                return Err(corrupt(
+                    1,
+                    format!("unknown version line {other:?} (expected {VERSION_LINE_V2:?})"),
+                ))
+            }
+        };
         let mut spec: Option<CodeSpec> = None;
         let mut chunk_len: Option<usize> = None;
+        let mut pool: Option<usize> = None;
+        let mut policy: Option<PlacementPolicy> = None;
+        let mut seed: u64 = 0;
         let mut objects = BTreeMap::new();
+        let mut placements: BTreeMap<String, Vec<Vec<usize>>> = BTreeMap::new();
+        let mut tombstones = BTreeSet::new();
         for (idx, line) in lines {
             let lineno = idx + 1;
             if line.is_empty() {
@@ -150,6 +219,23 @@ impl Manifest {
                         .parse()
                         .map_err(|_| corrupt(lineno, format!("bad chunk length {rest:?}")))?;
                     chunk_len = Some(parsed);
+                }
+                "pool" => {
+                    let parsed = rest
+                        .parse()
+                        .map_err(|_| corrupt(lineno, format!("bad pool size {rest:?}")))?;
+                    pool = Some(parsed);
+                }
+                "policy" => {
+                    let parsed = rest
+                        .parse()
+                        .map_err(|e| corrupt(lineno, format!("bad placement policy: {e}")))?;
+                    policy = Some(parsed);
+                }
+                "pseed" => {
+                    seed = rest
+                        .parse()
+                        .map_err(|_| corrupt(lineno, format!("bad placement seed {rest:?}")))?;
                 }
                 "object" => {
                     let mut fields = rest.splitn(3, ' ');
@@ -177,16 +263,142 @@ impl Manifest {
                         return Err(corrupt(lineno, format!("duplicate object {name:?}")));
                     }
                 }
+                "place" => {
+                    let mut fields = rest.splitn(3, ' ');
+                    let (name, stripe, disks) = match (fields.next(), fields.next(), fields.next())
+                    {
+                        (Some(name), Some(stripe), Some(disks)) => (name, stripe, disks),
+                        _ => {
+                            return Err(corrupt(
+                                lineno,
+                                format!("place line needs <name> <stripe> <disks>: {line:?}"),
+                            ))
+                        }
+                    };
+                    validate_object_name(name)
+                        .map_err(|e| corrupt(lineno, format!("bad object name: {e}")))?;
+                    let stripe: usize = stripe
+                        .parse()
+                        .map_err(|_| corrupt(lineno, format!("bad stripe index {stripe:?}")))?;
+                    let disks: Vec<usize> = disks
+                        .split(',')
+                        .map(|d| d.parse::<usize>())
+                        .collect::<std::result::Result<_, _>>()
+                        .map_err(|_| corrupt(lineno, format!("bad disk list {disks:?}")))?;
+                    let rows = placements.entry(name.to_string()).or_default();
+                    // Placement rows must arrive dense and in stripe order.
+                    if stripe != rows.len() {
+                        return Err(corrupt(
+                            lineno,
+                            format!(
+                                "place line for {name:?} stripe {stripe} out of order \
+                                 (expected stripe {})",
+                                rows.len()
+                            ),
+                        ));
+                    }
+                    rows.push(disks);
+                }
+                "tomb" => {
+                    validate_object_name(rest)
+                        .map_err(|e| corrupt(lineno, format!("bad tombstone name: {e}")))?;
+                    tombstones.insert(rest.to_string());
+                }
                 other => return Err(corrupt(lineno, format!("unknown key {other:?}"))),
             }
         }
         let spec = spec.ok_or_else(|| corrupt(0, "missing \"code\" line".into()))?;
         let chunk_len = chunk_len.ok_or_else(|| corrupt(0, "missing \"chunk\" line".into()))?;
-        Ok(Manifest {
+        let (pool, policy) = if legacy {
+            // v1: fixed layout, one disk per shard.
+            (spec.total_shards(), PlacementPolicy::Identity)
+        } else {
+            (
+                pool.ok_or_else(|| corrupt(0, "missing \"pool\" line".into()))?,
+                policy.ok_or_else(|| corrupt(0, "missing \"policy\" line".into()))?,
+            )
+        };
+        let manifest = Manifest {
             spec,
             chunk_len,
+            pool,
+            policy,
+            seed,
             objects,
-        })
+            placements,
+            tombstones,
+        };
+        manifest.check_consistency(path)?;
+        Ok(manifest)
+    }
+
+    /// Cross-line invariants: placements reference live objects, cover their
+    /// stripes exactly, index real disks, and no name is both an object and
+    /// a tombstone.
+    fn check_consistency(&self, path: &Path) -> Result<()> {
+        let corrupt = |reason: String| StoreError::CorruptManifest {
+            path: path.to_path_buf(),
+            line: 0,
+            reason,
+        };
+        let width = self.spec.total_shards();
+        for (name, rows) in &self.placements {
+            let info = self
+                .objects
+                .get(name)
+                .ok_or_else(|| corrupt(format!("placement for unknown object {name:?}")))?;
+            if rows.len() as u64 != info.stripes {
+                return Err(corrupt(format!(
+                    "object {name:?} has {} stripes but {} placement rows",
+                    info.stripes,
+                    rows.len()
+                )));
+            }
+            for (stripe, disks) in rows.iter().enumerate() {
+                if disks.len() != width {
+                    return Err(corrupt(format!(
+                        "placement of {name:?} stripe {stripe} lists {} disks \
+                         for a {width}-shard code",
+                        disks.len()
+                    )));
+                }
+                if let Some(&bad) = disks.iter().find(|&&d| d >= self.pool) {
+                    return Err(corrupt(format!(
+                        "placement of {name:?} stripe {stripe} names disk {bad} \
+                         outside the {}-disk pool",
+                        self.pool
+                    )));
+                }
+            }
+        }
+        if self.policy == PlacementPolicy::Identity {
+            if let Some(name) = self.placements.keys().next() {
+                return Err(corrupt(format!(
+                    "placement rows for {name:?} under the identity policy"
+                )));
+            }
+        } else {
+            // A placed store's manifest is the placement authority: every
+            // non-empty object must carry its rows.
+            for (name, info) in &self.objects {
+                if info.stripes > 0 && !self.placements.contains_key(name) {
+                    return Err(corrupt(format!(
+                        "object {name:?} has no placement rows under the {} policy",
+                        self.policy
+                    )));
+                }
+            }
+        }
+        if let Some(both) = self
+            .tombstones
+            .iter()
+            .find(|t| self.objects.contains_key(*t))
+        {
+            return Err(corrupt(format!(
+                "{both:?} is both a live object and a tombstone"
+            )));
+        }
+        Ok(())
     }
 
     /// Loads the manifest from `root/MANIFEST`, or `None` if the file does
@@ -246,7 +458,13 @@ mod tests {
     use crate::testing::TempDir;
 
     fn sample() -> Manifest {
-        let mut m = Manifest::new(CodeSpec::FACEBOOK_PIGGYBACK, 65536);
+        let mut m = Manifest::new(
+            CodeSpec::FACEBOOK_PIGGYBACK,
+            65536,
+            28,
+            PlacementPolicy::RackDisjoint,
+            42,
+        );
         m.objects.insert(
             "a.bin".into(),
             ObjectInfo {
@@ -257,10 +475,22 @@ mod tests {
         m.objects.insert(
             "models_v2-final".into(),
             ObjectInfo {
-                len: 67108864,
-                stripes: 26,
+                len: 1500,
+                stripes: 2,
             },
         );
+        m.placements.insert(
+            "a.bin".into(),
+            vec![vec![0, 3, 6, 9, 12, 15, 18, 21, 24, 27, 1, 4, 7, 10]],
+        );
+        m.placements.insert(
+            "models_v2-final".into(),
+            vec![
+                vec![2, 5, 8, 11, 14, 17, 20, 23, 26, 0, 3, 6, 9, 12],
+                vec![13, 16, 19, 22, 25, 1, 4, 7, 10, 2, 5, 8, 11, 14],
+            ],
+        );
+        m.tombstones.insert("gone.bin".into());
         m
     }
 
@@ -284,31 +514,88 @@ mod tests {
     }
 
     #[test]
+    fn legacy_v1_manifests_imply_the_fixed_layout() {
+        let text = "pbrs-store v1\ncode rs-10-4\nchunk 64\nobject 10 1 a\n";
+        let m = Manifest::parse(Path::new("MANIFEST"), text).unwrap();
+        assert_eq!(m.pool, 14, "pool defaults to the code width");
+        assert_eq!(m.policy, PlacementPolicy::Identity);
+        assert_eq!(m.seed, 0);
+        assert!(m.placements.is_empty());
+        assert!(m.tombstones.is_empty());
+        assert_eq!(m.objects.len(), 1);
+        // Saving upgrades the file to v2.
+        assert!(m.to_text().starts_with("pbrs-store v2\n"));
+    }
+
+    #[test]
     fn parse_rejects_damage() {
         let path = Path::new("MANIFEST");
+        let v2 = "pbrs-store v2\ncode rs-4-2\nchunk 64\npool 12\npolicy rack-disjoint\npseed 7\n";
         let cases = [
-            ("", "empty"),
-            ("pbrs-store v9\n", "version"),
-            ("pbrs-store v1\nchunk 64\n", "missing \"code\""),
-            ("pbrs-store v1\ncode rs-10-4\n", "missing \"chunk\""),
-            ("pbrs-store v1\ncode nonsense-1\nchunk 64\n", "code spec"),
-            ("pbrs-store v1\ncode rs-10-4\nchunk x\n", "chunk length"),
+            ("".to_string(), "empty"),
+            ("pbrs-store v9\n".to_string(), "version"),
+            ("pbrs-store v1\nchunk 64\n".to_string(), "missing \"code\""),
             (
-                "pbrs-store v1\ncode rs-10-4\nchunk 64\nobject 10 a\n",
+                "pbrs-store v1\ncode rs-10-4\n".to_string(),
+                "missing \"chunk\"",
+            ),
+            (
+                "pbrs-store v1\ncode nonsense-1\nchunk 64\n".to_string(),
+                "code spec",
+            ),
+            (
+                "pbrs-store v1\ncode rs-10-4\nchunk x\n".to_string(),
+                "chunk length",
+            ),
+            (
+                "pbrs-store v2\ncode rs-10-4\nchunk 64\npolicy identity\n".to_string(),
+                "v2 missing \"pool\"",
+            ),
+            (
+                "pbrs-store v2\ncode rs-10-4\nchunk 64\npool 14\n".to_string(),
+                "v2 missing \"policy\"",
+            ),
+            (format!("{v2}policy sideways\n"), "unknown policy"),
+            (
+                "pbrs-store v1\ncode rs-10-4\nchunk 64\nobject 10 a\n".to_string(),
                 "object line",
             ),
             (
-                "pbrs-store v1\ncode rs-10-4\nchunk 64\nobject 10 1 a\nobject 10 1 a\n",
+                "pbrs-store v1\ncode rs-10-4\nchunk 64\nobject 10 1 a\nobject 10 1 a\n".to_string(),
                 "duplicate",
             ),
             (
-                "pbrs-store v1\ncode rs-10-4\nchunk 64\nwhatever 1\n",
+                "pbrs-store v1\ncode rs-10-4\nchunk 64\nwhatever 1\n".to_string(),
                 "unknown key",
+            ),
+            (
+                format!("{v2}object 10 1 a\nplace a 1 0,1,2,3,4,5\n"),
+                "place row out of order",
+            ),
+            (
+                format!("{v2}object 10 1 a\nplace a 0 0,1,2\n"),
+                "place row too narrow",
+            ),
+            (
+                format!("{v2}object 10 1 a\nplace a 0 0,1,2,3,4,99\n"),
+                "place disk outside the pool",
+            ),
+            (
+                format!("{v2}place ghost 0 0,1,2,3,4,5\n"),
+                "place for unknown object",
+            ),
+            (
+                format!("{v2}object 10 1 a\n"),
+                "object missing its placement rows",
+            ),
+            (
+                format!("{v2}object 10 1 a\nplace a 0 0,1,2,3,4,5\ntomb a\n"),
+                "object and tombstone at once",
             ),
         ];
         for (text, why) in cases {
             assert!(
-                Manifest::parse(path, text).is_err(),
+                Manifest::parse(path, &text).is_err(),
                 "{why}: {text:?} should be rejected"
             );
         }

@@ -27,12 +27,20 @@ pub struct StoreMetrics {
     pub degraded_stripe_reads: AtomicU64,
     /// Helper bytes read from other "disks" to serve degraded reads.
     pub degraded_helper_bytes: AtomicU64,
+    /// Degraded-read helper bytes sourced from the damaged chunk's own rack.
+    pub degraded_intra_rack_bytes: AtomicU64,
+    /// Degraded-read helper bytes that crossed racks.
+    pub degraded_cross_rack_bytes: AtomicU64,
     /// Chunks found corrupt (bad checksum / header) by any path.
     pub corrupt_chunks_detected: AtomicU64,
     /// Chunks rebuilt by repair.
     pub chunks_repaired: AtomicU64,
     /// Helper bytes read from surviving "disks" to rebuild chunks.
     pub repair_helper_bytes: AtomicU64,
+    /// Repair helper bytes sourced from the rebuilt chunk's own rack.
+    pub repair_intra_rack_bytes: AtomicU64,
+    /// Repair helper bytes that crossed racks — the paper's scarce resource.
+    pub repair_cross_rack_bytes: AtomicU64,
     /// Rebuilt chunk payload bytes written back.
     pub repair_bytes_written: AtomicU64,
     /// Chunks examined by scrub passes.
@@ -59,9 +67,13 @@ impl StoreMetrics {
             bytes_served: get(&self.bytes_served),
             degraded_stripe_reads: get(&self.degraded_stripe_reads),
             degraded_helper_bytes: get(&self.degraded_helper_bytes),
+            degraded_intra_rack_bytes: get(&self.degraded_intra_rack_bytes),
+            degraded_cross_rack_bytes: get(&self.degraded_cross_rack_bytes),
             corrupt_chunks_detected: get(&self.corrupt_chunks_detected),
             chunks_repaired: get(&self.chunks_repaired),
             repair_helper_bytes: get(&self.repair_helper_bytes),
+            repair_intra_rack_bytes: get(&self.repair_intra_rack_bytes),
+            repair_cross_rack_bytes: get(&self.repair_cross_rack_bytes),
             repair_bytes_written: get(&self.repair_bytes_written),
             chunks_scrubbed: get(&self.chunks_scrubbed),
             scrub_bytes_read: get(&self.scrub_bytes_read),
@@ -88,12 +100,20 @@ pub struct MetricsSnapshot {
     pub degraded_stripe_reads: u64,
     /// Helper bytes read from other "disks" to serve degraded reads.
     pub degraded_helper_bytes: u64,
+    /// Degraded-read helper bytes sourced from the damaged chunk's own rack.
+    pub degraded_intra_rack_bytes: u64,
+    /// Degraded-read helper bytes that crossed racks.
+    pub degraded_cross_rack_bytes: u64,
     /// Chunks found corrupt by any path.
     pub corrupt_chunks_detected: u64,
     /// Chunks rebuilt by repair.
     pub chunks_repaired: u64,
     /// Helper bytes read from surviving "disks" to rebuild chunks.
     pub repair_helper_bytes: u64,
+    /// Repair helper bytes sourced from the rebuilt chunk's own rack.
+    pub repair_intra_rack_bytes: u64,
+    /// Repair helper bytes that crossed racks.
+    pub repair_cross_rack_bytes: u64,
     /// Rebuilt chunk payload bytes written back.
     pub repair_bytes_written: u64,
     /// Chunks examined by scrub passes.
@@ -108,6 +128,20 @@ impl MetricsSnapshot {
     /// cross-rack recovery traffic.
     pub fn total_helper_bytes(&self) -> u64 {
         self.degraded_helper_bytes + self.repair_helper_bytes
+    }
+
+    /// All helper bytes that crossed racks (degraded reads + repairs) — the
+    /// counter the paper's Fig. 3 traffic argument is about. Stores without
+    /// an explicit rack map treat every disk as its own rack, so this equals
+    /// [`MetricsSnapshot::total_helper_bytes`] there.
+    pub fn total_cross_rack_bytes(&self) -> u64 {
+        self.degraded_cross_rack_bytes + self.repair_cross_rack_bytes
+    }
+
+    /// All helper bytes served from within the damaged chunk's own rack —
+    /// nonzero only under a grouping (rack-aware) placement policy.
+    pub fn total_intra_rack_bytes(&self) -> u64 {
+        self.degraded_intra_rack_bytes + self.repair_intra_rack_bytes
     }
 }
 

@@ -71,7 +71,8 @@ use std::thread;
 use std::time::Duration;
 
 use pbrs_core::registry::{self, DynCode};
-use pbrs_erasure::{total_read_bytes, CodeError, CodeSpec, ErasureCode, ShardBuffer};
+use pbrs_erasure::{CodeError, CodeSpec, ErasureCode, ShardBuffer};
+use pbrs_placement::{PlacementMap, PlacementPolicy, RackMap};
 
 use crate::backend::{BackendCounters, ChunkBackend, LocalDisk};
 use crate::chunk::{self, ChunkId, ChunkStatus};
@@ -106,6 +107,10 @@ pub struct StoreConfig {
     /// runtime knob only — not part of the on-disk geometry, so reopening
     /// with a different width is always valid.
     pub pipeline_workers: usize,
+    /// Seed of the deterministic stripe placement (persisted in the
+    /// manifest; reopening with a different seed is a config mismatch).
+    /// Irrelevant for the identity policy.
+    pub placement_seed: u64,
 }
 
 impl StoreConfig {
@@ -116,6 +121,7 @@ impl StoreConfig {
             spec,
             chunk_len: DEFAULT_CHUNK_LEN,
             pipeline_workers: DEFAULT_PIPELINE_WORKERS,
+            placement_seed: 0,
         }
     }
 
@@ -132,6 +138,13 @@ impl StoreConfig {
         self.pipeline_workers = workers.max(1);
         self
     }
+
+    /// Overrides the deterministic placement seed.
+    #[must_use]
+    pub fn placement_seed(mut self, seed: u64) -> Self {
+        self.placement_seed = seed;
+        self
+    }
 }
 
 /// Why a chunk needs repair, as found by a scrub pass.
@@ -141,8 +154,11 @@ pub struct Damage {
     pub object: String,
     /// Stripe within the object.
     pub stripe: u64,
-    /// Shard within the stripe (also names the disk).
+    /// Shard within the stripe.
     pub shard: usize,
+    /// The pool disk holding (or that held) the damaged chunk, as resolved
+    /// through the stripe's placement.
+    pub disk: usize,
     /// What the scrub found.
     pub status: ChunkStatus,
 }
@@ -164,6 +180,9 @@ pub struct ScrubReport {
     /// stale manifest temp at the root). Reported so operators can tell
     /// crash debris from damage — these files never endanger data.
     pub stale_tmp_removed: Vec<String>,
+    /// Deleted objects whose dead chunks this pass swept from every disk
+    /// (their tombstones are now cleared from the manifest).
+    pub tombstones_swept: Vec<String>,
 }
 
 impl ScrubReport {
@@ -171,6 +190,34 @@ impl ScrubReport {
     pub fn is_clean(&self) -> bool {
         self.damages.is_empty()
     }
+}
+
+/// File name of the incremental-scrub cursor within the store root.
+pub const SCRUB_CURSOR_FILE: &str = "SCRUB.cursor";
+
+/// Result of one incremental scrub pass ([`BlockStore::scrub_partial`]).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PartialScrubReport {
+    /// Damaged chunks found in the scanned window, in manifest order.
+    pub damages: Vec<Damage>,
+    /// Stripes examined by this pass.
+    pub stripes_scanned: u64,
+    /// Chunks examined.
+    pub chunks_examined: u64,
+    /// Payload bytes read and checksummed.
+    pub bytes_read: u64,
+    /// Whether this pass reached the end of the object table and reset the
+    /// cursor to the start (a full sweep of the store has completed since
+    /// the last wrap).
+    pub wrapped: bool,
+}
+
+/// The persisted position of the incremental scrub: the next stripe to
+/// verify, as `(object, stripe)` in object-name order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+struct ScrubCursor {
+    object: Option<String>,
+    stripe: u64,
 }
 
 /// Outcome of repairing the damaged chunks of one stripe.
@@ -182,6 +229,12 @@ pub struct StripeRepair {
     pub already_healthy: Vec<usize>,
     /// Helper bytes read from surviving disks.
     pub helper_bytes: u64,
+    /// Helper bytes sourced from the rebuilt chunk's own rack — nonzero
+    /// when the placement groups shards and the locality-first scheduler
+    /// found same-rack helpers.
+    pub intra_rack_bytes: u64,
+    /// Helper bytes that crossed racks (the paper's scarce resource).
+    pub cross_rack_bytes: u64,
     /// Rebuilt payload bytes written.
     pub bytes_written: u64,
 }
@@ -195,9 +248,14 @@ pub struct BlockStore {
     code: DynCode,
     chunk_len: usize,
     pipeline_workers: usize,
-    /// One backend per shard: chunk I/O goes through these, never straight
-    /// to the filesystem, so local and remote disks mix transparently.
+    /// The mounted backend pool — at least as many disks as the code has
+    /// shards. Chunk I/O goes through these, never straight to the
+    /// filesystem, so local and remote disks mix transparently; *which*
+    /// disk holds a given `(object, stripe, shard)` chunk is decided by
+    /// `map` and pinned in the manifest.
     disks: Vec<Arc<dyn ChunkBackend>>,
+    /// The validated placement map: rack grouping + policy + seed.
+    map: PlacementMap,
     manifest: RwLock<Manifest>,
     /// Names currently being written, to keep concurrent `put`s of the same
     /// name from interleaving.
@@ -230,6 +288,26 @@ struct StripeScratch {
     rebuilt: Vec<u8>,
 }
 
+/// Helper-byte accounting of one rebuild, split by rack locality relative
+/// to the disk being rebuilt (`total == intra_rack + cross_rack`).
+#[derive(Debug, Default, Clone, Copy)]
+struct HelperTraffic {
+    total: u64,
+    intra_rack: u64,
+    cross_rack: u64,
+}
+
+impl HelperTraffic {
+    fn add(&mut self, bytes: u64, intra: bool) {
+        self.total += bytes;
+        if intra {
+            self.intra_rack += bytes;
+        } else {
+            self.cross_rack += bytes;
+        }
+    }
+}
+
 impl std::fmt::Debug for BlockStore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("BlockStore")
@@ -256,13 +334,17 @@ impl BlockStore {
     /// geometry, and I/O or manifest-parse failures.
     pub fn open(config: StoreConfig) -> Result<Self> {
         let code = registry::build(&config.spec)?;
-        let disks: Vec<Arc<dyn ChunkBackend>> = (0..code.params().total_shards())
+        let n = code.params().total_shards();
+        let disks: Vec<Arc<dyn ChunkBackend>> = (0..n)
             .map(|disk| {
                 Arc::new(LocalDisk::new(config.root.join(format!("disk-{disk:02}"))))
                     as Arc<dyn ChunkBackend>
             })
             .collect();
-        let store = Self::open_inner(config, code, disks)?;
+        // Legacy layout: shard `i` on disk `i`, every disk its own rack (so
+        // all helper traffic counts as cross-rack, like the paper's §2.1).
+        let racks = RackMap::per_disk(n);
+        let store = Self::open_inner(config, code, disks, racks, PlacementPolicy::Identity)?;
         // The all-local layout pre-creates its disk directories so a fresh
         // store scrubs clean (no "lost disks") before the first write.
         for disk in 0..store.disk_count() {
@@ -273,22 +355,29 @@ impl BlockStore {
         Ok(store)
     }
 
-    /// Opens (or creates) the store with one caller-provided
-    /// [`ChunkBackend`] per shard — any mix of [`LocalDisk`]s and remote
-    /// disks (e.g. `pbrs-chunkd` clients). The manifest still lives at
-    /// `config.root`; backends own their chunk storage entirely.
+    /// Opens (or creates) the store over a caller-provided backend *pool* —
+    /// any mix of [`LocalDisk`]s and remote disks (e.g. `pbrs-chunkd`
+    /// clients), grouped into named racks by `racks` (one chunkd endpoint
+    /// group = one rack) and at least as many disks as the code has shards.
+    /// `policy` decides which pool disks each stripe's chunks land on; the
+    /// chosen disk sets are pinned in the manifest, which always lives
+    /// locally at `config.root`.
     ///
     /// # Errors
     ///
     /// Everything [`BlockStore::open`] returns, plus
-    /// [`StoreError::InvalidConfig`] when the backend count does not match
-    /// the code's shard count.
+    /// [`StoreError::InvalidConfig`] when the rack map does not cover the
+    /// backend pool and [`StoreError::Placement`] when stripes of the
+    /// code's width cannot be placed under `policy` (e.g. rack-disjoint
+    /// with fewer racks than shards).
     pub fn open_with_backends(
         config: StoreConfig,
         disks: Vec<Arc<dyn ChunkBackend>>,
+        racks: RackMap,
+        policy: PlacementPolicy,
     ) -> Result<Self> {
         let code = registry::build(&config.spec)?;
-        Self::open_inner(config, code, disks)
+        Self::open_inner(config, code, disks, racks, policy)
     }
 
     /// The shared open path: validates geometry against the (already
@@ -297,6 +386,8 @@ impl BlockStore {
         config: StoreConfig,
         code: DynCode,
         disks: Vec<Arc<dyn ChunkBackend>>,
+        racks: RackMap,
+        policy: PlacementPolicy,
     ) -> Result<Self> {
         if config.chunk_len == 0 || !config.chunk_len.is_multiple_of(code.granularity()) {
             return Err(StoreError::InvalidConfig {
@@ -307,15 +398,19 @@ impl BlockStore {
                 ),
             });
         }
-        if disks.len() != code.params().total_shards() {
+        let n = code.params().total_shards();
+        if racks.disk_count() != disks.len() {
             return Err(StoreError::InvalidConfig {
                 reason: format!(
-                    "{} backends mounted for a code with {} shards",
-                    disks.len(),
-                    code.params().total_shards()
+                    "rack map covers {} disks but {} backends are mounted",
+                    racks.disk_count(),
+                    disks.len()
                 ),
             });
         }
+        // Validates policy feasibility (width vs racks/pool) up front, so
+        // every later placement lookup is infallible.
+        let map = PlacementMap::new(racks, policy, n, config.placement_seed)?;
         fs::create_dir_all(&config.root).map_err(|e| StoreError::io(&config.root, e))?;
         let manifest = match Manifest::load(&config.root)? {
             Some(existing) => {
@@ -333,10 +428,37 @@ impl BlockStore {
                         configured: config.chunk_len.to_string(),
                     });
                 }
+                if existing.pool != disks.len() {
+                    return Err(StoreError::ConfigMismatch {
+                        field: "pool",
+                        on_disk: existing.pool.to_string(),
+                        configured: disks.len().to_string(),
+                    });
+                }
+                if existing.policy != policy {
+                    return Err(StoreError::ConfigMismatch {
+                        field: "policy",
+                        on_disk: existing.policy.to_string(),
+                        configured: policy.to_string(),
+                    });
+                }
+                if existing.seed != config.placement_seed {
+                    return Err(StoreError::ConfigMismatch {
+                        field: "placement_seed",
+                        on_disk: existing.seed.to_string(),
+                        configured: config.placement_seed.to_string(),
+                    });
+                }
                 existing
             }
             None => {
-                let fresh = Manifest::new(config.spec, config.chunk_len);
+                let fresh = Manifest::new(
+                    config.spec,
+                    config.chunk_len,
+                    disks.len(),
+                    policy,
+                    config.placement_seed,
+                );
                 fresh.save(&config.root)?;
                 fresh
             }
@@ -348,6 +470,7 @@ impl BlockStore {
             chunk_len: config.chunk_len,
             pipeline_workers: config.pipeline_workers.max(1),
             disks,
+            map,
             manifest: RwLock::new(manifest),
             in_flight: Mutex::new(HashSet::new()),
             metrics: StoreMetrics::default(),
@@ -370,9 +493,64 @@ impl BlockStore {
         self.chunk_len
     }
 
-    /// Number of disk directories (= shards per stripe).
+    /// Number of mounted backends (the disk pool). Equal to the shard count
+    /// for identity-placed stores; larger pools spread stripes under the
+    /// configured [`PlacementPolicy`].
     pub fn disk_count(&self) -> usize {
+        self.disks.len()
+    }
+
+    /// Shards per stripe (`k + r` of the configured code).
+    pub fn shards_per_stripe(&self) -> usize {
         self.code.params().total_shards()
+    }
+
+    /// The rack grouping of the backend pool.
+    pub fn racks(&self) -> &RackMap {
+        self.map.racks()
+    }
+
+    /// The placement policy stripes are placed under.
+    pub fn placement_policy(&self) -> PlacementPolicy {
+        self.map.policy()
+    }
+
+    /// The pool disks holding each shard of one stripe: entry `i` is the
+    /// disk index of shard `i`. Resolved from the manifest's persisted
+    /// placement (identity `[0, 1, …]` for identity-placed stores).
+    pub fn stripe_disks(&self, object: &str, stripe: u64) -> Vec<usize> {
+        let manifest = self.manifest.read().expect("lock");
+        Self::resolve_row(&manifest, &self.map, object, stripe)
+    }
+
+    /// The manifest-first row lookup shared by every chunk-touching path:
+    /// persisted placement rows are the authority; objects without rows
+    /// (identity stores, legacy manifests) use the fixed layout; and a
+    /// placed object's missing row (only possible for out-of-range stripes)
+    /// falls back to the deterministic derivation.
+    fn resolve_row(
+        manifest: &Manifest,
+        map: &PlacementMap,
+        object: &str,
+        stripe: u64,
+    ) -> Vec<usize> {
+        if let Some(row) = manifest
+            .placements
+            .get(object)
+            .and_then(|rows| rows.get(usize::try_from(stripe).ok()?))
+        {
+            return row.clone();
+        }
+        map.disks_for_object_stripe(object, stripe)
+    }
+
+    /// Every stripe row of one object (placement per stripe), resolved once
+    /// so multi-stripe reads do not take the manifest lock per stripe.
+    fn object_rows(&self, object: &str, stripes: u64) -> Vec<Vec<usize>> {
+        let manifest = self.manifest.read().expect("lock");
+        (0..stripes)
+            .map(|s| Self::resolve_row(&manifest, &self.map, object, s))
+            .collect()
     }
 
     /// Logical data bytes per stripe (`k × chunk_len`).
@@ -415,6 +593,25 @@ impl BlockStore {
             .fold(BackendCounters::default(), |acc, disk| {
                 acc.combined(disk.counters())
             })
+    }
+
+    /// Per-rack sums of the backends' transport counters, in rack order —
+    /// [`BlockStore::socket_counters`] split by the rack map, so the bytes
+    /// entering and leaving each "rack" of chunk servers are visible
+    /// separately (the paper's per-TOR-switch view).
+    pub fn rack_counters(&self) -> Vec<(String, BackendCounters)> {
+        let racks = self.map.racks();
+        (0..racks.racks())
+            .map(|rack| {
+                let sum = racks
+                    .rack_disks(rack)
+                    .iter()
+                    .fold(BackendCounters::default(), |acc, &disk| {
+                        acc.combined(self.disks[disk].counters())
+                    });
+                (racks.rack_name(rack).to_string(), sum)
+            })
+            .collect()
     }
 
     /// Test-only failure injection: while enabled, every stripe encode
@@ -502,9 +699,23 @@ impl BlockStore {
     }
 
     fn put_reserved(&self, name: &str, mut reader: impl Read) -> Result<ObjectInfo> {
-        let n = self.code.params().total_shards();
-        for shard in 0..n {
-            self.disks[shard].ensure_object(name)?;
+        // A tombstoned name is free for reuse, but its dead chunks must go
+        // *before* new ones land — the old and new files share names.
+        let tombstoned = self
+            .manifest
+            .read()
+            .expect("lock")
+            .tombstones
+            .contains(name);
+        if tombstoned {
+            for disk in &self.disks {
+                disk.remove_object(name)?;
+            }
+        }
+        // The object's stripes may land anywhere in the pool (the placement
+        // decides per stripe), so every pool disk gets the object directory.
+        for disk in &self.disks {
+            disk.ensure_object(name)?;
         }
 
         let (total, stripe) = if self.pipeline_workers > 1 {
@@ -517,14 +728,31 @@ impl BlockStore {
             len: total,
             stripes: stripe,
         };
+        // Re-derive the rows the ingest workers used (placement is a pure
+        // function of name + stripe) and pin them in the manifest.
+        let rows: Option<Vec<Vec<usize>>> =
+            (self.map.policy() != PlacementPolicy::Identity).then(|| {
+                (0..stripe)
+                    .map(|s| self.map.disks_for_object_stripe(name, s))
+                    .collect()
+            });
         {
             let mut manifest = self.manifest.write().expect("lock");
             manifest.objects.insert(name.to_string(), info);
+            if let Some(rows) = rows.clone() {
+                manifest.placements.insert(name.to_string(), rows);
+            }
+            let had_tombstone = manifest.tombstones.remove(name);
             if let Err(e) = manifest.save(&self.root) {
-                // Keep the in-memory map honest: an object whose manifest
-                // entry never became durable must not be readable (its
-                // chunks are about to be cleaned up by `put`).
+                // Keep the in-memory map honest (matching the durable file):
+                // an object whose manifest entry never became durable must
+                // not be readable (its chunks are about to be cleaned up by
+                // `put`).
                 manifest.objects.remove(name);
+                manifest.placements.remove(name);
+                if had_tombstone {
+                    manifest.tombstones.insert(name.to_string());
+                }
                 return Err(e);
             }
         }
@@ -573,8 +801,11 @@ impl BlockStore {
             let (data, mut parity) = buf.split_mut(k);
             self.code.encode_into(&data, &mut parity)?;
         }
-        for shard in 0..n {
-            self.disks[shard].write_chunk(name, ChunkId { stripe, shard }, buf.shard(shard))?;
+        // Pure function of (seed, name, stripe): pipeline workers derive the
+        // same row the commit later persists, with no coordination.
+        let row = self.map.disks_for_object_stripe(name, stripe);
+        for (shard, &disk) in row.iter().enumerate() {
+            self.disks[disk].write_chunk(name, ChunkId { stripe, shard }, buf.shard(shard))?;
         }
         StoreMetrics::add(&self.metrics.chunks_written, n as u64);
         StoreMetrics::add(
@@ -763,14 +994,16 @@ impl BlockStore {
             .checked_mul(stripe_len)
             .expect("object fits in memory");
         let mut out = vec![0u8; padded];
+        // Resolve every stripe's placement once, outside the hot loop.
+        let rows = self.object_rows(name, info.stripes);
         let workers = self.pipeline_workers.min(stripes.max(1));
         if workers <= 1 {
             let mut scratch = self.new_scratch();
             for (stripe, dest) in out.chunks_mut(stripe_len).enumerate() {
-                self.read_stripe_into(name, stripe as u64, dest, &mut scratch)?;
+                self.read_stripe_into(name, stripe as u64, &rows[stripe], dest, &mut scratch)?;
             }
         } else {
-            self.read_stripes_parallel(name, &mut out, workers)?;
+            self.read_stripes_parallel(name, &rows, &mut out, workers)?;
         }
         out.truncate(usize::try_from(info.len).expect("object fits in memory"));
         StoreMetrics::add(&self.metrics.objects_read, 1);
@@ -781,7 +1014,13 @@ impl BlockStore {
     /// Decodes the object's stripes into `out` with a static partition:
     /// worker `w` owns a contiguous run of stripes (and the matching slice
     /// of `out`), plus one private scratch reused across its run.
-    fn read_stripes_parallel(&self, name: &str, out: &mut [u8], workers: usize) -> Result<()> {
+    fn read_stripes_parallel(
+        &self,
+        name: &str,
+        rows: &[Vec<usize>],
+        out: &mut [u8],
+        workers: usize,
+    ) -> Result<()> {
         let stripe_len = self.stripe_data_len();
         let stripes = out.len() / stripe_len;
         let per_worker = stripes.div_ceil(workers);
@@ -791,14 +1030,18 @@ impl BlockStore {
                 let failure = &failure;
                 scope.spawn(move || {
                     let mut scratch = self.new_scratch();
-                    let first = (w * per_worker) as u64;
+                    let first = w * per_worker;
                     for (i, dest) in region.chunks_mut(stripe_len).enumerate() {
                         if failure.lock().expect("lock").is_some() {
                             return; // another stripe already failed
                         }
-                        if let Err(e) =
-                            self.read_stripe_into(name, first + i as u64, dest, &mut scratch)
-                        {
+                        if let Err(e) = self.read_stripe_into(
+                            name,
+                            (first + i) as u64,
+                            &rows[first + i],
+                            dest,
+                            &mut scratch,
+                        ) {
                             let mut slot = failure.lock().expect("lock");
                             if slot.is_none() {
                                 *slot = Some(e);
@@ -816,11 +1059,13 @@ impl BlockStore {
     }
 
     /// Serves the `k × chunk_len` data bytes of one stripe into `dest`,
-    /// reusing the worker's scratch buffers throughout.
+    /// reusing the worker's scratch buffers throughout. `row` is the
+    /// stripe's placement: shard `i` lives on pool disk `row[i]`.
     fn read_stripe_into(
         &self,
         object: &str,
         stripe: u64,
+        row: &[usize],
         dest: &mut [u8],
         scratch: &mut StripeScratch,
     ) -> Result<()> {
@@ -832,7 +1077,7 @@ impl BlockStore {
         let mut bad: Vec<usize> = Vec::new();
         for shard in 0..k {
             let slot = &mut dest[shard * self.chunk_len..(shard + 1) * self.chunk_len];
-            match self.disks[shard].read_chunk_into(object, ChunkId { stripe, shard }, slot)? {
+            match self.disks[row[shard]].read_chunk_into(object, ChunkId { stripe, shard }, slot)? {
                 Ok(()) => {}
                 Err(status) => {
                     self.note_damage(&status);
@@ -858,8 +1103,8 @@ impl BlockStore {
             }
         }
         if bad.len() == 1 {
-            if let Some(helper_bytes) = self.try_planned_rebuild(object, stripe, bad[0], scratch)? {
-                StoreMetrics::add(&self.metrics.degraded_helper_bytes, helper_bytes);
+            if let Some(traffic) = self.try_planned_rebuild(object, stripe, row, bad[0], scratch)? {
+                self.note_degraded_traffic(traffic);
                 for shard in 0..k {
                     let src = if shard == bad[0] {
                         &scratch.rebuilt[..]
@@ -876,9 +1121,9 @@ impl BlockStore {
         // extra survivor reads are the degraded cost; the healthy data
         // payloads were already read above and are not read twice.
         let mut damaged = bad;
-        let helper_bytes =
-            self.reconstruct_from_survivors(object, stripe, &mut damaged, scratch)?;
-        StoreMetrics::add(&self.metrics.degraded_helper_bytes, helper_bytes);
+        let traffic =
+            self.reconstruct_from_survivors(object, stripe, row, &mut damaged, scratch)?;
+        self.note_degraded_traffic(traffic);
         for shard in 0..k {
             dest[shard * self.chunk_len..(shard + 1) * self.chunk_len]
                 .copy_from_slice(scratch.buf.shard(shard));
@@ -886,33 +1131,56 @@ impl BlockStore {
         Ok(())
     }
 
+    fn note_degraded_traffic(&self, traffic: HelperTraffic) {
+        StoreMetrics::add(&self.metrics.degraded_helper_bytes, traffic.total);
+        StoreMetrics::add(&self.metrics.degraded_intra_rack_bytes, traffic.intra_rack);
+        StoreMetrics::add(&self.metrics.degraded_cross_rack_bytes, traffic.cross_rack);
+    }
+
     /// Executes the code's cheapest single-failure repair for shard
     /// `target`, materialising exactly the helper byte ranges the rebuild
-    /// consumes. Ranges whose chunk is already resident in the scratch
-    /// (CRC-verified, flagged in `present`) are used as they sit; the rest
-    /// are partial-read from disk into the scratch stripe, and a helper
-    /// that turns out to be missing or corrupt makes the whole attempt
-    /// return `None` so the caller falls back to full reconstruction.
+    /// consumes. Helper choice is *locality-first*: survivors sharing the
+    /// target disk's rack are ranked ahead of cross-rack ones, and codes
+    /// with helper freedom (see [`ErasureCode::repair_reads_ranked`]) read
+    /// as many same-rack helpers as their mathematics allows. Ranges whose
+    /// chunk is already resident in the scratch (CRC-verified, flagged in
+    /// `present`) are used as they sit; the rest are partial-read from disk
+    /// into the scratch stripe, and a helper that turns out to be missing
+    /// or corrupt makes the whole attempt return `None` so the caller falls
+    /// back to full reconstruction.
     ///
     /// On success the rebuilt chunk is left in `scratch.rebuilt` and the
-    /// returned count prices the *full* plan — the bytes a rebuilding node
-    /// fetches across disks in the paper's model — regardless of how many
-    /// ranges happened to be resident here. Bytes of the scratch stripe
-    /// outside the plan's ranges may be stale from earlier stripes; the
-    /// [`ErasureCode::repair_reads`] contract guarantees `repair_into`
-    /// never reads them.
+    /// returned traffic prices the *full* plan — the bytes a rebuilding
+    /// node fetches across disks in the paper's model, split intra/cross
+    /// rack relative to the target's disk — regardless of how many ranges
+    /// happened to be resident here. Bytes of the scratch stripe outside
+    /// the plan's ranges may be stale from earlier stripes; the
+    /// [`ErasureCode::repair_reads`] contract guarantees the rebuild never
+    /// reads them.
     fn try_planned_rebuild(
         &self,
         object: &str,
         stripe: u64,
+        row: &[usize],
         target: usize,
         scratch: &mut StripeScratch,
-    ) -> Result<Option<u64>> {
+    ) -> Result<Option<HelperTraffic>> {
         let n = self.code.params().total_shards();
         let mut available = vec![true; n];
         available[target] = false;
-        let reads = self.code.repair_reads(target, &available, self.chunk_len)?;
+        let racks = self.map.racks();
+        let target_disk = row[target];
+        // Locality-first helper preference: same-rack survivors rank 0.
+        let rank = |shard: usize| u64::from(!racks.same_rack(row[shard], target_disk));
+        let reads = self
+            .code
+            .repair_reads_ranked(target, &available, self.chunk_len, &rank)?;
+        let mut traffic = HelperTraffic::default();
         for read in &reads {
+            traffic.add(
+                read.len as u64,
+                racks.same_rack(row[read.shard], target_disk),
+            );
             if scratch.present[read.shard] {
                 continue; // verified payload already in place
             }
@@ -921,7 +1189,7 @@ impl BlockStore {
                 stripe,
                 shard: read.shard,
             };
-            match self.disks[read.shard].read_chunk_range(
+            match self.disks[row[read.shard]].read_chunk_range(
                 object,
                 id,
                 self.chunk_len,
@@ -936,8 +1204,8 @@ impl BlockStore {
             }
         }
         self.code
-            .repair_into(target, &scratch.buf.as_set(), &mut scratch.rebuilt)?;
-        Ok(Some(total_read_bytes(&reads)))
+            .repair_from_reads(target, &reads, &scratch.buf.as_set(), &mut scratch.rebuilt)?;
+        Ok(Some(traffic))
     }
 
     /// Reads surviving chunks into the scratch stripe and rebuilds every
@@ -950,24 +1218,37 @@ impl BlockStore {
     /// shards known lost or corrupt; any further damage discovered while
     /// reading survivors is appended for the caller to rebuild. MDS codes
     /// stop reading once `k` survivors are present — any `k` shards decode
-    /// the stripe, so that is all a rebuilding node would fetch — while
-    /// non-MDS codes (LRC) read every survivor, since `k` arbitrary shards
-    /// may not span the data.
+    /// the stripe, so that is all a rebuilding node would fetch, and
+    /// survivors sharing the first damaged disk's rack are read first so
+    /// that budget prefers intra-rack bytes — while non-MDS codes (LRC)
+    /// read every survivor, since `k` arbitrary shards may not span the
+    /// data.
     ///
     /// On success the whole stripe (data and parity) is valid in
-    /// `scratch.buf`; returns the helper bytes read here.
+    /// `scratch.buf`; returns the helper traffic read here, split
+    /// intra/cross rack relative to the first damaged shard's disk.
     fn reconstruct_from_survivors(
         &self,
         object: &str,
         stripe: u64,
+        row: &[usize],
         damaged: &mut Vec<usize>,
         scratch: &mut StripeScratch,
-    ) -> Result<u64> {
+    ) -> Result<HelperTraffic> {
         let params = self.code.params();
         let (k, n) = (params.data_shards(), params.total_shards());
+        let racks = self.map.racks();
+        let home_disk = damaged.first().map(|&s| row[s]);
+        let same_rack_as_home =
+            |shard: usize| home_disk.is_some_and(|home| racks.same_rack(row[shard], home));
+        // Locality-first survivor order: same-rack shards before cross-rack
+        // ones, index order within each class (MDS codes stop at k, so the
+        // order decides which racks the helper bytes come from).
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&shard| (!same_rack_as_home(shard), shard));
         let mut survivors = scratch.present.iter().filter(|&&p| p).count();
-        let mut helper_bytes = 0u64;
-        for shard in 0..n {
+        let mut traffic = HelperTraffic::default();
+        for shard in order {
             if scratch.present[shard] || damaged.contains(&shard) {
                 continue;
             }
@@ -975,11 +1256,11 @@ impl BlockStore {
                 break;
             }
             let slot = scratch.buf.shard_mut(shard);
-            match self.disks[shard].read_chunk_into(object, ChunkId { stripe, shard }, slot)? {
+            match self.disks[row[shard]].read_chunk_into(object, ChunkId { stripe, shard }, slot)? {
                 Ok(()) => {
                     scratch.present[shard] = true;
                     survivors += 1;
-                    helper_bytes += self.chunk_len as u64;
+                    traffic.add(self.chunk_len as u64, same_rack_as_home(shard));
                 }
                 Err(status) => {
                     // Damage the caller had not seen yet.
@@ -1002,7 +1283,7 @@ impl BlockStore {
                 .reconstruct_in_place(&mut view, &scratch.present)
                 .map_err(|e| self.unrecoverable(object, stripe, survivors, e))?;
         }
-        Ok(helper_bytes)
+        Ok(traffic)
     }
 
     fn unrecoverable(
@@ -1074,6 +1355,7 @@ impl BlockStore {
                 ),
             });
         }
+        let row = self.stripe_disks(object, stripe);
         let mut report = StripeRepair::default();
         // Dedup the claimed shards so a repeated index cannot disable the
         // cheap single-failure path or double-count the repair metrics.
@@ -1088,7 +1370,7 @@ impl BlockStore {
                     total: n,
                 }));
             }
-            let (status, bytes) = self.disks[shard].verify_chunk(
+            let (status, bytes) = self.disks[row[shard]].verify_chunk(
                 object,
                 ChunkId { stripe, shard },
                 self.chunk_len,
@@ -1108,16 +1390,16 @@ impl BlockStore {
         // The damaged disk's storage may be gone entirely; recreate the
         // object's directory before writing rebuilt chunks into it.
         for &shard in &targets {
-            self.disks[shard].ensure_object(object)?;
+            self.disks[row[shard]].ensure_object(object)?;
         }
 
         let mut scratch = self.new_scratch();
         if targets.len() == 1 {
-            if let Some(helper_bytes) =
-                self.try_planned_rebuild(object, stripe, targets[0], &mut scratch)?
+            if let Some(traffic) =
+                self.try_planned_rebuild(object, stripe, &row, targets[0], &mut scratch)?
             {
                 let target = targets[0];
-                self.disks[target].write_chunk(
+                self.disks[row[target]].write_chunk(
                     object,
                     ChunkId {
                         stripe,
@@ -1125,11 +1407,13 @@ impl BlockStore {
                     },
                     &scratch.rebuilt,
                 )?;
-                StoreMetrics::add(&self.metrics.repair_helper_bytes, helper_bytes);
+                self.note_repair_traffic(traffic);
                 StoreMetrics::add(&self.metrics.chunks_repaired, 1);
                 StoreMetrics::add(&self.metrics.repair_bytes_written, self.chunk_len as u64);
                 report.rebuilt.push(target);
-                report.helper_bytes += helper_bytes;
+                report.helper_bytes += traffic.total;
+                report.intra_rack_bytes += traffic.intra_rack;
+                report.cross_rack_bytes += traffic.cross_rack;
                 report.bytes_written += self.chunk_len as u64;
                 return Ok(report);
             }
@@ -1138,12 +1422,12 @@ impl BlockStore {
         // Multi-loss (or helpers unavailable): decode from survivors, then
         // write every damaged chunk back (including any damage discovered
         // while reading).
-        let helper_bytes =
-            self.reconstruct_from_survivors(object, stripe, &mut targets, &mut scratch)?;
+        let traffic =
+            self.reconstruct_from_survivors(object, stripe, &row, &mut targets, &mut scratch)?;
         targets.sort_unstable();
         for &shard in &targets {
-            self.disks[shard].ensure_object(object)?;
-            self.disks[shard].write_chunk(
+            self.disks[row[shard]].ensure_object(object)?;
+            self.disks[row[shard]].write_chunk(
                 object,
                 ChunkId { stripe, shard },
                 scratch.buf.shard(shard),
@@ -1151,14 +1435,22 @@ impl BlockStore {
             report.rebuilt.push(shard);
             report.bytes_written += self.chunk_len as u64;
         }
-        StoreMetrics::add(&self.metrics.repair_helper_bytes, helper_bytes);
+        self.note_repair_traffic(traffic);
         StoreMetrics::add(&self.metrics.chunks_repaired, targets.len() as u64);
         StoreMetrics::add(
             &self.metrics.repair_bytes_written,
             (targets.len() * self.chunk_len) as u64,
         );
-        report.helper_bytes += helper_bytes;
+        report.helper_bytes += traffic.total;
+        report.intra_rack_bytes += traffic.intra_rack;
+        report.cross_rack_bytes += traffic.cross_rack;
         Ok(report)
+    }
+
+    fn note_repair_traffic(&self, traffic: HelperTraffic) {
+        StoreMetrics::add(&self.metrics.repair_helper_bytes, traffic.total);
+        StoreMetrics::add(&self.metrics.repair_intra_rack_bytes, traffic.intra_rack);
+        StoreMetrics::add(&self.metrics.repair_cross_rack_bytes, traffic.cross_rack);
     }
 
     // ------------------------------------------------------------------
@@ -1183,26 +1475,14 @@ impl BlockStore {
                 report.lost_disks.push(disk);
             }
         }
+        report.tombstones_swept = self.sweep_tombstones()?;
         for (name, info) in self.objects() {
             for stripe in 0..info.stripes {
-                for shard in 0..self.disk_count() {
-                    let (status, bytes) = self.disks[shard].verify_chunk(
-                        &name,
-                        ChunkId { stripe, shard },
-                        self.chunk_len,
-                    )?;
-                    report.chunks_examined += 1;
-                    report.bytes_read += bytes;
-                    if !status.is_healthy() {
-                        self.note_damage(&status);
-                        report.damages.push(Damage {
-                            object: name.clone(),
-                            stripe,
-                            shard,
-                            status,
-                        });
-                    }
-                }
+                let row = self.stripe_disks(&name, stripe);
+                let (examined, bytes) =
+                    self.verify_stripe(&name, stripe, &row, &mut report.damages)?;
+                report.chunks_examined += examined;
+                report.bytes_read += bytes;
             }
         }
         for (disk, backend) in self.disks.iter().enumerate() {
@@ -1218,6 +1498,231 @@ impl BlockStore {
         StoreMetrics::add(&self.metrics.chunks_scrubbed, report.chunks_examined);
         StoreMetrics::add(&self.metrics.scrub_bytes_read, report.bytes_read);
         Ok(report)
+    }
+
+    /// Verifies every chunk of one stripe (placement-resolved), appending
+    /// damage to `damages`; returns `(chunks examined, bytes read)`.
+    fn verify_stripe(
+        &self,
+        object: &str,
+        stripe: u64,
+        row: &[usize],
+        damages: &mut Vec<Damage>,
+    ) -> Result<(u64, u64)> {
+        let mut examined = 0u64;
+        let mut bytes_read = 0u64;
+        for (shard, &disk) in row.iter().enumerate() {
+            let (status, bytes) =
+                self.disks[disk].verify_chunk(object, ChunkId { stripe, shard }, self.chunk_len)?;
+            examined += 1;
+            bytes_read += bytes;
+            if !status.is_healthy() {
+                self.note_damage(&status);
+                damages.push(Damage {
+                    object: object.to_string(),
+                    stripe,
+                    shard,
+                    disk: row[shard],
+                    status,
+                });
+            }
+        }
+        Ok((examined, bytes_read))
+    }
+
+    /// Sweeps the dead chunks of every tombstoned object from every pool
+    /// disk; tombstones whose sweep completes on *all* disks are cleared
+    /// from the manifest (an unreachable disk keeps the tombstone alive for
+    /// a later pass). Returns the names fully swept.
+    fn sweep_tombstones(&self) -> Result<Vec<String>> {
+        let tombstones: Vec<String> = self
+            .manifest
+            .read()
+            .expect("lock")
+            .tombstones
+            .iter()
+            .cloned()
+            .collect();
+        if tombstones.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut swept = Vec::new();
+        for name in tombstones {
+            // Attempt every disk even after a failure: one unreachable disk
+            // must not leave the others' dead chunks lingering for passes.
+            let mut clean = true;
+            for disk in &self.disks {
+                if disk.remove_object(&name).is_err() {
+                    clean = false;
+                }
+            }
+            if clean {
+                swept.push(name);
+            }
+        }
+        if !swept.is_empty() {
+            let mut manifest = self.manifest.write().expect("lock");
+            for name in &swept {
+                manifest.tombstones.remove(name);
+            }
+            if let Err(e) = manifest.save(&self.root) {
+                // Keep memory matching the durable file: the sweep itself
+                // is idempotent, so the next scrub simply retries.
+                for name in &swept {
+                    manifest.tombstones.insert(name.clone());
+                }
+                return Err(e);
+            }
+        }
+        Ok(swept)
+    }
+
+    /// Incremental scrub: verifies up to `max_stripes` stripes starting at
+    /// the persisted cursor (`root/SCRUB.cursor`), then advances and
+    /// persists the cursor — so a full-store sweep can be spread over many
+    /// small passes and survives restarts. Objects are visited in name
+    /// order; a pass that reaches the end of the table resets the cursor
+    /// and reports `wrapped = true`. Deleting or adding objects between
+    /// passes is safe: a vanished cursor object resumes at the next name.
+    ///
+    /// Unlike the full [`BlockStore::scrub`], a partial pass does not sweep
+    /// tombstones or stale tmp files — those belong to the (cheap,
+    /// per-store) full pass; this one spreads the expensive checksum reads.
+    ///
+    /// # Errors
+    ///
+    /// Returns hard I/O failures only; missing/corrupt chunks are reported,
+    /// not errors.
+    pub fn scrub_partial(&self, max_stripes: usize) -> Result<PartialScrubReport> {
+        let mut report = PartialScrubReport::default();
+        if max_stripes == 0 {
+            return Ok(report);
+        }
+        let cursor = self.load_scrub_cursor()?;
+        let objects = self.objects();
+        // Resume at the cursor: the first object at or after the cursor
+        // name (it may have been deleted since), at the cursor stripe only
+        // when the object still matches exactly.
+        let start = match &cursor.object {
+            None => 0,
+            Some(at) => objects
+                .iter()
+                .position(|(name, _)| name.as_str() >= at.as_str())
+                .unwrap_or(objects.len()),
+        };
+        let mut next: Option<ScrubCursor> = None;
+        'scan: for (idx, (name, info)) in objects.iter().enumerate().skip(start) {
+            let first_stripe = match &cursor.object {
+                Some(at) if idx == start && at == name => cursor.stripe.min(info.stripes),
+                _ => 0,
+            };
+            for stripe in first_stripe..info.stripes {
+                if report.stripes_scanned == max_stripes as u64 {
+                    next = Some(ScrubCursor {
+                        object: Some(name.clone()),
+                        stripe,
+                    });
+                    break 'scan;
+                }
+                let row = self.stripe_disks(name, stripe);
+                let (examined, bytes) =
+                    self.verify_stripe(name, stripe, &row, &mut report.damages)?;
+                report.stripes_scanned += 1;
+                report.chunks_examined += examined;
+                report.bytes_read += bytes;
+            }
+        }
+        report.wrapped = next.is_none();
+        self.save_scrub_cursor(&next.unwrap_or_default())?;
+        StoreMetrics::add(&self.metrics.chunks_scrubbed, report.chunks_examined);
+        StoreMetrics::add(&self.metrics.scrub_bytes_read, report.bytes_read);
+        Ok(report)
+    }
+
+    /// Loads the persisted incremental-scrub cursor (missing or unreadable
+    /// file = start of the table; the cursor is a progress hint, not data).
+    fn load_scrub_cursor(&self) -> Result<ScrubCursor> {
+        let path = self.root.join(SCRUB_CURSOR_FILE);
+        let text = match fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(ScrubCursor::default()),
+            Err(e) => return Err(StoreError::io(&path, e)),
+        };
+        let mut cursor = ScrubCursor::default();
+        for line in text.lines() {
+            match line.split_once(' ') {
+                Some(("object", name)) if validate_object_name(name).is_ok() => {
+                    cursor.object = Some(name.to_string());
+                }
+                Some(("stripe", n)) => cursor.stripe = n.parse().unwrap_or(0),
+                _ => {}
+            }
+        }
+        Ok(cursor)
+    }
+
+    /// Persists the cursor atomically (tmp + rename; no fsync — losing a
+    /// cursor to a crash only costs re-verifying a few stripes).
+    fn save_scrub_cursor(&self, cursor: &ScrubCursor) -> Result<()> {
+        let path = self.root.join(SCRUB_CURSOR_FILE);
+        let mut text = String::new();
+        if let Some(object) = &cursor.object {
+            text.push_str(&format!("object {object}\n"));
+        }
+        text.push_str(&format!("stripe {}\n", cursor.stripe));
+        let tmp = path.with_extension("cursor.tmp");
+        fs::write(&tmp, text).map_err(|e| StoreError::io(&tmp, e))?;
+        fs::rename(&tmp, &path).map_err(|e| StoreError::io(&path, e))?;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Object lifecycle
+    // ------------------------------------------------------------------
+
+    /// Deletes object `name`: its manifest entry (and placement rows) are
+    /// replaced by a durable tombstone, so reads fail immediately, and the
+    /// chunks become garbage that the next [`BlockStore::scrub`] sweeps
+    /// from every disk. Reusing the name with [`BlockStore::put`] is legal
+    /// right away (the put sweeps the dead chunks first).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::ObjectNotFound`] or manifest I/O failures.
+    pub fn delete(&self, name: &str) -> Result<ObjectInfo> {
+        let mut manifest = self.manifest.write().expect("lock");
+        let Some(info) = manifest.objects.remove(name) else {
+            return Err(StoreError::ObjectNotFound {
+                name: name.to_string(),
+            });
+        };
+        let rows = manifest.placements.remove(name);
+        manifest.tombstones.insert(name.to_string());
+        if let Err(e) = manifest.save(&self.root) {
+            // Roll back to match the durable file: the object is still
+            // committed on disk, so it must stay readable in memory too.
+            manifest.objects.insert(name.to_string(), info);
+            if let Some(rows) = rows {
+                manifest.placements.insert(name.to_string(), rows);
+            }
+            manifest.tombstones.remove(name);
+            return Err(e);
+        }
+        drop(manifest);
+        // If the incremental scrub was parked mid-way through this object,
+        // rewind its stripe to 0: a re-put under the same name must have
+        // its early stripes verified by the current sweep, not silently
+        // skipped. Best-effort — the cursor is a progress hint, and a
+        // failed rewind only costs re-verification.
+        if let Ok(cursor) = self.load_scrub_cursor() {
+            if cursor.object.as_deref() == Some(name) && cursor.stripe > 0 {
+                let _ = self.save_scrub_cursor(&ScrubCursor {
+                    object: Some(name.to_string()),
+                    stripe: 0,
+                });
+            }
+        }
+        Ok(info)
     }
 
     /// Deletes `root/MANIFEST.tmp` if it is a stale crash leftover (a live
@@ -1285,6 +1790,7 @@ fn read_full(reader: &mut impl Read, buf: &mut [u8]) -> io::Result<usize> {
 mod tests {
     use super::*;
     use crate::testing::TempDir;
+    use pbrs_erasure::total_read_bytes;
 
     fn pattern(len: usize) -> Vec<u8> {
         (0..len).map(|i| ((i * 31 + 7) % 251) as u8).collect()

@@ -57,9 +57,12 @@ fn run_code(spec: &str, file: &[u8]) -> Result<RunResult, Box<dyn std::error::Er
         .iter()
         .map(|r| Arc::clone(r) as Arc<dyn ChunkBackend>)
         .collect();
+    // The legacy layout: shard i on server i, every server its own rack.
     let store = Arc::new(BlockStore::open_with_backends(
         StoreConfig::new(dir.path().join("root"), code_spec).chunk_len(CHUNK_LEN),
         disks,
+        RackMap::per_disk(n),
+        PlacementPolicy::Identity,
     )?);
 
     let info = store.put("demo.bin", file)?;
