@@ -1,0 +1,399 @@
+//! Gateway experiment — tail latency of streamed GETs under concurrent
+//! load, healthy vs degraded.
+//!
+//! Spins up a gateway over a local store, ingests a population of
+//! objects through the gateway itself, wounds a configurable fraction of
+//! them (one shard's chunks removed, so every read of those objects pays
+//! the reconstruction the paper's §2 is about), then hammers the gateway
+//! from many concurrent connections drawing objects from a zipfian
+//! popularity distribution. Reports p50/p95/p99 × throughput, split into
+//! healthy and degraded reads, plus the gateway's own counters (shed
+//! requests must be zero below the admission threshold), and writes
+//! `BENCH_gateway.json`.
+//!
+//! Two load modes:
+//!
+//! * **closed** (default): each connection issues its next GET the moment
+//!   the previous one completes — classic closed-loop, measures capacity.
+//! * **open:RATE**: arrivals are scheduled at RATE requests/s spread over
+//!   the connections, and latency is measured from the *scheduled*
+//!   arrival, so queueing delay counts — the honest tail-latency view.
+//!
+//! Usage: `load_gateway [seconds] [connections] [objects] [object-KiB]
+//! [degraded-%] [mode] [max-inflight]` (defaults: 10 s, 256 connections,
+//! 64 objects, 256 KiB, 25 %, closed, 4096). Lower `max-inflight` below
+//! the connection count to watch the gateway shed with explicit BUSY
+//! instead of queueing.
+
+use std::env;
+use std::fs;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use pbrs_bench::{f1, section};
+use pbrs_gateway::client::GatewayClient;
+use pbrs_gateway::server::{Gateway, GatewayConfig};
+use pbrs_gateway::GatewayError;
+use pbrs_store::store::{BlockStore, StoreConfig};
+use pbrs_store::testing::TempDir;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const SPEC: &str = "piggyback-4-2";
+const CHUNK_LEN: usize = 16 * 1024; // 64 KiB stripes
+const WOUNDED_DISK: usize = 1;
+const ZIPF_S: f64 = 1.0;
+
+fn arg(n: usize, default: usize) -> usize {
+    env::args()
+        .nth(n)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Zipfian sampler over `n` ranks: precomputed CDF, binary-searched.
+struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    fn new(n: usize, s: f64) -> Self {
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for rank in 1..=n {
+            total += 1.0 / (rank as f64).powf(s);
+            cdf.push(total);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.random();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Mode {
+    Closed,
+    /// Total arrival rate in requests/s across all connections.
+    Open(f64),
+}
+
+struct Sample {
+    latency_us: u64,
+    degraded: bool,
+}
+
+fn percentile(sorted_us: &[u64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0; // keeps the JSON valid when a class saw no reads
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * p).round() as usize;
+    sorted_us[idx] as f64 / 1000.0
+}
+
+struct LatencyStats {
+    count: usize,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+    mean_ms: f64,
+}
+
+fn stats(samples: &mut [u64]) -> LatencyStats {
+    samples.sort_unstable();
+    let mean_us = if samples.is_empty() {
+        0.0
+    } else {
+        samples.iter().sum::<u64>() as f64 / samples.len() as f64
+    };
+    LatencyStats {
+        count: samples.len(),
+        p50_ms: percentile(samples, 0.50),
+        p95_ms: percentile(samples, 0.95),
+        p99_ms: percentile(samples, 0.99),
+        mean_ms: mean_us / 1000.0,
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() {
+    let seconds = arg(1, 10);
+    let connections = arg(2, 256);
+    let objects = arg(3, 64).max(1);
+    let object_len = arg(4, 256).max(1) * 1024;
+    let degraded_pct = arg(5, 25).min(100);
+    let mode = match env::args().nth(6).unwrap_or_else(|| "closed".into()) {
+        m if m.starts_with("open:") => Mode::Open(
+            m.trim_start_matches("open:")
+                .parse()
+                .expect("open:RATE with a numeric total requests/s"),
+        ),
+        _ => Mode::Closed,
+    };
+    let max_inflight = arg(7, 4096).max(1);
+
+    section("gateway load: streamed GETs, zipfian popularity, degraded share");
+    println!(
+        "{connections} connections x {seconds} s, {objects} objects of {} KiB \
+         ({SPEC}, {} KiB chunks), {degraded_pct}% wounded, mode {}",
+        object_len / 1024,
+        CHUNK_LEN / 1024,
+        match mode {
+            Mode::Closed => "closed-loop".to_string(),
+            Mode::Open(rate) => format!("open-loop at {rate} req/s"),
+        }
+    );
+
+    let dir = TempDir::new("bench-gateway");
+    let store = Arc::new(
+        BlockStore::open(
+            StoreConfig::new(dir.path().join("store"), SPEC.parse().expect("spec"))
+                .chunk_len(CHUNK_LEN)
+                .pipeline_workers(1),
+        )
+        .expect("open store"),
+    );
+    let gateway = Gateway::serve(
+        Arc::clone(&store),
+        "127.0.0.1:0",
+        GatewayConfig {
+            workers: thread::available_parallelism().map_or(4, |p| p.get()),
+            max_connections: connections + 16,
+            in_flight_stripes: 4,
+            max_inflight_requests: max_inflight,
+        },
+    )
+    .expect("start gateway");
+    let addr = gateway.local_addr();
+
+    // Population, ingested through the gateway itself.
+    let mut seeder = GatewayClient::connect(addr).expect("connect");
+    let mut rng = StdRng::seed_from_u64(0x9a7e_aa7e);
+    let payload: Vec<u8> = (0..object_len).map(|_| rng.random()).collect();
+    for i in 0..objects {
+        seeder
+            .put(&format!("obj-{i:04}"), &payload)
+            .expect("ingest");
+    }
+    // Wound the configured fraction: drop one shard's chunks so every
+    // read of those objects reconstructs from survivors.
+    let wounded = objects * degraded_pct / 100;
+    for i in 0..wounded {
+        let dir = store.disk_path(WOUNDED_DISK).join(format!("obj-{i:04}"));
+        fs::remove_dir_all(&dir).expect("wound object");
+    }
+    println!(
+        "ingested {objects} objects ({} MiB logical), wounded {wounded}",
+        objects * object_len / (1024 * 1024)
+    );
+
+    let zipf = Arc::new(Zipf::new(objects, ZIPF_S));
+    let stop = Arc::new(AtomicBool::new(false));
+    let busy_count = Arc::new(AtomicU64::new(0));
+    let error_count = Arc::new(AtomicU64::new(0));
+
+    let start = Instant::now();
+    let deadline = start + Duration::from_secs(seconds as u64);
+    let handles: Vec<_> = (0..connections)
+        .map(|c| {
+            let zipf = Arc::clone(&zipf);
+            let stop = Arc::clone(&stop);
+            let busy_count = Arc::clone(&busy_count);
+            let error_count = Arc::clone(&error_count);
+            thread::spawn(move || -> Vec<Sample> {
+                let mut client = GatewayClient::connect(addr).expect("connect");
+                client
+                    .set_read_timeout(Some(Duration::from_secs(60)))
+                    .expect("timeout");
+                let mut rng = StdRng::seed_from_u64(0xc0ffee ^ c as u64);
+                let mut samples = Vec::new();
+                // Open-loop schedule: this connection's share of the rate,
+                // staggered so arrivals spread within the first interval.
+                let interval = match mode {
+                    Mode::Closed => Duration::ZERO,
+                    Mode::Open(rate) => Duration::from_secs_f64(connections as f64 / rate),
+                };
+                let mut next_arrival = start
+                    + match mode {
+                        Mode::Closed => Duration::ZERO,
+                        Mode::Open(_) => interval.mul_f64(c as f64 / connections as f64),
+                    };
+                loop {
+                    let now = Instant::now();
+                    if now >= deadline || stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let measured_from = match mode {
+                        Mode::Closed => now,
+                        Mode::Open(_) => {
+                            if now < next_arrival {
+                                thread::sleep(next_arrival - now);
+                            }
+                            let scheduled = next_arrival;
+                            next_arrival += interval;
+                            scheduled
+                        }
+                    };
+                    let name = format!("obj-{:04}", zipf.sample(&mut rng));
+                    let mut sink = 0usize;
+                    match client.get_streamed(&name, |stripe| sink += stripe.len()) {
+                        Ok(degraded_stripes) => {
+                            assert!(sink > 0, "empty stream for {name}");
+                            samples.push(Sample {
+                                latency_us: measured_from.elapsed().as_micros() as u64,
+                                degraded: degraded_stripes > 0,
+                            });
+                        }
+                        Err(GatewayError::Busy) => {
+                            busy_count.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => {
+                            error_count.fetch_add(1, Ordering::Relaxed);
+                            eprintln!("GET {name}: {e}");
+                        }
+                    }
+                }
+                samples
+            })
+        })
+        .collect();
+
+    let all: Vec<Sample> = handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("load thread"))
+        .collect();
+    let elapsed = start.elapsed().as_secs_f64();
+    stop.store(true, Ordering::Relaxed);
+
+    let mut healthy: Vec<u64> = all
+        .iter()
+        .filter(|s| !s.degraded)
+        .map(|s| s.latency_us)
+        .collect();
+    let mut degraded: Vec<u64> = all
+        .iter()
+        .filter(|s| s.degraded)
+        .map(|s| s.latency_us)
+        .collect();
+    let mut overall: Vec<u64> = all.iter().map(|s| s.latency_us).collect();
+    let h = stats(&mut healthy);
+    let d = stats(&mut degraded);
+    let o = stats(&mut overall);
+
+    let snapshot = gateway.metrics().snapshot();
+    let busy = busy_count.load(Ordering::Relaxed);
+    let errors = error_count.load(Ordering::Relaxed);
+    let req_s = all.len() as f64 / elapsed;
+    let mb_s = (all.len() * object_len) as f64 / elapsed / (1024.0 * 1024.0);
+    let degraded_share = if all.is_empty() {
+        0.0
+    } else {
+        d.count as f64 / all.len() as f64
+    };
+
+    println!();
+    println!(
+        "{:>10} {:>8} {:>9} {:>9} {:>9} {:>9}",
+        "class", "reads", "p50 ms", "p95 ms", "p99 ms", "mean ms"
+    );
+    for (label, s) in [("healthy", &h), ("degraded", &d), ("overall", &o)] {
+        println!(
+            "{label:>10} {:>8} {:>9} {:>9} {:>9} {:>9}",
+            s.count,
+            f1(s.p50_ms),
+            f1(s.p95_ms),
+            f1(s.p99_ms),
+            f1(s.mean_ms)
+        );
+    }
+    println!();
+    println!(
+        "throughput: {} req/s, {} MiB/s streamed; degraded share {}%",
+        f1(req_s),
+        f1(mb_s),
+        f1(degraded_share * 100.0)
+    );
+    println!(
+        "gateway: {} stripes served ({} degraded), {} shed, {} refused conns, {} client errors",
+        snapshot.stripes_served,
+        snapshot.degraded_stripes_served,
+        snapshot.requests_shed,
+        snapshot.connections_refused,
+        errors,
+    );
+    assert_eq!(
+        busy, snapshot.requests_shed,
+        "client BUSY count and gateway shed count disagree"
+    );
+    if errors > 0 {
+        eprintln!("WARNING: {errors} failed reads");
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"gateway_load\",\n",
+            "  \"spec\": \"{spec}\",\n",
+            "  \"mode\": \"{mode}\",\n",
+            "  \"seconds\": {seconds},\n",
+            "  \"connections\": {connections},\n",
+            "  \"objects\": {objects},\n",
+            "  \"object_bytes\": {object_bytes},\n",
+            "  \"degraded_pct_configured\": {degraded_pct},\n",
+            "  \"requests\": {requests},\n",
+            "  \"req_per_s\": {req_s},\n",
+            "  \"mib_per_s\": {mb_s},\n",
+            "  \"degraded_share\": {degraded_share},\n",
+            "  \"busy_shed\": {busy},\n",
+            "  \"client_errors\": {errors},\n",
+            "  \"healthy\": {{\"reads\": {hc}, \"p50_ms\": {hp50}, \"p95_ms\": {hp95}, \"p99_ms\": {hp99}, \"mean_ms\": {hmean}}},\n",
+            "  \"degraded\": {{\"reads\": {dc}, \"p50_ms\": {dp50}, \"p95_ms\": {dp95}, \"p99_ms\": {dp99}, \"mean_ms\": {dmean}}},\n",
+            "  \"overall\": {{\"reads\": {oc}, \"p50_ms\": {op50}, \"p95_ms\": {op95}, \"p99_ms\": {op99}, \"mean_ms\": {omean}}},\n",
+            "  \"gateway_metrics\": {gw}\n",
+            "}}\n"
+        ),
+        spec = SPEC,
+        mode = match mode {
+            Mode::Closed => "closed".to_string(),
+            Mode::Open(rate) => format!("open:{rate}"),
+        },
+        seconds = seconds,
+        connections = connections,
+        objects = objects,
+        object_bytes = object_len,
+        degraded_pct = degraded_pct,
+        requests = all.len(),
+        req_s = f1(req_s),
+        mb_s = f1(mb_s),
+        degraded_share = f1(degraded_share),
+        busy = busy,
+        errors = errors,
+        hc = h.count,
+        hp50 = f1(h.p50_ms),
+        hp95 = f1(h.p95_ms),
+        hp99 = f1(h.p99_ms),
+        hmean = f1(h.mean_ms),
+        dc = d.count,
+        dp50 = f1(d.p50_ms),
+        dp95 = f1(d.p95_ms),
+        dp99 = f1(d.p99_ms),
+        dmean = f1(d.mean_ms),
+        oc = o.count,
+        op50 = f1(o.p50_ms),
+        op95 = f1(o.p95_ms),
+        op99 = f1(o.p99_ms),
+        omean = f1(o.mean_ms),
+        gw = snapshot.to_json(),
+    );
+    fs::write("BENCH_gateway.json", &json).expect("write BENCH_gateway.json");
+    println!("Wrote BENCH_gateway.json ({} samples).", all.len());
+
+    gateway.shutdown();
+}

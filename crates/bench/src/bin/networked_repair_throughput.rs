@@ -56,7 +56,10 @@ fn measure(spec: &str, object_len: usize, chunk_len: usize, workers: usize) -> M
             ChunkServer::bind_with(
                 dir.path().join(format!("srv-{i:02}")),
                 "127.0.0.1:0",
-                ServerConfig { threads: 2 },
+                ServerConfig {
+                    threads: 2,
+                    ..ServerConfig::default()
+                },
             )
             .expect("bind chunk server")
         })

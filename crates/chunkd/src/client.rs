@@ -1,11 +1,31 @@
-//! The chunk client: a [`ChunkBackend`] over one chunkd TCP connection.
+//! The chunk client: a [`ChunkBackend`] over one *multiplexed* chunkd TCP
+//! connection.
 //!
 //! A [`RemoteDisk`] holds (at most) one lazily-established connection to a
-//! chunk server and speaks the [`crate::protocol`] request/response cycle
-//! over it. Every operation in the protocol is idempotent, so when a send
-//! or receive fails the client drops the connection and transparently
-//! retries once over a fresh one — enough to ride out a server restart or
-//! an idle-connection reset without surfacing an error to the store.
+//! chunk server and multiplexes every caller over it: each request is
+//! tagged with a fresh id ([`crate::protocol`] frames carry the id on the
+//! wire), a background demultiplexer thread reads response frames off the
+//! socket and routes each to the caller waiting on that id. Any number of
+//! store workers — the degraded-read pipeline, the repair daemon's pool —
+//! can therefore have reads in flight on the *same* socket concurrently,
+//! instead of the old one-request-at-a-time round trip. Every operation in
+//! the protocol is idempotent, so when the transport fails mid-request the
+//! client drops the connection and transparently retries once over a fresh
+//! one — enough to ride out a server restart or an idle-connection reset
+//! without surfacing an error to the store.
+//!
+//! # Reconnect backoff
+//!
+//! A dead server must not be hammered: after a failed *connect* the client
+//! opens a backoff window — capped exponential with jitter
+//! ([`BACKOFF_BASE`] · 2ⁿ up to [`BACKOFF_CAP`], ±50 % jitter) — during
+//! which further requests fail fast without touching the network. The
+//! read-side operations map that to [`ChunkStatus::Missing`] exactly like
+//! any other unreachable-disk failure, so a degraded read routes around
+//! the dead machine immediately instead of each worker re-running a
+//! connect timeout (the hot-loop this backoff exists to prevent). The
+//! first request after the window retries for real and, on success, resets
+//! the backoff.
 //!
 //! # Failure semantics
 //!
@@ -29,12 +49,13 @@
 //! half-chunk (for Piggybacked-RS) crossing the wire, frame headers and
 //! all.
 
+use std::collections::HashMap;
 use std::io;
-use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::net::{Shutdown, SocketAddr, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use pbrs_store::{BackendCounters, ChunkBackend, ChunkId, ChunkRead, ChunkStatus, StoreError};
 
@@ -45,6 +66,51 @@ use crate::protocol::{
 /// Default connect / per-request I/O timeout.
 pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(10);
 
+/// First reconnect-backoff window after a failed connect.
+pub const BACKOFF_BASE: Duration = Duration::from_millis(50);
+
+/// Upper bound on the reconnect-backoff window.
+pub const BACKOFF_CAP: Duration = Duration::from_secs(5);
+
+/// One live multiplexed connection: a writer half shared by callers and a
+/// pending-request table the demultiplexer thread completes from the
+/// reader half. Dropped (and replaced) wholesale on any transport error.
+struct Mux {
+    /// The caller-side write half (a `try_clone` of the socket). One frame
+    /// is written per lock hold, so concurrent requests interleave at
+    /// frame granularity, never mid-frame.
+    writer: Mutex<TcpStream>,
+    /// The socket itself, kept for [`Mux::kill`].
+    stream: TcpStream,
+    /// In-flight requests: id → the channel its caller waits on. The
+    /// demultiplexer thread removes entries as responses arrive; a `None`
+    /// table means the connection died and no new request may register.
+    pending: Mutex<Option<HashMap<u64, mpsc::Sender<io::Result<Response>>>>>,
+    /// Set once the demultiplexer saw the connection die.
+    dead: AtomicBool,
+}
+
+impl Mux {
+    /// Marks the connection dead and fails every pending caller with a
+    /// clone-ish of `error` (the demultiplexer calls this exactly once).
+    fn fail_all(&self, error: &io::Error) {
+        self.dead.store(true, Ordering::SeqCst);
+        let mut pending = self.pending.lock().expect("lock");
+        if let Some(table) = pending.take() {
+            for (_, tx) in table {
+                let _ = tx.send(Err(io::Error::new(error.kind(), error.to_string())));
+            }
+        }
+    }
+
+    /// Forces the demultiplexer thread off its blocking read so it can
+    /// exit (used when the disk is dropped or the connection replaced).
+    fn kill(&self) {
+        self.dead.store(true, Ordering::SeqCst);
+        let _ = self.stream.shutdown(Shutdown::Both);
+    }
+}
+
 /// A remote "disk": the client side of one chunk server, implementing
 /// [`ChunkBackend`] so a `BlockStore` can mount it like a directory.
 pub struct RemoteDisk {
@@ -54,9 +120,44 @@ pub struct RemoteDisk {
     /// surfaced in [`ChunkBackend::describe`] so per-socket byte counters
     /// can be attributed to racks when many disks are mounted.
     label: Option<String>,
-    conn: Mutex<Option<TcpStream>>,
-    bytes_sent: AtomicU64,
-    bytes_received: AtomicU64,
+    conn: Mutex<Option<Arc<Mux>>>,
+    next_id: AtomicU64,
+    backoff: Mutex<BackoffState>,
+    bytes_sent: Arc<AtomicU64>,
+    bytes_received: Arc<AtomicU64>,
+}
+
+/// Reconnect circuit state: consecutive connect failures and the deadline
+/// before which no new connect attempt is made.
+#[derive(Debug, Default)]
+struct BackoffState {
+    failures: u32,
+    /// `None` = closed circuit (connects allowed right now).
+    until: Option<Instant>,
+    /// Cheap xorshift state for the jitter; seeded per disk.
+    jitter_seed: u64,
+}
+
+impl BackoffState {
+    /// The capped exponential window for the current failure count, with
+    /// ±50 % deterministic-per-disk jitter so a fleet of clients whose
+    /// server died together does not reconnect in lockstep.
+    fn window(&mut self) -> Duration {
+        let exp = self.failures.saturating_sub(1).min(16);
+        let base = BACKOFF_BASE
+            .saturating_mul(1u32 << exp.min(7))
+            .min(BACKOFF_CAP);
+        // xorshift64* — statistical quality is irrelevant, decorrelation
+        // between disks is all the jitter needs.
+        let mut x = self.jitter_seed.max(1);
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.jitter_seed = x;
+        let jitter = (x % 1000) as f64 / 1000.0; // [0, 1)
+        let scaled = base.as_secs_f64() * (0.5 + jitter); // [0.5, 1.5) × base
+        Duration::from_secs_f64(scaled)
+    }
 }
 
 impl std::fmt::Debug for RemoteDisk {
@@ -72,20 +173,34 @@ impl std::fmt::Debug for RemoteDisk {
 impl RemoteDisk {
     /// A client for the chunk server at `addr` (`host:port`). No
     /// connection is made until the first request, and a broken connection
-    /// is re-established on demand.
+    /// is re-established on demand (behind the reconnect backoff).
     pub fn new(addr: impl Into<String>) -> Self {
         Self::with_timeout(addr, DEFAULT_TIMEOUT)
     }
 
     /// [`RemoteDisk::new`] with an explicit connect/request timeout.
     pub fn with_timeout(addr: impl Into<String>, timeout: Duration) -> Self {
+        let addr = addr.into();
+        // Seed the jitter from the address so two disks of one dead server
+        // group still spread, deterministically per process.
+        let seed = addr
+            .bytes()
+            .fold(0x9E37_79B9_7F4A_7C15u64, |acc, b| {
+                (acc ^ u64::from(b)).wrapping_mul(0x100_0000_01B3)
+            })
+            .max(1);
         RemoteDisk {
-            addr: addr.into(),
+            addr,
             timeout,
             label: None,
             conn: Mutex::new(None),
-            bytes_sent: AtomicU64::new(0),
-            bytes_received: AtomicU64::new(0),
+            next_id: AtomicU64::new(1),
+            backoff: Mutex::new(BackoffState {
+                jitter_seed: seed,
+                ..BackoffState::default()
+            }),
+            bytes_sent: Arc::new(AtomicU64::new(0)),
+            bytes_received: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -116,14 +231,50 @@ impl RemoteDisk {
         }
     }
 
+    /// Dials the server, honouring the backoff circuit: inside a backoff
+    /// window the call fails immediately (kind `WouldBlock`) without
+    /// touching the network; a failed dial widens the window, a successful
+    /// one resets it.
     fn connect(&self) -> io::Result<TcpStream> {
+        {
+            let backoff = self.backoff.lock().expect("lock");
+            if let Some(until) = backoff.until {
+                if Instant::now() < until {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WouldBlock,
+                        format!(
+                            "reconnect to {} backed off for {:?} more",
+                            self.addr,
+                            until.saturating_duration_since(Instant::now())
+                        ),
+                    ));
+                }
+            }
+        }
+        let result = self.dial();
+        let mut backoff = self.backoff.lock().expect("lock");
+        match &result {
+            Ok(_) => {
+                backoff.failures = 0;
+                backoff.until = None;
+            }
+            Err(_) => {
+                backoff.failures = backoff.failures.saturating_add(1);
+                let window = backoff.window();
+                backoff.until = Some(Instant::now() + window);
+            }
+        }
+        result
+    }
+
+    /// The raw dial (no backoff bookkeeping).
+    fn dial(&self) -> io::Result<TcpStream> {
         let mut last = io::Error::new(io::ErrorKind::AddrNotAvailable, "no address resolved");
         let addrs: Vec<SocketAddr> = self.addr.to_socket_addrs()?.collect();
         for addr in addrs {
             match TcpStream::connect_timeout(&addr, self.timeout) {
                 Ok(stream) => {
                     stream.set_nodelay(true)?;
-                    stream.set_read_timeout(Some(self.timeout))?;
                     stream.set_write_timeout(Some(self.timeout))?;
                     return Ok(stream);
                 }
@@ -133,35 +284,119 @@ impl RemoteDisk {
         Err(last)
     }
 
-    /// One request/response cycle, reconnecting and retrying once on a
-    /// transport error (every protocol op is idempotent, so a blind retry
-    /// is safe).
+    /// Returns the live multiplexed connection, establishing one (and
+    /// spawning its demultiplexer thread) if needed.
+    fn mux(&self) -> io::Result<Arc<Mux>> {
+        let mut conn = self.conn.lock().expect("lock");
+        if let Some(mux) = conn.as_ref() {
+            if !mux.dead.load(Ordering::SeqCst) {
+                return Ok(Arc::clone(mux));
+            }
+            mux.kill();
+            *conn = None;
+        }
+        let stream = self.connect()?;
+        let writer = stream.try_clone()?;
+        let reader = stream.try_clone()?;
+        let mux = Arc::new(Mux {
+            writer: Mutex::new(writer),
+            stream,
+            pending: Mutex::new(Some(HashMap::new())),
+            dead: AtomicBool::new(false),
+        });
+        let thread_mux = Arc::clone(&mux);
+        let bytes_received = Arc::clone(&self.bytes_received);
+        std::thread::Builder::new()
+            .name(format!("chunkd-demux-{}", self.addr))
+            .spawn(move || demux_loop(reader, &thread_mux, &bytes_received))
+            .map_err(|e| io::Error::other(format!("spawn demux thread: {e}")))?;
+        *conn = Some(Arc::clone(&mux));
+        Ok(mux)
+    }
+
+    /// One request/response cycle over the multiplexed connection,
+    /// reconnecting and retrying once on a transport error (every protocol
+    /// op is idempotent, so a blind retry is safe). Many callers may be in
+    /// this function concurrently; their requests share one socket.
     fn request(&self, request: &Request) -> io::Result<Response> {
         let body = request.encode();
-        let mut conn = self.conn.lock().expect("lock");
-        for attempt in 0..2 {
-            if conn.is_none() {
-                *conn = Some(self.connect()?);
-            }
-            let stream = conn.as_mut().expect("just connected");
-            let result = write_frame(stream, &body).and_then(|sent| {
-                self.bytes_sent.fetch_add(sent, Ordering::Relaxed);
-                read_frame(stream)
-            });
-            match result {
-                Ok((response, received)) => {
-                    self.bytes_received.fetch_add(received, Ordering::Relaxed);
-                    return Response::decode(&response);
-                }
+        let mut last = None;
+        for _ in 0..2 {
+            let mux = match self.mux() {
+                Ok(mux) => mux,
                 Err(e) => {
-                    *conn = None; // the connection is in an unknown state
-                    if attempt == 1 {
+                    // Inside the backoff window there is no point retrying
+                    // the loop either — fail the request now.
+                    if e.kind() == io::ErrorKind::WouldBlock {
                         return Err(e);
                     }
+                    last = Some(e);
+                    continue;
+                }
+            };
+            match self.request_on(&mux, &body) {
+                Ok(response) => return Ok(response),
+                Err(e) => {
+                    // The connection is in an unknown state: fail every
+                    // other caller parked on it and dial fresh next lap.
+                    mux.fail_all(&e);
+                    mux.kill();
+                    last = Some(e);
                 }
             }
         }
-        unreachable!("loop returns on success or second failure")
+        Err(last.unwrap_or_else(|| io::Error::other("request failed")))
+    }
+
+    /// Sends one tagged frame on `mux` and waits (bounded by the request
+    /// timeout) for the response frame carrying the same id.
+    fn request_on(&self, mux: &Mux, body: &[u8]) -> io::Result<Response> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut pending = mux.pending.lock().expect("lock");
+            match pending.as_mut() {
+                Some(table) => {
+                    table.insert(id, tx);
+                }
+                None => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::ConnectionAborted,
+                        "connection died before the request was registered",
+                    ))
+                }
+            }
+        }
+        let sent = {
+            let mut writer = mux.writer.lock().expect("lock");
+            write_frame(&mut *writer, id, body)
+        };
+        match sent {
+            Ok(sent) => {
+                self.bytes_sent.fetch_add(sent, Ordering::Relaxed);
+            }
+            Err(e) => {
+                if let Some(table) = mux.pending.lock().expect("lock").as_mut() {
+                    table.remove(&id);
+                }
+                return Err(e);
+            }
+        }
+        match rx.recv_timeout(self.timeout) {
+            Ok(result) => result,
+            Err(_) => {
+                // Timed out: deregister so a late response is dropped by
+                // the demultiplexer (ids make that safe), and report the
+                // transport as broken so the caller's retry redials.
+                if let Some(table) = mux.pending.lock().expect("lock").as_mut() {
+                    table.remove(&id);
+                }
+                Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!("no response from {} within {:?}", self.addr, self.timeout),
+                ))
+            }
+        }
     }
 
     /// A path-shaped label for error messages about this remote.
@@ -184,6 +419,42 @@ impl RemoteDisk {
             )),
             Response::Corrupt { reason } | Response::Err { message: reason } => {
                 Err(self.io_error(object, io::Error::other(reason)))
+            }
+        }
+    }
+}
+
+impl Drop for RemoteDisk {
+    fn drop(&mut self) {
+        // Shut the socket so the demultiplexer thread unblocks and exits.
+        if let Some(mux) = self.conn.lock().expect("lock").take() {
+            mux.kill();
+        }
+    }
+}
+
+/// The demultiplexer: reads response frames off the socket until it dies,
+/// routing each to the caller registered under its id. Responses for ids
+/// nobody waits on any more (timed-out callers) are dropped — the id
+/// tagging is exactly what makes that safe.
+fn demux_loop(mut reader: TcpStream, mux: &Mux, bytes_received: &AtomicU64) {
+    loop {
+        match read_frame(&mut reader) {
+            Ok((id, body, received)) => {
+                bytes_received.fetch_add(received, Ordering::Relaxed);
+                let tx = mux
+                    .pending
+                    .lock()
+                    .expect("lock")
+                    .as_mut()
+                    .and_then(|table| table.remove(&id));
+                if let Some(tx) = tx {
+                    let _ = tx.send(Response::decode(&body));
+                }
+            }
+            Err(e) => {
+                mux.fail_all(&e);
+                return;
             }
         }
     }
@@ -349,13 +620,13 @@ mod tests {
             // Serve exactly three connections, one request each.
             for _ in 0..3 {
                 let (mut stream, _) = listener.accept().unwrap();
-                let (body, _) = protocol::read_frame(&mut stream).unwrap();
+                let (id, body, _) = protocol::read_frame(&mut stream).unwrap();
                 let request = Request::decode(&body).unwrap();
                 assert_eq!(request, Request::Ping);
                 let response = Response::Ok {
                     payload: protocol::encode_ping(true),
                 };
-                protocol::write_frame(&mut stream, &response.encode()).unwrap();
+                protocol::write_frame(&mut stream, id, &response.encode()).unwrap();
                 stream.flush().unwrap();
                 // Dropping the stream closes the connection.
             }
@@ -369,6 +640,8 @@ mod tests {
         let disk = RemoteDisk::with_timeout(addr.to_string(), Duration::from_secs(5));
         // Three pings over three connections: the second and third only
         // succeed if the client notices the dropped connection and redials.
+        // (The reconnect backoff only arms on failed *connects*, so a
+        // server that accepts each dial never trips it.)
         assert!(disk.is_available());
         assert!(disk.is_available());
         assert!(disk.is_available());
@@ -388,5 +661,105 @@ mod tests {
         assert!(!disk.is_available());
         let err = disk.ensure_object("obj").unwrap_err();
         assert!(matches!(err, StoreError::Io { .. }), "{err}");
+    }
+
+    #[test]
+    fn dead_server_trips_the_backoff_circuit() {
+        let addr = {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap()
+        };
+        let disk = RemoteDisk::with_timeout(addr.to_string(), Duration::from_millis(200));
+        // First probe dials (and fails) for real, arming the window.
+        let start = Instant::now();
+        assert!(!disk.is_available());
+        // Probes inside the window must fail fast — no fresh dial, no
+        // 200 ms connect timeout each. 50 probes against a hot-looping
+        // client would take ≥ 10 s; the circuit makes them ~instant.
+        let t0 = Instant::now();
+        for _ in 0..50 {
+            assert!(!disk.is_available());
+        }
+        assert!(
+            t0.elapsed() < Duration::from_millis(250),
+            "backed-off probes must not re-dial: {:?} elapsed",
+            t0.elapsed()
+        );
+        // And the error inside the window says so.
+        let err = disk.connect().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock, "{err}");
+        let _ = start;
+    }
+
+    #[test]
+    fn backoff_recovers_when_the_server_comes_back() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        drop(listener); // dead for now
+        let disk = RemoteDisk::with_timeout(addr.to_string(), Duration::from_secs(2));
+        assert!(!disk.is_available()); // arms backoff (~50ms ± jitter)
+
+        // Resurrect the server on the same port and serve pings forever.
+        let listener = TcpListener::bind(addr).unwrap();
+        std::thread::spawn(move || {
+            while let Ok((mut stream, _)) = listener.accept() {
+                while let Ok((id, body, _)) = protocol::read_frame(&mut stream) {
+                    let request = Request::decode(&body).unwrap();
+                    assert_eq!(request, Request::Ping);
+                    let response = Response::Ok {
+                        payload: protocol::encode_ping(true),
+                    };
+                    if protocol::write_frame(&mut stream, id, &response.encode()).is_err() {
+                        break;
+                    }
+                }
+            }
+        });
+        // Wait out the (first, ≤ 75 ms) window, then the client recovers.
+        std::thread::sleep(Duration::from_millis(120));
+        assert!(disk.is_available(), "client must recover after backoff");
+        assert!(disk.is_available());
+    }
+
+    #[test]
+    fn many_requests_multiplex_over_one_socket() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            // Exactly ONE connection is accepted; every request of the
+            // test must arrive here.
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut served = 0u32;
+            while let Ok((id, body, _)) = protocol::read_frame(&mut stream) {
+                let request = Request::decode(&body).unwrap();
+                assert_eq!(request, Request::Ping);
+                let response = Response::Ok {
+                    payload: protocol::encode_ping(true),
+                };
+                protocol::write_frame(&mut stream, id, &response.encode()).unwrap();
+                served += 1;
+                if served == 32 {
+                    break;
+                }
+            }
+            served
+        });
+        let disk = Arc::new(RemoteDisk::with_timeout(
+            addr.to_string(),
+            Duration::from_secs(5),
+        ));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let disk = Arc::clone(&disk);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..4 {
+                    assert!(disk.is_available());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(server.join().unwrap(), 32, "all 32 pings on one socket");
     }
 }

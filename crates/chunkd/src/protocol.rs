@@ -1,19 +1,31 @@
-//! The chunkd wire protocol: length-prefixed binary frames over TCP.
+//! The chunkd wire protocol: length-prefixed, request-tagged binary
+//! frames over TCP.
 //!
 //! Every message — request or response — is one *frame*:
 //!
 //! ```text
 //! offset  size  field
 //!      0     4  body length                      (u32 LE, ≤ MAX_FRAME)
-//!      4     …  body
+//!      4     8  request id                       (u64 LE)
+//!     12     …  body
 //! ```
 //!
 //! A request body opens with a one-byte opcode followed by its fields; a
 //! response body opens with a one-byte status ([`Response::Ok`] /
 //! `Missing` / `Corrupt` / `Err`) followed by the op-specific payload.
 //! Integers are little-endian; strings are a `u32` length plus UTF-8
-//! bytes. The protocol is strictly request/response on one connection —
-//! no pipelining — which keeps both ends a simple blocking loop.
+//! bytes.
+//!
+//! The request id is what turns one connection into a *multiplexed* pipe:
+//! a client may have any number of requests in flight on one socket (each
+//! under a distinct id), the server answers each frame with the same id,
+//! and the client's demultiplexer routes every response to its waiting
+//! caller. Responses arrive in request order today (the server handles a
+//! connection's frames sequentially), but the contract is only "same id
+//! back" — a client must match by id, never by arrival order, so the
+//! server is free to reorder. This is what lets every worker of a repair
+//! or degraded read share one socket per remote disk with many overlapping
+//! reads instead of one lock-step round trip at a time.
 //!
 //! The operation set mirrors [`pbrs_store::ChunkBackend`] one-to-one, and
 //! that is the point: [`ReadRange`](Request::ReadRange) serves exactly the
@@ -151,39 +163,44 @@ impl Response {
 // Framing
 // ---------------------------------------------------------------------
 
-/// Writes one frame (length prefix + body). Returns the total bytes put
-/// on the wire, for traffic accounting.
+/// Bytes of framing overhead per message (length prefix + request id).
+pub const FRAME_OVERHEAD: u64 = 12;
+
+/// Writes one frame (length prefix + request id + body). Returns the
+/// total bytes put on the wire, for traffic accounting.
 ///
 /// # Errors
 ///
 /// Propagates I/O failures; rejects bodies above [`MAX_FRAME`].
-pub fn write_frame(w: &mut impl Write, body: &[u8]) -> io::Result<u64> {
+pub fn write_frame(w: &mut impl Write, req_id: u64, body: &[u8]) -> io::Result<u64> {
     if body.len() > MAX_FRAME {
         return Err(invalid(format!("frame body of {} bytes", body.len())));
     }
     w.write_all(&(body.len() as u32).to_le_bytes())?;
+    w.write_all(&req_id.to_le_bytes())?;
     w.write_all(body)?;
     w.flush()?;
-    Ok(4 + body.len() as u64)
+    Ok(FRAME_OVERHEAD + body.len() as u64)
 }
 
-/// Reads one frame body. Returns the body plus the total bytes taken off
-/// the wire.
+/// Reads one frame. Returns the request id, the body, and the total bytes
+/// taken off the wire.
 ///
 /// # Errors
 ///
 /// Propagates I/O failures (including `UnexpectedEof` mid-frame); rejects
 /// length prefixes above [`MAX_FRAME`].
-pub fn read_frame(r: &mut impl Read) -> io::Result<(Vec<u8>, u64)> {
-    let mut len = [0u8; 4];
-    r.read_exact(&mut len)?;
-    let len = u32::from_le_bytes(len) as usize;
+pub fn read_frame(r: &mut impl Read) -> io::Result<(u64, Vec<u8>, u64)> {
+    let mut header = [0u8; 12];
+    r.read_exact(&mut header)?;
+    let len = u32::from_le_bytes(header[0..4].try_into().expect("4")) as usize;
+    let req_id = u64::from_le_bytes(header[4..12].try_into().expect("8"));
     if len > MAX_FRAME {
         return Err(invalid(format!("frame length {len} exceeds MAX_FRAME")));
     }
     let mut body = vec![0u8; len];
     r.read_exact(&mut body)?;
-    Ok((body, 4 + len as u64))
+    Ok((req_id, body, FRAME_OVERHEAD + len as u64))
 }
 
 fn invalid(message: String) -> io::Error {
@@ -609,13 +626,16 @@ mod tests {
     #[test]
     fn frames_round_trip_and_enforce_the_cap() {
         let mut wire = Vec::new();
-        let sent = write_frame(&mut wire, b"hello").unwrap();
-        assert_eq!(sent, 9);
-        let (body, received) = read_frame(&mut wire.as_slice()).unwrap();
+        let sent = write_frame(&mut wire, 0xDEAD_BEEF, b"hello").unwrap();
+        assert_eq!(sent, FRAME_OVERHEAD + 5);
+        let (id, body, received) = read_frame(&mut wire.as_slice()).unwrap();
+        assert_eq!(id, 0xDEAD_BEEF);
         assert_eq!(body, b"hello");
-        assert_eq!(received, 9);
+        assert_eq!(received, FRAME_OVERHEAD + 5);
         // A hostile length prefix is rejected before allocation.
-        let huge = (MAX_FRAME as u32 + 1).to_le_bytes();
+        let mut huge = Vec::new();
+        huge.extend_from_slice(&(MAX_FRAME as u32 + 1).to_le_bytes());
+        huge.extend_from_slice(&0u64.to_le_bytes());
         assert!(read_frame(&mut huge.as_slice()).is_err());
     }
 }

@@ -15,12 +15,14 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use pbrs_store::manifest::validate_object_name;
 use pbrs_store::{BackendCounters, ChunkBackend, ChunkStatus, LocalDisk, StoreError};
 
-use crate::protocol::{encode_ping, encode_sweep, encode_verify, write_frame, Request, Response};
+use crate::protocol::{
+    encode_ping, encode_sweep, encode_verify, write_frame, Request, Response, FRAME_OVERHEAD,
+};
 
 /// How long a serving thread waits for the next request before checking
 /// the shutdown flag again. Bounds shutdown latency, not request latency.
@@ -32,11 +34,21 @@ pub struct ServerConfig {
     /// Worker threads accepting and serving connections (also the maximum
     /// number of concurrently served connections).
     pub threads: usize,
+    /// How long a connection may sit idle *between* frames before the
+    /// server closes it and frees the worker for the next `accept`. With a
+    /// thread-per-connection pool, an abandoned-but-open socket would
+    /// otherwise pin a worker forever and starve live clients. Clients
+    /// reconnect transparently (every op is idempotent and retried once
+    /// over a fresh connection), so a short timeout is safe.
+    pub idle_timeout: Duration,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        ServerConfig { threads: 4 }
+        ServerConfig {
+            threads: 4,
+            idle_timeout: Duration::from_secs(120),
+        }
     }
 }
 
@@ -50,6 +62,7 @@ struct Shared {
     disk: LocalDisk,
     shutdown: AtomicBool,
     traffic: Traffic,
+    idle_timeout: Duration,
 }
 
 /// A running chunk server; dropping it (or calling
@@ -100,6 +113,7 @@ impl ChunkServer {
             disk: LocalDisk::new(root),
             shutdown: AtomicBool::new(false),
             traffic: Traffic::default(),
+            idle_timeout: config.idle_timeout.max(POLL_INTERVAL),
         });
         let listener = Arc::new(listener);
         let workers = (0..config.threads.max(1))
@@ -186,43 +200,54 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
     }
 }
 
-/// Serves one connection until the client disconnects, an I/O error
-/// occurs, or shutdown begins.
+/// Serves one connection until the client disconnects, goes idle past the
+/// configured timeout, an I/O error occurs, or shutdown begins. The
+/// request id of each frame is echoed on its response so a multiplexing
+/// client can match them; requests on one connection are still served in
+/// order (pipelining overlap lives in the socket buffers).
 fn serve_connection(mut stream: TcpStream, shared: &Shared) -> io::Result<()> {
     stream.set_nodelay(true)?;
     stream.set_read_timeout(Some(POLL_INTERVAL))?;
     stream.set_write_timeout(Some(Duration::from_secs(30)))?;
     loop {
-        let body = match read_frame_polling(&mut stream, shared) {
-            Ok(Some(body)) => body,
-            Ok(None) => return Ok(()), // clean EOF between frames, or shutdown
+        let (req_id, body) = match read_frame_polling(&mut stream, shared) {
+            Ok(Some(frame)) => frame,
+            // Clean EOF between frames, shutdown, or idle timeout.
+            Ok(None) => return Ok(()),
             Err(e) => return Err(e),
         };
         shared
             .traffic
             .bytes_in
-            .fetch_add(4 + body.len() as u64, Ordering::Relaxed);
+            .fetch_add(FRAME_OVERHEAD + body.len() as u64, Ordering::Relaxed);
         let response = match Request::decode(&body) {
             Ok(request) => handle(&shared.disk, request),
             Err(e) => Response::Err {
                 message: format!("bad request: {e}"),
             },
         };
-        let sent = write_frame(&mut stream, &response.encode())?;
+        let sent = write_frame(&mut stream, req_id, &response.encode())?;
         shared.traffic.bytes_out.fetch_add(sent, Ordering::Relaxed);
     }
 }
 
-/// Reads one frame, tolerating read timeouts so the shutdown flag is
-/// polled: a slow-but-alive client keeps the connection, but once
-/// shutdown begins even a client stalled mid-frame is dropped (otherwise
-/// joining the workers could hang forever). Returns `None` on clean EOF
-/// at a frame boundary or on shutdown before a frame starts.
-fn read_frame_polling(stream: &mut TcpStream, shared: &Shared) -> io::Result<Option<Vec<u8>>> {
-    let mut len = [0u8; 4];
+/// Reads one `(req_id, body)` frame, tolerating read timeouts so the
+/// shutdown flag and the idle clock are polled: a slow-but-alive client
+/// keeps the connection, but once shutdown begins even a client stalled
+/// mid-frame is dropped (otherwise joining the workers could hang
+/// forever), and a connection idle *between* frames past
+/// `shared.idle_timeout` is closed so an abandoned socket cannot pin a
+/// pool worker. Returns `None` on clean EOF at a frame boundary, on
+/// shutdown before a frame starts, or on idle timeout.
+fn read_frame_polling(
+    stream: &mut TcpStream,
+    shared: &Shared,
+) -> io::Result<Option<(u64, Vec<u8>)>> {
+    let idle_since = Instant::now();
+    let mut header = [0u8; 12];
     let mut filled = 0usize;
-    while filled < len.len() {
-        match stream.read(&mut len[filled..]) {
+    while filled < header.len() {
+        match stream.read(&mut header[filled..]) {
             Ok(0) => {
                 return if filled == 0 {
                     Ok(None) // clean EOF between frames
@@ -249,12 +274,19 @@ fn read_frame_polling(stream: &mut TcpStream, shared: &Shared) -> io::Result<Opt
                         ))
                     };
                 }
+                // The idle clock only runs between frames: a connection
+                // that has sent part of a header is mid-request and gets
+                // the ordinary stall treatment, not the idle reaper.
+                if filled == 0 && idle_since.elapsed() >= shared.idle_timeout {
+                    return Ok(None);
+                }
             }
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
             Err(e) => return Err(e),
         }
     }
-    let len = u32::from_le_bytes(len) as usize;
+    let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes")) as usize;
+    let req_id = u64::from_le_bytes(header[4..12].try_into().expect("8 bytes"));
     if len > crate::protocol::MAX_FRAME {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
@@ -288,7 +320,7 @@ fn read_frame_polling(stream: &mut TcpStream, shared: &Shared) -> io::Result<Opt
             Err(e) => return Err(e),
         }
     }
-    Ok(Some(body))
+    Ok(Some((req_id, body)))
 }
 
 /// Executes one request against the disk.

@@ -25,8 +25,9 @@ const CHUNK_LEN: usize = 2048;
 const STRIPES: u64 = 2;
 const TARGET: usize = 1; // a data shard: piggyback uses half-chunk helpers
 
-/// Per-response wire overhead: 4-byte length prefix + 1 status byte.
-const FRAME_OVERHEAD: u64 = 5;
+/// Per-response wire overhead: 4-byte length prefix + 8-byte request id
+/// + 1 status byte.
+const FRAME_OVERHEAD: u64 = pbrs_chunkd::protocol::FRAME_OVERHEAD + 1;
 
 fn garbage_fill_outside(path: &std::path::Path, id: ChunkId, declared: &[&ShardRead]) -> Vec<u8> {
     let original = chunk::read_chunk(path, id, CHUNK_LEN).unwrap().unwrap();

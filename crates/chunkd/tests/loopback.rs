@@ -30,7 +30,10 @@ fn mixed_local_remote_store_full_lifecycle() {
             ChunkServer::bind_with(
                 dir.path().join(format!("srv-{i:02}")),
                 "127.0.0.1:0",
-                ServerConfig { threads: 2 },
+                ServerConfig {
+                    threads: 2,
+                    ..ServerConfig::default()
+                },
             )
             .unwrap()
         })

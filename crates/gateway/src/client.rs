@@ -1,0 +1,308 @@
+//! A small blocking gateway client.
+//!
+//! [`GatewayClient`] wraps one TCP connection and offers whole-object
+//! convenience calls (`put` / `get` / `delete` / `stat` / `metrics`)
+//! plus a streaming [`GatewayClient::get_streamed`] that hands each
+//! stripe to a sink as it arrives — the client-side half of the
+//! gateway's O(stripe) memory story, and what the load harness uses so
+//! measured latency is first-byte-honest.
+//!
+//! For pipelining (several requests in flight on one socket, responses
+//! matched by id) the raw [`GatewayClient::send_request`] /
+//! [`GatewayClient::recv_response`] pair exposes the frame layer
+//! directly; the loopback tests use it to prove id-based demultiplexing
+//! under reordering.
+
+use std::fmt;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::protocol::{read_frame, write_frame, Request, Response, MAX_FRAME};
+
+/// How much payload one `PUT_DATA` frame carries (well under
+/// [`MAX_FRAME`]; several frames keep the gateway's workers busy while
+/// the client keeps writing).
+pub const PUT_CHUNK: usize = 1 << 20;
+
+/// Errors a gateway round trip can produce.
+#[derive(Debug)]
+pub enum GatewayError {
+    /// Transport failure (connect, read, write, framing).
+    Io(io::Error),
+    /// The gateway shed the request at its admission limit; back off and
+    /// retry.
+    Busy,
+    /// The object never existed.
+    NotFound,
+    /// The object existed and was deleted (typed tombstone).
+    Deleted,
+    /// The gateway reported a failure executing the request.
+    Remote(String),
+    /// The gateway answered with a frame that does not fit the exchange.
+    Protocol(String),
+}
+
+impl fmt::Display for GatewayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GatewayError::Io(e) => write!(f, "gateway transport error: {e}"),
+            GatewayError::Busy => write!(f, "gateway is busy (admission limit); retry later"),
+            GatewayError::NotFound => write!(f, "object not found"),
+            GatewayError::Deleted => write!(f, "object was deleted"),
+            GatewayError::Remote(m) => write!(f, "gateway error: {m}"),
+            GatewayError::Protocol(m) => write!(f, "gateway protocol violation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for GatewayError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GatewayError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for GatewayError {
+    fn from(e: io::Error) -> Self {
+        GatewayError::Io(e)
+    }
+}
+
+/// Result alias for gateway calls.
+pub type Result<T> = std::result::Result<T, GatewayError>;
+
+/// A whole object fetched by [`GatewayClient::get`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GetObject {
+    /// The payload.
+    pub data: Vec<u8>,
+    /// How many of its stripes the gateway served degraded.
+    pub degraded_stripes: u64,
+}
+
+/// One blocking connection to a gateway; see the [module docs](self).
+#[derive(Debug)]
+pub struct GatewayClient {
+    stream: TcpStream,
+    next_id: u64,
+}
+
+impl GatewayClient {
+    /// Connects to a gateway.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(GatewayClient { stream, next_id: 1 })
+    }
+
+    /// Sets (or clears) the read timeout used while waiting for
+    /// responses.
+    ///
+    /// # Errors
+    ///
+    /// The OS rejecting the timeout.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> Result<()> {
+        self.stream.set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    /// A request id unused on this connection.
+    pub fn fresh_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Sends one request frame under `req_id` without waiting — the raw
+    /// building block for pipelining.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn send_request(&mut self, req_id: u64, request: &Request) -> Result<()> {
+        write_frame(&mut self.stream, req_id, &request.encode())?;
+        Ok(())
+    }
+
+    /// Receives the next response frame, whatever request it belongs to.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and undecodable bodies.
+    pub fn recv_response(&mut self) -> Result<(u64, Response)> {
+        let (id, body) = read_frame(&mut self.stream)?;
+        let resp = Response::decode(&body)?;
+        Ok((id, resp))
+    }
+
+    /// Stores `data` under `name`, streaming it in [`PUT_CHUNK`] pieces.
+    /// Returns `(len, stripes)` as committed.
+    ///
+    /// # Errors
+    ///
+    /// [`GatewayError::Busy`] when shed, [`GatewayError::Remote`] for
+    /// store-side failures (e.g. the name exists), transport errors.
+    pub fn put(&mut self, name: &str, data: &[u8]) -> Result<(u64, u64)> {
+        let id = self.fresh_id();
+        // Buffer the small frames; one flush before waiting.
+        let mut w = BufWriter::new(&self.stream);
+        write_frame(
+            &mut w,
+            id,
+            &Request::PutStart { name: name.into() }.encode(),
+        )?;
+        for piece in data.chunks(PUT_CHUNK.min(MAX_FRAME)) {
+            write_frame(
+                &mut w,
+                id,
+                &Request::PutData {
+                    data: piece.to_vec(),
+                }
+                .encode(),
+            )?;
+        }
+        write_frame(&mut w, id, &Request::PutEnd.encode())?;
+        w.flush()?;
+        drop(w);
+        match self.expect_for(id)? {
+            Response::Created { len, stripes } => Ok((len, stripes)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Fetches `name` whole.
+    ///
+    /// # Errors
+    ///
+    /// [`GatewayError::NotFound`] / [`GatewayError::Deleted`] for the
+    /// typed misses, [`GatewayError::Busy`], remote and transport errors.
+    pub fn get(&mut self, name: &str) -> Result<GetObject> {
+        let mut data = Vec::new();
+        let degraded_stripes = self.get_streamed(name, |stripe| data.extend_from_slice(stripe))?;
+        Ok(GetObject {
+            data,
+            degraded_stripes,
+        })
+    }
+
+    /// Fetches `name`, handing each stripe's payload to `sink` as it
+    /// arrives; client memory stays O(stripe). Returns how many stripes
+    /// were served degraded.
+    ///
+    /// # Errors
+    ///
+    /// As [`GatewayClient::get`].
+    pub fn get_streamed(&mut self, name: &str, mut sink: impl FnMut(&[u8])) -> Result<u64> {
+        let id = self.fresh_id();
+        self.send_request(id, &Request::Get { name: name.into() })?;
+        let mut reader = BufReader::new(&self.stream);
+        let header = recv_for(&mut reader, id)?;
+        let (mut remaining, _stripes) = match header {
+            Response::ObjectHeader { len, stripes } => (len, stripes),
+            Response::NotFound => return Err(GatewayError::NotFound),
+            Response::Deleted => return Err(GatewayError::Deleted),
+            Response::Busy => return Err(GatewayError::Busy),
+            Response::Err { message } => return Err(GatewayError::Remote(message)),
+            other => return Err(unexpected(other)),
+        };
+        loop {
+            match recv_for(&mut reader, id)? {
+                Response::Data { data } => {
+                    remaining = remaining.saturating_sub(data.len() as u64);
+                    sink(&data);
+                }
+                Response::ObjectEnd { degraded_stripes } => {
+                    if remaining != 0 {
+                        return Err(GatewayError::Protocol(format!(
+                            "stream ended {remaining} bytes short"
+                        )));
+                    }
+                    return Ok(degraded_stripes);
+                }
+                Response::Err { message } => return Err(GatewayError::Remote(message)),
+                other => return Err(unexpected(other)),
+            }
+        }
+    }
+
+    /// Tombstones `name`; returns how many payload bytes it held.
+    ///
+    /// # Errors
+    ///
+    /// As [`GatewayClient::get`].
+    pub fn delete(&mut self, name: &str) -> Result<u64> {
+        let id = self.fresh_id();
+        self.send_request(id, &Request::Delete { name: name.into() })?;
+        match self.expect_for(id)? {
+            Response::DeletedOk { len } => Ok(len),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Looks up `name`'s metadata: `(len, stripes)`.
+    ///
+    /// # Errors
+    ///
+    /// As [`GatewayClient::get`].
+    pub fn stat(&mut self, name: &str) -> Result<(u64, u64)> {
+        let id = self.fresh_id();
+        self.send_request(id, &Request::Stat { name: name.into() })?;
+        match self.expect_for(id)? {
+            Response::Stat { len, stripes } => Ok((len, stripes)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Fetches the gateway's counters as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Transport and remote errors.
+    pub fn metrics(&mut self) -> Result<String> {
+        let id = self.fresh_id();
+        self.send_request(id, &Request::Metrics)?;
+        match self.expect_for(id)? {
+            Response::Metrics { json } => Ok(json),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Receives the response for `id`, folding the shared status frames
+    /// into typed errors.
+    fn expect_for(&mut self, id: u64) -> Result<Response> {
+        let mut reader = BufReader::new(&self.stream);
+        recv_for(&mut reader, id)
+    }
+}
+
+/// Receives frames until one tagged `id` arrives (frames for other ids
+/// are a protocol error for this sequential helper), mapping the shared
+/// failure statuses to typed errors.
+fn recv_for(reader: &mut impl Read, id: u64) -> Result<Response> {
+    let (got, body) = read_frame(reader)?;
+    if got != id {
+        return Err(GatewayError::Protocol(format!(
+            "response for request {got} while waiting on {id}"
+        )));
+    }
+    match Response::decode(&body)? {
+        Response::NotFound => Err(GatewayError::NotFound),
+        Response::Deleted => Err(GatewayError::Deleted),
+        Response::Busy => Err(GatewayError::Busy),
+        resp => Ok(resp),
+    }
+}
+
+fn unexpected(resp: Response) -> GatewayError {
+    match resp {
+        Response::Err { message } => GatewayError::Remote(message),
+        other => GatewayError::Protocol(format!("unexpected response {other:?}")),
+    }
+}

@@ -1,0 +1,148 @@
+//! Gateway-side traffic and admission counters.
+//!
+//! Everything is a relaxed `AtomicU64` bumped from the reactor thread (and
+//! read from anywhere): the counters are monotonic totals, not a
+//! consistent snapshot, exactly like the store's [`pbrs_store::metrics`].
+//! The `METRICS` RPC serialises a snapshot as JSON (schema documented in
+//! `OPERATIONS.md`), so a load harness can separate served stripes from
+//! shed requests without scraping logs.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live counters of one gateway; see the [module docs](self).
+#[derive(Debug, Default)]
+pub struct GatewayMetrics {
+    /// Connections accepted and registered.
+    pub connections_accepted: AtomicU64,
+    /// Connections refused because `max_connections` was reached
+    /// (accepted and immediately closed).
+    pub connections_refused: AtomicU64,
+    /// Currently registered connections.
+    pub open_connections: AtomicU64,
+    /// Requests admitted (PUT/GET/DELETE that got past the admission
+    /// gate, plus every STAT/METRICS).
+    pub requests_admitted: AtomicU64,
+    /// Requests shed with `BUSY` at the admission gate.
+    pub requests_shed: AtomicU64,
+    /// Bytes read off client sockets (framing included).
+    pub bytes_in: AtomicU64,
+    /// Bytes written to client sockets (framing included).
+    pub bytes_out: AtomicU64,
+    /// Stripes streamed to clients by GETs.
+    pub stripes_served: AtomicU64,
+    /// Of those, stripes served degraded (rebuilt from survivors).
+    pub degraded_stripes_served: AtomicU64,
+    /// Objects committed by PUTs.
+    pub objects_put: AtomicU64,
+    /// Objects tombstoned by DELETEs.
+    pub objects_deleted: AtomicU64,
+    /// Requests answered with an error response.
+    pub request_errors: AtomicU64,
+}
+
+/// A point-in-time copy of [`GatewayMetrics`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// See [`GatewayMetrics::connections_accepted`].
+    pub connections_accepted: u64,
+    /// See [`GatewayMetrics::connections_refused`].
+    pub connections_refused: u64,
+    /// See [`GatewayMetrics::open_connections`].
+    pub open_connections: u64,
+    /// See [`GatewayMetrics::requests_admitted`].
+    pub requests_admitted: u64,
+    /// See [`GatewayMetrics::requests_shed`].
+    pub requests_shed: u64,
+    /// See [`GatewayMetrics::bytes_in`].
+    pub bytes_in: u64,
+    /// See [`GatewayMetrics::bytes_out`].
+    pub bytes_out: u64,
+    /// See [`GatewayMetrics::stripes_served`].
+    pub stripes_served: u64,
+    /// See [`GatewayMetrics::degraded_stripes_served`].
+    pub degraded_stripes_served: u64,
+    /// See [`GatewayMetrics::objects_put`].
+    pub objects_put: u64,
+    /// See [`GatewayMetrics::objects_deleted`].
+    pub objects_deleted: u64,
+    /// See [`GatewayMetrics::request_errors`].
+    pub request_errors: u64,
+}
+
+impl GatewayMetrics {
+    pub(crate) fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn sub(counter: &AtomicU64, n: u64) {
+        counter.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Copies every counter.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        MetricsSnapshot {
+            connections_accepted: get(&self.connections_accepted),
+            connections_refused: get(&self.connections_refused),
+            open_connections: get(&self.open_connections),
+            requests_admitted: get(&self.requests_admitted),
+            requests_shed: get(&self.requests_shed),
+            bytes_in: get(&self.bytes_in),
+            bytes_out: get(&self.bytes_out),
+            stripes_served: get(&self.stripes_served),
+            degraded_stripes_served: get(&self.degraded_stripes_served),
+            objects_put: get(&self.objects_put),
+            objects_deleted: get(&self.objects_deleted),
+            request_errors: get(&self.request_errors),
+        }
+    }
+}
+
+impl MetricsSnapshot {
+    /// The `METRICS` RPC payload: one flat JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"connections_accepted\":{},\"connections_refused\":{},",
+                "\"open_connections\":{},\"requests_admitted\":{},",
+                "\"requests_shed\":{},\"bytes_in\":{},\"bytes_out\":{},",
+                "\"stripes_served\":{},\"degraded_stripes_served\":{},",
+                "\"objects_put\":{},\"objects_deleted\":{},",
+                "\"request_errors\":{}}}"
+            ),
+            self.connections_accepted,
+            self.connections_refused,
+            self.open_connections,
+            self.requests_admitted,
+            self.requests_shed,
+            self.bytes_in,
+            self.bytes_out,
+            self.stripes_served,
+            self.degraded_stripes_served,
+            self.objects_put,
+            self.objects_deleted,
+            self.request_errors,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_json() {
+        let m = GatewayMetrics::default();
+        GatewayMetrics::add(&m.requests_admitted, 3);
+        GatewayMetrics::add(&m.requests_shed, 1);
+        GatewayMetrics::add(&m.open_connections, 2);
+        GatewayMetrics::sub(&m.open_connections, 1);
+        let snap = m.snapshot();
+        assert_eq!(snap.requests_admitted, 3);
+        assert_eq!(snap.requests_shed, 1);
+        assert_eq!(snap.open_connections, 1);
+        let json = snap.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"requests_shed\":1"));
+    }
+}

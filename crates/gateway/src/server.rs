@@ -1,0 +1,1131 @@
+//! The gateway itself: a readiness-based reactor front-end over a
+//! [`BlockStore`].
+//!
+//! # Architecture
+//!
+//! One **reactor thread** owns the listening socket, every client
+//! connection (all non-blocking), and a wake pipe; it multiplexes with
+//! `poll(2)` via [`crate::poll`]. The reactor never performs store I/O —
+//! chunk reads, erasure coding, and manifest commits happen on a small
+//! **worker pool**, fed jobs through a channel and answering through a
+//! completion queue plus one byte on the wake pipe.
+//!
+//! A request's expensive state ([`ObjectWriter`] / [`ObjectReader`]) is
+//! *moved into* each job and handed back with the completion. That makes
+//! the per-request stripe order trivially sequential (a stripe job owns
+//! the reader; the next stripe cannot start until it returns) while
+//! different requests — even on one connection — proceed in parallel on
+//! different workers and interleave their response frames by request id.
+//!
+//! # Backpressure, explicitly
+//!
+//! Three independent controls, all visible in [`GatewayMetrics`]:
+//!
+//! * **Admission** ([`GatewayConfig::max_inflight_requests`]): a global
+//!   cap on worker-backed requests (PUT/GET/DELETE) in flight. At the cap
+//!   the gateway answers [`Response::Busy`] immediately — load is shed
+//!   loudly, not queued silently.
+//! * **Per-connection GET budget** ([`GatewayConfig::in_flight_stripes`]):
+//!   the next stripe-read job is scheduled only while the connection's
+//!   output queue is shorter than the budget. A slow reader therefore
+//!   stalls its own GET at O(`in_flight_stripes` × stripe) buffered bytes
+//!   — never the whole object, never other connections.
+//! * **Per-connection PUT budget** (same knob): when a connection has
+//!   more buffered `PUT_DATA` frames than the budget, the reactor stops
+//!   polling it for readability; TCP flow control pushes back on the
+//!   client until the workers catch up.
+//!
+//! [`GatewayConfig::max_connections`] bounds the connection table;
+//! connections beyond it are accepted and immediately closed (counted as
+//! `connections_refused`).
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, IoSlice, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::unix::io::AsRawFd;
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::{self, JoinHandle};
+
+use pbrs_store::{BlockStore, ObjectReader, ObjectWriter, StoreError};
+
+use crate::metrics::GatewayMetrics;
+use crate::poll::{poll_fds, PollFd, POLLERR, POLLIN, POLLNVAL, POLLOUT};
+use crate::protocol::{frame_header, FrameDecoder, Request, Response, FRAME_OVERHEAD};
+
+/// Tuning knobs of one gateway; see the [module docs](self) for how each
+/// participates in backpressure.
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Store worker threads (encode/decode + chunk I/O). Default 4.
+    pub workers: usize,
+    /// Connection-table cap; connections beyond it are accepted and
+    /// immediately closed. Default 1024.
+    pub max_connections: usize,
+    /// Per-connection stripe budget: a GET schedules its next stripe only
+    /// while the connection's output queue is shorter than this, and a
+    /// connection buffering more `PUT_DATA` frames than this stops being
+    /// read. Default 4.
+    pub in_flight_stripes: usize,
+    /// Global cap on admitted worker-backed requests (PUT/GET/DELETE);
+    /// above it new ones are shed with `BUSY`. Default 256.
+    pub max_inflight_requests: usize,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            workers: 4,
+            max_connections: 1024,
+            in_flight_stripes: 4,
+            max_inflight_requests: 256,
+        }
+    }
+}
+
+/// A running gateway; dropping (or [`Gateway::shutdown`]) stops the
+/// reactor, closes every connection, and joins all threads.
+pub struct Gateway {
+    addr: SocketAddr,
+    metrics: Arc<GatewayMetrics>,
+    stop: Arc<AtomicBool>,
+    wake: UnixStream,
+    reactor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Gateway {
+    /// Binds `addr` and serves `store` until shutdown. Pass port 0 to let
+    /// the OS pick; read it back with [`Gateway::local_addr`].
+    ///
+    /// # Errors
+    ///
+    /// Socket setup failures (bind, nonblocking, wake-pipe creation).
+    pub fn serve(
+        store: Arc<BlockStore>,
+        addr: impl ToSocketAddrs,
+        config: GatewayConfig,
+    ) -> io::Result<Gateway> {
+        let config = GatewayConfig {
+            workers: config.workers.max(1),
+            max_connections: config.max_connections.max(1),
+            in_flight_stripes: config.in_flight_stripes.max(1),
+            max_inflight_requests: config.max_inflight_requests.max(1),
+        };
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        // Wake pipe: workers (and shutdown) write one byte, the reactor's
+        // poll set includes the read end.
+        let (wake_rx, wake_tx) = UnixStream::pair()?;
+        wake_rx.set_nonblocking(true)?;
+        wake_tx.set_nonblocking(true)?;
+
+        let metrics = Arc::new(GatewayMetrics::default());
+        let stop = Arc::new(AtomicBool::new(false));
+        let (job_tx, job_rx) = mpsc::channel::<Job>();
+        let jobs = Arc::new(Mutex::new(job_rx));
+        let done = Arc::new(Mutex::new(VecDeque::new()));
+
+        let mut workers = Vec::with_capacity(config.workers);
+        for i in 0..config.workers {
+            let store = Arc::clone(&store);
+            let jobs = Arc::clone(&jobs);
+            let done = Arc::clone(&done);
+            let wake = wake_tx.try_clone()?;
+            workers.push(
+                thread::Builder::new()
+                    .name(format!("gw-worker-{i}"))
+                    .spawn(move || worker_loop(&store, &jobs, &done, wake))?,
+            );
+        }
+
+        let reactor_stop = Arc::clone(&stop);
+        let reactor_metrics = Arc::clone(&metrics);
+        let reactor = thread::Builder::new()
+            .name("gw-reactor".into())
+            .spawn(move || {
+                Reactor {
+                    store,
+                    listener,
+                    wake_rx,
+                    conns: HashMap::new(),
+                    next_conn: 0,
+                    inflight: 0,
+                    config,
+                    metrics: reactor_metrics,
+                    job_tx,
+                    done,
+                    stop: reactor_stop,
+                    read_buf: vec![0u8; 64 * 1024],
+                }
+                .run();
+            })?;
+
+        Ok(Gateway {
+            addr: local,
+            metrics,
+            stop,
+            wake: wake_tx,
+            reactor: Some(reactor),
+            workers,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Handle on the live counters.
+    pub fn metrics(&self) -> Arc<GatewayMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Stops the reactor, closes every connection, joins all threads.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = (&self.wake).write(&[1]);
+        if let Some(h) = self.reactor.take() {
+            let _ = h.join();
+        }
+        // The reactor owned the job sender; once it is gone the workers
+        // drain what is queued and exit.
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Gateway {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+impl std::fmt::Debug for Gateway {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gateway").field("addr", &self.addr).finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Jobs and completions
+// ---------------------------------------------------------------------------
+
+/// Work shipped to the pool. Jobs carry the request's writer/reader by
+/// value; the matching [`Done`] carries it back.
+enum Job {
+    OpenWriter {
+        conn: u64,
+        req: u64,
+        name: String,
+    },
+    WriteData {
+        conn: u64,
+        req: u64,
+        writer: ObjectWriter,
+        data: Vec<u8>,
+    },
+    FinishWriter {
+        conn: u64,
+        req: u64,
+        writer: ObjectWriter,
+    },
+    /// Fire-and-forget cleanup of an abandoned ingest (client vanished).
+    AbortWriter {
+        writer: ObjectWriter,
+    },
+    ReadStripe {
+        conn: u64,
+        req: u64,
+        reader: ObjectReader,
+        stripe: u64,
+        buf: Vec<u8>,
+    },
+    Delete {
+        conn: u64,
+        req: u64,
+        name: String,
+    },
+}
+
+enum Done {
+    WriterOpened {
+        conn: u64,
+        req: u64,
+        result: Result<ObjectWriter, Response>,
+    },
+    /// `Err` means the write failed and the writer was aborted.
+    DataWritten {
+        conn: u64,
+        req: u64,
+        result: Result<ObjectWriter, Response>,
+    },
+    WriterFinished {
+        conn: u64,
+        req: u64,
+        result: Response,
+    },
+    StripeRead {
+        conn: u64,
+        req: u64,
+        reader: ObjectReader,
+        result: Result<(Vec<u8>, bool), Response>,
+    },
+    Deleted {
+        conn: u64,
+        req: u64,
+        result: Response,
+    },
+}
+
+fn store_error_response(e: &StoreError) -> Response {
+    match e {
+        StoreError::ObjectNotFound { .. } => Response::NotFound,
+        StoreError::ObjectDeleted { .. } => Response::Deleted,
+        other => Response::Err {
+            message: other.to_string(),
+        },
+    }
+}
+
+fn worker_loop(
+    store: &Arc<BlockStore>,
+    jobs: &Mutex<mpsc::Receiver<Job>>,
+    done: &Mutex<VecDeque<Done>>,
+    mut wake: UnixStream,
+) {
+    loop {
+        // Hold the lock only to receive; blocking in `recv` under the lock
+        // is fine — peers block on the same job stream anyway.
+        let job = match jobs.lock() {
+            Ok(rx) => rx.recv(),
+            Err(_) => return,
+        };
+        let Ok(job) = job else { return };
+        let completion = match job {
+            Job::OpenWriter { conn, req, name } => Some(Done::WriterOpened {
+                conn,
+                req,
+                result: store.writer(&name).map_err(|e| store_error_response(&e)),
+            }),
+            Job::WriteData {
+                conn,
+                req,
+                mut writer,
+                data,
+            } => {
+                let result = match writer.write(&data) {
+                    Ok(()) => Ok(writer),
+                    Err(e) => {
+                        let resp = store_error_response(&e);
+                        writer.abort();
+                        Err(resp)
+                    }
+                };
+                Some(Done::DataWritten { conn, req, result })
+            }
+            Job::FinishWriter { conn, req, writer } => {
+                let result = match writer.finish() {
+                    Ok(info) => Response::Created {
+                        len: info.len,
+                        stripes: info.stripes,
+                    },
+                    Err(e) => store_error_response(&e),
+                };
+                Some(Done::WriterFinished { conn, req, result })
+            }
+            Job::AbortWriter { writer } => {
+                writer.abort();
+                None
+            }
+            Job::ReadStripe {
+                conn,
+                req,
+                mut reader,
+                stripe,
+                mut buf,
+            } => {
+                let result = match reader.read_stripe(stripe, &mut buf) {
+                    Ok((payload, degraded)) => {
+                        buf.truncate(payload);
+                        Ok((buf, degraded))
+                    }
+                    Err(e) => Err(store_error_response(&e)),
+                };
+                Some(Done::StripeRead {
+                    conn,
+                    req,
+                    reader,
+                    result,
+                })
+            }
+            Job::Delete { conn, req, name } => {
+                let result = match store.delete(&name) {
+                    Ok(info) => Response::DeletedOk { len: info.len },
+                    Err(e) => store_error_response(&e),
+                };
+                Some(Done::Deleted { conn, req, result })
+            }
+        };
+        if let Some(c) = completion {
+            if let Ok(mut q) = done.lock() {
+                q.push_back(c);
+            }
+            // A full wake pipe means the reactor already has wakeups
+            // pending — dropping this byte is harmless.
+            let _ = wake.write(&[1]);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reactor
+// ---------------------------------------------------------------------------
+
+/// One frame queued for writing; `off` progresses across header + body.
+struct OutFrame {
+    header: [u8; FRAME_OVERHEAD],
+    body: Vec<u8>,
+    off: usize,
+}
+
+struct Conn {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    out: VecDeque<OutFrame>,
+    requests: HashMap<u64, ReqState>,
+    dead: bool,
+}
+
+enum ReqState {
+    Put(PutState),
+    Get(GetState),
+    /// DELETE is a single job; the state only marks the id as in flight.
+    Delete,
+}
+
+struct PutState {
+    /// Present while idle at the reactor; `None` while a worker owns it
+    /// (or before `OpenWriter` completes).
+    writer: Option<ObjectWriter>,
+    /// A job for this request is at the pool.
+    busy: bool,
+    /// `PUT_DATA` payloads not yet shipped to a worker.
+    queue: VecDeque<Vec<u8>>,
+    ended: bool,
+    /// First failure; the (single) response is deferred to `PUT_END` so
+    /// the exchange stays one-response-per-request.
+    failed: Option<Response>,
+}
+
+struct GetState {
+    /// Present while idle at the reactor; `None` while a worker owns it.
+    reader: Option<ObjectReader>,
+    next_stripe: u64,
+    stripes: u64,
+    degraded: u64,
+}
+
+struct Reactor {
+    store: Arc<BlockStore>,
+    listener: TcpListener,
+    wake_rx: UnixStream,
+    conns: HashMap<u64, Conn>,
+    next_conn: u64,
+    /// Admitted worker-backed requests (PUT/GET/DELETE) gateway-wide.
+    inflight: usize,
+    config: GatewayConfig,
+    metrics: Arc<GatewayMetrics>,
+    job_tx: mpsc::Sender<Job>,
+    done: Arc<Mutex<VecDeque<Done>>>,
+    stop: Arc<AtomicBool>,
+    read_buf: Vec<u8>,
+}
+
+impl Reactor {
+    fn run(mut self) {
+        while !self.stop.load(Ordering::SeqCst) {
+            self.drain_completions();
+
+            let mut fds = Vec::with_capacity(2 + self.conns.len());
+            fds.push(PollFd::new(self.wake_rx.as_raw_fd(), POLLIN));
+            fds.push(PollFd::new(self.listener.as_raw_fd(), POLLIN));
+            let mut order = Vec::with_capacity(self.conns.len());
+            for (&id, conn) in &self.conns {
+                let mut events = 0i16;
+                if !self.read_paused(conn) {
+                    events |= POLLIN;
+                }
+                if !conn.out.is_empty() {
+                    events |= POLLOUT;
+                }
+                order.push(id);
+                fds.push(PollFd::new(conn.stream.as_raw_fd(), events));
+            }
+
+            if poll_fds(&mut fds, 500).is_err() {
+                // EBADF etc. — a conn died mid-build; reap and retry.
+                self.reap_dead();
+                continue;
+            }
+
+            if fds[0].readable_or_dead() {
+                let mut sink = [0u8; 256];
+                while matches!((&self.wake_rx).read(&mut sink), Ok(n) if n > 0) {}
+            }
+            self.drain_completions();
+            if fds[1].readable_or_dead() {
+                self.accept_ready();
+            }
+            for (i, &id) in order.iter().enumerate() {
+                let f = fds[i + 2];
+                if f.has(POLLERR | POLLNVAL) {
+                    if let Some(c) = self.conns.get_mut(&id) {
+                        c.dead = true;
+                    }
+                    continue;
+                }
+                if f.readable_or_dead() {
+                    self.read_conn(id);
+                }
+            }
+            // Opportunistic write pass: covers both POLLOUT-ready sockets
+            // and responses freshly queued this iteration.
+            self.flush_and_pump_all();
+            self.reap_dead();
+        }
+        // Shutdown: abandoned ingests are aborted by ObjectWriter::drop as
+        // the connection table goes away.
+        self.conns.clear();
+    }
+
+    fn read_paused(&self, conn: &Conn) -> bool {
+        conn.requests.values().any(
+            |r| matches!(r, ReqState::Put(p) if p.queue.len() >= self.config.in_flight_stripes),
+        )
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if self.conns.len() >= self.config.max_connections {
+                        GatewayMetrics::add(&self.metrics.connections_refused, 1);
+                        drop(stream);
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let id = self.next_conn;
+                    self.next_conn += 1;
+                    self.conns.insert(
+                        id,
+                        Conn {
+                            stream,
+                            decoder: FrameDecoder::new(),
+                            out: VecDeque::new(),
+                            requests: HashMap::new(),
+                            dead: false,
+                        },
+                    );
+                    GatewayMetrics::add(&self.metrics.connections_accepted, 1);
+                    GatewayMetrics::add(&self.metrics.open_connections, 1);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn read_conn(&mut self, id: u64) {
+        let mut frames = Vec::new();
+        {
+            let Some(conn) = self.conns.get_mut(&id) else {
+                return;
+            };
+            let mut total = 0usize;
+            loop {
+                match conn.stream.read(&mut self.read_buf) {
+                    Ok(0) => {
+                        conn.dead = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        GatewayMetrics::add(&self.metrics.bytes_in, n as u64);
+                        conn.decoder.feed(&self.read_buf[..n]);
+                        total += n;
+                        // Fairness cap: don't let one firehose starve the
+                        // rest of the poll set.
+                        if total >= 256 * 1024 {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        conn.dead = true;
+                        break;
+                    }
+                }
+            }
+            loop {
+                match conn.decoder.next_frame() {
+                    Ok(Some(frame)) => frames.push(frame),
+                    Ok(None) => break,
+                    Err(_) => {
+                        // Unframeable garbage: no way to resynchronise.
+                        conn.dead = true;
+                        break;
+                    }
+                }
+            }
+        }
+        for (req_id, body) in frames {
+            self.handle_frame(id, req_id, body);
+        }
+    }
+
+    fn handle_frame(&mut self, conn_id: u64, req_id: u64, body: Vec<u8>) {
+        let request = match Request::decode(&body) {
+            Ok(r) => r,
+            Err(e) => {
+                GatewayMetrics::add(&self.metrics.request_errors, 1);
+                self.push_response(
+                    conn_id,
+                    req_id,
+                    &Response::Err {
+                        message: format!("bad request: {e}"),
+                    },
+                );
+                return;
+            }
+        };
+        match request {
+            Request::Metrics => {
+                if self.duplicate_id(conn_id, req_id) {
+                    return;
+                }
+                GatewayMetrics::add(&self.metrics.requests_admitted, 1);
+                let json = self.metrics.snapshot().to_json();
+                self.push_response(conn_id, req_id, &Response::Metrics { json });
+            }
+            Request::Stat { name } => {
+                if self.duplicate_id(conn_id, req_id) {
+                    return;
+                }
+                GatewayMetrics::add(&self.metrics.requests_admitted, 1);
+                let resp = match self.store.lookup(&name) {
+                    Ok(info) => Response::Stat {
+                        len: info.len,
+                        stripes: info.stripes,
+                    },
+                    Err(e) => {
+                        GatewayMetrics::add(&self.metrics.request_errors, 1);
+                        store_error_response(&e)
+                    }
+                };
+                self.push_response(conn_id, req_id, &resp);
+            }
+            Request::PutStart { name } => {
+                if self.duplicate_id(conn_id, req_id) {
+                    return;
+                }
+                if !self.admit(conn_id, req_id) {
+                    return;
+                }
+                GatewayMetrics::add(&self.metrics.requests_admitted, 1);
+                let Some(conn) = self.conns.get_mut(&conn_id) else {
+                    return;
+                };
+                conn.requests.insert(
+                    req_id,
+                    ReqState::Put(PutState {
+                        writer: None,
+                        busy: true,
+                        queue: VecDeque::new(),
+                        ended: false,
+                        failed: None,
+                    }),
+                );
+                self.inflight += 1;
+                let _ = self.job_tx.send(Job::OpenWriter {
+                    conn: conn_id,
+                    req: req_id,
+                    name,
+                });
+            }
+            Request::PutData { data } => {
+                // Data for an id we are not ingesting (shed with BUSY, or
+                // already failed and responded) is silently discarded: the
+                // single response for that id has been or will be sent.
+                let Some(conn) = self.conns.get_mut(&conn_id) else {
+                    return;
+                };
+                if let Some(ReqState::Put(p)) = conn.requests.get_mut(&req_id) {
+                    p.queue.push_back(data);
+                    self.pump_put(conn_id, req_id);
+                }
+            }
+            Request::PutEnd => {
+                let Some(conn) = self.conns.get_mut(&conn_id) else {
+                    return;
+                };
+                if let Some(ReqState::Put(p)) = conn.requests.get_mut(&req_id) {
+                    p.ended = true;
+                    self.pump_put(conn_id, req_id);
+                }
+            }
+            Request::Get { name } => {
+                if self.duplicate_id(conn_id, req_id) {
+                    return;
+                }
+                if !self.admit(conn_id, req_id) {
+                    return;
+                }
+                // Opening a reader is manifest-only (no disk I/O): inline.
+                match self.store.reader(&name) {
+                    Ok(reader) => {
+                        GatewayMetrics::add(&self.metrics.requests_admitted, 1);
+                        let info = reader.info();
+                        let Some(conn) = self.conns.get_mut(&conn_id) else {
+                            return;
+                        };
+                        conn.requests.insert(
+                            req_id,
+                            ReqState::Get(GetState {
+                                reader: Some(reader),
+                                next_stripe: 0,
+                                stripes: info.stripes,
+                                degraded: 0,
+                            }),
+                        );
+                        self.inflight += 1;
+                        self.push_response(
+                            conn_id,
+                            req_id,
+                            &Response::ObjectHeader {
+                                len: info.len,
+                                stripes: info.stripes,
+                            },
+                        );
+                        self.pump_get(conn_id, req_id);
+                    }
+                    Err(e) => {
+                        GatewayMetrics::add(&self.metrics.request_errors, 1);
+                        let resp = store_error_response(&e);
+                        self.push_response(conn_id, req_id, &resp);
+                    }
+                }
+            }
+            Request::Delete { name } => {
+                if self.duplicate_id(conn_id, req_id) {
+                    return;
+                }
+                if !self.admit(conn_id, req_id) {
+                    return;
+                }
+                GatewayMetrics::add(&self.metrics.requests_admitted, 1);
+                let Some(conn) = self.conns.get_mut(&conn_id) else {
+                    return;
+                };
+                conn.requests.insert(req_id, ReqState::Delete);
+                self.inflight += 1;
+                let _ = self.job_tx.send(Job::Delete {
+                    conn: conn_id,
+                    req: req_id,
+                    name,
+                });
+            }
+        }
+    }
+
+    /// `true` (and responds with an error) when `req_id` is already in
+    /// flight on this connection.
+    fn duplicate_id(&mut self, conn_id: u64, req_id: u64) -> bool {
+        let dup = self
+            .conns
+            .get(&conn_id)
+            .is_some_and(|c| c.requests.contains_key(&req_id));
+        if dup {
+            GatewayMetrics::add(&self.metrics.request_errors, 1);
+            self.push_response(
+                conn_id,
+                req_id,
+                &Response::Err {
+                    message: format!("request id {req_id} already in flight"),
+                },
+            );
+        }
+        dup
+    }
+
+    /// Admission gate; `false` means the request was shed with `BUSY`.
+    fn admit(&mut self, conn_id: u64, req_id: u64) -> bool {
+        if self.inflight >= self.config.max_inflight_requests {
+            GatewayMetrics::add(&self.metrics.requests_shed, 1);
+            self.push_response(conn_id, req_id, &Response::Busy);
+            return false;
+        }
+        true
+    }
+
+    /// Drives one PUT forward: ship the next queued payload (or the
+    /// finish) to a worker, or deliver a deferred failure at `PUT_END`.
+    fn pump_put(&mut self, conn_id: u64, req_id: u64) {
+        let Some(conn) = self.conns.get_mut(&conn_id) else {
+            return;
+        };
+        let Some(ReqState::Put(p)) = conn.requests.get_mut(&req_id) else {
+            return;
+        };
+        if p.busy {
+            return;
+        }
+        if p.failed.is_some() {
+            // The ingest already failed; drop buffered data and respond
+            // once the client says END.
+            p.queue.clear();
+            if p.ended {
+                if let Some(w) = p.writer.take() {
+                    let _ = self.job_tx.send(Job::AbortWriter { writer: w });
+                }
+                let resp = p.failed.take().expect("checked");
+                conn.requests.remove(&req_id);
+                self.inflight -= 1;
+                GatewayMetrics::add(&self.metrics.request_errors, 1);
+                self.push_response(conn_id, req_id, &resp);
+            }
+            return;
+        }
+        if let Some(data) = p.queue.pop_front() {
+            let writer = p.writer.take().expect("writer idle when not busy/failed");
+            p.busy = true;
+            let _ = self.job_tx.send(Job::WriteData {
+                conn: conn_id,
+                req: req_id,
+                writer,
+                data,
+            });
+        } else if p.ended {
+            let writer = p.writer.take().expect("writer idle when not busy/failed");
+            p.busy = true;
+            let _ = self.job_tx.send(Job::FinishWriter {
+                conn: conn_id,
+                req: req_id,
+                writer,
+            });
+        }
+    }
+
+    /// Drives one GET forward: finish the stream, or schedule the next
+    /// stripe read if the connection's output budget allows.
+    fn pump_get(&mut self, conn_id: u64, req_id: u64) {
+        let Some(conn) = self.conns.get_mut(&conn_id) else {
+            return;
+        };
+        let Some(ReqState::Get(g)) = conn.requests.get_mut(&req_id) else {
+            return;
+        };
+        if g.reader.is_none() {
+            return; // a stripe job is in flight
+        }
+        if g.next_stripe == g.stripes {
+            let degraded_stripes = g.degraded;
+            conn.requests.remove(&req_id);
+            self.inflight -= 1;
+            self.push_response(conn_id, req_id, &Response::ObjectEnd { degraded_stripes });
+            return;
+        }
+        if conn.out.len() >= self.config.in_flight_stripes {
+            return; // resumed by flush_and_pump_all once the queue drains
+        }
+        let reader = g.reader.take().expect("checked");
+        let buf = vec![0u8; reader.stripe_len()];
+        let stripe = g.next_stripe;
+        let _ = self.job_tx.send(Job::ReadStripe {
+            conn: conn_id,
+            req: req_id,
+            reader,
+            stripe,
+            buf,
+        });
+    }
+
+    fn drain_completions(&mut self) {
+        loop {
+            let next = match self.done.lock() {
+                Ok(mut q) => q.pop_front(),
+                Err(_) => return,
+            };
+            let Some(done) = next else { return };
+            self.handle_done(done);
+        }
+    }
+
+    fn handle_done(&mut self, done: Done) {
+        match done {
+            Done::WriterOpened { conn, req, result } => {
+                if !self.conns.contains_key(&conn) {
+                    if let Ok(w) = result {
+                        let _ = self.job_tx.send(Job::AbortWriter { writer: w });
+                    }
+                    self.inflight -= 1;
+                    return;
+                }
+                let Some(c) = self.conns.get_mut(&conn) else {
+                    return;
+                };
+                let Some(ReqState::Put(p)) = c.requests.get_mut(&req) else {
+                    return;
+                };
+                p.busy = false;
+                match result {
+                    Ok(w) => p.writer = Some(w),
+                    Err(resp) => p.failed = Some(resp),
+                }
+                self.pump_put(conn, req);
+            }
+            Done::DataWritten { conn, req, result } => {
+                if !self.conns.contains_key(&conn) {
+                    if let Ok(w) = result {
+                        let _ = self.job_tx.send(Job::AbortWriter { writer: w });
+                    }
+                    self.inflight -= 1;
+                    return;
+                }
+                let Some(c) = self.conns.get_mut(&conn) else {
+                    return;
+                };
+                let Some(ReqState::Put(p)) = c.requests.get_mut(&req) else {
+                    return;
+                };
+                p.busy = false;
+                match result {
+                    Ok(w) => p.writer = Some(w),
+                    Err(resp) => p.failed = Some(resp), // writer already aborted
+                }
+                self.pump_put(conn, req);
+            }
+            Done::WriterFinished { conn, req, result } => {
+                if !self.conns.contains_key(&conn) {
+                    self.inflight -= 1;
+                    return;
+                }
+                if let Some(c) = self.conns.get_mut(&conn) {
+                    c.requests.remove(&req);
+                }
+                self.inflight -= 1;
+                if matches!(result, Response::Created { .. }) {
+                    GatewayMetrics::add(&self.metrics.objects_put, 1);
+                } else {
+                    GatewayMetrics::add(&self.metrics.request_errors, 1);
+                }
+                self.push_response(conn, req, &result);
+            }
+            Done::StripeRead {
+                conn,
+                req,
+                reader,
+                result,
+            } => {
+                if !self.conns.contains_key(&conn) {
+                    drop(reader);
+                    self.inflight -= 1;
+                    return;
+                }
+                match result {
+                    Ok((data, degraded)) => {
+                        GatewayMetrics::add(&self.metrics.stripes_served, 1);
+                        if degraded {
+                            GatewayMetrics::add(&self.metrics.degraded_stripes_served, 1);
+                        }
+                        let Some(c) = self.conns.get_mut(&conn) else {
+                            return;
+                        };
+                        let Some(ReqState::Get(g)) = c.requests.get_mut(&req) else {
+                            return;
+                        };
+                        g.reader = Some(reader);
+                        g.next_stripe += 1;
+                        if degraded {
+                            g.degraded += 1;
+                        }
+                        self.push_response(conn, req, &Response::Data { data });
+                        self.pump_get(conn, req);
+                    }
+                    Err(resp) => {
+                        // Mid-stream failure: the header is out; terminate
+                        // the stream with an error frame.
+                        if let Some(c) = self.conns.get_mut(&conn) {
+                            c.requests.remove(&req);
+                        }
+                        self.inflight -= 1;
+                        GatewayMetrics::add(&self.metrics.request_errors, 1);
+                        self.push_response(conn, req, &resp);
+                    }
+                }
+            }
+            Done::Deleted { conn, req, result } => {
+                if !self.conns.contains_key(&conn) {
+                    self.inflight -= 1;
+                    return;
+                }
+                if let Some(c) = self.conns.get_mut(&conn) {
+                    c.requests.remove(&req);
+                }
+                self.inflight -= 1;
+                if matches!(result, Response::DeletedOk { .. }) {
+                    GatewayMetrics::add(&self.metrics.objects_deleted, 1);
+                } else {
+                    GatewayMetrics::add(&self.metrics.request_errors, 1);
+                }
+                self.push_response(conn, req, &result);
+            }
+        }
+    }
+
+    fn push_response(&mut self, conn_id: u64, req_id: u64, resp: &Response) {
+        let Some(conn) = self.conns.get_mut(&conn_id) else {
+            return;
+        };
+        let body = resp.encode();
+        conn.out.push_back(OutFrame {
+            header: frame_header(req_id, body.len()),
+            body,
+            off: 0,
+        });
+    }
+
+    /// Writes every connection's pending output as far as the sockets
+    /// allow, then re-pumps GETs whose budget freed up.
+    fn flush_and_pump_all(&mut self) {
+        let ids: Vec<u64> = self.conns.keys().copied().collect();
+        for id in ids {
+            let below_budget = {
+                let Some(conn) = self.conns.get_mut(&id) else {
+                    continue;
+                };
+                if conn.dead {
+                    continue;
+                }
+                flush_conn(conn, &self.metrics);
+                !conn.dead && conn.out.len() < self.config.in_flight_stripes
+            };
+            if below_budget {
+                let reqs: Vec<u64> = self
+                    .conns
+                    .get(&id)
+                    .map(|c| {
+                        c.requests
+                            .iter()
+                            .filter(|(_, s)| matches!(s, ReqState::Get(_)))
+                            .map(|(&r, _)| r)
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                for req in reqs {
+                    self.pump_get(id, req);
+                }
+            }
+        }
+        // Pumping may have queued ObjectEnd frames on empty queues; give
+        // them one immediate write attempt instead of waiting a poll turn.
+        let ids: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| !c.dead && !c.out.is_empty())
+            .map(|(&id, _)| id)
+            .collect();
+        for id in ids {
+            if let Some(conn) = self.conns.get_mut(&id) {
+                flush_conn(conn, &self.metrics);
+            }
+        }
+    }
+
+    fn reap_dead(&mut self) {
+        let dead: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| c.dead)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in dead {
+            let Some(mut conn) = self.conns.remove(&id) else {
+                continue;
+            };
+            GatewayMetrics::sub(&self.metrics.open_connections, 1);
+            for (_, state) in conn.requests.drain() {
+                match state {
+                    ReqState::Put(p) => {
+                        if p.busy {
+                            // The worker owns the writer; the orphaned
+                            // completion decrements inflight and aborts.
+                        } else {
+                            if let Some(w) = p.writer {
+                                let _ = self.job_tx.send(Job::AbortWriter { writer: w });
+                            }
+                            self.inflight -= 1;
+                        }
+                    }
+                    ReqState::Get(g) => {
+                        if g.reader.is_some() {
+                            self.inflight -= 1;
+                        }
+                        // else: the orphaned StripeRead completion
+                        // decrements inflight and drops the reader.
+                    }
+                    ReqState::Delete => {
+                        // The orphaned Deleted completion decrements.
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Writes the front of `conn.out` as far as the socket allows, vectoring
+/// header+body into one syscall while the header is unsent.
+fn flush_conn(conn: &mut Conn, metrics: &GatewayMetrics) {
+    while let Some(front) = conn.out.front_mut() {
+        let header_len = front.header.len();
+        let attempt = if front.off < header_len {
+            let slices = [
+                IoSlice::new(&front.header[front.off..]),
+                IoSlice::new(&front.body),
+            ];
+            conn.stream.write_vectored(&slices)
+        } else {
+            conn.stream.write(&front.body[front.off - header_len..])
+        };
+        match attempt {
+            Ok(0) => {
+                conn.dead = true;
+                return;
+            }
+            Ok(n) => {
+                GatewayMetrics::add(&metrics.bytes_out, n as u64);
+                front.off += n;
+                if front.off == header_len + front.body.len() {
+                    conn.out.pop_front();
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.dead = true;
+                return;
+            }
+        }
+    }
+}

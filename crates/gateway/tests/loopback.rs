@@ -1,0 +1,514 @@
+//! End-to-end gateway tests on loopback: round trips, typed misses,
+//! degraded streaming over real chunkd sockets, pipelined demultiplexing
+//! by request id, explicit BUSY shedding, and hostile-frame hygiene.
+
+use std::fs;
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use pbrs_chunkd::{ChunkServer, RemoteDisk, ServerConfig};
+use pbrs_gateway::client::{GatewayClient, GatewayError};
+use pbrs_gateway::protocol::{self, Request, Response};
+use pbrs_gateway::server::{Gateway, GatewayConfig};
+use pbrs_store::store::{BlockStore, StoreConfig};
+use pbrs_store::testing::TempDir;
+use pbrs_store::{ChunkBackend, PlacementPolicy, RackMap};
+
+fn pattern(len: usize) -> Vec<u8> {
+    (0..len).map(|i| ((i * 131 + 17) % 251) as u8).collect()
+}
+
+fn local_store(dir: &TempDir, spec: &str, chunk_len: usize) -> Arc<BlockStore> {
+    let spec = spec.parse().unwrap();
+    Arc::new(
+        BlockStore::open(StoreConfig::new(dir.path().join("store"), spec).chunk_len(chunk_len))
+            .unwrap(),
+    )
+}
+
+fn gateway(store: &Arc<BlockStore>, config: GatewayConfig) -> Gateway {
+    Gateway::serve(Arc::clone(store), "127.0.0.1:0", config).unwrap()
+}
+
+fn client(gw: &Gateway) -> GatewayClient {
+    let c = GatewayClient::connect(gw.local_addr()).unwrap();
+    c.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    c
+}
+
+#[test]
+fn put_get_stat_delete_round_trip() {
+    let dir = TempDir::new("gw-roundtrip");
+    let store = local_store(&dir, "rs-4-2", 512);
+    let gw = gateway(&store, GatewayConfig::default());
+    let mut c = client(&gw);
+
+    // 2.5 stripes, so the stream has a short tail.
+    let data = pattern(4 * 512 * 2 + 700);
+    let (len, stripes) = c.put("obj", &data).unwrap();
+    assert_eq!(len, data.len() as u64);
+    assert_eq!(stripes, 3);
+
+    assert_eq!(c.stat("obj").unwrap(), (data.len() as u64, 3));
+
+    let got = c.get("obj").unwrap();
+    assert_eq!(got.data, data);
+    assert_eq!(got.degraded_stripes, 0);
+
+    // Streaming arrives in stripe-sized pieces, in order.
+    let mut pieces = Vec::new();
+    let degraded = c
+        .get_streamed("obj", |stripe| pieces.push(stripe.to_vec()))
+        .unwrap();
+    assert_eq!(degraded, 0);
+    assert_eq!(pieces.len(), 3);
+    assert_eq!(pieces.concat(), data);
+    assert!(pieces[0].len() == 4 * 512 && pieces[2].len() == 700);
+
+    // Typed misses: never-existed vs deleted.
+    assert!(matches!(c.get("nope"), Err(GatewayError::NotFound)));
+    assert_eq!(c.delete("obj").unwrap(), data.len() as u64);
+    assert!(matches!(c.get("obj"), Err(GatewayError::Deleted)));
+    assert!(matches!(c.stat("obj"), Err(GatewayError::Deleted)));
+    assert!(matches!(c.delete("obj"), Err(GatewayError::Deleted)));
+
+    // Duplicate PUT of a live name is a remote error, not a hang.
+    c.put("dup", b"x").unwrap();
+    assert!(matches!(c.put("dup", b"y"), Err(GatewayError::Remote(_))));
+
+    // Empty objects round-trip too.
+    c.put("empty", b"").unwrap();
+    let empty = c.get("empty").unwrap();
+    assert!(empty.data.is_empty());
+
+    let metrics = c.metrics().unwrap();
+    assert!(metrics.contains("\"objects_put\":3"), "{metrics}");
+    assert!(metrics.contains("\"objects_deleted\":1"), "{metrics}");
+}
+
+#[test]
+fn degraded_get_over_chunkd_sockets_reports_rebuilt_stripes() {
+    let dir = TempDir::new("gw-degraded");
+    let spec: pbrs_erasure::CodeSpec = "piggyback-4-2".parse().unwrap();
+    // Every disk a real chunkd TCP server on loopback.
+    let servers: Vec<ChunkServer> = (0..6)
+        .map(|i| {
+            ChunkServer::bind_with(
+                dir.path().join(format!("srv-{i:02}")),
+                "127.0.0.1:0",
+                ServerConfig {
+                    threads: 2,
+                    ..ServerConfig::default()
+                },
+            )
+            .unwrap()
+        })
+        .collect();
+    let disks: Vec<Arc<dyn ChunkBackend>> = servers
+        .iter()
+        .map(|s| Arc::new(RemoteDisk::new(s.local_addr().to_string())) as Arc<dyn ChunkBackend>)
+        .collect();
+    let store = Arc::new(
+        BlockStore::open_with_backends(
+            StoreConfig::new(dir.path().join("root"), spec).chunk_len(512),
+            disks,
+            RackMap::per_disk(6),
+            PlacementPolicy::Identity,
+        )
+        .unwrap(),
+    );
+    let gw = gateway(&store, GatewayConfig::default());
+    let mut c = client(&gw);
+
+    let data = pattern(4 * 512 * 4); // 4 full stripes
+    c.put("obj", &data).unwrap();
+    let healthy = c.get("obj").unwrap();
+    assert_eq!(healthy.data, data);
+    assert_eq!(healthy.degraded_stripes, 0);
+
+    // One chunk server loses every byte it stored; reads must degrade,
+    // not fail, and the stream must say so.
+    fs::remove_dir_all(servers[1].root()).unwrap();
+    let degraded = c.get("obj").unwrap();
+    assert_eq!(degraded.data, data);
+    assert_eq!(degraded.degraded_stripes, 4);
+
+    let metrics = c.metrics().unwrap();
+    assert!(
+        metrics.contains("\"degraded_stripes_served\":4"),
+        "{metrics}"
+    );
+}
+
+#[test]
+fn pipelined_requests_demux_by_id() {
+    let dir = TempDir::new("gw-pipeline");
+    let store = local_store(&dir, "rs-4-2", 512);
+    let gw = gateway(&store, GatewayConfig::default());
+    let mut c = client(&gw);
+
+    let a = pattern(4 * 512 * 3);
+    let b: Vec<u8> = pattern(4 * 512 * 2).iter().map(|x| x ^ 0xFF).collect();
+    c.put("a", &a).unwrap();
+    c.put("b", &b).unwrap();
+
+    // Fire three requests back-to-back without reading anything, under
+    // distinctive ids, then collect every frame of all three exchanges.
+    c.send_request(1001, &Request::Get { name: "a".into() })
+        .unwrap();
+    c.send_request(1002, &Request::Get { name: "b".into() })
+        .unwrap();
+    c.send_request(1003, &Request::Stat { name: "a".into() })
+        .unwrap();
+
+    let mut got_a = Vec::new();
+    let mut got_b = Vec::new();
+    let mut stat = None;
+    let mut open = 3; // exchanges still expecting frames
+    let mut ids_seen = Vec::new();
+    while open > 0 {
+        let (id, resp) = c.recv_response().unwrap();
+        ids_seen.push(id);
+        match (id, resp) {
+            (1001, Response::Data { data }) => got_a.extend_from_slice(&data),
+            (1002, Response::Data { data }) => got_b.extend_from_slice(&data),
+            (1001 | 1002, Response::ObjectHeader { .. }) => {}
+            (1001 | 1002, Response::ObjectEnd { .. }) => open -= 1,
+            (1003, Response::Stat { len, stripes }) => {
+                stat = Some((len, stripes));
+                open -= 1;
+            }
+            (id, other) => panic!("unexpected frame {other:?} for id {id}"),
+        }
+    }
+    // Reassembled streams are intact per id, whatever the interleaving.
+    assert_eq!(got_a, a);
+    assert_eq!(got_b, b);
+    assert_eq!(stat, Some((a.len() as u64, 3)));
+    // The cheap STAT must not have been forced to wait behind both full
+    // GET streams: its frame arrives before the last stream frame.
+    let stat_pos = ids_seen.iter().position(|&i| i == 1003).unwrap();
+    assert!(
+        stat_pos < ids_seen.len() - 1,
+        "stat answered dead last: {ids_seen:?}"
+    );
+
+    // A request id already in flight is rejected without killing the
+    // connection or the original exchange.
+    c.send_request(7, &Request::Get { name: "a".into() })
+        .unwrap();
+    c.send_request(7, &Request::Stat { name: "a".into() })
+        .unwrap();
+    let mut saw_dup_error = false;
+    let mut stream_done = false;
+    while !(saw_dup_error && stream_done) {
+        let (id, resp) = c.recv_response().unwrap();
+        assert_eq!(id, 7);
+        match resp {
+            Response::Err { message } => {
+                assert!(message.contains("already in flight"), "{message}");
+                saw_dup_error = true;
+            }
+            Response::ObjectEnd { .. } => stream_done = true,
+            Response::ObjectHeader { .. } | Response::Data { .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn busy_shed_above_the_admission_limit_and_recovery() {
+    let dir = TempDir::new("gw-busy");
+    let store = local_store(&dir, "rs-4-2", 512);
+    let gw = gateway(
+        &store,
+        GatewayConfig {
+            max_inflight_requests: 1,
+            ..GatewayConfig::default()
+        },
+    );
+
+    // Connection A opens an ingest and stalls, pinning the only slot.
+    let mut a = client(&gw);
+    a.send_request(
+        1,
+        &Request::PutStart {
+            name: "slow".into(),
+        },
+    )
+    .unwrap();
+    a.send_request(1, &Request::PutData { data: pattern(100) })
+        .unwrap();
+    // Wait until A's PUT_START is admitted so the slot is surely pinned
+    // before probing (otherwise the probe could win the slot and shed A).
+    for _ in 0..500 {
+        if gw.metrics().snapshot().requests_admitted >= 1 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(gw.metrics().snapshot().requests_admitted, 1);
+
+    // Connection B is shed with BUSY — explicitly, not queued.
+    let mut b = client(&gw);
+    assert!(
+        matches!(probe_admission(&mut b), Err(GatewayError::Busy)),
+        "no BUSY while the admission slot was pinned"
+    );
+
+    // A finishes; the slot frees; B succeeds.
+    a.send_request(1, &Request::PutEnd).unwrap();
+    match a.recv_response().unwrap() {
+        (1, Response::Created { len, .. }) => assert_eq!(len, 100),
+        other => panic!("unexpected {other:?}"),
+    }
+    let mut ok = false;
+    for _ in 0..50 {
+        match b.get("slow") {
+            Ok(obj) => {
+                assert_eq!(obj.data, pattern(100));
+                ok = true;
+                break;
+            }
+            Err(GatewayError::Busy) => std::thread::sleep(Duration::from_millis(10)),
+            Err(e) => panic!("unexpected {e}"),
+        }
+    }
+    assert!(ok, "gateway never recovered after the slot freed");
+
+    let snapshot = gw.metrics().snapshot();
+    assert!(snapshot.requests_shed >= 1);
+}
+
+/// A worker-backed probe that reports BUSY distinctly (STAT is answered
+/// inline and never shed, so it cannot probe admission).
+fn probe_admission(c: &mut GatewayClient) -> Result<(), GatewayError> {
+    let id = c.fresh_id();
+    c.send_request(
+        id,
+        &Request::Delete {
+            name: "absent".into(),
+        },
+    )?;
+    match c.recv_response()? {
+        (got, Response::Busy) if got == id => Err(GatewayError::Busy),
+        (got, _) if got == id => Ok(()),
+        (got, _) => Err(GatewayError::Protocol(format!("stray id {got}"))),
+    }
+}
+
+#[test]
+fn slow_reader_is_flow_controlled_not_buffered() {
+    let dir = TempDir::new("gw-slowreader");
+    let store = local_store(&dir, "rs-4-2", 512);
+    // Budget of one: at most one stripe frame queued per connection.
+    let gw = gateway(
+        &store,
+        GatewayConfig {
+            in_flight_stripes: 1,
+            ..GatewayConfig::default()
+        },
+    );
+    let mut c = client(&gw);
+    let data = pattern(4 * 512 * 16); // 16 stripes
+    c.put("obj", &data).unwrap();
+
+    // Read the stream deliberately slowly; it must arrive complete and
+    // in order anyway — the budget throttles, it never drops.
+    let mut assembled = Vec::new();
+    let degraded = c
+        .get_streamed("obj", |stripe| {
+            std::thread::sleep(Duration::from_millis(5));
+            assembled.extend_from_slice(stripe);
+        })
+        .unwrap();
+    assert_eq!(assembled, data);
+    assert_eq!(degraded, 0);
+}
+
+#[test]
+fn hostile_frames_poison_only_their_connection() {
+    let dir = TempDir::new("gw-hostile");
+    let store = local_store(&dir, "rs-4-2", 512);
+    let gw = gateway(&store, GatewayConfig::default());
+
+    // An oversized length prefix closes the connection...
+    let mut evil = TcpStream::connect(gw.local_addr()).unwrap();
+    evil.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut hostile = ((protocol::MAX_FRAME + 1) as u32).to_le_bytes().to_vec();
+    hostile.extend_from_slice(&1u64.to_le_bytes());
+    evil.write_all(&hostile).unwrap();
+    let mut sink = Vec::new();
+    use std::io::Read;
+    assert_eq!(
+        evil.read_to_end(&mut sink).unwrap_or(0),
+        0,
+        "expected close"
+    );
+
+    // ...while a well-behaved connection sails on, and a garbage *body*
+    // (frameable but undecodable) gets a typed error, keeping the
+    // connection usable.
+    let mut c = client(&gw);
+    c.put("obj", b"hello").unwrap();
+    let mut stream = TcpStream::connect(gw.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    protocol::write_frame(&mut stream, 9, &[0xEE, 1, 2, 3]).unwrap();
+    let (id, body) = protocol::read_frame(&mut stream).unwrap();
+    assert_eq!(id, 9);
+    assert!(matches!(
+        Response::decode(&body).unwrap(),
+        Response::Err { .. }
+    ));
+    // Same socket still serves real requests.
+    protocol::write_frame(
+        &mut stream,
+        10,
+        &Request::Stat { name: "obj".into() }.encode(),
+    )
+    .unwrap();
+    let (id, body) = protocol::read_frame(&mut stream).unwrap();
+    assert_eq!(id, 10);
+    assert!(matches!(
+        Response::decode(&body).unwrap(),
+        Response::Stat { len: 5, .. }
+    ));
+}
+
+#[test]
+fn abandoned_ingest_leaves_no_trace() {
+    let dir = TempDir::new("gw-abandon");
+    let store = local_store(&dir, "rs-4-2", 512);
+    let gw = gateway(&store, GatewayConfig::default());
+
+    {
+        let mut c = client(&gw);
+        c.send_request(
+            1,
+            &Request::PutStart {
+                name: "ghost".into(),
+            },
+        )
+        .unwrap();
+        c.send_request(
+            1,
+            &Request::PutData {
+                data: pattern(5000),
+            },
+        )
+        .unwrap();
+        // Connection dies mid-ingest, END never sent.
+    }
+    // The reservation must be released and the partial chunks removed:
+    // the same name becomes writable again.
+    let mut c = client(&gw);
+    let mut ok = false;
+    for _ in 0..100 {
+        match c.put("ghost", b"fresh") {
+            Ok(_) => {
+                ok = true;
+                break;
+            }
+            Err(GatewayError::Remote(_)) => std::thread::sleep(Duration::from_millis(20)),
+            Err(e) => panic!("unexpected {e}"),
+        }
+    }
+    assert!(ok, "abandoned ingest kept the name reserved");
+    assert_eq!(c.get("ghost").unwrap().data, b"fresh");
+}
+
+#[test]
+fn many_concurrent_connections() {
+    let dir = TempDir::new("gw-concurrent");
+    let store = local_store(&dir, "rs-4-2", 512);
+    let gw = gateway(&store, GatewayConfig::default());
+    let addr = gw.local_addr();
+
+    let handles: Vec<_> = (0..32)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut c = GatewayClient::connect(addr).unwrap();
+                c.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+                let name = format!("obj-{i}");
+                let data = pattern(4 * 512 + i * 37);
+                loop {
+                    match c.put(&name, &data) {
+                        Ok(_) => break,
+                        Err(GatewayError::Busy) => {
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(e) => panic!("{e}"),
+                    }
+                }
+                let got = c.get(&name).unwrap();
+                assert_eq!(got.data, data);
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let snapshot = gw.metrics().snapshot();
+    assert_eq!(snapshot.objects_put, 32);
+    assert_eq!(snapshot.connections_accepted, 32);
+}
+
+#[test]
+fn connection_cap_refuses_loudly() {
+    let dir = TempDir::new("gw-conncap");
+    let store = local_store(&dir, "rs-4-2", 512);
+    let gw = gateway(
+        &store,
+        GatewayConfig {
+            max_connections: 2,
+            ..GatewayConfig::default()
+        },
+    );
+    let mut a = client(&gw);
+    let _b = client(&gw);
+    a.put("x", b"data").unwrap(); // force both registrations through
+
+    // The third connection is accepted then closed; a read sees EOF.
+    let mut c = TcpStream::connect(gw.local_addr()).unwrap();
+    c.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    use std::io::Read;
+    let mut sink = [0u8; 1];
+    let mut refused = false;
+    for _ in 0..100 {
+        match c.read(&mut sink) {
+            Ok(0) => {
+                refused = true;
+                break;
+            }
+            _ => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+    assert!(refused, "over-cap connection was not closed");
+    assert!(gw.metrics().snapshot().connections_refused >= 1);
+
+    // Freeing a slot lets new connections in.
+    drop(a);
+    let mut d = GatewayClient::connect(gw.local_addr()).unwrap();
+    d.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let mut ok = false;
+    for _ in 0..100 {
+        match d.stat("x") {
+            Ok((4, _)) => {
+                ok = true;
+                break;
+            }
+            Ok(other) => panic!("unexpected stat {other:?}"),
+            Err(_) => {
+                std::thread::sleep(Duration::from_millis(10));
+                d = GatewayClient::connect(gw.local_addr()).unwrap();
+                d.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+            }
+        }
+    }
+    assert!(ok, "slot never freed after disconnect");
+}

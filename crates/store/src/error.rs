@@ -27,6 +27,15 @@ pub enum StoreError {
         /// The requested object name.
         name: String,
     },
+    /// The object existed but was deleted (its manifest entry is a
+    /// tombstone). Distinct from [`StoreError::ObjectNotFound`] — the name
+    /// was once valid — and from I/O failure: "deleted" is an answer, not
+    /// a malfunction, and callers such as the gateway map it to a distinct
+    /// client-visible status.
+    ObjectDeleted {
+        /// The deleted object name.
+        name: String,
+    },
     /// An object with this name already exists (objects are immutable).
     ObjectExists {
         /// The conflicting object name.
@@ -92,6 +101,7 @@ impl fmt::Display for StoreError {
             StoreError::Code(e) => write!(f, "codec error: {e}"),
             StoreError::Placement(e) => write!(f, "placement error: {e}"),
             StoreError::ObjectNotFound { name } => write!(f, "object {name:?} not found"),
+            StoreError::ObjectDeleted { name } => write!(f, "object {name:?} was deleted"),
             StoreError::ObjectExists { name } => write!(f, "object {name:?} already exists"),
             StoreError::InvalidObjectName { name, reason } => {
                 write!(f, "invalid object name {name:?}: {reason}")

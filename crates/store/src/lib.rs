@@ -132,6 +132,7 @@ pub mod error;
 pub mod manifest;
 pub mod metrics;
 pub mod store;
+pub mod stream;
 pub mod testing;
 
 pub use backend::{BackendCounters, ChunkBackend, LocalDisk};
@@ -147,3 +148,4 @@ pub use store::{
     BlockStore, Damage, PartialScrubReport, ScrubReport, StoreConfig, StripeRepair,
     DEFAULT_CHUNK_LEN,
 };
+pub use stream::{ObjectReader, ObjectWriter};

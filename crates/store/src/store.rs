@@ -279,7 +279,7 @@ struct FailPoints {
 /// keeps the degraded-read and repair hot paths allocation-free in steady
 /// state — with the SIMD GF kernels the encode itself is fast enough that
 /// per-stripe allocation churn would otherwise show up in profiles.
-struct StripeScratch {
+pub(crate) struct StripeScratch {
     /// Chunk payloads land here, shard `i` in slot `i`.
     buf: ShardBuffer,
     /// Which slots of `buf` currently hold verified payloads.
@@ -546,7 +546,7 @@ impl BlockStore {
 
     /// Every stripe row of one object (placement per stripe), resolved once
     /// so multi-stripe reads do not take the manifest lock per stripe.
-    fn object_rows(&self, object: &str, stripes: u64) -> Vec<Vec<usize>> {
+    pub(crate) fn object_rows(&self, object: &str, stripes: u64) -> Vec<Vec<usize>> {
         let manifest = self.manifest.read().expect("lock");
         (0..stripes)
             .map(|s| Self::resolve_row(&manifest, &self.map, object, s))
@@ -640,6 +640,27 @@ impl BlockStore {
             .copied()
     }
 
+    /// Metadata of object `name`, with the typed miss distinction
+    /// [`BlockStore::object`] cannot make: a tombstoned name yields
+    /// [`StoreError::ObjectDeleted`] ("it existed, you deleted it"), an
+    /// unknown one [`StoreError::ObjectNotFound`]. Callers surfacing
+    /// results to clients — the gateway — map the two to different
+    /// statuses; neither is an I/O failure.
+    pub fn lookup(&self, name: &str) -> Result<ObjectInfo> {
+        let manifest = self.manifest.read().expect("lock");
+        if let Some(info) = manifest.objects.get(name) {
+            return Ok(*info);
+        }
+        if manifest.tombstones.contains(name) {
+            return Err(StoreError::ObjectDeleted {
+                name: name.to_string(),
+            });
+        }
+        Err(StoreError::ObjectNotFound {
+            name: name.to_string(),
+        })
+    }
+
     /// Names and metadata of every object, in name order.
     pub fn objects(&self) -> Vec<(String, ObjectInfo)> {
         self.manifest
@@ -670,23 +691,7 @@ impl BlockStore {
     /// or I/O / codec failures. On failure the manifest is left without the
     /// object; already written chunks are removed best-effort.
     pub fn put(&self, name: &str, reader: impl Read) -> Result<ObjectInfo> {
-        validate_object_name(name)?;
-        // Reserve the name so concurrent writers cannot interleave chunks.
-        {
-            let mut in_flight = self.in_flight.lock().expect("lock");
-            if self
-                .manifest
-                .read()
-                .expect("lock")
-                .objects
-                .contains_key(name)
-                || !in_flight.insert(name.to_string())
-            {
-                return Err(StoreError::ObjectExists {
-                    name: name.to_string(),
-                });
-            }
-        }
+        self.reserve_name(name)?;
         let result = self.put_reserved(name, reader);
         if result.is_err() {
             // Clean up *before* releasing the reservation, so a retrying
@@ -694,13 +699,43 @@ impl BlockStore {
             // this removal.
             self.remove_object_chunks(name);
         }
-        self.in_flight.lock().expect("lock").remove(name);
+        self.release_name(name);
         result
     }
 
-    fn put_reserved(&self, name: &str, mut reader: impl Read) -> Result<ObjectInfo> {
-        // A tombstoned name is free for reuse, but its dead chunks must go
-        // *before* new ones land — the old and new files share names.
+    /// Reserves `name` against concurrent writers and existing objects:
+    /// the shared admission step of [`BlockStore::put`] and the streaming
+    /// [`crate::ObjectWriter`]. A successful reservation must be paired
+    /// with [`BlockStore::release_name`].
+    pub(crate) fn reserve_name(&self, name: &str) -> Result<()> {
+        validate_object_name(name)?;
+        let mut in_flight = self.in_flight.lock().expect("lock");
+        if self
+            .manifest
+            .read()
+            .expect("lock")
+            .objects
+            .contains_key(name)
+            || !in_flight.insert(name.to_string())
+        {
+            return Err(StoreError::ObjectExists {
+                name: name.to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Releases a [`BlockStore::reserve_name`] reservation.
+    pub(crate) fn release_name(&self, name: &str) {
+        self.in_flight.lock().expect("lock").remove(name);
+    }
+
+    /// Pre-ingest disk preparation for a reserved name: sweeps the dead
+    /// chunks of a tombstoned predecessor (the old and new files share
+    /// names, so the old ones must go *before* new ones land), then
+    /// creates the object directory on every pool disk (the placement may
+    /// put stripes anywhere).
+    pub(crate) fn prepare_object_dirs(&self, name: &str) -> Result<()> {
         let tombstoned = self
             .manifest
             .read()
@@ -712,27 +747,38 @@ impl BlockStore {
                 disk.remove_object(name)?;
             }
         }
-        // The object's stripes may land anywhere in the pool (the placement
-        // decides per stripe), so every pool disk gets the object directory.
         for disk in &self.disks {
             disk.ensure_object(name)?;
         }
+        Ok(())
+    }
 
+    fn put_reserved(&self, name: &str, mut reader: impl Read) -> Result<ObjectInfo> {
+        self.prepare_object_dirs(name)?;
         let (total, stripe) = if self.pipeline_workers > 1 {
             self.ingest_pipelined(name, &mut reader)?
         } else {
             self.ingest_sequential(name, &mut reader)?
         };
+        self.commit_object(name, total, stripe)
+    }
 
+    /// The durable commit of a fully ingested object (every chunk of every
+    /// stripe written): pins the metadata and placement rows in the
+    /// manifest, clears any tombstone, and rolls all of it back if the
+    /// manifest save fails — an object whose entry never became durable
+    /// must not be readable. Shared by [`BlockStore::put`] and the
+    /// streaming [`crate::ObjectWriter`].
+    pub(crate) fn commit_object(&self, name: &str, total: u64, stripes: u64) -> Result<ObjectInfo> {
         let info = ObjectInfo {
             len: total,
-            stripes: stripe,
+            stripes,
         };
         // Re-derive the rows the ingest workers used (placement is a pure
         // function of name + stripe) and pin them in the manifest.
         let rows: Option<Vec<Vec<usize>>> =
             (self.map.policy() != PlacementPolicy::Identity).then(|| {
-                (0..stripe)
+                (0..stripes)
                     .map(|s| self.map.disks_for_object_stripe(name, s))
                     .collect()
             });
@@ -747,7 +793,7 @@ impl BlockStore {
                 // Keep the in-memory map honest (matching the durable file):
                 // an object whose manifest entry never became durable must
                 // not be readable (its chunks are about to be cleaned up by
-                // `put`).
+                // the caller).
                 manifest.objects.remove(name);
                 manifest.placements.remove(name);
                 if had_tombstone {
@@ -784,7 +830,7 @@ impl BlockStore {
 
     /// Encodes the (already filled) data shards of `buf` and writes all
     /// `n` chunk files of `stripe`.
-    fn encode_and_write_stripe(
+    pub(crate) fn encode_and_write_stripe(
         &self,
         name: &str,
         stripe: u64,
@@ -948,7 +994,7 @@ impl BlockStore {
 
     /// Best-effort removal of every chunk of `name` on every disk (cleanup
     /// after a failed `put`).
-    fn remove_object_chunks(&self, name: &str) {
+    pub(crate) fn remove_object_chunks(&self, name: &str) {
         for disk in &self.disks {
             let _ = disk.remove_object(name);
         }
@@ -959,7 +1005,7 @@ impl BlockStore {
     // ------------------------------------------------------------------
 
     /// A fresh scratch sized for this store's stripes.
-    fn new_scratch(&self) -> StripeScratch {
+    pub(crate) fn new_scratch(&self) -> StripeScratch {
         let n = self.code.params().total_shards();
         StripeScratch {
             buf: ShardBuffer::zeroed(n, self.chunk_len),
@@ -979,15 +1025,12 @@ impl BlockStore {
     ///
     /// # Errors
     ///
-    /// Returns [`StoreError::ObjectNotFound`], or
+    /// Returns [`StoreError::ObjectNotFound`],
+    /// [`StoreError::ObjectDeleted`] for a tombstoned name, or
     /// [`StoreError::StripeUnrecoverable`] when more chunks are lost than
     /// the code tolerates.
     pub fn get(&self, name: &str) -> Result<Vec<u8>> {
-        let info = self
-            .object(name)
-            .ok_or_else(|| StoreError::ObjectNotFound {
-                name: name.to_string(),
-            })?;
+        let info = self.lookup(name)?;
         let stripes = usize::try_from(info.stripes).expect("object fits in memory");
         let stripe_len = self.stripe_data_len();
         let padded = stripes
@@ -1060,15 +1103,18 @@ impl BlockStore {
 
     /// Serves the `k × chunk_len` data bytes of one stripe into `dest`,
     /// reusing the worker's scratch buffers throughout. `row` is the
-    /// stripe's placement: shard `i` lives on pool disk `row[i]`.
-    fn read_stripe_into(
+    /// stripe's placement: shard `i` lives on pool disk `row[i]`. Returns
+    /// whether the stripe was served degraded (one or more chunks rebuilt
+    /// from survivors instead of read directly) — callers like the gateway
+    /// surface that share per response.
+    pub(crate) fn read_stripe_into(
         &self,
         object: &str,
         stripe: u64,
         row: &[usize],
         dest: &mut [u8],
         scratch: &mut StripeScratch,
-    ) -> Result<()> {
+    ) -> Result<bool> {
         let k = self.code.params().data_shards();
         debug_assert_eq!(dest.len(), self.stripe_data_len());
         // Fast path: read and verify the k data chunks straight into the
@@ -1086,7 +1132,7 @@ impl BlockStore {
             }
         }
         if bad.is_empty() {
-            return Ok(());
+            return Ok(false);
         }
 
         // Degraded read: install the verified data chunks into the scratch
@@ -1113,7 +1159,7 @@ impl BlockStore {
                     };
                     dest[shard * self.chunk_len..(shard + 1) * self.chunk_len].copy_from_slice(src);
                 }
-                return Ok(());
+                return Ok(true);
             }
         }
 
@@ -1128,7 +1174,16 @@ impl BlockStore {
             dest[shard * self.chunk_len..(shard + 1) * self.chunk_len]
                 .copy_from_slice(scratch.buf.shard(shard));
         }
-        Ok(())
+        Ok(true)
+    }
+
+    /// Read-metrics bump for streaming readers ([`crate::ObjectReader`]),
+    /// which serve an object without going through [`BlockStore::get`].
+    pub(crate) fn note_streamed_read(&self, bytes_served: u64, whole_object: bool) {
+        if whole_object {
+            StoreMetrics::add(&self.metrics.objects_read, 1);
+        }
+        StoreMetrics::add(&self.metrics.bytes_served, bytes_served);
     }
 
     fn note_degraded_traffic(&self, traffic: HelperTraffic) {
@@ -1688,12 +1743,20 @@ impl BlockStore {
     ///
     /// # Errors
     ///
-    /// Returns [`StoreError::ObjectNotFound`] or manifest I/O failures.
+    /// Returns [`StoreError::ObjectNotFound`],
+    /// [`StoreError::ObjectDeleted`] for a name already tombstoned, or
+    /// manifest I/O failures.
     pub fn delete(&self, name: &str) -> Result<ObjectInfo> {
         let mut manifest = self.manifest.write().expect("lock");
         let Some(info) = manifest.objects.remove(name) else {
-            return Err(StoreError::ObjectNotFound {
-                name: name.to_string(),
+            return Err(if manifest.tombstones.contains(name) {
+                StoreError::ObjectDeleted {
+                    name: name.to_string(),
+                }
+            } else {
+                StoreError::ObjectNotFound {
+                    name: name.to_string(),
+                }
             });
         };
         let rows = manifest.placements.remove(name);

@@ -253,13 +253,18 @@ fn delete_tombstones_then_scrub_sweeps_the_dead_chunks() {
     let info = store.delete("obj").unwrap();
     assert_eq!(info.len, data.len() as u64);
     // Gone from the namespace immediately; chunks still on disk until the
-    // sweep.
+    // sweep. The miss is *typed*: the tombstone makes "deleted" (an
+    // answer) distinguishable from "never existed" and from I/O failure.
     assert!(matches!(
         store.get("obj"),
-        Err(StoreError::ObjectNotFound { .. })
+        Err(StoreError::ObjectDeleted { .. })
     ));
     assert!(matches!(
         store.delete("obj"),
+        Err(StoreError::ObjectDeleted { .. })
+    ));
+    assert!(matches!(
+        store.get("never-existed"),
         Err(StoreError::ObjectNotFound { .. })
     ));
     let dead_chunk = pool_path(&dir, row0[0])

@@ -5,6 +5,10 @@
 //! counters, not just file I/O. Piggybacked-RS repairs the same lost disk
 //! with ~30 % less traffic actually crossing the wire.
 //!
+//! Client traffic takes the network path too: the object is ingested and
+//! verified through a `pbrs-gateway` front door on loopback, so bytes flow
+//! client → gateway → chunkd servers end to end.
+//!
 //! Run with: `cargo run --release --example networked_repair`
 
 use std::fs;
@@ -45,7 +49,10 @@ fn run_code(spec: &str, file: &[u8]) -> Result<RunResult, Box<dyn std::error::Er
             ChunkServer::bind_with(
                 dir.path().join(format!("srv-{i:02}")),
                 "127.0.0.1:0",
-                ServerConfig { threads: 2 },
+                ServerConfig {
+                    threads: 2,
+                    ..ServerConfig::default()
+                },
             )
         })
         .collect::<Result<_, _>>()?;
@@ -65,12 +72,17 @@ fn run_code(spec: &str, file: &[u8]) -> Result<RunResult, Box<dyn std::error::Er
         PlacementPolicy::Identity,
     )?);
 
-    let info = store.put("demo.bin", file)?;
+    // The client-facing door: a streaming gateway over the same store, so
+    // ingest and verification cross the wire twice (client → gateway,
+    // gateway → chunk servers).
+    let gateway = Gateway::serve(Arc::clone(&store), "127.0.0.1:0", GatewayConfig::default())?;
+    let mut client = GatewayClient::connect(gateway.local_addr())?;
+
+    let (len, stripes) = client.put("demo.bin", file)?;
     println!(
-        "ingested {} bytes as {} stripes across {n} chunk servers \
-         ({:.1} MiB of chunks over sockets)",
-        info.len,
-        info.stripes,
+        "ingested {len} bytes as {stripes} stripes through the gateway at {} \
+         across {n} chunk servers ({:.1} MiB of chunks over sockets)",
+        gateway.local_addr(),
         mib(store.socket_counters().bytes_sent),
     );
 
@@ -117,7 +129,16 @@ fn run_code(spec: &str, file: &[u8]) -> Result<RunResult, Box<dyn std::error::Er
         store.scrub()?.is_clean(),
         "store must be whole after repair"
     );
-    assert_eq!(store.get("demo.bin")?, file, "rebuilt bytes must match");
+    // Verify through the same client path readers would use: a full
+    // streamed GET, which must now be byte-identical *and* clean — the
+    // end frame reports zero degraded stripes once the rebuild landed.
+    let got = client.get("demo.bin")?;
+    assert_eq!(got.data, file, "rebuilt bytes must match over the gateway");
+    assert_eq!(
+        got.degraded_stripes, 0,
+        "no stripe should read degraded after the repair"
+    );
+    gateway.shutdown();
     println!(
         "daemon rebuilt {} chunks: {:.1} MiB of helper bytes received over \
          sockets, {:.1} MiB of rebuilt chunks sent back",

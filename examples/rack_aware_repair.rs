@@ -6,6 +6,8 @@
 //! observable on real I/O.
 //!
 //! Four runs: {rs-10-4, piggyback-10-4} × {rack-disjoint, rack-aware}.
+//! Client traffic (ingest and verification) goes through a `pbrs-gateway`
+//! front door, so the object crosses real sockets end to end.
 //!
 //! * Under **rack-disjoint** placement (§2.1's production layout) every
 //!   helper byte crosses a rack boundary, so Piggybacked-RS's ~30 % helper
@@ -72,7 +74,10 @@ fn run(
             ChunkServer::bind_with(
                 dir.path().join(format!("srv-{i:02}")),
                 "127.0.0.1:0",
-                ServerConfig { threads: 1 },
+                ServerConfig {
+                    threads: 1,
+                    ..ServerConfig::default()
+                },
             )
         })
         .collect::<Result<_, _>>()?;
@@ -100,10 +105,15 @@ fn run(
         policy,
     )?);
 
-    let info = store.put("demo.bin", file)?;
+    // The client door: object traffic enters and leaves through a gateway,
+    // not direct store calls; repair below stays the store's business.
+    let gateway = Gateway::serve(Arc::clone(&store), "127.0.0.1:0", GatewayConfig::default())?;
+    let mut client = GatewayClient::connect(gateway.local_addr())?;
+
+    let (len, stripes) = client.put("demo.bin", file)?;
     println!(
-        "ingested {} bytes as {} stripes over {pool} chunk servers in {RACKS} racks",
-        info.len, info.stripes
+        "ingested {len} bytes as {stripes} stripes through the gateway \
+         over {pool} chunk servers in {RACKS} racks"
     );
 
     // Disaster: a server holding *data* chunks loses every byte (the
@@ -116,7 +126,7 @@ fn run(
     let lost_disk = {
         let mut data_held = vec![0usize; pool];
         let mut parity_held = vec![0usize; pool];
-        for stripe in 0..info.stripes {
+        for stripe in 0..stripes {
             for (shard, &disk) in store.stripe_disks("demo.bin", stripe).iter().enumerate() {
                 if shard < DATA_SHARDS {
                     data_held[disk] += 1;
@@ -175,7 +185,15 @@ fn run(
         store.scrub()?.is_clean(),
         "store must be whole after repair"
     );
-    assert_eq!(store.get("demo.bin")?, file, "rebuilt bytes must match");
+    // Verify the rebuilt object over the client path: byte-identical and,
+    // per the GET end frame, served with zero degraded stripes.
+    let got = client.get("demo.bin")?;
+    assert_eq!(got.data, file, "rebuilt bytes must match over the gateway");
+    assert_eq!(
+        got.degraded_stripes, 0,
+        "no stripe should read degraded after the repair"
+    );
+    gateway.shutdown();
     for server in servers {
         server.shutdown();
     }

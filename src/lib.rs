@@ -16,7 +16,10 @@
 //! * [`store`] — a file-backed erasure-coded block store with degraded
 //!   reads and a background repair daemon ([`pbrs_store`]);
 //! * [`chunkd`] — a per-"disk" TCP chunk server and client, so a store can
-//!   mount remote disks and repair over real sockets ([`pbrs_chunkd`]).
+//!   mount remote disks and repair over real sockets ([`pbrs_chunkd`]);
+//! * [`gateway`] — a streaming object gateway in front of the store: a
+//!   readiness-based reactor serving `PUT`/`GET`/`DELETE` stripe by
+//!   stripe over length-prefixed frames ([`pbrs_gateway`]).
 //!
 //! See the `examples/` directory for runnable end-to-end scenarios.
 //!
@@ -141,6 +144,51 @@
 //! actually crossed each socket. `examples/networked_repair.rs` wipes one
 //! remote disk and measures the paper's ~30 % saving on those counters.
 //!
+//! # Gateway: serving objects over the wire
+//!
+//! The [`gateway`] crate puts a network front door on the store. A
+//! [`gateway::Gateway`] is a single reactor thread multiplexing
+//! non-blocking sockets with `poll(2)` plus a small worker pool doing the
+//! erasure work; objects stream **stripe by stripe** in both directions,
+//! so a 10 GiB `GET` holds O(stripe) gateway memory, not O(object).
+//! Backpressure is explicit: a global admission cap sheds with a `BUSY`
+//! status (never silent queueing), and per-connection stripe budgets keep
+//! one slow client from ballooning the output queues. Every `GET` stream
+//! ends by reporting how many stripes were served *degraded* — the
+//! paper's recovery cost, measured at the serving edge:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use pbrs::prelude::*;
+//! use pbrs::store::testing::TempDir;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let dir = TempDir::new("facade-gateway");
+//! let store = Arc::new(BlockStore::open(
+//!     StoreConfig::new(dir.path().join("store"), "piggyback-4-2".parse().unwrap())
+//!         .chunk_len(1024),
+//! )?);
+//! let gw = Gateway::serve(Arc::clone(&store), "127.0.0.1:0", GatewayConfig::default())?;
+//!
+//! let mut client = GatewayClient::connect(gw.local_addr())?;
+//! let payload: Vec<u8> = (0..20_000u32).map(|i| (i % 251) as u8).collect();
+//! client.put("dataset", &payload)?;
+//!
+//! // Lose a disk: the gateway keeps serving, and says it degraded.
+//! std::fs::remove_dir_all(store.disk_path(0)).unwrap();
+//! let got = client.get("dataset")?;
+//! assert_eq!(got.data, payload);
+//! assert!(got.degraded_stripes > 0);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! `cargo run --release -p pbrs-bench --bin load_gateway` drives a
+//! gateway from hundreds of concurrent connections (closed- or open-loop,
+//! zipfian object popularity, configurable degraded fraction) and writes
+//! `BENCH_gateway.json` with p50/p95/p99 latency split healthy vs
+//! degraded. `OPERATIONS.md` documents the knobs and the metrics schema.
+//!
 //! # Placement & racks
 //!
 //! The paper's network problem is *made* by placement: §2.1's rack-disjoint
@@ -170,6 +218,7 @@ pub use pbrs_chunkd as chunkd;
 pub use pbrs_cluster as cluster;
 pub use pbrs_core as code;
 pub use pbrs_erasure as erasure;
+pub use pbrs_gateway as gateway;
 pub use pbrs_gf as gf;
 pub use pbrs_placement as placement;
 pub use pbrs_store as store;
@@ -184,6 +233,7 @@ pub mod prelude {
         CodeError, CodeParams, CodeSpec, ErasureCode, Lrc, LrcParams, ReedSolomon, RepairMetrics,
         RepairPlan, Replication, ShardBuffer, ShardRead, ShardSet, ShardSetMut, Stripe,
     };
+    pub use pbrs_gateway::{Gateway, GatewayClient, GatewayConfig, GatewayError};
     pub use pbrs_gf::Gf256;
     pub use pbrs_placement::{PlacementError, PlacementMap, PlacementPolicy, RackMap};
     pub use pbrs_store::{
