@@ -11,6 +11,15 @@
 //! requests must be zero below the admission threshold), and writes
 //! `BENCH_gateway.json`.
 //!
+//! Latency is recorded into the same `pbrs-obs` log-linear histograms
+//! the gateway uses server-side, so the harness can cross-check its
+//! client-observed percentiles against the gateway's `METRICS` ops
+//! summaries — in closed-loop mode both measure the same interval
+//! (request start → last byte of the response stream) and must agree to
+//! within 10% or one histogram bucket. The server's per-stage
+//! (queue/erasure/chunk-io/flush) breakdown and the full Prometheus
+//! exposition are captured alongside (`BENCH_gateway.prom`).
+//!
 //! Two load modes:
 //!
 //! * **closed** (default): each connection issues its next GET the moment
@@ -18,6 +27,8 @@
 //! * **open:RATE**: arrivals are scheduled at RATE requests/s spread over
 //!   the connections, and latency is measured from the *scheduled*
 //!   arrival, so queueing delay counts — the honest tail-latency view.
+//!   (The server cross-check is skipped here: the gateway cannot see
+//!   time spent queueing before the request reaches it.)
 //!
 //! Usage: `load_gateway [seconds] [connections] [objects] [object-KiB]
 //! [degraded-%] [mode] [max-inflight]` (defaults: 10 s, 256 connections,
@@ -36,6 +47,8 @@ use pbrs_bench::{f1, section};
 use pbrs_gateway::client::GatewayClient;
 use pbrs_gateway::server::{Gateway, GatewayConfig};
 use pbrs_gateway::GatewayError;
+use pbrs_obs::hist::{bucket_bounds, bucket_index};
+use pbrs_obs::{HistogramSnapshot, LatencyHistogram, Summary};
 use pbrs_store::store::{BlockStore, StoreConfig};
 use pbrs_store::testing::TempDir;
 use rand::rngs::StdRng;
@@ -45,6 +58,12 @@ const SPEC: &str = "piggyback-4-2";
 const CHUNK_LEN: usize = 16 * 1024; // 64 KiB stripes
 const WOUNDED_DISK: usize = 1;
 const ZIPF_S: f64 = 1.0;
+/// Smallest per-class sample count for which the client-vs-server
+/// percentile agreement is asserted rather than just reported.
+const AGREEMENT_MIN_SAMPLES: u64 = 50;
+/// Absolute floor on the agreement tolerance, microseconds — loopback
+/// scheduling noise makes tighter bars flaky for sub-millisecond reads.
+const AGREEMENT_FLOOR_US: f64 = 200.0;
 
 fn arg(n: usize, default: usize) -> usize {
     env::args()
@@ -85,41 +104,124 @@ enum Mode {
     Open(f64),
 }
 
-struct Sample {
-    latency_us: u64,
-    degraded: bool,
+/// Renders a microseconds [`Summary`] with the millisecond field names
+/// `BENCH_gateway.json` has always carried.
+fn summary_json_ms(s: &Summary) -> String {
+    format!(
+        concat!(
+            "{{\"reads\": {}, \"p50_ms\": {}, \"p95_ms\": {}, \"p99_ms\": {}, ",
+            "\"p999_ms\": {}, \"mean_ms\": {}, \"max_ms\": {}}}"
+        ),
+        s.count,
+        f1(s.p50_us as f64 / 1000.0),
+        f1(s.p95_us as f64 / 1000.0),
+        f1(s.p99_us as f64 / 1000.0),
+        f1(s.p999_us as f64 / 1000.0),
+        f1(s.mean_us / 1000.0),
+        f1(s.max_us as f64 / 1000.0),
+    )
 }
 
-fn percentile(sorted_us: &[u64], p: f64) -> f64 {
-    if sorted_us.is_empty() {
-        return 0.0; // keeps the JSON valid when a class saw no reads
+/// Finds `"key":{...}` in compact JSON and returns the braced object,
+/// brace-matched. The workspace emits its own compact JSON (no string
+/// escapes near these keys), so this stays a 20-line scanner instead of
+/// a parser dependency.
+fn json_object<'a>(json: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":{{");
+    let start = json.find(&pat)? + pat.len() - 1;
+    let mut depth = 0usize;
+    for (i, b) in json.as_bytes()[start..].iter().enumerate() {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&json[start..=start + i]);
+                }
+            }
+            _ => {}
+        }
     }
-    let idx = ((sorted_us.len() - 1) as f64 * p).round() as usize;
-    sorted_us[idx] as f64 / 1000.0
+    None
 }
 
-struct LatencyStats {
-    count: usize,
-    p50_ms: f64,
-    p95_ms: f64,
-    p99_ms: f64,
-    mean_ms: f64,
+/// Reads the integer value of `"key":N` from a compact JSON object.
+fn json_u64(obj: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let rest = &obj[obj.find(&pat)? + pat.len()..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
 }
 
-fn stats(samples: &mut [u64]) -> LatencyStats {
-    samples.sort_unstable();
-    let mean_us = if samples.is_empty() {
-        0.0
-    } else {
-        samples.iter().sum::<u64>() as f64 / samples.len() as f64
-    };
-    LatencyStats {
-        count: samples.len(),
-        p50_ms: percentile(samples, 0.50),
-        p95_ms: percentile(samples, 0.95),
-        p99_ms: percentile(samples, 0.99),
-        mean_ms: mean_us / 1000.0,
+/// One client-vs-server percentile comparison.
+struct Agreement {
+    quantile: &'static str,
+    client_us: u64,
+    server_us: u64,
+    tolerance_us: f64,
+    ok: bool,
+}
+
+/// Compares one percentile pair: agreement means within 10% of the
+/// larger value, or within one log-linear bucket width at that value
+/// (both sides quantise into the same layout), with a small absolute
+/// floor for sub-millisecond values.
+fn compare(quantile: &'static str, client_us: u64, server_us: u64) -> Agreement {
+    let big = client_us.max(server_us);
+    let (lo, hi) = bucket_bounds(bucket_index(big));
+    let tolerance_us = (0.10 * big as f64)
+        .max((hi - lo) as f64)
+        .max(AGREEMENT_FLOOR_US);
+    let delta = client_us.abs_diff(server_us) as f64;
+    Agreement {
+        quantile,
+        client_us,
+        server_us,
+        tolerance_us,
+        ok: delta <= tolerance_us,
     }
+}
+
+/// Cross-checks a client summary against the matching server-side ops
+/// summary scanned out of the METRICS JSON.
+fn check_class(label: &str, client: &Summary, server_obj: &str) -> Vec<Agreement> {
+    let server_count = json_u64(server_obj, "count").unwrap_or(0);
+    assert_eq!(
+        client.count, server_count,
+        "{label}: client recorded {} reads but the gateway's ops histogram has {server_count}",
+        client.count,
+    );
+    [
+        ("p50", client.p50_us, "p50_us"),
+        ("p95", client.p95_us, "p95_us"),
+        ("p99", client.p99_us, "p99_us"),
+    ]
+    .into_iter()
+    .map(|(q, client_us, server_key)| {
+        let server_us = json_u64(server_obj, server_key)
+            .unwrap_or_else(|| panic!("{label}: METRICS ops summary lacks {server_key}"));
+        compare(q, client_us, server_us)
+    })
+    .collect()
+}
+
+fn agreement_json(rows: &[Agreement]) -> String {
+    let fields: Vec<String> = rows
+        .iter()
+        .map(|a| {
+            format!(
+                "\"{}\": {{\"client_us\": {}, \"server_us\": {}, \"tolerance_us\": {}, \"ok\": {}}}",
+                a.quantile,
+                a.client_us,
+                a.server_us,
+                f1(a.tolerance_us),
+                a.ok
+            )
+        })
+        .collect();
+    format!("{{{}}}", fields.join(", "))
 }
 
 #[allow(clippy::too_many_lines)]
@@ -198,6 +300,11 @@ fn main() {
     let stop = Arc::new(AtomicBool::new(false));
     let busy_count = Arc::new(AtomicU64::new(0));
     let error_count = Arc::new(AtomicU64::new(0));
+    // The same lock-free histograms the gateway uses server-side: every
+    // load thread records straight into the shared pair, and snapshots
+    // at the end give counts, exact means, and interpolated percentiles.
+    let healthy_hist = Arc::new(LatencyHistogram::new());
+    let degraded_hist = Arc::new(LatencyHistogram::new());
 
     let start = Instant::now();
     let deadline = start + Duration::from_secs(seconds as u64);
@@ -207,13 +314,14 @@ fn main() {
             let stop = Arc::clone(&stop);
             let busy_count = Arc::clone(&busy_count);
             let error_count = Arc::clone(&error_count);
-            thread::spawn(move || -> Vec<Sample> {
+            let healthy_hist = Arc::clone(&healthy_hist);
+            let degraded_hist = Arc::clone(&degraded_hist);
+            thread::spawn(move || {
                 let mut client = GatewayClient::connect(addr).expect("connect");
                 client
                     .set_read_timeout(Some(Duration::from_secs(60)))
                     .expect("timeout");
                 let mut rng = StdRng::seed_from_u64(0xc0ffee ^ c as u64);
-                let mut samples = Vec::new();
                 // Open-loop schedule: this connection's share of the rate,
                 // staggered so arrivals spread within the first interval.
                 let interval = match mode {
@@ -246,10 +354,12 @@ fn main() {
                     match client.get_streamed(&name, |stripe| sink += stripe.len()) {
                         Ok(degraded_stripes) => {
                             assert!(sink > 0, "empty stream for {name}");
-                            samples.push(Sample {
-                                latency_us: measured_from.elapsed().as_micros() as u64,
-                                degraded: degraded_stripes > 0,
-                            });
+                            let hist = if degraded_stripes > 0 {
+                                &degraded_hist
+                            } else {
+                                &healthy_hist
+                            };
+                            hist.record(measured_from.elapsed().as_micros() as u64);
                         }
                         Err(GatewayError::Busy) => {
                             busy_count.fetch_add(1, Ordering::Relaxed);
@@ -260,42 +370,37 @@ fn main() {
                         }
                     }
                 }
-                samples
             })
         })
         .collect();
 
-    let all: Vec<Sample> = handles
-        .into_iter()
-        .flat_map(|h| h.join().expect("load thread"))
-        .collect();
+    for handle in handles {
+        handle.join().expect("load thread");
+    }
     let elapsed = start.elapsed().as_secs_f64();
     stop.store(true, Ordering::Relaxed);
 
-    let mut healthy: Vec<u64> = all
-        .iter()
-        .filter(|s| !s.degraded)
-        .map(|s| s.latency_us)
-        .collect();
-    let mut degraded: Vec<u64> = all
-        .iter()
-        .filter(|s| s.degraded)
-        .map(|s| s.latency_us)
-        .collect();
-    let mut overall: Vec<u64> = all.iter().map(|s| s.latency_us).collect();
-    let h = stats(&mut healthy);
-    let d = stats(&mut degraded);
-    let o = stats(&mut overall);
+    let healthy = healthy_hist.snapshot();
+    let degraded = degraded_hist.snapshot();
+    let overall = {
+        let mut merged: HistogramSnapshot = healthy.clone();
+        merged.merge(&degraded);
+        merged
+    };
+    let requests = overall.count();
+    let h = healthy.summary();
+    let d = degraded.summary();
+    let o = overall.summary();
 
     let snapshot = gateway.metrics().snapshot();
     let busy = busy_count.load(Ordering::Relaxed);
     let errors = error_count.load(Ordering::Relaxed);
-    let req_s = all.len() as f64 / elapsed;
-    let mb_s = (all.len() * object_len) as f64 / elapsed / (1024.0 * 1024.0);
-    let degraded_share = if all.is_empty() {
+    let req_s = requests as f64 / elapsed;
+    let mb_s = (requests as usize * object_len) as f64 / elapsed / (1024.0 * 1024.0);
+    let degraded_share = if requests == 0 {
         0.0
     } else {
-        d.count as f64 / all.len() as f64
+        d.count as f64 / requests as f64
     };
 
     println!();
@@ -307,10 +412,10 @@ fn main() {
         println!(
             "{label:>10} {:>8} {:>9} {:>9} {:>9} {:>9}",
             s.count,
-            f1(s.p50_ms),
-            f1(s.p95_ms),
-            f1(s.p99_ms),
-            f1(s.mean_ms)
+            f1(s.p50_us as f64 / 1000.0),
+            f1(s.p95_us as f64 / 1000.0),
+            f1(s.p99_us as f64 / 1000.0),
+            f1(s.mean_us / 1000.0),
         );
     }
     println!();
@@ -336,6 +441,67 @@ fn main() {
         eprintln!("WARNING: {errors} failed reads");
     }
 
+    // Server-side view: the versioned METRICS JSON (ops + stage
+    // breakdown) and the Prometheus exposition, over the wire like any
+    // monitoring agent would fetch them.
+    let server_metrics = seeder.metrics().expect("METRICS rpc");
+    let prometheus = seeder.prometheus().expect("PROMETHEUS rpc");
+    assert!(
+        server_metrics.contains("\"schema_version\":2"),
+        "METRICS response is not schema v2"
+    );
+    let ops = json_object(&server_metrics, "ops").expect("METRICS v2 lacks \"ops\"");
+    let stages = json_object(&server_metrics, "stages").expect("METRICS v2 lacks \"stages\"");
+
+    // Cross-check: client-observed percentiles vs the gateway's own
+    // histograms. Both measure request start → last byte written, so in
+    // closed-loop mode they must agree; in open-loop mode the client
+    // clock starts at the *scheduled* arrival, which the server cannot
+    // see, so the check is reported but not enforced.
+    let enforce = matches!(mode, Mode::Closed);
+    let mut checks: Vec<(String, String)> = Vec::new();
+    println!();
+    println!("client vs server percentiles (tolerance: 10% or one bucket):");
+    for (label, key, client) in [
+        ("healthy", "get_healthy", &h),
+        ("degraded", "get_degraded", &d),
+    ] {
+        let server_obj =
+            json_object(ops, key).unwrap_or_else(|| panic!("METRICS ops lacks \"{key}\""));
+        let rows = check_class(label, client, server_obj);
+        for a in &rows {
+            println!(
+                "{label:>10} {:>5}: client {} ms, server {} ms ({})",
+                a.quantile,
+                f1(a.client_us as f64 / 1000.0),
+                f1(a.server_us as f64 / 1000.0),
+                if a.ok { "agree" } else { "DISAGREE" },
+            );
+            if enforce && client.count >= AGREEMENT_MIN_SAMPLES {
+                assert!(
+                    a.ok,
+                    "{label} {}: client {}us vs server {}us exceeds tolerance {}us",
+                    a.quantile, a.client_us, a.server_us, a.tolerance_us
+                );
+            }
+        }
+        checks.push((label.to_string(), agreement_json(&rows)));
+    }
+
+    // Stage breakdown straight from the gateway: where a GET's time went.
+    println!();
+    println!("server-side GET stage p50s (ms):");
+    for path in ["healthy_get", "degraded_get"] {
+        let path_obj = json_object(stages, path).expect("stage path");
+        let mut parts = Vec::new();
+        for stage in ["queue", "erasure", "chunk_io", "flush"] {
+            let stage_obj = json_object(path_obj, stage).expect("stage summary");
+            let p50 = json_u64(stage_obj, "p50_us").unwrap_or(0);
+            parts.push(format!("{stage} {}", f1(p50 as f64 / 1000.0)));
+        }
+        println!("{path:>14}: {}", parts.join(", "));
+    }
+
     let json = format!(
         concat!(
             "{{\n",
@@ -353,9 +519,11 @@ fn main() {
             "  \"degraded_share\": {degraded_share},\n",
             "  \"busy_shed\": {busy},\n",
             "  \"client_errors\": {errors},\n",
-            "  \"healthy\": {{\"reads\": {hc}, \"p50_ms\": {hp50}, \"p95_ms\": {hp95}, \"p99_ms\": {hp99}, \"mean_ms\": {hmean}}},\n",
-            "  \"degraded\": {{\"reads\": {dc}, \"p50_ms\": {dp50}, \"p95_ms\": {dp95}, \"p99_ms\": {dp99}, \"mean_ms\": {dmean}}},\n",
-            "  \"overall\": {{\"reads\": {oc}, \"p50_ms\": {op50}, \"p95_ms\": {op95}, \"p99_ms\": {op99}, \"mean_ms\": {omean}}},\n",
+            "  \"healthy\": {healthy},\n",
+            "  \"degraded\": {degraded},\n",
+            "  \"overall\": {overall},\n",
+            "  \"server_agreement\": {{\"enforced\": {enforce}, \"healthy\": {ah}, \"degraded\": {ad}}},\n",
+            "  \"server_stages\": {stages},\n",
             "  \"gateway_metrics\": {gw}\n",
             "}}\n"
         ),
@@ -369,31 +537,27 @@ fn main() {
         objects = objects,
         object_bytes = object_len,
         degraded_pct = degraded_pct,
-        requests = all.len(),
+        requests = requests,
         req_s = f1(req_s),
         mb_s = f1(mb_s),
         degraded_share = f1(degraded_share),
         busy = busy,
         errors = errors,
-        hc = h.count,
-        hp50 = f1(h.p50_ms),
-        hp95 = f1(h.p95_ms),
-        hp99 = f1(h.p99_ms),
-        hmean = f1(h.mean_ms),
-        dc = d.count,
-        dp50 = f1(d.p50_ms),
-        dp95 = f1(d.p95_ms),
-        dp99 = f1(d.p99_ms),
-        dmean = f1(d.mean_ms),
-        oc = o.count,
-        op50 = f1(o.p50_ms),
-        op95 = f1(o.p95_ms),
-        op99 = f1(o.p99_ms),
-        omean = f1(o.mean_ms),
-        gw = snapshot.to_json(),
+        healthy = summary_json_ms(&h),
+        degraded = summary_json_ms(&d),
+        overall = summary_json_ms(&o),
+        enforce = enforce,
+        ah = checks[0].1,
+        ad = checks[1].1,
+        stages = stages,
+        gw = server_metrics.trim_end(),
     );
     fs::write("BENCH_gateway.json", &json).expect("write BENCH_gateway.json");
-    println!("Wrote BENCH_gateway.json ({} samples).", all.len());
+    fs::write("BENCH_gateway.prom", &prometheus).expect("write BENCH_gateway.prom");
+    println!(
+        "Wrote BENCH_gateway.json ({requests} samples) and BENCH_gateway.prom ({} lines).",
+        prometheus.lines().count()
+    );
 
     gateway.shutdown();
 }

@@ -17,6 +17,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use pbrs_obs::{LatencyHistogram, Registry, Summary};
 use pbrs_store::manifest::validate_object_name;
 use pbrs_store::{BackendCounters, ChunkBackend, ChunkStatus, LocalDisk, StoreError};
 
@@ -58,11 +59,55 @@ struct Traffic {
     bytes_out: AtomicU64,
 }
 
+/// One latency histogram per remote op, resolved from the registry once at
+/// bind time so the per-request path never takes the registry lock.
+struct OpHists {
+    ping: Arc<LatencyHistogram>,
+    ensure_object: Arc<LatencyHistogram>,
+    remove_object: Arc<LatencyHistogram>,
+    write_chunk: Arc<LatencyHistogram>,
+    read_chunk: Arc<LatencyHistogram>,
+    read_range: Arc<LatencyHistogram>,
+    verify: Arc<LatencyHistogram>,
+    sweep_tmp: Arc<LatencyHistogram>,
+}
+
+impl OpHists {
+    fn new(registry: &Registry) -> Self {
+        let h = |op: &str| registry.histogram(&format!("op_{op}_duration_seconds"));
+        OpHists {
+            ping: h("ping"),
+            ensure_object: h("ensure_object"),
+            remove_object: h("remove_object"),
+            write_chunk: h("write_chunk"),
+            read_chunk: h("read_chunk"),
+            read_range: h("read_range"),
+            verify: h("verify"),
+            sweep_tmp: h("sweep_tmp"),
+        }
+    }
+
+    fn for_request(&self, request: &Request) -> &LatencyHistogram {
+        match request {
+            Request::Ping => &self.ping,
+            Request::EnsureObject { .. } => &self.ensure_object,
+            Request::RemoveObject { .. } => &self.remove_object,
+            Request::WriteChunk { .. } => &self.write_chunk,
+            Request::ReadChunk { .. } => &self.read_chunk,
+            Request::ReadRange { .. } => &self.read_range,
+            Request::Verify { .. } => &self.verify,
+            Request::SweepTmp { .. } => &self.sweep_tmp,
+        }
+    }
+}
+
 struct Shared {
     disk: LocalDisk,
     shutdown: AtomicBool,
     traffic: Traffic,
     idle_timeout: Duration,
+    registry: Registry,
+    ops: OpHists,
 }
 
 /// A running chunk server; dropping it (or calling
@@ -109,11 +154,15 @@ impl ChunkServer {
         std::fs::create_dir_all(&root)?;
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
+        let registry = Registry::new();
+        let ops = OpHists::new(&registry);
         let shared = Arc::new(Shared {
             disk: LocalDisk::new(root),
             shutdown: AtomicBool::new(false),
             traffic: Traffic::default(),
             idle_timeout: config.idle_timeout.max(POLL_INTERVAL),
+            registry,
+            ops,
         });
         let listener = Arc::new(listener);
         let workers = (0..config.threads.max(1))
@@ -151,6 +200,27 @@ impl ChunkServer {
             bytes_sent: self.shared.traffic.bytes_out.load(Ordering::Relaxed),
             bytes_received: self.shared.traffic.bytes_in.load(Ordering::Relaxed),
         }
+    }
+
+    /// Per-op latency summaries, sorted by op name: one entry per remote op
+    /// (`op_read_chunk_duration_seconds`, …) with counts and percentiles in
+    /// microseconds. Ops never served have `count == 0`.
+    pub fn op_latency(&self) -> Vec<(String, Summary)> {
+        self.shared
+            .registry
+            .snapshot()
+            .into_iter()
+            .filter_map(|(name, snap)| match snap {
+                pbrs_obs::registry::MetricSnapshot::Histogram(h) => Some((name, h.summary())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Prometheus text exposition of this server's metrics, with every
+    /// family prefixed `pbrs_chunkd_`.
+    pub fn metrics_prometheus(&self) -> String {
+        self.shared.registry.to_prometheus("pbrs_chunkd_")
     }
 
     /// Stops accepting, finishes in-flight requests, and joins the workers.
@@ -221,7 +291,13 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) -> io::Result<()> {
             .bytes_in
             .fetch_add(FRAME_OVERHEAD + body.len() as u64, Ordering::Relaxed);
         let response = match Request::decode(&body) {
-            Ok(request) => handle(&shared.disk, request),
+            Ok(request) => {
+                let hist = shared.ops.for_request(&request);
+                let start = Instant::now();
+                let response = handle(&shared.disk, request);
+                hist.record_duration(start.elapsed());
+                response
+            }
             Err(e) => Response::Err {
                 message: format!("bad request: {e}"),
             },

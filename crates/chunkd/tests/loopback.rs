@@ -165,3 +165,52 @@ fn reopen_and_server_death_are_handled() {
     assert_eq!(scrub.lost_disks, vec![0]);
     assert_eq!(store.get("obj").unwrap(), data, "served from survivors");
 }
+
+/// Every remote op served by the chunk server lands in its per-op latency
+/// histogram, and the Prometheus exposition carries the families.
+#[test]
+fn server_times_each_remote_op() {
+    let dir = TempDir::new("chunkd-op-latency");
+    let server = ChunkServer::bind(dir.path().join("srv"), "127.0.0.1:0").unwrap();
+    let disk = RemoteDisk::new(server.local_addr().to_string());
+
+    let payload = pattern(CHUNK_LEN);
+    let id = pbrs_store::ChunkId {
+        stripe: 0,
+        shard: 0,
+    };
+    disk.ensure_object("obj").unwrap();
+    disk.write_chunk("obj", id, &payload).unwrap();
+    let mut out = vec![0u8; CHUNK_LEN];
+    disk.read_chunk_into("obj", id, &mut out).unwrap().unwrap();
+    assert_eq!(out, payload);
+    disk.read_chunk_range("obj", id, CHUNK_LEN, 0, &mut out[..CHUNK_LEN / 2])
+        .unwrap()
+        .unwrap();
+    disk.verify_chunk("obj", id, CHUNK_LEN).unwrap();
+    assert!(disk.is_available());
+
+    let counts: std::collections::BTreeMap<String, u64> = server
+        .op_latency()
+        .into_iter()
+        .map(|(name, s)| (name, s.count))
+        .collect();
+    for op in [
+        "op_ping_duration_seconds",
+        "op_ensure_object_duration_seconds",
+        "op_write_chunk_duration_seconds",
+        "op_read_chunk_duration_seconds",
+        "op_read_range_duration_seconds",
+        "op_verify_duration_seconds",
+    ] {
+        assert!(counts[op] >= 1, "{op} was never recorded: {counts:?}");
+    }
+    // Ops never served stay at zero but are still present.
+    assert_eq!(counts["op_remove_object_duration_seconds"], 0);
+
+    let text = server.metrics_prometheus();
+    assert!(text.contains("# TYPE pbrs_chunkd_op_read_chunk_duration_seconds histogram"));
+    assert!(text.contains("pbrs_chunkd_op_read_chunk_duration_seconds_count 1"));
+    assert!(text.contains("le=\"+Inf\""));
+    server.shutdown();
+}

@@ -274,6 +274,21 @@ impl GatewayClient {
         }
     }
 
+    /// Fetches the gateway's Prometheus text exposition (gateway counters
+    /// and latency histograms plus the store's).
+    ///
+    /// # Errors
+    ///
+    /// Transport and remote errors.
+    pub fn prometheus(&mut self) -> Result<String> {
+        let id = self.fresh_id();
+        self.send_request(id, &Request::Prometheus)?;
+        match self.expect_for(id)? {
+            Response::Prometheus { text } => Ok(text),
+            other => Err(unexpected(other)),
+        }
+    }
+
     /// Receives the response for `id`, folding the shared status frames
     /// into typed errors.
     fn expect_for(&mut self, id: u64) -> Result<Response> {

@@ -39,6 +39,6 @@ pub mod protocol;
 pub mod server;
 
 pub use client::{GatewayClient, GatewayError, GetObject};
-pub use metrics::GatewayMetrics;
+pub use metrics::{GatewayLatencySnapshot, GatewayMetrics, OpClass};
 pub use protocol::{Request, Response, FRAME_OVERHEAD, MAX_FRAME};
 pub use server::{Gateway, GatewayConfig};

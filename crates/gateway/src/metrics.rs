@@ -1,17 +1,53 @@
-//! Gateway-side traffic and admission counters.
+//! Gateway-side traffic and admission counters, plus per-op latency
+//! histograms and per-stage timing of GETs.
 //!
-//! Everything is a relaxed `AtomicU64` bumped from the reactor thread (and
-//! read from anywhere): the counters are monotonic totals, not a
-//! consistent snapshot, exactly like the store's [`pbrs_store::metrics`].
-//! The `METRICS` RPC serialises a snapshot as JSON (schema documented in
-//! `OPERATIONS.md`), so a load harness can separate served stripes from
-//! shed requests without scraping logs.
+//! The counters are relaxed `AtomicU64`s bumped from the reactor thread
+//! (and read from anywhere): monotonic totals, not a consistent snapshot,
+//! exactly like the store's [`pbrs_store::metrics`]. Latency lives in
+//! lock-free [`LatencyHistogram`]s (microsecond samples): one histogram
+//! per op class ([`OpClass`]) — with GETs split healthy vs degraded — and
+//! one [`StageSet`] per GET path breaking each request into
+//! queue/erasure/chunk-io/flush time. The `METRICS` RPC serialises all of
+//! it as versioned JSON (`schema_version: 2`, documented in
+//! `OPERATIONS.md`), and the `PROMETHEUS` RPC renders the text
+//! exposition, so a load harness can cross-check its client-observed
+//! percentiles against the server's without scraping logs.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+
+use pbrs_obs::hist::HistogramSnapshot;
+use pbrs_obs::{prom, LatencyHistogram, StageSet, StageSnapshot};
+
+/// The op classes the gateway tracks latency for. GETs are split by
+/// whether any stripe of the response was served degraded — the paper's
+/// healthy-vs-degraded read-latency comparison, measured at the gateway.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpClass {
+    /// A committed PUT (PUT_START → Created).
+    Put,
+    /// A GET whose every stripe was read healthy.
+    GetHealthy,
+    /// A GET that rebuilt at least one stripe from survivors.
+    GetDegraded,
+    /// A committed DELETE.
+    Delete,
+}
 
 /// Live counters of one gateway; see the [module docs](self).
 #[derive(Debug, Default)]
 pub struct GatewayMetrics {
+    /// End-to-end PUT latency (admission to last response byte written).
+    pub put_latency: LatencyHistogram,
+    /// End-to-end latency of fully-healthy GETs.
+    pub get_healthy_latency: LatencyHistogram,
+    /// End-to-end latency of GETs with ≥ 1 degraded stripe.
+    pub get_degraded_latency: LatencyHistogram,
+    /// End-to-end DELETE latency.
+    pub delete_latency: LatencyHistogram,
+    /// Stage breakdown (queue/erasure/chunk-io/flush) of healthy GETs.
+    pub healthy_get_stages: StageSet,
+    /// Stage breakdown of degraded GETs.
+    pub degraded_get_stages: StageSet,
     /// Connections accepted and registered.
     pub connections_accepted: AtomicU64,
     /// Connections refused because `max_connections` was reached
@@ -78,6 +114,28 @@ impl GatewayMetrics {
         counter.fetch_sub(n, Ordering::Relaxed);
     }
 
+    /// The latency histogram of one op class.
+    pub fn op_latency(&self, class: OpClass) -> &LatencyHistogram {
+        match class {
+            OpClass::Put => &self.put_latency,
+            OpClass::GetHealthy => &self.get_healthy_latency,
+            OpClass::GetDegraded => &self.get_degraded_latency,
+            OpClass::Delete => &self.delete_latency,
+        }
+    }
+
+    /// Snapshot of every latency histogram and stage set.
+    pub fn latency(&self) -> GatewayLatencySnapshot {
+        GatewayLatencySnapshot {
+            put: self.put_latency.snapshot(),
+            get_healthy: self.get_healthy_latency.snapshot(),
+            get_degraded: self.get_degraded_latency.snapshot(),
+            delete: self.delete_latency.snapshot(),
+            healthy_get_stages: self.healthy_get_stages.snapshot(),
+            degraded_get_stages: self.degraded_get_stages.snapshot(),
+        }
+    }
+
     /// Copies every counter.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
@@ -98,8 +156,123 @@ impl GatewayMetrics {
     }
 }
 
+/// Point-in-time copy of the gateway's latency histograms and stage sets.
+#[derive(Clone, Debug)]
+pub struct GatewayLatencySnapshot {
+    /// See [`GatewayMetrics::put_latency`].
+    pub put: HistogramSnapshot,
+    /// See [`GatewayMetrics::get_healthy_latency`].
+    pub get_healthy: HistogramSnapshot,
+    /// See [`GatewayMetrics::get_degraded_latency`].
+    pub get_degraded: HistogramSnapshot,
+    /// See [`GatewayMetrics::delete_latency`].
+    pub delete: HistogramSnapshot,
+    /// See [`GatewayMetrics::healthy_get_stages`].
+    pub healthy_get_stages: StageSnapshot,
+    /// See [`GatewayMetrics::degraded_get_stages`].
+    pub degraded_get_stages: StageSnapshot,
+}
+
+impl GatewayLatencySnapshot {
+    /// The `"ops"` object of the v2 metrics JSON: one [`pbrs_obs::Summary`]
+    /// per op class.
+    pub fn ops_json(&self) -> String {
+        format!(
+            "{{\"put\":{},\"get_healthy\":{},\"get_degraded\":{},\"delete\":{}}}",
+            self.put.summary().to_json(),
+            self.get_healthy.summary().to_json(),
+            self.get_degraded.summary().to_json(),
+            self.delete.summary().to_json(),
+        )
+    }
+
+    /// The `"stages"` object of the v2 metrics JSON: per-stage summaries
+    /// for the healthy and degraded GET paths.
+    pub fn stages_json(&self) -> String {
+        format!(
+            "{{\"healthy_get\":{},\"degraded_get\":{}}}",
+            self.healthy_get_stages.to_json(),
+            self.degraded_get_stages.to_json(),
+        )
+    }
+
+    /// Appends the gateway's latency families to a Prometheus exposition.
+    pub fn write_prometheus(&self, out: &mut String) {
+        let dur = "pbrs_gateway_op_duration_seconds";
+        prom::type_line(out, dur, "histogram");
+        for (class, snap) in [
+            ("put", &self.put),
+            ("get_healthy", &self.get_healthy),
+            ("get_degraded", &self.get_degraded),
+            ("delete", &self.delete),
+        ] {
+            prom::histogram_samples(out, dur, &[("op", class)], snap);
+        }
+        let stage_dur = "pbrs_gateway_get_stage_duration_seconds";
+        prom::type_line(out, stage_dur, "histogram");
+        for (path, stages) in [
+            ("healthy", &self.healthy_get_stages),
+            ("degraded", &self.degraded_get_stages),
+        ] {
+            for (stage, _) in stages.summaries() {
+                prom::histogram_samples(
+                    out,
+                    stage_dur,
+                    &[("path", path), ("stage", stage.as_str())],
+                    stages.stage(stage),
+                );
+            }
+        }
+    }
+}
+
 impl MetricsSnapshot {
-    /// The `METRICS` RPC payload: one flat JSON object.
+    /// Appends the gateway's counters to a Prometheus exposition.
+    pub fn write_prometheus(&self, out: &mut String) {
+        let fields: [(&str, u64); 12] = [
+            ("connections_accepted", self.connections_accepted),
+            ("connections_refused", self.connections_refused),
+            ("open_connections", self.open_connections),
+            ("requests_admitted", self.requests_admitted),
+            ("requests_shed", self.requests_shed),
+            ("bytes_in", self.bytes_in),
+            ("bytes_out", self.bytes_out),
+            ("stripes_served", self.stripes_served),
+            ("degraded_stripes_served", self.degraded_stripes_served),
+            ("objects_put", self.objects_put),
+            ("objects_deleted", self.objects_deleted),
+            ("request_errors", self.request_errors),
+        ];
+        for (name, value) in fields {
+            // `open_connections` is a level, not a monotonic total.
+            let (full, kind) = if name == "open_connections" {
+                (format!("pbrs_gateway_{name}"), "gauge")
+            } else {
+                (format!("pbrs_gateway_{name}_total"), "counter")
+            };
+            prom::type_line(out, &full, kind);
+            prom::sample(out, &full, &[], value as f64);
+        }
+    }
+
+    /// The `METRICS` RPC payload: the v1 flat counters plus
+    /// `schema_version`, per-op latency summaries (`"ops"`), per-stage GET
+    /// breakdowns (`"stages"`), and the store's latency section
+    /// (`"store"`, pre-rendered by the caller).
+    pub fn to_json_v2(&self, latency: &GatewayLatencySnapshot, store_json: &str) -> String {
+        let flat = self.to_json();
+        let flat_inner = &flat[1..flat.len() - 1]; // strip the braces
+        format!(
+            "{{\"schema_version\":2,{},\"ops\":{},\"stages\":{},\"store\":{}}}",
+            flat_inner,
+            latency.ops_json(),
+            latency.stages_json(),
+            store_json,
+        )
+    }
+
+    /// The flat v1 counters object (kept for compatibility; the `METRICS`
+    /// RPC now sends [`MetricsSnapshot::to_json_v2`]).
     pub fn to_json(&self) -> String {
         format!(
             concat!(

@@ -64,6 +64,7 @@ const OP_GET: u8 = 0x04;
 const OP_DELETE: u8 = 0x05;
 const OP_STAT: u8 = 0x06;
 const OP_METRICS: u8 = 0x07;
+const OP_PROMETHEUS: u8 = 0x08;
 
 // Response status bytes.
 const ST_CREATED: u8 = 0x81;
@@ -77,6 +78,7 @@ const ST_NOT_FOUND: u8 = 0x90;
 const ST_DELETED: u8 = 0x91;
 const ST_BUSY: u8 = 0x92;
 const ST_ERR: u8 = 0x93;
+const ST_PROMETHEUS: u8 = 0x94;
 
 /// One client→gateway message (the body of one request frame).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -110,6 +112,8 @@ pub enum Request {
     },
     /// The gateway's live counters.
     Metrics,
+    /// Prometheus text exposition of gateway + store metrics.
+    Prometheus,
 }
 
 impl Request {
@@ -128,6 +132,7 @@ impl Request {
             Request::Delete { name } => encode_named(OP_DELETE, name),
             Request::Stat { name } => encode_named(OP_STAT, name),
             Request::Metrics => vec![OP_METRICS],
+            Request::Prometheus => vec![OP_PROMETHEUS],
         }
     }
 
@@ -163,6 +168,10 @@ impl Request {
             OP_METRICS => {
                 expect_empty(rest)?;
                 Ok(Request::Metrics)
+            }
+            OP_PROMETHEUS => {
+                expect_empty(rest)?;
+                Ok(Request::Prometheus)
             }
             other => Err(invalid(format!("unknown request opcode {other:#04x}"))),
         }
@@ -209,6 +218,11 @@ pub enum Response {
         /// UTF-8 JSON text.
         json: String,
     },
+    /// `PROMETHEUS` result: text exposition format 0.0.4.
+    Prometheus {
+        /// UTF-8 exposition text.
+        text: String,
+    },
     /// A `DELETE` landed; the tombstone is durable.
     DeletedOk {
         /// Payload bytes the deleted object held.
@@ -252,6 +266,11 @@ impl Response {
                 body.extend_from_slice(json.as_bytes());
                 body
             }
+            Response::Prometheus { text } => {
+                let mut body = vec![ST_PROMETHEUS];
+                body.extend_from_slice(text.as_bytes());
+                body
+            }
             Response::DeletedOk { len } => {
                 let mut body = vec![ST_DELETED_OK];
                 body.extend_from_slice(&len.to_le_bytes());
@@ -293,6 +312,10 @@ impl Response {
             ST_METRICS => Ok(Response::Metrics {
                 json: String::from_utf8(rest.to_vec())
                     .map_err(|_| invalid("metrics payload is not UTF-8"))?,
+            }),
+            ST_PROMETHEUS => Ok(Response::Prometheus {
+                text: String::from_utf8(rest.to_vec())
+                    .map_err(|_| invalid("prometheus payload is not UTF-8"))?,
             }),
             ST_DELETED_OK => Ok(Response::DeletedOk {
                 len: decode_u64(rest)?,
@@ -476,6 +499,7 @@ mod tests {
             Request::Delete { name: "y".into() },
             Request::Stat { name: "z".into() },
             Request::Metrics,
+            Request::Prometheus,
         ];
         for case in cases {
             assert_eq!(Request::decode(&case.encode()).unwrap(), case, "{case:?}");
@@ -505,6 +529,9 @@ mod tests {
             },
             Response::Metrics {
                 json: "{\"a\":1}".into(),
+            },
+            Response::Prometheus {
+                text: "# TYPE x counter\nx 1\n".into(),
             },
             Response::DeletedOk { len: 10 },
             Response::NotFound,

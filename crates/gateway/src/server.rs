@@ -47,10 +47,12 @@ use std::os::unix::net::UnixStream;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::{self, JoinHandle};
+use std::time::Instant;
 
+use pbrs_obs::{Stage, StageTimes};
 use pbrs_store::{BlockStore, ObjectReader, ObjectWriter, StoreError};
 
-use crate::metrics::GatewayMetrics;
+use crate::metrics::{GatewayMetrics, OpClass};
 use crate::poll::{poll_fds, PollFd, POLLERR, POLLIN, POLLNVAL, POLLOUT};
 use crate::protocol::{frame_header, FrameDecoder, Request, Response, FRAME_OVERHEAD};
 
@@ -247,6 +249,9 @@ enum Job {
         reader: ObjectReader,
         stripe: u64,
         buf: Vec<u8>,
+        /// When the reactor enqueued the job; the worker turns the gap
+        /// into [`Stage::Queue`] time.
+        queued: Instant,
     },
     Delete {
         conn: u64,
@@ -277,6 +282,8 @@ enum Done {
         req: u64,
         reader: ObjectReader,
         result: Result<(Vec<u8>, bool), Response>,
+        /// Queue wait + the store's erasure/chunk-io split for this stripe.
+        times: StageTimes,
     },
     Deleted {
         conn: u64,
@@ -351,7 +358,10 @@ fn worker_loop(
                 mut reader,
                 stripe,
                 mut buf,
+                queued,
             } => {
+                let mut times = StageTimes::new();
+                times.add_duration(Stage::Queue, queued.elapsed());
                 let result = match reader.read_stripe(stripe, &mut buf) {
                     Ok((payload, degraded)) => {
                         buf.truncate(payload);
@@ -359,11 +369,14 @@ fn worker_loop(
                     }
                     Err(e) => Err(store_error_response(&e)),
                 };
+                // The store attributed this stripe's chunk-io/erasure time.
+                times.merge(&reader.last_stage_times());
                 Some(Done::StripeRead {
                     conn,
                     req,
                     reader,
                     result,
+                    times,
                 })
             }
             Job::Delete { conn, req, name } => {
@@ -389,11 +402,33 @@ fn worker_loop(
 // Reactor
 // ---------------------------------------------------------------------------
 
+/// Completion record attached to an op's *final* response frame: when the
+/// frame's last byte reaches the socket, the reactor records the op's
+/// end-to-end latency (and, for GETs, its stage breakdown) into
+/// [`GatewayMetrics`]. Measuring at last-byte-written makes the server's
+/// histograms directly comparable to a client's request-to-last-byte
+/// observations.
+struct FinRecord {
+    class: OpClass,
+    started: Instant,
+    /// Queue/erasure/chunk-io accumulated so far; `Some` only for GETs.
+    /// Flush time is added from the connection's accumulator at
+    /// completion.
+    stages: Option<StageTimes>,
+}
+
 /// One frame queued for writing; `off` progresses across header + body.
 struct OutFrame {
     header: [u8; FRAME_OVERHEAD],
     body: Vec<u8>,
     off: usize,
+    /// Request id, for attributing socket-write time to a GET's
+    /// [`Stage::Flush`].
+    req: u64,
+    /// Write time on this frame counts toward `req`'s flush accumulator.
+    track_flush: bool,
+    /// Present on an op's final frame; see [`FinRecord`].
+    fin: Option<FinRecord>,
 }
 
 struct Conn {
@@ -401,14 +436,20 @@ struct Conn {
     decoder: FrameDecoder,
     out: VecDeque<OutFrame>,
     requests: HashMap<u64, ReqState>,
+    /// Microseconds spent writing each tracked request's frames to the
+    /// socket, folded into [`Stage::Flush`] when the final frame lands.
+    flush_us: HashMap<u64, u64>,
     dead: bool,
 }
 
 enum ReqState {
     Put(PutState),
     Get(GetState),
-    /// DELETE is a single job; the state only marks the id as in flight.
-    Delete,
+    /// DELETE is a single job; the state marks the id as in flight and
+    /// remembers when it was admitted.
+    Delete {
+        started: Instant,
+    },
 }
 
 struct PutState {
@@ -423,6 +464,8 @@ struct PutState {
     /// First failure; the (single) response is deferred to `PUT_END` so
     /// the exchange stays one-response-per-request.
     failed: Option<Response>,
+    /// When the PUT was admitted.
+    started: Instant,
 }
 
 struct GetState {
@@ -431,6 +474,10 @@ struct GetState {
     next_stripe: u64,
     stripes: u64,
     degraded: u64,
+    /// When the GET was admitted.
+    started: Instant,
+    /// Accumulated queue/erasure/chunk-io time across the stream.
+    stages: StageTimes,
 }
 
 struct Reactor {
@@ -534,6 +581,7 @@ impl Reactor {
                             decoder: FrameDecoder::new(),
                             out: VecDeque::new(),
                             requests: HashMap::new(),
+                            flush_us: HashMap::new(),
                             dead: false,
                         },
                     );
@@ -616,8 +664,23 @@ impl Reactor {
                     return;
                 }
                 GatewayMetrics::add(&self.metrics.requests_admitted, 1);
-                let json = self.metrics.snapshot().to_json();
+                let json = self
+                    .metrics
+                    .snapshot()
+                    .to_json_v2(&self.metrics.latency(), &self.store.latency().to_json());
                 self.push_response(conn_id, req_id, &Response::Metrics { json });
+            }
+            Request::Prometheus => {
+                if self.duplicate_id(conn_id, req_id) {
+                    return;
+                }
+                GatewayMetrics::add(&self.metrics.requests_admitted, 1);
+                let mut text = String::new();
+                self.metrics.snapshot().write_prometheus(&mut text);
+                self.metrics.latency().write_prometheus(&mut text);
+                self.store.metrics().write_prometheus(&mut text);
+                self.store.latency().write_prometheus(&mut text);
+                self.push_response(conn_id, req_id, &Response::Prometheus { text });
             }
             Request::Stat { name } => {
                 if self.duplicate_id(conn_id, req_id) {
@@ -655,6 +718,7 @@ impl Reactor {
                         queue: VecDeque::new(),
                         ended: false,
                         failed: None,
+                        started: Instant::now(),
                     }),
                 );
                 self.inflight += 1;
@@ -693,6 +757,7 @@ impl Reactor {
                     return;
                 }
                 // Opening a reader is manifest-only (no disk I/O): inline.
+                let started = Instant::now();
                 match self.store.reader(&name) {
                     Ok(reader) => {
                         GatewayMetrics::add(&self.metrics.requests_admitted, 1);
@@ -707,16 +772,19 @@ impl Reactor {
                                 next_stripe: 0,
                                 stripes: info.stripes,
                                 degraded: 0,
+                                started,
+                                stages: StageTimes::new(),
                             }),
                         );
                         self.inflight += 1;
-                        self.push_response(
+                        self.push_tracked(
                             conn_id,
                             req_id,
                             &Response::ObjectHeader {
                                 len: info.len,
                                 stripes: info.stripes,
                             },
+                            None,
                         );
                         self.pump_get(conn_id, req_id);
                     }
@@ -738,7 +806,12 @@ impl Reactor {
                 let Some(conn) = self.conns.get_mut(&conn_id) else {
                     return;
                 };
-                conn.requests.insert(req_id, ReqState::Delete);
+                conn.requests.insert(
+                    req_id,
+                    ReqState::Delete {
+                        started: Instant::now(),
+                    },
+                );
                 self.inflight += 1;
                 let _ = self.job_tx.send(Job::Delete {
                     conn: conn_id,
@@ -841,9 +914,23 @@ impl Reactor {
         }
         if g.next_stripe == g.stripes {
             let degraded_stripes = g.degraded;
+            let fin = FinRecord {
+                class: if degraded_stripes > 0 {
+                    OpClass::GetDegraded
+                } else {
+                    OpClass::GetHealthy
+                },
+                started: g.started,
+                stages: Some(g.stages),
+            };
             conn.requests.remove(&req_id);
             self.inflight -= 1;
-            self.push_response(conn_id, req_id, &Response::ObjectEnd { degraded_stripes });
+            self.push_tracked(
+                conn_id,
+                req_id,
+                &Response::ObjectEnd { degraded_stripes },
+                Some(fin),
+            );
             return;
         }
         if conn.out.len() >= self.config.in_flight_stripes {
@@ -858,6 +945,7 @@ impl Reactor {
             reader,
             stripe,
             buf,
+            queued: Instant::now(),
         });
     }
 
@@ -921,22 +1009,32 @@ impl Reactor {
                     self.inflight -= 1;
                     return;
                 }
+                let mut started = None;
                 if let Some(c) = self.conns.get_mut(&conn) {
-                    c.requests.remove(&req);
+                    if let Some(ReqState::Put(p)) = c.requests.remove(&req) {
+                        started = Some(p.started);
+                    }
                 }
                 self.inflight -= 1;
-                if matches!(result, Response::Created { .. }) {
+                let fin = if matches!(result, Response::Created { .. }) {
                     GatewayMetrics::add(&self.metrics.objects_put, 1);
+                    started.map(|started| FinRecord {
+                        class: OpClass::Put,
+                        started,
+                        stages: None,
+                    })
                 } else {
                     GatewayMetrics::add(&self.metrics.request_errors, 1);
-                }
-                self.push_response(conn, req, &result);
+                    None
+                };
+                self.push_tracked(conn, req, &result, fin);
             }
             Done::StripeRead {
                 conn,
                 req,
                 reader,
                 result,
+                times,
             } => {
                 if !self.conns.contains_key(&conn) {
                     drop(reader);
@@ -960,7 +1058,8 @@ impl Reactor {
                         if degraded {
                             g.degraded += 1;
                         }
-                        self.push_response(conn, req, &Response::Data { data });
+                        g.stages.merge(&times);
+                        self.push_tracked(conn, req, &Response::Data { data }, None);
                         self.pump_get(conn, req);
                     }
                     Err(resp) => {
@@ -968,6 +1067,7 @@ impl Reactor {
                         // the stream with an error frame.
                         if let Some(c) = self.conns.get_mut(&conn) {
                             c.requests.remove(&req);
+                            c.flush_us.remove(&req);
                         }
                         self.inflight -= 1;
                         GatewayMetrics::add(&self.metrics.request_errors, 1);
@@ -980,21 +1080,48 @@ impl Reactor {
                     self.inflight -= 1;
                     return;
                 }
+                let mut started = None;
                 if let Some(c) = self.conns.get_mut(&conn) {
-                    c.requests.remove(&req);
+                    if let Some(ReqState::Delete { started: s }) = c.requests.remove(&req) {
+                        started = Some(s);
+                    }
                 }
                 self.inflight -= 1;
-                if matches!(result, Response::DeletedOk { .. }) {
+                let fin = if matches!(result, Response::DeletedOk { .. }) {
                     GatewayMetrics::add(&self.metrics.objects_deleted, 1);
+                    started.map(|started| FinRecord {
+                        class: OpClass::Delete,
+                        started,
+                        stages: None,
+                    })
                 } else {
                     GatewayMetrics::add(&self.metrics.request_errors, 1);
-                }
-                self.push_response(conn, req, &result);
+                    None
+                };
+                self.push_tracked(conn, req, &result, fin);
             }
         }
     }
 
     fn push_response(&mut self, conn_id: u64, req_id: u64, resp: &Response) {
+        self.enqueue_frame(conn_id, req_id, resp, false, None);
+    }
+
+    /// Queues a frame whose socket-write time counts toward the request's
+    /// [`Stage::Flush`] accumulator, optionally carrying the op's
+    /// completion record (see [`FinRecord`]).
+    fn push_tracked(&mut self, conn_id: u64, req_id: u64, resp: &Response, fin: Option<FinRecord>) {
+        self.enqueue_frame(conn_id, req_id, resp, true, fin);
+    }
+
+    fn enqueue_frame(
+        &mut self,
+        conn_id: u64,
+        req_id: u64,
+        resp: &Response,
+        track_flush: bool,
+        fin: Option<FinRecord>,
+    ) {
         let Some(conn) = self.conns.get_mut(&conn_id) else {
             return;
         };
@@ -1003,6 +1130,9 @@ impl Reactor {
             header: frame_header(req_id, body.len()),
             body,
             off: 0,
+            req: req_id,
+            track_flush,
+            fin,
         });
     }
 
@@ -1085,7 +1215,7 @@ impl Reactor {
                         // else: the orphaned StripeRead completion
                         // decrements inflight and drops the reader.
                     }
-                    ReqState::Delete => {
+                    ReqState::Delete { .. } => {
                         // The orphaned Deleted completion decrements.
                     }
                 }
@@ -1095,10 +1225,14 @@ impl Reactor {
 }
 
 /// Writes the front of `conn.out` as far as the socket allows, vectoring
-/// header+body into one syscall while the header is unsent.
+/// header+body into one syscall while the header is unsent. Tracked
+/// frames accumulate their write time into the request's flush budget;
+/// when a frame carrying a [`FinRecord`] finishes, the op's latency (and
+/// GET stage breakdown) is recorded — i.e. at last-byte-written.
 fn flush_conn(conn: &mut Conn, metrics: &GatewayMetrics) {
     while let Some(front) = conn.out.front_mut() {
         let header_len = front.header.len();
+        let write_start = front.track_flush.then(Instant::now);
         let attempt = if front.off < header_len {
             let slices = [
                 IoSlice::new(&front.header[front.off..]),
@@ -1108,6 +1242,9 @@ fn flush_conn(conn: &mut Conn, metrics: &GatewayMetrics) {
         } else {
             conn.stream.write(&front.body[front.off - header_len..])
         };
+        if let Some(t0) = write_start {
+            *conn.flush_us.entry(front.req).or_insert(0) += t0.elapsed().as_micros() as u64;
+        }
         match attempt {
             Ok(0) => {
                 conn.dead = true;
@@ -1117,7 +1254,21 @@ fn flush_conn(conn: &mut Conn, metrics: &GatewayMetrics) {
                 GatewayMetrics::add(&metrics.bytes_out, n as u64);
                 front.off += n;
                 if front.off == header_len + front.body.len() {
-                    conn.out.pop_front();
+                    let done = conn.out.pop_front().expect("front exists");
+                    if let Some(fin) = done.fin {
+                        let flush = conn.flush_us.remove(&done.req).unwrap_or(0);
+                        metrics
+                            .op_latency(fin.class)
+                            .record_duration(fin.started.elapsed());
+                        if let Some(mut stages) = fin.stages {
+                            stages.add(Stage::Flush, flush);
+                            let set = match fin.class {
+                                OpClass::GetDegraded => &metrics.degraded_get_stages,
+                                _ => &metrics.healthy_get_stages,
+                            };
+                            set.record_times(&stages);
+                        }
+                    }
                 }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,

@@ -1,0 +1,447 @@
+//! Lock-free log-linear latency histograms.
+//!
+//! The layout is the HdrHistogram family's: values are bucketed into
+//! octaves (powers of two), each octave split into [`SUB_COUNT`] linear
+//! sub-buckets, so the relative bucket width never exceeds
+//! `1 / SUB_COUNT` = 6.25%. That bound is what makes cross-checking
+//! client-observed against server-recorded percentiles meaningful: two
+//! histograms fed the same samples agree to within one bucket, and one
+//! bucket is at most 6.25% of the value.
+//!
+//! Recording is a handful of relaxed atomic adds — no locks, no
+//! allocation — so a [`LatencyHistogram`] can sit on the hot path of a
+//! reactor or a chunk server. Reads go through [`LatencyHistogram::snapshot`],
+//! which copies the buckets into a plain [`HistogramSnapshot`] that can be
+//! merged, quantiled, and serialised off the hot path.
+//!
+//! Values are plain `u64`s; every recorder in this workspace uses
+//! **microseconds**, and the Prometheus renderer in [`crate::prom`]
+//! converts to seconds at the exposition boundary.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-bucket resolution: each octave is split into `2^SUB_BITS` linear
+/// buckets.
+pub const SUB_BITS: u32 = 4;
+
+/// Number of linear sub-buckets per octave (16): relative error ≤ 6.25%.
+pub const SUB_COUNT: u64 = 1 << SUB_BITS;
+
+/// Number of octaves above the linear range needed to cover all of `u64`.
+const OCTAVES: usize = 64 - SUB_BITS as usize;
+
+/// Total bucket count of the fixed layout (976 for `SUB_BITS = 4`).
+pub const BUCKET_COUNT: usize = (OCTAVES + 1) * SUB_COUNT as usize;
+
+/// Map a value to its bucket index.
+///
+/// Values below [`SUB_COUNT`] get exact unit buckets; above that, the
+/// index is `(octave + 1) * SUB_COUNT + sub` where `octave` is the
+/// position of the value's most significant bit minus [`SUB_BITS`] and
+/// `sub` the next [`SUB_BITS`] bits below it.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    if value < SUB_COUNT {
+        value as usize
+    } else {
+        let msb = 63 - value.leading_zeros();
+        let octave = msb - SUB_BITS;
+        (((octave + 1) << SUB_BITS) + ((value >> octave) as u32 & (SUB_COUNT as u32 - 1))) as usize
+    }
+}
+
+/// Inclusive `[lo, hi]` value range of a bucket.
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    assert!(index < BUCKET_COUNT, "bucket index {index} out of range");
+    if index < SUB_COUNT as usize {
+        (index as u64, index as u64)
+    } else {
+        let octave = (index >> SUB_BITS) as u32 - 1;
+        let sub = (index as u64) & (SUB_COUNT - 1);
+        let lo = (SUB_COUNT + sub) << octave;
+        let hi = lo + ((1u64 << octave) - 1);
+        (lo, hi)
+    }
+}
+
+/// A lock-free histogram with the fixed log-linear bucket layout.
+///
+/// All mutation is relaxed atomics; `record` never blocks and never
+/// allocates. Clone-free sharing is by `&` or `Arc`.
+pub struct LatencyHistogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        let buckets: Vec<AtomicU64> = (0..BUCKET_COUNT).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            buckets: buckets.into_boxed_slice(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one value (microseconds, by convention).
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Record a [`std::time::Duration`] as whole microseconds.
+    #[inline]
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(d.as_micros() as u64);
+    }
+
+    /// Total number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Copy the current state into an immutable, mergeable snapshot.
+    ///
+    /// Concurrent recorders may land between the bucket reads and the
+    /// aggregate reads; the snapshot normalises `count` to the bucket
+    /// total so quantile walks are always internally consistent.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count = counts.iter().sum();
+        HistogramSnapshot {
+            counts,
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatencyHistogram")
+            .field("count", &self.count())
+            .finish_non_exhaustive()
+    }
+}
+
+/// An immutable copy of a histogram's buckets: quantiles, mean, merge.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl HistogramSnapshot {
+    /// A snapshot with no recorded values.
+    pub fn empty() -> Self {
+        Self {
+            counts: vec![0; BUCKET_COUNT],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded values (exact, not reconstructed from buckets).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded value (exact).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean of the recorded values, from the exact sum.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Value at quantile `q` in `[0, 1]`, linearly interpolated within the
+    /// bucket that holds the target rank. Returns 0 for an empty snapshot.
+    ///
+    /// The result is always inside the target rank's bucket, so it is
+    /// within one bucket width (≤ 6.25% relative) of the exact
+    /// order-statistic.
+    pub fn value_at_quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            cum += c;
+            if cum >= target {
+                let (lo, hi) = bucket_bounds(i);
+                let into = target - (cum - c); // 1..=c within this bucket
+                let width = hi - lo;
+                let off = (width as f64 * (into as f64 / c as f64)).round() as u64;
+                let est = lo + off.min(width); // stays in [lo, hi], no overflow
+                                               // The exact max is tracked; never report past it.
+                return est.min(self.max.max(lo));
+            }
+        }
+        self.max
+    }
+
+    /// Median.
+    pub fn p50(&self) -> u64 {
+        self.value_at_quantile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> u64 {
+        self.value_at_quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.value_at_quantile(0.99)
+    }
+
+    /// 99.9th percentile.
+    pub fn p999(&self) -> u64 {
+        self.value_at_quantile(0.999)
+    }
+
+    /// Merge another snapshot into this one (bucket-wise addition).
+    ///
+    /// `sum` wraps on overflow, matching the relaxed `fetch_add` a live
+    /// histogram would have done recording the same values.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Iterate `(bucket_index, count)` over non-empty buckets.
+    pub fn nonempty_buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+    }
+
+    /// The fixed five-number summary used by the JSON expositions.
+    pub fn summary(&self) -> Summary {
+        Summary {
+            count: self.count,
+            p50_us: self.p50(),
+            p95_us: self.p95(),
+            p99_us: self.p99(),
+            p999_us: self.p999(),
+            mean_us: self.mean(),
+            max_us: self.max,
+        }
+    }
+}
+
+/// Percentile summary of one histogram, in microseconds.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Summary {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Median, microseconds.
+    pub p50_us: u64,
+    /// 95th percentile, microseconds.
+    pub p95_us: u64,
+    /// 99th percentile, microseconds.
+    pub p99_us: u64,
+    /// 99.9th percentile, microseconds.
+    pub p999_us: u64,
+    /// Mean from the exact sum, microseconds.
+    pub mean_us: f64,
+    /// Exact maximum, microseconds.
+    pub max_us: u64,
+}
+
+impl Summary {
+    /// Render as a flat JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"count\":{},\"p50_us\":{},\"p95_us\":{},\"p99_us\":{},",
+                "\"p999_us\":{},\"mean_us\":{:.1},\"max_us\":{}}}"
+            ),
+            self.count,
+            self.p50_us,
+            self.p95_us,
+            self.p99_us,
+            self.p999_us,
+            self.mean_us,
+            self.max_us
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_buckets_below_sub_count() {
+        for v in 0..SUB_COUNT {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_bounds(v as usize), (v, v));
+        }
+    }
+
+    #[test]
+    fn bounds_partition_the_u64_line() {
+        // Consecutive buckets tile [0, u64::MAX] with no gap or overlap.
+        let mut expect_lo = 0u64;
+        for i in 0..BUCKET_COUNT {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(lo, expect_lo, "bucket {i} lower bound");
+            assert!(hi >= lo);
+            if i + 1 < BUCKET_COUNT {
+                expect_lo = hi + 1;
+            } else {
+                assert_eq!(hi, u64::MAX);
+            }
+        }
+    }
+
+    #[test]
+    fn index_consistent_with_bounds() {
+        for i in 0..BUCKET_COUNT {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(bucket_index(lo), i, "lo of bucket {i}");
+            assert_eq!(bucket_index(hi), i, "hi of bucket {i}");
+        }
+    }
+
+    #[test]
+    fn relative_width_bounded() {
+        for i in SUB_COUNT as usize..BUCKET_COUNT {
+            let (lo, hi) = bucket_bounds(i);
+            let width = hi - lo;
+            assert!(
+                (width as f64) / (lo as f64) <= 1.0 / SUB_COUNT as f64 + 1e-12,
+                "bucket {i}: width {width} lo {lo}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_is_zeroes() {
+        let h = LatencyHistogram::new();
+        let s = h.snapshot();
+        assert!(s.is_empty());
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.p999(), 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn single_value_round_trips_within_bucket() {
+        let h = LatencyHistogram::new();
+        h.record(12_345);
+        let s = h.snapshot();
+        let (lo, hi) = bucket_bounds(bucket_index(12_345));
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            let v = s.value_at_quantile(q);
+            assert!(v >= lo && v <= hi, "q={q} v={v} not in [{lo},{hi}]");
+        }
+        assert_eq!(s.max(), 12_345);
+        assert_eq!(s.sum(), 12_345);
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        let both = LatencyHistogram::new();
+        for v in [1u64, 17, 300, 4096, 4100, 1_000_000] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [2u64, 17, 900_000, 5] {
+            b.record(v);
+            both.record(v);
+        }
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m, both.snapshot());
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        use std::sync::Arc;
+        let h = Arc::new(LatencyHistogram::new());
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 1000 + i % 997);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.count(), 80_000);
+        assert_eq!(h.snapshot().count(), 80_000);
+    }
+
+    #[test]
+    fn summary_json_shape() {
+        let h = LatencyHistogram::new();
+        h.record(100);
+        h.record(200);
+        let j = h.snapshot().summary().to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"count\":2"));
+        assert!(j.contains("\"mean_us\":150.0"));
+    }
+}

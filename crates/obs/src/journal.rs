@@ -1,0 +1,241 @@
+//! Bounded structured event journal.
+//!
+//! Long-running daemons used to keep a single `last_error` slot; one
+//! flaky disk would overwrite the evidence of the panic that preceded
+//! it. An [`EventJournal`] keeps the last N structured [`Event`]s —
+//! repairs, scrubs, scans, errors, panics — each with a wall-clock
+//! timestamp, and counts what it had to drop, so "what happened while I
+//! wasn't looking" has an answer bounded in memory.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// What kind of thing happened.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// A repair job completed.
+    Repair,
+    /// A scrub pass completed (or found something).
+    Scrub,
+    /// A scan pass completed.
+    Scan,
+    /// An operation failed with an error.
+    Error,
+    /// A worker panicked (and was contained).
+    Panic,
+}
+
+impl EventKind {
+    /// Stable snake_case name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EventKind::Repair => "repair",
+            EventKind::Scrub => "scrub",
+            EventKind::Scan => "scan",
+            EventKind::Error => "error",
+            EventKind::Panic => "panic",
+        }
+    }
+
+    /// Does this kind describe a failure?
+    pub fn is_failure(self) -> bool {
+        matches!(self, EventKind::Error | EventKind::Panic)
+    }
+}
+
+impl std::fmt::Display for EventKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One journal entry.
+#[derive(Clone, Debug)]
+pub struct Event {
+    /// Wall-clock time the event was recorded.
+    pub at: SystemTime,
+    /// Event category.
+    pub kind: EventKind,
+    /// Free-form description (object name, stripe index, error text, …).
+    pub detail: String,
+}
+
+impl Event {
+    /// Seconds since the Unix epoch (0 if the clock is before it).
+    pub fn unix_secs(&self) -> u64 {
+        self.at
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0)
+    }
+}
+
+/// A bounded ring of [`Event`]s. Pushes never block longer than the
+/// (short) internal lock; when full, the oldest event is dropped and
+/// counted.
+#[derive(Debug)]
+pub struct EventJournal {
+    capacity: usize,
+    inner: Mutex<VecDeque<Event>>,
+    dropped: AtomicU64,
+}
+
+impl EventJournal {
+    /// A journal holding at most `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            capacity,
+            inner: Mutex::new(VecDeque::with_capacity(capacity)),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Record an event now.
+    pub fn push(&self, kind: EventKind, detail: impl Into<String>) {
+        let event = Event {
+            at: SystemTime::now(),
+            kind,
+            detail: detail.into(),
+        };
+        let mut inner = match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if inner.len() == self.capacity {
+            inner.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        inner.push_back(event);
+    }
+
+    /// The retained events, oldest first.
+    pub fn recent(&self) -> Vec<Event> {
+        let inner = match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        inner.iter().cloned().collect()
+    }
+
+    /// Detail text of the most recent failure event (`Error` or
+    /// `Panic`), if one is retained. Compat shim for callers of the old
+    /// single-slot `last_error`.
+    pub fn last_failure(&self) -> Option<String> {
+        let inner = match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        inner
+            .iter()
+            .rev()
+            .find(|e| e.kind.is_failure())
+            .map(|e| e.detail.clone())
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        match self.inner.lock() {
+            Ok(g) => g.len(),
+            Err(poisoned) => poisoned.into_inner().len(),
+        }
+    }
+
+    /// True if no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum number of retained events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events evicted so far to respect the bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Count of retained events by kind.
+    pub fn count_by_kind(&self, kind: EventKind) -> usize {
+        let inner = match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        inner.iter().filter(|e| e.kind == kind).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_recent_preserve_order() {
+        let j = EventJournal::new(8);
+        j.push(EventKind::Scan, "pass 1");
+        j.push(EventKind::Repair, "obj/3");
+        j.push(EventKind::Error, "disk 2 gone");
+        let events = j.recent();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].kind, EventKind::Scan);
+        assert_eq!(events[2].detail, "disk 2 gone");
+        assert!(events[0].at <= events[2].at);
+    }
+
+    #[test]
+    fn capacity_bounds_and_counts_drops() {
+        let j = EventJournal::new(3);
+        for i in 0..10 {
+            j.push(EventKind::Repair, format!("r{i}"));
+        }
+        assert_eq!(j.len(), 3);
+        assert_eq!(j.dropped(), 7);
+        let details: Vec<_> = j.recent().into_iter().map(|e| e.detail).collect();
+        assert_eq!(details, ["r7", "r8", "r9"]);
+    }
+
+    #[test]
+    fn last_failure_skips_non_failures() {
+        let j = EventJournal::new(8);
+        assert_eq!(j.last_failure(), None);
+        j.push(EventKind::Error, "first error");
+        j.push(EventKind::Repair, "fixed it");
+        j.push(EventKind::Scrub, "clean");
+        assert_eq!(j.last_failure().as_deref(), Some("first error"));
+        j.push(EventKind::Panic, "worker panic: boom");
+        assert_eq!(j.last_failure().as_deref(), Some("worker panic: boom"));
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let j = EventJournal::new(0);
+        j.push(EventKind::Scan, "a");
+        j.push(EventKind::Scan, "b");
+        assert_eq!(j.len(), 1);
+        assert_eq!(j.recent()[0].detail, "b");
+    }
+
+    #[test]
+    fn concurrent_pushes_stay_bounded() {
+        use std::sync::Arc;
+        let j = Arc::new(EventJournal::new(16));
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let j = Arc::clone(&j);
+                std::thread::spawn(move || {
+                    for i in 0..1000 {
+                        j.push(EventKind::Repair, format!("t{t} i{i}"));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(j.len(), 16);
+        assert_eq!(j.dropped(), 8 * 1000 - 16);
+    }
+}

@@ -1,0 +1,164 @@
+//! Prometheus text exposition (format version 0.0.4) rendering helpers.
+//!
+//! These are append-style building blocks: a caller with a fixed metric
+//! struct walks its fields and emits `# TYPE` headers, samples, and full
+//! histogram families into one `String`. Histogram inputs are the
+//! microsecond-valued [`HistogramSnapshot`]s from [`crate::hist`]; `le`
+//! boundaries are emitted in **seconds**, per Prometheus convention.
+//! Only non-empty buckets are emitted (buckets are cumulative, so
+//! skipping empty ones is lossless), plus the mandatory `+Inf` bucket.
+
+use crate::hist::{bucket_bounds, HistogramSnapshot};
+
+/// Append a `# TYPE name kind` header line.
+pub fn type_line(out: &mut String, name: &str, kind: &str) {
+    out.push_str("# TYPE ");
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(kind);
+    out.push('\n');
+}
+
+/// Append one `name{labels} value` sample line. Pass `&[]` for no
+/// labels. Integral values render without a fraction.
+pub fn sample(out: &mut String, name: &str, labels: &[(&str, &str)], value: f64) {
+    out.push_str(name);
+    write_labels(out, labels, None);
+    out.push(' ');
+    push_f64(out, value);
+    out.push('\n');
+}
+
+/// Append a full histogram family member for one label set: cumulative
+/// `_bucket` lines (seconds, non-empty buckets plus `+Inf`), `_sum`
+/// (seconds) and `_count`.
+pub fn histogram_samples(
+    out: &mut String,
+    name: &str,
+    labels: &[(&str, &str)],
+    snap: &HistogramSnapshot,
+) {
+    let mut cum = 0u64;
+    for (index, count) in snap.nonempty_buckets() {
+        cum += count;
+        let (_, hi) = bucket_bounds(index);
+        // Upper bound in seconds; hi is inclusive so the boundary is hi itself.
+        let le = hi as f64 / 1e6;
+        out.push_str(name);
+        out.push_str("_bucket");
+        write_labels(out, labels, Some(&format_le(le)));
+        out.push(' ');
+        push_f64(out, cum as f64);
+        out.push('\n');
+    }
+    out.push_str(name);
+    out.push_str("_bucket");
+    write_labels(out, labels, Some("+Inf"));
+    out.push(' ');
+    push_f64(out, snap.count() as f64);
+    out.push('\n');
+
+    out.push_str(name);
+    out.push_str("_sum");
+    write_labels(out, labels, None);
+    out.push(' ');
+    push_f64(out, snap.sum() as f64 / 1e6);
+    out.push('\n');
+
+    out.push_str(name);
+    out.push_str("_count");
+    write_labels(out, labels, None);
+    out.push(' ');
+    push_f64(out, snap.count() as f64);
+    out.push('\n');
+}
+
+fn format_le(le: f64) -> String {
+    // Shortest round-trip float formatting keeps boundaries exact.
+    format!("{le}")
+}
+
+fn write_labels(out: &mut String, labels: &[(&str, &str)], le: Option<&str>) {
+    if labels.is_empty() && le.is_none() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(k);
+        out.push_str("=\"");
+        escape_into(out, v);
+        out.push('"');
+    }
+    if let Some(le) = le {
+        if !first {
+            out.push(',');
+        }
+        out.push_str("le=\"");
+        out.push_str(le);
+        out.push('"');
+    }
+    out.push('}');
+}
+
+fn escape_into(out: &mut String, value: &str) {
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_f64(out: &mut String, v: f64) {
+    if v == v.trunc() && v.abs() < 1e15 {
+        out.push_str(&format!("{}", v as i64));
+    } else {
+        out.push_str(&format!("{v}"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::LatencyHistogram;
+
+    #[test]
+    fn sample_without_labels() {
+        let mut s = String::new();
+        sample(&mut s, "pbrs_up", &[], 1.0);
+        assert_eq!(s, "pbrs_up 1\n");
+    }
+
+    #[test]
+    fn sample_with_labels_escapes() {
+        let mut s = String::new();
+        sample(&mut s, "pbrs_ops_total", &[("op", "get\"x\"")], 3.0);
+        assert_eq!(s, "pbrs_ops_total{op=\"get\\\"x\\\"\"} 3\n");
+    }
+
+    #[test]
+    fn histogram_family_is_cumulative_and_ends_at_inf() {
+        let h = LatencyHistogram::new();
+        h.record(5); // 5us
+        h.record(5);
+        h.record(2_000_000); // 2s
+        let mut s = String::new();
+        histogram_samples(&mut s, "d", &[("path", "healthy")], &h.snapshot());
+        let lines: Vec<&str> = s.lines().collect();
+        // two non-empty buckets + Inf + sum + count
+        assert_eq!(lines.len(), 5, "{s}");
+        assert!(lines[0].starts_with("d_bucket{path=\"healthy\",le=\"0.000005\""));
+        assert!(lines[0].ends_with(" 2"));
+        assert!(lines[1].ends_with(" 3"));
+        assert_eq!(lines[2], "d_bucket{path=\"healthy\",le=\"+Inf\"} 3");
+        assert!(lines[3].starts_with("d_sum{path=\"healthy\"} 2.00001"));
+        assert_eq!(lines[4], "d_count{path=\"healthy\"} 3");
+    }
+}

@@ -49,8 +49,14 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
+use pbrs_obs::{Event, EventJournal, EventKind};
+
 use crate::error::{Result, StoreError};
 use crate::store::{panic_message, BlockStore, ScrubReport};
+
+/// How many structured events the daemon's journal retains; older events
+/// are evicted (and counted) once the ring is full.
+pub const EVENT_JOURNAL_CAPACITY: usize = 64;
 
 /// Configuration of a [`RepairDaemon`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -137,7 +143,9 @@ struct Shared {
     cross_rack_bytes: AtomicU64,
     bytes_written: AtomicU64,
     failures: AtomicU64,
-    last_error: Mutex<Option<String>>,
+    /// Bounded ring of structured events (repairs, scans, failures,
+    /// panics); replaces the old single-slot `last_error` string.
+    journal: EventJournal,
 }
 
 /// A running repair daemon; see the [module docs](self) for the lifecycle.
@@ -164,7 +172,7 @@ impl RepairDaemon {
             cross_rack_bytes: AtomicU64::new(0),
             bytes_written: AtomicU64::new(0),
             failures: AtomicU64::new(0),
-            last_error: Mutex::new(None),
+            journal: EventJournal::new(EVENT_JOURNAL_CAPACITY),
         });
         let workers = (0..config.workers.max(1))
             .map(|i| {
@@ -225,9 +233,26 @@ impl RepairDaemon {
         }
     }
 
+    /// The daemon's recent structured events, oldest first: successful
+    /// repairs, scans that enqueued work, and failures/panics. The journal
+    /// is a bounded ring of [`EVENT_JOURNAL_CAPACITY`] entries; older
+    /// events are evicted and counted by [`RepairDaemon::events_dropped`].
+    pub fn recent_events(&self) -> Vec<Event> {
+        self.shared.journal.recent()
+    }
+
+    /// Events evicted from the journal because the ring was full.
+    pub fn events_dropped(&self) -> u64 {
+        self.shared.journal.dropped()
+    }
+
     /// The most recent repair failure, if any.
+    ///
+    /// Compatibility shim over the event journal: returns the detail of the
+    /// latest `Error`/`Panic` event. Prefer [`RepairDaemon::recent_events`]
+    /// for the full structured history.
     pub fn last_error(&self) -> Option<String> {
-        self.shared.last_error.lock().expect("lock").clone()
+        self.shared.journal.last_failure()
     }
 
     /// Stops the scanner and workers (finishing in-flight tasks, dropping
@@ -293,6 +318,12 @@ fn scan_once(shared: &Shared) -> Result<ScanReport> {
     }
     if enqueued > 0 {
         shared.work.notify_all();
+        // Journal only scans that found work — a fast periodic scanner over
+        // a healthy store would otherwise evict every interesting event.
+        shared.journal.push(
+            EventKind::Scan,
+            format!("scan found {damaged_chunks} damaged chunks, enqueued {enqueued} stripes"),
+        );
     }
     shared.scans.fetch_add(1, Ordering::Relaxed);
     Ok(ScanReport {
@@ -390,13 +421,30 @@ fn worker_loop(shared: &Shared) {
                 shared
                     .bytes_written
                     .fetch_add(repair.bytes_written, Ordering::Relaxed);
+                shared.journal.push(
+                    EventKind::Repair,
+                    format!(
+                        "repaired {:?} stripe {}: {} chunks rebuilt, {} helper bytes",
+                        task.object,
+                        task.stripe,
+                        repair.rebuilt.len(),
+                        repair.helper_bytes
+                    ),
+                );
             }
             Err(e) => {
                 shared.failures.fetch_add(1, Ordering::Relaxed);
-                *shared.last_error.lock().expect("lock") = Some(format!(
-                    "repair of {:?} stripe {} failed: {e}",
-                    task.object, task.stripe
-                ));
+                let kind = match &e {
+                    StoreError::WorkerPanic { .. } => EventKind::Panic,
+                    _ => EventKind::Error,
+                };
+                shared.journal.push(
+                    kind,
+                    format!(
+                        "repair of {:?} stripe {} failed: {e}",
+                        task.object, task.stripe
+                    ),
+                );
             }
         }
         drop(guard);
@@ -406,7 +454,9 @@ fn worker_loop(shared: &Shared) {
 fn scanner_loop(shared: &Shared, interval: Duration) {
     while !shared.shutdown.load(Ordering::SeqCst) {
         if let Err(e) = scan_once(shared) {
-            *shared.last_error.lock().expect("lock") = Some(format!("scan failed: {e}"));
+            shared
+                .journal
+                .push(EventKind::Error, format!("scan failed: {e}"));
             shared.failures.fetch_add(1, Ordering::Relaxed);
         }
         // Sleep in small slices so shutdown stays responsive.
@@ -558,6 +608,14 @@ mod tests {
             "last_error must name the panic: {:?}",
             daemon.last_error()
         );
+        // The journal carries the same failures as structured events.
+        let panics: Vec<_> = daemon
+            .recent_events()
+            .into_iter()
+            .filter(|e| e.kind == EventKind::Panic)
+            .collect();
+        assert_eq!(panics.len(), 3, "one Panic event per failed stripe");
+        assert!(panics.iter().all(|e| e.detail.contains("panic")));
 
         // The workers survived their panics and the stripes were not
         // poisoned: heal everything on the next scan.
@@ -570,6 +628,63 @@ mod tests {
         assert_eq!(stats.chunks_repaired, 3);
         assert!(store.scrub().unwrap().is_clean());
         assert_eq!(store.get("obj").unwrap(), pattern(4 * 512 * 3));
+    }
+
+    #[test]
+    fn journal_stays_bounded_under_concurrent_workers() {
+        let dir = TempDir::new("daemon-journal");
+        // 70 stripes: enough repair events to overflow the 64-entry ring
+        // while four workers push concurrently.
+        let stripes = 70usize;
+        let store = store_with_object(&dir, "rs-4-2", 4 * 512 * stripes);
+        fs::remove_dir_all(store.disk_path(3)).unwrap();
+
+        let daemon = RepairDaemon::start(Arc::clone(&store), DaemonConfig::default());
+        let scan = daemon.scan_now().unwrap();
+        assert_eq!(scan.enqueued_stripes, stripes);
+        daemon.wait_idle();
+
+        let events = daemon.recent_events();
+        assert_eq!(events.len(), EVENT_JOURNAL_CAPACITY);
+        // 1 Scan + 70 Repair events were pushed; the ring kept the newest.
+        assert!(daemon.events_dropped() >= (stripes as u64 + 1) - EVENT_JOURNAL_CAPACITY as u64);
+        assert!(events.iter().all(|e| e.kind == EventKind::Repair));
+        assert!(events.iter().all(|e| e.detail.contains("chunks rebuilt")));
+        // Events are oldest-first and timestamps never go backwards.
+        for pair in events.windows(2) {
+            assert!(pair[0].at <= pair[1].at);
+        }
+        assert!(daemon.last_error().is_none(), "no failures occurred");
+
+        let stats = daemon.shutdown();
+        assert_eq!(stats.stripes_repaired, stripes as u64);
+        assert!(store.scrub().unwrap().is_clean());
+    }
+
+    #[test]
+    fn scan_events_are_journaled_when_damage_is_found() {
+        let dir = TempDir::new("daemon-scan-event");
+        let store = store_with_object(&dir, "rs-4-2", 4 * 512 * 2);
+        let daemon = RepairDaemon::start(Arc::clone(&store), DaemonConfig::default());
+
+        // A clean scan journals nothing.
+        daemon.scan_now().unwrap();
+        assert!(daemon.recent_events().is_empty());
+
+        fs::remove_dir_all(store.disk_path(1)).unwrap();
+        daemon.scan_now().unwrap();
+        daemon.wait_idle();
+        let events = daemon.recent_events();
+        assert_eq!(events[0].kind, EventKind::Scan);
+        assert!(events[0].detail.contains("enqueued 2 stripes"));
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| e.kind == EventKind::Repair)
+                .count(),
+            2
+        );
+        daemon.shutdown();
     }
 
     #[test]

@@ -137,10 +137,13 @@ pub mod testing;
 
 pub use backend::{BackendCounters, ChunkBackend, LocalDisk};
 pub use chunk::{ChunkId, ChunkRead, ChunkStatus};
-pub use daemon::{DaemonConfig, DaemonStats, RepairDaemon, ScanReport};
+pub use daemon::{DaemonConfig, DaemonStats, RepairDaemon, ScanReport, EVENT_JOURNAL_CAPACITY};
+// The daemon's journal speaks pbrs-obs event types — re-exported so store
+// callers can match on kinds without a separate import.
 pub use error::StoreError;
 pub use manifest::{Manifest, ObjectInfo};
-pub use metrics::MetricsSnapshot;
+pub use metrics::{MetricsSnapshot, StoreLatency, StoreLatencySnapshot};
+pub use pbrs_obs::{Event, EventKind};
 // The placement types are pbrs-placement's — re-exported so store callers
 // can mount rack-aware pools without a separate import.
 pub use pbrs_placement::{PlacementError, PlacementMap, PlacementPolicy, RackMap};

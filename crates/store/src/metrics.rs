@@ -10,6 +10,10 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use pbrs_obs::hist::HistogramSnapshot;
+use pbrs_obs::prom;
+use pbrs_obs::LatencyHistogram;
+
 /// Shared atomic counters, updated by every store and daemon thread.
 #[derive(Debug, Default)]
 pub struct StoreMetrics {
@@ -145,6 +149,120 @@ impl MetricsSnapshot {
     }
 }
 
+/// Lock-free latency histograms for the store's hot paths (all values in
+/// microseconds). Lives beside [`StoreMetrics`] rather than inside it so
+/// [`MetricsSnapshot`] stays a plain `Eq` counter struct.
+#[derive(Debug, Default)]
+pub struct StoreLatency {
+    /// Whole-stripe reads served entirely from healthy chunks.
+    pub healthy_stripe_read: LatencyHistogram,
+    /// Whole-stripe reads that needed reconstruction (includes the
+    /// healthy-chunk reads that preceded the damage discovery).
+    pub degraded_stripe_read: LatencyHistogram,
+    /// Just the reconstruct portion of a degraded read: helper reads plus
+    /// erasure arithmetic.
+    pub degraded_reconstruct: LatencyHistogram,
+    /// Whole repair jobs ([`crate::BlockStore::repair_stripe`]): verify,
+    /// rebuild, write back.
+    pub repair_job: LatencyHistogram,
+}
+
+impl StoreLatency {
+    /// A point-in-time copy of every histogram.
+    pub fn snapshot(&self) -> StoreLatencySnapshot {
+        StoreLatencySnapshot {
+            healthy_stripe_read: self.healthy_stripe_read.snapshot(),
+            degraded_stripe_read: self.degraded_stripe_read.snapshot(),
+            degraded_reconstruct: self.degraded_reconstruct.snapshot(),
+            repair_job: self.repair_job.snapshot(),
+        }
+    }
+}
+
+/// Point-in-time copies of the store's latency histograms.
+#[derive(Clone, Debug)]
+pub struct StoreLatencySnapshot {
+    /// Healthy whole-stripe read durations.
+    pub healthy_stripe_read: HistogramSnapshot,
+    /// Degraded whole-stripe read durations.
+    pub degraded_stripe_read: HistogramSnapshot,
+    /// Reconstruct-only portion of degraded reads.
+    pub degraded_reconstruct: HistogramSnapshot,
+    /// Whole repair-job durations.
+    pub repair_job: HistogramSnapshot,
+}
+
+impl StoreLatencySnapshot {
+    /// Append this snapshot as Prometheus histogram families
+    /// (`pbrs_store_*_duration_seconds`).
+    pub fn write_prometheus(&self, out: &mut String) {
+        let read = "pbrs_store_stripe_read_duration_seconds";
+        prom::type_line(out, read, "histogram");
+        prom::histogram_samples(out, read, &[("path", "healthy")], &self.healthy_stripe_read);
+        prom::histogram_samples(
+            out,
+            read,
+            &[("path", "degraded")],
+            &self.degraded_stripe_read,
+        );
+        let reconstruct = "pbrs_store_degraded_reconstruct_duration_seconds";
+        prom::type_line(out, reconstruct, "histogram");
+        prom::histogram_samples(out, reconstruct, &[], &self.degraded_reconstruct);
+        let repair = "pbrs_store_repair_job_duration_seconds";
+        prom::type_line(out, repair, "histogram");
+        prom::histogram_samples(out, repair, &[], &self.repair_job);
+    }
+
+    /// Render as a JSON object of [`pbrs_obs::Summary`] sub-objects.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"healthy_stripe_read\":{},\"degraded_stripe_read\":{},",
+                "\"degraded_reconstruct\":{},\"repair_job\":{}}}"
+            ),
+            self.healthy_stripe_read.summary().to_json(),
+            self.degraded_stripe_read.summary().to_json(),
+            self.degraded_reconstruct.summary().to_json(),
+            self.repair_job.summary().to_json(),
+        )
+    }
+}
+
+impl MetricsSnapshot {
+    /// Append the counters as Prometheus `pbrs_store_*` samples.
+    pub fn write_prometheus(&self, out: &mut String) {
+        let fields: [(&str, u64); 17] = [
+            ("bytes_ingested", self.bytes_ingested),
+            ("chunks_written", self.chunks_written),
+            ("chunk_bytes_written", self.chunk_bytes_written),
+            ("objects_read", self.objects_read),
+            ("bytes_served", self.bytes_served),
+            ("degraded_stripe_reads", self.degraded_stripe_reads),
+            ("degraded_helper_bytes", self.degraded_helper_bytes),
+            ("degraded_intra_rack_bytes", self.degraded_intra_rack_bytes),
+            ("degraded_cross_rack_bytes", self.degraded_cross_rack_bytes),
+            ("corrupt_chunks_detected", self.corrupt_chunks_detected),
+            ("chunks_repaired", self.chunks_repaired),
+            ("repair_helper_bytes", self.repair_helper_bytes),
+            ("repair_intra_rack_bytes", self.repair_intra_rack_bytes),
+            ("repair_cross_rack_bytes", self.repair_cross_rack_bytes),
+            ("repair_bytes_written", self.repair_bytes_written),
+            ("chunks_scrubbed", self.chunks_scrubbed),
+            ("scrub_bytes_read", self.scrub_bytes_read),
+        ];
+        for (field, value) in fields {
+            let name = format!("pbrs_store_{field}_total");
+            prom::type_line(out, &name, "counter");
+            out.push_str(&name);
+            out.push_str("{code=\"");
+            out.push_str(&self.code);
+            out.push_str("\"} ");
+            out.push_str(&value.to_string());
+            out.push('\n');
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -162,5 +280,36 @@ mod tests {
         // Counters keep accumulating after a snapshot.
         StoreMetrics::add(&metrics.bytes_ingested, 1);
         assert_eq!(metrics.snapshot("x").bytes_ingested, 101);
+    }
+
+    #[test]
+    fn latency_snapshot_renders_json_and_prometheus() {
+        let latency = StoreLatency::default();
+        latency.degraded_reconstruct.record(1_500);
+        latency.repair_job.record(20_000);
+        let snap = latency.snapshot();
+        let json = snap.to_json();
+        assert!(json.contains("\"degraded_reconstruct\":{\"count\":1"));
+        assert!(json.contains("\"repair_job\":{\"count\":1"));
+        let mut prom_text = String::new();
+        snap.write_prometheus(&mut prom_text);
+        assert!(
+            prom_text.contains("# TYPE pbrs_store_degraded_reconstruct_duration_seconds histogram")
+        );
+        assert!(prom_text.contains("pbrs_store_repair_job_duration_seconds_count 1"));
+        assert!(prom_text.contains("path=\"healthy\""));
+    }
+
+    #[test]
+    fn counters_render_prometheus_with_code_label() {
+        let metrics = StoreMetrics::default();
+        StoreMetrics::add(&metrics.degraded_helper_bytes, 42);
+        let mut out = String::new();
+        metrics
+            .snapshot("Piggybacked-RS(10, 4)")
+            .write_prometheus(&mut out);
+        assert!(out.contains("# TYPE pbrs_store_degraded_helper_bytes_total counter"));
+        assert!(out
+            .contains("pbrs_store_degraded_helper_bytes_total{code=\"Piggybacked-RS(10, 4)\"} 42"));
     }
 }

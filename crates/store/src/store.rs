@@ -68,7 +68,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use pbrs_core::registry::{self, DynCode};
 use pbrs_erasure::{CodeError, CodeSpec, ErasureCode, ShardBuffer};
@@ -78,7 +78,8 @@ use crate::backend::{BackendCounters, ChunkBackend, LocalDisk};
 use crate::chunk::{self, ChunkId, ChunkStatus};
 use crate::error::{Result, StoreError};
 use crate::manifest::{manifest_path, validate_object_name, Manifest, ObjectInfo};
-use crate::metrics::{MetricsSnapshot, StoreMetrics};
+use crate::metrics::{MetricsSnapshot, StoreLatency, StoreLatencySnapshot, StoreMetrics};
+use pbrs_obs::{Stage, StageTimes};
 
 /// Default chunk payload length: 64 KiB.
 pub const DEFAULT_CHUNK_LEN: usize = 64 * 1024;
@@ -261,6 +262,7 @@ pub struct BlockStore {
     /// name from interleaving.
     in_flight: Mutex<HashSet<String>>,
     metrics: StoreMetrics,
+    latency: StoreLatency,
     fail: FailPoints,
 }
 
@@ -474,6 +476,7 @@ impl BlockStore {
             manifest: RwLock::new(manifest),
             in_flight: Mutex::new(HashSet::new()),
             metrics: StoreMetrics::default(),
+            latency: StoreLatency::default(),
             fail: FailPoints::default(),
         })
     }
@@ -677,6 +680,12 @@ impl BlockStore {
         self.metrics.snapshot(&self.code.name())
     }
 
+    /// A point-in-time copy of the store's latency histograms: healthy and
+    /// degraded stripe reads, degraded reconstructs, and repair jobs.
+    pub fn latency(&self) -> StoreLatencySnapshot {
+        self.latency.snapshot()
+    }
+
     // ------------------------------------------------------------------
     // Write path
     // ------------------------------------------------------------------
@@ -835,6 +844,7 @@ impl BlockStore {
         name: &str,
         stripe: u64,
         buf: &mut ShardBuffer,
+        times: &mut StageTimes,
     ) -> Result<()> {
         if self.fail.encode_panic.load(Ordering::SeqCst) {
             panic!("injected encode panic (stripe {stripe})");
@@ -844,15 +854,19 @@ impl BlockStore {
             (params.data_shards(), params.total_shards())
         };
         {
+            let erasure_start = Instant::now();
             let (data, mut parity) = buf.split_mut(k);
             self.code.encode_into(&data, &mut parity)?;
+            times.add_duration(Stage::Erasure, erasure_start.elapsed());
         }
         // Pure function of (seed, name, stripe): pipeline workers derive the
         // same row the commit later persists, with no coordination.
         let row = self.map.disks_for_object_stripe(name, stripe);
+        let io_start = Instant::now();
         for (shard, &disk) in row.iter().enumerate() {
             self.disks[disk].write_chunk(name, ChunkId { stripe, shard }, buf.shard(shard))?;
         }
+        times.add_duration(Stage::ChunkIo, io_start.elapsed());
         StoreMetrics::add(&self.metrics.chunks_written, n as u64);
         StoreMetrics::add(
             &self.metrics.chunk_bytes_written,
@@ -873,7 +887,7 @@ impl BlockStore {
                 break;
             }
             total += stripe_bytes as u64;
-            self.encode_and_write_stripe(name, stripe, &mut buf)?;
+            self.encode_and_write_stripe(name, stripe, &mut buf, &mut StageTimes::new())?;
             stripe += 1;
             if stripe_bytes < self.stripe_data_len() {
                 break;
@@ -932,7 +946,7 @@ impl BlockStore {
                     } else {
                         let buf = guard.buf.as_mut().expect("held until drop");
                         catch_unwind(AssertUnwindSafe(|| {
-                            self.encode_and_write_stripe(name, stripe, buf)
+                            self.encode_and_write_stripe(name, stripe, buf, &mut StageTimes::new())
                         }))
                         .unwrap_or_else(|payload| {
                             Err(StoreError::WorkerPanic {
@@ -1042,8 +1056,16 @@ impl BlockStore {
         let workers = self.pipeline_workers.min(stripes.max(1));
         if workers <= 1 {
             let mut scratch = self.new_scratch();
+            let mut times = StageTimes::new();
             for (stripe, dest) in out.chunks_mut(stripe_len).enumerate() {
-                self.read_stripe_into(name, stripe as u64, &rows[stripe], dest, &mut scratch)?;
+                self.read_stripe_into(
+                    name,
+                    stripe as u64,
+                    &rows[stripe],
+                    dest,
+                    &mut scratch,
+                    &mut times,
+                )?;
             }
         } else {
             self.read_stripes_parallel(name, &rows, &mut out, workers)?;
@@ -1073,6 +1095,7 @@ impl BlockStore {
                 let failure = &failure;
                 scope.spawn(move || {
                     let mut scratch = self.new_scratch();
+                    let mut times = StageTimes::new();
                     let first = w * per_worker;
                     for (i, dest) in region.chunks_mut(stripe_len).enumerate() {
                         if failure.lock().expect("lock").is_some() {
@@ -1084,6 +1107,7 @@ impl BlockStore {
                             &rows[first + i],
                             dest,
                             &mut scratch,
+                            &mut times,
                         ) {
                             let mut slot = failure.lock().expect("lock");
                             if slot.is_none() {
@@ -1107,6 +1131,11 @@ impl BlockStore {
     /// whether the stripe was served degraded (one or more chunks rebuilt
     /// from survivors instead of read directly) — callers like the gateway
     /// surface that share per response.
+    ///
+    /// Stage attribution: chunk reads (healthy and helper) accumulate into
+    /// `times` as [`Stage::ChunkIo`], rebuild arithmetic as
+    /// [`Stage::Erasure`], and the whole-stripe duration feeds the store's
+    /// healthy/degraded latency histograms.
     pub(crate) fn read_stripe_into(
         &self,
         object: &str,
@@ -1114,7 +1143,9 @@ impl BlockStore {
         row: &[usize],
         dest: &mut [u8],
         scratch: &mut StripeScratch,
+        times: &mut StageTimes,
     ) -> Result<bool> {
+        let stripe_start = Instant::now();
         let k = self.code.params().data_shards();
         debug_assert_eq!(dest.len(), self.stripe_data_len());
         // Fast path: read and verify the k data chunks straight into the
@@ -1131,13 +1162,18 @@ impl BlockStore {
                 }
             }
         }
+        times.add_duration(Stage::ChunkIo, stripe_start.elapsed());
         if bad.is_empty() {
+            self.latency
+                .healthy_stripe_read
+                .record_duration(stripe_start.elapsed());
             return Ok(false);
         }
 
         // Degraded read: install the verified data chunks into the scratch
         // stripe (the rebuild reads its helpers from there).
         StoreMetrics::add(&self.metrics.degraded_stripe_reads, 1);
+        let rebuild_start = Instant::now();
         scratch.present.fill(false);
         for shard in 0..k {
             if !bad.contains(&shard) {
@@ -1149,7 +1185,9 @@ impl BlockStore {
             }
         }
         if bad.len() == 1 {
-            if let Some(traffic) = self.try_planned_rebuild(object, stripe, row, bad[0], scratch)? {
+            if let Some(traffic) =
+                self.try_planned_rebuild(object, stripe, row, bad[0], scratch, times)?
+            {
                 self.note_degraded_traffic(traffic);
                 for shard in 0..k {
                     let src = if shard == bad[0] {
@@ -1159,6 +1197,12 @@ impl BlockStore {
                     };
                     dest[shard * self.chunk_len..(shard + 1) * self.chunk_len].copy_from_slice(src);
                 }
+                self.latency
+                    .degraded_reconstruct
+                    .record_duration(rebuild_start.elapsed());
+                self.latency
+                    .degraded_stripe_read
+                    .record_duration(stripe_start.elapsed());
                 return Ok(true);
             }
         }
@@ -1168,12 +1212,18 @@ impl BlockStore {
         // payloads were already read above and are not read twice.
         let mut damaged = bad;
         let traffic =
-            self.reconstruct_from_survivors(object, stripe, row, &mut damaged, scratch)?;
+            self.reconstruct_from_survivors(object, stripe, row, &mut damaged, scratch, times)?;
         self.note_degraded_traffic(traffic);
         for shard in 0..k {
             dest[shard * self.chunk_len..(shard + 1) * self.chunk_len]
                 .copy_from_slice(scratch.buf.shard(shard));
         }
+        self.latency
+            .degraded_reconstruct
+            .record_duration(rebuild_start.elapsed());
+        self.latency
+            .degraded_stripe_read
+            .record_duration(stripe_start.elapsed());
         Ok(true)
     }
 
@@ -1219,6 +1269,7 @@ impl BlockStore {
         row: &[usize],
         target: usize,
         scratch: &mut StripeScratch,
+        times: &mut StageTimes,
     ) -> Result<Option<HelperTraffic>> {
         let n = self.code.params().total_shards();
         let mut available = vec![true; n];
@@ -1231,6 +1282,7 @@ impl BlockStore {
             .code
             .repair_reads_ranked(target, &available, self.chunk_len, &rank)?;
         let mut traffic = HelperTraffic::default();
+        let io_start = Instant::now();
         for read in &reads {
             traffic.add(
                 read.len as u64,
@@ -1254,12 +1306,16 @@ impl BlockStore {
                 Ok(()) => {}
                 Err(status) => {
                     self.note_damage(&status);
+                    times.add_duration(Stage::ChunkIo, io_start.elapsed());
                     return Ok(None);
                 }
             }
         }
+        times.add_duration(Stage::ChunkIo, io_start.elapsed());
+        let erasure_start = Instant::now();
         self.code
             .repair_from_reads(target, &reads, &scratch.buf.as_set(), &mut scratch.rebuilt)?;
+        times.add_duration(Stage::Erasure, erasure_start.elapsed());
         Ok(Some(traffic))
     }
 
@@ -1289,6 +1345,7 @@ impl BlockStore {
         row: &[usize],
         damaged: &mut Vec<usize>,
         scratch: &mut StripeScratch,
+        times: &mut StageTimes,
     ) -> Result<HelperTraffic> {
         let params = self.code.params();
         let (k, n) = (params.data_shards(), params.total_shards());
@@ -1303,6 +1360,7 @@ impl BlockStore {
         order.sort_by_key(|&shard| (!same_rack_as_home(shard), shard));
         let mut survivors = scratch.present.iter().filter(|&&p| p).count();
         let mut traffic = HelperTraffic::default();
+        let io_start = Instant::now();
         for shard in order {
             if scratch.present[shard] || damaged.contains(&shard) {
                 continue;
@@ -1324,6 +1382,7 @@ impl BlockStore {
                 }
             }
         }
+        times.add_duration(Stage::ChunkIo, io_start.elapsed());
         if survivors < k {
             return Err(StoreError::StripeUnrecoverable {
                 object: object.to_string(),
@@ -1333,10 +1392,12 @@ impl BlockStore {
             });
         }
         {
+            let erasure_start = Instant::now();
             let mut view = scratch.buf.as_set_mut();
             self.code
                 .reconstruct_in_place(&mut view, &scratch.present)
                 .map_err(|e| self.unrecoverable(object, stripe, survivors, e))?;
+            times.add_duration(Stage::Erasure, erasure_start.elapsed());
         }
         Ok(traffic)
     }
@@ -1396,6 +1457,7 @@ impl BlockStore {
         if self.fail.repair_panic.load(Ordering::SeqCst) {
             panic!("injected repair panic (object {object:?} stripe {stripe})");
         }
+        let job_start = Instant::now();
         let info = self
             .object(object)
             .ok_or_else(|| StoreError::ObjectNotFound {
@@ -1449,10 +1511,16 @@ impl BlockStore {
         }
 
         let mut scratch = self.new_scratch();
+        let mut times = StageTimes::new();
         if targets.len() == 1 {
-            if let Some(traffic) =
-                self.try_planned_rebuild(object, stripe, &row, targets[0], &mut scratch)?
-            {
+            if let Some(traffic) = self.try_planned_rebuild(
+                object,
+                stripe,
+                &row,
+                targets[0],
+                &mut scratch,
+                &mut times,
+            )? {
                 let target = targets[0];
                 self.disks[row[target]].write_chunk(
                     object,
@@ -1470,6 +1538,7 @@ impl BlockStore {
                 report.intra_rack_bytes += traffic.intra_rack;
                 report.cross_rack_bytes += traffic.cross_rack;
                 report.bytes_written += self.chunk_len as u64;
+                self.latency.repair_job.record_duration(job_start.elapsed());
                 return Ok(report);
             }
         }
@@ -1477,8 +1546,14 @@ impl BlockStore {
         // Multi-loss (or helpers unavailable): decode from survivors, then
         // write every damaged chunk back (including any damage discovered
         // while reading).
-        let traffic =
-            self.reconstruct_from_survivors(object, stripe, &row, &mut targets, &mut scratch)?;
+        let traffic = self.reconstruct_from_survivors(
+            object,
+            stripe,
+            &row,
+            &mut targets,
+            &mut scratch,
+            &mut times,
+        )?;
         targets.sort_unstable();
         for &shard in &targets {
             self.disks[row[shard]].ensure_object(object)?;
@@ -1499,6 +1574,7 @@ impl BlockStore {
         report.helper_bytes += traffic.total;
         report.intra_rack_bytes += traffic.intra_rack;
         report.cross_rack_bytes += traffic.cross_rack;
+        self.latency.repair_job.record_duration(job_start.elapsed());
         Ok(report)
     }
 

@@ -26,6 +26,7 @@
 use std::sync::Arc;
 
 use pbrs_erasure::ShardBuffer;
+use pbrs_obs::StageTimes;
 
 use crate::error::{Result, StoreError};
 use crate::manifest::ObjectInfo;
@@ -48,6 +49,8 @@ pub struct ObjectWriter {
     stripes: u64,
     /// Total payload bytes accepted.
     total: u64,
+    /// Cumulative erasure/chunk-io time across flushed stripes.
+    stage_times: StageTimes,
     state: WriterState,
 }
 
@@ -76,6 +79,7 @@ impl ObjectWriter {
             filled: 0,
             stripes: 0,
             total: 0,
+            stage_times: StageTimes::new(),
             state: WriterState::Open,
         })
     }
@@ -88,6 +92,12 @@ impl ObjectWriter {
     /// Payload bytes accepted so far.
     pub fn bytes_written(&self) -> u64 {
         self.total
+    }
+
+    /// Cumulative per-stage time (erasure encode vs chunk I/O) spent by
+    /// this writer's stripe flushes so far.
+    pub fn stage_times(&self) -> StageTimes {
+        self.stage_times
     }
 
     /// Appends `data` to the object. Every time the internal stripe
@@ -134,9 +144,12 @@ impl ObjectWriter {
                 self.buf.shard_mut(s).fill(0);
             }
         }
-        let result = self
-            .store
-            .encode_and_write_stripe(&self.name, self.stripes, &mut self.buf);
+        let result = self.store.encode_and_write_stripe(
+            &self.name,
+            self.stripes,
+            &mut self.buf,
+            &mut self.stage_times,
+        );
         match result {
             Ok(()) => {
                 self.stripes += 1;
@@ -228,6 +241,10 @@ pub struct ObjectReader {
     rows: Vec<Vec<usize>>,
     scratch: StripeScratch,
     degraded_stripes: u64,
+    /// Per-stage time of the most recent `read_stripe` call.
+    last_stage_times: StageTimes,
+    /// Cumulative per-stage time across all `read_stripe` calls.
+    stage_times: StageTimes,
 }
 
 impl ObjectReader {
@@ -243,6 +260,8 @@ impl ObjectReader {
             rows,
             scratch,
             degraded_stripes: 0,
+            last_stage_times: StageTimes::new(),
+            stage_times: StageTimes::new(),
         })
     }
 
@@ -290,6 +309,18 @@ impl ObjectReader {
         self.degraded_stripes
     }
 
+    /// Per-stage time (chunk I/O vs erasure arithmetic) of the most
+    /// recent [`ObjectReader::read_stripe`] call — the per-stripe delta a
+    /// serving tier ships with each response frame.
+    pub fn last_stage_times(&self) -> StageTimes {
+        self.last_stage_times
+    }
+
+    /// Cumulative per-stage time across every stripe this reader served.
+    pub fn stage_times(&self) -> StageTimes {
+        self.stage_times
+    }
+
     /// Decodes stripe `stripe` into the front of `out`, transparently
     /// degrading when chunks are missing or corrupt. Returns the payload
     /// length (`stripe_payload_len`; bytes past it in `out` are padding)
@@ -321,13 +352,17 @@ impl ObjectReader {
             });
         }
         let row = &self.rows[usize::try_from(stripe).expect("stripe count fits usize")];
+        let mut times = StageTimes::new();
         let degraded = self.store.read_stripe_into(
             &self.name,
             stripe,
             row,
             &mut out[..stripe_len],
             &mut self.scratch,
+            &mut times,
         )?;
+        self.last_stage_times = times;
+        self.stage_times.merge(&times);
         if degraded {
             self.degraded_stripes += 1;
         }
@@ -463,6 +498,43 @@ mod tests {
         }
         assert_eq!(served, data);
         assert_eq!(reader.degraded_stripes(), 4);
+    }
+
+    #[test]
+    fn stage_times_and_latency_histograms_accumulate() {
+        use pbrs_obs::Stage;
+        let dir = TempDir::new("stream-stages");
+        let store = small_store(&dir, "piggyback-4-2");
+        let data = pattern(4 * 512 * 3);
+        let mut writer = store.writer("obj").unwrap();
+        writer.write(&data).unwrap();
+        // Stripes have been flushed, so encode + chunk writes were timed.
+        let wt = writer.stage_times();
+        assert!(wt.get(Stage::ChunkIo) > 0, "writer chunk io untimed");
+        writer.finish().unwrap();
+
+        let mut out = vec![0u8; store.stripe_data_len()];
+        let mut reader = store.reader("obj").unwrap();
+        reader.read_stripe(0, &mut out).unwrap();
+        let healthy = reader.last_stage_times();
+        assert!(healthy.get(Stage::ChunkIo) > 0, "read chunk io untimed");
+        assert_eq!(healthy.get(Stage::Erasure), 0, "healthy read ran erasure");
+        assert_eq!(store.latency().healthy_stripe_read.count(), 1);
+
+        // Lose a disk: degraded reads time the reconstruct and feed the
+        // degraded histograms.
+        std::fs::remove_dir_all(store.disk_path(0)).unwrap();
+        let mut reader = store.reader("obj").unwrap();
+        for stripe in 0..reader.stripes() {
+            let (_, degraded) = reader.read_stripe(stripe, &mut out).unwrap();
+            assert!(degraded);
+        }
+        let total = reader.stage_times();
+        assert!(total.get(Stage::ChunkIo) > 0);
+        let latency = store.latency();
+        assert_eq!(latency.degraded_stripe_read.count(), 3);
+        assert_eq!(latency.degraded_reconstruct.count(), 3);
+        assert!(latency.degraded_reconstruct.p99() <= latency.degraded_stripe_read.max());
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //! * [`cluster`] — the warehouse-cluster simulator ([`pbrs_cluster`]);
 //! * [`trace`] — calibrated synthetic traces, statistics and report writers
 //!   ([`pbrs_trace`]);
+//! * [`obs`] — the observability core: lock-free latency histograms,
+//!   per-stage request timers, a named metric registry, and the bounded
+//!   structured event journal ([`pbrs_obs`]);
 //! * [`store`] — a file-backed erasure-coded block store with degraded
 //!   reads and a background repair daemon ([`pbrs_store`]);
 //! * [`chunkd`] — a per-"disk" TCP chunk server and client, so a store can
@@ -220,6 +223,7 @@ pub use pbrs_core as code;
 pub use pbrs_erasure as erasure;
 pub use pbrs_gateway as gateway;
 pub use pbrs_gf as gf;
+pub use pbrs_obs as obs;
 pub use pbrs_placement as placement;
 pub use pbrs_store as store;
 pub use pbrs_trace as trace;
@@ -235,6 +239,7 @@ pub mod prelude {
     };
     pub use pbrs_gateway::{Gateway, GatewayClient, GatewayConfig, GatewayError};
     pub use pbrs_gf::Gf256;
+    pub use pbrs_obs::{EventJournal, LatencyHistogram, Registry, Stage, StageTimes};
     pub use pbrs_placement::{PlacementError, PlacementMap, PlacementPolicy, RackMap};
     pub use pbrs_store::{
         BackendCounters, BlockStore, ChunkBackend, DaemonConfig, LocalDisk, MetricsSnapshot,
