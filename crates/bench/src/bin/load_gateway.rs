@@ -35,6 +35,16 @@
 //! 64 objects, 256 KiB, 25 %, closed, 4096). Lower `max-inflight` below
 //! the connection count to watch the gateway shed with explicit BUSY
 //! instead of queueing.
+//!
+//! **Chaos mode**: `--fault-plan NAME-OR-DSL [--fault-seed N]` (seed
+//! defaults to 42) rebuilds the store on fault-injected disks (a named
+//! plan like `stall-one-disk`, or the DSL documented in
+//! `pbrs_store::fault`) and hardens it with an op deadline, hedged
+//! rebuilds, and the health tracker. The run then *asserts* the
+//! failure-domain contract: zero client errors, degraded p99 bounded by
+//! the deadline, and — for stall plans — the stalled disk demoted out of
+//! `healthy`. The injected state rides into `BENCH_gateway.json` under
+//! `"fault"`.
 
 use std::env;
 use std::fs;
@@ -51,13 +61,21 @@ use pbrs_obs::hist::{bucket_bounds, bucket_index};
 use pbrs_obs::{HistogramSnapshot, LatencyHistogram, Summary};
 use pbrs_store::store::{BlockStore, StoreConfig};
 use pbrs_store::testing::TempDir;
+use pbrs_store::{
+    ChunkBackend, DiskState, FaultPlan, FaultyBackend, HealthPolicy, LocalDisk, PlacementPolicy,
+    RackMap,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 const SPEC: &str = "piggyback-4-2";
 const CHUNK_LEN: usize = 16 * 1024; // 64 KiB stripes
+const DISKS: usize = 6;
 const WOUNDED_DISK: usize = 1;
 const ZIPF_S: f64 = 1.0;
+/// Per-disk-op deadline in chaos mode; a stalled chunk read is abandoned
+/// (and served degraded) after this long.
+const OP_DEADLINE: Duration = Duration::from_millis(500);
 /// Smallest per-class sample count for which the client-vs-server
 /// percentile agreement is asserted rather than just reported.
 const AGREEMENT_MIN_SAMPLES: u64 = 50;
@@ -65,11 +83,35 @@ const AGREEMENT_MIN_SAMPLES: u64 = 50;
 /// scheduling noise makes tighter bars flaky for sub-millisecond reads.
 const AGREEMENT_FLOOR_US: f64 = 200.0;
 
-fn arg(n: usize, default: usize) -> usize {
-    env::args()
-        .nth(n)
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+/// Splits `--fault-plan NAME [--fault-seed N]` out of the command line,
+/// leaving the positional args in place.
+fn parse_args() -> (Vec<String>, Option<String>, u64) {
+    let mut argv: Vec<String> = env::args().collect();
+    let mut plan = None;
+    let mut seed = 42u64;
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--fault-plan" => {
+                argv.remove(i);
+                plan = Some(if i < argv.len() {
+                    argv.remove(i)
+                } else {
+                    panic!("--fault-plan needs a plan name or DSL string")
+                });
+            }
+            "--fault-seed" => {
+                argv.remove(i);
+                seed = if i < argv.len() {
+                    argv.remove(i).parse().expect("numeric --fault-seed")
+                } else {
+                    panic!("--fault-seed needs a value")
+                };
+            }
+            _ => i += 1,
+        }
+    }
+    (argv, plan, seed)
 }
 
 /// Zipfian sampler over `n` ranks: precomputed CDF, binary-searched.
@@ -226,12 +268,16 @@ fn agreement_json(rows: &[Agreement]) -> String {
 
 #[allow(clippy::too_many_lines)]
 fn main() {
+    let (argv, fault_text, fault_seed) = parse_args();
+    let arg = |n: usize, default: usize| -> usize {
+        argv.get(n).and_then(|v| v.parse().ok()).unwrap_or(default)
+    };
     let seconds = arg(1, 10);
     let connections = arg(2, 256);
     let objects = arg(3, 64).max(1);
     let object_len = arg(4, 256).max(1) * 1024;
     let degraded_pct = arg(5, 25).min(100);
-    let mode = match env::args().nth(6).unwrap_or_else(|| "closed".into()) {
+    let mode = match argv.get(6).cloned().unwrap_or_else(|| "closed".into()) {
         m if m.starts_with("open:") => Mode::Open(
             m.trim_start_matches("open:")
                 .parse()
@@ -240,6 +286,15 @@ fn main() {
         _ => Mode::Closed,
     };
     let max_inflight = arg(7, 4096).max(1);
+    // A named plan first, else the DSL; the same text+seed replays the
+    // same injected faults.
+    let fault_plan = fault_text.as_deref().map(|text| {
+        Arc::new(
+            FaultPlan::named(text, fault_seed)
+                .or_else(|_| FaultPlan::parse(text, fault_seed))
+                .expect("--fault-plan: not a named plan or parsable DSL"),
+        )
+    });
 
     section("gateway load: streamed GETs, zipfian popularity, degraded share");
     println!(
@@ -254,14 +309,48 @@ fn main() {
     );
 
     let dir = TempDir::new("bench-gateway");
-    let store = Arc::new(
-        BlockStore::open(
-            StoreConfig::new(dir.path().join("store"), SPEC.parse().expect("spec"))
-                .chunk_len(CHUNK_LEN)
-                .pipeline_workers(1),
-        )
-        .expect("open store"),
-    );
+    let base_config = || {
+        StoreConfig::new(dir.path().join("store"), SPEC.parse().expect("spec"))
+            .chunk_len(CHUNK_LEN)
+            .pipeline_workers(1)
+    };
+    let store = Arc::new(match &fault_plan {
+        // Chaos mode: every disk is a fault-injected local backend, and
+        // the store is hardened — per-op deadline, hedged rebuilds, and
+        // the health state machine with its circuit breaker.
+        Some(plan) => {
+            println!(
+                "fault plan {:?} (seed {fault_seed}): hardened store, op deadline {OP_DEADLINE:?}",
+                fault_text.as_deref().unwrap_or_default(),
+            );
+            let disks: Vec<Arc<dyn ChunkBackend>> = (0..DISKS)
+                .map(|i| {
+                    let inner: Arc<dyn ChunkBackend> =
+                        Arc::new(LocalDisk::new(dir.path().join(format!("pool-{i:02}"))));
+                    Arc::new(FaultyBackend::new(inner, Arc::clone(plan), i))
+                        as Arc<dyn ChunkBackend>
+                })
+                .collect();
+            BlockStore::open_with_backends(
+                base_config()
+                    .op_deadline(OP_DEADLINE)
+                    .hedge_delay(Duration::from_millis(100))
+                    .health_policy(HealthPolicy {
+                        // Demote fast, probe rarely: each probe of a
+                        // stalled disk costs one op deadline, so spacing
+                        // them keeps the tail honest.
+                        suspect_failures: 2,
+                        probe_interval: Duration::from_secs(5),
+                        ..HealthPolicy::default()
+                    }),
+                disks,
+                RackMap::per_disk(DISKS),
+                PlacementPolicy::Identity,
+            )
+            .expect("open store")
+        }
+        None => BlockStore::open(base_config()).expect("open store"),
+    });
     let gateway = Gateway::serve(
         Arc::clone(&store),
         "127.0.0.1:0",
@@ -270,6 +359,7 @@ fn main() {
             max_connections: connections + 16,
             in_flight_stripes: 4,
             max_inflight_requests: max_inflight,
+            ..GatewayConfig::default()
         },
     )
     .expect("start gateway");
@@ -288,8 +378,14 @@ fn main() {
     // read of those objects reconstructs from survivors.
     let wounded = objects * degraded_pct / 100;
     for i in 0..wounded {
-        let dir = store.disk_path(WOUNDED_DISK).join(format!("obj-{i:04}"));
-        fs::remove_dir_all(&dir).expect("wound object");
+        // `disk_path` covers only the all-local `open` layout; the chaos
+        // pool names its mounts itself.
+        let disk_root = if fault_plan.is_some() {
+            dir.path().join(format!("pool-{WOUNDED_DISK:02}"))
+        } else {
+            store.disk_path(WOUNDED_DISK)
+        };
+        fs::remove_dir_all(disk_root.join(format!("obj-{i:04}"))).expect("wound object");
     }
     println!(
         "ingested {objects} objects ({} MiB logical), wounded {wounded}",
@@ -441,6 +537,53 @@ fn main() {
         eprintln!("WARNING: {errors} failed reads");
     }
 
+    // Chaos contract: the injected faults must actually have fired, no
+    // client saw an error, the degraded tail stayed bounded by the op
+    // deadline, and a stall plan demoted its victim out of `healthy`.
+    let fault_json = match &fault_plan {
+        Some(plan) => {
+            let plan_text = fault_text.as_deref().unwrap_or_default();
+            assert_eq!(errors, 0, "chaos run surfaced client errors");
+            assert!(plan.fired() > 0, "the fault plan never fired");
+            if d.count > 0 {
+                let bound_us = 4 * OP_DEADLINE.as_micros() as u64;
+                assert!(
+                    d.p99_us <= bound_us,
+                    "degraded p99 {}us exceeds the {bound_us}us deadline bound",
+                    d.p99_us,
+                );
+            }
+            let health = store.health_snapshot();
+            let sick: Vec<String> = health
+                .iter()
+                .filter(|h| h.state != DiskState::Healthy)
+                .map(|h| format!("{{\"disk\": {}, \"state\": \"{}\"}}", h.disk, h.state))
+                .collect();
+            if plan_text.starts_with("stall-one-disk") {
+                assert!(
+                    !sick.is_empty(),
+                    "the stalled disk was never demoted: {health:?}"
+                );
+            }
+            println!(
+                "fault plan fired {} times; non-healthy disks: {}",
+                plan.fired(),
+                if sick.is_empty() {
+                    "none".to_string()
+                } else {
+                    sick.join(", ")
+                }
+            );
+            format!(
+                "{{\"plan\": \"{plan_text}\", \"seed\": {fault_seed}, \
+                 \"injections\": {}, \"sick_disks\": [{}]}}",
+                plan.fired(),
+                sick.join(", ")
+            )
+        }
+        None => "null".to_string(),
+    };
+
     // Server-side view: the versioned METRICS JSON (ops + stage
     // breakdown) and the Prometheus exposition, over the wire like any
     // monitoring agent would fetch them.
@@ -519,6 +662,7 @@ fn main() {
             "  \"degraded_share\": {degraded_share},\n",
             "  \"busy_shed\": {busy},\n",
             "  \"client_errors\": {errors},\n",
+            "  \"fault\": {fault},\n",
             "  \"healthy\": {healthy},\n",
             "  \"degraded\": {degraded},\n",
             "  \"overall\": {overall},\n",
@@ -543,6 +687,7 @@ fn main() {
         degraded_share = f1(degraded_share),
         busy = busy,
         errors = errors,
+        fault = fault_json,
         healthy = summary_json_ms(&h),
         degraded = summary_json_ms(&d),
         overall = summary_json_ms(&o),
@@ -559,5 +704,8 @@ fn main() {
         prometheus.lines().count()
     );
 
+    if let Some(plan) = &fault_plan {
+        plan.release(); // unpark any executor still inside a stall
+    }
     gateway.shutdown();
 }

@@ -116,6 +116,10 @@ impl Mux {
 pub struct RemoteDisk {
     addr: String,
     timeout: Duration,
+    /// Optional per-op deadline budget: when set, every request ships
+    /// wrapped in [`Request::Deadline`] carrying the *remaining* budget,
+    /// and an exhausted budget fails locally without touching the network.
+    op_budget: Option<Duration>,
     /// Optional operator label — typically the rack this disk belongs to —
     /// surfaced in [`ChunkBackend::describe`] so per-socket byte counters
     /// can be attributed to racks when many disks are mounted.
@@ -123,8 +127,24 @@ pub struct RemoteDisk {
     conn: Mutex<Option<Arc<Mux>>>,
     next_id: AtomicU64,
     backoff: Mutex<BackoffState>,
+    connect_attempts: AtomicU64,
+    connect_successes: AtomicU64,
+    backoff_rejections: AtomicU64,
     bytes_sent: Arc<AtomicU64>,
     bytes_received: Arc<AtomicU64>,
+}
+
+/// Counters of the reconnect path, for dashboards and flap diagnosis:
+/// how often this client actually dialed, how often a dial succeeded, and
+/// how many requests the backoff circuit rejected without dialing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReconnectStats {
+    /// Real dials attempted (backed-off fast-fails not included).
+    pub attempts: u64,
+    /// Dials that produced a live connection.
+    pub successes: u64,
+    /// Requests failed fast inside a backoff window, saving a dial.
+    pub backoff_rejections: u64,
 }
 
 /// Reconnect circuit state: consecutive connect failures and the deadline
@@ -192,6 +212,7 @@ impl RemoteDisk {
         RemoteDisk {
             addr,
             timeout,
+            op_budget: None,
             label: None,
             conn: Mutex::new(None),
             next_id: AtomicU64::new(1),
@@ -199,8 +220,32 @@ impl RemoteDisk {
                 jitter_seed: seed,
                 ..BackoffState::default()
             }),
+            connect_attempts: AtomicU64::new(0),
+            connect_successes: AtomicU64::new(0),
+            backoff_rejections: AtomicU64::new(0),
             bytes_sent: Arc::new(AtomicU64::new(0)),
             bytes_received: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Ships every request under a deadline budget: the wire frame carries
+    /// the budget *remaining* when the frame is sent (so a retry after a
+    /// slow first attempt ships a smaller number), the response wait is
+    /// clamped to it, and once it is exhausted the request fails locally —
+    /// no dial, no frame. The server refuses wrapped requests whose budget
+    /// is already spent instead of doing unwanted work.
+    #[must_use]
+    pub fn deadline(mut self, budget: Duration) -> Self {
+        self.op_budget = Some(budget);
+        self
+    }
+
+    /// Reconnect-path counters since creation.
+    pub fn reconnect_stats(&self) -> ReconnectStats {
+        ReconnectStats {
+            attempts: self.connect_attempts.load(Ordering::Relaxed),
+            successes: self.connect_successes.load(Ordering::Relaxed),
+            backoff_rejections: self.backoff_rejections.load(Ordering::Relaxed),
         }
     }
 
@@ -240,6 +285,7 @@ impl RemoteDisk {
             let backoff = self.backoff.lock().expect("lock");
             if let Some(until) = backoff.until {
                 if Instant::now() < until {
+                    self.backoff_rejections.fetch_add(1, Ordering::Relaxed);
                     return Err(io::Error::new(
                         io::ErrorKind::WouldBlock,
                         format!(
@@ -251,10 +297,12 @@ impl RemoteDisk {
                 }
             }
         }
+        self.connect_attempts.fetch_add(1, Ordering::Relaxed);
         let result = self.dial();
         let mut backoff = self.backoff.lock().expect("lock");
         match &result {
             Ok(_) => {
+                self.connect_successes.fetch_add(1, Ordering::Relaxed);
                 backoff.failures = 0;
                 backoff.until = None;
             }
@@ -319,9 +367,35 @@ impl RemoteDisk {
     /// op is idempotent, so a blind retry is safe). Many callers may be in
     /// this function concurrently; their requests share one socket.
     fn request(&self, request: &Request) -> io::Result<Response> {
-        let body = request.encode();
+        let start = Instant::now();
         let mut last = None;
         for _ in 0..2 {
+            // Under an op budget each lap re-encodes with the budget
+            // *remaining now*, so the server sees the client's true
+            // patience and a spent budget never reaches the wire.
+            let (body, wait) = match self.op_budget {
+                Some(budget) => {
+                    let remaining = budget.saturating_sub(start.elapsed());
+                    if remaining.is_zero() {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            format!(
+                                "op budget {budget:?} exhausted before reaching {}",
+                                self.addr
+                            ),
+                        ));
+                    }
+                    let wrapped = Request::Deadline {
+                        // max(1): on the wire, zero means "already expired".
+                        budget_ms: u32::try_from(remaining.as_millis())
+                            .unwrap_or(u32::MAX)
+                            .max(1),
+                        inner: Box::new(request.clone()),
+                    };
+                    (wrapped.encode(), self.timeout.min(remaining))
+                }
+                None => (request.encode(), self.timeout),
+            };
             let mux = match self.mux() {
                 Ok(mux) => mux,
                 Err(e) => {
@@ -334,7 +408,7 @@ impl RemoteDisk {
                     continue;
                 }
             };
-            match self.request_on(&mux, &body) {
+            match self.request_on(&mux, &body, wait) {
                 Ok(response) => return Ok(response),
                 Err(e) => {
                     // The connection is in an unknown state: fail every
@@ -348,9 +422,10 @@ impl RemoteDisk {
         Err(last.unwrap_or_else(|| io::Error::other("request failed")))
     }
 
-    /// Sends one tagged frame on `mux` and waits (bounded by the request
-    /// timeout) for the response frame carrying the same id.
-    fn request_on(&self, mux: &Mux, body: &[u8]) -> io::Result<Response> {
+    /// Sends one tagged frame on `mux` and waits (bounded by `wait`: the
+    /// request timeout, clamped to any remaining op budget) for the
+    /// response frame carrying the same id.
+    fn request_on(&self, mux: &Mux, body: &[u8], wait: Duration) -> io::Result<Response> {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = mpsc::channel();
         {
@@ -382,7 +457,7 @@ impl RemoteDisk {
                 return Err(e);
             }
         }
-        match rx.recv_timeout(self.timeout) {
+        match rx.recv_timeout(wait) {
             Ok(result) => result,
             Err(_) => {
                 // Timed out: deregister so a late response is dropped by
@@ -393,7 +468,7 @@ impl RemoteDisk {
                 }
                 Err(io::Error::new(
                     io::ErrorKind::TimedOut,
-                    format!("no response from {} within {:?}", self.addr, self.timeout),
+                    format!("no response from {} within {wait:?}", self.addr),
                 ))
             }
         }
@@ -648,6 +723,16 @@ mod tests {
         server.join().unwrap();
         let counters = disk.counters();
         assert!(counters.bytes_sent > 0 && counters.bytes_received > 0);
+        // Three pings, three connections: each one dialed exactly once.
+        let stats = disk.reconnect_stats();
+        assert_eq!(
+            stats,
+            ReconnectStats {
+                attempts: 3,
+                successes: 3,
+                backoff_rejections: 0
+            }
+        );
     }
 
     #[test]
@@ -689,6 +774,91 @@ mod tests {
         let err = disk.connect().unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::WouldBlock, "{err}");
         let _ = start;
+        // The circuit's work is visible in the counters: almost every probe
+        // was rejected without a dial, and no dial ever succeeded.
+        let stats = disk.reconnect_stats();
+        assert_eq!(stats.successes, 0);
+        assert!(stats.attempts <= 8, "probes must not re-dial: {stats:?}");
+        assert!(stats.backoff_rejections >= 40, "{stats:?}");
+    }
+
+    #[test]
+    fn backoff_windows_grow_to_the_cap_deterministically_without_a_clock() {
+        // `BackoffState::window` is pure in (failures, jitter_seed) — no
+        // wall clock — so the whole schedule is testable instantly.
+        let mut state = BackoffState {
+            jitter_seed: 7,
+            ..BackoffState::default()
+        };
+        let mut nominal_prev = Duration::ZERO;
+        for failures in 1..=20u32 {
+            state.failures = failures;
+            let window = state.window();
+            let exp = failures.saturating_sub(1).min(7);
+            let nominal = BACKOFF_BASE.saturating_mul(1 << exp).min(BACKOFF_CAP);
+            assert!(
+                window >= nominal.mul_f64(0.5) && window < nominal.mul_f64(1.5),
+                "failure {failures}: window {window:?} outside jitter band of {nominal:?}"
+            );
+            assert!(nominal >= nominal_prev, "windows must never shrink");
+            nominal_prev = nominal;
+        }
+        // Deep failure counts saturate: jitter aside, never past the cap.
+        state.failures = u32::MAX;
+        assert!(state.window() < BACKOFF_CAP.mul_f64(1.5));
+        // Same seed ⇒ the same jittered schedule, replayable in tests.
+        let sequence = |seed: u64| -> Vec<Duration> {
+            let mut s = BackoffState {
+                jitter_seed: seed,
+                ..BackoffState::default()
+            };
+            (1..=10u32)
+                .map(|f| {
+                    s.failures = f;
+                    s.window()
+                })
+                .collect()
+        };
+        assert_eq!(sequence(42), sequence(42));
+        assert_ne!(sequence(42), sequence(43));
+    }
+
+    #[test]
+    fn op_budget_wraps_requests_and_fails_fast_when_exhausted() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let (id, body, _) = protocol::read_frame(&mut stream).unwrap();
+            // The frame must arrive wrapped, carrying a sane remaining
+            // budget (positive, no larger than what the client was given).
+            let budget = match Request::decode(&body).unwrap() {
+                Request::Deadline { budget_ms, inner } => {
+                    assert_eq!(*inner, Request::Ping);
+                    budget_ms
+                }
+                other => panic!("expected a deadline wrapper, got {other:?}"),
+            };
+            assert!((1..=2000).contains(&budget), "budget {budget}ms");
+            let response = Response::Ok {
+                payload: protocol::encode_ping(true),
+            };
+            protocol::write_frame(&mut stream, id, &response.encode()).unwrap();
+        });
+        let disk = RemoteDisk::with_timeout(addr.to_string(), Duration::from_secs(5))
+            .deadline(Duration::from_secs(2));
+        assert!(disk.is_available());
+        server.join().unwrap();
+
+        // An exhausted budget fails before the network is touched at all.
+        let dead = RemoteDisk::new("203.0.113.1:9").deadline(Duration::ZERO);
+        let err = dead.ensure_object("obj").unwrap_err();
+        assert!(err.to_string().contains("budget"), "{err}");
+        assert_eq!(
+            dead.reconnect_stats().attempts,
+            0,
+            "no dial on a spent budget"
+        );
     }
 
     #[test]

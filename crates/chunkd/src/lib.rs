@@ -60,6 +60,6 @@ pub mod client;
 pub mod protocol;
 pub mod server;
 
-pub use client::{RemoteDisk, BACKOFF_BASE, BACKOFF_CAP, DEFAULT_TIMEOUT};
+pub use client::{ReconnectStats, RemoteDisk, BACKOFF_BASE, BACKOFF_CAP, DEFAULT_TIMEOUT};
 pub use protocol::{Request, Response, FRAME_OVERHEAD, MAX_FRAME};
 pub use server::{ChunkServer, ServerConfig};

@@ -52,6 +52,7 @@ const OP_READ_CHUNK: u8 = 4;
 const OP_READ_RANGE: u8 = 5;
 const OP_VERIFY: u8 = 6;
 const OP_SWEEP_TMP: u8 = 7;
+const OP_DEADLINE: u8 = 8;
 
 const STATUS_OK: u8 = 0;
 const STATUS_MISSING: u8 = 1;
@@ -120,6 +121,19 @@ pub enum Request {
     SweepTmp {
         /// Minimum age before a tmp file counts as stale.
         min_age: Duration,
+    },
+    /// Wraps any other request with a deadline budget: the client's
+    /// remaining patience, shipped so the server can refuse work it
+    /// cannot finish in time (answering [`Response::Err`] with
+    /// `"deadline exceeded"`) instead of burning disk on an answer nobody
+    /// is waiting for. A new opcode rather than a trailing field so
+    /// budget-less clients and servers interoperate unchanged.
+    Deadline {
+        /// Remaining budget in milliseconds.
+        budget_ms: u32,
+        /// The operation under the budget. Never itself a `Deadline`
+        /// (nesting is rejected at decode).
+        inner: Box<Request>,
     },
 }
 
@@ -344,6 +358,11 @@ impl Request {
                 let millis = u64::try_from(min_age.as_millis()).unwrap_or(u64::MAX);
                 out.extend_from_slice(&millis.to_le_bytes());
             }
+            Request::Deadline { budget_ms, inner } => {
+                out.push(OP_DEADLINE);
+                out.extend_from_slice(&budget_ms.to_le_bytes());
+                out.extend_from_slice(&inner.encode());
+            }
         }
         out
     }
@@ -385,6 +404,17 @@ impl Request {
             OP_SWEEP_TMP => Request::SweepTmp {
                 min_age: Duration::from_millis(c.u64()?),
             },
+            OP_DEADLINE => {
+                let budget_ms = c.u32()?;
+                let inner = Request::decode(&c.rest())?;
+                if matches!(inner, Request::Deadline { .. }) {
+                    return Err(invalid("nested deadline wrapper".into()));
+                }
+                Request::Deadline {
+                    budget_ms,
+                    inner: Box::new(inner),
+                }
+            }
             other => return Err(invalid(format!("unknown opcode {other}"))),
         };
         c.finish()?;
@@ -561,6 +591,16 @@ mod tests {
             Request::SweepTmp {
                 min_age: Duration::from_millis(1500),
             },
+            Request::Deadline {
+                budget_ms: 250,
+                inner: Box::new(Request::ReadRange {
+                    object: "obj".into(),
+                    id: ID,
+                    chunk_len: 4096,
+                    offset: 2048,
+                    len: 2048,
+                }),
+            },
         ];
         for req in cases {
             assert_eq!(Request::decode(&req.encode()).unwrap(), req, "{req:?}");
@@ -621,6 +661,19 @@ mod tests {
         let mut body = Request::Ping.encode();
         body.push(0);
         assert!(Request::decode(&body).is_err());
+        // A deadline may wrap any op exactly once, never itself.
+        let nested = Request::Deadline {
+            budget_ms: 10,
+            inner: Box::new(Request::Ping),
+        };
+        let mut doubled = vec![OP_DEADLINE];
+        doubled.extend_from_slice(&20u32.to_le_bytes());
+        doubled.extend_from_slice(&nested.encode());
+        assert!(Request::decode(&doubled).is_err(), "nested deadline");
+        // Trailing garbage inside the wrapped body is still rejected.
+        let mut padded = nested.encode();
+        padded.push(0);
+        assert!(Request::decode(&padded).is_err());
     }
 
     #[test]

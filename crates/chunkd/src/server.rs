@@ -19,7 +19,9 @@ use std::time::{Duration, Instant};
 
 use pbrs_obs::{LatencyHistogram, Registry, Summary};
 use pbrs_store::manifest::validate_object_name;
-use pbrs_store::{BackendCounters, ChunkBackend, ChunkStatus, LocalDisk, StoreError};
+use pbrs_store::{
+    BackendCounters, ChunkBackend, ChunkStatus, FaultPlan, FaultyBackend, LocalDisk, StoreError,
+};
 
 use crate::protocol::{
     encode_ping, encode_sweep, encode_verify, write_frame, Request, Response, FRAME_OVERHEAD,
@@ -30,7 +32,7 @@ use crate::protocol::{
 const POLL_INTERVAL: Duration = Duration::from_millis(100);
 
 /// Configuration of a [`ChunkServer`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Worker threads accepting and serving connections (also the maximum
     /// number of concurrently served connections).
@@ -42,6 +44,16 @@ pub struct ServerConfig {
     /// reconnect transparently (every op is idempotent and retried once
     /// over a fresh connection), so a short timeout is safe.
     pub idle_timeout: Duration,
+    /// Test/bench-only fault hook: when set, the served disk is wrapped in
+    /// a [`FaultyBackend`] executing this plan, so chaos suites and
+    /// `load_gateway --fault-plan` can stall, corrupt, or drop real remote
+    /// ops. A `drop` fault makes the server kill the connection instead of
+    /// answering, as a genuinely aborted connection would. Nothing in
+    /// production paths sets this.
+    pub fault_plan: Option<Arc<FaultPlan>>,
+    /// The pool-disk index this server plays in `fault_plan`'s schedule
+    /// (a plan's `disk=N` clauses match against it).
+    pub fault_disk: usize,
 }
 
 impl Default for ServerConfig {
@@ -49,6 +61,8 @@ impl Default for ServerConfig {
         ServerConfig {
             threads: 4,
             idle_timeout: Duration::from_secs(120),
+            fault_plan: None,
+            fault_disk: 0,
         }
     }
 }
@@ -97,12 +111,17 @@ impl OpHists {
             Request::ReadRange { .. } => &self.read_range,
             Request::Verify { .. } => &self.verify,
             Request::SweepTmp { .. } => &self.sweep_tmp,
+            // Budgets time the op they wrap, not their own bookkeeping.
+            Request::Deadline { inner, .. } => self.for_request(inner),
         }
     }
 }
 
 struct Shared {
-    disk: LocalDisk,
+    /// The served backend: a bare [`LocalDisk`], or the same disk behind a
+    /// [`FaultyBackend`] when `ServerConfig::fault_plan` is set.
+    backend: Arc<dyn ChunkBackend>,
+    root: PathBuf,
     shutdown: AtomicBool,
     traffic: Traffic,
     idle_timeout: Duration,
@@ -122,7 +141,7 @@ impl std::fmt::Debug for ChunkServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ChunkServer")
             .field("addr", &self.local_addr)
-            .field("root", &self.shared.disk.root())
+            .field("root", &self.shared.root)
             .field("threads", &self.workers.len())
             .finish()
     }
@@ -156,8 +175,18 @@ impl ChunkServer {
         let local_addr = listener.local_addr()?;
         let registry = Registry::new();
         let ops = OpHists::new(&registry);
+        let local: Arc<dyn ChunkBackend> = Arc::new(LocalDisk::new(root.clone()));
+        let backend = match &config.fault_plan {
+            Some(plan) => Arc::new(FaultyBackend::new(
+                local,
+                Arc::clone(plan),
+                config.fault_disk,
+            )) as Arc<dyn ChunkBackend>,
+            None => local,
+        };
         let shared = Arc::new(Shared {
-            disk: LocalDisk::new(root),
+            backend,
+            root,
             shutdown: AtomicBool::new(false),
             traffic: Traffic::default(),
             idle_timeout: config.idle_timeout.max(POLL_INTERVAL),
@@ -189,7 +218,7 @@ impl ChunkServer {
 
     /// The disk root directory this server serves.
     pub fn root(&self) -> &Path {
-        self.shared.disk.root()
+        &self.shared.root
     }
 
     /// Server-side traffic totals across all connections so far:
@@ -291,12 +320,30 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) -> io::Result<()> {
             .bytes_in
             .fetch_add(FRAME_OVERHEAD + body.len() as u64, Ordering::Relaxed);
         let response = match Request::decode(&body) {
+            // The client's budget was gone before the frame arrived:
+            // refuse rather than burn disk on an answer nobody waits for.
+            // (The client ships its *remaining* budget at send time, so a
+            // zero here means "already expired"; a positive budget cannot
+            // be enforced mid-op and the work simply runs.)
+            Ok(Request::Deadline { budget_ms: 0, .. }) => Response::Err {
+                message: "deadline exceeded before execution".into(),
+            },
             Ok(request) => {
+                let request = match request {
+                    Request::Deadline { inner, .. } => *inner,
+                    other => other,
+                };
                 let hist = shared.ops.for_request(&request);
                 let start = Instant::now();
-                let response = handle(&shared.disk, request);
-                hist.record_duration(start.elapsed());
-                response
+                match handle(shared.backend.as_ref(), request) {
+                    Ok(response) => {
+                        hist.record_duration(start.elapsed());
+                        response
+                    }
+                    // An injected connection drop: die without answering,
+                    // exactly as a genuinely aborted connection would.
+                    Err(e) => return Err(e),
+                }
             }
             Err(e) => Response::Err {
                 message: format!("bad request: {e}"),
@@ -399,12 +446,14 @@ fn read_frame_polling(
     Ok(Some((req_id, body)))
 }
 
-/// Executes one request against the disk.
-fn handle(disk: &LocalDisk, request: Request) -> Response {
+/// Executes one request against the disk. `Err` means "kill the
+/// connection without answering" — only an injected connection-drop fault
+/// produces it.
+fn handle(disk: &dyn ChunkBackend, request: Request) -> io::Result<Response> {
     match request {
-        Request::Ping => Response::Ok {
+        Request::Ping => Ok(Response::Ok {
             payload: encode_ping(disk.is_available()),
-        },
+        }),
         Request::EnsureObject { object } => with_object(&object, || {
             disk.ensure_object(&object)?;
             Ok(Response::Ok { payload: vec![] })
@@ -465,13 +514,32 @@ fn handle(disk: &LocalDisk, request: Request) -> Response {
             })
         }),
         Request::SweepTmp { min_age } => match disk.sweep_tmp(min_age) {
-            Ok(removed) => Response::Ok {
+            Ok(removed) => Ok(Response::Ok {
                 payload: encode_sweep(&removed),
-            },
-            Err(e) => Response::Err {
-                message: e.to_string(),
+            }),
+            Err(e) => match connection_drop(&e) {
+                Some(drop) => Err(drop),
+                None => Ok(Response::Err {
+                    message: e.to_string(),
+                }),
             },
         },
+        // Unwrapped by the caller; a nested one is rejected at decode.
+        Request::Deadline { .. } => Ok(Response::Err {
+            message: "unexpected deadline wrapper".into(),
+        }),
+    }
+}
+
+/// An injected `drop` fault surfaces from the backend as a
+/// `ConnectionAborted` I/O error; the server turns it into a real
+/// connection kill rather than an error response.
+fn connection_drop(e: &StoreError) -> Option<io::Error> {
+    match e {
+        StoreError::Io { source, .. } if source.kind() == io::ErrorKind::ConnectionAborted => Some(
+            io::Error::new(io::ErrorKind::ConnectionAborted, e.to_string()),
+        ),
+        _ => None,
     }
 }
 
@@ -488,17 +556,24 @@ fn check_len(len: u32) -> Result<(), StoreError> {
 
 /// Validates the object name (the server must never trust a path
 /// component off the wire), then runs the op, folding errors into an
-/// error response.
-fn with_object(object: &str, op: impl FnOnce() -> Result<Response, StoreError>) -> Response {
+/// error response — except an injected connection drop, which becomes a
+/// hard `Err` so the caller kills the connection.
+fn with_object(
+    object: &str,
+    op: impl FnOnce() -> Result<Response, StoreError>,
+) -> io::Result<Response> {
     if let Err(e) = validate_object_name(object) {
-        return Response::Err {
+        return Ok(Response::Err {
             message: e.to_string(),
-        };
+        });
     }
     match op() {
-        Ok(response) => response,
-        Err(e) => Response::Err {
-            message: e.to_string(),
+        Ok(response) => Ok(response),
+        Err(e) => match connection_drop(&e) {
+            Some(drop) => Err(drop),
+            None => Ok(Response::Err {
+                message: e.to_string(),
+            }),
         },
     }
 }

@@ -7,11 +7,12 @@ use std::fs::{self, File};
 use std::sync::Arc;
 use std::time::{Duration, SystemTime};
 
-use pbrs_chunkd::{ChunkServer, RemoteDisk, ServerConfig};
+use pbrs_chunkd::protocol::{read_frame, write_frame};
+use pbrs_chunkd::{ChunkServer, RemoteDisk, Request, Response, ServerConfig};
 use pbrs_store::testing::TempDir;
 use pbrs_store::{
-    BlockStore, ChunkBackend, DaemonConfig, LocalDisk, PlacementPolicy, RackMap, RepairDaemon,
-    StoreConfig,
+    BlockStore, ChunkBackend, ChunkStatus, DaemonConfig, FaultPlan, LocalDisk, PlacementPolicy,
+    RackMap, RepairDaemon, StoreConfig,
 };
 
 const CHUNK_LEN: usize = 512;
@@ -212,5 +213,77 @@ fn server_times_each_remote_op() {
     assert!(text.contains("# TYPE pbrs_chunkd_op_read_chunk_duration_seconds histogram"));
     assert!(text.contains("pbrs_chunkd_op_read_chunk_duration_seconds_count 1"));
     assert!(text.contains("le=\"+Inf\""));
+    server.shutdown();
+}
+
+/// The server-side fault hook over real sockets: an injected connection
+/// drop kills the connection (the client's transparent retry rides it
+/// out), a stalled op is bounded by the client's deadline budget, and an
+/// already-expired budget is refused with a typed error instead of work.
+#[test]
+fn fault_hook_drops_connections_and_deadlines_bound_stalls() {
+    let dir = TempDir::new("chunkd-chaos");
+    let plan =
+        Arc::new(FaultPlan::parse("op=read drop count=1; disk=0 op=verify stall", 11).unwrap());
+    let server = ChunkServer::bind_with(
+        dir.path().join("srv"),
+        "127.0.0.1:0",
+        ServerConfig {
+            threads: 2,
+            fault_plan: Some(Arc::clone(&plan)),
+            fault_disk: 0,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let disk =
+        RemoteDisk::with_timeout(server.local_addr().to_string(), Duration::from_millis(400))
+            .deadline(Duration::from_millis(400));
+    let id = pbrs_store::ChunkId {
+        stripe: 0,
+        shard: 0,
+    };
+    let payload = pattern(CHUNK_LEN);
+    disk.ensure_object("obj").unwrap();
+    disk.write_chunk("obj", id, &payload).unwrap();
+
+    // First read hits the drop fault: the server kills the connection
+    // without answering; the client redials and the retry succeeds.
+    let mut out = vec![0u8; CHUNK_LEN];
+    disk.read_chunk_into("obj", id, &mut out).unwrap().unwrap();
+    assert_eq!(out, payload);
+    assert!(plan.fired() >= 1, "the drop rule never fired");
+    assert!(
+        disk.reconnect_stats().successes >= 2,
+        "surviving the drop requires a redial: {:?}",
+        disk.reconnect_stats()
+    );
+
+    // The stalled verify is bounded by the budget and degrades to a lost
+    // chunk — never a hang, never a hard error.
+    let start = std::time::Instant::now();
+    let (status, _) = disk.verify_chunk("obj", id, CHUNK_LEN).unwrap();
+    assert_eq!(status, ChunkStatus::Missing);
+    assert!(
+        start.elapsed() < Duration::from_secs(2),
+        "stalled verify not bounded: {:?}",
+        start.elapsed()
+    );
+
+    // A wire frame whose budget is already spent gets the typed refusal.
+    let mut stream = std::net::TcpStream::connect(server.local_addr()).unwrap();
+    let expired = Request::Deadline {
+        budget_ms: 0,
+        inner: Box::new(Request::Ping),
+    };
+    write_frame(&mut stream, 1, &expired.encode()).unwrap();
+    let (req_id, body, _) = read_frame(&mut stream).unwrap();
+    assert_eq!(req_id, 1);
+    match Response::decode(&body).unwrap() {
+        Response::Err { message } => assert!(message.contains("deadline"), "{message}"),
+        other => panic!("expected a deadline refusal, got {other:?}"),
+    }
+
+    plan.release(); // unstall the parked server worker before teardown
     server.shutdown();
 }

@@ -74,6 +74,9 @@ pub struct GatewayMetrics {
     pub objects_deleted: AtomicU64,
     /// Requests answered with an error response.
     pub request_errors: AtomicU64,
+    /// GET stripe jobs abandoned at dequeue because they out-waited
+    /// [`request_deadline`](crate::server::GatewayConfig::request_deadline).
+    pub requests_expired: AtomicU64,
 }
 
 /// A point-in-time copy of [`GatewayMetrics`].
@@ -103,6 +106,8 @@ pub struct MetricsSnapshot {
     pub objects_deleted: u64,
     /// See [`GatewayMetrics::request_errors`].
     pub request_errors: u64,
+    /// See [`GatewayMetrics::requests_expired`].
+    pub requests_expired: u64,
 }
 
 impl GatewayMetrics {
@@ -152,6 +157,7 @@ impl GatewayMetrics {
             objects_put: get(&self.objects_put),
             objects_deleted: get(&self.objects_deleted),
             request_errors: get(&self.request_errors),
+            requests_expired: get(&self.requests_expired),
         }
     }
 }
@@ -229,7 +235,7 @@ impl GatewayLatencySnapshot {
 impl MetricsSnapshot {
     /// Appends the gateway's counters to a Prometheus exposition.
     pub fn write_prometheus(&self, out: &mut String) {
-        let fields: [(&str, u64); 12] = [
+        let fields: [(&str, u64); 13] = [
             ("connections_accepted", self.connections_accepted),
             ("connections_refused", self.connections_refused),
             ("open_connections", self.open_connections),
@@ -242,6 +248,7 @@ impl MetricsSnapshot {
             ("objects_put", self.objects_put),
             ("objects_deleted", self.objects_deleted),
             ("request_errors", self.request_errors),
+            ("requests_expired", self.requests_expired),
         ];
         for (name, value) in fields {
             // `open_connections` is a level, not a monotonic total.
@@ -281,7 +288,7 @@ impl MetricsSnapshot {
                 "\"requests_shed\":{},\"bytes_in\":{},\"bytes_out\":{},",
                 "\"stripes_served\":{},\"degraded_stripes_served\":{},",
                 "\"objects_put\":{},\"objects_deleted\":{},",
-                "\"request_errors\":{}}}"
+                "\"request_errors\":{},\"requests_expired\":{}}}"
             ),
             self.connections_accepted,
             self.connections_refused,
@@ -295,6 +302,7 @@ impl MetricsSnapshot {
             self.objects_put,
             self.objects_deleted,
             self.request_errors,
+            self.requests_expired,
         )
     }
 }

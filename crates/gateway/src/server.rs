@@ -47,7 +47,7 @@ use std::os::unix::net::UnixStream;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::{self, JoinHandle};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use pbrs_obs::{Stage, StageTimes};
 use pbrs_store::{BlockStore, ObjectReader, ObjectWriter, StoreError};
@@ -73,6 +73,12 @@ pub struct GatewayConfig {
     /// Global cap on admitted worker-backed requests (PUT/GET/DELETE);
     /// above it new ones are shed with `BUSY`. Default 256.
     pub max_inflight_requests: usize,
+    /// Per-stripe queue deadline for GETs: a stripe job that has already
+    /// waited longer than this when a worker dequeues it is answered with
+    /// a typed `deadline exceeded` error (counted as `requests_expired`)
+    /// instead of doing store I/O the client has stopped waiting for.
+    /// `None` (the default) never expires anything.
+    pub request_deadline: Option<Duration>,
 }
 
 impl Default for GatewayConfig {
@@ -82,6 +88,7 @@ impl Default for GatewayConfig {
             max_connections: 1024,
             in_flight_stripes: 4,
             max_inflight_requests: 256,
+            request_deadline: None,
         }
     }
 }
@@ -114,6 +121,7 @@ impl Gateway {
             max_connections: config.max_connections.max(1),
             in_flight_stripes: config.in_flight_stripes.max(1),
             max_inflight_requests: config.max_inflight_requests.max(1),
+            request_deadline: config.request_deadline,
         };
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
@@ -136,10 +144,12 @@ impl Gateway {
             let jobs = Arc::clone(&jobs);
             let done = Arc::clone(&done);
             let wake = wake_tx.try_clone()?;
+            let metrics = Arc::clone(&metrics);
+            let deadline = config.request_deadline;
             workers.push(
                 thread::Builder::new()
                     .name(format!("gw-worker-{i}"))
-                    .spawn(move || worker_loop(&store, &jobs, &done, wake))?,
+                    .spawn(move || worker_loop(&store, &jobs, &done, wake, deadline, &metrics))?,
             );
         }
 
@@ -307,6 +317,8 @@ fn worker_loop(
     jobs: &Mutex<mpsc::Receiver<Job>>,
     done: &Mutex<VecDeque<Done>>,
     mut wake: UnixStream,
+    deadline: Option<Duration>,
+    metrics: &GatewayMetrics,
 ) {
     loop {
         // Hold the lock only to receive; blocking in `recv` under the lock
@@ -361,16 +373,31 @@ fn worker_loop(
                 queued,
             } => {
                 let mut times = StageTimes::new();
-                times.add_duration(Stage::Queue, queued.elapsed());
-                let result = match reader.read_stripe(stripe, &mut buf) {
-                    Ok((payload, degraded)) => {
-                        buf.truncate(payload);
-                        Ok((buf, degraded))
+                let waited = queued.elapsed();
+                times.add_duration(Stage::Queue, waited);
+                let result = match deadline {
+                    // The client's patience ran out while the job sat in
+                    // the queue: answer without touching the store.
+                    Some(d) if waited > d => {
+                        GatewayMetrics::add(&metrics.requests_expired, 1);
+                        Err(Response::Err {
+                            message: format!(
+                                "deadline exceeded: stripe {stripe} queued {waited:?} \
+                                 against a {d:?} budget"
+                            ),
+                        })
                     }
-                    Err(e) => Err(store_error_response(&e)),
+                    _ => match reader.read_stripe(stripe, &mut buf) {
+                        Ok((payload, degraded)) => {
+                            buf.truncate(payload);
+                            // The store attributed this stripe's
+                            // chunk-io/erasure time.
+                            times.merge(&reader.last_stage_times());
+                            Ok((buf, degraded))
+                        }
+                        Err(e) => Err(store_error_response(&e)),
+                    },
                 };
-                // The store attributed this stripe's chunk-io/erasure time.
-                times.merge(&reader.last_stage_times());
                 Some(Done::StripeRead {
                     conn,
                     req,
@@ -680,6 +707,7 @@ impl Reactor {
                 self.metrics.latency().write_prometheus(&mut text);
                 self.store.metrics().write_prometheus(&mut text);
                 self.store.latency().write_prometheus(&mut text);
+                pbrs_store::health::write_prometheus(&self.store.health_snapshot(), &mut text);
                 self.push_response(conn_id, req_id, &Response::Prometheus { text });
             }
             Request::Stat { name } => {

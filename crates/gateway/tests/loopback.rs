@@ -142,6 +142,88 @@ fn degraded_get_over_chunkd_sockets_reports_rebuilt_stripes() {
     );
 }
 
+/// A GET that fails *after* the `ObjectHeader` is out — damage beyond the
+/// code's tolerance discovered mid-stream — terminates the stream with a
+/// typed error frame in bounded time: no hang, no connection teardown.
+#[test]
+fn mid_stream_failure_terminates_with_typed_error_not_a_hang() {
+    let dir = TempDir::new("gw-midstream");
+    let store = local_store(&dir, "rs-4-2", 512);
+    let gw = gateway(&store, GatewayConfig::default());
+    let mut c = client(&gw);
+
+    let data = pattern(4 * 512 * 4); // 4 stripes
+    c.put("obj", &data).unwrap();
+
+    // Kill stripe 2 on three of six disks: one more loss than rs-4-2
+    // tolerates, and only discovered when the stream reaches it.
+    for disk in 0..3 {
+        let obj = store.disk_path(disk).join("obj");
+        for entry in fs::read_dir(&obj).unwrap() {
+            let path = entry.unwrap().path();
+            let name = path.file_name().unwrap().to_string_lossy().into_owned();
+            if name.starts_with("00000002-") {
+                fs::remove_file(&path).unwrap();
+            }
+        }
+    }
+
+    let start = std::time::Instant::now();
+    let mut delivered = 0u64;
+    let err = c.get_streamed("obj", |_| delivered += 1).unwrap_err();
+    match err {
+        GatewayError::Remote(_) => {}
+        other => panic!("expected a typed mid-stream error, got {other:?}"),
+    }
+    assert_eq!(delivered, 2, "the healthy prefix streams before the error");
+    assert!(
+        start.elapsed() < Duration::from_secs(10),
+        "mid-stream failure must not hang: {:?}",
+        start.elapsed()
+    );
+
+    // The error frame ends only that exchange; the connection sails on.
+    assert_eq!(c.stat("obj").unwrap(), (data.len() as u64, 4));
+    assert!(gw.metrics().snapshot().request_errors >= 1);
+}
+
+/// With `request_deadline` set, a stripe job that out-waits its budget in
+/// the queue is refused with a typed `deadline exceeded` error and counted
+/// as expired, and the exposition carries the new families.
+#[test]
+fn request_deadline_expires_queued_stripes_with_typed_errors() {
+    let dir = TempDir::new("gw-deadline");
+    let store = local_store(&dir, "rs-4-2", 512);
+    let gw = gateway(
+        &store,
+        GatewayConfig {
+            // Zero patience: the first stripe job has always already
+            // expired by the time a worker dequeues it.
+            request_deadline: Some(Duration::ZERO),
+            ..GatewayConfig::default()
+        },
+    );
+    let mut c = client(&gw);
+    c.put("obj", &pattern(4 * 512 * 2)).unwrap(); // PUTs carry no deadline
+
+    match c.get_streamed("obj", |_| {}) {
+        Err(GatewayError::Remote(message)) => {
+            assert!(message.contains("deadline exceeded"), "{message}");
+        }
+        other => panic!("expected a deadline error, got {other:?}"),
+    }
+    assert!(gw.metrics().snapshot().requests_expired >= 1);
+
+    let text = c.prometheus().unwrap();
+    assert!(
+        text.contains("pbrs_gateway_requests_expired_total"),
+        "{text}"
+    );
+    // The store's disk-health family rides the same exposition (empty
+    // state set here: this store runs unhardened).
+    assert!(text.contains("# TYPE pbrs_disk_health gauge"), "{text}");
+}
+
 #[test]
 fn pipelined_requests_demux_by_id() {
     let dir = TempDir::new("gw-pipeline");

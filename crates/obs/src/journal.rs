@@ -25,6 +25,9 @@ pub enum EventKind {
     Error,
     /// A worker panicked (and was contained).
     Panic,
+    /// A disk changed health state (Healthy/Suspect/Failed transition,
+    /// circuit-breaker trip or recovery).
+    DiskHealth,
 }
 
 impl EventKind {
@@ -36,6 +39,7 @@ impl EventKind {
             EventKind::Scan => "scan",
             EventKind::Error => "error",
             EventKind::Panic => "panic",
+            EventKind::DiskHealth => "disk_health",
         }
     }
 

@@ -294,18 +294,27 @@ impl std::fmt::Debug for RepairDaemon {
 
 fn scan_once(shared: &Shared) -> Result<ScanReport> {
     let scrub: ScrubReport = shared.store.scrub()?;
-    let mut by_stripe: BTreeMap<(String, u64), Vec<usize>> = BTreeMap::new();
+    // On a hardened store, stripes whose damage sits on Suspect/Failed
+    // disks repair first: those disks are actively losing ops right now,
+    // so their stripes are the closest to dropping below k survivors.
+    let health = shared.store.health_snapshot();
+    let severity = |disk: usize| health.get(disk).map_or(0, |h| h.state.severity());
+    let mut by_stripe: BTreeMap<(String, u64), (Vec<usize>, u64)> = BTreeMap::new();
     for damage in &scrub.damages {
-        by_stripe
+        let entry = by_stripe
             .entry((damage.object.clone(), damage.stripe))
-            .or_default()
-            .push(damage.shard);
+            .or_default();
+        entry.0.push(damage.shard);
+        entry.1 += severity(damage.disk);
     }
     let damaged_chunks = scrub.damages.len();
+    let mut ordered: Vec<_> = by_stripe.into_iter().collect();
+    // Stable sort: manifest (object, stripe) order within equal priority.
+    ordered.sort_by_key(|entry| std::cmp::Reverse(entry.1 .1));
     let mut enqueued = 0usize;
     {
         let mut queue = shared.queue.lock().expect("lock");
-        for ((object, stripe), damaged) in by_stripe {
+        for ((object, stripe), (damaged, _priority)) in ordered {
             if queue.pending.insert((object.clone(), stripe)) {
                 queue.tasks.push_back(RepairTask {
                     object,

@@ -129,6 +129,9 @@ pub mod chunk;
 pub mod crc32;
 pub mod daemon;
 pub mod error;
+pub mod fault;
+pub mod guard;
+pub mod health;
 pub mod manifest;
 pub mod metrics;
 pub mod store;
@@ -138,6 +141,12 @@ pub mod testing;
 pub use backend::{BackendCounters, ChunkBackend, LocalDisk};
 pub use chunk::{ChunkId, ChunkRead, ChunkStatus};
 pub use daemon::{DaemonConfig, DaemonStats, RepairDaemon, ScanReport, EVENT_JOURNAL_CAPACITY};
+pub use fault::{FaultKind, FaultOp, FaultPlan, FaultyBackend};
+pub use guard::GuardedDisk;
+pub use health::{
+    Admission, DiskHealth, DiskHealthSnapshot, DiskState, HealthPolicy, HealthTracker, Outcome,
+    Transition,
+};
 // The daemon's journal speaks pbrs-obs event types — re-exported so store
 // callers can match on kinds without a separate import.
 pub use error::StoreError;

@@ -51,6 +51,17 @@ pub struct StoreMetrics {
     pub chunks_scrubbed: AtomicU64,
     /// Payload bytes read (and checksummed) by scrub passes.
     pub scrub_bytes_read: AtomicU64,
+    /// Planned rebuilds that abandoned a slow helper set and hedged to the
+    /// next-ranked one (only under [`crate::StoreConfig::hedge_delay`]).
+    pub hedged_reads: AtomicU64,
+    /// Hedged rebuilds whose switched-to helper set completed the rebuild.
+    pub hedge_wins: AtomicU64,
+    /// Chunk ops abandoned at the per-op deadline (only under
+    /// [`crate::StoreConfig::op_deadline`]; mirrors the health tracker).
+    pub disk_timeouts: AtomicU64,
+    /// Chunk ops shed by a Suspect/Failed disk's circuit breaker without
+    /// touching the disk (mirrors the health tracker).
+    pub disk_sheds: AtomicU64,
 }
 
 impl StoreMetrics {
@@ -81,6 +92,10 @@ impl StoreMetrics {
             repair_bytes_written: get(&self.repair_bytes_written),
             chunks_scrubbed: get(&self.chunks_scrubbed),
             scrub_bytes_read: get(&self.scrub_bytes_read),
+            hedged_reads: get(&self.hedged_reads),
+            hedge_wins: get(&self.hedge_wins),
+            disk_timeouts: get(&self.disk_timeouts),
+            disk_sheds: get(&self.disk_sheds),
         }
     }
 }
@@ -124,6 +139,14 @@ pub struct MetricsSnapshot {
     pub chunks_scrubbed: u64,
     /// Payload bytes read by scrub passes.
     pub scrub_bytes_read: u64,
+    /// Planned rebuilds that hedged to the next-ranked helper set.
+    pub hedged_reads: u64,
+    /// Hedged rebuilds completed by the switched-to helper set.
+    pub hedge_wins: u64,
+    /// Chunk ops abandoned at the per-op deadline.
+    pub disk_timeouts: u64,
+    /// Chunk ops shed by a disk's circuit breaker.
+    pub disk_sheds: u64,
 }
 
 impl MetricsSnapshot {
@@ -231,7 +254,7 @@ impl StoreLatencySnapshot {
 impl MetricsSnapshot {
     /// Append the counters as Prometheus `pbrs_store_*` samples.
     pub fn write_prometheus(&self, out: &mut String) {
-        let fields: [(&str, u64); 17] = [
+        let fields: [(&str, u64); 21] = [
             ("bytes_ingested", self.bytes_ingested),
             ("chunks_written", self.chunks_written),
             ("chunk_bytes_written", self.chunk_bytes_written),
@@ -249,6 +272,10 @@ impl MetricsSnapshot {
             ("repair_bytes_written", self.repair_bytes_written),
             ("chunks_scrubbed", self.chunks_scrubbed),
             ("scrub_bytes_read", self.scrub_bytes_read),
+            ("hedged_reads", self.hedged_reads),
+            ("hedge_wins", self.hedge_wins),
+            ("disk_timeouts", self.disk_timeouts),
+            ("disk_sheds", self.disk_sheds),
         ];
         for (field, value) in fields {
             let name = format!("pbrs_store_{field}_total");

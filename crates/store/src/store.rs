@@ -77,9 +77,11 @@ use pbrs_placement::{PlacementMap, PlacementPolicy, RackMap};
 use crate::backend::{BackendCounters, ChunkBackend, LocalDisk};
 use crate::chunk::{self, ChunkId, ChunkStatus};
 use crate::error::{Result, StoreError};
+use crate::guard::GuardedDisk;
+use crate::health::{DiskHealthSnapshot, DiskState, HealthPolicy, HealthTracker, Transition};
 use crate::manifest::{manifest_path, validate_object_name, Manifest, ObjectInfo};
 use crate::metrics::{MetricsSnapshot, StoreLatency, StoreLatencySnapshot, StoreMetrics};
-use pbrs_obs::{Stage, StageTimes};
+use pbrs_obs::{Event, EventJournal, EventKind, Stage, StageTimes};
 
 /// Default chunk payload length: 64 KiB.
 pub const DEFAULT_CHUNK_LEN: usize = 64 * 1024;
@@ -112,6 +114,26 @@ pub struct StoreConfig {
     /// manifest; reopening with a different seed is a config mismatch).
     /// Irrelevant for the identity policy.
     pub placement_seed: u64,
+    /// How old a `*.tmp` file must be before scrub deletes it as a crash
+    /// leftover (default [`STALE_TMP_MIN_AGE`]). Crash tests shrink it so
+    /// debris sweeps don't need wall-clock sleeps.
+    pub stale_tmp_min_age: Duration,
+    /// When set, every backend is wrapped in a [`GuardedDisk`]: chunk ops
+    /// are abandoned at this deadline (surfacing as missing chunks the
+    /// read path routes around), outcomes feed a per-disk
+    /// [`HealthTracker`], and Suspect/Failed disks shed load through its
+    /// circuit breaker. `None` (the default) mounts backends bare with no
+    /// behavior change.
+    pub op_deadline: Option<Duration>,
+    /// When set (requires [`StoreConfig::op_deadline`]), single-failure
+    /// planned rebuilds give their first-choice helper set only this long
+    /// per helper read before abandoning it and hedging to the
+    /// next-ranked survivor set. Seed it from the healthy-read p99 (see
+    /// [`BlockStore::latency`]).
+    pub hedge_delay: Option<Duration>,
+    /// Thresholds of the disk health state machine (used only under
+    /// [`StoreConfig::op_deadline`]).
+    pub health_policy: HealthPolicy,
 }
 
 impl StoreConfig {
@@ -123,6 +145,10 @@ impl StoreConfig {
             chunk_len: DEFAULT_CHUNK_LEN,
             pipeline_workers: DEFAULT_PIPELINE_WORKERS,
             placement_seed: 0,
+            stale_tmp_min_age: STALE_TMP_MIN_AGE,
+            op_deadline: None,
+            hedge_delay: None,
+            health_policy: HealthPolicy::default(),
         }
     }
 
@@ -144,6 +170,35 @@ impl StoreConfig {
     #[must_use]
     pub fn placement_seed(mut self, seed: u64) -> Self {
         self.placement_seed = seed;
+        self
+    }
+
+    /// Overrides the stale-tmp sweep age.
+    #[must_use]
+    pub fn stale_tmp_min_age(mut self, min_age: Duration) -> Self {
+        self.stale_tmp_min_age = min_age;
+        self
+    }
+
+    /// Enables deadline enforcement + health tracking on every disk.
+    #[must_use]
+    pub fn op_deadline(mut self, deadline: Duration) -> Self {
+        self.op_deadline = Some(deadline);
+        self
+    }
+
+    /// Enables hedged planned rebuilds (effective only with
+    /// [`StoreConfig::op_deadline`]).
+    #[must_use]
+    pub fn hedge_delay(mut self, delay: Duration) -> Self {
+        self.hedge_delay = Some(delay);
+        self
+    }
+
+    /// Overrides the health state machine thresholds.
+    #[must_use]
+    pub fn health_policy(mut self, policy: HealthPolicy) -> Self {
+        self.health_policy = policy;
         self
     }
 }
@@ -255,6 +310,18 @@ pub struct BlockStore {
     /// disk holds a given `(object, stripe, shard)` chunk is decided by
     /// `map` and pinned in the manifest.
     disks: Vec<Arc<dyn ChunkBackend>>,
+    /// Under [`StoreConfig::op_deadline`], `guards[i]` is the same
+    /// [`GuardedDisk`] that `disks[i]` erases to `dyn ChunkBackend` —
+    /// kept concretely so the hedged read path can pass per-attempt
+    /// deadlines. All `None` when hardening is off.
+    guards: Vec<Option<Arc<GuardedDisk>>>,
+    /// Per-disk health state machine (only under `op_deadline`).
+    health: Option<Arc<HealthTracker>>,
+    /// Ring of disk-health transition events (only under `op_deadline`);
+    /// the breaker-trip audit trail.
+    health_journal: Option<Arc<EventJournal>>,
+    hedge_delay: Option<Duration>,
+    stale_tmp_min_age: Duration,
     /// The validated placement map: rack grouping + policy + seed.
     map: PlacementMap,
     manifest: RwLock<Manifest>,
@@ -465,6 +532,47 @@ impl BlockStore {
                 fresh
             }
         };
+        // Failure-domain hardening: wrap every backend in a GuardedDisk so
+        // chunk ops are deadline-bounded and every outcome feeds the health
+        // tracker; transitions land in a dedicated journal.
+        let mut disks = disks;
+        let mut guards: Vec<Option<Arc<GuardedDisk>>> = vec![None; disks.len()];
+        let mut health = None;
+        let mut health_journal = None;
+        if let Some(deadline) = config.op_deadline {
+            let journal = Arc::new(EventJournal::new(crate::daemon::EVENT_JOURNAL_CAPACITY));
+            let tracker = Arc::new(HealthTracker::new(
+                disks.len(),
+                config.health_policy.clone(),
+                Some(config.root.join(crate::health::ADVISORY_FILE)),
+            ));
+            let hook: Arc<dyn Fn(Transition) + Send + Sync> = {
+                let journal = Arc::clone(&journal);
+                Arc::new(move |t: Transition| {
+                    journal.push(
+                        EventKind::DiskHealth,
+                        format!("disk {} {} -> {}", t.disk, t.from, t.to),
+                    );
+                })
+            };
+            disks = disks
+                .into_iter()
+                .enumerate()
+                .map(|(i, inner)| {
+                    let guard = Arc::new(GuardedDisk::new(
+                        inner,
+                        i,
+                        deadline,
+                        Arc::clone(&tracker),
+                        Some(Arc::clone(&hook)),
+                    ));
+                    guards[i] = Some(Arc::clone(&guard));
+                    guard as Arc<dyn ChunkBackend>
+                })
+                .collect();
+            health = Some(tracker);
+            health_journal = Some(journal);
+        }
         Ok(BlockStore {
             root: config.root,
             spec: config.spec,
@@ -472,6 +580,11 @@ impl BlockStore {
             chunk_len: config.chunk_len,
             pipeline_workers: config.pipeline_workers.max(1),
             disks,
+            guards,
+            health,
+            health_journal,
+            hedge_delay: config.hedge_delay.filter(|_| config.op_deadline.is_some()),
+            stale_tmp_min_age: config.stale_tmp_min_age,
             map,
             manifest: RwLock::new(manifest),
             in_flight: Mutex::new(HashSet::new()),
@@ -677,13 +790,46 @@ impl BlockStore {
 
     /// A labelled copy of the store's traffic counters.
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.metrics.snapshot(&self.code.name())
+        let mut snap = self.metrics.snapshot(&self.code.name());
+        // The deadline/breaker counters live in the health tracker (they
+        // are recorded inside GuardedDisk, below the metrics struct);
+        // mirror them into the snapshot so one struct tells the story.
+        if let Some(health) = &self.health {
+            snap.disk_timeouts = health.total_timeouts();
+            snap.disk_sheds = health.total_shed();
+        }
+        snap
     }
 
     /// A point-in-time copy of the store's latency histograms: healthy and
     /// degraded stripe reads, degraded reconstructs, and repair jobs.
     pub fn latency(&self) -> StoreLatencySnapshot {
         self.latency.snapshot()
+    }
+
+    /// The per-disk health tracker, when the store was opened with
+    /// [`StoreConfig::op_deadline`]; `None` on an unhardened store.
+    pub fn health(&self) -> Option<&Arc<HealthTracker>> {
+        self.health.as_ref()
+    }
+
+    /// Point-in-time health state + counters of every disk (empty on an
+    /// unhardened store).
+    pub fn health_snapshot(&self) -> Vec<DiskHealthSnapshot> {
+        self.health.as_ref().map_or_else(Vec::new, |h| h.snapshot())
+    }
+
+    /// One disk's health state (`None` on an unhardened store).
+    pub fn disk_state(&self, disk: usize) -> Option<DiskState> {
+        self.health.as_ref().map(|h| h.disk(disk).state())
+    }
+
+    /// Recent disk-health transition events, oldest first (empty on an
+    /// unhardened store) — Healthy→Suspect breaker trips and recoveries.
+    pub fn health_events(&self) -> Vec<Event> {
+        self.health_journal
+            .as_ref()
+            .map_or_else(Vec::new, |j| j.recent())
     }
 
     // ------------------------------------------------------------------
@@ -1274,49 +1420,108 @@ impl BlockStore {
         let n = self.code.params().total_shards();
         let mut available = vec![true; n];
         available[target] = false;
+        let available = available;
         let racks = self.map.racks();
         let target_disk = row[target];
-        // Locality-first helper preference: same-rack survivors rank 0.
-        let rank = |shard: usize| u64::from(!racks.same_rack(row[shard], target_disk));
-        let reads = self
-            .code
-            .repair_reads_ranked(target, &available, self.chunk_len, &rank)?;
-        let mut traffic = HelperTraffic::default();
-        let io_start = Instant::now();
-        for read in &reads {
-            traffic.add(
-                read.len as u64,
-                racks.same_rack(row[read.shard], target_disk),
-            );
-            if scratch.present[read.shard] {
-                continue; // verified payload already in place
-            }
-            let dest = &mut scratch.buf.shard_mut(read.shard)[read.range()];
-            let id = ChunkId {
-                stripe,
-                shard: read.shard,
+        // Hedging: with a hedge delay configured, the first-choice helper
+        // set gets only that long per helper read; when one exceeds it (or
+        // fails), the slow shard is *exiled* — ranked behind every other
+        // survivor — and the next-ranked helper set is tried with the full
+        // deadline, abandon-and-switch rather than wait. The availability
+        // mask stays single-failure (the plan API's contract); codes with
+        // no helper freedom (fixed plans) return the same set again, which
+        // is detected below and falls through to full reconstruction.
+        const EXILE_RANK: u64 = 1 << 32;
+        let max_attempts = if self.hedge_delay.is_some() { 2 } else { 1 };
+        let mut exiled: Vec<usize> = Vec::new();
+        for attempt in 0..max_attempts {
+            // Locality-first helper preference: same-rack survivors rank 0;
+            // shards the hedge gave up on rank behind everything.
+            let exiled_now = exiled.clone();
+            let rank = move |shard: usize| {
+                u64::from(!racks.same_rack(row[shard], target_disk))
+                    + if exiled_now.contains(&shard) {
+                        EXILE_RANK
+                    } else {
+                        0
+                    }
             };
-            match self.disks[row[read.shard]].read_chunk_range(
-                object,
-                id,
-                self.chunk_len,
-                read.offset,
-                dest,
-            )? {
-                Ok(()) => {}
-                Err(status) => {
-                    self.note_damage(&status);
-                    times.add_duration(Stage::ChunkIo, io_start.elapsed());
-                    return Ok(None);
+            let reads = self
+                .code
+                .repair_reads_ranked(target, &available, self.chunk_len, &rank)?;
+            if attempt > 0 && reads.iter().any(|r| exiled.contains(&r.shard)) {
+                // No alternate helper set exists for this code: the full
+                // reconstruction path routes around the slow shard instead.
+                return Ok(None);
+            }
+            let mut traffic = HelperTraffic::default();
+            let io_start = Instant::now();
+            let mut failed_shard = None;
+            for read in &reads {
+                traffic.add(
+                    read.len as u64,
+                    racks.same_rack(row[read.shard], target_disk),
+                );
+                if scratch.present[read.shard] {
+                    continue; // verified payload already in place
+                }
+                let dest = &mut scratch.buf.shard_mut(read.shard)[read.range()];
+                let id = ChunkId {
+                    stripe,
+                    shard: read.shard,
+                };
+                let disk = row[read.shard];
+                let result = match (self.hedge_delay, &self.guards[disk]) {
+                    // First attempt under hedging: short per-read budget.
+                    (Some(delay), Some(guard)) if attempt == 0 => guard.read_chunk_range_deadline(
+                        object,
+                        id,
+                        self.chunk_len,
+                        read.offset,
+                        dest,
+                        delay,
+                    ),
+                    _ => self.disks[disk].read_chunk_range(
+                        object,
+                        id,
+                        self.chunk_len,
+                        read.offset,
+                        dest,
+                    ),
+                };
+                match result? {
+                    Ok(()) => {}
+                    Err(status) => {
+                        self.note_damage(&status);
+                        failed_shard = Some(read.shard);
+                        break;
+                    }
                 }
             }
+            times.add_duration(Stage::ChunkIo, io_start.elapsed());
+            match failed_shard {
+                None => {
+                    let erasure_start = Instant::now();
+                    self.code.repair_from_reads(
+                        target,
+                        &reads,
+                        &scratch.buf.as_set(),
+                        &mut scratch.rebuilt,
+                    )?;
+                    times.add_duration(Stage::Erasure, erasure_start.elapsed());
+                    if attempt > 0 {
+                        StoreMetrics::add(&self.metrics.hedge_wins, 1);
+                    }
+                    return Ok(Some(traffic));
+                }
+                Some(shard) if attempt + 1 < max_attempts => {
+                    exiled.push(shard);
+                    StoreMetrics::add(&self.metrics.hedged_reads, 1);
+                }
+                Some(_) => return Ok(None),
+            }
         }
-        times.add_duration(Stage::ChunkIo, io_start.elapsed());
-        let erasure_start = Instant::now();
-        self.code
-            .repair_from_reads(target, &reads, &scratch.buf.as_set(), &mut scratch.rebuilt)?;
-        times.add_duration(Stage::Erasure, erasure_start.elapsed());
-        Ok(Some(traffic))
+        Ok(None)
     }
 
     /// Reads surviving chunks into the scratch stripe and rebuilds every
@@ -1617,7 +1822,7 @@ impl BlockStore {
             }
         }
         for (disk, backend) in self.disks.iter().enumerate() {
-            for rel in backend.sweep_tmp(STALE_TMP_MIN_AGE)? {
+            for rel in backend.sweep_tmp(self.stale_tmp_min_age)? {
                 report
                     .stale_tmp_removed
                     .push(format!("disk-{disk:02}/{rel}"));
@@ -1873,7 +2078,7 @@ impl BlockStore {
             .and_then(|m| m.modified())
             .ok()
             .and_then(|mtime| std::time::SystemTime::now().duration_since(mtime).ok())
-            .is_some_and(|age| age >= STALE_TMP_MIN_AGE);
+            .is_some_and(|age| age >= self.stale_tmp_min_age);
         if !stale {
             return Ok(false);
         }

@@ -1,0 +1,149 @@
+//! Failure-domain hardening, demonstrated: two disks misbehave at once —
+//! one loses all its data, another stalls every read — and the hardened
+//! store keeps its promises anyway.
+//!
+//! The script, on an `rs-4-2` store over six fault-injected disks:
+//!
+//! 1. Disk 1 is wiped (its chunks are gone for good).
+//! 2. Disk 4 stalls every read indefinitely (a deterministic, seeded
+//!    [`FaultPlan`] — the same injection the chaos CI job drives).
+//! 3. A degraded read rebuilds every stripe *within the op deadline*: the
+//!    first-choice helper set runs into the stall, the hedge abandons it
+//!    at `hedge_delay`, and the next-ranked survivor set completes.
+//! 4. The recorded timeouts trip disk 4's circuit breaker
+//!    (Healthy → Suspect); the transition lands in the health journal and
+//!    the advisory file, and the next read sheds the sick disk instead of
+//!    waiting on it at all.
+//! 5. The stalling drive is "replaced" (the fault plan is released), but
+//!    its breaker stays open until probes prove recovery — so the repair
+//!    daemon treats it as lost alongside the wiped disk and rebuilds
+//!    both, reading helpers only from disks the breaker trusts.
+//!
+//! Run with: `cargo run --release --example chaos_repair`
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pbrs::prelude::*;
+use pbrs::store::testing::TempDir;
+
+const CHUNK_LEN: usize = 64 * 1024;
+const STRIPES: usize = 3;
+const WIPED_DISK: usize = 1;
+const STALLED_DISK: usize = 4;
+const OP_DEADLINE: Duration = Duration::from_millis(300);
+const HEDGE_DELAY: Duration = Duration::from_millis(60);
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("pbrs chaos repair: one disk wiped, one disk stalled\n");
+    let dir = TempDir::new("chaos-repair");
+
+    // Deterministic injection: disk 4 parks every read until released.
+    let plan = Arc::new(FaultPlan::parse(
+        &format!("disk={STALLED_DISK} op=read stall"),
+        7,
+    )?);
+    let disks: Vec<Arc<dyn ChunkBackend>> = (0..6)
+        .map(|i| {
+            let inner: Arc<dyn ChunkBackend> =
+                Arc::new(LocalDisk::new(dir.path().join(format!("pool-{i:02}"))));
+            Arc::new(FaultyBackend::new(inner, Arc::clone(&plan), i)) as Arc<dyn ChunkBackend>
+        })
+        .collect();
+    let store = Arc::new(BlockStore::open_with_backends(
+        StoreConfig::new(dir.path().join("root"), "rs-4-2".parse()?)
+            .chunk_len(CHUNK_LEN)
+            .op_deadline(OP_DEADLINE)
+            .hedge_delay(HEDGE_DELAY)
+            .health_policy(HealthPolicy {
+                suspect_failures: 2,
+                probe_interval: Duration::from_secs(60),
+                ..HealthPolicy::default()
+            }),
+        disks,
+        RackMap::per_disk(6),
+        PlacementPolicy::Identity,
+    )?);
+
+    let data: Vec<u8> = (0..4 * CHUNK_LEN * STRIPES)
+        .map(|i| ((i * 31 + 7) % 253) as u8)
+        .collect();
+    store.put("dataset", &data[..])?;
+    println!(
+        "ingested {} KiB as {STRIPES} stripes across 6 disks",
+        data.len() / 1024
+    );
+
+    // Disaster, twice over: disk 1's bytes are gone, disk 4 stops
+    // answering reads (the fault plan parks them).
+    std::fs::remove_dir_all(dir.path().join(format!("pool-{WIPED_DISK:02}")))?;
+    println!("wiped disk {WIPED_DISK}; disk {STALLED_DISK} now stalls every read\n");
+
+    // Degraded read #1: the first-choice helper set {0,2,3,4} includes
+    // the stalled disk; the hedge abandons it and the next-ranked set
+    // {0,2,3,5} rebuilds each stripe — all inside the op deadline.
+    let start = Instant::now();
+    assert_eq!(store.get("dataset")?, data, "degraded read must be exact");
+    let elapsed = start.elapsed();
+    let bound = OP_DEADLINE * 2 * STRIPES as u32;
+    assert!(
+        elapsed < bound,
+        "hedged degraded read took {elapsed:?}, bound {bound:?}"
+    );
+    let m = store.metrics();
+    println!(
+        "hedged degraded read: {} stripes in {elapsed:?} \
+         ({} hedged, {} hedge wins, deadline {OP_DEADLINE:?})",
+        STRIPES, m.hedged_reads, m.hedge_wins
+    );
+    assert_eq!(m.hedged_reads, STRIPES as u64);
+    assert_eq!(m.hedge_wins, STRIPES as u64);
+
+    // The abandoned reads were recorded as timeouts; two of them tripped
+    // the breaker. The transition is journaled and advisory-persisted.
+    assert_eq!(store.disk_state(STALLED_DISK), Some(DiskState::Suspect));
+    let trips: Vec<String> = store
+        .health_events()
+        .into_iter()
+        .filter(|e| e.kind == EventKind::DiskHealth)
+        .map(|e| e.detail)
+        .collect();
+    assert!(
+        trips.iter().any(|d| d.contains("suspect")),
+        "breaker trip missing from the journal: {trips:?}"
+    );
+    println!("breaker tripped, journal says: {}", trips.join("; "));
+    let advisory = std::fs::read_to_string(dir.path().join("root").join("HEALTH.advisory"))?;
+    print!("HEALTH.advisory:\n{advisory}");
+
+    // Degraded read #2: the open breaker sheds disk 4 outright — no
+    // stall, no deadline wait.
+    let start = Instant::now();
+    assert_eq!(store.get("dataset")?, data);
+    println!(
+        "\nwith the breaker open the same read takes {:?} (shed, not waited)",
+        start.elapsed()
+    );
+
+    // The operator swaps the stalling drive: the fault plan is released,
+    // so disk 4 answers again — but its breaker stays open (probes are
+    // minutes apart), so the store still refuses to *trust* it. The
+    // repair daemon therefore sees both the wiped and the suspect disk as
+    // lost, reads helpers only from the four disks the breaker trusts,
+    // and rewrites every chunk of both.
+    plan.release();
+    let daemon = RepairDaemon::start(Arc::clone(&store), DaemonConfig::default());
+    let scan = daemon.scan_now()?;
+    daemon.wait_idle();
+    let stats = daemon.shutdown();
+    println!(
+        "repair daemon: disks {:?} treated lost, {} chunks rebuilt, {} failures",
+        scan.lost_disks, stats.chunks_repaired, stats.failures
+    );
+    assert_eq!(scan.lost_disks, vec![WIPED_DISK, STALLED_DISK]);
+    assert_eq!(stats.chunks_repaired, 2 * STRIPES as u64);
+    assert_eq!(stats.failures, 0, "repair must succeed");
+
+    println!("\nchaos survived: exact reads, bounded latency, repaired disks.");
+    Ok(())
+}

@@ -242,7 +242,8 @@ pub mod prelude {
     pub use pbrs_obs::{EventJournal, LatencyHistogram, Registry, Stage, StageTimes};
     pub use pbrs_placement::{PlacementError, PlacementMap, PlacementPolicy, RackMap};
     pub use pbrs_store::{
-        BackendCounters, BlockStore, ChunkBackend, DaemonConfig, LocalDisk, MetricsSnapshot,
-        RepairDaemon, StoreConfig, StoreError,
+        BackendCounters, BlockStore, ChunkBackend, DaemonConfig, DiskState, EventKind, FaultPlan,
+        FaultyBackend, HealthPolicy, LocalDisk, MetricsSnapshot, RepairDaemon, StoreConfig,
+        StoreError,
     };
 }
