@@ -5,6 +5,8 @@
 //! repair-traffic and MTTDL claims, and the related-work claim that LRCs
 //! trade storage optimality for repair traffic.
 
+#![forbid(unsafe_code)]
+
 use pbrs_bench::{f2, section};
 use pbrs_cluster::reliability::model_for_code;
 use pbrs_core::{registry, CodeComparison};

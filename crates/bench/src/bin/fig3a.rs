@@ -2,6 +2,8 @@
 //! per day, over the paper's ~34-day measurement window (and a longer
 //! 90-day horizon for stability of the median).
 
+#![forbid(unsafe_code)]
+
 use pbrs_bench::{f1, print_comparison, row, section};
 use pbrs_trace::report::ascii_series;
 use pbrs_trace::stats::Summary;

@@ -3,6 +3,8 @@
 //! of the Facebook-calibrated warehouse cluster running the production
 //! RS(10, 4) code.
 
+#![forbid(unsafe_code)]
+
 use pbrs_bench::{f1, print_comparison, row, run_simulation, section};
 use pbrs_cluster::SimConfig;
 use pbrs_trace::report::{human_count, to_markdown_table};

@@ -19,6 +19,8 @@
 //! Usage: `gf_kernels [--quick]` (`--quick` shrinks the measurement time
 //! for CI smoke runs).
 
+#![forbid(unsafe_code)]
+
 use std::env;
 use std::fs;
 use std::time::Instant;

@@ -46,6 +46,8 @@
 //! `healthy`. The injected state rides into `BENCH_gateway.json` under
 //! `"fault"`.
 
+#![forbid(unsafe_code)]
+
 use std::env;
 use std::fs;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};

@@ -8,6 +8,8 @@
 //! Usage: `networked_repair_throughput [object-MiB] [chunk-KiB] [workers]`
 //! (defaults: 32 MiB objects, 256 KiB chunks, 4 workers).
 
+#![forbid(unsafe_code)]
+
 use std::env;
 use std::fs;
 use std::sync::Arc;

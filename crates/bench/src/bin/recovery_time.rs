@@ -3,6 +3,8 @@
 //! not by the number of helper nodes contacted, so Piggybacked-RS (more
 //! helpers, fewer bytes) recovers a block *faster* than RS.
 
+#![forbid(unsafe_code)]
+
 use pbrs_bench::{f2, section};
 use pbrs_cluster::network::TransferModel;
 use pbrs_core::SavingsReport;

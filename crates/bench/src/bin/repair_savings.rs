@@ -3,6 +3,8 @@
 //! remaining MDS and supporting arbitrary parameters. Also sweeps other
 //! (k, r) choices to show the flexibility claim.
 
+#![forbid(unsafe_code)]
+
 use pbrs_bench::{f2, pct, print_comparison, row, section};
 use pbrs_core::{registry, SavingsReport};
 use pbrs_erasure::CodeSpec;

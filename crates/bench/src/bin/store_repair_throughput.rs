@@ -7,6 +7,8 @@
 //! Usage: `store_repair_throughput [object-MiB] [chunk-KiB] [workers]`
 //! (defaults: 64 MiB objects, 256 KiB chunks, 4 workers).
 
+#![forbid(unsafe_code)]
+
 use std::env;
 use std::fs;
 use std::sync::Arc;

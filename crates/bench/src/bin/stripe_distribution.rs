@@ -5,6 +5,8 @@
 //! binomial model at the concurrent-unavailability level the simulation
 //! produces.
 
+#![forbid(unsafe_code)]
+
 use pbrs_bench::{pct, print_comparison, row, run_simulation, section};
 use pbrs_cluster::SimConfig;
 use pbrs_trace::stripe_failures::{

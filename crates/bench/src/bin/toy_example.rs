@@ -3,6 +3,8 @@
 //! while the code still tolerates any 2 of 4 node failures with no extra
 //! storage.
 
+#![forbid(unsafe_code)]
+
 use pbrs_bench::{print_comparison, row, section};
 use pbrs_core::toy_example;
 use pbrs_erasure::{ErasureCode, ReedSolomon};

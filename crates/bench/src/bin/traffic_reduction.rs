@@ -4,6 +4,8 @@
 //! warehouse-cluster simulation twice on the identical failure trace (same
 //! seed), once per code, and differencing the daily cross-rack traffic.
 
+#![forbid(unsafe_code)]
+
 use pbrs_bench::{f1, print_comparison, row, section};
 use pbrs_cluster::sim::paired_rs_vs_piggybacked;
 use pbrs_cluster::SimConfig;

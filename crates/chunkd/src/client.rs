@@ -95,6 +95,7 @@ impl Mux {
     /// clone-ish of `error` (the demultiplexer calls this exactly once).
     fn fail_all(&self, error: &io::Error) {
         self.dead.store(true, Ordering::SeqCst);
+        // pbrs-lint: allow(panic-hygiene) -- lock poisoning is fatal by design
         let mut pending = self.pending.lock().expect("lock");
         if let Some(table) = pending.take() {
             for (_, tx) in table {
@@ -243,8 +244,11 @@ impl RemoteDisk {
     /// Reconnect-path counters since creation.
     pub fn reconnect_stats(&self) -> ReconnectStats {
         ReconnectStats {
+            // Relaxed: independent tallies for reporting; cross-counter
+            // skew from in-flight dials is acceptable.
             attempts: self.connect_attempts.load(Ordering::Relaxed),
             successes: self.connect_successes.load(Ordering::Relaxed),
+            // Relaxed: same contract as the loads above.
             backoff_rejections: self.backoff_rejections.load(Ordering::Relaxed),
         }
     }
@@ -271,6 +275,7 @@ impl RemoteDisk {
     /// Socket byte counters since creation (frame headers included).
     pub fn counters(&self) -> BackendCounters {
         BackendCounters {
+            // Relaxed: traffic tallies for accounting; they guard nothing.
             bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
             bytes_received: self.bytes_received.load(Ordering::Relaxed),
         }
@@ -282,9 +287,12 @@ impl RemoteDisk {
     /// one resets it.
     fn connect(&self) -> io::Result<TcpStream> {
         {
+            // pbrs-lint: allow(panic-hygiene) -- lock poisoning is fatal by design
             let backoff = self.backoff.lock().expect("lock");
             if let Some(until) = backoff.until {
                 if Instant::now() < until {
+                    // Relaxed: stats tally; the window itself is under
+                    // the backoff mutex.
                     self.backoff_rejections.fetch_add(1, Ordering::Relaxed);
                     return Err(io::Error::new(
                         io::ErrorKind::WouldBlock,
@@ -297,11 +305,14 @@ impl RemoteDisk {
                 }
             }
         }
+        // Relaxed: stats tally, sampled only by reconnect_stats().
         self.connect_attempts.fetch_add(1, Ordering::Relaxed);
         let result = self.dial();
+        // pbrs-lint: allow(panic-hygiene) -- lock poisoning is fatal by design
         let mut backoff = self.backoff.lock().expect("lock");
         match &result {
             Ok(_) => {
+                // Relaxed: stats tally; backoff state is under the mutex.
                 self.connect_successes.fetch_add(1, Ordering::Relaxed);
                 backoff.failures = 0;
                 backoff.until = None;
@@ -335,8 +346,11 @@ impl RemoteDisk {
     /// Returns the live multiplexed connection, establishing one (and
     /// spawning its demultiplexer thread) if needed.
     fn mux(&self) -> io::Result<Arc<Mux>> {
+        // pbrs-lint: allow(panic-hygiene) -- lock poisoning is fatal by design
         let mut conn = self.conn.lock().expect("lock");
         if let Some(mux) = conn.as_ref() {
+            // SeqCst: once-per-connection death flag set by the demux
+            // thread; strongest order, cost is a dial-path non-issue.
             if !mux.dead.load(Ordering::SeqCst) {
                 return Ok(Arc::clone(mux));
             }
@@ -429,6 +443,7 @@ impl RemoteDisk {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = mpsc::channel();
         {
+            // pbrs-lint: allow(panic-hygiene) -- lock poisoning is fatal by design
             let mut pending = mux.pending.lock().expect("lock");
             match pending.as_mut() {
                 Some(table) => {
@@ -443,14 +458,17 @@ impl RemoteDisk {
             }
         }
         let sent = {
+            // pbrs-lint: allow(panic-hygiene) -- lock poisoning is fatal by design
             let mut writer = mux.writer.lock().expect("lock");
             write_frame(&mut *writer, id, body)
         };
         match sent {
             Ok(sent) => {
+                // Relaxed: traffic tally, sampled only by counters().
                 self.bytes_sent.fetch_add(sent, Ordering::Relaxed);
             }
             Err(e) => {
+                // pbrs-lint: allow(panic-hygiene) -- lock poisoning is fatal by design
                 if let Some(table) = mux.pending.lock().expect("lock").as_mut() {
                     table.remove(&id);
                 }
@@ -463,6 +481,7 @@ impl RemoteDisk {
                 // Timed out: deregister so a late response is dropped by
                 // the demultiplexer (ids make that safe), and report the
                 // transport as broken so the caller's retry redials.
+                // pbrs-lint: allow(panic-hygiene) -- lock poisoning is fatal by design
                 if let Some(table) = mux.pending.lock().expect("lock").as_mut() {
                     table.remove(&id);
                 }
@@ -502,6 +521,7 @@ impl RemoteDisk {
 impl Drop for RemoteDisk {
     fn drop(&mut self) {
         // Shut the socket so the demultiplexer thread unblocks and exits.
+        // pbrs-lint: allow(panic-hygiene) -- lock poisoning is fatal by design
         if let Some(mux) = self.conn.lock().expect("lock").take() {
             mux.kill();
         }
@@ -516,10 +536,12 @@ fn demux_loop(mut reader: TcpStream, mux: &Mux, bytes_received: &AtomicU64) {
     loop {
         match read_frame(&mut reader) {
             Ok((id, body, received)) => {
+                // Relaxed: traffic tally, sampled only by counters().
                 bytes_received.fetch_add(received, Ordering::Relaxed);
                 let tx = mux
                     .pending
                     .lock()
+                    // pbrs-lint: allow(panic-hygiene) -- lock poisoning is fatal by design
                     .expect("lock")
                     .as_mut()
                     .and_then(|table| table.remove(&id));

@@ -190,6 +190,7 @@ pub fn write_frame(w: &mut impl Write, req_id: u64, body: &[u8]) -> io::Result<u
     if body.len() > MAX_FRAME {
         return Err(invalid(format!("frame body of {} bytes", body.len())));
     }
+    // pbrs-lint: allow(wire-protocol) -- lossless: the MAX_FRAME guard above caps the length at 64 MiB
     w.write_all(&(body.len() as u32).to_le_bytes())?;
     w.write_all(&req_id.to_le_bytes())?;
     w.write_all(body)?;
@@ -207,8 +208,8 @@ pub fn write_frame(w: &mut impl Write, req_id: u64, body: &[u8]) -> io::Result<u
 pub fn read_frame(r: &mut impl Read) -> io::Result<(u64, Vec<u8>, u64)> {
     let mut header = [0u8; 12];
     r.read_exact(&mut header)?;
-    let len = u32::from_le_bytes(header[0..4].try_into().expect("4")) as usize;
-    let req_id = u64::from_le_bytes(header[4..12].try_into().expect("8"));
+    let len = le_u32(&header[0..4]) as usize;
+    let req_id = le_u64(&header[4..12]);
     if len > MAX_FRAME {
         return Err(invalid(format!("frame length {len} exceeds MAX_FRAME")));
     }
@@ -221,17 +222,31 @@ fn invalid(message: String) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, message)
 }
 
+/// Little-endian u32 from the first 4 bytes of `b`. Callers pass slices
+/// whose length was already checked (fixed-size headers, [`Cursor::bytes`]).
+pub(crate) fn le_u32(b: &[u8]) -> u32 {
+    u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+}
+
+/// Little-endian u64 from the first 8 bytes of `b`; same contract as
+/// [`le_u32`].
+pub(crate) fn le_u64(b: &[u8]) -> u64 {
+    u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
+}
+
 // ---------------------------------------------------------------------
 // Body encoding
 // ---------------------------------------------------------------------
 
 fn put_str(out: &mut Vec<u8>, s: &str) {
+    // pbrs-lint: allow(wire-protocol) -- lossless: any body holding the string is rejected above MAX_FRAME (64 MiB) at write time
     out.extend_from_slice(&(s.len() as u32).to_le_bytes());
     out.extend_from_slice(s.as_bytes());
 }
 
 fn put_id(out: &mut Vec<u8>, id: ChunkId) {
     out.extend_from_slice(&id.stripe.to_le_bytes());
+    // pbrs-lint: allow(wire-protocol) -- lossless: shard indices are bounded by the stripe width (n + p), orders of magnitude below u32::MAX
     out.extend_from_slice(&(id.shard as u32).to_le_bytes());
 }
 
@@ -262,11 +277,11 @@ impl<'a> Cursor<'a> {
     }
 
     fn u32(&mut self) -> io::Result<u32> {
-        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().expect("4")))
+        Ok(le_u32(self.bytes(4)?))
     }
 
     fn u64(&mut self) -> io::Result<u64> {
-        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().expect("8")))
+        Ok(le_u64(self.bytes(8)?))
     }
 
     fn str(&mut self) -> io::Result<String> {
@@ -520,6 +535,7 @@ pub fn decode_verify(payload: &[u8]) -> io::Result<(ChunkStatus, u64)> {
 /// Encodes a [`Request::SweepTmp`] success payload.
 pub fn encode_sweep(removed: &[String]) -> Vec<u8> {
     let mut out = Vec::new();
+    // pbrs-lint: allow(wire-protocol) -- lossless: a sweep list anywhere near u32::MAX entries could not fit in a MAX_FRAME body
     out.extend_from_slice(&(removed.len() as u32).to_le_bytes());
     for path in removed {
         put_str(&mut out, path);

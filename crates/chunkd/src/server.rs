@@ -201,6 +201,7 @@ impl ChunkServer {
                 std::thread::Builder::new()
                     .name(format!("chunkd-{local_addr}-{i}"))
                     .spawn(move || accept_loop(&listener, &shared))
+                    // pbrs-lint: allow(panic-hygiene) -- thread spawn fails only on OS resource exhaustion at startup; aborting is the intended response
                     .expect("spawn chunkd worker")
             })
             .collect();
@@ -226,6 +227,7 @@ impl ChunkServer {
     /// shipped back.
     pub fn counters(&self) -> BackendCounters {
         BackendCounters {
+            // Relaxed: traffic tallies for accounting; they guard nothing.
             bytes_sent: self.shared.traffic.bytes_out.load(Ordering::Relaxed),
             bytes_received: self.shared.traffic.bytes_in.load(Ordering::Relaxed),
         }
@@ -258,6 +260,8 @@ impl ChunkServer {
     }
 
     fn stop_and_join(&mut self) {
+        // SeqCst: once-per-shutdown flag; the strongest order keeps it
+        // trivially correct against every worker's polling load.
         self.shared.shutdown.store(true, Ordering::SeqCst);
         // Wake every blocked accept with a throwaway connection.
         for _ in &self.workers {
@@ -277,17 +281,21 @@ impl Drop for ChunkServer {
 
 fn accept_loop(listener: &TcpListener, shared: &Shared) {
     loop {
+        // SeqCst here and below: shutdown-flag polls, once per accept;
+        // pairs with the SeqCst store in stop_and_join.
         if shared.shutdown.load(Ordering::SeqCst) {
             return;
         }
         match listener.accept() {
             Ok((stream, _peer)) => {
+                // SeqCst: catches the wake-up connection from shutdown().
                 if shared.shutdown.load(Ordering::SeqCst) {
-                    return; // the wake-up connection from shutdown()
+                    return;
                 }
                 let _ = serve_connection(stream, shared);
             }
             Err(_) => {
+                // SeqCst: same shutdown poll as above.
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return;
                 }
@@ -318,6 +326,7 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) -> io::Result<()> {
         shared
             .traffic
             .bytes_in
+            // Relaxed: traffic tally, sampled only by counters().
             .fetch_add(FRAME_OVERHEAD + body.len() as u64, Ordering::Relaxed);
         let response = match Request::decode(&body) {
             // The client's budget was gone before the frame arrived:
@@ -350,6 +359,7 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) -> io::Result<()> {
             },
         };
         let sent = write_frame(&mut stream, req_id, &response.encode())?;
+        // Relaxed: traffic tally, sampled only by counters().
         shared.traffic.bytes_out.fetch_add(sent, Ordering::Relaxed);
     }
 }
@@ -385,6 +395,7 @@ fn read_frame_polling(
             Err(e)
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
+                // SeqCst: shutdown poll on the read-timeout path.
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return if filled == 0 {
                         Ok(None)
@@ -408,8 +419,8 @@ fn read_frame_polling(
             Err(e) => return Err(e),
         }
     }
-    let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes")) as usize;
-    let req_id = u64::from_le_bytes(header[4..12].try_into().expect("8 bytes"));
+    let len = crate::protocol::le_u32(&header[0..4]) as usize;
+    let req_id = crate::protocol::le_u64(&header[4..12]);
     if len > crate::protocol::MAX_FRAME {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
@@ -430,6 +441,7 @@ fn read_frame_polling(
             Err(e)
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
+                // SeqCst: shutdown poll on the body-read timeout path.
                 if shared.shutdown.load(Ordering::SeqCst) {
                     // As above: a stalled client must not pin the worker
                     // past shutdown.

@@ -74,6 +74,7 @@ impl Ord for Scheduled {
         other
             .time
             .partial_cmp(&self.time)
+            // pbrs-lint: allow(panic-hygiene) -- event times are finite simulation instants; NaN is structurally impossible
             .expect("event times are never NaN")
             .then_with(|| other.seq.cmp(&self.seq))
     }

@@ -55,6 +55,7 @@ impl RepairCostTable {
             available[target] = false;
             let plan = code
                 .repair_plan(target, &available)
+                // pbrs-lint: allow(panic-hygiene) -- every Code guarantees a plan for a single failure
                 .expect("single-failure repair plan must exist");
             blocks_downloaded.push(plan.total_fraction());
             helpers.push(plan.helper_count());

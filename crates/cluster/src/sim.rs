@@ -41,6 +41,7 @@ impl Simulator {
     /// Panics if the configuration is invalid; use [`Simulator::try_new`] to
     /// handle the error instead.
     pub fn new(config: SimConfig) -> Self {
+        // pbrs-lint: allow(panic-hygiene) -- documented panicking convenience constructor; try_new is the fallible path
         Self::try_new(config).expect("invalid simulation configuration")
     }
 
@@ -73,6 +74,7 @@ impl Simulator {
             config.mean_rs_blocks_per_machine,
         );
         let policy = PlacementPolicy::new(topology);
+        // pbrs-lint: allow(panic-hygiene) -- config.code was validated by try_new before reaching here
         let code = config.code.build().expect("configuration was validated");
         let cost_table = RepairCostTable::for_code(code.as_ref());
         let stripe_width = cost_table.stripe_width;

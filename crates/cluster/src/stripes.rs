@@ -50,6 +50,7 @@ impl StripeSample {
             .map(|_| SampledStripe {
                 machines: policy
                     .place_stripe(rng, width)
+                    // pbrs-lint: allow(panic-hygiene) -- stripe width was validated against the topology at simulation build time
                     .expect("stripe width validated against the topology"),
             })
             .collect();

@@ -87,6 +87,7 @@ impl PiggybackedRs {
     /// The `(10, 4)` code proposed in the paper as a drop-in replacement for
     /// the warehouse cluster's RS code.
     pub fn facebook() -> Self {
+        // pbrs-lint: allow(panic-hygiene) -- constant (10, 4) parameters are statically valid
         Self::new(10, 4).expect("(10, 4) is always valid")
     }
 
@@ -294,6 +295,7 @@ impl ErasureCode for PiggybackedRs {
                 let peers = self
                     .design
                     .group_peers(target)
+                    // pbrs-lint: allow(panic-hygiene) -- piggyback design invariant: every carrier parity has a group
                     .expect("a carrier parity implies a piggyback group");
                 let coeff_carrier =
                     decode::combination_coefficients(generator, carrier, &selected)?;
@@ -340,7 +342,9 @@ impl ErasureCode for PiggybackedRs {
 
         if self.efficient_repair_available(target, available) {
             let k = self.params.data_shards();
+            // pbrs-lint: allow(panic-hygiene) -- guarded by efficient_repair_available just above
             let carrier = self.design.carrier_parity(target).expect("checked");
+            // pbrs-lint: allow(panic-hygiene) -- guarded by efficient_repair_available just above
             let peers = self.design.group_peers(target).expect("checked");
             let mut fetches = Vec::with_capacity(k + peers.len() + 1);
             for i in 0..k {
@@ -400,10 +404,12 @@ impl ErasureCode for PiggybackedRs {
         // `repair_into` consumes.
         let half = shard_len / 2;
         let k = self.params.data_shards();
+        // pbrs-lint: allow(panic-hygiene) -- caller path only reaches here when a carrier exists for the target
         let carrier = self.design.carrier_parity(target).expect("checked");
         let peers = self
             .design
             .group_peers(target)
+            // pbrs-lint: allow(panic-hygiene) -- piggyback design invariant: every carrier parity has a group
             .expect("a carrier parity implies a piggyback group");
         let mut reads = Vec::with_capacity(k + 1);
         for i in (0..k).filter(|&i| i != target) {

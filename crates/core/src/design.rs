@@ -62,6 +62,7 @@ impl PiggybackDesign {
                 next += size;
             }
         }
+        // pbrs-lint: allow(panic-hygiene) -- balanced grouping satisfies from_groups' own checks by construction
         Self::from_groups(params, groups).expect("balanced groups are always valid")
     }
 

@@ -19,6 +19,7 @@ use crate::design::PiggybackDesign;
 ///
 /// Never panics; the construction is statically valid.
 pub fn toy_example() -> PiggybackedRs {
+    // pbrs-lint: allow(panic-hygiene) -- documented never-panics wrapper; the constants are statically valid
     try_toy_example().expect("the paper's toy example parameters are always valid")
 }
 

@@ -36,6 +36,7 @@ pub fn select_independent_rows(generator: &Matrix, candidates: &[usize]) -> Opti
             let lead = b
                 .iter()
                 .position(|&x| x != 0)
+                // pbrs-lint: allow(panic-hygiene) -- basis rows are non-zero by construction of the generator
                 .expect("basis rows are non-zero");
             if row[lead] != 0 {
                 let factor = pbrs_gf::tables::div(row[lead], b[lead]);
@@ -94,6 +95,7 @@ pub fn reconstruct_linear(
 
     let data_shards: Vec<Vec<u8>> = if all_data_present {
         (0..k)
+            // pbrs-lint: allow(panic-hygiene) -- all_data_present was checked on the line above
             .map(|i| shards[i].as_ref().expect("checked present").clone())
             .collect()
     } else {
@@ -107,6 +109,7 @@ pub fn reconstruct_linear(
         // data[j] = Σ_i inv[j][i] * shards[rows[i]]
         let selected: Vec<&[u8]> = rows
             .iter()
+            // pbrs-lint: allow(panic-hygiene) -- rows were selected from present shards above
             .map(|&i| shards[i].as_deref().expect("selected rows are present"))
             .collect();
         (0..k)
@@ -223,6 +226,7 @@ pub fn reconstruct_linear_in_place(
         .map(|&s| {
             let pos = present_idx
                 .binary_search(&s)
+                // pbrs-lint: allow(panic-hygiene) -- selected rows come from present_idx itself
                 .expect("selected rows are present");
             survivors[pos]
         })
@@ -286,6 +290,7 @@ pub fn solve_combination(rows: &[&[u8]], target_row: &[u8]) -> Option<Vec<u8>> {
             continue;
         };
         aug.swap_rows(pivot_row, p);
+        // pbrs-lint: allow(panic-hygiene) -- pivot was chosen as a non-zero entry by the search above
         let inv = pbrs_gf::tables::inverse(aug.get(pivot_row, col)).expect("pivot non-zero");
         for c in col..=m {
             aug.set(
@@ -385,6 +390,7 @@ pub fn decode_data_linear(
     Ok(working
         .into_iter()
         .take(generator.cols())
+        // pbrs-lint: allow(panic-hygiene) -- reconstruct fills every shard slot before collecting
         .map(|s| s.expect("reconstruct fills all shards"))
         .collect())
 }

@@ -328,6 +328,7 @@ pub trait ErasureCode {
             .map(|f| ShardRead {
                 shard: f.shard,
                 offset: 0,
+                // pbrs-lint: allow(panic-hygiene) -- a fraction of shard_len is at most shard_len, which is a usize
                 len: usize::try_from(f.fraction.bytes_of(shard_len)).expect("range fits a shard"),
             })
             .collect())
@@ -501,6 +502,7 @@ pub trait ErasureCode {
             available[target] = false;
             let plan = self
                 .repair_plan(target, &available)
+                // pbrs-lint: allow(panic-hygiene) -- every Code guarantees a plan for a single failure
                 .expect("single-failure repair plan must exist");
             total += plan.total_fraction();
         }

@@ -72,10 +72,13 @@ impl ReedSolomon {
         let k = params.data_shards();
         let n = params.total_shards();
         let v = Matrix::vandermonde(n, k);
+        // pbrs-lint: allow(panic-hygiene) -- k <= n, so the k-by-k top block is in range
         let top = v.submatrix(0, 0, k, k).expect("top block exists");
         let inv = top
             .inverted()
+            // pbrs-lint: allow(panic-hygiene) -- a Vandermonde top block over distinct points is invertible
             .expect("Vandermonde top block is always invertible");
+        // pbrs-lint: allow(panic-hygiene) -- n-by-k times k-by-k dimensions agree by construction
         let generator = v.multiply(&inv).expect("dimensions agree");
         ReedSolomon { params, generator }
     }
@@ -96,6 +99,7 @@ impl ReedSolomon {
         let n = self.params.total_shards();
         self.generator
             .submatrix(k, 0, n, k)
+            // pbrs-lint: allow(panic-hygiene) -- k < n, so the parity block rows are in range
             .expect("parity block exists")
     }
 

@@ -58,6 +58,7 @@ impl Replication {
 
     /// The cluster's default scheme: 3 replicas.
     pub fn triple() -> Self {
+        // pbrs-lint: allow(panic-hygiene) -- the constant 3 is a valid replica count
         Self::new(3).expect("3 replicas are always valid")
     }
 
@@ -181,6 +182,7 @@ impl ErasureCode for Replication {
         let source = (0..n)
             .filter(|&i| i != target)
             .min_by_key(|&i| (rank(i), i))
+            // pbrs-lint: allow(panic-hygiene) -- n >= 2 is enforced at construction, so a source replica exists
             .expect("replication has at least two shards");
         Ok(vec![ShardRead::whole(source, shard_len)])
     }

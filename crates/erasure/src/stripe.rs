@@ -157,6 +157,7 @@ impl Stripe {
         Ok(self
             .shards
             .into_iter()
+            // pbrs-lint: allow(panic-hygiene) -- presence of every shard was checked before this collect
             .map(|s| s.expect("checked"))
             .collect())
     }

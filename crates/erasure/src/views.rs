@@ -455,11 +455,13 @@ impl ShardBuffer {
 
     /// A shared view of the whole buffer.
     pub fn as_set(&self) -> ShardSet<'_> {
+        // pbrs-lint: allow(panic-hygiene) -- geometry was validated when the buffer was constructed
         ShardSet::new(&self.buf, self.shards, self.shard_len).expect("geometry is validated")
     }
 
     /// A mutable view of the whole buffer.
     pub fn as_set_mut(&mut self) -> ShardSetMut<'_> {
+        // pbrs-lint: allow(panic-hygiene) -- geometry was validated when the buffer was constructed
         ShardSetMut::new(&mut self.buf, self.shards, self.shard_len).expect("geometry is validated")
     }
 
@@ -478,6 +480,7 @@ impl ShardBuffer {
             range.end - range.start,
             self.shard_len,
         )
+        // pbrs-lint: allow(panic-hygiene) -- geometry was validated when the buffer was constructed
         .expect("geometry is validated")
     }
 
@@ -496,6 +499,7 @@ impl ShardBuffer {
             range.end - range.start,
             self.shard_len,
         )
+        // pbrs-lint: allow(panic-hygiene) -- geometry was validated when the buffer was constructed
         .expect("geometry is validated")
     }
 
@@ -514,8 +518,10 @@ impl ShardBuffer {
         );
         let (left, right) = self.buf.split_at_mut(at * self.shard_len);
         (
+            // pbrs-lint: allow(panic-hygiene) -- split point is asserted in range; both halves keep valid geometry
             ShardSet::new(left, at, self.shard_len).expect("geometry is validated"),
             ShardSetMut::new(right, self.shards - at, self.shard_len)
+                // pbrs-lint: allow(panic-hygiene) -- split point is asserted in range; both halves keep valid geometry
                 .expect("geometry is validated"),
         )
     }

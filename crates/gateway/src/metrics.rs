@@ -112,10 +112,13 @@ pub struct MetricsSnapshot {
 
 impl GatewayMetrics {
     pub(crate) fn add(counter: &AtomicU64, n: u64) {
+        // Relaxed: metrics cells are independent tallies sampled by
+        // snapshot(); they publish no other memory.
         counter.fetch_add(n, Ordering::Relaxed);
     }
 
     pub(crate) fn sub(counter: &AtomicU64, n: u64) {
+        // Relaxed: same contract as `add`.
         counter.fetch_sub(n, Ordering::Relaxed);
     }
 

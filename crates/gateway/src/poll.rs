@@ -70,9 +70,11 @@ impl PollFd {
     }
 }
 
+// SAFETY: the declaration matches the libc prototype: `PollFd` is
+// `#[repr(C)]` with the field layout of `struct pollfd`, and `nfds_t`
+// is `unsigned long` on the only targets this builds for (Linux).
 unsafe extern "C" {
-    /// `poll(2)`. `nfds_t` is `unsigned long` on every platform this
-    /// builds for (Linux glibc/musl).
+    /// `poll(2)`.
     fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
 }
 

@@ -369,17 +369,26 @@ fn decode_two(rest: &[u8]) -> io::Result<(u64, u64)> {
     if rest.len() != 16 {
         return Err(invalid(format!("expected 16 bytes, got {}", rest.len())));
     }
-    Ok((
-        u64::from_le_bytes(rest[0..8].try_into().expect("8")),
-        u64::from_le_bytes(rest[8..16].try_into().expect("8")),
-    ))
+    Ok((le_u64(&rest[0..8]), le_u64(&rest[8..16])))
 }
 
 fn decode_u64(rest: &[u8]) -> io::Result<u64> {
     if rest.len() != 8 {
         return Err(invalid(format!("expected 8 bytes, got {}", rest.len())));
     }
-    Ok(u64::from_le_bytes(rest.try_into().expect("8")))
+    Ok(le_u64(rest))
+}
+
+/// Little-endian u32 from the first 4 bytes of `b`. Callers pass slices
+/// whose length was already checked (fixed-size frame headers).
+fn le_u32(b: &[u8]) -> u32 {
+    u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+}
+
+/// Little-endian u64 from the first 8 bytes of `b`; same contract as
+/// [`le_u32`].
+fn le_u64(b: &[u8]) -> u64 {
+    u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
 }
 
 fn expect_empty(rest: &[u8]) -> io::Result<()> {
@@ -425,14 +434,14 @@ impl FrameDecoder {
         if self.buf.len() < FRAME_OVERHEAD {
             return Ok(None);
         }
-        let len = u32::from_le_bytes(self.buf[0..4].try_into().expect("4")) as usize;
+        let len = le_u32(&self.buf[0..4]) as usize;
         if len > MAX_FRAME {
             return Err(invalid(format!("frame length {len} exceeds MAX_FRAME")));
         }
         if self.buf.len() < FRAME_OVERHEAD + len {
             return Ok(None);
         }
-        let req_id = u64::from_le_bytes(self.buf[4..12].try_into().expect("8"));
+        let req_id = le_u64(&self.buf[4..12]);
         let body = self.buf[FRAME_OVERHEAD..FRAME_OVERHEAD + len].to_vec();
         self.buf.drain(..FRAME_OVERHEAD + len);
         Ok(Some((req_id, body)))
@@ -442,6 +451,7 @@ impl FrameDecoder {
 /// Serializes the framing header for a body of `len` bytes.
 pub fn frame_header(req_id: u64, len: usize) -> [u8; FRAME_OVERHEAD] {
     let mut header = [0u8; FRAME_OVERHEAD];
+    // pbrs-lint: allow(wire-protocol) -- lossless: write_frame rejects bodies over MAX_FRAME, and reactor responses are one bounded stream segment or small text
     header[0..4].copy_from_slice(&(len as u32).to_le_bytes());
     header[4..12].copy_from_slice(&req_id.to_le_bytes());
     header
@@ -471,8 +481,8 @@ pub fn write_frame(w: &mut impl Write, req_id: u64, body: &[u8]) -> io::Result<(
 pub fn read_frame(r: &mut impl Read) -> io::Result<(u64, Vec<u8>)> {
     let mut header = [0u8; FRAME_OVERHEAD];
     r.read_exact(&mut header)?;
-    let len = u32::from_le_bytes(header[0..4].try_into().expect("4")) as usize;
-    let req_id = u64::from_le_bytes(header[4..12].try_into().expect("8"));
+    let len = le_u32(&header[0..4]) as usize;
+    let req_id = le_u64(&header[4..12]);
     if len > MAX_FRAME {
         return Err(invalid(format!("frame length {len} exceeds MAX_FRAME")));
     }

@@ -201,6 +201,9 @@ impl Gateway {
     }
 
     fn stop_and_join(&mut self) {
+        // SeqCst: once-per-shutdown flag, nowhere near a hot path; the
+        // strongest order keeps it trivially correct against the
+        // reactor's loop check.
         self.stop.store(true, Ordering::SeqCst);
         let _ = (&self.wake).write(&[1]);
         if let Some(h) = self.reactor.take() {
@@ -463,9 +466,13 @@ struct Conn {
     decoder: FrameDecoder,
     out: VecDeque<OutFrame>,
     requests: HashMap<u64, ReqState>,
-    /// Microseconds spent writing each tracked request's frames to the
+    /// Nanoseconds spent writing each tracked request's frames to the
     /// socket, folded into [`Stage::Flush`] when the final frame lands.
-    flush_us: HashMap<u64, u64>,
+    /// Nanosecond resolution matters: one nonblocking write into a ready
+    /// kernel buffer is routinely sub-microsecond, so truncating each
+    /// write to whole microseconds would erase the stage entirely for
+    /// frames flushed in many small writes.
+    flush_ns: HashMap<u64, u64>,
     dead: bool,
 }
 
@@ -525,6 +532,8 @@ struct Reactor {
 
 impl Reactor {
     fn run(mut self) {
+        // SeqCst: pairs with the store in stop_and_join; one load per
+        // poll wakeup, so the cost is irrelevant.
         while !self.stop.load(Ordering::SeqCst) {
             self.drain_completions();
 
@@ -608,7 +617,7 @@ impl Reactor {
                             decoder: FrameDecoder::new(),
                             out: VecDeque::new(),
                             requests: HashMap::new(),
-                            flush_us: HashMap::new(),
+                            flush_ns: HashMap::new(),
                             dead: false,
                         },
                     );
@@ -900,6 +909,7 @@ impl Reactor {
                 if let Some(w) = p.writer.take() {
                     let _ = self.job_tx.send(Job::AbortWriter { writer: w });
                 }
+                // pbrs-lint: allow(panic-hygiene) -- this branch is only entered when failed was populated
                 let resp = p.failed.take().expect("checked");
                 conn.requests.remove(&req_id);
                 self.inflight -= 1;
@@ -909,6 +919,7 @@ impl Reactor {
             return;
         }
         if let Some(data) = p.queue.pop_front() {
+            // pbrs-lint: allow(panic-hygiene) -- state machine invariant: writer is parked whenever not busy/failed
             let writer = p.writer.take().expect("writer idle when not busy/failed");
             p.busy = true;
             let _ = self.job_tx.send(Job::WriteData {
@@ -918,6 +929,7 @@ impl Reactor {
                 data,
             });
         } else if p.ended {
+            // pbrs-lint: allow(panic-hygiene) -- state machine invariant: writer is parked whenever not busy/failed
             let writer = p.writer.take().expect("writer idle when not busy/failed");
             p.busy = true;
             let _ = self.job_tx.send(Job::FinishWriter {
@@ -964,6 +976,7 @@ impl Reactor {
         if conn.out.len() >= self.config.in_flight_stripes {
             return; // resumed by flush_and_pump_all once the queue drains
         }
+        // pbrs-lint: allow(panic-hygiene) -- reader presence was checked by the guard above
         let reader = g.reader.take().expect("checked");
         let buf = vec![0u8; reader.stripe_len()];
         let stripe = g.next_stripe;
@@ -1095,7 +1108,7 @@ impl Reactor {
                         // the stream with an error frame.
                         if let Some(c) = self.conns.get_mut(&conn) {
                             c.requests.remove(&req);
-                            c.flush_us.remove(&req);
+                            c.flush_ns.remove(&req);
                         }
                         self.inflight -= 1;
                         GatewayMetrics::add(&self.metrics.request_errors, 1);
@@ -1253,6 +1266,15 @@ impl Reactor {
 }
 
 /// Writes the front of `conn.out` as far as the socket allows, vectoring
+/// Rounds an op's accumulated flush nanoseconds to the microseconds the
+/// stage histograms record. Rounding (rather than truncating) here means
+/// at most half a microsecond of error per *op*; truncating each write
+/// individually used to lose the whole stage for ops flushed in many
+/// sub-microsecond writes.
+fn flush_micros(ns: u64) -> u64 {
+    (ns + 500) / 1_000
+}
+
 /// header+body into one syscall while the header is unsent. Tracked
 /// frames accumulate their write time into the request's flush budget;
 /// when a frame carrying a [`FinRecord`] finishes, the op's latency (and
@@ -1271,7 +1293,7 @@ fn flush_conn(conn: &mut Conn, metrics: &GatewayMetrics) {
             conn.stream.write(&front.body[front.off - header_len..])
         };
         if let Some(t0) = write_start {
-            *conn.flush_us.entry(front.req).or_insert(0) += t0.elapsed().as_micros() as u64;
+            *conn.flush_ns.entry(front.req).or_insert(0) += t0.elapsed().as_nanos() as u64;
         }
         match attempt {
             Ok(0) => {
@@ -1282,14 +1304,15 @@ fn flush_conn(conn: &mut Conn, metrics: &GatewayMetrics) {
                 GatewayMetrics::add(&metrics.bytes_out, n as u64);
                 front.off += n;
                 if front.off == header_len + front.body.len() {
+                    // pbrs-lint: allow(panic-hygiene) -- out was just peeked non-empty by the enclosing loop
                     let done = conn.out.pop_front().expect("front exists");
                     if let Some(fin) = done.fin {
-                        let flush = conn.flush_us.remove(&done.req).unwrap_or(0);
+                        let flush = conn.flush_ns.remove(&done.req).unwrap_or(0);
                         metrics
                             .op_latency(fin.class)
                             .record_duration(fin.started.elapsed());
                         if let Some(mut stages) = fin.stages {
-                            stages.add(Stage::Flush, flush);
+                            stages.add(Stage::Flush, flush_micros(flush));
                             let set = match fin.class {
                                 OpClass::GetDegraded => &metrics.degraded_get_stages,
                                 _ => &metrics.healthy_get_stages,
@@ -1306,5 +1329,33 @@ fn flush_conn(conn: &mut Conn, metrics: &GatewayMetrics) {
                 return;
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod flush_resolution_tests {
+    use super::flush_micros;
+
+    /// Regression: the flush accumulator used to truncate each write to
+    /// whole microseconds, so an op flushed in many sub-microsecond
+    /// writes recorded zero flush time. Accumulating nanoseconds and
+    /// converting once keeps the stage visible.
+    #[test]
+    fn many_submicrosecond_writes_survive_conversion() {
+        // 100 writes of 800 ns each: per-write µs truncation records 0;
+        // nanosecond accumulation records 80 µs.
+        let total_ns: u64 = (0..100).map(|_| 800u64).sum();
+        assert_eq!(flush_micros(total_ns), 80);
+        let truncated_per_write: u64 = (0..100).map(|_| 800u64 / 1_000).sum();
+        assert_eq!(truncated_per_write, 0, "the old scheme lost the stage");
+    }
+
+    #[test]
+    fn conversion_rounds_half_up() {
+        assert_eq!(flush_micros(0), 0);
+        assert_eq!(flush_micros(499), 0);
+        assert_eq!(flush_micros(500), 1);
+        assert_eq!(flush_micros(1_499), 1);
+        assert_eq!(flush_micros(1_500), 2);
     }
 }

@@ -185,10 +185,13 @@ fn choose() -> Backend {
 /// Resolved once per process from `PBRS_GF_BACKEND` (falling back to
 /// [`detect_best`]) and cached; [`force`] replaces the cached choice.
 pub fn active() -> Backend {
+    // Relaxed: a self-contained cache cell. Racing initialisers compute
+    // the same value, and every backend yields identical bytes anyway.
     if let Some(backend) = Backend::from_u8(ACTIVE.load(Ordering::Relaxed)) {
         return backend;
     }
     let chosen = choose();
+    // Relaxed: idempotent publish of the cache cell read above.
     ACTIVE.store(chosen.to_u8(), Ordering::Relaxed);
     chosen
 }
@@ -205,6 +208,8 @@ pub fn force(backend: Backend) -> bool {
     if !backend.is_supported() {
         return false;
     }
+    // Relaxed: see the doc comment — a mid-switch stale read is benign
+    // because all backends compute the same field arithmetic.
     ACTIVE.store(backend.to_u8(), Ordering::Relaxed);
     true
 }

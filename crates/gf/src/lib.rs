@@ -57,6 +57,7 @@
 // `unsafe` is denied everywhere except the `simd` module, which needs it
 // for `core::arch` intrinsics and carries per-block SAFETY justifications.
 #![deny(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 pub mod backend;

@@ -179,6 +179,7 @@ impl Matrix {
             // x_i = cols + r, y_j = j: disjoint index ranges give distinct sums.
             for c in 0..cols {
                 let denom = Gf256::new((cols + r) as u8) + Gf256::new(c as u8);
+                // pbrs-lint: allow(panic-hygiene) -- Cauchy points are drawn from disjoint sets, so the sum is non-zero
                 let v = denom.inverse().expect("x_i + y_j is never zero");
                 m.set(r, c, v.value());
             }
@@ -437,6 +438,7 @@ impl Matrix {
             }
             let Some(p) = pivot else { continue };
             m.swap_rows(pivot_row, p);
+            // pbrs-lint: allow(panic-hygiene) -- pivot was chosen as a non-zero entry by the search above
             let inv = tables::inverse(m.get(pivot_row, col)).expect("pivot is non-zero");
             for c in col..m.cols {
                 let v = tables::mul(m.get(pivot_row, c), inv);
@@ -487,6 +489,7 @@ impl Matrix {
                 return Err(MatrixError::Singular);
             };
             work.swap_rows(col, pivot);
+            // pbrs-lint: allow(panic-hygiene) -- pivot was chosen as a non-zero entry by the search above
             let inv = tables::inverse(work.get(col, col)).expect("pivot is non-zero");
             for c in 0..2 * n {
                 let v = tables::mul(work.get(col, c), inv);

@@ -144,6 +144,7 @@ impl Polynomial {
                 basis = basis.mul(&Polynomial::new(vec![xj, Gf256::ONE]));
                 denom *= xi + xj;
             }
+            // pbrs-lint: allow(panic-hygiene) -- interpolation points are distinct, so the denominator is non-zero
             let scale = yi * denom.inverse().expect("denominator is non-zero");
             result = result.add(&basis.scale(scale));
         }

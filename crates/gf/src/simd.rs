@@ -132,12 +132,15 @@ unsafe fn ssse3_kernel<const ACCUMULATE: bool>(t: &NibbleTables, src: &[u8], dst
 #[target_feature(enable = "avx2")]
 unsafe fn avx2_kernel<const ACCUMULATE: bool>(t: &NibbleTables, src: &[u8], dst: &mut [u8]) {
     debug_assert_eq!(src.len(), dst.len());
-    // SAFETY: 16-byte table loads, then broadcast into both 128-bit lanes
-    // (vpshufb looks up within each lane independently).
-    let lo_t: __m256i =
-        unsafe { _mm256_broadcastsi128_si256(_mm_loadu_si128(t.lo.as_ptr().cast::<__m128i>())) };
-    let hi_t: __m256i =
-        unsafe { _mm256_broadcastsi128_si256(_mm_loadu_si128(t.hi.as_ptr().cast::<__m128i>())) };
+    // SAFETY: the table arrays are 16 bytes, exactly one unaligned load
+    // each, broadcast into both 128-bit lanes (vpshufb looks up within
+    // each lane independently).
+    let (lo_t, hi_t): (__m256i, __m256i) = unsafe {
+        (
+            _mm256_broadcastsi128_si256(_mm_loadu_si128(t.lo.as_ptr().cast::<__m128i>())),
+            _mm256_broadcastsi128_si256(_mm_loadu_si128(t.hi.as_ptr().cast::<__m128i>())),
+        )
+    };
     let mask = _mm256_set1_epi8(0x0F);
     let blocks = src.len() / 32;
     for block in 0..blocks {

@@ -250,6 +250,7 @@ where
     for src in srcs {
         let &c = remaining
             .next()
+            // pbrs-lint: allow(panic-hygiene) -- caller supplies at least one coefficient per source shard
             .expect("more source shards than coefficients");
         mul_add_slice_using(backend, c, src, out);
     }

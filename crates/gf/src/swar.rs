@@ -74,6 +74,7 @@ pub(crate) fn mul_add_slice(c: u8, src: &[u8], dst: &mut [u8]) {
     let mut src_blocks = src.chunks_exact(BLOCK);
     let mut dst_blocks = dst.chunks_exact_mut(BLOCK);
     for (s, d) in (&mut src_blocks).zip(&mut dst_blocks) {
+        // pbrs-lint: allow(panic-hygiene) -- chunks_exact yields exactly BLOCK-sized slices
         let s: &[u8; BLOCK] = s.try_into().expect("exact chunk");
         let mut acc = [0u8; BLOCK];
         acc.copy_from_slice(d);
@@ -95,6 +96,7 @@ pub(crate) fn mul_slice(c: u8, src: &[u8], dst: &mut [u8]) {
     let mut src_blocks = src.chunks_exact(BLOCK);
     let mut dst_blocks = dst.chunks_exact_mut(BLOCK);
     for (s, d) in (&mut src_blocks).zip(&mut dst_blocks) {
+        // pbrs-lint: allow(panic-hygiene) -- chunks_exact yields exactly BLOCK-sized slices
         let s: &[u8; BLOCK] = s.try_into().expect("exact chunk");
         let mut acc = [0u8; BLOCK];
         mul_block(c, s, &mut acc);
@@ -113,6 +115,7 @@ pub(crate) fn mul_slice(c: u8, src: &[u8], dst: &mut [u8]) {
 pub(crate) fn mul_slice_in_place(c: u8, data: &mut [u8]) {
     let mut blocks = data.chunks_exact_mut(BLOCK);
     for d in &mut blocks {
+        // pbrs-lint: allow(panic-hygiene) -- chunks_exact yields exactly BLOCK-sized slices
         let src: [u8; BLOCK] = (&*d).try_into().expect("exact chunk");
         let mut acc = [0u8; BLOCK];
         mul_block(c, &src, &mut acc);
@@ -158,6 +161,7 @@ pub(crate) fn matrix_mul_add(rows: &[&[u8]], srcs: &[&[u8]], outs: &mut [&mut [u
                     continue;
                 }
                 let d: &mut [u8; BLOCK] =
+                    // pbrs-lint: allow(panic-hygiene) -- the slice indexing above produces exactly BLOCK bytes
                     (&mut out[at..at + BLOCK]).try_into().expect("exact chunk");
                 let mut acc = *d;
                 for plane in planes[..planes_needed].iter() {
@@ -195,7 +199,9 @@ pub(crate) fn xor_slice(dst: &mut [u8], src: &[u8]) {
     let mut src_words = src.chunks_exact(8);
     let mut dst_words = dst.chunks_exact_mut(8);
     for (s, d) in (&mut src_words).zip(&mut dst_words) {
+        // pbrs-lint: allow(panic-hygiene) -- chunks_exact yields exactly 8-byte slices
         let w = u64::from_le_bytes(s.try_into().expect("8-byte chunk"));
+        // pbrs-lint: allow(panic-hygiene) -- chunks_exact yields exactly 8-byte slices
         let cur = u64::from_le_bytes((&*d).try_into().expect("8-byte chunk"));
         d.copy_from_slice(&(cur ^ w).to_le_bytes());
     }

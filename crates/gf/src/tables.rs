@@ -73,6 +73,7 @@ pub const fn mul(a: u8, b: u8) -> u8 {
 #[inline]
 pub const fn div(a: u8, b: u8) -> u8 {
     if b == 0 {
+        // pbrs-lint: allow(panic-hygiene) -- documented panic on a zero divisor, mirroring integer division
         panic!("division by zero in GF(2^8)");
     }
     if a == 0 {

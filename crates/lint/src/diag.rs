@@ -1,0 +1,110 @@
+//! Diagnostics: what a rule reports, and how a run renders.
+
+use std::fmt;
+
+use crate::config::Severity;
+
+/// One finding, pinned to a file and line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The rule that fired (e.g. `panic-hygiene`).
+    pub rule: &'static str,
+    /// Severity the rule ran at.
+    pub severity: Severity,
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}]: {}:{}: {}",
+            self.severity, self.rule, self.file, self.line, self.message
+        )
+    }
+}
+
+/// The outcome of one lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Every finding, sorted by (file, line, rule).
+    pub diagnostics: Vec<Diagnostic>,
+    /// How many files were checked.
+    pub files_checked: usize,
+}
+
+impl Report {
+    /// Sorts diagnostics into the canonical (file, line, rule) order.
+    pub fn finish(&mut self) {
+        self.diagnostics
+            .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    }
+
+    /// Findings at `error` severity.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+    }
+
+    /// True if the run should exit nonzero.
+    pub fn failed(&self) -> bool {
+        self.errors().next().is_some()
+    }
+
+    /// The full text rendering: one line per finding plus a summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        let errors = self.errors().count();
+        let warnings = self.diagnostics.len() - errors;
+        out.push_str(&format!(
+            "pbrs-lint: {} files checked, {errors} errors, {warnings} warnings\n",
+            self.files_checked
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_orders_and_summarises() {
+        let mut r = Report {
+            diagnostics: vec![
+                Diagnostic {
+                    rule: "b-rule",
+                    severity: Severity::Error,
+                    file: "b.rs".into(),
+                    line: 2,
+                    message: "second".into(),
+                },
+                Diagnostic {
+                    rule: "a-rule",
+                    severity: Severity::Warn,
+                    file: "a.rs".into(),
+                    line: 9,
+                    message: "first".into(),
+                },
+            ],
+            files_checked: 2,
+        };
+        r.finish();
+        assert_eq!(r.diagnostics[0].file, "a.rs");
+        assert!(r.failed());
+        let text = r.render();
+        assert!(text.contains("error[b-rule]: b.rs:2: second"));
+        assert!(text.contains("warn[a-rule]: a.rs:9: first"));
+        assert!(text.ends_with("2 files checked, 1 errors, 1 warnings\n"));
+    }
+}

@@ -1,0 +1,99 @@
+//! The `pbrs-lint` binary: walk the workspace, enforce the invariants,
+//! exit nonzero on any error-severity finding.
+//!
+//! ```text
+//! pbrs-lint [--root DIR] [--rule NAME]... [--report FILE] [--list-rules]
+//! ```
+//!
+//! With no `--root`, the workspace root is found by searching upward from
+//! the current directory for `lint.toml`.
+
+#![forbid(unsafe_code)]
+
+use std::env;
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use pbrs_lint::rules::ALL_RULES;
+use pbrs_lint::{find_root, load_config, run_workspace};
+
+fn main() -> ExitCode {
+    match real_main() {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("pbrs-lint: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn real_main() -> Result<ExitCode, String> {
+    let mut root: Option<PathBuf> = None;
+    let mut report_path: Option<PathBuf> = None;
+    let mut only: Vec<String> = Vec::new();
+
+    let mut args = env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = Some(PathBuf::from(next(&mut args, "--root")?)),
+            "--report" => report_path = Some(PathBuf::from(next(&mut args, "--report")?)),
+            "--rule" => only.push(next(&mut args, "--rule")?),
+            "--list-rules" => {
+                for (name, _) in ALL_RULES {
+                    println!("{name}");
+                }
+                return Ok(ExitCode::SUCCESS);
+            }
+            "--help" | "-h" => {
+                println!(
+                    "pbrs-lint — workspace invariant checker\n\n\
+                     USAGE: pbrs-lint [--root DIR] [--rule NAME]... \
+                     [--report FILE] [--list-rules]\n\n\
+                     Rules and the lint.toml schema are documented in \
+                     CONTRIBUTING.md."
+                );
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
+            find_root(&cwd).ok_or("no lint.toml found here or in any parent directory")?
+        }
+    };
+    for rule in &only {
+        if !ALL_RULES.iter().any(|(name, _)| name == rule) {
+            return Err(format!("unknown rule `{rule}` (see --list-rules)"));
+        }
+    }
+
+    let cfg = load_config(&root).map_err(|e| format!("loading lint.toml: {e}"))?;
+    let filter = if only.is_empty() {
+        None
+    } else {
+        Some(only.as_slice())
+    };
+    let report = run_workspace(&root, &cfg, filter)
+        .map_err(|e| format!("walking {}: {e}", root.display()))?;
+
+    let rendered = report.render();
+    print!("{rendered}");
+    if let Some(path) = report_path {
+        fs::write(&path, &rendered)
+            .map_err(|e| format!("writing report {}: {e}", path.display()))?;
+    }
+    Ok(if report.failed() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+fn next(args: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {
+    args.next().ok_or_else(|| format!("{flag} needs a value"))
+}

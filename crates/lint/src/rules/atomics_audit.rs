@@ -1,0 +1,88 @@
+//! Rule `atomics-audit`: every `Ordering::Relaxed` / `Ordering::SeqCst`
+//! site carries a justification comment within 2 lines.
+//!
+//! `Relaxed` is almost always right in this workspace (statistical
+//! counters and histograms) and `SeqCst` is almost always a smell (it
+//! hides a reasoning gap behind the strongest fence) — both deserve a
+//! sentence at the site saying *why* the chosen ordering is enough.
+//! `Acquire`/`Release`/`AcqRel` pairs pass silently: choosing them is
+//! itself evidence of thought.
+//!
+//! The rule matches the qualified form `Ordering::Relaxed`. Importing the
+//! variants directly (`use …::Ordering::Relaxed`) is flagged, because a
+//! bare `Relaxed` at a call site is invisible to both this audit and a
+//! human reviewer.
+
+use crate::config::{Config, Severity};
+use crate::diag::Diagnostic;
+use crate::rules::FileCtx;
+use crate::walk::FileKind;
+
+const RULE: &str = "atomics-audit";
+
+const AUDITED: &[&str] = &["Relaxed", "SeqCst"];
+
+pub(crate) fn check(ctx: &FileCtx<'_>, _cfg: &Config, sev: Severity, out: &mut Vec<Diagnostic>) {
+    if ctx.kind != FileKind::Lib {
+        return;
+    }
+    let toks = &ctx.lex.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if ctx.scopes.in_test[i] {
+            continue;
+        }
+        // `use … Ordering :: {…}` importing audited variants directly.
+        if t.is_ident("use") {
+            let mut j = i + 1;
+            let mut saw_ordering = false;
+            while j < toks.len() && !toks[j].is_punct(';') {
+                if toks[j].is_ident("Ordering") {
+                    saw_ordering = true;
+                } else if saw_ordering
+                    && toks[j].kind == crate::lexer::TokenKind::Ident
+                    && AUDITED.contains(&toks[j].text.as_str())
+                {
+                    ctx.emit(
+                        out,
+                        RULE,
+                        sev,
+                        toks[j].line,
+                        format!(
+                            "importing `Ordering::{}` hides the ordering at call \
+                             sites; use the qualified form",
+                            toks[j].text
+                        ),
+                    );
+                }
+                j += 1;
+            }
+            continue;
+        }
+        // `Ordering :: Relaxed` / `Ordering :: SeqCst`.
+        if t.is_ident("Ordering")
+            && toks.get(i + 1).is_some_and(|n| n.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|n| n.is_punct(':'))
+        {
+            let Some(variant) = toks.get(i + 3) else {
+                continue;
+            };
+            if !AUDITED.contains(&variant.text.as_str()) {
+                continue;
+            }
+            let line = variant.line;
+            if !ctx.lex.has_comment_in(line.saturating_sub(2), line) {
+                ctx.emit(
+                    out,
+                    RULE,
+                    sev,
+                    line,
+                    format!(
+                        "`Ordering::{}` without a justification comment within \
+                         2 lines",
+                        variant.text
+                    ),
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! The rule catalogue. Each rule is a pure function over one file's
+//! lexed/scoped form plus the workspace config; `CONTRIBUTING.md` holds
+//! the prose catalogue.
+
+use crate::config::{Config, Severity};
+use crate::diag::Diagnostic;
+use crate::lexer::Lexed;
+use crate::scope::Scopes;
+use crate::waiver::WaiverSet;
+use crate::walk::FileKind;
+
+pub mod atomics_audit;
+pub mod panic_hygiene;
+pub mod unsafe_confinement;
+pub mod wall_clock;
+pub mod wire_protocol;
+
+/// Everything a rule can see about one file.
+pub struct FileCtx<'a> {
+    /// Workspace-relative `/`-separated path.
+    pub rel: &'a str,
+    /// Compilation-unit classification.
+    pub kind: FileKind,
+    /// Whether rustc compiles this file directly as a crate root.
+    pub is_crate_root: bool,
+    /// Tokens and comments.
+    pub lex: &'a Lexed,
+    /// Test-scope flags and inner attributes.
+    pub scopes: &'a Scopes,
+    /// Inline waivers.
+    pub waivers: &'a WaiverSet,
+}
+
+impl<'a> FileCtx<'a> {
+    /// Pushes a finding at `line` unless an inline waiver covers it.
+    pub fn emit(
+        &self,
+        out: &mut Vec<Diagnostic>,
+        rule: &'static str,
+        severity: Severity,
+        line: u32,
+        message: String,
+    ) {
+        if self.waivers.covers(rule, line) {
+            return;
+        }
+        out.push(Diagnostic {
+            rule,
+            severity,
+            file: self.rel.to_string(),
+            line,
+            message,
+        });
+    }
+}
+
+/// A rule's entry point: one file's context + config in, findings out.
+pub type RuleFn = fn(&FileCtx<'_>, &Config, Severity, &mut Vec<Diagnostic>);
+
+/// Name and entry point of every rule, in catalogue order.
+pub const ALL_RULES: &[(&str, RuleFn)] = &[
+    ("unsafe-confinement", unsafe_confinement::check),
+    ("panic-hygiene", panic_hygiene::check),
+    ("atomics-audit", atomics_audit::check),
+    ("wire-protocol", wire_protocol::check),
+    ("wall-clock", wall_clock::check),
+];

@@ -1,0 +1,70 @@
+//! Rule `panic-hygiene`: no `unwrap()` / `expect()` / `panic!` / `todo!`
+//! / `unimplemented!` in non-test library code.
+//!
+//! A panic in a serving path takes down a worker (PR 4 taught the pools
+//! to fail fast rather than deadlock, but a shed worker is still a
+//! failure); library code reports typed errors instead. Applies only to
+//! `FileKind::Lib` outside test scope — bins, examples, benches and
+//! integration tests may assert freely. Load-bearing exceptions carry an
+//! inline waiver naming the invariant, e.g. lock poisoning.
+
+use crate::config::{Config, Severity};
+use crate::diag::Diagnostic;
+use crate::rules::FileCtx;
+use crate::walk::FileKind;
+
+const RULE: &str = "panic-hygiene";
+
+const PANIC_MACROS: &[&str] = &["panic", "todo", "unimplemented"];
+const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
+
+pub(crate) fn check(ctx: &FileCtx<'_>, _cfg: &Config, sev: Severity, out: &mut Vec<Diagnostic>) {
+    if ctx.kind != FileKind::Lib {
+        return;
+    }
+    let toks = &ctx.lex.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if ctx.scopes.in_test[i] {
+            continue;
+        }
+        // `.unwrap()` / `.expect(` — method-call position only, so
+        // `unwrap_or_else` or a local named `unwrap` cannot match.
+        if t.is_punct('.')
+            && toks.get(i + 1).is_some_and(|n| {
+                n.kind == crate::lexer::TokenKind::Ident && PANIC_METHODS.contains(&n.text.as_str())
+            })
+            && toks.get(i + 2).is_some_and(|n| n.is_punct('('))
+        {
+            let name = &toks[i + 1];
+            ctx.emit(
+                out,
+                RULE,
+                sev,
+                name.line,
+                format!(
+                    "`.{}()` in library code; return a typed error or add a \
+                     waiver naming the invariant",
+                    name.text
+                ),
+            );
+        }
+        // `panic!` / `todo!` / `unimplemented!` macro invocations.
+        if t.kind == crate::lexer::TokenKind::Ident
+            && PANIC_MACROS.contains(&t.text.as_str())
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('!'))
+        {
+            // `core::panic!` et al. still match on the final ident; a
+            // preceding `.` would be a method call, not a macro.
+            if i > 0 && toks[i - 1].is_punct('.') {
+                continue;
+            }
+            ctx.emit(
+                out,
+                RULE,
+                sev,
+                t.line,
+                format!("`{}!` in library code", t.text),
+            );
+        }
+    }
+}

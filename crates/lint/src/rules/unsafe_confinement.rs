@@ -1,0 +1,143 @@
+//! Rule `unsafe-confinement`: `unsafe` lives only in the allowlisted
+//! modules, every use is documented, and every other crate root forbids
+//! it at the compiler level.
+//!
+//! Three checks:
+//!
+//! 1. Any `unsafe` token in a file off `allow_files` is an error —
+//!    including in test code: tests have no business with `unsafe`
+//!    either.
+//! 2. In an allowlisted file, every `unsafe` occurrence must be
+//!    documented: a `// SAFETY:` comment on the same line or within the
+//!    3 lines above, or (for `unsafe fn`/`unsafe trait` declarations) a
+//!    doc comment block containing a `# Safety` section.
+//! 3. Every non-test crate root must carry `#![forbid(unsafe_code)]`,
+//!    except the roots listed in `unsafe_crate_roots` (the crates that
+//!    *contain* the allowlisted modules, which cannot forbid), which must
+//!    instead carry `#![deny(unsafe_op_in_unsafe_fn)]` so each unsafe
+//!    operation needs its own explicit block.
+
+use crate::config::{matches_any, Config, Severity};
+use crate::diag::Diagnostic;
+use crate::rules::FileCtx;
+use crate::walk::FileKind;
+
+const RULE: &str = "unsafe-confinement";
+const SECTION: &str = "rule.unsafe-confinement";
+
+pub(crate) fn check(ctx: &FileCtx<'_>, cfg: &Config, sev: Severity, out: &mut Vec<Diagnostic>) {
+    let allow_files = cfg.list(SECTION, "allow_files");
+    let unsafe_roots = cfg.list(SECTION, "unsafe_crate_roots");
+    let allowed = matches_any(allow_files, ctx.rel);
+
+    check_crate_root_attrs(ctx, unsafe_roots, sev, out);
+
+    let toks = &ctx.lex.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("unsafe") {
+            continue;
+        }
+        if !allowed {
+            ctx.emit(
+                out,
+                RULE,
+                sev,
+                t.line,
+                format!(
+                    "`unsafe` outside the allowlisted modules ({})",
+                    allow_files.join(", ")
+                ),
+            );
+            continue;
+        }
+        // Allowlisted file: the use must be documented.
+        if has_safety_comment(ctx, t.line) {
+            continue;
+        }
+        let is_decl = toks
+            .get(i + 1)
+            .is_some_and(|n| n.is_ident("fn") || n.is_ident("trait"));
+        if is_decl && doc_block_has_safety_section(ctx, t.line) {
+            continue;
+        }
+        let what = toks
+            .get(i + 1)
+            .map(|n| n.text.clone())
+            .unwrap_or_else(|| "{".into());
+        ctx.emit(
+            out,
+            RULE,
+            sev,
+            t.line,
+            format!(
+                "`unsafe {what}` without a `// SAFETY:` comment (same line or \
+                 up to 3 lines above{})",
+                if is_decl {
+                    ", or a `# Safety` doc section"
+                } else {
+                    ""
+                }
+            ),
+        );
+    }
+}
+
+/// A `SAFETY:` comment on the token's line or within the 3 lines above.
+fn has_safety_comment(ctx: &FileCtx<'_>, line: u32) -> bool {
+    let lo = line.saturating_sub(3);
+    ctx.lex
+        .comments
+        .iter()
+        .any(|c| c.end_line >= lo && c.line <= line && c.text.contains("SAFETY:"))
+}
+
+/// Walks the contiguous doc-comment block directly above `line` looking
+/// for a `# Safety` heading (attributes may sit between docs and item).
+fn doc_block_has_safety_section(ctx: &FileCtx<'_>, line: u32) -> bool {
+    // Find doc comments in the ~16 lines above, contiguous enough: any
+    // doc comment whose end is within 16 lines above the declaration and
+    // that mentions a Safety heading.
+    let lo = line.saturating_sub(16);
+    ctx.lex
+        .comments
+        .iter()
+        .any(|c| c.doc && c.end_line >= lo && c.end_line < line && c.text.contains("# Safety"))
+}
+
+fn check_crate_root_attrs(
+    ctx: &FileCtx<'_>,
+    unsafe_roots: &[String],
+    sev: Severity,
+    out: &mut Vec<Diagnostic>,
+) {
+    if !ctx.is_crate_root || ctx.kind == FileKind::Test {
+        return;
+    }
+    let attrs = &ctx.scopes.inner_attrs;
+    let has = |lint: &str, levels: &[&str]| {
+        attrs
+            .iter()
+            .any(|a| a.contains(lint) && levels.iter().any(|l| a.starts_with(l)))
+    };
+    if matches_any(unsafe_roots, ctx.rel) {
+        if !has("unsafe_op_in_unsafe_fn", &["deny", "forbid"]) {
+            ctx.emit(
+                out,
+                RULE,
+                sev,
+                1,
+                "crate root hosts an allowlisted unsafe module but lacks \
+                 `#![deny(unsafe_op_in_unsafe_fn)]`"
+                    .into(),
+            );
+        }
+    } else if !has("unsafe_code", &["forbid"]) {
+        ctx.emit(
+            out,
+            RULE,
+            sev,
+            1,
+            "crate root lacks `#![forbid(unsafe_code)]`".into(),
+        );
+    }
+}

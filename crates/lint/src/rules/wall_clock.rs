@@ -1,0 +1,51 @@
+//! Rule `wall-clock`: `Instant::now` / `SystemTime::now` stay out of
+//! protocol and codec logic.
+//!
+//! Deadline and timing behaviour is testable only when the clock enters
+//! as a *value* (a budget, a duration, an injected timestamp), not when
+//! logic reads the wall clock itself — a codec that calls `now()` can
+//! only be tested with sleeps. The allowlist in
+//! `[rule.wall-clock] allow_files` names the seams that legitimately
+//! read time: guards, health trackers, the observability layer's
+//! timestamping, daemons' pacing, benches, and examples. Everything
+//! else in library code must take time as an argument.
+
+use crate::config::{matches_any, Config, Severity};
+use crate::diag::Diagnostic;
+use crate::rules::FileCtx;
+use crate::walk::FileKind;
+
+const RULE: &str = "wall-clock";
+const SECTION: &str = "rule.wall-clock";
+
+pub(crate) fn check(ctx: &FileCtx<'_>, cfg: &Config, sev: Severity, out: &mut Vec<Diagnostic>) {
+    if ctx.kind != FileKind::Lib {
+        return;
+    }
+    if matches_any(cfg.list(SECTION, "allow_files"), ctx.rel) {
+        return;
+    }
+    let toks = &ctx.lex.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if ctx.scopes.in_test[i] {
+            continue;
+        }
+        if (t.is_ident("Instant") || t.is_ident("SystemTime"))
+            && toks.get(i + 1).is_some_and(|n| n.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|n| n.is_punct(':'))
+            && toks.get(i + 3).is_some_and(|n| n.is_ident("now"))
+        {
+            ctx.emit(
+                out,
+                RULE,
+                sev,
+                t.line,
+                format!(
+                    "`{}::now()` outside the allowlisted clock seams; take \
+                     time as a value instead",
+                    t.text
+                ),
+            );
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Rule `wire-protocol`: hygiene for the wire codec files.
+//!
+//! Applies only to the files named in `[rule.wire-protocol] files`. Two
+//! checks:
+//!
+//! 1. **Lossy casts** — `as u8/u16/u32/i8/i16/i32/i64/isize/char` in
+//!    non-test code is flagged: an `as` cast silently truncates, and a
+//!    truncated length or offset on the wire is a data-corruption bug.
+//!    Convert to `try_from` (decode paths have a `Result` to land in) or
+//!    waive with the invariant that bounds the value. Casts to
+//!    `usize`/`u64`/`u128` are widening on every target this workspace
+//!    supports (64-bit, compile-time asserted in the protocol files) and
+//!    pass silently.
+//!
+//! 2. **Opcode exhaustiveness** — every `const` whose name starts with a
+//!    configured prefix (`OP_`, `ST_`, `STATUS_`) must appear as a match
+//!    arm somewhere in the same file (`NAME =>` or `NAME | …`), i.e. the
+//!    decoder must handle every constant the encoder can emit. A constant
+//!    that is only ever *written* is a decoder gap.
+
+use crate::config::{matches_any, Config, Severity};
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::rules::FileCtx;
+
+const RULE: &str = "wire-protocol";
+const SECTION: &str = "rule.wire-protocol";
+
+/// Cast targets that can lose value bits (or, for `char`, panic-free but
+/// semantics-bending) and so require justification in codec logic.
+const LOSSY_TARGETS: &[&str] = &[
+    "u8", "u16", "u32", "i8", "i16", "i32", "i64", "isize", "char",
+];
+
+pub(crate) fn check(ctx: &FileCtx<'_>, cfg: &Config, sev: Severity, out: &mut Vec<Diagnostic>) {
+    let files = cfg.list(SECTION, "files");
+    if !matches_any(files, ctx.rel) {
+        return;
+    }
+    let toks = &ctx.lex.tokens;
+
+    // 1. Lossy casts.
+    for (i, t) in toks.iter().enumerate() {
+        if ctx.scopes.in_test[i] || !t.is_ident("as") {
+            continue;
+        }
+        let Some(target) = toks.get(i + 1) else {
+            continue;
+        };
+        if target.kind == TokenKind::Ident && LOSSY_TARGETS.contains(&target.text.as_str()) {
+            ctx.emit(
+                out,
+                RULE,
+                sev,
+                target.line,
+                format!(
+                    "lossy `as {}` cast in wire-protocol code; use `try_from` \
+                     or waive with the bounding invariant",
+                    target.text
+                ),
+            );
+        }
+    }
+
+    // 2. Opcode exhaustiveness.
+    let prefixes = cfg.list(SECTION, "opcode_prefixes");
+    if prefixes.is_empty() {
+        return;
+    }
+    // Collect `const NAME: u8 = …;` declarations with a matching prefix.
+    let mut consts: Vec<(String, u32)> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.is_ident("const")
+            && toks.get(i + 1).is_some_and(|n| {
+                n.kind == TokenKind::Ident && prefixes.iter().any(|p| n.text.starts_with(p))
+            })
+            && toks.get(i + 2).is_some_and(|n| n.is_punct(':'))
+        {
+            let name = &toks[i + 1];
+            consts.push((name.text.clone(), name.line));
+        }
+    }
+    for (name, line) in consts {
+        let mut matched = false;
+        for (i, t) in toks.iter().enumerate() {
+            if !(t.kind == TokenKind::Ident && t.text == name) {
+                continue;
+            }
+            // Skip the declaration itself.
+            if i > 0 && toks[i - 1].is_ident("const") {
+                continue;
+            }
+            // Arm position: `NAME =>`, `NAME | …`, or `… | NAME`.
+            let next_arrow = toks.get(i + 1).is_some_and(|a| a.is_punct('='))
+                && toks.get(i + 2).is_some_and(|b| b.is_punct('>'));
+            let or_pattern = toks.get(i + 1).is_some_and(|a| a.is_punct('|'))
+                || (i > 0 && toks[i - 1].is_punct('|'));
+            if next_arrow || or_pattern {
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            ctx.emit(
+                out,
+                RULE,
+                sev,
+                line,
+                format!(
+                    "opcode constant `{name}` is never matched by a decoder arm \
+                     in this file — encoder and decoder have diverged"
+                ),
+            );
+        }
+    }
+}

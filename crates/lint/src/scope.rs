@@ -1,0 +1,212 @@
+//! Test-scope and attribute analysis over the token stream.
+//!
+//! Rules like panic hygiene apply to *library* code: a `unwrap()` inside a
+//! `#[cfg(test)]` module or a `#[test]` fn is fine. This pass walks the
+//! tokens once, tracking brace depth, and computes for every token whether
+//! it sits inside a test-scoped item. It also collects the crate's inner
+//! attributes (`#![…]`), which the unsafe-confinement rule inspects for
+//! `forbid(unsafe_code)` / `deny(unsafe_op_in_unsafe_fn)`.
+//!
+//! An attribute starts a test scope when it is `#[test]`, `#[bench]`, or a
+//! `#[cfg(…)]` whose argument mentions `test` (covering `cfg(test)` and
+//! `cfg(any(test, …))`). The scope attaches to the next `{ … }` that opens
+//! after the attribute; an intervening `;` at the same depth cancels it
+//! (e.g. `#[cfg(test)] use foo;`).
+
+use crate::lexer::{Lexed, Token};
+
+/// Result of the scope pass.
+#[derive(Debug, Default)]
+pub struct Scopes {
+    /// For each token index: is it inside a test-scoped item?
+    pub in_test: Vec<bool>,
+    /// Normalised contents of every inner attribute (`#![…]`), tokens
+    /// joined with single spaces, e.g. `"forbid ( unsafe_code )"`.
+    pub inner_attrs: Vec<String>,
+}
+
+/// True if the attribute content tokens mark a test-only item.
+fn is_test_attr(content: &[&Token]) -> bool {
+    match content.first() {
+        Some(first) if first.is_ident("test") || first.is_ident("bench") => true,
+        Some(first) if first.is_ident("cfg") => content.iter().any(|t| t.is_ident("test")),
+        _ => false,
+    }
+}
+
+/// Runs the scope pass over a lexed file.
+pub fn analyze(lex: &Lexed) -> Scopes {
+    let toks = &lex.tokens;
+    let n = toks.len();
+    let mut in_test = vec![false; n];
+    let mut inner_attrs = Vec::new();
+
+    let mut depth: i32 = 0;
+    // Depths at which an active test scope opened its brace.
+    let mut test_stack: Vec<i32> = Vec::new();
+    // Set when a test attribute was seen and its item's `{` is pending;
+    // holds the depth the attribute appeared at.
+    let mut pending_test: Option<i32> = None;
+
+    let mut i = 0;
+    while i < n {
+        let in_test_now = !test_stack.is_empty();
+        let t = &toks[i];
+
+        if t.is_punct('#') {
+            // `#[…]` outer attribute or `#![…]` inner attribute.
+            let (bang, open_at) = if i + 1 < n && toks[i + 1].is_punct('!') {
+                (true, i + 2)
+            } else {
+                (false, i + 1)
+            };
+            if open_at < n && toks[open_at].is_punct('[') {
+                // Find the matching `]`.
+                let mut bd = 0i32;
+                let mut j = open_at;
+                while j < n {
+                    if toks[j].is_punct('[') {
+                        bd += 1;
+                    } else if toks[j].is_punct(']') {
+                        bd -= 1;
+                        if bd == 0 {
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+                let content: Vec<&Token> = toks[open_at + 1..j.min(n)].iter().collect();
+                if bang {
+                    inner_attrs.push(
+                        content
+                            .iter()
+                            .map(|t| t.text.as_str())
+                            .collect::<Vec<_>>()
+                            .join(" "),
+                    );
+                } else if is_test_attr(&content) {
+                    pending_test = Some(depth);
+                }
+                for flag in &mut in_test[i..=j.min(n - 1)] {
+                    *flag = in_test_now;
+                }
+                i = j + 1;
+                continue;
+            }
+        }
+
+        in_test[i] = in_test_now;
+        if t.is_punct('{') {
+            if pending_test.take().is_some() {
+                test_stack.push(depth);
+            }
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if test_stack.last() == Some(&depth) {
+                test_stack.pop();
+                // The closing brace itself still belongs to the test item.
+                in_test[i] = true;
+            }
+        } else if t.is_punct(';') {
+            // A brace-less item (use/const/extern-fn) consumed the
+            // attribute without opening a scope.
+            if pending_test == Some(depth) {
+                pending_test = None;
+            }
+        }
+        i += 1;
+    }
+
+    Scopes {
+        in_test,
+        inner_attrs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn test_flags(src: &str) -> Vec<(String, bool)> {
+        let lx = lex(src);
+        let sc = analyze(&lx);
+        lx.tokens
+            .iter()
+            .zip(sc.in_test.iter())
+            .map(|(t, &f)| (t.text.clone(), f))
+            .collect()
+    }
+
+    fn flag_of(src: &str, ident: &str) -> bool {
+        test_flags(src)
+            .into_iter()
+            .find(|(t, _)| t == ident)
+            .map(|(_, f)| f)
+            .unwrap_or_else(|| panic!("ident {ident} not found"))
+    }
+
+    #[test]
+    fn cfg_test_mod_is_test_scope() {
+        let src = r#"
+            fn lib_code() { helper(); }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { target(); }
+            }
+            fn more_lib() { after(); }
+        "#;
+        assert!(!flag_of(src, "helper"));
+        assert!(flag_of(src, "target"));
+        assert!(!flag_of(src, "after"));
+    }
+
+    #[test]
+    fn test_fn_without_mod_is_test_scope() {
+        let src = "#[test]\nfn t() { inner(); }\nfn lib() { outer(); }";
+        assert!(flag_of(src, "inner"));
+        assert!(!flag_of(src, "outer"));
+    }
+
+    #[test]
+    fn cfg_any_with_test_counts() {
+        let src = "#[cfg(any(test, feature = \"x\"))]\nmod m { inner(); }";
+        assert!(flag_of(src, "inner"));
+    }
+
+    #[test]
+    fn cfg_test_on_braceless_item_does_not_leak() {
+        let src = "#[cfg(test)]\nuse std::collections::HashMap;\nfn lib() { body(); }";
+        assert!(!flag_of(src, "body"));
+    }
+
+    #[test]
+    fn non_test_cfg_is_not_test_scope() {
+        let src = "#[cfg(target_arch = \"x86_64\")]\nmod m { inner(); }";
+        assert!(!flag_of(src, "inner"));
+    }
+
+    #[test]
+    fn inner_attrs_are_collected() {
+        let src = "#![forbid(unsafe_code)]\n#![deny(unsafe_op_in_unsafe_fn)]\nfn f() {}";
+        let sc = analyze(&lex(src));
+        assert_eq!(sc.inner_attrs.len(), 2);
+        assert!(sc.inner_attrs[0].contains("forbid ( unsafe_code )"));
+        assert!(sc.inner_attrs[1].contains("unsafe_op_in_unsafe_fn"));
+    }
+
+    #[test]
+    fn nested_braces_inside_test_mod_stay_test() {
+        let src = r#"
+            #[cfg(test)]
+            mod tests {
+                fn helper() { if true { deep(); } }
+            }
+            fn lib() { shallow(); }
+        "#;
+        assert!(flag_of(src, "deep"));
+        assert!(!flag_of(src, "shallow"));
+    }
+}

@@ -1,0 +1,156 @@
+//! Inline waivers: `// pbrs-lint: allow(<rule>) -- <reason>`.
+//!
+//! A waiver suppresses findings of `<rule>` on its own line and on the
+//! line directly below (so it can trail the offending expression or sit
+//! on its own line above it). The reason after `--` is mandatory — a
+//! waiver without one is itself a finding, because an unexplained
+//! exemption is exactly the review-discipline failure this tool exists
+//! to replace.
+
+use crate::config::Severity;
+use crate::diag::Diagnostic;
+use crate::lexer::Lexed;
+
+/// The marker that introduces a waiver inside a comment.
+pub const MARKER: &str = "pbrs-lint:";
+
+/// One parsed waiver.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// The rule name inside `allow(…)`.
+    pub rule: String,
+    /// 1-based line the waiver comment starts on.
+    pub line: u32,
+}
+
+/// All waivers of one file.
+#[derive(Debug, Default)]
+pub struct WaiverSet {
+    waivers: Vec<Waiver>,
+}
+
+impl WaiverSet {
+    /// Collects waivers from a file's comments. Malformed waivers
+    /// (missing `allow(…)`, empty rule, or missing `-- reason`) are
+    /// reported as `waiver-syntax` diagnostics in `out`.
+    pub fn collect(rel: &str, lex: &Lexed, out: &mut Vec<Diagnostic>) -> WaiverSet {
+        let mut set = WaiverSet::default();
+        for comment in &lex.comments {
+            for chunk in comment.text.split(MARKER).skip(1) {
+                // Prose that merely mentions the marker (docs, this file)
+                // is not a waiver attempt; only `allow(` starts one.
+                if !chunk.trim_start().starts_with("allow(") {
+                    continue;
+                }
+                match parse_waiver(chunk) {
+                    Ok(rule) => set.waivers.push(Waiver {
+                        rule,
+                        line: comment.line,
+                    }),
+                    Err(message) => out.push(Diagnostic {
+                        rule: "waiver-syntax",
+                        severity: Severity::Error,
+                        file: rel.to_string(),
+                        line: comment.line,
+                        message,
+                    }),
+                }
+            }
+        }
+        set
+    }
+
+    /// True if a waiver for `rule` covers 1-based `line`.
+    pub fn covers(&self, rule: &str, line: u32) -> bool {
+        self.waivers
+            .iter()
+            .any(|w| w.rule == rule && (w.line == line || w.line + 1 == line))
+    }
+
+    /// Number of collected waivers (for reporting).
+    pub fn len(&self) -> usize {
+        self.waivers.len()
+    }
+
+    /// True if no waivers were collected.
+    pub fn is_empty(&self) -> bool {
+        self.waivers.is_empty()
+    }
+}
+
+/// Parses the text following the `pbrs-lint:` marker.
+fn parse_waiver(chunk: &str) -> Result<String, String> {
+    let chunk = chunk.trim_start();
+    let Some(rest) = chunk.strip_prefix("allow(") else {
+        return Err("waiver must be `pbrs-lint: allow(<rule>) -- <reason>`".into());
+    };
+    let Some(close) = rest.find(')') else {
+        return Err("waiver is missing the closing `)` after the rule name".into());
+    };
+    let rule = rest[..close].trim();
+    if rule.is_empty() {
+        return Err("waiver names no rule inside allow(…)".into());
+    }
+    let after = rest[close + 1..].trim_start();
+    let reason = after.strip_prefix("--").map(str::trim).unwrap_or("");
+    if reason.is_empty() {
+        return Err(format!(
+            "waiver for `{rule}` has no reason; append `-- <why this is sound>`"
+        ));
+    }
+    Ok(rule.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn collect(src: &str) -> (WaiverSet, Vec<Diagnostic>) {
+        let lx = lex(src);
+        let mut diags = Vec::new();
+        let set = WaiverSet::collect("f.rs", &lx, &mut diags);
+        (set, diags)
+    }
+
+    #[test]
+    fn trailing_and_preceding_waivers_cover() {
+        let src = "\
+let a = x.lock().unwrap(); // pbrs-lint: allow(panic-hygiene) -- poisoning is fatal by design
+// pbrs-lint: allow(atomics-audit) -- counter is monotonic
+let b = c.load(Ordering::Relaxed);
+";
+        let (set, diags) = collect(src);
+        assert!(diags.is_empty(), "{diags:?}");
+        assert_eq!(set.len(), 2);
+        assert!(set.covers("panic-hygiene", 1));
+        assert!(set.covers("atomics-audit", 2));
+        assert!(set.covers("atomics-audit", 3)); // line below
+        assert!(!set.covers("atomics-audit", 4));
+        assert!(!set.covers("panic-hygiene", 3));
+    }
+
+    #[test]
+    fn reasonless_waiver_is_a_finding() {
+        let (set, diags) = collect("// pbrs-lint: allow(panic-hygiene)\nlet x = y.unwrap();");
+        assert!(set.is_empty());
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "waiver-syntax");
+        assert!(diags[0].message.contains("no reason"));
+    }
+
+    #[test]
+    fn malformed_waivers_are_findings() {
+        let (_, d2) = collect("// pbrs-lint: allow( ) -- nope");
+        assert_eq!(d2.len(), 1);
+        let (_, d3) = collect("// pbrs-lint: allow(x -- missing close");
+        assert_eq!(d3.len(), 1);
+    }
+
+    #[test]
+    fn prose_mentioning_the_marker_is_not_a_waiver() {
+        let (set, diags) = collect("/// Parses text after the `pbrs-lint:` marker.");
+        assert!(set.is_empty());
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

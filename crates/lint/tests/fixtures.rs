@@ -1,0 +1,175 @@
+//! Fixture corpus self-tests: every rule × {pass, fail, waived}.
+//!
+//! Each fixture is linted in isolation as non-test library code (the
+//! driver fakes its path and kind), and then the whole corpus directory
+//! is walked like a workspace to prove the binary-level contract: the
+//! `_fail` fixtures — and only those — make a run fail.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use pbrs_lint::config::Config;
+use pbrs_lint::diag::Diagnostic;
+use pbrs_lint::walk::FileKind;
+use pbrs_lint::{check_source_as, run_workspace};
+
+const RULES: &[&str] = &[
+    "unsafe-confinement",
+    "panic-hygiene",
+    "atomics-audit",
+    "wire-protocol",
+    "wall-clock",
+];
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn fixture(name: &str) -> String {
+    let path = fixtures_dir().join(name);
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// The corpus plays the role of a workspace: fixture file names stand in
+/// for the paths the real `lint.toml` allowlists.
+fn corpus_config() -> Config {
+    Config::parse(
+        r#"
+[rule.unsafe-confinement]
+allow_files = ["unsafe_confinement_pass.rs"]
+
+[rule.wire-protocol]
+files = ["wire_protocol_*.rs"]
+opcode_prefixes = ["OP_"]
+"#,
+    )
+    .expect("corpus config parses")
+}
+
+/// Lints one fixture as plain (non-crate-root) library source under a
+/// single rule.
+fn lint_fixture(name: &str, src: &str, rule: &str) -> Vec<Diagnostic> {
+    let only = vec![rule.to_string()];
+    check_source_as(
+        name,
+        FileKind::Lib,
+        false,
+        src,
+        &corpus_config(),
+        Some(&only),
+    )
+}
+
+fn fixture_name(rule: &str, variant: &str) -> String {
+    format!("{}_{variant}.rs", rule.replace('-', "_"))
+}
+
+#[test]
+fn every_fail_fixture_trips_its_rule() {
+    for rule in RULES {
+        let name = fixture_name(rule, "fail");
+        let d = lint_fixture(&name, &fixture(&name), rule);
+        assert!(
+            d.iter().any(|d| d.rule == *rule),
+            "{name} should trip {rule}, got {d:?}"
+        );
+    }
+}
+
+#[test]
+fn every_pass_fixture_is_clean() {
+    for rule in RULES {
+        let name = fixture_name(rule, "pass");
+        let d = lint_fixture(&name, &fixture(&name), rule);
+        assert!(d.is_empty(), "{name} should be clean, got {d:?}");
+    }
+}
+
+#[test]
+fn every_waived_fixture_is_clean() {
+    for rule in RULES {
+        let name = fixture_name(rule, "waived");
+        let d = lint_fixture(&name, &fixture(&name), rule);
+        assert!(
+            d.is_empty(),
+            "{name} waiver should silence {rule}, got {d:?}"
+        );
+    }
+}
+
+/// Deleting the waiver comment must resurface the finding — proof the
+/// waiver (not an accident of the fixture) is what silences it.
+#[test]
+fn stripping_waivers_resurfaces_findings() {
+    for rule in RULES {
+        let name = fixture_name(rule, "waived");
+        let stripped: String = fixture(&name)
+            .lines()
+            .map(|l| match l.find("// pbrs-lint:") {
+                Some(at) => &l[..at],
+                None => l,
+            })
+            .fold(String::new(), |mut s, l| {
+                s.push_str(l);
+                s.push('\n');
+                s
+            });
+        let d = lint_fixture(&name, &stripped, rule);
+        assert!(
+            d.iter().any(|d| d.rule == *rule),
+            "{name} without its waiver should trip {rule}, got {d:?}"
+        );
+    }
+}
+
+/// A waiver with no `-- reason` is itself an error: exemptions are
+/// written and argued for, never free.
+#[test]
+fn reasonless_waiver_is_an_error() {
+    let src = "pub fn f(x: Option<u8>) -> u8 {\n\
+               // pbrs-lint: allow(panic-hygiene)\n\
+               x.unwrap()\n\
+               }\n";
+    let d = check_source_as(
+        "reasonless.rs",
+        FileKind::Lib,
+        false,
+        src,
+        &corpus_config(),
+        None,
+    );
+    assert!(
+        d.iter().any(|d| d.message.contains("reason")),
+        "reasonless waiver should be rejected, got {d:?}"
+    );
+}
+
+/// The binary-level contract, end to end: walking the corpus directory
+/// fails, every finding points into a `_fail` fixture, and each rule
+/// contributes at least one.
+#[test]
+fn corpus_walk_fails_only_on_fail_fixtures() {
+    let report =
+        run_workspace(&fixtures_dir(), &corpus_config(), None).expect("walk the fixture corpus");
+    assert!(
+        report.failed(),
+        "fail fixtures must make the run exit nonzero"
+    );
+    assert_eq!(
+        report.files_checked,
+        RULES.len() * 3,
+        "one fixture per rule and variant"
+    );
+    for d in &report.diagnostics {
+        assert!(
+            d.file.contains("_fail"),
+            "finding outside the fail fixtures: {d}"
+        );
+    }
+    for rule in RULES {
+        assert!(
+            report.diagnostics.iter().any(|d| d.rule == *rule),
+            "{rule} found nothing in its fail fixture"
+        );
+    }
+}

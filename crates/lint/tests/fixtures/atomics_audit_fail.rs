@@ -1,0 +1,11 @@
+//! Fixture: two violations — an unjustified `Ordering::SeqCst` and a
+//! direct import of an audited variant.
+
+use std::sync::atomic::Ordering::Relaxed;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(counter: &AtomicU64) {
+    let _ = Relaxed;
+
+    counter.fetch_add(1, Ordering::SeqCst);
+}

@@ -1,0 +1,17 @@
+//! Fixture: audited orderings justified within 2 lines;
+//! Acquire/Release pass without comment.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(counter: &AtomicU64) {
+    // Relaxed: independent statistics tally, publishes no other memory.
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn publish(flag: &AtomicU64) {
+    flag.store(1, Ordering::Release);
+}
+
+pub fn consume(flag: &AtomicU64) -> u64 {
+    flag.load(Ordering::Acquire)
+}

@@ -1,0 +1,9 @@
+//! Fixture: an audited ordering silenced by an inline waiver instead of
+//! a justification comment. The waiver line itself counts as a comment,
+//! so this exercises the waiver path explicitly via the rule name.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn stop(flag: &AtomicU64) {
+    flag.store(1, Ordering::SeqCst); // pbrs-lint: allow(atomics-audit) -- fixture: once-per-shutdown flag
+}

@@ -1,0 +1,11 @@
+//! Fixture: three violations — `unwrap`, `expect`, and `panic!` in
+//! non-test library code.
+
+pub fn parse(s: &str) -> u32 {
+    let n: u32 = s.trim().parse().unwrap();
+    let m: u32 = s.trim().parse().expect("digits");
+    if n != m {
+        panic!("impossible");
+    }
+    n
+}

@@ -1,0 +1,13 @@
+//! Fixture: typed errors in library code; asserts confined to tests.
+
+pub fn parse(s: &str) -> Result<u32, std::num::ParseIntError> {
+    s.trim().parse()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        assert_eq!(super::parse("7").unwrap(), 7);
+    }
+}

@@ -1,0 +1,7 @@
+//! Fixture: a load-bearing `expect` carrying an inline waiver.
+
+pub fn parse(s: &str) -> u32 {
+    s.trim()
+        .parse()
+        .expect("digits") // pbrs-lint: allow(panic-hygiene) -- fixture: caller validated the input
+}

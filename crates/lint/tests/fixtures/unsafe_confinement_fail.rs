@@ -1,0 +1,6 @@
+//! Fixture: two violations — `unsafe` outside the allowlist, and the
+//! same block missing a SAFETY comment.
+
+pub fn read_first(bytes: &[u8]) -> u8 {
+    unsafe { *bytes.get_unchecked(0) }
+}

@@ -1,0 +1,9 @@
+//! Fixture: `unsafe` inside an allowlisted module, documented — clean.
+//! Checked as an `allow_files` path by the driver test.
+
+pub fn read_first(bytes: &[u8]) -> u8 {
+    assert!(!bytes.is_empty());
+    // SAFETY: the assert above guarantees at least one byte, so index 0
+    // is in bounds.
+    unsafe { *bytes.get_unchecked(0) }
+}

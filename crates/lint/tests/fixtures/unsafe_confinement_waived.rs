@@ -1,0 +1,8 @@
+//! Fixture: `unsafe` outside the allowlist, silenced by an inline
+//! waiver with a reason.
+
+pub fn read_first(bytes: &[u8]) -> u8 {
+    assert!(!bytes.is_empty());
+    // pbrs-lint: allow(unsafe-confinement) -- fixture: documents the waiver syntax
+    unsafe { *bytes.get_unchecked(0) }
+}

@@ -1,0 +1,8 @@
+//! Fixture: two violations — `Instant::now` and `SystemTime::now` in
+//! library logic outside the allowlisted clock seams.
+
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> (Instant, SystemTime) {
+    (Instant::now(), SystemTime::now())
+}

@@ -1,0 +1,22 @@
+//! Fixture: time enters as a value; the only `now()` lives in tests.
+
+use std::time::{Duration, Instant};
+
+pub fn expired(deadline: Instant, now: Instant) -> bool {
+    now >= deadline
+}
+
+pub fn remaining(deadline: Instant, now: Instant) -> Duration {
+    deadline.saturating_duration_since(now)
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Instant;
+
+    #[test]
+    fn reads_the_clock_only_here() {
+        let t = Instant::now();
+        assert!(!super::expired(t + std::time::Duration::from_secs(1), t));
+    }
+}

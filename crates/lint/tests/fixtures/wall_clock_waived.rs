@@ -1,0 +1,8 @@
+//! Fixture: a wall-clock read silenced by an inline waiver.
+
+use std::time::Instant;
+
+pub fn stamp() -> Instant {
+    // pbrs-lint: allow(wall-clock) -- fixture: boundary seam that timestamps arrivals
+    Instant::now()
+}

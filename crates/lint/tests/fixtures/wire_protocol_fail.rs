@@ -1,0 +1,16 @@
+//! Fixture: two violations — a lossy `as u32` cast on a length, and an
+//! opcode constant the decoder never matches.
+
+pub const OP_PUT: u8 = 1;
+pub const OP_GET: u8 = 2;
+
+pub fn frame_len(body: &[u8]) -> u32 {
+    body.len() as u32
+}
+
+pub fn decode(op: u8) -> Result<&'static str, u8> {
+    match op {
+        OP_PUT => Ok("put"),
+        other => Err(other),
+    }
+}

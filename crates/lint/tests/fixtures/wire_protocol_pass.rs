@@ -1,0 +1,17 @@
+//! Fixture: clean codec — widening casts only, every opcode constant
+//! handled by a decoder arm.
+
+pub const OP_PUT: u8 = 1;
+pub const OP_GET: u8 = 2;
+
+pub fn encode(op: u8, len: u32) -> u64 {
+    (u64::from(op) << 32) | len as u64
+}
+
+pub fn decode(op: u8) -> Result<&'static str, u8> {
+    match op {
+        OP_PUT => Ok("put"),
+        OP_GET => Ok("get"),
+        other => Err(other),
+    }
+}

@@ -1,0 +1,15 @@
+//! Fixture: a lossy cast waived with the bounding invariant.
+
+pub const OP_PUT: u8 = 1;
+
+pub fn frame_len(body: &[u8]) -> u32 {
+    // pbrs-lint: allow(wire-protocol) -- fixture: callers reject bodies over MAX_FRAME
+    body.len() as u32
+}
+
+pub fn decode(op: u8) -> Result<&'static str, u8> {
+    match op {
+        OP_PUT => Ok("put"),
+        other => Err(other),
+    }
+}

@@ -1,0 +1,28 @@
+//! Meta-test: the real workspace passes its own lint.
+//!
+//! This is the same check CI runs as a blocking job (`cargo run -p
+//! pbrs-lint`), wired into `cargo test` so a violation fails the suite
+//! even where CI is not in the loop.
+
+use std::path::Path;
+
+use pbrs_lint::{find_root, load_config, run_workspace};
+
+#[test]
+fn workspace_passes_its_own_lint() {
+    let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = find_root(here).expect("lint.toml above crates/lint");
+    let cfg = load_config(&root).expect("lint.toml parses");
+    let report = run_workspace(&root, &cfg, None).expect("walk the workspace");
+    assert!(
+        !report.failed(),
+        "pbrs-lint found violations in the workspace:\n{}",
+        report.render()
+    );
+    assert!(
+        report.files_checked > 100,
+        "suspiciously few files walked ({}) — exclude globs may be eating \
+         the workspace",
+        report.files_checked
+    );
+}

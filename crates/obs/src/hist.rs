@@ -96,8 +96,12 @@ impl LatencyHistogram {
     /// Record one value (microseconds, by convention).
     #[inline]
     pub fn record(&self, value: u64) {
+        // Relaxed: each cell is an independent monotonic counter and a
+        // record publishes no other memory; snapshot() tolerates (and
+        // normalises) reads that land between these four updates.
         self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
+        // Relaxed: same contract as the bucket cells above.
         self.sum.fetch_add(value, Ordering::Relaxed);
         self.max.fetch_max(value, Ordering::Relaxed);
     }
@@ -122,12 +126,16 @@ impl LatencyHistogram {
         let counts: Vec<u64> = self
             .buckets
             .iter()
+            // Relaxed: cells are independent; a recorder landing between
+            // reads only skews the slice, and `count` is re-derived below.
             .map(|b| b.load(Ordering::Relaxed))
             .collect();
         let count = counts.iter().sum();
         HistogramSnapshot {
             counts,
             count,
+            // Relaxed: sum/max may lag or lead the buckets by in-flight
+            // records; consumers treat them as statistical aggregates.
             sum: self.sum.load(Ordering::Relaxed),
             max: self.max.load(Ordering::Relaxed),
         }

@@ -110,6 +110,8 @@ impl EventJournal {
         };
         if inner.len() == self.capacity {
             inner.pop_front();
+            // Relaxed: a plain overflow tally; the ring itself is guarded
+            // by the mutex above.
             self.dropped.fetch_add(1, Ordering::Relaxed);
         }
         inner.push_back(event);

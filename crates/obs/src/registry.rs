@@ -23,12 +23,15 @@ impl Counter {
     /// Increment by one.
     #[inline]
     pub fn inc(&self) {
+        // Relaxed: an isolated monotonic counter; readers only ever
+        // sample it, nothing is published through it.
         self.0.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Increment by `n`.
     #[inline]
     pub fn add(&self, n: u64) {
+        // Relaxed: same contract as `inc`.
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
@@ -95,12 +98,13 @@ impl Registry {
     /// # Panics
     /// If `name` is already registered as a different metric kind.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock().unwrap(); // pbrs-lint: allow(panic-hygiene) -- lock poisoning is fatal by design
         match inner
             .entry(name.to_string())
             .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())))
         {
             Metric::Counter(c) => Arc::clone(c),
+            // pbrs-lint: allow(panic-hygiene) -- metric kind collision is a programming error caught at registration
             _ => panic!("metric {name:?} already registered with a different kind"),
         }
     }
@@ -110,12 +114,13 @@ impl Registry {
     /// # Panics
     /// If `name` is already registered as a different metric kind.
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock().unwrap(); // pbrs-lint: allow(panic-hygiene) -- lock poisoning is fatal by design
         match inner
             .entry(name.to_string())
             .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())))
         {
             Metric::Gauge(g) => Arc::clone(g),
+            // pbrs-lint: allow(panic-hygiene) -- metric kind collision is a programming error caught at registration
             _ => panic!("metric {name:?} already registered with a different kind"),
         }
     }
@@ -125,19 +130,20 @@ impl Registry {
     /// # Panics
     /// If `name` is already registered as a different metric kind.
     pub fn histogram(&self, name: &str) -> Arc<LatencyHistogram> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock().unwrap(); // pbrs-lint: allow(panic-hygiene) -- lock poisoning is fatal by design
         match inner
             .entry(name.to_string())
             .or_insert_with(|| Metric::Histogram(Arc::new(LatencyHistogram::new())))
         {
             Metric::Histogram(h) => Arc::clone(h),
+            // pbrs-lint: allow(panic-hygiene) -- metric kind collision is a programming error caught at registration
             _ => panic!("metric {name:?} already registered with a different kind"),
         }
     }
 
     /// Snapshot every metric, sorted by name.
     pub fn snapshot(&self) -> Vec<(String, MetricSnapshot)> {
-        let inner = self.inner.lock().unwrap();
+        let inner = self.inner.lock().unwrap(); // pbrs-lint: allow(panic-hygiene) -- lock poisoning is fatal by design
         inner
             .iter()
             .map(|(name, metric)| {
@@ -200,7 +206,7 @@ impl Registry {
 
 impl std::fmt::Debug for Registry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let inner = self.inner.lock().unwrap();
+        let inner = self.inner.lock().unwrap(); // pbrs-lint: allow(panic-hygiene) -- lock poisoning is fatal by design
         f.debug_struct("Registry")
             .field("metrics", &inner.len())
             .finish()

@@ -145,6 +145,7 @@ impl StageSet {
     /// A new stage set that starts disabled.
     pub fn new_disabled() -> Self {
         let s = Self::new();
+        // Relaxed: `s` is not shared yet; published later via Arc.
         s.enabled.store(false, Ordering::Relaxed);
         s
     }
@@ -152,6 +153,8 @@ impl StageSet {
     /// Is recording enabled?
     #[inline]
     pub fn enabled(&self) -> bool {
+        // Relaxed: a sampling gate — a stale read merely records (or
+        // skips) one extra sample, it guards no other memory.
         self.enabled.load(Ordering::Relaxed)
     }
 

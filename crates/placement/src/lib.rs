@@ -229,6 +229,7 @@ impl RackMap {
                 )
             })
             .collect();
+        // pbrs-lint: allow(panic-hygiene) -- a uniform partition of the pool always satisfies the group checks
         Self::new(groups).expect("uniform groups partition the pool")
     }
 

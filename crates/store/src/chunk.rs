@@ -129,13 +129,13 @@ fn decode_header(
     if header[0..8] != MAGIC {
         return Err(corrupt("bad magic".into()));
     }
-    let stored_crc = u32::from_le_bytes(header[32..36].try_into().expect("4 bytes"));
+    let stored_crc = le_u32(&header[32..36]);
     if crc32(&header[0..32]) != stored_crc {
         return Err(corrupt("header checksum mismatch".into()));
     }
-    let stripe = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
-    let shard = u32::from_le_bytes(header[16..20].try_into().expect("4 bytes")) as usize;
-    let payload_len = u32::from_le_bytes(header[20..24].try_into().expect("4 bytes")) as usize;
+    let stripe = le_u64(&header[8..16]);
+    let shard = le_u32(&header[16..20]) as usize;
+    let payload_len = le_u32(&header[20..24]) as usize;
     if stripe != expect.stripe || shard != expect.shard {
         return Err(corrupt(format!(
             "chunk identity is stripe {stripe} shard {shard}, \
@@ -149,9 +149,21 @@ fn decode_header(
         )));
     }
     Ok(HalfCrcs {
-        lo: u32::from_le_bytes(header[24..28].try_into().expect("4 bytes")),
-        hi: u32::from_le_bytes(header[28..32].try_into().expect("4 bytes")),
+        lo: le_u32(&header[24..28]),
+        hi: le_u32(&header[28..32]),
     })
+}
+
+/// Little-endian u32 from the first 4 bytes of `b`; callers slice a
+/// fixed-size header, so the length is known.
+fn le_u32(b: &[u8]) -> u32 {
+    u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+}
+
+/// Little-endian u64 from the first 8 bytes of `b`; same contract as
+/// [`le_u32`].
+fn le_u64(b: &[u8]) -> u64 {
+    u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
 }
 
 /// Writes a chunk file atomically and durably: the bytes go to a `path.tmp`

@@ -180,6 +180,7 @@ impl RepairDaemon {
                 thread::Builder::new()
                     .name(format!("pbrs-repair-{i}"))
                     .spawn(move || worker_loop(&shared))
+                    // pbrs-lint: allow(panic-hygiene) -- thread spawn fails only on OS resource exhaustion at startup; aborting is the intended response
                     .expect("spawn repair worker")
             })
             .collect();
@@ -188,6 +189,7 @@ impl RepairDaemon {
             thread::Builder::new()
                 .name("pbrs-repair-scan".into())
                 .spawn(move || scanner_loop(&shared, interval))
+                // pbrs-lint: allow(panic-hygiene) -- thread spawn fails only on OS resource exhaustion at startup; aborting is the intended response
                 .expect("spawn repair scanner")
         });
         RepairDaemon {
@@ -212,9 +214,9 @@ impl RepairDaemon {
     /// With no periodic scanner this means "all damage found so far is
     /// repaired (or recorded as failed)".
     pub fn wait_idle(&self) {
-        let mut queue = self.shared.queue.lock().expect("lock");
+        let mut queue = self.shared.queue.lock().expect("lock"); // pbrs-lint: allow(panic-hygiene) -- lock poisoning is fatal by design
         while !queue.tasks.is_empty() || queue.active > 0 {
-            queue = self.shared.idle.wait(queue).expect("lock");
+            queue = self.shared.idle.wait(queue).expect("lock"); // pbrs-lint: allow(panic-hygiene) -- lock poisoning is fatal by design
         }
     }
 
@@ -222,12 +224,17 @@ impl RepairDaemon {
     pub fn stats(&self) -> DaemonStats {
         let s = &self.shared;
         DaemonStats {
+            // Relaxed, all fields: lifetime tallies sampled for reporting;
+            // cross-counter skew from in-flight repairs is acceptable.
             scans: s.scans.load(Ordering::Relaxed),
             stripes_repaired: s.stripes_repaired.load(Ordering::Relaxed),
+            // Relaxed: see above.
             chunks_repaired: s.chunks_repaired.load(Ordering::Relaxed),
             helper_bytes: s.helper_bytes.load(Ordering::Relaxed),
+            // Relaxed: see above.
             intra_rack_bytes: s.intra_rack_bytes.load(Ordering::Relaxed),
             cross_rack_bytes: s.cross_rack_bytes.load(Ordering::Relaxed),
+            // Relaxed: see above.
             bytes_written: s.bytes_written.load(Ordering::Relaxed),
             failures: s.failures.load(Ordering::Relaxed),
         }
@@ -266,6 +273,8 @@ impl RepairDaemon {
     }
 
     fn stop_and_join(&mut self) {
+        // SeqCst: once-per-shutdown flag; the strongest order keeps it
+        // trivially correct against the scanner/worker polling loads.
         self.shared.shutdown.store(true, Ordering::SeqCst);
         self.shared.work.notify_all();
         if let Some(scanner) = self.scanner.take() {
@@ -313,7 +322,7 @@ fn scan_once(shared: &Shared) -> Result<ScanReport> {
     ordered.sort_by_key(|entry| std::cmp::Reverse(entry.1 .1));
     let mut enqueued = 0usize;
     {
-        let mut queue = shared.queue.lock().expect("lock");
+        let mut queue = shared.queue.lock().expect("lock"); // pbrs-lint: allow(panic-hygiene) -- lock poisoning is fatal by design
         for ((object, stripe), (damaged, _priority)) in ordered {
             if queue.pending.insert((object.clone(), stripe)) {
                 queue.tasks.push_back(RepairTask {
@@ -334,6 +343,7 @@ fn scan_once(shared: &Shared) -> Result<ScanReport> {
             format!("scan found {damaged_chunks} damaged chunks, enqueued {enqueued} stripes"),
         );
     }
+    // Relaxed: stats tally, sampled only by stats().
     shared.scans.fetch_add(1, Ordering::Relaxed);
     Ok(ScanReport {
         lost_disks: scrub.lost_disks,
@@ -356,7 +366,7 @@ struct TaskGuard<'a> {
 
 impl Drop for TaskGuard<'_> {
     fn drop(&mut self) {
-        let mut queue = self.shared.queue.lock().expect("lock");
+        let mut queue = self.shared.queue.lock().expect("lock"); // pbrs-lint: allow(panic-hygiene) -- lock poisoning is fatal by design
         queue.active -= 1;
         queue
             .pending
@@ -370,7 +380,7 @@ impl Drop for TaskGuard<'_> {
 fn worker_loop(shared: &Shared) {
     loop {
         let task = {
-            let mut queue = shared.queue.lock().expect("lock");
+            let mut queue = shared.queue.lock().expect("lock"); // pbrs-lint: allow(panic-hygiene) -- lock poisoning is fatal by design
             loop {
                 // Shutdown wins over queued work: in-flight repairs finish,
                 // queued ones are dropped (as `shutdown` documents), so
@@ -382,7 +392,7 @@ fn worker_loop(shared: &Shared) {
                     queue.active += 1;
                     break task;
                 }
-                queue = shared.work.wait(queue).expect("lock");
+                queue = shared.work.wait(queue).expect("lock"); // pbrs-lint: allow(panic-hygiene) -- lock poisoning is fatal by design
             }
         };
 
@@ -414,21 +424,28 @@ fn worker_loop(shared: &Shared) {
         });
         match result {
             Ok(repair) => {
+                // Relaxed, this whole block: independent stats tallies,
+                // sampled only by stats(); they publish no other memory.
                 shared.stripes_repaired.fetch_add(1, Ordering::Relaxed);
                 shared
                     .chunks_repaired
+                    // Relaxed: see block comment above.
                     .fetch_add(repair.rebuilt.len() as u64, Ordering::Relaxed);
                 shared
                     .helper_bytes
+                    // Relaxed: see block comment above.
                     .fetch_add(repair.helper_bytes, Ordering::Relaxed);
                 shared
                     .intra_rack_bytes
+                    // Relaxed: see block comment above.
                     .fetch_add(repair.intra_rack_bytes, Ordering::Relaxed);
                 shared
                     .cross_rack_bytes
+                    // Relaxed: see block comment above.
                     .fetch_add(repair.cross_rack_bytes, Ordering::Relaxed);
                 shared
                     .bytes_written
+                    // Relaxed: see block comment above.
                     .fetch_add(repair.bytes_written, Ordering::Relaxed);
                 shared.journal.push(
                     EventKind::Repair,
@@ -442,6 +459,7 @@ fn worker_loop(shared: &Shared) {
                 );
             }
             Err(e) => {
+                // Relaxed: stats tally, sampled only by stats().
                 shared.failures.fetch_add(1, Ordering::Relaxed);
                 let kind = match &e {
                     StoreError::WorkerPanic { .. } => EventKind::Panic,
@@ -461,11 +479,14 @@ fn worker_loop(shared: &Shared) {
 }
 
 fn scanner_loop(shared: &Shared, interval: Duration) {
+    // SeqCst: shutdown poll, once per scan interval; pairs with the
+    // store in stop_and_join.
     while !shared.shutdown.load(Ordering::SeqCst) {
         if let Err(e) = scan_once(shared) {
             shared
                 .journal
                 .push(EventKind::Error, format!("scan failed: {e}"));
+            // Relaxed: stats tally, sampled only by stats().
             shared.failures.fetch_add(1, Ordering::Relaxed);
         }
         // Sleep in small slices so shutdown stays responsive.

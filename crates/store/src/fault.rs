@@ -286,7 +286,7 @@ impl FaultPlan {
     /// unblock and run for real. Call at teardown so stalled server
     /// threads unwind instead of leaking past the test.
     pub fn release(&self) {
-        *self.released.lock().expect("lock") = true;
+        *self.released.lock().expect("lock") = true; // pbrs-lint: allow(panic-hygiene) -- lock poisoning is fatal by design
         self.unstall.notify_all();
     }
 
@@ -294,6 +294,8 @@ impl FaultPlan {
     pub fn fired(&self) -> u64 {
         self.rules
             .iter()
+            // Relaxed: stats read; per-rule totals need not be a
+            // consistent cross-rule cut.
             .map(|r| r.fired.load(Ordering::Relaxed))
             .sum()
     }
@@ -306,11 +308,15 @@ impl FaultPlan {
             if !rule.matches(disk, op) {
                 continue;
             }
+            // Relaxed RMW: the atomicity of fetch_add alone guarantees
+            // unique seqs; no other memory rides on this counter.
             let seq = rule.matched.fetch_add(1, Ordering::Relaxed);
             if seq < rule.after {
                 continue;
             }
             if let Some(cap) = rule.count {
+                // Relaxed: advisory fast path only — the authoritative
+                // cap check is the fetch_update claim below.
                 if rule.fired.load(Ordering::Relaxed) >= cap {
                     continue;
                 }
@@ -329,16 +335,33 @@ impl FaultPlan {
                     continue;
                 }
             }
-            rule.fired.fetch_add(1, Ordering::Relaxed);
+            if let Some(cap) = rule.count {
+                // Claim one firing slot atomically: checking the cap and
+                // incrementing in one RMW, otherwise two concurrent gates
+                // could both pass a load-then-add and over-fire the rule.
+                let claimed = rule
+                    .fired
+                    // Relaxed: only this counter's own value decides.
+                    .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |fired| {
+                        (fired < cap).then_some(fired + 1)
+                    })
+                    .is_ok();
+                if !claimed {
+                    continue;
+                }
+            } else {
+                // Relaxed: uncapped tally, read only by fired().
+                rule.fired.fetch_add(1, Ordering::Relaxed);
+            }
             match rule.kind {
                 FaultKind::Delay(d) => {
                     std::thread::sleep(d);
                     return None;
                 }
                 FaultKind::Stall => {
-                    let mut released = self.released.lock().expect("lock");
+                    let mut released = self.released.lock().expect("lock"); // pbrs-lint: allow(panic-hygiene) -- lock poisoning is fatal by design
                     while !*released {
-                        released = self.unstall.wait(released).expect("lock");
+                        released = self.unstall.wait(released).expect("lock"); // pbrs-lint: allow(panic-hygiene) -- lock poisoning is fatal by design
                     }
                     return None; // released: run the real op
                 }
@@ -634,5 +657,33 @@ mod tests {
         assert!(FaultPlan::named("flaky-disk", 1).is_ok());
         assert!(FaultPlan::named("disk=0 op=write error", 1).is_ok());
         assert!(FaultPlan::named("no-such-plan", 1).is_err());
+    }
+
+    /// Regression: the `count=` cap used to be a load-then-add, so two
+    /// threads racing through `gate` could both pass the check and
+    /// over-fire the rule. The cap claim is now a single RMW; no
+    /// interleaving may yield more injections than the cap.
+    #[test]
+    fn count_cap_holds_under_concurrent_gates() {
+        for round in 0..8 {
+            let plan = Arc::new(FaultPlan::parse("op=read error count=4", round).unwrap());
+            let injected: usize = std::thread::scope(|s| {
+                (0..8)
+                    .map(|_| {
+                        let plan = Arc::clone(&plan);
+                        s.spawn(move || {
+                            (0..64)
+                                .filter(|_| plan.gate(0, FaultOp::Read).is_some())
+                                .count()
+                        })
+                    })
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .map(|h| h.join().unwrap())
+                    .sum()
+            });
+            assert_eq!(injected, 4, "round {round}: cap must be exact");
+            assert_eq!(plan.fired(), 4);
+        }
     }
 }

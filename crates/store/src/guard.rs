@@ -75,7 +75,7 @@ impl Executor {
                 .name(format!("guard-{}", self.name))
                 .spawn(move || loop {
                     let job = {
-                        let guard = rx.lock().expect("lock");
+                        let guard = rx.lock().expect("lock"); // pbrs-lint: allow(panic-hygiene) -- lock poisoning is fatal by design
                         guard.recv()
                     };
                     let Ok(job) = job else { return };

@@ -223,7 +223,7 @@ impl DiskHealth {
 
     /// Current state.
     pub fn state(&self) -> DiskState {
-        self.inner.lock().expect("lock").state
+        self.inner.lock().expect("lock").state // pbrs-lint: allow(panic-hygiene) -- lock poisoning is fatal by design
     }
 
     /// Breaker decision for an op starting now.
@@ -233,16 +233,18 @@ impl DiskHealth {
 
     /// [`DiskHealth::admit`] with an explicit clock (testable).
     pub fn admit_at(&self, now: Instant) -> Admission {
-        let mut inner = self.inner.lock().expect("lock");
+        let mut inner = self.inner.lock().expect("lock"); // pbrs-lint: allow(panic-hygiene) -- lock poisoning is fatal by design
         if inner.state == DiskState::Healthy {
             return Admission::Allow;
         }
         let due = inner.next_probe.is_none_or(|at| now >= at);
         if due {
             inner.next_probe = Some(now + self.policy.probe_interval);
+            // Relaxed: stats tally; admission state is under the mutex.
             self.probes.fetch_add(1, Ordering::Relaxed);
             Admission::Probe
         } else {
+            // Relaxed: stats tally; admission state is under the mutex.
             self.shed.fetch_add(1, Ordering::Relaxed);
             Admission::Shed
         }
@@ -252,14 +254,16 @@ impl DiskHealth {
     pub fn record(&self, outcome: Outcome) -> Option<Transition> {
         match outcome {
             Outcome::Timeout => {
+                // Relaxed: stats tally; breaker state is under the mutex.
                 self.timeouts.fetch_add(1, Ordering::Relaxed);
             }
             Outcome::Error => {
+                // Relaxed: stats tally; breaker state is under the mutex.
                 self.errors.fetch_add(1, Ordering::Relaxed);
             }
             Outcome::Ok => {}
         }
-        let mut inner = self.inner.lock().expect("lock");
+        let mut inner = self.inner.lock().expect("lock"); // pbrs-lint: allow(panic-hygiene) -- lock poisoning is fatal by design
         let before = inner.state;
         match outcome {
             Outcome::Ok => {
@@ -329,7 +333,7 @@ impl DiskHealth {
 
     /// Seeds the state from a persisted advisory entry.
     fn set_advisory_state(&self, state: DiskState) {
-        let mut inner = self.inner.lock().expect("lock");
+        let mut inner = self.inner.lock().expect("lock"); // pbrs-lint: allow(panic-hygiene) -- lock poisoning is fatal by design
         inner.state = state;
         inner.next_probe = None;
     }
@@ -413,6 +417,8 @@ impl HealthTracker {
     /// advisory state and returns the transition for journaling.
     pub fn record(&self, disk: usize, outcome: Outcome) -> Option<Transition> {
         let transition = self.disks[disk].record(outcome)?;
+        // Relaxed: stats tally; the authoritative state just transitioned
+        // under the per-disk mutex inside record().
         self.transitions.fetch_add(1, Ordering::Relaxed);
         self.persist();
         Some(transition)

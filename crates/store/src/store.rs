@@ -635,6 +635,7 @@ impl BlockStore {
     /// disk index of shard `i`. Resolved from the manifest's persisted
     /// placement (identity `[0, 1, …]` for identity-placed stores).
     pub fn stripe_disks(&self, object: &str, stripe: u64) -> Vec<usize> {
+        // pbrs-lint: allow(panic-hygiene) -- lock poisoning is fatal by design
         let manifest = self.manifest.read().expect("lock");
         Self::resolve_row(&manifest, &self.map, object, stripe)
     }
@@ -663,6 +664,7 @@ impl BlockStore {
     /// Every stripe row of one object (placement per stripe), resolved once
     /// so multi-stripe reads do not take the manifest lock per stripe.
     pub(crate) fn object_rows(&self, object: &str, stripes: u64) -> Vec<Vec<usize>> {
+        // pbrs-lint: allow(panic-hygiene) -- lock poisoning is fatal by design
         let manifest = self.manifest.read().expect("lock");
         (0..stripes)
             .map(|s| Self::resolve_row(&manifest, &self.map, object, s))
@@ -750,7 +752,7 @@ impl BlockStore {
     pub fn object(&self, name: &str) -> Option<ObjectInfo> {
         self.manifest
             .read()
-            .expect("lock")
+            .expect("lock") // pbrs-lint: allow(panic-hygiene) -- lock poisoning is fatal by design
             .objects
             .get(name)
             .copied()
@@ -763,6 +765,7 @@ impl BlockStore {
     /// results to clients — the gateway — map the two to different
     /// statuses; neither is an I/O failure.
     pub fn lookup(&self, name: &str) -> Result<ObjectInfo> {
+        // pbrs-lint: allow(panic-hygiene) -- lock poisoning is fatal by design
         let manifest = self.manifest.read().expect("lock");
         if let Some(info) = manifest.objects.get(name) {
             return Ok(*info);
@@ -781,7 +784,7 @@ impl BlockStore {
     pub fn objects(&self) -> Vec<(String, ObjectInfo)> {
         self.manifest
             .read()
-            .expect("lock")
+            .expect("lock") // pbrs-lint: allow(panic-hygiene) -- lock poisoning is fatal by design
             .objects
             .iter()
             .map(|(name, info)| (name.clone(), *info))
@@ -864,11 +867,12 @@ impl BlockStore {
     /// with [`BlockStore::release_name`].
     pub(crate) fn reserve_name(&self, name: &str) -> Result<()> {
         validate_object_name(name)?;
+        // pbrs-lint: allow(panic-hygiene) -- lock poisoning is fatal by design
         let mut in_flight = self.in_flight.lock().expect("lock");
         if self
             .manifest
             .read()
-            .expect("lock")
+            .expect("lock") // pbrs-lint: allow(panic-hygiene) -- lock poisoning is fatal by design
             .objects
             .contains_key(name)
             || !in_flight.insert(name.to_string())
@@ -882,6 +886,7 @@ impl BlockStore {
 
     /// Releases a [`BlockStore::reserve_name`] reservation.
     pub(crate) fn release_name(&self, name: &str) {
+        // pbrs-lint: allow(panic-hygiene) -- lock poisoning is fatal by design
         self.in_flight.lock().expect("lock").remove(name);
     }
 
@@ -894,7 +899,7 @@ impl BlockStore {
         let tombstoned = self
             .manifest
             .read()
-            .expect("lock")
+            .expect("lock") // pbrs-lint: allow(panic-hygiene) -- lock poisoning is fatal by design
             .tombstones
             .contains(name);
         if tombstoned {
@@ -938,6 +943,7 @@ impl BlockStore {
                     .collect()
             });
         {
+            // pbrs-lint: allow(panic-hygiene) -- lock poisoning is fatal by design
             let mut manifest = self.manifest.write().expect("lock");
             manifest.objects.insert(name.to_string(), info);
             if let Some(rows) = rows.clone() {
@@ -992,7 +998,9 @@ impl BlockStore {
         buf: &mut ShardBuffer,
         times: &mut StageTimes,
     ) -> Result<()> {
+        // SeqCst: crash-test failpoint, flipped rarely and read cold.
         if self.fail.encode_panic.load(Ordering::SeqCst) {
+            // pbrs-lint: allow(panic-hygiene) -- injected failure hook; panicking here is the tested behaviour
             panic!("injected encode panic (stripe {stripe})");
         }
         let (k, n) = {
@@ -1062,6 +1070,7 @@ impl BlockStore {
         for _ in 0..workers + 1 {
             free_tx
                 .send(ShardBuffer::zeroed(n, self.chunk_len))
+                // pbrs-lint: allow(panic-hygiene) -- the receiver end is owned by this function and not yet dropped
                 .expect("receiver lives on this thread");
         }
         let work_rx = Mutex::new(work_rx);
@@ -1076,6 +1085,7 @@ impl BlockStore {
                 let failure = &failure;
                 let free_tx = free_tx.clone();
                 scope.spawn(move || loop {
+                    // pbrs-lint: allow(panic-hygiene) -- lock poisoning is fatal by design
                     let received = work_rx.lock().expect("lock").recv();
                     let Ok((stripe, buf)) = received else {
                         return; // ingest finished: work channel closed
@@ -1087,9 +1097,11 @@ impl BlockStore {
                         buf: Some(buf),
                         free_tx: &free_tx,
                     };
+                    // pbrs-lint: allow(panic-hygiene) -- lock poisoning is fatal by design
                     let result = if failure.lock().expect("lock").is_some() {
                         Ok(()) // an earlier stripe already failed; drain only
                     } else {
+                        // pbrs-lint: allow(panic-hygiene) -- the guard's buffer is only taken on drop, after this closure
                         let buf = guard.buf.as_mut().expect("held until drop");
                         catch_unwind(AssertUnwindSafe(|| {
                             self.encode_and_write_stripe(name, stripe, buf, &mut StageTimes::new())
@@ -1107,6 +1119,7 @@ impl BlockStore {
                     // thread can always make progress.
                     drop(guard);
                     if let Err(e) = result {
+                        // pbrs-lint: allow(panic-hygiene) -- lock poisoning is fatal by design
                         let mut slot = failure.lock().expect("lock");
                         if slot.is_none() {
                             *slot = Some(e);
@@ -1116,9 +1129,11 @@ impl BlockStore {
             }
 
             loop {
+                // pbrs-lint: allow(panic-hygiene) -- lock poisoning is fatal by design
                 if failure.lock().expect("lock").is_some() {
                     break;
                 }
+                // pbrs-lint: allow(panic-hygiene) -- worker threads return every buffer before the channel closes
                 let mut buf = free_rx.recv().expect("workers always return buffers");
                 let stripe_bytes = match self.fill_stripe_data(reader, &mut buf) {
                     Ok(bytes) => bytes,
@@ -1133,6 +1148,7 @@ impl BlockStore {
                 total += stripe_bytes as u64;
                 work_tx
                     .send((stripe, buf))
+                    // pbrs-lint: allow(panic-hygiene) -- worker threads outlive the work channel by scope construction
                     .expect("workers outlive the work channel");
                 stripe += 1;
                 if stripe_bytes < self.stripe_data_len() {
@@ -1146,6 +1162,7 @@ impl BlockStore {
         if let Some(e) = read_error {
             return Err(e);
         }
+        // pbrs-lint: allow(panic-hygiene) -- lock poisoning is fatal by design
         if let Some(e) = failure.into_inner().expect("lock") {
             return Err(e);
         }
@@ -1191,10 +1208,12 @@ impl BlockStore {
     /// the code tolerates.
     pub fn get(&self, name: &str) -> Result<Vec<u8>> {
         let info = self.lookup(name)?;
+        // pbrs-lint: allow(panic-hygiene) -- an object larger than usize::MAX could not have been written
         let stripes = usize::try_from(info.stripes).expect("object fits in memory");
         let stripe_len = self.stripe_data_len();
         let padded = stripes
             .checked_mul(stripe_len)
+            // pbrs-lint: allow(panic-hygiene) -- an object larger than usize::MAX could not have been written
             .expect("object fits in memory");
         let mut out = vec![0u8; padded];
         // Resolve every stripe's placement once, outside the hot loop.
@@ -1216,6 +1235,7 @@ impl BlockStore {
         } else {
             self.read_stripes_parallel(name, &rows, &mut out, workers)?;
         }
+        // pbrs-lint: allow(panic-hygiene) -- an object larger than usize::MAX could not have been written
         out.truncate(usize::try_from(info.len).expect("object fits in memory"));
         StoreMetrics::add(&self.metrics.objects_read, 1);
         StoreMetrics::add(&self.metrics.bytes_served, info.len);
@@ -1244,6 +1264,7 @@ impl BlockStore {
                     let mut times = StageTimes::new();
                     let first = w * per_worker;
                     for (i, dest) in region.chunks_mut(stripe_len).enumerate() {
+                        // pbrs-lint: allow(panic-hygiene) -- lock poisoning is fatal by design
                         if failure.lock().expect("lock").is_some() {
                             return; // another stripe already failed
                         }
@@ -1255,6 +1276,7 @@ impl BlockStore {
                             &mut scratch,
                             &mut times,
                         ) {
+                            // pbrs-lint: allow(panic-hygiene) -- lock poisoning is fatal by design
                             let mut slot = failure.lock().expect("lock");
                             if slot.is_none() {
                                 *slot = Some(e);
@@ -1265,6 +1287,7 @@ impl BlockStore {
                 });
             }
         });
+        // pbrs-lint: allow(panic-hygiene) -- lock poisoning is fatal by design
         match failure.into_inner().expect("lock") {
             Some(e) => Err(e),
             None => Ok(()),
@@ -1659,7 +1682,9 @@ impl BlockStore {
         stripe: u64,
         damaged: &[usize],
     ) -> Result<StripeRepair> {
+        // SeqCst: crash-test failpoint, flipped rarely and read cold.
         if self.fail.repair_panic.load(Ordering::SeqCst) {
+            // pbrs-lint: allow(panic-hygiene) -- injected failure hook; panicking here is the tested behaviour
             panic!("injected repair panic (object {object:?} stripe {stripe})");
         }
         let job_start = Instant::now();
@@ -1874,7 +1899,7 @@ impl BlockStore {
         let tombstones: Vec<String> = self
             .manifest
             .read()
-            .expect("lock")
+            .expect("lock") // pbrs-lint: allow(panic-hygiene) -- lock poisoning is fatal by design
             .tombstones
             .iter()
             .cloned()
@@ -1897,6 +1922,7 @@ impl BlockStore {
             }
         }
         if !swept.is_empty() {
+            // pbrs-lint: allow(panic-hygiene) -- lock poisoning is fatal by design
             let mut manifest = self.manifest.write().expect("lock");
             for name in &swept {
                 manifest.tombstones.remove(name);
@@ -2028,6 +2054,7 @@ impl BlockStore {
     /// [`StoreError::ObjectDeleted`] for a name already tombstoned, or
     /// manifest I/O failures.
     pub fn delete(&self, name: &str) -> Result<ObjectInfo> {
+        // pbrs-lint: allow(panic-hygiene) -- lock poisoning is fatal by design
         let mut manifest = self.manifest.write().expect("lock");
         let Some(info) = manifest.objects.remove(name) else {
             return Err(if manifest.tombstones.contains(name) {

@@ -351,6 +351,7 @@ impl ObjectReader {
                 ),
             });
         }
+        // pbrs-lint: allow(panic-hygiene) -- stripe is bounded by rows.len(), which is a usize
         let row = &self.rows[usize::try_from(stripe).expect("stripe count fits usize")];
         let mut times = StageTimes::new();
         let degraded = self.store.read_stripe_into(

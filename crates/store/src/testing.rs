@@ -41,11 +41,13 @@ impl TempDir {
             .duration_since(UNIX_EPOCH)
             .map(|d| d.subsec_nanos())
             .unwrap_or(0);
+        // Relaxed: uniqueness comes from the RMW itself, not ordering.
         let unique = COUNTER.fetch_add(1, Ordering::Relaxed);
         let path = std::env::temp_dir().join(format!(
             "pbrs-store-{label}-{}-{unique}-{nanos}",
             std::process::id()
         ));
+        // pbrs-lint: allow(panic-hygiene) -- test-harness helper; failing to create the temp dir must abort the test
         fs::create_dir_all(&path).expect("create temp dir");
         TempDir { path }
     }

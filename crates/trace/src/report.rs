@@ -45,11 +45,14 @@ fn csv_line(fields: &[String]) -> String {
 /// Panics if any row has a different number of columns than the header.
 pub fn to_markdown_table(header: &[&str], rows: &[Vec<String>]) -> String {
     let mut out = String::new();
+    // pbrs-lint: allow(panic-hygiene) -- fmt::Write into a String is infallible
     writeln!(out, "| {} |", header.join(" | ")).expect("writing to a String cannot fail");
     writeln!(out, "|{}|", vec!["---"; header.len()].join("|"))
+        // pbrs-lint: allow(panic-hygiene) -- fmt::Write into a String is infallible
         .expect("writing to a String cannot fail");
     for row in rows {
         assert_eq!(row.len(), header.len(), "row width must match header width");
+        // pbrs-lint: allow(panic-hygiene) -- fmt::Write into a String is infallible
         writeln!(out, "| {} |", row.join(" | ")).expect("writing to a String cannot fail");
     }
     out
@@ -61,11 +64,13 @@ pub fn to_markdown_table(header: &[&str], rows: &[Vec<String>]) -> String {
 pub fn ascii_series(title: &str, labels: &[String], values: &[f64], max_width: usize) -> String {
     assert_eq!(labels.len(), values.len(), "one label per value");
     let mut out = String::new();
+    // pbrs-lint: allow(panic-hygiene) -- fmt::Write into a String is infallible
     writeln!(out, "{title}").expect("writing to a String cannot fail");
     let max = values.iter().cloned().fold(f64::MIN, f64::max).max(1e-12);
     for (label, &v) in labels.iter().zip(values) {
         let width = ((v / max) * max_width as f64).round().max(0.0) as usize;
         writeln!(out, "{label:>8} | {:<max_width$} {v:.1}", "#".repeat(width))
+            // pbrs-lint: allow(panic-hygiene) -- fmt::Write into a String is infallible
             .expect("writing to a String cannot fail");
     }
     out

@@ -32,6 +32,7 @@ impl Summary {
         let mean = values.iter().sum::<f64>() / count as f64;
         let variance = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / count as f64;
         let mut sorted = values.to_vec();
+        // pbrs-lint: allow(panic-hygiene) -- summary inputs are finite measurements; NaN is structurally impossible
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in summaries"));
         Summary {
             count,
@@ -64,6 +65,7 @@ pub fn percentile(values: &[f64], p: f64) -> f64 {
         return 0.0;
     }
     let mut sorted = values.to_vec();
+    // pbrs-lint: allow(panic-hygiene) -- percentile inputs are finite measurements; NaN is structurally impossible
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in percentile input"));
     percentile_sorted(&sorted, p)
 }

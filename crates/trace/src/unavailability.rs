@@ -101,6 +101,7 @@ impl UnavailabilityModel {
                 events.push(self.one_event(rng, day, true));
             }
         }
+        // pbrs-lint: allow(panic-hygiene) -- event start minutes are finite; NaN is structurally impossible
         events.sort_by(|a, b| a.start_minute.partial_cmp(&b.start_minute).expect("no NaN"));
         events
     }

@@ -4,6 +4,8 @@
 //!
 //! Run with: `cargo run --example archival_file`
 
+#![forbid(unsafe_code)]
+
 use pbrs::erasure::{join_shards, split_into_shards};
 use pbrs::prelude::*;
 

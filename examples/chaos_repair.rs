@@ -21,6 +21,8 @@
 //!
 //! Run with: `cargo run --release --example chaos_repair`
 
+#![forbid(unsafe_code)]
+
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 

@@ -5,6 +5,8 @@
 //!
 //! Run with: `cargo run --release --example local_store`
 
+#![forbid(unsafe_code)]
+
 use std::fs;
 use std::sync::Arc;
 

@@ -11,6 +11,8 @@
 //!
 //! Run with: `cargo run --release --example networked_repair`
 
+#![forbid(unsafe_code)]
+
 use std::fs;
 use std::sync::Arc;
 

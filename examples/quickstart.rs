@@ -5,6 +5,8 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
+#![forbid(unsafe_code)]
+
 use pbrs::prelude::*;
 
 fn main() -> Result<(), CodeError> {

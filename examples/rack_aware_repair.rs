@@ -19,6 +19,8 @@
 //!
 //! Run with: `cargo run --release --example rack_aware_repair`
 
+#![forbid(unsafe_code)]
+
 use std::fs;
 use std::sync::Arc;
 

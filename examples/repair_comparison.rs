@@ -4,6 +4,8 @@
 //!
 //! Run with: `cargo run --example repair_comparison`
 
+#![forbid(unsafe_code)]
+
 use pbrs::cluster::reliability::model_for_code;
 use pbrs::code::CodeComparison;
 use pbrs::prelude::*;

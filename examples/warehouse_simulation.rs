@@ -7,6 +7,8 @@
 //! (The full paper-scale configuration lives in the `fig3b` and
 //! `traffic_reduction` binaries of the `pbrs-bench` crate.)
 
+#![forbid(unsafe_code)]
+
 use pbrs::cluster::config::{CodeChoice, SimConfig};
 use pbrs::cluster::sim::paired_rs_vs_piggybacked;
 use pbrs::cluster::Simulator;
