@@ -36,6 +36,19 @@
 //! the connection count to watch the gateway shed with explicit BUSY
 //! instead of queueing.
 //!
+//! **Tracing**: the gateway's flight recorder runs at default sampling
+//! (every degraded/slow/errored root retained, 1-in-N healthy) unless
+//! `--no-trace` disables it — the knob exists so the same run can be
+//! timed with tracing compiled in but off, quantifying overhead. With
+//! tracing on, the 10 slowest retained traces are written to
+//! `BENCH_gateway_traces.json` in Chrome trace_event format
+//! (Perfetto-loadable), and the run asserts the flight-recorder
+//! contract: every degraded GET promoted a retained trace, and every
+//! retained degraded GET carries `chunk_io` spans — on remote disks
+//! (`--remote-disks`, which rebuilds the pool as loopback chunkd
+//! servers) those spans must name `chunkd://` backends with nonzero
+//! durations.
+//!
 //! **Chaos mode**: `--fault-plan NAME-OR-DSL [--fault-seed N]` (seed
 //! defaults to 42) rebuilds the store on fault-injected disks (a named
 //! plan like `stall-one-disk`, or the DSL documented in
@@ -56,10 +69,12 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use pbrs_bench::{f1, section};
+use pbrs_chunkd::{ChunkServer, RemoteDisk, ServerConfig};
 use pbrs_gateway::client::GatewayClient;
 use pbrs_gateway::server::{Gateway, GatewayConfig};
 use pbrs_gateway::GatewayError;
 use pbrs_obs::hist::{bucket_bounds, bucket_index};
+use pbrs_obs::trace::{retained_to_chrome, TracerConfig};
 use pbrs_obs::{HistogramSnapshot, LatencyHistogram, Summary};
 use pbrs_store::store::{BlockStore, StoreConfig};
 use pbrs_store::testing::TempDir;
@@ -85,18 +100,31 @@ const AGREEMENT_MIN_SAMPLES: u64 = 50;
 /// scheduling noise makes tighter bars flaky for sub-millisecond reads.
 const AGREEMENT_FLOOR_US: f64 = 200.0;
 
-/// Splits `--fault-plan NAME [--fault-seed N]` out of the command line,
-/// leaving the positional args in place.
-fn parse_args() -> (Vec<String>, Option<String>, u64) {
+/// Parsed flags: positional args, fault plan text, fault seed, tracing
+/// switch, remote-disk switch.
+struct Flags {
+    argv: Vec<String>,
+    fault_text: Option<String>,
+    fault_seed: u64,
+    trace: bool,
+    remote_disks: bool,
+}
+
+/// Splits `--fault-plan NAME [--fault-seed N] [--no-trace]
+/// [--remote-disks]` out of the command line, leaving the positional
+/// args in place.
+fn parse_args() -> Flags {
     let mut argv: Vec<String> = env::args().collect();
-    let mut plan = None;
-    let mut seed = 42u64;
+    let mut fault_text = None;
+    let mut fault_seed = 42u64;
+    let mut trace = true;
+    let mut remote_disks = false;
     let mut i = 1;
     while i < argv.len() {
         match argv[i].as_str() {
             "--fault-plan" => {
                 argv.remove(i);
-                plan = Some(if i < argv.len() {
+                fault_text = Some(if i < argv.len() {
                     argv.remove(i)
                 } else {
                     panic!("--fault-plan needs a plan name or DSL string")
@@ -104,16 +132,30 @@ fn parse_args() -> (Vec<String>, Option<String>, u64) {
             }
             "--fault-seed" => {
                 argv.remove(i);
-                seed = if i < argv.len() {
+                fault_seed = if i < argv.len() {
                     argv.remove(i).parse().expect("numeric --fault-seed")
                 } else {
                     panic!("--fault-seed needs a value")
                 };
             }
+            "--no-trace" => {
+                argv.remove(i);
+                trace = false;
+            }
+            "--remote-disks" => {
+                argv.remove(i);
+                remote_disks = true;
+            }
             _ => i += 1,
         }
     }
-    (argv, plan, seed)
+    Flags {
+        argv,
+        fault_text,
+        fault_seed,
+        trace,
+        remote_disks,
+    }
 }
 
 /// Zipfian sampler over `n` ranks: precomputed CDF, binary-searched.
@@ -270,7 +312,18 @@ fn agreement_json(rows: &[Agreement]) -> String {
 
 #[allow(clippy::too_many_lines)]
 fn main() {
-    let (argv, fault_text, fault_seed) = parse_args();
+    let Flags {
+        argv,
+        fault_text,
+        fault_seed,
+        trace,
+        remote_disks,
+    } = parse_args();
+    assert!(
+        !(remote_disks && fault_text.is_some()),
+        "--remote-disks and --fault-plan are mutually exclusive: the \
+         chaos pool injects faults on local backends"
+    );
     let arg = |n: usize, default: usize| -> usize {
         argv.get(n).and_then(|v| v.parse().ok()).unwrap_or(default)
     };
@@ -316,6 +369,26 @@ fn main() {
             .chunk_len(CHUNK_LEN)
             .pipeline_workers(1)
     };
+    // Remote mode: the pool is real chunkd servers on loopback, so
+    // chunk_io spans carry `chunkd://` backends and chunkd-local spans
+    // ride back into the gateway's flight recorder.
+    let chunk_servers: Vec<ChunkServer> = if remote_disks {
+        (0..DISKS)
+            .map(|i| {
+                ChunkServer::bind_with(
+                    dir.path().join(format!("pool-{i:02}")),
+                    "127.0.0.1:0",
+                    ServerConfig {
+                        threads: 2,
+                        ..ServerConfig::default()
+                    },
+                )
+                .expect("bind chunkd")
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
     let store = Arc::new(match &fault_plan {
         // Chaos mode: every disk is a fault-injected local backend, and
         // the store is hardened — per-op deadline, hedged rebuilds, and
@@ -351,6 +424,23 @@ fn main() {
             )
             .expect("open store")
         }
+        None if remote_disks => {
+            println!("remote pool: {DISKS} chunkd servers on loopback, traced clients");
+            let disks: Vec<Arc<dyn ChunkBackend>> = chunk_servers
+                .iter()
+                .map(|s| {
+                    Arc::new(RemoteDisk::new(s.local_addr().to_string()).traced())
+                        as Arc<dyn ChunkBackend>
+                })
+                .collect();
+            BlockStore::open_with_backends(
+                base_config(),
+                disks,
+                RackMap::uniform(DISKS / 2, 2),
+                PlacementPolicy::Identity,
+            )
+            .expect("open store")
+        }
         None => BlockStore::open(base_config()).expect("open store"),
     });
     let gateway = Gateway::serve(
@@ -361,6 +451,16 @@ fn main() {
             max_connections: connections + 16,
             in_flight_stripes: 4,
             max_inflight_requests: max_inflight,
+            // Default sampling (every anomaly + 1-in-N healthy), but a
+            // span buffer sized for this harness's fan-out: hundreds of
+            // GETs in flight, each spawning tens of stripe/chunk spans,
+            // must not evict each other before their roots finish.
+            tracing: trace,
+            tracer: TracerConfig {
+                ring_capacity: 1 << 16,
+                retain_capacity: 256,
+                ..TracerConfig::default()
+            },
             ..GatewayConfig::default()
         },
     )
@@ -381,8 +481,8 @@ fn main() {
     let wounded = objects * degraded_pct / 100;
     for i in 0..wounded {
         // `disk_path` covers only the all-local `open` layout; the chaos
-        // pool names its mounts itself.
-        let disk_root = if fault_plan.is_some() {
+        // and remote pools name their mounts themselves.
+        let disk_root = if fault_plan.is_some() || remote_disks {
             dir.path().join(format!("pool-{WOUNDED_DISK:02}"))
         } else {
             store.disk_path(WOUNDED_DISK)
@@ -647,6 +747,78 @@ fn main() {
         println!("{path:>14}: {}", parts.join(", "));
     }
 
+    // Flight recorder: pull the assembled trees over the wire (the
+    // TRACES verb grafts chunkd-local spans in before rendering), write
+    // the 10 slowest for Perfetto, and assert the tail-sampling
+    // contract — every degraded GET promoted a retained trace, and the
+    // retained degraded trees carry real chunk-io work.
+    let tracing_json = if trace {
+        let wire = seeder.traces().expect("TRACES rpc");
+        assert!(
+            wire.chrome.starts_with("{\"traceEvents\":["),
+            "TRACES chrome payload is not trace_event JSON"
+        );
+        let tracer = gateway.tracer();
+        let mut retained = tracer.retained();
+        retained.sort_by_key(|t| std::cmp::Reverse(t.root_dur_us()));
+        let slowest = &retained[..retained.len().min(10)];
+        fs::write("BENCH_gateway_traces.json", retained_to_chrome(slowest))
+            .expect("write BENCH_gateway_traces.json");
+        let retained_total = tracer.retained_total();
+        assert!(
+            retained_total >= d.count,
+            "only {retained_total} traces were ever retained, but clients saw \
+             {} degraded GETs — a degraded root escaped the flight recorder",
+            d.count,
+        );
+        let mut degraded_trees = 0u64;
+        for t in retained
+            .iter()
+            .filter(|t| t.op == "get" && t.reasons.contains(&"degraded"))
+        {
+            degraded_trees += 1;
+            let io: Vec<_> = t.spans.iter().filter(|s| s.name == "chunk_io").collect();
+            assert!(
+                !io.is_empty(),
+                "retained degraded GET trace {} has no chunk_io spans",
+                t.trace,
+            );
+            if remote_disks {
+                assert!(
+                    io.iter().any(|s| {
+                        s.dur_us > 0 && s.tag("backend").is_some_and(|b| b.contains("chunkd://"))
+                    }),
+                    "retained degraded GET trace {} lacks a nonzero chunk_io \
+                     span on a remote disk",
+                    t.trace,
+                );
+            }
+        }
+        if d.count > 0 {
+            assert!(
+                degraded_trees > 0,
+                "degraded GETs ran but none survive in the retained buffer"
+            );
+        }
+        println!();
+        println!(
+            "flight recorder: {retained_total} traces retained over the run, \
+             {} live ({degraded_trees} degraded GET trees), slowest root {} ms \
+             -> BENCH_gateway_traces.json",
+            retained.len(),
+            f1(slowest.first().map_or(0, |t| t.root_dur_us()) as f64 / 1000.0),
+        );
+        format!(
+            "{{\"enabled\": true, \"retained_total\": {retained_total}, \
+             \"retained_now\": {}, \"degraded_trees_retained\": {degraded_trees}, \
+             \"slowest_root_us\": {}}}",
+            retained.len(),
+            slowest.first().map_or(0, |t| t.root_dur_us()),
+        )
+    } else {
+        "{\"enabled\": false}".to_string()
+    };
+
     let json = format!(
         concat!(
             "{{\n",
@@ -664,6 +836,8 @@ fn main() {
             "  \"degraded_share\": {degraded_share},\n",
             "  \"busy_shed\": {busy},\n",
             "  \"client_errors\": {errors},\n",
+            "  \"remote_disks\": {remote_disks},\n",
+            "  \"tracing\": {tracing},\n",
             "  \"fault\": {fault},\n",
             "  \"healthy\": {healthy},\n",
             "  \"degraded\": {degraded},\n",
@@ -689,6 +863,8 @@ fn main() {
         degraded_share = f1(degraded_share),
         busy = busy,
         errors = errors,
+        remote_disks = remote_disks,
+        tracing = tracing_json,
         fault = fault_json,
         healthy = summary_json_ms(&h),
         degraded = summary_json_ms(&d),

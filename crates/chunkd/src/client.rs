@@ -57,10 +57,14 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
+#[cfg(test)]
+use pbrs_obs::trace::TraceCtx;
+use pbrs_obs::trace::{self, SpanRecord};
 use pbrs_store::{BackendCounters, ChunkBackend, ChunkId, ChunkRead, ChunkStatus, StoreError};
 
 use crate::protocol::{
-    decode_ping, decode_sweep, decode_verify, read_frame, write_frame, Request, Response,
+    decode_ping, decode_spans, decode_sweep, decode_verify, read_frame, write_frame, Request,
+    Response,
 };
 
 /// Default connect / per-request I/O timeout.
@@ -125,6 +129,12 @@ pub struct RemoteDisk {
     /// surfaced in [`ChunkBackend::describe`] so per-socket byte counters
     /// can be attributed to racks when many disks are mounted.
     label: Option<String>,
+    /// When true, requests issued under a scoped trace context
+    /// ([`trace::current_ctx`]) ship wrapped in [`Request::Trace`] so the
+    /// server's spans join the caller's tree. Off by default: an untraced
+    /// client is byte-identical to a legacy one on the wire, which is
+    /// what lets it talk to un-upgraded servers.
+    tracing: bool,
     conn: Mutex<Option<Arc<Mux>>>,
     next_id: AtomicU64,
     backoff: Mutex<BackoffState>,
@@ -215,6 +225,7 @@ impl RemoteDisk {
             timeout,
             op_budget: None,
             label: None,
+            tracing: false,
             conn: Mutex::new(None),
             next_id: AtomicU64::new(1),
             backoff: Mutex::new(BackoffState {
@@ -238,6 +249,19 @@ impl RemoteDisk {
     #[must_use]
     pub fn deadline(mut self, budget: Duration) -> Self {
         self.op_budget = Some(budget);
+        self
+    }
+
+    /// Enables trace propagation: requests issued while a trace context
+    /// is scoped on the calling thread ship wrapped in the trace
+    /// envelope (outermost, around any deadline wrapper), and
+    /// [`ChunkBackend::drain_spans`] actually fetches the server's
+    /// recorded spans. Only enable against servers that understand the
+    /// envelope — a traced request to a legacy server is refused as an
+    /// unknown opcode.
+    #[must_use]
+    pub fn traced(mut self) -> Self {
+        self.tracing = true;
         self
     }
 
@@ -382,6 +406,22 @@ impl RemoteDisk {
     /// this function concurrently; their requests share one socket.
     fn request(&self, request: &Request) -> io::Result<Response> {
         let start = Instant::now();
+        // The active trace, if this client propagates traces at all. An
+        // untraced client (or one called outside any trace scope) never
+        // touches the envelope, staying byte-compatible with legacy
+        // servers.
+        let ctx = if self.tracing {
+            trace::current_ctx()
+        } else {
+            None
+        };
+        let trace_wrap = |req: Request| match ctx {
+            Some(ctx) => Request::Trace {
+                ctx,
+                inner: Box::new(req),
+            },
+            None => req,
+        };
         let mut last = None;
         for _ in 0..2 {
             // Under an op budget each lap re-encodes with the budget
@@ -406,9 +446,12 @@ impl RemoteDisk {
                             .max(1),
                         inner: Box::new(request.clone()),
                     };
-                    (wrapped.encode(), self.timeout.min(remaining))
+                    (trace_wrap(wrapped).encode(), self.timeout.min(remaining))
                 }
-                None => (request.encode(), self.timeout),
+                None => match ctx {
+                    Some(_) => (trace_wrap(request.clone()).encode(), self.timeout),
+                    None => (request.encode(), self.timeout),
+                },
             };
             let mux = match self.mux() {
                 Ok(mux) => mux,
@@ -699,6 +742,17 @@ impl ChunkBackend for RemoteDisk {
     fn counters(&self) -> BackendCounters {
         RemoteDisk::counters(self)
     }
+
+    fn drain_spans(&self) -> Vec<SpanRecord> {
+        if !self.tracing {
+            return Vec::new();
+        }
+        match self.request(&Request::FetchSpans) {
+            Ok(Response::Ok { payload }) => decode_spans(&payload).unwrap_or_default(),
+            // A lost disk has no spans to ship; never fail a trace fetch.
+            _ => Vec::new(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -881,6 +935,66 @@ mod tests {
             0,
             "no dial on a spent budget"
         );
+    }
+
+    #[test]
+    fn untraced_requests_are_byte_identical_to_legacy_even_in_a_trace_scope() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let (id, body, _) = protocol::read_frame(&mut stream).unwrap();
+            // The exact legacy encoding: a bare Ping opcode, no envelope.
+            assert_eq!(body, Request::Ping.encode());
+            let response = Response::Ok {
+                payload: protocol::encode_ping(true),
+            };
+            protocol::write_frame(&mut stream, id, &response.encode()).unwrap();
+        });
+        let disk = RemoteDisk::with_timeout(addr.to_string(), Duration::from_secs(5));
+        let ctx = TraceCtx::from_raw(11, 22).unwrap();
+        let _scope = trace::ScopedCtx::enter(Some(ctx));
+        assert!(disk.is_available());
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn traced_requests_wrap_the_scoped_context_outermost() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let ctx = TraceCtx::from_raw(0x1111, 0x2222).unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            for _ in 0..2 {
+                let (id, body, _) = protocol::read_frame(&mut stream).unwrap();
+                match Request::decode(&body).unwrap() {
+                    // Trace outermost, deadline inside, op innermost.
+                    Request::Trace { ctx: got, inner } => {
+                        assert_eq!(got, ctx);
+                        match *inner {
+                            Request::Deadline { inner, .. } => assert_eq!(*inner, Request::Ping),
+                            other => panic!("expected deadline inside trace, got {other:?}"),
+                        }
+                    }
+                    // Outside a trace scope the wire is legacy-shaped.
+                    Request::Deadline { inner, .. } => assert_eq!(*inner, Request::Ping),
+                    other => panic!("unexpected request {other:?}"),
+                }
+                let response = Response::Ok {
+                    payload: protocol::encode_ping(true),
+                };
+                protocol::write_frame(&mut stream, id, &response.encode()).unwrap();
+            }
+        });
+        let disk = RemoteDisk::with_timeout(addr.to_string(), Duration::from_secs(5))
+            .deadline(Duration::from_secs(2))
+            .traced();
+        {
+            let _scope = trace::ScopedCtx::enter(Some(ctx));
+            assert!(disk.is_available());
+        }
+        assert!(disk.is_available());
+        server.join().unwrap();
     }
 
     #[test]

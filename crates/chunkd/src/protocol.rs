@@ -37,6 +37,7 @@
 use std::io::{self, Read, Write};
 use std::time::Duration;
 
+use pbrs_obs::trace::{SpanId, SpanRecord, TraceCtx, TraceId};
 use pbrs_store::{ChunkId, ChunkStatus};
 
 /// Hard upper bound on a frame body, protecting both ends from a corrupt
@@ -53,6 +54,8 @@ const OP_READ_RANGE: u8 = 5;
 const OP_VERIFY: u8 = 6;
 const OP_SWEEP_TMP: u8 = 7;
 const OP_DEADLINE: u8 = 8;
+const OP_TRACE: u8 = 9;
+const OP_FETCH_SPANS: u8 = 10;
 
 const STATUS_OK: u8 = 0;
 const STATUS_MISSING: u8 = 1;
@@ -135,6 +138,25 @@ pub enum Request {
         /// (nesting is rejected at decode).
         inner: Box<Request>,
     },
+    /// Wraps any other request with the caller's trace context, so the
+    /// server's span for this op joins the caller's tree. Mirrors
+    /// [`Request::Deadline`]: a new opcode rather than a trailing field,
+    /// so traceless legacy clients and un-upgraded servers interoperate
+    /// unchanged. Always the **outermost** wrapper — it may wrap a
+    /// `Deadline`, never another `Trace` (and a `Deadline` may not wrap
+    /// a `Trace`); both are rejected at decode.
+    Trace {
+        /// The caller's context: trace id plus the span the server-side
+        /// span should parent on.
+        ctx: TraceCtx,
+        /// The operation being traced.
+        inner: Box<Request>,
+    },
+    /// Drains the server's finished-span export queue — the ship-back
+    /// half of cross-process trace assembly. The gateway calls this when
+    /// its `TRACES` verb runs, then merges the returned spans into its
+    /// retained trees by trace id.
+    FetchSpans,
 }
 
 /// One response from a chunk server.
@@ -378,6 +400,13 @@ impl Request {
                 out.extend_from_slice(&budget_ms.to_le_bytes());
                 out.extend_from_slice(&inner.encode());
             }
+            Request::Trace { ctx, inner } => {
+                out.push(OP_TRACE);
+                out.extend_from_slice(&ctx.trace.as_u64().to_le_bytes());
+                out.extend_from_slice(&ctx.span.as_u64().to_le_bytes());
+                out.extend_from_slice(&inner.encode());
+            }
+            Request::FetchSpans => out.push(OP_FETCH_SPANS),
         }
         out
     }
@@ -425,11 +454,29 @@ impl Request {
                 if matches!(inner, Request::Deadline { .. }) {
                     return Err(invalid("nested deadline wrapper".into()));
                 }
+                if matches!(inner, Request::Trace { .. }) {
+                    return Err(invalid("trace wrapper must be outermost".into()));
+                }
                 Request::Deadline {
                     budget_ms,
                     inner: Box::new(inner),
                 }
             }
+            OP_TRACE => {
+                let trace = c.u64()?;
+                let span = c.u64()?;
+                let ctx = TraceCtx::from_raw(trace, span)
+                    .ok_or_else(|| invalid("zero trace/span id in trace wrapper".into()))?;
+                let inner = Request::decode(&c.rest())?;
+                if matches!(inner, Request::Trace { .. }) {
+                    return Err(invalid("nested trace wrapper".into()));
+                }
+                Request::Trace {
+                    ctx,
+                    inner: Box::new(inner),
+                }
+            }
+            OP_FETCH_SPANS => Request::FetchSpans,
             other => return Err(invalid(format!("unknown opcode {other}"))),
         };
         c.finish()?;
@@ -559,6 +606,74 @@ pub fn decode_sweep(payload: &[u8]) -> io::Result<Vec<String>> {
     Ok(removed)
 }
 
+/// Encodes a [`Request::FetchSpans`] success payload: the drained
+/// finished spans, in drain order.
+pub fn encode_spans(spans: &[SpanRecord]) -> Vec<u8> {
+    let mut out = Vec::new();
+    // pbrs-lint: allow(wire-protocol) -- lossless: the export queue is bounded far below u32::MAX and the body below MAX_FRAME
+    out.extend_from_slice(&(spans.len() as u32).to_le_bytes());
+    for span in spans {
+        out.extend_from_slice(&span.trace.as_u64().to_le_bytes());
+        out.extend_from_slice(&span.id.as_u64().to_le_bytes());
+        // Zero encodes "no parent".
+        let parent = span.parent.map(SpanId::as_u64).unwrap_or(0);
+        out.extend_from_slice(&parent.to_le_bytes());
+        put_str(&mut out, &span.name);
+        put_str(&mut out, &span.process);
+        out.extend_from_slice(&span.start_us.to_le_bytes());
+        out.extend_from_slice(&span.dur_us.to_le_bytes());
+        // pbrs-lint: allow(wire-protocol) -- lossless: spans carry a handful of tags, nowhere near u32::MAX
+        out.extend_from_slice(&(span.tags.len() as u32).to_le_bytes());
+        for (k, v) in &span.tags {
+            put_str(&mut out, k);
+            put_str(&mut out, v);
+        }
+    }
+    out
+}
+
+/// Decodes a [`Request::FetchSpans`] success payload.
+///
+/// # Errors
+///
+/// Returns `InvalidData` on truncation, trailing bytes, or a zero trace
+/// or span id.
+pub fn decode_spans(payload: &[u8]) -> io::Result<Vec<SpanRecord>> {
+    let mut c = Cursor::new(payload);
+    let count = c.u32()? as usize;
+    let mut spans = Vec::with_capacity(count.min(1024));
+    for _ in 0..count {
+        let trace =
+            TraceId::new(c.u64()?).ok_or_else(|| invalid("zero trace id in span record".into()))?;
+        let id =
+            SpanId::new(c.u64()?).ok_or_else(|| invalid("zero span id in span record".into()))?;
+        let parent = SpanId::new(c.u64()?);
+        let name = c.str()?;
+        let process = c.str()?;
+        let start_us = c.u64()?;
+        let dur_us = c.u64()?;
+        let tag_count = c.u32()? as usize;
+        let mut tags = Vec::with_capacity(tag_count.min(64));
+        for _ in 0..tag_count {
+            let k = c.str()?;
+            let v = c.str()?;
+            tags.push((k, v));
+        }
+        spans.push(SpanRecord {
+            trace,
+            id,
+            parent,
+            name,
+            process,
+            start_us,
+            dur_us,
+            tags,
+        });
+    }
+    c.finish()?;
+    Ok(spans)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -617,6 +732,23 @@ mod tests {
                     len: 2048,
                 }),
             },
+            Request::Trace {
+                ctx: TraceCtx::from_raw(0x1234, 0x5678).unwrap(),
+                inner: Box::new(Request::ReadChunk {
+                    object: "obj".into(),
+                    id: ID,
+                    len: 4096,
+                }),
+            },
+            // The canonical full stack: trace outermost, deadline inside.
+            Request::Trace {
+                ctx: TraceCtx::from_raw(0x1234, 0x5678).unwrap(),
+                inner: Box::new(Request::Deadline {
+                    budget_ms: 250,
+                    inner: Box::new(Request::Ping),
+                }),
+            },
+            Request::FetchSpans,
         ];
         for req in cases {
             assert_eq!(Request::decode(&req.encode()).unwrap(), req, "{req:?}");
@@ -690,6 +822,84 @@ mod tests {
         let mut padded = nested.encode();
         padded.push(0);
         assert!(Request::decode(&padded).is_err());
+    }
+
+    #[test]
+    fn trace_wrapper_is_strictly_outermost() {
+        let ctx = TraceCtx::from_raw(7, 9).unwrap();
+        // Trace in trace: rejected.
+        let mut doubled = vec![OP_TRACE];
+        doubled.extend_from_slice(&1u64.to_le_bytes());
+        doubled.extend_from_slice(&2u64.to_le_bytes());
+        doubled.extend_from_slice(
+            &Request::Trace {
+                ctx,
+                inner: Box::new(Request::Ping),
+            }
+            .encode(),
+        );
+        assert!(Request::decode(&doubled).is_err(), "nested trace");
+        // Deadline around trace: rejected (trace must be outermost).
+        let mut inverted = vec![OP_DEADLINE];
+        inverted.extend_from_slice(&10u32.to_le_bytes());
+        inverted.extend_from_slice(
+            &Request::Trace {
+                ctx,
+                inner: Box::new(Request::Ping),
+            }
+            .encode(),
+        );
+        assert!(Request::decode(&inverted).is_err(), "deadline around trace");
+        // Zero ids are the "absent" encoding, never valid in an envelope.
+        let mut zeroed = vec![OP_TRACE];
+        zeroed.extend_from_slice(&0u64.to_le_bytes());
+        zeroed.extend_from_slice(&2u64.to_le_bytes());
+        zeroed.extend_from_slice(&Request::Ping.encode());
+        assert!(Request::decode(&zeroed).is_err(), "zero trace id");
+        // Truncated envelope header.
+        assert!(Request::decode(&[OP_TRACE, 1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn span_payloads_round_trip() {
+        use pbrs_obs::trace::{SpanId, SpanRecord, TraceId};
+        let spans = vec![
+            SpanRecord {
+                trace: TraceId::new(0xaaaa).unwrap(),
+                id: SpanId::new(0xbbbb).unwrap(),
+                parent: None,
+                name: "read_chunk".into(),
+                process: "chunkd:127.0.0.1:9000".into(),
+                start_us: 1_700_000_000_000_000,
+                dur_us: 321,
+                tags: vec![],
+            },
+            SpanRecord {
+                trace: TraceId::new(0xaaaa).unwrap(),
+                id: SpanId::new(0xcccc).unwrap(),
+                parent: SpanId::new(0xbbbb),
+                name: "read_range".into(),
+                process: "chunkd:127.0.0.1:9000".into(),
+                start_us: 1_700_000_000_000_100,
+                dur_us: 55,
+                tags: vec![
+                    ("object".into(), "obj".into()),
+                    ("stripe".into(), "3".into()),
+                ],
+            },
+        ];
+        assert_eq!(decode_spans(&encode_spans(&spans)).unwrap(), spans);
+        assert_eq!(decode_spans(&encode_spans(&[])).unwrap(), vec![]);
+        // Truncation and trailing bytes are rejected.
+        let body = encode_spans(&spans);
+        assert!(decode_spans(&body[..body.len() - 1]).is_err());
+        let mut padded = body.clone();
+        padded.push(0);
+        assert!(decode_spans(&padded).is_err());
+        // A zero span id inside a record is rejected.
+        let mut zeroed = encode_spans(&spans[..1]);
+        zeroed[4 + 8..4 + 16].fill(0);
+        assert!(decode_spans(&zeroed).is_err());
     }
 
     #[test]

@@ -17,14 +17,16 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use pbrs_obs::{LatencyHistogram, Registry, Summary};
+use pbrs_obs::trace::{ScopedCtx, Tracer, TracerConfig};
+use pbrs_obs::{prom, EventJournal, EventKind, LatencyHistogram, Registry, Summary};
 use pbrs_store::manifest::validate_object_name;
 use pbrs_store::{
     BackendCounters, ChunkBackend, ChunkStatus, FaultPlan, FaultyBackend, LocalDisk, StoreError,
 };
 
 use crate::protocol::{
-    encode_ping, encode_sweep, encode_verify, write_frame, Request, Response, FRAME_OVERHEAD,
+    encode_ping, encode_spans, encode_sweep, encode_verify, write_frame, Request, Response,
+    FRAME_OVERHEAD,
 };
 
 /// How long a serving thread waits for the next request before checking
@@ -54,6 +56,11 @@ pub struct ServerConfig {
     /// The pool-disk index this server plays in `fault_plan`'s schedule
     /// (a plan's `disk=N` clauses match against it).
     pub fault_disk: usize,
+    /// Whether to record server-side spans for trace-wrapped requests
+    /// (shipped back via `FetchSpans`). Costs two clock reads and one
+    /// ring push per traced request; untraced requests are unaffected
+    /// either way.
+    pub tracing: bool,
 }
 
 impl Default for ServerConfig {
@@ -63,6 +70,7 @@ impl Default for ServerConfig {
             idle_timeout: Duration::from_secs(120),
             fault_plan: None,
             fault_disk: 0,
+            tracing: true,
         }
     }
 }
@@ -84,6 +92,7 @@ struct OpHists {
     read_range: Arc<LatencyHistogram>,
     verify: Arc<LatencyHistogram>,
     sweep_tmp: Arc<LatencyHistogram>,
+    fetch_spans: Arc<LatencyHistogram>,
 }
 
 impl OpHists {
@@ -98,6 +107,7 @@ impl OpHists {
             read_range: h("read_range"),
             verify: h("verify"),
             sweep_tmp: h("sweep_tmp"),
+            fetch_spans: h("fetch_spans"),
         }
     }
 
@@ -111,9 +121,43 @@ impl OpHists {
             Request::ReadRange { .. } => &self.read_range,
             Request::Verify { .. } => &self.verify,
             Request::SweepTmp { .. } => &self.sweep_tmp,
-            // Budgets time the op they wrap, not their own bookkeeping.
+            Request::FetchSpans => &self.fetch_spans,
+            // Wrappers time the op they wrap, not their own bookkeeping.
             Request::Deadline { inner, .. } => self.for_request(inner),
+            Request::Trace { inner, .. } => self.for_request(inner),
         }
+    }
+}
+
+/// Stable span/metric name of the operation a request performs (wrappers
+/// resolve to what they wrap).
+fn op_name(request: &Request) -> &'static str {
+    match request {
+        Request::Ping => "ping",
+        Request::EnsureObject { .. } => "ensure_object",
+        Request::RemoveObject { .. } => "remove_object",
+        Request::WriteChunk { .. } => "write_chunk",
+        Request::ReadChunk { .. } => "read_chunk",
+        Request::ReadRange { .. } => "read_range",
+        Request::Verify { .. } => "verify",
+        Request::SweepTmp { .. } => "sweep_tmp",
+        Request::FetchSpans => "fetch_spans",
+        Request::Deadline { inner, .. } => op_name(inner),
+        Request::Trace { inner, .. } => op_name(inner),
+    }
+}
+
+/// The object a request touches, for span tags.
+fn request_object(request: &Request) -> Option<&str> {
+    match request {
+        Request::EnsureObject { object }
+        | Request::RemoveObject { object }
+        | Request::WriteChunk { object, .. }
+        | Request::ReadChunk { object, .. }
+        | Request::ReadRange { object, .. }
+        | Request::Verify { object, .. } => Some(object),
+        Request::Deadline { inner, .. } | Request::Trace { inner, .. } => request_object(inner),
+        _ => None,
     }
 }
 
@@ -127,6 +171,10 @@ struct Shared {
     idle_timeout: Duration,
     registry: Registry,
     ops: OpHists,
+    /// Span recorder in export mode: finished spans queue here until the
+    /// gateway drains them with a `FetchSpans` request.
+    tracer: Tracer,
+    journal: EventJournal,
 }
 
 /// A running chunk server; dropping it (or calling
@@ -184,6 +232,17 @@ impl ChunkServer {
             )) as Arc<dyn ChunkBackend>,
             None => local,
         };
+        let tracer = Tracer::new(
+            format!("chunkd:{local_addr}"),
+            TracerConfig {
+                enabled: config.tracing,
+                ring_capacity: 1024,
+                export_capacity: 4096,
+                // No roots finish here; retention happens at the gateway.
+                healthy_sample_n: 0,
+                ..TracerConfig::default()
+            },
+        );
         let shared = Arc::new(Shared {
             backend,
             root,
@@ -192,6 +251,8 @@ impl ChunkServer {
             idle_timeout: config.idle_timeout.max(POLL_INTERVAL),
             registry,
             ops,
+            tracer,
+            journal: EventJournal::new(256),
         });
         let listener = Arc::new(listener);
         let workers = (0..config.threads.max(1))
@@ -249,9 +310,24 @@ impl ChunkServer {
     }
 
     /// Prometheus text exposition of this server's metrics, with every
-    /// family prefixed `pbrs_chunkd_`.
+    /// family prefixed `pbrs_chunkd_`, plus the shared-name journal
+    /// overflow counter (`pbrs_journal_events_dropped_total`).
     pub fn metrics_prometheus(&self) -> String {
-        self.shared.registry.to_prometheus("pbrs_chunkd_")
+        let mut out = self.shared.registry.to_prometheus("pbrs_chunkd_");
+        prom::type_line(&mut out, "pbrs_journal_events_dropped_total", "counter");
+        prom::sample(
+            &mut out,
+            "pbrs_journal_events_dropped_total",
+            &[("component", "chunkd")],
+            self.shared.journal.dropped() as f64,
+        );
+        out
+    }
+
+    /// The server's bounded event journal (bad requests, injected
+    /// connection drops).
+    pub fn journal(&self) -> &EventJournal {
+        &self.shared.journal
     }
 
     /// Stops accepting, finishes in-flight requests, and joins the workers.
@@ -329,34 +405,84 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) -> io::Result<()> {
             // Relaxed: traffic tally, sampled only by counters().
             .fetch_add(FRAME_OVERHEAD + body.len() as u64, Ordering::Relaxed);
         let response = match Request::decode(&body) {
-            // The client's budget was gone before the frame arrived:
-            // refuse rather than burn disk on an answer nobody waits for.
-            // (The client ships its *remaining* budget at send time, so a
-            // zero here means "already expired"; a positive budget cannot
-            // be enforced mid-op and the work simply runs.)
-            Ok(Request::Deadline { budget_ms: 0, .. }) => Response::Err {
-                message: "deadline exceeded before execution".into(),
-            },
             Ok(request) => {
-                let request = match request {
-                    Request::Deadline { inner, .. } => *inner,
-                    other => other,
+                // The trace envelope is strictly outermost (enforced at
+                // decode); peel it first so every path below sees the
+                // caller's context.
+                let (ctx, request) = match request {
+                    Request::Trace { ctx, inner } => (Some(ctx), *inner),
+                    other => (None, other),
                 };
-                let hist = shared.ops.for_request(&request);
-                let start = Instant::now();
-                match handle(shared.backend.as_ref(), request) {
-                    Ok(response) => {
-                        hist.record_duration(start.elapsed());
-                        response
+                match request {
+                    // The client's budget was gone before the frame
+                    // arrived: refuse rather than burn disk on an answer
+                    // nobody waits for. (The client ships its *remaining*
+                    // budget at send time, so a zero here means "already
+                    // expired"; a positive budget cannot be enforced
+                    // mid-op and the work simply runs.)
+                    Request::Deadline { budget_ms: 0, .. } => Response::Err {
+                        message: "deadline exceeded before execution".into(),
+                    },
+                    // Ship-back drain: everything recorded since the last
+                    // fetch, in one frame.
+                    Request::FetchSpans => {
+                        let start = Instant::now();
+                        let payload = encode_spans(&shared.tracer.drain_export());
+                        shared.ops.fetch_spans.record_duration(start.elapsed());
+                        Response::Ok { payload }
                     }
-                    // An injected connection drop: die without answering,
-                    // exactly as a genuinely aborted connection would.
-                    Err(e) => return Err(e),
+                    request => {
+                        let request = match request {
+                            Request::Deadline { inner, .. } => *inner,
+                            other => other,
+                        };
+                        let hist = shared.ops.for_request(&request);
+                        // Journal pushes during the op get tagged with
+                        // the caller's trace.
+                        let _scope = ScopedCtx::enter(ctx);
+                        let span = match (ctx, shared.tracer.is_enabled()) {
+                            (Some(ctx), true) => {
+                                let mut span = shared.tracer.span(op_name(&request), ctx);
+                                if let Some(object) = request_object(&request) {
+                                    span.tag("object", object);
+                                }
+                                Some(span)
+                            }
+                            _ => None,
+                        };
+                        let start = Instant::now();
+                        match handle(shared.backend.as_ref(), request) {
+                            Ok(response) => {
+                                hist.record_duration(start.elapsed());
+                                if let Some(mut span) = span {
+                                    if let Response::Err { message } = &response {
+                                        span.tag("fault", message.clone());
+                                    }
+                                    span.finish(&shared.tracer);
+                                }
+                                response
+                            }
+                            // An injected connection drop: die without
+                            // answering, exactly as a genuinely aborted
+                            // connection would.
+                            Err(e) => {
+                                shared
+                                    .journal
+                                    .push(EventKind::Error, format!("connection drop: {e}"));
+                                return Err(e);
+                            }
+                        }
+                    }
                 }
             }
-            Err(e) => Response::Err {
-                message: format!("bad request: {e}"),
-            },
+            Err(e) => {
+                shared
+                    .journal
+                    .push(EventKind::Error, format!("bad request: {e}"));
+                Response::Err {
+                    message: format!("bad request: {e}"),
+                }
+            }
         };
         let sent = write_frame(&mut stream, req_id, &response.encode())?;
         // Relaxed: traffic tally, sampled only by counters().
@@ -539,6 +665,13 @@ fn handle(disk: &dyn ChunkBackend, request: Request) -> io::Result<Response> {
         // Unwrapped by the caller; a nested one is rejected at decode.
         Request::Deadline { .. } => Ok(Response::Err {
             message: "unexpected deadline wrapper".into(),
+        }),
+        // Peeled / answered by the caller before dispatch.
+        Request::Trace { .. } => Ok(Response::Err {
+            message: "unexpected trace wrapper".into(),
+        }),
+        Request::FetchSpans => Ok(Response::Err {
+            message: "fetch_spans handled before dispatch".into(),
         }),
     }
 }

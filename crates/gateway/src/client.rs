@@ -18,6 +18,8 @@ use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
+use pbrs_obs::trace::TraceCtx;
+
 use crate::protocol::{read_frame, write_frame, Request, Response, MAX_FRAME};
 
 /// How much payload one `PUT_DATA` frame carries (well under
@@ -73,6 +75,18 @@ impl From<io::Error> for GatewayError {
 
 /// Result alias for gateway calls.
 pub type Result<T> = std::result::Result<T, GatewayError>;
+
+/// The flight recorder's retained traces, as served by the `TRACES`
+/// verb: the same trees rendered two ways.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Traces {
+    /// Structured JSON (`{"traces":[...]}`): trace ids, retention
+    /// reasons, and every span with its parent/process/tags.
+    pub json: String,
+    /// Chrome `trace_event` JSON array — load it in Perfetto or
+    /// `chrome://tracing` to see the trees on a timeline.
+    pub chrome: String,
+}
 
 /// A whole object fetched by [`GatewayClient::get`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -199,37 +213,10 @@ impl GatewayClient {
     /// # Errors
     ///
     /// As [`GatewayClient::get`].
-    pub fn get_streamed(&mut self, name: &str, mut sink: impl FnMut(&[u8])) -> Result<u64> {
+    pub fn get_streamed(&mut self, name: &str, sink: impl FnMut(&[u8])) -> Result<u64> {
         let id = self.fresh_id();
         self.send_request(id, &Request::Get { name: name.into() })?;
-        let mut reader = BufReader::new(&self.stream);
-        let header = recv_for(&mut reader, id)?;
-        let (mut remaining, _stripes) = match header {
-            Response::ObjectHeader { len, stripes } => (len, stripes),
-            Response::NotFound => return Err(GatewayError::NotFound),
-            Response::Deleted => return Err(GatewayError::Deleted),
-            Response::Busy => return Err(GatewayError::Busy),
-            Response::Err { message } => return Err(GatewayError::Remote(message)),
-            other => return Err(unexpected(other)),
-        };
-        loop {
-            match recv_for(&mut reader, id)? {
-                Response::Data { data } => {
-                    remaining = remaining.saturating_sub(data.len() as u64);
-                    sink(&data);
-                }
-                Response::ObjectEnd { degraded_stripes } => {
-                    if remaining != 0 {
-                        return Err(GatewayError::Protocol(format!(
-                            "stream ended {remaining} bytes short"
-                        )));
-                    }
-                    return Ok(degraded_stripes);
-                }
-                Response::Err { message } => return Err(GatewayError::Remote(message)),
-                other => return Err(unexpected(other)),
-            }
-        }
+        recv_get_stream(&self.stream, id, sink)
     }
 
     /// Tombstones `name`; returns how many payload bytes it held.
@@ -289,11 +276,87 @@ impl GatewayClient {
         }
     }
 
+    /// Fetches the gateway's retained traces (JSON + Chrome trace_event).
+    /// The gateway pulls chunkd-recorded spans over the wire first, so
+    /// the trees span every process that touched the op.
+    ///
+    /// # Errors
+    ///
+    /// Transport and remote errors.
+    pub fn traces(&mut self) -> Result<Traces> {
+        let id = self.fresh_id();
+        self.send_request(id, &Request::Traces)?;
+        match self.expect_for(id)? {
+            Response::Traces { json, chrome } => Ok(Traces { json, chrome }),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Fetches `name` whole under a caller-supplied trace context: the
+    /// gateway's root span adopts `ctx`'s trace id and parents on its
+    /// span id, so the op joins a trace the caller began elsewhere.
+    ///
+    /// # Errors
+    ///
+    /// As [`GatewayClient::get`].
+    pub fn get_traced(&mut self, name: &str, ctx: TraceCtx) -> Result<GetObject> {
+        let id = self.fresh_id();
+        self.send_request(
+            id,
+            &Request::Traced {
+                ctx,
+                inner: Box::new(Request::Get { name: name.into() }),
+            },
+        )?;
+        let mut data = Vec::new();
+        let degraded_stripes = recv_get_stream(&self.stream, id, |stripe| {
+            data.extend_from_slice(stripe);
+        })?;
+        Ok(GetObject {
+            data,
+            degraded_stripes,
+        })
+    }
+
     /// Receives the response for `id`, folding the shared status frames
     /// into typed errors.
     fn expect_for(&mut self, id: u64) -> Result<Response> {
         let mut reader = BufReader::new(&self.stream);
         recv_for(&mut reader, id)
+    }
+}
+
+/// Receives one GET's response stream (header, stripes, end marker) for
+/// request `id`, feeding each stripe payload to `sink`. Returns the
+/// degraded-stripe count.
+fn recv_get_stream(stream: &TcpStream, id: u64, mut sink: impl FnMut(&[u8])) -> Result<u64> {
+    let mut reader = BufReader::new(stream);
+    let header = recv_for(&mut reader, id)?;
+    let (mut remaining, _stripes) = match header {
+        Response::ObjectHeader { len, stripes } => (len, stripes),
+        Response::NotFound => return Err(GatewayError::NotFound),
+        Response::Deleted => return Err(GatewayError::Deleted),
+        Response::Busy => return Err(GatewayError::Busy),
+        Response::Err { message } => return Err(GatewayError::Remote(message)),
+        other => return Err(unexpected(other)),
+    };
+    loop {
+        match recv_for(&mut reader, id)? {
+            Response::Data { data } => {
+                remaining = remaining.saturating_sub(data.len() as u64);
+                sink(&data);
+            }
+            Response::ObjectEnd { degraded_stripes } => {
+                if remaining != 0 {
+                    return Err(GatewayError::Protocol(format!(
+                        "stream ended {remaining} bytes short"
+                    )));
+                }
+                return Ok(degraded_stripes);
+            }
+            Response::Err { message } => return Err(GatewayError::Remote(message)),
+            other => return Err(unexpected(other)),
+        }
     }
 }
 

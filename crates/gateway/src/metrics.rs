@@ -16,6 +16,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use pbrs_obs::hist::HistogramSnapshot;
+use pbrs_obs::trace::RetainedTrace;
 use pbrs_obs::{prom, LatencyHistogram, StageSet, StageSnapshot};
 
 /// The op classes the gateway tracks latency for. GETs are split by
@@ -182,6 +183,45 @@ pub struct GatewayLatencySnapshot {
     pub degraded_get_stages: StageSnapshot,
 }
 
+/// One exemplar per op class, harvested from the flight recorder's
+/// retained traces: the Prometheus exposition attaches each to the
+/// bucket its root duration falls into, linking the histogram's slow
+/// tail to a concrete trace id the `TRACES` verb can expand.
+#[derive(Clone, Debug, Default)]
+pub struct OpExemplars {
+    /// Exemplar for the `put` histogram member.
+    pub put: Option<prom::Exemplar>,
+    /// Exemplar for `get_healthy`.
+    pub get_healthy: Option<prom::Exemplar>,
+    /// Exemplar for `get_degraded`.
+    pub get_degraded: Option<prom::Exemplar>,
+    /// Exemplar for `delete`.
+    pub delete: Option<prom::Exemplar>,
+}
+
+impl OpExemplars {
+    /// Picks, per op class, the most recently retained trace (latest
+    /// wins — retention order is chronological). A retained `get` counts
+    /// as degraded when the recorder kept it for that reason.
+    pub fn from_retained(traces: &[RetainedTrace]) -> OpExemplars {
+        let mut ex = OpExemplars::default();
+        for t in traces {
+            let slot = match t.op.as_str() {
+                "put" => &mut ex.put,
+                "get" if t.reasons.contains(&"degraded") => &mut ex.get_degraded,
+                "get" => &mut ex.get_healthy,
+                "delete" => &mut ex.delete,
+                _ => continue,
+            };
+            *slot = Some(prom::Exemplar {
+                trace_id: t.trace.to_string(),
+                value_us: t.root_dur_us(),
+            });
+        }
+        ex
+    }
+}
+
 impl GatewayLatencySnapshot {
     /// The `"ops"` object of the v2 metrics JSON: one [`pbrs_obs::Summary`]
     /// per op class.
@@ -207,15 +247,21 @@ impl GatewayLatencySnapshot {
 
     /// Appends the gateway's latency families to a Prometheus exposition.
     pub fn write_prometheus(&self, out: &mut String) {
+        self.write_prometheus_with_exemplars(out, &OpExemplars::default());
+    }
+
+    /// As [`GatewayLatencySnapshot::write_prometheus`], attaching each op
+    /// class's exemplar (when present) to the bucket its value falls in.
+    pub fn write_prometheus_with_exemplars(&self, out: &mut String, exemplars: &OpExemplars) {
         let dur = "pbrs_gateway_op_duration_seconds";
         prom::type_line(out, dur, "histogram");
-        for (class, snap) in [
-            ("put", &self.put),
-            ("get_healthy", &self.get_healthy),
-            ("get_degraded", &self.get_degraded),
-            ("delete", &self.delete),
+        for (class, snap, ex) in [
+            ("put", &self.put, &exemplars.put),
+            ("get_healthy", &self.get_healthy, &exemplars.get_healthy),
+            ("get_degraded", &self.get_degraded, &exemplars.get_degraded),
+            ("delete", &self.delete, &exemplars.delete),
         ] {
-            prom::histogram_samples(out, dur, &[("op", class)], snap);
+            prom::histogram_samples_with_exemplar(out, dur, &[("op", class)], snap, ex.as_ref());
         }
         let stage_dur = "pbrs_gateway_get_stage_duration_seconds";
         prom::type_line(out, stage_dur, "histogram");

@@ -41,6 +41,8 @@
 
 use std::io::{self, Read, Write};
 
+use pbrs_obs::trace::TraceCtx;
+
 /// Upper bound on one frame's body. Large enough for any stripe the store
 /// ships (chunk sizes are ≤ a few MiB), small enough that a hostile
 /// length prefix cannot size a huge allocation.
@@ -65,6 +67,8 @@ const OP_DELETE: u8 = 0x05;
 const OP_STAT: u8 = 0x06;
 const OP_METRICS: u8 = 0x07;
 const OP_PROMETHEUS: u8 = 0x08;
+const OP_TRACES: u8 = 0x09;
+const OP_TRACED: u8 = 0x0A;
 
 // Response status bytes.
 const ST_CREATED: u8 = 0x81;
@@ -79,6 +83,7 @@ const ST_DELETED: u8 = 0x91;
 const ST_BUSY: u8 = 0x92;
 const ST_ERR: u8 = 0x93;
 const ST_PROMETHEUS: u8 = 0x94;
+const ST_TRACES: u8 = 0x95;
 
 /// One client→gateway message (the body of one request frame).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -114,6 +119,20 @@ pub enum Request {
     Metrics,
     /// Prometheus text exposition of gateway + store metrics.
     Prometheus,
+    /// The flight recorder's retained trace trees, as JSON and Chrome
+    /// trace_event text.
+    Traces,
+    /// An op under a client-supplied trace context: the gateway adopts
+    /// `ctx` as the root's parent instead of minting a fresh trace id,
+    /// so gateway spans join the caller's distributed trace. Strictly
+    /// outermost and optional — a frame without it is the legacy wire,
+    /// and an un-upgraded peer never sees this opcode.
+    Traced {
+        /// The caller's trace id and the span to parent the op under.
+        ctx: TraceCtx,
+        /// The wrapped request (never another `Traced`).
+        inner: Box<Request>,
+    },
 }
 
 impl Request {
@@ -133,6 +152,16 @@ impl Request {
             Request::Stat { name } => encode_named(OP_STAT, name),
             Request::Metrics => vec![OP_METRICS],
             Request::Prometheus => vec![OP_PROMETHEUS],
+            Request::Traces => vec![OP_TRACES],
+            Request::Traced { ctx, inner } => {
+                let payload = inner.encode();
+                let mut body = Vec::with_capacity(17 + payload.len());
+                body.push(OP_TRACED);
+                body.extend_from_slice(&ctx.trace.as_u64().to_le_bytes());
+                body.extend_from_slice(&ctx.span.as_u64().to_le_bytes());
+                body.extend_from_slice(&payload);
+                body
+            }
         }
     }
 
@@ -172,6 +201,25 @@ impl Request {
             OP_PROMETHEUS => {
                 expect_empty(rest)?;
                 Ok(Request::Prometheus)
+            }
+            OP_TRACES => {
+                expect_empty(rest)?;
+                Ok(Request::Traces)
+            }
+            OP_TRACED => {
+                if rest.len() < 16 {
+                    return Err(invalid("truncated trace context"));
+                }
+                let ctx = TraceCtx::from_raw(le_u64(&rest[0..8]), le_u64(&rest[8..16]))
+                    .ok_or_else(|| invalid("zero trace or span id"))?;
+                let inner = Request::decode(&rest[16..])?;
+                if matches!(inner, Request::Traced { .. }) {
+                    return Err(invalid("trace wrapper must be outermost"));
+                }
+                Ok(Request::Traced {
+                    ctx,
+                    inner: Box::new(inner),
+                })
             }
             other => Err(invalid(format!("unknown request opcode {other:#04x}"))),
         }
@@ -223,6 +271,13 @@ pub enum Response {
         /// UTF-8 exposition text.
         text: String,
     },
+    /// `TRACES` result: the retained trace trees, rendered twice.
+    Traces {
+        /// Structured JSON (schema documented in `OPERATIONS.md`).
+        json: String,
+        /// Chrome trace_event JSON, loadable in Perfetto as-is.
+        chrome: String,
+    },
     /// A `DELETE` landed; the tombstone is durable.
     DeletedOk {
         /// Payload bytes the deleted object held.
@@ -271,6 +326,15 @@ impl Response {
                 body.extend_from_slice(text.as_bytes());
                 body
             }
+            Response::Traces { json, chrome } => {
+                let mut body = Vec::with_capacity(5 + json.len() + chrome.len());
+                body.push(ST_TRACES);
+                // pbrs-lint: allow(wire-protocol) -- lossless: both renderings fit one frame (the retained buffer is bounded) and write_frame rejects over-cap bodies
+                body.extend_from_slice(&(json.len() as u32).to_le_bytes());
+                body.extend_from_slice(json.as_bytes());
+                body.extend_from_slice(chrome.as_bytes());
+                body
+            }
             Response::DeletedOk { len } => {
                 let mut body = vec![ST_DELETED_OK];
                 body.extend_from_slice(&len.to_le_bytes());
@@ -317,6 +381,21 @@ impl Response {
                 text: String::from_utf8(rest.to_vec())
                     .map_err(|_| invalid("prometheus payload is not UTF-8"))?,
             }),
+            ST_TRACES => {
+                if rest.len() < 4 {
+                    return Err(invalid("truncated traces payload"));
+                }
+                let json_len = le_u32(&rest[0..4]) as usize;
+                let rest = &rest[4..];
+                if rest.len() < json_len {
+                    return Err(invalid("traces json length exceeds payload"));
+                }
+                let json = String::from_utf8(rest[..json_len].to_vec())
+                    .map_err(|_| invalid("traces json is not UTF-8"))?;
+                let chrome = String::from_utf8(rest[json_len..].to_vec())
+                    .map_err(|_| invalid("traces chrome payload is not UTF-8"))?;
+                Ok(Response::Traces { json, chrome })
+            }
             ST_DELETED_OK => Ok(Response::DeletedOk {
                 len: decode_u64(rest)?,
             }),
@@ -510,10 +589,38 @@ mod tests {
             Request::Stat { name: "z".into() },
             Request::Metrics,
             Request::Prometheus,
+            Request::Traces,
+            Request::Traced {
+                ctx: TraceCtx::from_raw(0xDEAD, 0xBEEF).unwrap(),
+                inner: Box::new(Request::Get { name: "x".into() }),
+            },
         ];
         for case in cases {
             assert_eq!(Request::decode(&case.encode()).unwrap(), case, "{case:?}");
         }
+    }
+
+    #[test]
+    fn traced_wrapper_is_strictly_outermost_and_validated() {
+        let ctx = TraceCtx::from_raw(1, 2).unwrap();
+        let nested = Request::Traced {
+            ctx,
+            inner: Box::new(Request::Traced {
+                ctx,
+                inner: Box::new(Request::Metrics),
+            }),
+        };
+        assert!(Request::decode(&nested.encode()).is_err());
+
+        // Zero ids are the wire's "absent" and never valid inside OP_TRACED.
+        let mut zero = vec![OP_TRACED];
+        zero.extend_from_slice(&0u64.to_le_bytes());
+        zero.extend_from_slice(&2u64.to_le_bytes());
+        zero.push(OP_METRICS);
+        assert!(Request::decode(&zero).is_err());
+
+        // Truncated context header.
+        assert!(Request::decode(&[OP_TRACED, 1, 2, 3]).is_err());
     }
 
     #[test]
@@ -542,6 +649,14 @@ mod tests {
             },
             Response::Prometheus {
                 text: "# TYPE x counter\nx 1\n".into(),
+            },
+            Response::Traces {
+                json: "{\"traces\":[]}".into(),
+                chrome: "{\"traceEvents\":[]}".into(),
+            },
+            Response::Traces {
+                json: String::new(),
+                chrome: String::new(),
             },
             Response::DeletedOk { len: 10 },
             Response::NotFound,

@@ -49,7 +49,8 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-use pbrs_obs::{Stage, StageTimes};
+use pbrs_obs::trace::{self, RootFlags, ScopedCtx, SpanBuilder, TraceCtx, Tracer, TracerConfig};
+use pbrs_obs::{prom, EventJournal, EventKind, Stage, StageTimes};
 use pbrs_store::{BlockStore, ObjectReader, ObjectWriter, StoreError};
 
 use crate::metrics::{GatewayMetrics, OpClass};
@@ -79,6 +80,16 @@ pub struct GatewayConfig {
     /// instead of doing store I/O the client has stopped waiting for.
     /// `None` (the default) never expires anything.
     pub request_deadline: Option<Duration>,
+    /// Causal tracing: when on (the default), every admitted PUT/GET/
+    /// DELETE gets a root trace context, spans are threaded through the
+    /// store and its chunk backends, and the tail-sampling flight
+    /// recorder retains slow/degraded/hedged/errored trees (plus 1-in-N
+    /// healthy ops), served by the `TRACES` verb.
+    pub tracing: bool,
+    /// Flight-recorder tuning (ring size, retained-tree budget, per-op
+    /// slow thresholds, healthy sampling); `enabled` is overridden by
+    /// [`GatewayConfig::tracing`].
+    pub tracer: TracerConfig,
 }
 
 impl Default for GatewayConfig {
@@ -89,6 +100,8 @@ impl Default for GatewayConfig {
             in_flight_stripes: 4,
             max_inflight_requests: 256,
             request_deadline: None,
+            tracing: true,
+            tracer: TracerConfig::default(),
         }
     }
 }
@@ -98,6 +111,7 @@ impl Default for GatewayConfig {
 pub struct Gateway {
     addr: SocketAddr,
     metrics: Arc<GatewayMetrics>,
+    tracer: Arc<Tracer>,
     stop: Arc<AtomicBool>,
     wake: UnixStream,
     reactor: Option<JoinHandle<()>>,
@@ -122,10 +136,23 @@ impl Gateway {
             in_flight_stripes: config.in_flight_stripes.max(1),
             max_inflight_requests: config.max_inflight_requests.max(1),
             request_deadline: config.request_deadline,
+            tracing: config.tracing,
+            tracer: config.tracer,
         };
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
+        let tracer = Arc::new(Tracer::new(
+            format!("gateway:{local}"),
+            TracerConfig {
+                enabled: config.tracing,
+                ..config.tracer.clone()
+            },
+        ));
+        // The store shares the gateway's tracer: its read_stripe/chunk_io
+        // spans land in the same ring the flight recorder gathers from.
+        store.set_tracer(Arc::clone(&tracer));
+        let journal = Arc::new(EventJournal::new(256));
         // Wake pipe: workers (and shutdown) write one byte, the reactor's
         // poll set includes the read end.
         let (wake_rx, wake_tx) = UnixStream::pair()?;
@@ -155,6 +182,7 @@ impl Gateway {
 
         let reactor_stop = Arc::clone(&stop);
         let reactor_metrics = Arc::clone(&metrics);
+        let reactor_tracer = Arc::clone(&tracer);
         let reactor = thread::Builder::new()
             .name("gw-reactor".into())
             .spawn(move || {
@@ -167,6 +195,8 @@ impl Gateway {
                     inflight: 0,
                     config,
                     metrics: reactor_metrics,
+                    tracer: reactor_tracer,
+                    journal,
                     job_tx,
                     done,
                     stop: reactor_stop,
@@ -178,11 +208,18 @@ impl Gateway {
         Ok(Gateway {
             addr: local,
             metrics,
+            tracer,
             stop,
             wake: wake_tx,
             reactor: Some(reactor),
             workers,
         })
+    }
+
+    /// Handle on the flight recorder (useful in-process; remote callers
+    /// use the `TRACES` verb).
+    pub fn tracer(&self) -> Arc<Tracer> {
+        Arc::clone(&self.tracer)
     }
 
     /// The bound address (useful with port 0).
@@ -240,22 +277,23 @@ enum Job {
         conn: u64,
         req: u64,
         name: String,
+        ctx: Option<TraceCtx>,
     },
     WriteData {
         conn: u64,
         req: u64,
         writer: ObjectWriter,
         data: Vec<u8>,
+        ctx: Option<TraceCtx>,
     },
     FinishWriter {
         conn: u64,
         req: u64,
         writer: ObjectWriter,
+        ctx: Option<TraceCtx>,
     },
     /// Fire-and-forget cleanup of an abandoned ingest (client vanished).
-    AbortWriter {
-        writer: ObjectWriter,
-    },
+    AbortWriter { writer: ObjectWriter },
     ReadStripe {
         conn: u64,
         req: u64,
@@ -265,12 +303,29 @@ enum Job {
         /// When the reactor enqueued the job; the worker turns the gap
         /// into [`Stage::Queue`] time.
         queued: Instant,
+        ctx: Option<TraceCtx>,
     },
     Delete {
         conn: u64,
         req: u64,
         name: String,
+        ctx: Option<TraceCtx>,
     },
+}
+
+impl Job {
+    /// The op's root trace context, scoped onto the worker thread for the
+    /// job's duration so store spans parent under the gateway root.
+    fn ctx(&self) -> Option<TraceCtx> {
+        match self {
+            Job::OpenWriter { ctx, .. }
+            | Job::WriteData { ctx, .. }
+            | Job::FinishWriter { ctx, .. }
+            | Job::ReadStripe { ctx, .. }
+            | Job::Delete { ctx, .. } => *ctx,
+            Job::AbortWriter { .. } => None,
+        }
+    }
 }
 
 enum Done {
@@ -294,7 +349,9 @@ enum Done {
         conn: u64,
         req: u64,
         reader: ObjectReader,
-        result: Result<(Vec<u8>, bool), Response>,
+        /// The error side carries whether the failure was a queue-deadline
+        /// expiry (for the root's `deadline_expired` retention reason).
+        result: Result<(Vec<u8>, bool), (Response, bool)>,
         /// Queue wait + the store's erasure/chunk-io split for this stripe.
         times: StageTimes,
     },
@@ -331,8 +388,13 @@ fn worker_loop(
             Err(_) => return,
         };
         let Ok(job) = job else { return };
+        // Trace context by value from the reactor, scoped onto this thread
+        // so the store (and its backends) see it via `current_ctx`.
+        let _trace_scope = ScopedCtx::enter(job.ctx());
         let completion = match job {
-            Job::OpenWriter { conn, req, name } => Some(Done::WriterOpened {
+            Job::OpenWriter {
+                conn, req, name, ..
+            } => Some(Done::WriterOpened {
                 conn,
                 req,
                 result: store.writer(&name).map_err(|e| store_error_response(&e)),
@@ -342,6 +404,7 @@ fn worker_loop(
                 req,
                 mut writer,
                 data,
+                ..
             } => {
                 let result = match writer.write(&data) {
                     Ok(()) => Ok(writer),
@@ -353,7 +416,9 @@ fn worker_loop(
                 };
                 Some(Done::DataWritten { conn, req, result })
             }
-            Job::FinishWriter { conn, req, writer } => {
+            Job::FinishWriter {
+                conn, req, writer, ..
+            } => {
                 let result = match writer.finish() {
                     Ok(info) => Response::Created {
                         len: info.len,
@@ -374,6 +439,7 @@ fn worker_loop(
                 stripe,
                 mut buf,
                 queued,
+                ..
             } => {
                 let mut times = StageTimes::new();
                 let waited = queued.elapsed();
@@ -383,12 +449,15 @@ fn worker_loop(
                     // the queue: answer without touching the store.
                     Some(d) if waited > d => {
                         GatewayMetrics::add(&metrics.requests_expired, 1);
-                        Err(Response::Err {
-                            message: format!(
-                                "deadline exceeded: stripe {stripe} queued {waited:?} \
-                                 against a {d:?} budget"
-                            ),
-                        })
+                        Err((
+                            Response::Err {
+                                message: format!(
+                                    "deadline exceeded: stripe {stripe} queued {waited:?} \
+                                     against a {d:?} budget"
+                                ),
+                            },
+                            true,
+                        ))
                     }
                     _ => match reader.read_stripe(stripe, &mut buf) {
                         Ok((payload, degraded)) => {
@@ -398,7 +467,7 @@ fn worker_loop(
                             times.merge(&reader.last_stage_times());
                             Ok((buf, degraded))
                         }
-                        Err(e) => Err(store_error_response(&e)),
+                        Err(e) => Err((store_error_response(&e), false)),
                     },
                 };
                 Some(Done::StripeRead {
@@ -409,7 +478,9 @@ fn worker_loop(
                     times,
                 })
             }
-            Job::Delete { conn, req, name } => {
+            Job::Delete {
+                conn, req, name, ..
+            } => {
                 let result = match store.delete(&name) {
                     Ok(info) => Response::DeletedOk { len: info.len },
                     Err(e) => store_error_response(&e),
@@ -445,6 +516,10 @@ struct FinRecord {
     /// Flush time is added from the connection's accumulator at
     /// completion.
     stages: Option<StageTimes>,
+    /// The op's root span, finished at last-byte-written so the trace
+    /// duration matches the latency the histogram records.
+    root: Option<SpanBuilder>,
+    flags: RootFlags,
 }
 
 /// One frame queued for writing; `off` progresses across header + body.
@@ -483,6 +558,7 @@ enum ReqState {
     /// remembers when it was admitted.
     Delete {
         started: Instant,
+        root: Option<SpanBuilder>,
     },
 }
 
@@ -500,6 +576,9 @@ struct PutState {
     failed: Option<Response>,
     /// When the PUT was admitted.
     started: Instant,
+    /// Root span minted at admission; workers parent store spans under
+    /// it via the trace context carried in each job.
+    root: Option<SpanBuilder>,
 }
 
 struct GetState {
@@ -512,6 +591,8 @@ struct GetState {
     started: Instant,
     /// Accumulated queue/erasure/chunk-io time across the stream.
     stages: StageTimes,
+    /// Root span minted at admission.
+    root: Option<SpanBuilder>,
 }
 
 struct Reactor {
@@ -524,6 +605,12 @@ struct Reactor {
     inflight: usize,
     config: GatewayConfig,
     metrics: Arc<GatewayMetrics>,
+    /// Flight recorder; shared with the store (and, transitively, its
+    /// remote chunk backends) so every layer's spans land in one ring.
+    tracer: Arc<Tracer>,
+    /// Operational event log; overflow is exported as
+    /// `pbrs_journal_events_dropped_total{component="gateway"}`.
+    journal: Arc<EventJournal>,
     job_tx: mpsc::Sender<Job>,
     done: Arc<Mutex<VecDeque<Done>>>,
     stop: Arc<AtomicBool>,
@@ -679,11 +766,27 @@ impl Reactor {
         }
     }
 
+    /// Mints the root span for an admitted op when tracing is on,
+    /// adopting a client-supplied context when one rode in on a
+    /// `TRACED` wrapper.
+    fn mint_root(&self, op: &str, object: &str, supplied: Option<TraceCtx>) -> Option<SpanBuilder> {
+        if !self.tracer.is_enabled() {
+            return None;
+        }
+        let mut root = self.tracer.root_span(op, supplied);
+        root.tag("object", object);
+        Some(root)
+    }
+
     fn handle_frame(&mut self, conn_id: u64, req_id: u64, body: Vec<u8>) {
         let request = match Request::decode(&body) {
             Ok(r) => r,
             Err(e) => {
                 GatewayMetrics::add(&self.metrics.request_errors, 1);
+                self.journal.push(
+                    EventKind::Error,
+                    format!("bad request on conn {conn_id}: {e}"),
+                );
                 self.push_response(
                     conn_id,
                     req_id,
@@ -694,7 +797,24 @@ impl Reactor {
                 return;
             }
         };
+        // Peel the optional trace wrapper: the inner request proceeds
+        // exactly as if sent bare, but its root adopts the client's ids.
+        let (supplied, request) = match request {
+            Request::Traced { ctx, inner } => (Some(ctx), *inner),
+            other => (None, other),
+        };
         match request {
+            Request::Traced { .. } => {
+                // Decode rejects nesting, so the peel above is exhaustive.
+                GatewayMetrics::add(&self.metrics.request_errors, 1);
+                self.push_response(
+                    conn_id,
+                    req_id,
+                    &Response::Err {
+                        message: "trace wrapper must be outermost".into(),
+                    },
+                );
+            }
             Request::Metrics => {
                 if self.duplicate_id(conn_id, req_id) {
                     return;
@@ -713,11 +833,45 @@ impl Reactor {
                 GatewayMetrics::add(&self.metrics.requests_admitted, 1);
                 let mut text = String::new();
                 self.metrics.snapshot().write_prometheus(&mut text);
-                self.metrics.latency().write_prometheus(&mut text);
+                // Exemplars from the flight recorder link each op class's
+                // slow buckets to a concrete retained trace id.
+                let exemplars = crate::metrics::OpExemplars::from_retained(&self.tracer.retained());
+                self.metrics
+                    .latency()
+                    .write_prometheus_with_exemplars(&mut text, &exemplars);
                 self.store.metrics().write_prometheus(&mut text);
                 self.store.latency().write_prometheus(&mut text);
                 pbrs_store::health::write_prometheus(&self.store.health_snapshot(), &mut text);
+                prom::type_line(&mut text, "pbrs_journal_events_dropped_total", "counter");
+                prom::sample(
+                    &mut text,
+                    "pbrs_journal_events_dropped_total",
+                    &[("component", "gateway")],
+                    self.journal.dropped() as f64,
+                );
+                prom::sample(
+                    &mut text,
+                    "pbrs_journal_events_dropped_total",
+                    &[("component", "store")],
+                    self.store.journal_dropped() as f64,
+                );
                 self.push_response(conn_id, req_id, &Response::Prometheus { text });
+            }
+            Request::Traces => {
+                if self.duplicate_id(conn_id, req_id) {
+                    return;
+                }
+                GatewayMetrics::add(&self.metrics.requests_admitted, 1);
+                // Pull chunkd-local spans over the wire and graft them
+                // into their retained trees before rendering, so one
+                // response shows the whole cross-process tree.
+                self.tracer.attach_spans(self.store.drain_remote_spans());
+                let retained = self.tracer.retained();
+                let resp = Response::Traces {
+                    json: trace::retained_to_json(&retained),
+                    chrome: trace::retained_to_chrome(&retained),
+                };
+                self.push_response(conn_id, req_id, &resp);
             }
             Request::Stat { name } => {
                 if self.duplicate_id(conn_id, req_id) {
@@ -744,6 +898,8 @@ impl Reactor {
                     return;
                 }
                 GatewayMetrics::add(&self.metrics.requests_admitted, 1);
+                let root = self.mint_root("put", &name, supplied);
+                let ctx = root.as_ref().map(SpanBuilder::ctx);
                 let Some(conn) = self.conns.get_mut(&conn_id) else {
                     return;
                 };
@@ -756,6 +912,7 @@ impl Reactor {
                         ended: false,
                         failed: None,
                         started: Instant::now(),
+                        root,
                     }),
                 );
                 self.inflight += 1;
@@ -763,6 +920,7 @@ impl Reactor {
                     conn: conn_id,
                     req: req_id,
                     name,
+                    ctx,
                 });
             }
             Request::PutData { data } => {
@@ -798,6 +956,7 @@ impl Reactor {
                 match self.store.reader(&name) {
                     Ok(reader) => {
                         GatewayMetrics::add(&self.metrics.requests_admitted, 1);
+                        let root = self.mint_root("get", &name, supplied);
                         let info = reader.info();
                         let Some(conn) = self.conns.get_mut(&conn_id) else {
                             return;
@@ -811,6 +970,7 @@ impl Reactor {
                                 degraded: 0,
                                 started,
                                 stages: StageTimes::new(),
+                                root,
                             }),
                         );
                         self.inflight += 1;
@@ -840,6 +1000,8 @@ impl Reactor {
                     return;
                 }
                 GatewayMetrics::add(&self.metrics.requests_admitted, 1);
+                let root = self.mint_root("delete", &name, supplied);
+                let ctx = root.as_ref().map(SpanBuilder::ctx);
                 let Some(conn) = self.conns.get_mut(&conn_id) else {
                     return;
                 };
@@ -847,6 +1009,7 @@ impl Reactor {
                     req_id,
                     ReqState::Delete {
                         started: Instant::now(),
+                        root,
                     },
                 );
                 self.inflight += 1;
@@ -854,6 +1017,7 @@ impl Reactor {
                     conn: conn_id,
                     req: req_id,
                     name,
+                    ctx,
                 });
             }
         }
@@ -911,13 +1075,24 @@ impl Reactor {
                 }
                 // pbrs-lint: allow(panic-hygiene) -- this branch is only entered when failed was populated
                 let resp = p.failed.take().expect("checked");
+                let root = p.root.take();
                 conn.requests.remove(&req_id);
                 self.inflight -= 1;
                 GatewayMetrics::add(&self.metrics.request_errors, 1);
                 self.push_response(conn_id, req_id, &resp);
+                if let Some(root) = root {
+                    root.finish_root(
+                        &self.tracer,
+                        RootFlags {
+                            error: true,
+                            ..RootFlags::default()
+                        },
+                    );
+                }
             }
             return;
         }
+        let ctx = p.root.as_ref().map(SpanBuilder::ctx);
         if let Some(data) = p.queue.pop_front() {
             // pbrs-lint: allow(panic-hygiene) -- state machine invariant: writer is parked whenever not busy/failed
             let writer = p.writer.take().expect("writer idle when not busy/failed");
@@ -927,6 +1102,7 @@ impl Reactor {
                 req: req_id,
                 writer,
                 data,
+                ctx,
             });
         } else if p.ended {
             // pbrs-lint: allow(panic-hygiene) -- state machine invariant: writer is parked whenever not busy/failed
@@ -936,6 +1112,7 @@ impl Reactor {
                 conn: conn_id,
                 req: req_id,
                 writer,
+                ctx,
             });
         }
     }
@@ -962,6 +1139,11 @@ impl Reactor {
                 },
                 started: g.started,
                 stages: Some(g.stages),
+                root: g.root.take(),
+                flags: RootFlags {
+                    degraded: degraded_stripes > 0,
+                    ..RootFlags::default()
+                },
             };
             conn.requests.remove(&req_id);
             self.inflight -= 1;
@@ -980,6 +1162,7 @@ impl Reactor {
         let reader = g.reader.take().expect("checked");
         let buf = vec![0u8; reader.stripe_len()];
         let stripe = g.next_stripe;
+        let ctx = g.root.as_ref().map(SpanBuilder::ctx);
         let _ = self.job_tx.send(Job::ReadStripe {
             conn: conn_id,
             req: req_id,
@@ -987,6 +1170,7 @@ impl Reactor {
             stripe,
             buf,
             queued: Instant::now(),
+            ctx,
         });
     }
 
@@ -1051,9 +1235,11 @@ impl Reactor {
                     return;
                 }
                 let mut started = None;
+                let mut root = None;
                 if let Some(c) = self.conns.get_mut(&conn) {
-                    if let Some(ReqState::Put(p)) = c.requests.remove(&req) {
+                    if let Some(ReqState::Put(mut p)) = c.requests.remove(&req) {
                         started = Some(p.started);
+                        root = p.root.take();
                     }
                 }
                 self.inflight -= 1;
@@ -1063,11 +1249,23 @@ impl Reactor {
                         class: OpClass::Put,
                         started,
                         stages: None,
+                        root: root.take(),
+                        flags: RootFlags::default(),
                     })
                 } else {
                     GatewayMetrics::add(&self.metrics.request_errors, 1);
                     None
                 };
+                if let Some(root) = root {
+                    // Error path: the fin record did not adopt the root.
+                    root.finish_root(
+                        &self.tracer,
+                        RootFlags {
+                            error: true,
+                            ..RootFlags::default()
+                        },
+                    );
+                }
                 self.push_tracked(conn, req, &result, fin);
             }
             Done::StripeRead {
@@ -1103,16 +1301,29 @@ impl Reactor {
                         self.push_tracked(conn, req, &Response::Data { data }, None);
                         self.pump_get(conn, req);
                     }
-                    Err(resp) => {
+                    Err((resp, expired)) => {
                         // Mid-stream failure: the header is out; terminate
                         // the stream with an error frame.
+                        let mut root = None;
                         if let Some(c) = self.conns.get_mut(&conn) {
-                            c.requests.remove(&req);
+                            if let Some(ReqState::Get(mut g)) = c.requests.remove(&req) {
+                                root = g.root.take();
+                            }
                             c.flush_ns.remove(&req);
                         }
                         self.inflight -= 1;
                         GatewayMetrics::add(&self.metrics.request_errors, 1);
                         self.push_response(conn, req, &resp);
+                        if let Some(root) = root {
+                            root.finish_root(
+                                &self.tracer,
+                                RootFlags {
+                                    error: true,
+                                    expired,
+                                    ..RootFlags::default()
+                                },
+                            );
+                        }
                     }
                 }
             }
@@ -1122,9 +1333,15 @@ impl Reactor {
                     return;
                 }
                 let mut started = None;
+                let mut root = None;
                 if let Some(c) = self.conns.get_mut(&conn) {
-                    if let Some(ReqState::Delete { started: s }) = c.requests.remove(&req) {
+                    if let Some(ReqState::Delete {
+                        started: s,
+                        root: r,
+                    }) = c.requests.remove(&req)
+                    {
                         started = Some(s);
+                        root = r;
                     }
                 }
                 self.inflight -= 1;
@@ -1134,11 +1351,23 @@ impl Reactor {
                         class: OpClass::Delete,
                         started,
                         stages: None,
+                        root: root.take(),
+                        flags: RootFlags::default(),
                     })
                 } else {
                     GatewayMetrics::add(&self.metrics.request_errors, 1);
                     None
                 };
+                if let Some(root) = root {
+                    // Error path: the fin record did not adopt the root.
+                    root.finish_root(
+                        &self.tracer,
+                        RootFlags {
+                            error: true,
+                            ..RootFlags::default()
+                        },
+                    );
+                }
                 self.push_tracked(conn, req, &result, fin);
             }
         }
@@ -1189,7 +1418,7 @@ impl Reactor {
                 if conn.dead {
                     continue;
                 }
-                flush_conn(conn, &self.metrics);
+                flush_conn(conn, &self.metrics, &self.tracer);
                 !conn.dead && conn.out.len() < self.config.in_flight_stripes
             };
             if below_budget {
@@ -1219,7 +1448,7 @@ impl Reactor {
             .collect();
         for id in ids {
             if let Some(conn) = self.conns.get_mut(&id) {
-                flush_conn(conn, &self.metrics);
+                flush_conn(conn, &self.metrics, &self.tracer);
             }
         }
     }
@@ -1279,7 +1508,7 @@ fn flush_micros(ns: u64) -> u64 {
 /// frames accumulate their write time into the request's flush budget;
 /// when a frame carrying a [`FinRecord`] finishes, the op's latency (and
 /// GET stage breakdown) is recorded — i.e. at last-byte-written.
-fn flush_conn(conn: &mut Conn, metrics: &GatewayMetrics) {
+fn flush_conn(conn: &mut Conn, metrics: &GatewayMetrics, tracer: &Tracer) {
     while let Some(front) = conn.out.front_mut() {
         let header_len = front.header.len();
         let write_start = front.track_flush.then(Instant::now);
@@ -1311,6 +1540,11 @@ fn flush_conn(conn: &mut Conn, metrics: &GatewayMetrics) {
                         metrics
                             .op_latency(fin.class)
                             .record_duration(fin.started.elapsed());
+                        if let Some(root) = fin.root {
+                            // Finished here — at last-byte-written — so the
+                            // trace's root duration matches the histogram.
+                            root.finish_root(tracer, fin.flags);
+                        }
                         if let Some(mut stages) = fin.stages {
                             stages.add(Stage::Flush, flush_micros(flush));
                             let set = match fin.class {

@@ -14,6 +14,7 @@ use rand::rngs::StdRng;
 use pbrs_gateway::protocol::{
     write_frame, FrameDecoder, Request, Response, FRAME_OVERHEAD, MAX_FRAME,
 };
+use pbrs_obs::trace::TraceCtx;
 
 fn random_name(rng: &mut StdRng) -> String {
     let len = rng.random_range(1..64usize);
@@ -27,8 +28,9 @@ fn random_bytes(rng: &mut StdRng, max: usize) -> Vec<u8> {
     (0..len).map(|_| rng.random()).collect()
 }
 
-fn random_request(rng: &mut StdRng) -> Request {
-    match rng.random_range(0..7u8) {
+/// Any wrapper-free request shape (what a legacy client can send).
+fn random_plain_request(rng: &mut StdRng) -> Request {
+    match rng.random_range(0..9u8) {
         0 => Request::PutStart {
             name: random_name(rng),
         },
@@ -45,7 +47,26 @@ fn random_request(rng: &mut StdRng) -> Request {
         5 => Request::Stat {
             name: random_name(rng),
         },
+        6 => Request::Prometheus,
+        7 => Request::Traces,
         _ => Request::Metrics,
+    }
+}
+
+fn random_ctx(rng: &mut StdRng) -> TraceCtx {
+    TraceCtx::from_raw(rng.random_range(1..u64::MAX), rng.random_range(1..u64::MAX)).unwrap()
+}
+
+/// Any request shape, sometimes under a trace wrapper.
+fn random_request(rng: &mut StdRng) -> Request {
+    let plain = random_plain_request(rng);
+    if rng.random_bool(0.3) {
+        Request::Traced {
+            ctx: random_ctx(rng),
+            inner: Box::new(plain),
+        }
+    } else {
+        plain
     }
 }
 
@@ -206,5 +227,89 @@ proptest! {
         let mut decoder = FrameDecoder::new();
         decoder.feed(&wire);
         prop_assert!(decoder.next_frame().is_err());
+    }
+
+    /// The trace wrapper round-trips around every inner request shape.
+    #[test]
+    fn traced_requests_round_trip(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..8 {
+            let req = Request::Traced {
+                ctx: random_ctx(&mut rng),
+                inner: Box::new(random_plain_request(&mut rng)),
+            };
+            prop_assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+        }
+    }
+
+    /// An unwrapped request's bytes are exactly the legacy encoding:
+    /// the trace field adds bytes only when present, so a traceless
+    /// legacy client and an un-upgraded gateway interoperate silently.
+    #[test]
+    fn traceless_encoding_is_byte_identical_to_legacy(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..8 {
+            let req = random_plain_request(&mut rng);
+            let bytes = req.encode();
+            prop_assert_eq!(Request::decode(&bytes).unwrap(), req);
+        }
+    }
+
+    /// Truncating a traced frame anywhere — mid-context or mid-inner —
+    /// yields a typed error, never a panic or a misparse into a
+    /// different request.
+    #[test]
+    fn truncated_traced_bodies_are_typed_errors(
+        seed in any::<u64>(),
+        keep_fraction in 0usize..100,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Name and data payloads are "rest of body", so truncating them
+        // still decodes (to a shorter name/put); use the empty-bodied
+        // shapes, where any cut lands in the context or the opcode.
+        let inner = match rng.random_range(0..4u8) {
+            0 => Request::PutEnd,
+            1 => Request::Metrics,
+            2 => Request::Prometheus,
+            _ => Request::Traces,
+        };
+        let req = Request::Traced {
+            ctx: random_ctx(&mut rng),
+            inner: Box::new(inner),
+        };
+        let bytes = req.encode();
+        let keep = 1 + (bytes.len() - 2) * keep_fraction / 100; // always short
+        match Request::decode(&bytes[..keep]) {
+            Ok(got) => prop_assert_eq!(got, req), // only if nothing was cut
+            Err(e) => prop_assert_eq!(e.kind(), std::io::ErrorKind::InvalidData),
+        }
+    }
+
+    /// Hostile traced bodies are rejected: garbage after the opcode
+    /// never panics, zero ids and nested wrappers are typed errors.
+    #[test]
+    fn hostile_traced_bodies_are_rejected(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..16 {
+            let mut body = vec![0x0Au8]; // OP_TRACED
+            body.extend(random_bytes(&mut rng, 64));
+            let _ = Request::decode(&body);
+        }
+        // Zero ids are reserved for "absent" and rejected.
+        let mut zero_trace = vec![0x0Au8];
+        zero_trace.extend_from_slice(&0u64.to_le_bytes());
+        zero_trace.extend_from_slice(&1u64.to_le_bytes());
+        zero_trace.extend_from_slice(&Request::PutEnd.encode());
+        prop_assert!(Request::decode(&zero_trace).is_err());
+        // A wrapper inside a wrapper is rejected at decode.
+        let nested = Request::Traced {
+            ctx: random_ctx(&mut rng),
+            inner: Box::new(Request::PutEnd),
+        };
+        let mut double = vec![0x0Au8];
+        double.extend_from_slice(&1u64.to_le_bytes());
+        double.extend_from_slice(&2u64.to_le_bytes());
+        double.extend_from_slice(&nested.encode());
+        prop_assert!(Request::decode(&double).is_err());
     }
 }

@@ -595,6 +595,152 @@ fn connection_cap_refuses_loudly() {
     assert!(ok, "slot never freed after disconnect");
 }
 
+/// The tentpole end to end: a degraded GET over real sockets leaves ONE
+/// retained trace tree that spans three processes — gateway root, store
+/// read/rebuild spans, and chunkd-side spans shipped back over the wire
+/// — with `chunk_io` leaves naming the helper disks and racks actually
+/// read. Also exercises client-supplied contexts and the exposition's
+/// exemplars and journal-drop families.
+#[test]
+fn degraded_get_retains_one_tree_spanning_gateway_store_and_chunkd() {
+    let dir = TempDir::new("gw-trace");
+    let spec: pbrs_erasure::CodeSpec = "piggyback-4-2".parse().unwrap();
+    let servers: Vec<ChunkServer> = (0..6)
+        .map(|i| {
+            ChunkServer::bind_with(
+                dir.path().join(format!("srv-{i:02}")),
+                "127.0.0.1:0",
+                ServerConfig {
+                    threads: 2,
+                    ..ServerConfig::default()
+                },
+            )
+            .unwrap()
+        })
+        .collect();
+    // `.traced()` opts the client half in; the servers record spans for
+    // trace-wrapped requests by default.
+    let disks: Vec<Arc<dyn ChunkBackend>> = servers
+        .iter()
+        .map(|s| {
+            Arc::new(RemoteDisk::new(s.local_addr().to_string()).traced()) as Arc<dyn ChunkBackend>
+        })
+        .collect();
+    let store = Arc::new(
+        BlockStore::open_with_backends(
+            StoreConfig::new(dir.path().join("root"), spec).chunk_len(512),
+            disks,
+            RackMap::uniform(3, 2),
+            PlacementPolicy::Identity,
+        )
+        .unwrap(),
+    );
+    let gw = gateway(&store, GatewayConfig::default());
+    let mut c = client(&gw);
+
+    let data = pattern(4 * 512 * 2); // 2 stripes
+    c.put("obj", &data).unwrap();
+    // Lose one chunk server entirely; the GET degrades on every stripe.
+    fs::remove_dir_all(servers[1].root()).unwrap();
+    let got = c.get("obj").unwrap();
+    assert_eq!(got.data, data);
+    assert_eq!(got.degraded_stripes, 2);
+
+    // The TRACES verb assembles the cross-process tree: the gateway
+    // pulls chunkd-local spans over FETCH_SPANS before rendering.
+    let traces = c.traces().unwrap();
+    assert!(traces.json.contains("\"degraded\""), "{}", traces.json);
+    assert!(
+        traces.chrome.starts_with("{\"traceEvents\":["),
+        "{}",
+        traces.chrome
+    );
+
+    // Inspect the tree structurally through the in-process handle (the
+    // JSON above is the same data rendered).
+    let retained = gw.tracer().retained();
+    let tree = retained
+        .iter()
+        .find(|t| t.reasons.contains(&"degraded"))
+        .expect("the degraded GET must be retained");
+    assert_eq!(tree.op, "get");
+    let root = tree
+        .spans
+        .iter()
+        .find(|s| s.id == tree.root)
+        .expect("root span present");
+    assert!(root.process.starts_with("gateway:"), "{:?}", root.process);
+    assert!(
+        tree.spans
+            .iter()
+            .any(|s| s.name == "read_stripe" && s.tag("degraded").is_some()),
+        "store spans must join the gateway's tree"
+    );
+    // chunk_io leaves name the helper disks, their racks, and the remote
+    // backends actually read.
+    let leaves: Vec<_> = tree.spans.iter().filter(|s| s.name == "chunk_io").collect();
+    assert!(!leaves.is_empty());
+    assert!(
+        leaves.iter().any(
+            |s| s.tag("backend").is_some_and(|b| b.contains("chunkd://"))
+                && s.tag("rack").is_some()
+        ),
+        "{leaves:?}"
+    );
+    // Spans shipped back from at least two distinct chunkd processes.
+    let chunkd_procs: std::collections::HashSet<&str> = tree
+        .spans
+        .iter()
+        .filter(|s| s.process.starts_with("chunkd:"))
+        .map(|s| s.process.as_str())
+        .collect();
+    assert!(
+        chunkd_procs.len() >= 2,
+        "expected spans from >= 2 chunkd processes, got {chunkd_procs:?}"
+    );
+
+    // A client-supplied context is adopted: the op joins the caller's
+    // trace instead of minting a fresh id.
+    let ctx = pbrs_obs::trace::TraceCtx::from_raw(0xfeed_beef_dead_cafe, 0x1).unwrap();
+    let traced = c.get_traced("obj", ctx).unwrap();
+    assert_eq!(traced.data, data);
+    // The root finishes on the reactor thread just after the final
+    // frame's write(2); on loopback the client can observe ObjectEnd
+    // first, so poll briefly.
+    let mut adopted = false;
+    for _ in 0..500 {
+        if gw
+            .tracer()
+            .retained()
+            .iter()
+            .any(|t| t.trace.as_u64() == ctx.trace.as_u64())
+        {
+            adopted = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert!(
+        adopted,
+        "client-supplied trace id must be retained (degraded op): {:?}",
+        gw.tracer()
+            .retained()
+            .iter()
+            .map(|t| (t.op.clone(), t.trace.as_u64(), t.reasons.clone()))
+            .collect::<Vec<_>>()
+    );
+
+    // Exemplars: the degraded-GET histogram member links its bucket to a
+    // retained trace id; journal drop counters ride the same exposition.
+    let text = c.prometheus().unwrap();
+    assert!(
+        text.contains("op=\"get_degraded\"")
+            && text.contains("# {trace_id=\"")
+            && text.contains("pbrs_journal_events_dropped_total{component=\"gateway\"} 0"),
+        "{text}"
+    );
+}
+
 /// The gateway's per-op latency histograms, GET stage breakdowns, v2
 /// METRICS JSON, and Prometheus exposition all report the ops we ran.
 #[test]

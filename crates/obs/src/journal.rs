@@ -12,6 +12,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{SystemTime, UNIX_EPOCH};
 
+use crate::trace::{self, TraceId};
+
 /// What kind of thing happened.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum EventKind {
@@ -64,6 +66,10 @@ pub struct Event {
     pub kind: EventKind,
     /// Free-form description (object name, stripe index, error text, …).
     pub detail: String,
+    /// The trace that was active ([`trace::current_ctx`]) when the
+    /// event was recorded, making repair/health events joinable to
+    /// retained traces.
+    pub trace: Option<TraceId>,
 }
 
 impl Event {
@@ -97,12 +103,14 @@ impl EventJournal {
         }
     }
 
-    /// Record an event now.
+    /// Record an event now, tagged with the scoped trace if one is
+    /// active on this thread.
     pub fn push(&self, kind: EventKind, detail: impl Into<String>) {
         let event = Event {
             at: SystemTime::now(),
             kind,
             detail: detail.into(),
+            trace: trace::current_ctx().map(|ctx| ctx.trace),
         };
         let mut inner = match self.inner.lock() {
             Ok(g) => g,
@@ -213,6 +221,23 @@ mod tests {
         assert_eq!(j.last_failure().as_deref(), Some("first error"));
         j.push(EventKind::Panic, "worker panic: boom");
         assert_eq!(j.last_failure().as_deref(), Some("worker panic: boom"));
+    }
+
+    #[test]
+    fn events_carry_the_scoped_trace_when_one_is_active() {
+        use crate::trace::{ScopedCtx, TraceCtx};
+        let j = EventJournal::new(8);
+        j.push(EventKind::Scan, "untagged");
+        let ctx = TraceCtx::from_raw(0xabc, 0xdef).unwrap();
+        {
+            let _g = ScopedCtx::enter(Some(ctx));
+            j.push(EventKind::Repair, "tagged");
+        }
+        j.push(EventKind::Scrub, "untagged again");
+        let events = j.recent();
+        assert_eq!(events[0].trace, None);
+        assert_eq!(events[1].trace, Some(ctx.trace));
+        assert_eq!(events[2].trace, None);
     }
 
     #[test]

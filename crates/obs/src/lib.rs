@@ -19,7 +19,12 @@
 //!   (repairs, scrubs, errors, panics, with timestamps) replacing
 //!   single-slot `last_error` strings;
 //! * [`prom`] — Prometheus text-exposition rendering over all of the
-//!   above, with histogram `le` boundaries in seconds.
+//!   above, with histogram `le` boundaries in seconds and optional
+//!   exemplars linking hot buckets to retained traces;
+//! * [`trace`] — causal request tracing: wire-propagated
+//!   [`trace::TraceCtx`] span trees recorded into a bounded ring, with
+//!   a tail-sampling flight recorder that retains complete trees for
+//!   slow/degraded/hedged/errored roots plus a 1-in-N healthy sample.
 //!
 //! Convention: every histogram in this workspace records
 //! **microseconds**. JSON expositions carry `_us` fields; the
@@ -33,8 +38,13 @@ pub mod journal;
 pub mod prom;
 pub mod registry;
 pub mod stage;
+pub mod trace;
 
 pub use hist::{HistogramSnapshot, LatencyHistogram, Summary};
 pub use journal::{Event, EventJournal, EventKind};
 pub use registry::{Counter, Gauge, Registry};
 pub use stage::{Stage, StageSet, StageSnapshot, StageTimes};
+pub use trace::{
+    RetainedTrace, RootFlags, ScopedCtx, SpanBuilder, SpanId, SpanRecord, TraceCtx, TraceId,
+    Tracer, TracerConfig,
+};

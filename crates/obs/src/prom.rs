@@ -8,7 +8,7 @@
 //! Only non-empty buckets are emitted (buckets are cumulative, so
 //! skipping empty ones is lossless), plus the mandatory `+Inf` bucket.
 
-use crate::hist::{bucket_bounds, HistogramSnapshot};
+use crate::hist::{bucket_bounds, bucket_index, HistogramSnapshot};
 
 /// Append a `# TYPE name kind` header line.
 pub fn type_line(out: &mut String, name: &str, kind: &str) {
@@ -29,6 +29,20 @@ pub fn sample(out: &mut String, name: &str, labels: &[(&str, &str)], value: f64)
     out.push('\n');
 }
 
+/// An exemplar: one concrete observation, linked to the trace that
+/// produced it, to attach to the histogram bucket containing it —
+/// rendered in OpenMetrics text syntax
+/// (`..._bucket{le="0.05"} 12 # {trace_id="<id>"} 0.0437`). Attach the
+/// retained trace of a slow root to the p99-region bucket and a bad
+/// percentile becomes a link to a full causal record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Exemplar {
+    /// Hex trace id (as rendered by `TraceId`'s `Display`).
+    pub trace_id: String,
+    /// The exemplar observation in microseconds (the histogram's unit).
+    pub value_us: u64,
+}
+
 /// Append a full histogram family member for one label set: cumulative
 /// `_bucket` lines (seconds, non-empty buckets plus `+Inf`), `_sum`
 /// (seconds) and `_count`.
@@ -38,6 +52,21 @@ pub fn histogram_samples(
     labels: &[(&str, &str)],
     snap: &HistogramSnapshot,
 ) {
+    histogram_samples_with_exemplar(out, name, labels, snap, None);
+}
+
+/// [`histogram_samples`], with an optional [`Exemplar`] appended to the
+/// first emitted bucket whose boundary covers the exemplar value (or to
+/// `+Inf` if none does).
+pub fn histogram_samples_with_exemplar(
+    out: &mut String,
+    name: &str,
+    labels: &[(&str, &str)],
+    snap: &HistogramSnapshot,
+    exemplar: Option<&Exemplar>,
+) {
+    let ex_bucket = exemplar.map(|e| bucket_index(e.value_us));
+    let mut ex_written = false;
     let mut cum = 0u64;
     for (index, count) in snap.nonempty_buckets() {
         cum += count;
@@ -49,6 +78,12 @@ pub fn histogram_samples(
         write_labels(out, labels, Some(&format_le(le)));
         out.push(' ');
         push_f64(out, cum as f64);
+        if let (Some(ex), Some(target)) = (exemplar, ex_bucket) {
+            if !ex_written && index >= target {
+                write_exemplar(out, ex);
+                ex_written = true;
+            }
+        }
         out.push('\n');
     }
     out.push_str(name);
@@ -56,6 +91,11 @@ pub fn histogram_samples(
     write_labels(out, labels, Some("+Inf"));
     out.push(' ');
     push_f64(out, snap.count() as f64);
+    if let Some(ex) = exemplar {
+        if !ex_written {
+            write_exemplar(out, ex);
+        }
+    }
     out.push('\n');
 
     out.push_str(name);
@@ -71,6 +111,13 @@ pub fn histogram_samples(
     out.push(' ');
     push_f64(out, snap.count() as f64);
     out.push('\n');
+}
+
+fn write_exemplar(out: &mut String, ex: &Exemplar) {
+    out.push_str(" # {trace_id=\"");
+    escape_into(out, &ex.trace_id);
+    out.push_str("\"} ");
+    push_f64(out, ex.value_us as f64 / 1e6);
 }
 
 fn format_le(le: f64) -> String {
@@ -160,5 +207,47 @@ mod tests {
         assert_eq!(lines[2], "d_bucket{path=\"healthy\",le=\"+Inf\"} 3");
         assert!(lines[3].starts_with("d_sum{path=\"healthy\"} 2.00001"));
         assert_eq!(lines[4], "d_count{path=\"healthy\"} 3");
+    }
+
+    #[test]
+    fn exemplar_lands_on_the_bucket_containing_its_value() {
+        let h = LatencyHistogram::new();
+        h.record(5);
+        h.record(40_000); // 40ms — the "slow" observation
+        let ex = Exemplar {
+            trace_id: "00c0ffee00c0ffee".to_string(),
+            value_us: 40_000,
+        };
+        let mut s = String::new();
+        histogram_samples_with_exemplar(&mut s, "d", &[], &h.snapshot(), Some(&ex));
+        let ex_lines: Vec<&str> = s
+            .lines()
+            .filter(|l| l.contains("# {trace_id=\"00c0ffee00c0ffee\"}"))
+            .collect();
+        assert_eq!(ex_lines.len(), 1, "exactly one exemplar line: {s}");
+        let line = ex_lines[0];
+        assert!(line.starts_with("d_bucket"), "{line}");
+        assert!(
+            !line.contains("le=\"0.000005\""),
+            "not the fast bucket: {line}"
+        );
+        assert!(line.ends_with(" 0.04"), "value in seconds: {line}");
+    }
+
+    #[test]
+    fn exemplar_beyond_every_bucket_falls_to_inf() {
+        let h = LatencyHistogram::new();
+        h.record(5);
+        let ex = Exemplar {
+            trace_id: "ff".to_string(),
+            value_us: 10_000_000,
+        };
+        let mut s = String::new();
+        histogram_samples_with_exemplar(&mut s, "d", &[], &h.snapshot(), Some(&ex));
+        let inf = s
+            .lines()
+            .find(|l| l.contains("le=\"+Inf\""))
+            .expect("inf bucket");
+        assert!(inf.contains("# {trace_id=\"ff\"} 10"), "{inf}");
     }
 }

@@ -152,6 +152,16 @@ pub trait ChunkBackend: Send + Sync + fmt::Debug {
     fn counters(&self) -> BackendCounters {
         BackendCounters::default()
     }
+
+    /// Drain trace spans recorded on the far side of this backend.
+    ///
+    /// A networked backend that ships requests under a trace envelope can
+    /// fetch the server's finished spans here so the caller can assemble
+    /// one cross-process trace tree. Local backends have no far side and
+    /// return nothing.
+    fn drain_spans(&self) -> Vec<pbrs_obs::trace::SpanRecord> {
+        Vec::new()
+    }
 }
 
 /// The classic local backend: one directory per disk, one subdirectory per

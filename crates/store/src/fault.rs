@@ -523,6 +523,10 @@ impl ChunkBackend for FaultyBackend {
     fn counters(&self) -> BackendCounters {
         self.inner.counters()
     }
+
+    fn drain_spans(&self) -> Vec<pbrs_obs::trace::SpanRecord> {
+        self.inner.drain_spans()
+    }
 }
 
 #[cfg(test)]

@@ -365,6 +365,11 @@ impl ChunkBackend for GuardedDisk {
     fn counters(&self) -> BackendCounters {
         self.inner.counters()
     }
+
+    fn drain_spans(&self) -> Vec<pbrs_obs::trace::SpanRecord> {
+        // Span shipping is cheap metadata; no deadline gate needed.
+        self.inner.drain_spans()
+    }
 }
 
 impl GuardedDisk {

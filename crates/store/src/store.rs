@@ -66,7 +66,7 @@ use std::io::{self, Read};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Mutex, RwLock};
+use std::sync::{mpsc, Arc, Mutex, OnceLock, RwLock};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -81,6 +81,7 @@ use crate::guard::GuardedDisk;
 use crate::health::{DiskHealthSnapshot, DiskState, HealthPolicy, HealthTracker, Transition};
 use crate::manifest::{manifest_path, validate_object_name, Manifest, ObjectInfo};
 use crate::metrics::{MetricsSnapshot, StoreLatency, StoreLatencySnapshot, StoreMetrics};
+use pbrs_obs::trace::{self, RootFlags, ScopedCtx, SpanBuilder, SpanRecord, Tracer};
 use pbrs_obs::{Event, EventJournal, EventKind, Stage, StageTimes};
 
 /// Default chunk payload length: 64 KiB.
@@ -331,6 +332,11 @@ pub struct BlockStore {
     metrics: StoreMetrics,
     latency: StoreLatency,
     fail: FailPoints,
+    /// Causal-tracing sink, installed once by the embedding process (the
+    /// gateway) via [`BlockStore::set_tracer`]. Store spans are recorded
+    /// only while a [`pbrs_obs::TraceCtx`] is in scope on the calling
+    /// thread, so an untraced store pays one atomic load per op.
+    tracer: OnceLock<Arc<Tracer>>,
 }
 
 /// Test-only failure injection flags (see [`BlockStore::inject_encode_panic`]
@@ -591,6 +597,7 @@ impl BlockStore {
             metrics: StoreMetrics::default(),
             latency: StoreLatency::default(),
             fail: FailPoints::default(),
+            tracer: OnceLock::new(),
         })
     }
 
@@ -835,6 +842,57 @@ impl BlockStore {
             .map_or_else(Vec::new, |j| j.recent())
     }
 
+    /// Events dropped by the disk-health journal because its ring was
+    /// full (0 on an unhardened store).
+    pub fn journal_dropped(&self) -> u64 {
+        self.health_journal.as_ref().map_or(0, |j| j.dropped())
+    }
+
+    // ------------------------------------------------------------------
+    // Tracing
+    // ------------------------------------------------------------------
+
+    /// Installs the tracer store spans are recorded into. One-shot: the
+    /// first caller wins (the store is shared via `Arc`; the gateway
+    /// installs its tracer right after open). Without a tracer, or
+    /// without a trace context in scope, the store records nothing.
+    pub fn set_tracer(&self, tracer: Arc<Tracer>) {
+        let _ = self.tracer.set(tracer);
+    }
+
+    /// The installed tracer, when present and enabled.
+    fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.tracer.get().filter(|t| t.is_enabled())
+    }
+
+    /// Starts a child span of the trace context in scope on this thread,
+    /// or `None` when tracing is off or no context is in scope.
+    fn trace_span(&self, name: &str) -> Option<(SpanBuilder, &Arc<Tracer>)> {
+        let tracer = self.tracer()?;
+        let ctx = trace::current_ctx()?;
+        Some((tracer.span(name, ctx), tracer))
+    }
+
+    /// Tags a span with the identity of a pool disk: index, rack name,
+    /// and the backend's own description (a path or a `chunkd://` addr) —
+    /// the labels a trace reader needs to see *which* disk a chunk read
+    /// actually touched.
+    fn tag_disk(&self, span: &mut SpanBuilder, disk: usize) {
+        span.tag("disk", disk.to_string());
+        let racks = self.map.racks();
+        if let Some(rack) = racks.rack_of(disk) {
+            span.tag("rack", racks.rack_name(rack).to_string());
+        }
+        span.tag("backend", self.disks[disk].describe());
+    }
+
+    /// Drains spans recorded on the far side of every mounted backend
+    /// (see [`ChunkBackend::drain_spans`]) so the embedding process can
+    /// merge chunkd-side spans into its retained trace trees.
+    pub fn drain_remote_spans(&self) -> Vec<SpanRecord> {
+        self.disks.iter().flat_map(|d| d.drain_spans()).collect()
+    }
+
     // ------------------------------------------------------------------
     // Write path
     // ------------------------------------------------------------------
@@ -998,6 +1056,28 @@ impl BlockStore {
         buf: &mut ShardBuffer,
         times: &mut StageTimes,
     ) -> Result<()> {
+        let span = self.trace_span("write_stripe");
+        let scope = span.as_ref().map(|(s, _)| ScopedCtx::enter(Some(s.ctx())));
+        let result = self.encode_and_write_stripe_inner(name, stripe, buf, times);
+        drop(scope);
+        if let Some((mut s, tracer)) = span {
+            s.tag("object", name);
+            s.tag("stripe", stripe.to_string());
+            if let Err(e) = &result {
+                s.tag("fault", e.to_string());
+            }
+            s.finish(tracer);
+        }
+        result
+    }
+
+    fn encode_and_write_stripe_inner(
+        &self,
+        name: &str,
+        stripe: u64,
+        buf: &mut ShardBuffer,
+        times: &mut StageTimes,
+    ) -> Result<()> {
         // SeqCst: crash-test failpoint, flipped rarely and read cold.
         if self.fail.encode_panic.load(Ordering::SeqCst) {
             // pbrs-lint: allow(panic-hygiene) -- injected failure hook; panicking here is the tested behaviour
@@ -1079,50 +1159,62 @@ impl BlockStore {
         let mut total = 0u64;
         let mut stripe = 0u64;
         let mut read_error: Option<StoreError> = None;
+        // The ambient trace context is thread-local; carry it across the
+        // worker boundary so stripe spans parent under the caller's op.
+        let trace_ctx = trace::current_ctx();
         thread::scope(|scope| {
             for _ in 0..workers {
                 let work_rx = &work_rx;
                 let failure = &failure;
                 let free_tx = free_tx.clone();
-                scope.spawn(move || loop {
-                    // pbrs-lint: allow(panic-hygiene) -- lock poisoning is fatal by design
-                    let received = work_rx.lock().expect("lock").recv();
-                    let Ok((stripe, buf)) = received else {
-                        return; // ingest finished: work channel closed
-                    };
-                    // The buffer rides in a drop guard: if anything below
-                    // unwinds, the buffer still goes back to the pool —
-                    // a lost buffer is exactly how the reader deadlocks.
-                    let mut guard = ReturnBuffer {
-                        buf: Some(buf),
-                        free_tx: &free_tx,
-                    };
-                    // pbrs-lint: allow(panic-hygiene) -- lock poisoning is fatal by design
-                    let result = if failure.lock().expect("lock").is_some() {
-                        Ok(()) // an earlier stripe already failed; drain only
-                    } else {
-                        // pbrs-lint: allow(panic-hygiene) -- the guard's buffer is only taken on drop, after this closure
-                        let buf = guard.buf.as_mut().expect("held until drop");
-                        catch_unwind(AssertUnwindSafe(|| {
-                            self.encode_and_write_stripe(name, stripe, buf, &mut StageTimes::new())
-                        }))
-                        .unwrap_or_else(|payload| {
-                            Err(StoreError::WorkerPanic {
-                                context: format!(
-                                    "pipelined encode/write of stripe {stripe}: {}",
-                                    panic_message(payload.as_ref())
-                                ),
-                            })
-                        })
-                    };
-                    // Return the buffer before reporting, so the reader
-                    // thread can always make progress.
-                    drop(guard);
-                    if let Err(e) = result {
+                scope.spawn(move || {
+                    let _trace = ScopedCtx::enter(trace_ctx);
+                    loop {
                         // pbrs-lint: allow(panic-hygiene) -- lock poisoning is fatal by design
-                        let mut slot = failure.lock().expect("lock");
-                        if slot.is_none() {
-                            *slot = Some(e);
+                        let received = work_rx.lock().expect("lock").recv();
+                        let Ok((stripe, buf)) = received else {
+                            return; // ingest finished: work channel closed
+                        };
+                        // The buffer rides in a drop guard: if anything
+                        // below unwinds, the buffer still goes back to the
+                        // pool — a lost buffer is exactly how the reader
+                        // deadlocks.
+                        let mut guard = ReturnBuffer {
+                            buf: Some(buf),
+                            free_tx: &free_tx,
+                        };
+                        // pbrs-lint: allow(panic-hygiene) -- lock poisoning is fatal by design
+                        let result = if failure.lock().expect("lock").is_some() {
+                            Ok(()) // an earlier stripe already failed; drain only
+                        } else {
+                            // pbrs-lint: allow(panic-hygiene) -- the guard's buffer is only taken on drop, after this closure
+                            let buf = guard.buf.as_mut().expect("held until drop");
+                            catch_unwind(AssertUnwindSafe(|| {
+                                self.encode_and_write_stripe(
+                                    name,
+                                    stripe,
+                                    buf,
+                                    &mut StageTimes::new(),
+                                )
+                            }))
+                            .unwrap_or_else(|payload| {
+                                Err(StoreError::WorkerPanic {
+                                    context: format!(
+                                        "pipelined encode/write of stripe {stripe}: {}",
+                                        panic_message(payload.as_ref())
+                                    ),
+                                })
+                            })
+                        };
+                        // Return the buffer before reporting, so the
+                        // reader thread can always make progress.
+                        drop(guard);
+                        if let Err(e) = result {
+                            // pbrs-lint: allow(panic-hygiene) -- lock poisoning is fatal by design
+                            let mut slot = failure.lock().expect("lock");
+                            if slot.is_none() {
+                                *slot = Some(e);
+                            }
                         }
                     }
                 });
@@ -1256,10 +1348,14 @@ impl BlockStore {
         let stripes = out.len() / stripe_len;
         let per_worker = stripes.div_ceil(workers);
         let failure: Mutex<Option<StoreError>> = Mutex::new(None);
+        // The ambient trace context is thread-local; carry it across the
+        // worker boundary so stripe spans parent under the caller's op.
+        let trace_ctx = trace::current_ctx();
         thread::scope(|scope| {
             for (w, region) in out.chunks_mut(per_worker * stripe_len).enumerate() {
                 let failure = &failure;
                 scope.spawn(move || {
+                    let _trace = ScopedCtx::enter(trace_ctx);
                     let mut scratch = self.new_scratch();
                     let mut times = StageTimes::new();
                     let first = w * per_worker;
@@ -1306,6 +1402,32 @@ impl BlockStore {
     /// [`Stage::Erasure`], and the whole-stripe duration feeds the store's
     /// healthy/degraded latency histograms.
     pub(crate) fn read_stripe_into(
+        &self,
+        object: &str,
+        stripe: u64,
+        row: &[usize],
+        dest: &mut [u8],
+        scratch: &mut StripeScratch,
+        times: &mut StageTimes,
+    ) -> Result<bool> {
+        let span = self.trace_span("read_stripe");
+        let scope = span.as_ref().map(|(s, _)| ScopedCtx::enter(Some(s.ctx())));
+        let result = self.read_stripe_into_inner(object, stripe, row, dest, scratch, times);
+        drop(scope);
+        if let Some((mut s, tracer)) = span {
+            s.tag("object", object);
+            s.tag("stripe", stripe.to_string());
+            match &result {
+                Ok(true) => s.tag("degraded", "true"),
+                Ok(false) => {}
+                Err(e) => s.tag("fault", e.to_string()),
+            }
+            s.finish(tracer);
+        }
+        result
+    }
+
+    fn read_stripe_into_inner(
         &self,
         object: &str,
         stripe: u64,
@@ -1494,6 +1616,12 @@ impl BlockStore {
                     shard: read.shard,
                 };
                 let disk = row[read.shard];
+                let mut io_span = self.trace_span("chunk_io");
+                if let Some((s, _)) = io_span.as_mut() {
+                    self.tag_disk(s, disk);
+                    s.tag("shard", read.shard.to_string());
+                    s.tag("bytes", read.len.to_string());
+                }
                 let result = match (self.hedge_delay, &self.guards[disk]) {
                     // First attempt under hedging: short per-read budget.
                     (Some(delay), Some(guard)) if attempt == 0 => guard.read_chunk_range_deadline(
@@ -1512,9 +1640,33 @@ impl BlockStore {
                         dest,
                     ),
                 };
-                match result? {
-                    Ok(()) => {}
+                let outcome = match result {
+                    Ok(outcome) => outcome,
+                    Err(e) => {
+                        if let Some((mut s, tracer)) = io_span {
+                            s.tag("fault", e.to_string());
+                            s.finish(tracer);
+                        }
+                        return Err(e);
+                    }
+                };
+                match outcome {
+                    Ok(()) => {
+                        if let Some((s, tracer)) = io_span {
+                            s.finish(tracer);
+                        }
+                    }
                     Err(status) => {
+                        if let Some((mut s, tracer)) = io_span {
+                            // A hedge that will retry abandons this read;
+                            // otherwise the helper loss just fails the plan.
+                            if attempt + 1 < max_attempts {
+                                s.tag("abandoned", format!("{status:?}"));
+                            } else {
+                                s.tag("helper_failed", format!("{status:?}"));
+                            }
+                            s.finish(tracer);
+                        }
                         self.note_damage(&status);
                         failed_shard = Some(read.shard);
                         break;
@@ -1524,6 +1676,15 @@ impl BlockStore {
             times.add_duration(Stage::ChunkIo, io_start.elapsed());
             match failed_shard {
                 None => {
+                    let mut rebuild_span = self.trace_span("rebuild");
+                    if let Some((s, _)) = rebuild_span.as_mut() {
+                        s.tag("target_shard", target.to_string());
+                        if attempt > 0 {
+                            // The alternate helper set finished first: the
+                            // hedge won against the exiled slow shard.
+                            s.tag("hedged", "winner");
+                        }
+                    }
                     let erasure_start = Instant::now();
                     self.code.repair_from_reads(
                         target,
@@ -1534,6 +1695,9 @@ impl BlockStore {
                     times.add_duration(Stage::Erasure, erasure_start.elapsed());
                     if attempt > 0 {
                         StoreMetrics::add(&self.metrics.hedge_wins, 1);
+                    }
+                    if let Some((s, tracer)) = rebuild_span {
+                        s.finish(tracer);
                     }
                     return Ok(Some(traffic));
                 }
@@ -1596,14 +1760,27 @@ impl BlockStore {
             if self.code.is_mds() && survivors >= k {
                 break;
             }
+            let mut io_span = self.trace_span("chunk_io");
+            if let Some((s, _)) = io_span.as_mut() {
+                self.tag_disk(s, row[shard]);
+                s.tag("shard", shard.to_string());
+                s.tag("bytes", self.chunk_len.to_string());
+            }
             let slot = scratch.buf.shard_mut(shard);
             match self.disks[row[shard]].read_chunk_into(object, ChunkId { stripe, shard }, slot)? {
                 Ok(()) => {
+                    if let Some((s, tracer)) = io_span {
+                        s.finish(tracer);
+                    }
                     scratch.present[shard] = true;
                     survivors += 1;
                     traffic.add(self.chunk_len as u64, same_rack_as_home(shard));
                 }
                 Err(status) => {
+                    if let Some((mut s, tracer)) = io_span {
+                        s.tag("helper_failed", format!("{status:?}"));
+                        s.finish(tracer);
+                    }
                     // Damage the caller had not seen yet.
                     self.note_damage(&status);
                     damaged.push(shard);
@@ -1677,6 +1854,38 @@ impl BlockStore {
     /// Returns [`StoreError::ObjectNotFound`],
     /// [`StoreError::StripeUnrecoverable`], or I/O / codec failures.
     pub fn repair_stripe(
+        &self,
+        object: &str,
+        stripe: u64,
+        damaged: &[usize],
+    ) -> Result<StripeRepair> {
+        // Repair jobs run with no caller trace (the daemon mints none), so
+        // each job is its own root trace; a caller-scoped context (e.g. a
+        // traced admin op) is adopted instead of replaced.
+        let span = self
+            .tracer()
+            .map(|t| (t.root_span("repair", trace::current_ctx()), t));
+        let scope = span.as_ref().map(|(s, _)| ScopedCtx::enter(Some(s.ctx())));
+        let result = self.repair_stripe_inner(object, stripe, damaged);
+        drop(scope);
+        if let Some((mut s, tracer)) = span {
+            s.tag("object", object);
+            s.tag("stripe", stripe.to_string());
+            if let Err(e) = &result {
+                s.tag("fault", e.to_string());
+            }
+            s.finish_root(
+                tracer,
+                RootFlags {
+                    error: result.is_err(),
+                    ..RootFlags::default()
+                },
+            );
+        }
+        result
+    }
+
+    fn repair_stripe_inner(
         &self,
         object: &str,
         stripe: u64,

@@ -26,6 +26,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use pbrs::obs::trace::{RootFlags, ScopedCtx, Tracer, TracerConfig};
 use pbrs::prelude::*;
 use pbrs::store::testing::TempDir;
 
@@ -67,6 +68,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         PlacementPolicy::Identity,
     )?);
 
+    // Flight recorder: the hedged read below runs under a root span, so
+    // the tracer retains its whole tree — including the stalled
+    // helper's abandoned read losing to the hedge's winning rebuild.
+    let tracer = Arc::new(Tracer::new("store", TracerConfig::default()));
+    store.set_tracer(Arc::clone(&tracer));
+
     let data: Vec<u8> = (0..4 * CHUNK_LEN * STRIPES)
         .map(|i| ((i * 31 + 7) % 253) as u8)
         .collect();
@@ -84,8 +91,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Degraded read #1: the first-choice helper set {0,2,3,4} includes
     // the stalled disk; the hedge abandons it and the next-ranked set
     // {0,2,3,5} rebuilds each stripe — all inside the op deadline.
+    let root = tracer.root_span("get", None);
     let start = Instant::now();
-    assert_eq!(store.get("dataset")?, data, "degraded read must be exact");
+    let got = {
+        let _scope = ScopedCtx::enter(Some(root.ctx()));
+        store.get("dataset")?
+    };
+    assert_eq!(got, data, "degraded read must be exact");
     let elapsed = start.elapsed();
     let bound = OP_DEADLINE * 2 * STRIPES as u32;
     assert!(
@@ -100,6 +112,77 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     assert_eq!(m.hedged_reads, STRIPES as u64);
     assert_eq!(m.hedge_wins, STRIPES as u64);
+
+    // The flight recorder kept the whole tree. Walk it to show the duel
+    // each stripe fought: the stalled helper's read abandoned at the
+    // hedge delay, losing to the alternate set's winning rebuild.
+    assert!(
+        root.finish_root(&tracer, RootFlags::default()),
+        "a hedged degraded read must be retained on span evidence alone"
+    );
+    let tree = tracer.retained().pop().expect("retained trace");
+    assert!(tree.reasons.contains(&"degraded"), "{:?}", tree.reasons);
+    assert!(tree.reasons.contains(&"hedged"), "{:?}", tree.reasons);
+    println!(
+        "\nretained trace {} [{}], root {:.1} ms:",
+        tree.trace,
+        tree.reasons.join(", "),
+        tree.root_dur_us() as f64 / 1000.0
+    );
+    let (mut abandoned_seen, mut wins_seen) = (0u32, 0u32);
+    for stripe_span in tree.children_of(tree.root) {
+        println!(
+            "  {} stripe={} {:.1} ms{}",
+            stripe_span.name,
+            stripe_span.tag("stripe").unwrap_or("?"),
+            stripe_span.dur_us as f64 / 1000.0,
+            if stripe_span.tag("degraded").is_some() {
+                " (degraded)"
+            } else {
+                ""
+            },
+        );
+        let mut lost_us = None;
+        for child in tree.children_of(stripe_span.id) {
+            let verdict = if child.tag("abandoned").is_some() {
+                lost_us = Some(child.dur_us);
+                abandoned_seen += 1;
+                "  <- stall abandoned by the hedge"
+            } else if child.tag("hedged") == Some("winner") {
+                wins_seen += 1;
+                let margin = lost_us.map_or(0, |l| l.saturating_sub(child.dur_us));
+                assert!(
+                    lost_us.is_some_and(|l| child.dur_us < l),
+                    "the winning rebuild must be faster than the abandoned read"
+                );
+                println!(
+                    "    {} target_shard={} {:.1} ms  <- hedge winner (beat the stall by {:.1} ms)",
+                    child.name,
+                    child.tag("target_shard").unwrap_or("?"),
+                    child.dur_us as f64 / 1000.0,
+                    margin as f64 / 1000.0,
+                );
+                continue;
+            } else {
+                ""
+            };
+            println!(
+                "    {} disk={} rack={} {:.1} ms{verdict}",
+                child.name,
+                child.tag("disk").unwrap_or("?"),
+                child.tag("rack").unwrap_or("?"),
+                child.dur_us as f64 / 1000.0,
+            );
+        }
+    }
+    assert_eq!(
+        abandoned_seen, STRIPES as u32,
+        "every stripe must show disk {STALLED_DISK}'s abandoned read"
+    );
+    assert_eq!(
+        wins_seen, STRIPES as u32,
+        "every stripe must show the hedge's winning rebuild"
+    );
 
     // The abandoned reads were recorded as timeouts; two of them tripped
     // the breaker. The transition is journaled and advisory-persisted.
